@@ -1,0 +1,41 @@
+#ifndef KEQ_BENCH_BENCH_COMMON_H
+#define KEQ_BENCH_BENCH_COMMON_H
+
+/**
+ * @file
+ * Shared helpers for the evaluation harness binaries.
+ *
+ * Every bench is deterministic in its corpus seed; scale knobs can be
+ * overridden through environment variables so the full paper-scale runs
+ * (4732 functions, as in Section 5.1) are one `KEQ_FIG6_FUNCTIONS=4732`
+ * away while the default invocation stays laptop-fast.
+ */
+
+#include <cstdlib>
+#include <string>
+
+namespace keq::bench {
+
+/** Reads a size_t environment override with a default. */
+inline size_t
+envSize(const char *name, size_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    return static_cast<size_t>(std::strtoull(value, nullptr, 10));
+}
+
+/** Reads a double environment override with a default. */
+inline double
+envDouble(const char *name, double fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    return std::strtod(value, nullptr);
+}
+
+} // namespace keq::bench
+
+#endif // KEQ_BENCH_BENCH_COMMON_H

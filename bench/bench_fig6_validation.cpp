@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Experiment E1 — reproduces Figure 6: "Translation validation results
+ * for GCC benchmark" (paper Section 5.1).
+ *
+ * The paper validates 4732 supported functions of GCC from SPEC 2006
+ * with a 3-hour timeout per function on 2x Xeon E7-8837 + 12 GB, and
+ * reports:
+ *
+ *     Succeeded                    4,331   (91.52%)
+ *     Failed due to timeout          206   ( 4.35%)
+ *     Failed due to out-of-memory    179   ( 3.78%)
+ *     Other                           16   ( 0.34%)
+ *
+ * This harness validates a synthetic GCC-shaped corpus (see
+ * src/driver/corpus.h for the substitution rationale) under
+ * proportionally scaled budgets:
+ *  - per-function wall budget  -> the paper's 3 h timeout,
+ *  - sync-spec size budget     -> the K-parser memory blow-up,
+ *  - crude liveness on a small deterministic slice -> the paper's
+ *    16 liveness-imprecision failures.
+ *
+ * Scale with KEQ_FIG6_FUNCTIONS=4732 for the paper-sized run; budgets
+ * with KEQ_FIG6_WALL_SECONDS / KEQ_FIG6_SPEC_BUDGET.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/driver/corpus.h"
+#include "src/driver/pipeline.h"
+#include "src/llvmir/parser.h"
+#include "src/llvmir/verifier.h"
+#include "src/support/stopwatch.h"
+
+int
+main()
+{
+    using namespace keq;
+
+    size_t function_count = bench::envSize("KEQ_FIG6_FUNCTIONS", 1000);
+    double wall_budget = bench::envDouble("KEQ_FIG6_WALL_SECONDS", 0.13);
+    size_t spec_budget = bench::envSize("KEQ_FIG6_SPEC_BUDGET", 730);
+    // One in N functions is validated with the crude block-local
+    // liveness, standing in for the paper's imprecise analysis.
+    size_t crude_every = bench::envSize("KEQ_FIG6_CRUDE_EVERY", 40);
+
+    driver::CorpusOptions copts;
+    copts.functionCount = function_count;
+    copts.seed = 0x6cc2006; // fixed corpus
+
+    std::cout << "=== E1 / Figure 6: validation results ===\n";
+    std::cout << "corpus: " << function_count
+              << " synthetic GCC-shaped functions (seed "
+              << copts.seed << ")\n";
+    std::cout << "budgets: wall " << wall_budget << " s/function, "
+              << "sync-spec " << spec_budget << " chars, crude liveness "
+              << "on every " << crude_every << "th function\n\n";
+
+    llvmir::Module module =
+        llvmir::parseModule(driver::generateCorpusSource(copts));
+    llvmir::verifyModuleOrThrow(module);
+
+    support::Stopwatch total;
+    driver::ModuleReport report;
+    size_t index = 0;
+    for (const llvmir::Function &fn : module.functions) {
+        if (fn.isDeclaration())
+            continue;
+        driver::PipelineOptions options;
+        options.checker.wallBudgetSeconds = wall_budget;
+        options.checker.solverTimeoutMs = static_cast<unsigned>(
+            wall_budget * 1000.0);
+        options.specSizeBudget = spec_budget;
+        if (crude_every > 0 && index % crude_every == crude_every - 1) {
+            options.vc.precision = vcgen::LivenessPrecision::BlockLocal;
+        }
+        report.functions.push_back(
+            driver::validateFunction(module, fn, options));
+        ++index;
+    }
+
+    std::cout << report.renderTable() << "\n";
+
+    size_t total_fns = report.functions.size();
+    auto pct = [&](driver::Outcome outcome) {
+        return 100.0 *
+               static_cast<double>(report.countOutcome(outcome)) /
+               static_cast<double>(total_fns);
+    };
+    std::printf("success rate: %.2f%%  (paper: 91.52%%)\n",
+                pct(driver::Outcome::Succeeded));
+    std::printf("timeout:      %.2f%%  (paper:  4.35%%)\n",
+                pct(driver::Outcome::Timeout));
+    std::printf("out-of-mem:   %.2f%%  (paper:  3.78%%)\n",
+                pct(driver::Outcome::OutOfMemory));
+    std::printf("other:        %.2f%%  (paper:  0.34%%)\n",
+                pct(driver::Outcome::Other));
+    std::printf("harness wall time: %.1f s\n", total.seconds());
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Experiment E4 — the paper's running example (Figures 1-3):
+ * end-to-end validation of arithm_seq_sum, timed with google-benchmark.
+ *
+ * Prints the generated Virtual x86 and the synchronization point table
+ * (compare against Figures 2(b) and 3), then measures the cost of each
+ * pipeline stage: ISel, VC generation, and the KEQ check itself.
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "src/driver/pipeline.h"
+#include "src/isel/isel.h"
+#include "src/llvmir/parser.h"
+#include "src/llvmir/verifier.h"
+#include "src/vcgen/vcgen.h"
+
+namespace {
+
+const char *const kArithmSeqSum = R"(
+define i32 @arithm_seq_sum(i32 %a0, i32 %d, i32 %n) {
+entry:
+  br label %for.cond
+for.cond:
+  %s.0 = phi i32 [ %a0, %entry ], [ %add1, %for.inc ]
+  %a.0 = phi i32 [ %a0, %entry ], [ %add, %for.inc ]
+  %i.0 = phi i32 [ 1, %entry ], [ %inc, %for.inc ]
+  %cmp = icmp ult i32 %i.0, %n
+  br i1 %cmp, label %for.body, label %for.end
+for.body:
+  %add = add i32 %a.0, %d
+  %add1 = add i32 %s.0, %add
+  br label %for.inc
+for.inc:
+  %inc = add i32 %i.0, 1
+  br label %for.cond
+for.end:
+  ret i32 %s.0
+}
+)";
+
+keq::llvmir::Module
+parsedModule()
+{
+    keq::llvmir::Module module =
+        keq::llvmir::parseModule(kArithmSeqSum);
+    keq::llvmir::verifyModuleOrThrow(module);
+    return module;
+}
+
+void
+BM_IselLowering(benchmark::State &state)
+{
+    keq::llvmir::Module module = parsedModule();
+    for (auto _ : state) {
+        keq::isel::FunctionHints hints;
+        benchmark::DoNotOptimize(keq::isel::lowerFunction(
+            module, module.functions[0], {}, hints));
+    }
+}
+BENCHMARK(BM_IselLowering);
+
+void
+BM_VcGeneration(benchmark::State &state)
+{
+    keq::llvmir::Module module = parsedModule();
+    keq::isel::FunctionHints hints;
+    keq::vx86::MFunction mfn = keq::isel::lowerFunction(
+        module, module.functions[0], {}, hints);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(keq::vcgen::generateSyncPoints(
+            module.functions[0], mfn, hints));
+    }
+}
+BENCHMARK(BM_VcGeneration);
+
+void
+BM_FullValidation(benchmark::State &state)
+{
+    keq::llvmir::Module module = parsedModule();
+    for (auto _ : state) {
+        keq::driver::FunctionReport report =
+            keq::driver::validateFunction(module, module.functions[0],
+                                          {});
+        if (report.outcome != keq::driver::Outcome::Succeeded)
+            state.SkipWithError("validation failed");
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(BM_FullValidation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace keq;
+
+    // One narrated run first: the Figure 2(b)/Figure 3 artifacts.
+    llvmir::Module module = parsedModule();
+    isel::FunctionHints hints;
+    vx86::MFunction mfn =
+        isel::lowerFunction(module, module.functions[0], {}, hints);
+    vcgen::VcResult vc =
+        vcgen::generateSyncPoints(module.functions[0], mfn, hints);
+    driver::FunctionReport report =
+        driver::validateFunction(module, module.functions[0], {});
+
+    std::cout << "=== E4 / Figures 1-3: the running example ===\n\n";
+    std::cout << mfn.toString() << "\n";
+    std::cout << vc.points.render() << "\n";
+    std::cout << "verdict: "
+              << checker::verdictKindName(report.verdict.kind) << " ("
+              << report.verdict.stats.solverQueries
+              << " solver queries, "
+              << report.verdict.stats.symbolicSteps
+              << " symbolic steps)\n\n";
+    if (report.outcome != driver::Outcome::Succeeded)
+        return 1;
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Experiment E8 — checker scaling ablation (paper Section 5.1
+ * discussion: "Z3 solving time was the dominating factor ... path
+ * conditions grow significantly, particularly with many complicated
+ * memory operations and branching conditions").
+ *
+ * Sweeps validation time against three axes the discussion names:
+ * straight-line length (term growth), branch count (path-condition
+ * growth), and memory-operation count (store-chain growth).
+ */
+
+#include <sstream>
+
+#include <benchmark/benchmark.h>
+
+#include "src/driver/pipeline.h"
+#include "src/llvmir/parser.h"
+
+namespace {
+
+using namespace keq;
+
+/** n chained arithmetic instructions. */
+std::string
+straightLine(unsigned n)
+{
+    std::ostringstream os;
+    os << "define i32 @f(i32 %p0, i32 %p1) {\nentry:\n";
+    std::string prev = "%p0";
+    for (unsigned i = 0; i < n; ++i) {
+        std::string name = "%t" + std::to_string(i);
+        const char *op = i % 3 == 0 ? "add" : i % 3 == 1 ? "xor" : "mul";
+        os << "  " << name << " = " << op << " i32 " << prev << ", %p1\n";
+        prev = name;
+    }
+    os << "  ret i32 " << prev << "\n}\n";
+    return os.str();
+}
+
+/** n sequential diamonds (2^n paths, but per-segment only 2 branches). */
+std::string
+diamonds(unsigned n)
+{
+    std::ostringstream os;
+    os << "define i32 @f(i32 %p0, i32 %p1) {\nentry:\n"
+       << "  br label %b0\n";
+    std::string carried = "%p0";
+    for (unsigned i = 0; i < n; ++i) {
+        std::string b = "b" + std::to_string(i);
+        std::string next = "b" + std::to_string(i + 1);
+        os << b << ":\n";
+        os << "  %in" << i << " = phi i32 [ " << carried << ", "
+           << (i == 0 ? std::string("%entry")
+                      : "%b" + std::to_string(i - 1) + "j")
+           << " ]\n";
+        // Use a single-predecessor phi to keep SSA form simple.
+        os << "  %c" << i << " = icmp ult i32 %in" << i << ", %p1\n";
+        os << "  br i1 %c" << i << ", label %" << b << "t, label %" << b
+           << "e\n";
+        os << b << "t:\n  %vt" << i << " = add i32 %in" << i
+           << ", 1\n  br label %" << b << "j\n";
+        os << b << "e:\n  %ve" << i << " = xor i32 %in" << i
+           << ", 255\n  br label %" << b << "j\n";
+        os << b << "j:\n  %m" << i << " = phi i32 [ %vt" << i << ", %"
+           << b << "t ], [ %ve" << i << ", %" << b << "e ]\n";
+        os << "  br label %" << (i + 1 == n ? "done" : next) << "\n";
+        carried = "%m" + std::to_string(i);
+    }
+    os << "done:\n  %r = phi i32 [ " << carried << ", %b"
+       << (n - 1) << "j ]\n  ret i32 %r\n}\n";
+    return os.str();
+}
+
+/** n stores followed by n loads through a global array. */
+std::string
+memoryOps(unsigned n)
+{
+    std::ostringstream os;
+    os << "@g = external global [256 x i8]\n";
+    os << "define i32 @f(i32 %p0) {\nentry:\n";
+    for (unsigned i = 0; i < n; ++i) {
+        os << "  %q" << i << " = getelementptr [256 x i8], "
+           << "[256 x i8]* @g, i64 0, i64 " << (i * 7 % 256) << "\n";
+        os << "  %v" << i << " = trunc i32 %p0 to i8\n";
+        os << "  store i8 %v" << i << ", i8* %q" << i << "\n";
+    }
+    std::string acc = "%p0";
+    for (unsigned i = 0; i < n; ++i) {
+        os << "  %l" << i << " = load i8, i8* %q" << (n - 1 - i)
+           << "\n";
+        os << "  %w" << i << " = zext i8 %l" << i << " to i32\n";
+        os << "  %a" << i << " = add i32 " << acc << ", %w" << i
+           << "\n";
+        acc = "%a" + std::to_string(i);
+    }
+    os << "  ret i32 " << acc << "\n}\n";
+    return os.str();
+}
+
+void
+validateOnce(benchmark::State &state, const std::string &source)
+{
+    llvmir::Module module = llvmir::parseModule(source);
+    for (auto _ : state) {
+        driver::FunctionReport report =
+            driver::validateFunction(module, module.functions.back(),
+                                     {});
+        if (report.outcome != driver::Outcome::Succeeded)
+            state.SkipWithError(report.detail.c_str());
+        benchmark::DoNotOptimize(report);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_StraightLine(benchmark::State &state)
+{
+    validateOnce(state,
+                 straightLine(static_cast<unsigned>(state.range(0))));
+}
+BENCHMARK(BM_StraightLine)
+    ->RangeMultiplier(2)
+    ->Range(8, 256)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+void
+BM_BranchChains(benchmark::State &state)
+{
+    validateOnce(state, diamonds(static_cast<unsigned>(state.range(0))));
+}
+// Sequential diamonds have no loop, hence no intermediate sync points:
+// the number of cut-to-cut paths doubles per diamond, and validation
+// cost grows exponentially (the "path conditions grow significantly"
+// effect of Section 5.1). The sweep stops at 8 diamonds (2^8 paths).
+BENCHMARK(BM_BranchChains)
+    ->RangeMultiplier(2)
+    ->Range(1, 8)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+void
+BM_MemoryOps(benchmark::State &state)
+{
+    validateOnce(state, memoryOps(static_cast<unsigned>(state.range(0))));
+}
+BENCHMARK(BM_MemoryOps)
+    ->RangeMultiplier(2)
+    ->Range(2, 64)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+} // namespace
+
+BENCHMARK_MAIN();

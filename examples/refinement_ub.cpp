@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Undefined behaviour and refinement (paper Section 4.6).
+ *
+ * When the input program can reach undefined behaviour, the compiler is
+ * allowed to produce anything on those inputs, so the right correctness
+ * statement is refinement rather than equivalence. KEQ discovers this
+ * automatically: LLVM error states are acceptable against any output
+ * state, and the verdict degrades from "equivalent" to "refines".
+ */
+
+#include <iostream>
+
+#include "src/driver/pipeline.h"
+#include "src/llvmir/parser.h"
+#include "src/llvmir/verifier.h"
+
+namespace {
+
+struct Case
+{
+    const char *title;
+    const char *source;
+    keq::checker::VerdictKind expected;
+};
+
+const Case kCases[] = {
+    {"no UB reachable: full equivalence",
+     R"(
+define i32 @plain(i32 %a) {
+entry:
+  %r = add i32 %a, 1
+  ret i32 %r
+}
+)",
+     keq::checker::VerdictKind::Equivalent},
+
+    {"add nsw: signed overflow is UB, so only refinement holds",
+     R"(
+define i32 @bump(i32 %a) {
+entry:
+  %r = add nsw i32 %a, 1
+  ret i32 %r
+}
+)",
+     keq::checker::VerdictKind::Refines},
+
+    {"masked add nsw: overflow provably unreachable, equivalence again",
+     R"(
+define i32 @safe(i32 %a) {
+entry:
+  %m = and i32 %a, 65535
+  %r = add nsw i32 %m, 1
+  ret i32 %r
+}
+)",
+     keq::checker::VerdictKind::Equivalent},
+
+    {"division by a register: #DE matches LLVM's division UB",
+     R"(
+define i32 @div(i32 %a, i32 %b) {
+entry:
+  %q = sdiv i32 %a, %b
+  ret i32 %q
+}
+)",
+     keq::checker::VerdictKind::Refines},
+
+    {"possible out-of-bounds store: refinement (x86 traps identically)",
+     R"(
+@buf = external global [16 x i8]
+define void @poke(i64 %i, i8 %v) {
+entry:
+  %p = getelementptr [16 x i8], [16 x i8]* @buf, i64 0, i64 %i
+  store i8 %v, i8* %p
+  ret void
+}
+)",
+     keq::checker::VerdictKind::Refines},
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace keq;
+    int failures = 0;
+    for (const Case &test_case : kCases) {
+        llvmir::Module module = llvmir::parseModule(test_case.source);
+        llvmir::verifyModuleOrThrow(module);
+        driver::FunctionReport report = driver::validateFunction(
+            module, module.functions.front(), {});
+        bool ok = report.verdict.kind == test_case.expected;
+        std::cout << test_case.title << "\n  verdict: "
+                  << checker::verdictKindName(report.verdict.kind)
+                  << " (expected "
+                  << checker::verdictKindName(test_case.expected) << ") "
+                  << (ok ? "OK" : "MISMATCH") << "\n";
+        if (!report.verdict.reason.empty())
+            std::cout << "  note:    " << report.verdict.reason << "\n";
+        std::cout << "\n";
+        failures += ok ? 0 : 1;
+    }
+    return failures;
+}

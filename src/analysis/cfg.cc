@@ -1,0 +1,213 @@
+#include "src/analysis/cfg.h"
+
+#include <algorithm>
+
+#include "src/support/diagnostics.h"
+
+namespace keq::analysis {
+
+size_t
+Cfg::addBlock(std::string name)
+{
+    size_t index = names_.size();
+    KEQ_ASSERT(index_.emplace(name, index).second,
+               "duplicate block " + name);
+    names_.push_back(std::move(name));
+    succs_.emplace_back();
+    preds_.emplace_back();
+    return index;
+}
+
+void
+Cfg::addEdge(size_t from, size_t to)
+{
+    KEQ_ASSERT(from < numBlocks() && to < numBlocks(),
+               "edge endpoint out of range");
+    succs_[from].push_back(to);
+    preds_[to].push_back(from);
+}
+
+size_t
+Cfg::indexOf(const std::string &name) const
+{
+    auto it = index_.find(name);
+    KEQ_ASSERT(it != index_.end(), "unknown block " + name);
+    return it->second;
+}
+
+namespace {
+
+/** Reverse postorder of reachable blocks. */
+std::vector<size_t>
+reversePostorder(const Cfg &cfg)
+{
+    std::vector<size_t> order;
+    std::vector<uint8_t> state(cfg.numBlocks(), 0);
+    std::vector<std::pair<size_t, size_t>> stack{{cfg.entry(), 0}};
+    state[cfg.entry()] = 1;
+    while (!stack.empty()) {
+        auto [block, index] = stack.back();
+        const std::vector<size_t> &succs = cfg.successors(block);
+        if (index >= succs.size()) {
+            order.push_back(block);
+            stack.pop_back();
+            continue;
+        }
+        ++stack.back().second;
+        size_t next = succs[index];
+        if (state[next] == 0) {
+            state[next] = 1;
+            stack.emplace_back(next, size_t{0});
+        }
+    }
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+} // namespace
+
+std::vector<size_t>
+immediateDominators(const Cfg &cfg)
+{
+    const size_t kUndef = SIZE_MAX;
+    std::vector<size_t> idom(cfg.numBlocks(), kUndef);
+    std::vector<size_t> rpo = reversePostorder(cfg);
+    std::vector<size_t> rpo_number(cfg.numBlocks(), kUndef);
+    for (size_t i = 0; i < rpo.size(); ++i)
+        rpo_number[rpo[i]] = i;
+
+    idom[cfg.entry()] = cfg.entry();
+    auto intersect = [&](size_t a, size_t b) {
+        while (a != b) {
+            while (rpo_number[a] > rpo_number[b])
+                a = idom[a];
+            while (rpo_number[b] > rpo_number[a])
+                b = idom[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t block : rpo) {
+            if (block == cfg.entry())
+                continue;
+            size_t new_idom = kUndef;
+            for (size_t pred : cfg.predecessors(block)) {
+                if (idom[pred] == kUndef)
+                    continue; // unreachable or not yet processed
+                new_idom = new_idom == kUndef
+                               ? pred
+                               : intersect(pred, new_idom);
+            }
+            if (new_idom != kUndef && idom[block] != new_idom) {
+                idom[block] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    return idom;
+}
+
+bool
+dominates(const std::vector<size_t> &idom, size_t a, size_t b)
+{
+    if (idom[b] == SIZE_MAX)
+        return false; // b unreachable
+    size_t current = b;
+    while (true) {
+        if (current == a)
+            return true;
+        if (idom[current] == current)
+            return false; // reached the entry
+        current = idom[current];
+    }
+}
+
+std::vector<NaturalLoop>
+naturalLoops(const Cfg &cfg)
+{
+    std::vector<size_t> idom = immediateDominators(cfg);
+    std::map<size_t, NaturalLoop> by_header;
+
+    for (size_t tail = 0; tail < cfg.numBlocks(); ++tail) {
+        if (idom[tail] == SIZE_MAX)
+            continue; // unreachable
+        for (size_t header : cfg.successors(tail)) {
+            if (!dominates(idom, header, tail))
+                continue;
+            // Back edge tail -> header: collect the natural loop body.
+            NaturalLoop &loop = by_header
+                                    .try_emplace(header,
+                                                 NaturalLoop{header, {}})
+                                    .first->second;
+            loop.blocks.insert(header);
+            std::vector<size_t> work{tail};
+            while (!work.empty()) {
+                size_t block = work.back();
+                work.pop_back();
+                if (!loop.blocks.insert(block).second)
+                    continue;
+                for (size_t pred : cfg.predecessors(block))
+                    work.push_back(pred);
+            }
+        }
+    }
+
+    std::vector<NaturalLoop> loops;
+    for (auto &[header, loop] : by_header)
+        loops.push_back(std::move(loop));
+    return loops;
+}
+
+std::set<std::string>
+Liveness::edgeLive(const Cfg &cfg, const std::vector<BlockUseDef> &facts,
+                   size_t pred, size_t block) const
+{
+    std::set<std::string> live = liveIn[block];
+    auto it = facts[block].phiUse.find(pred);
+    if (it != facts[block].phiUse.end())
+        live.insert(it->second.begin(), it->second.end());
+    (void)cfg;
+    return live;
+}
+
+Liveness
+computeLiveness(const Cfg &cfg, const std::vector<BlockUseDef> &facts)
+{
+    KEQ_ASSERT(facts.size() == cfg.numBlocks(),
+               "liveness facts size mismatch");
+    Liveness result;
+    result.liveIn.assign(cfg.numBlocks(), {});
+    result.liveOut.assign(cfg.numBlocks(), {});
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Iterate backwards for faster convergence.
+        for (size_t i = cfg.numBlocks(); i-- > 0;) {
+            std::set<std::string> out;
+            for (size_t succ : cfg.successors(i)) {
+                out.insert(result.liveIn[succ].begin(),
+                           result.liveIn[succ].end());
+                auto it = facts[succ].phiUse.find(i);
+                if (it != facts[succ].phiUse.end())
+                    out.insert(it->second.begin(), it->second.end());
+            }
+            std::set<std::string> in = facts[i].use;
+            for (const std::string &name : out) {
+                if (!facts[i].def.count(name))
+                    in.insert(name);
+            }
+            if (out != result.liveOut[i] || in != result.liveIn[i]) {
+                result.liveOut[i] = std::move(out);
+                result.liveIn[i] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace keq::analysis

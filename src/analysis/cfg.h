@@ -1,0 +1,118 @@
+#ifndef KEQ_ANALYSIS_CFG_H
+#define KEQ_ANALYSIS_CFG_H
+
+/**
+ * @file
+ * Language-neutral control-flow graph and analyses.
+ *
+ * The VC generator (Section 4.5) needs loop headers (to place
+ * synchronization points covering cycles) and per-edge live value sets (to
+ * emit the equality constraints). Both analyses run on this generic CFG;
+ * each IR provides a small adapter producing it (llvmir::buildCfg,
+ * vx86::buildCfg).
+ */
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace keq::analysis {
+
+/** A CFG over dense block indices with stable names. */
+class Cfg
+{
+  public:
+    /** Adds a block; returns its index. */
+    size_t addBlock(std::string name);
+    /** Adds a directed edge; blocks must exist. */
+    void addEdge(size_t from, size_t to);
+
+    size_t numBlocks() const { return names_.size(); }
+    size_t entry() const { return 0; }
+    const std::string &name(size_t block) const { return names_[block]; }
+    /** Index of a named block; asserts existence. */
+    size_t indexOf(const std::string &name) const;
+
+    const std::vector<size_t> &
+    successors(size_t block) const
+    {
+        return succs_[block];
+    }
+
+    const std::vector<size_t> &
+    predecessors(size_t block) const
+    {
+        return preds_[block];
+    }
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<std::vector<size_t>> succs_;
+    std::vector<std::vector<size_t>> preds_;
+    std::map<std::string, size_t> index_;
+};
+
+/**
+ * Immediate dominators (Cooper-Harvey-Kennedy). Unreachable blocks get
+ * idom == SIZE_MAX. The entry's idom is itself.
+ */
+std::vector<size_t> immediateDominators(const Cfg &cfg);
+
+/** True iff @p a dominates @p b under the given idom tree. */
+bool dominates(const std::vector<size_t> &idom, size_t a, size_t b);
+
+/** A natural loop: header plus body blocks (header included). */
+struct NaturalLoop
+{
+    size_t header;
+    std::set<size_t> blocks;
+};
+
+/**
+ * Natural loops from back edges (tail -> header with header dominating
+ * tail); loops sharing a header are merged.
+ */
+std::vector<NaturalLoop> naturalLoops(const Cfg &cfg);
+
+/**
+ * Per-block dataflow facts for SSA liveness.
+ *
+ * `use` holds upward-exposed non-phi uses; `def` holds all definitions
+ * (including phi results); `phiUse[p]` holds the values the block's phis
+ * read when entered from predecessor index p (those are live-out of the
+ * edge, not live-in of the block).
+ */
+struct BlockUseDef
+{
+    std::set<std::string> use;
+    std::set<std::string> def;
+    std::map<size_t, std::set<std::string>> phiUse;
+};
+
+/** Liveness results. */
+struct Liveness
+{
+    /** Live-in per block (excludes the block's own phi defs and inputs). */
+    std::vector<std::set<std::string>> liveIn;
+    /** Live-out per block. */
+    std::vector<std::set<std::string>> liveOut;
+
+    /**
+     * Values live along the edge @p pred -> @p block: the target's live-in
+     * plus the values its phis read from @p pred. This is exactly the set
+     * a sync point placed on that edge must constrain.
+     */
+    std::set<std::string> edgeLive(const Cfg &cfg,
+                                   const std::vector<BlockUseDef> &facts,
+                                   size_t pred, size_t block) const;
+};
+
+/** Backward dataflow liveness over SSA with phi-aware edges. */
+Liveness computeLiveness(const Cfg &cfg,
+                         const std::vector<BlockUseDef> &facts);
+
+} // namespace keq::analysis
+
+#endif // KEQ_ANALYSIS_CFG_H

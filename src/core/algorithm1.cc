@@ -1,0 +1,75 @@
+#include "src/core/algorithm1.h"
+
+#include "src/support/diagnostics.h"
+
+namespace keq::core {
+
+namespace {
+
+/**
+ * Algorithm 1, function check(p1, p2): computes cut-successor sets N1 and
+ * N2, marks pairs found in P black, and succeeds when every required
+ * successor ended up black.
+ */
+bool
+checkPair(const ExplicitTransitionSystem &t1,
+          const ExplicitTransitionSystem &t2, const PairRelation &relation,
+          CheckMode mode, StateId p1, StateId p2, CheckFailure &failure)
+{
+    CutSuccessorResult n1 = cutSuccessors(t1, p1); // line 7
+    CutSuccessorResult n2 = cutSuccessors(t2, p2);
+    if (n1.cutViolation || n2.cutViolation) {
+        failure = {p1, p2, {}, {}, true};
+        return false;
+    }
+
+    std::vector<bool> black1(n1.successors.size(), false); // line 22: red
+    std::vector<bool> black2(n2.successors.size(), false);
+
+    // Lines 8-10: mark related successor pairs black.
+    for (size_t i = 0; i < n1.successors.size(); ++i) {
+        for (size_t j = 0; j < n2.successors.size(); ++j) {
+            if (relation.contains(n1.successors[i], n2.successors[j])) {
+                black1[i] = true;
+                black2[j] = true;
+            }
+        }
+    }
+
+    // Line 11: all of N1 (and N2 in bisimulation mode) must be black.
+    CheckFailure candidate{p1, p2, {}, {}, false};
+    for (size_t i = 0; i < n1.successors.size(); ++i) {
+        if (!black1[i])
+            candidate.unmatched1.push_back(n1.successors[i]);
+    }
+    if (mode == CheckMode::Bisimulation) {
+        for (size_t j = 0; j < n2.successors.size(); ++j) {
+            if (!black2[j])
+                candidate.unmatched2.push_back(n2.successors[j]);
+        }
+    }
+    if (candidate.unmatched1.empty() && candidate.unmatched2.empty())
+        return true; // line 12
+    failure = candidate;
+    return false; // line 13
+}
+
+} // namespace
+
+CheckOutcome
+checkCutBisimulation(const ExplicitTransitionSystem &t1,
+                     const ExplicitTransitionSystem &t2,
+                     const PairRelation &relation, CheckMode mode)
+{
+    // Lines 2-4: every pair of the candidate relation must check out.
+    for (const auto &[p1, p2] : relation.pairs()) {
+        KEQ_ASSERT(t1.isCut(p1) && t2.isCut(p2),
+                   "relation relates non-cut states");
+        CheckFailure failure{};
+        if (!checkPair(t1, t2, relation, mode, p1, p2, failure))
+            return {false, failure};
+    }
+    return {true, std::nullopt}; // line 5
+}
+
+} // namespace keq::core

@@ -1,0 +1,102 @@
+#ifndef KEQ_CORE_ALGORITHM1_H
+#define KEQ_CORE_ALGORITHM1_H
+
+/**
+ * @file
+ * The paper's Algorithm 1 (concrete variant), verbatim.
+ *
+ * Given two cut transition systems and a candidate relation P between
+ * their cut states, checks whether P is a cut-bisimulation (or a
+ * cut-simulation in refinement mode). Theorem 8.1: if the check succeeds
+ * and (xi1, xi2) is in P with P contained in the acceptability relation,
+ * the two systems are cut-bisimilar w.r.t. that relation.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/transition_system.h"
+
+namespace keq::core {
+
+/** Whether to check a bisimulation (equivalence) or simulation (refinement). */
+enum class CheckMode : uint8_t {
+    Bisimulation, ///< Both projections must be covered (line 11 as given).
+    Simulation,   ///< Only N1 must be covered (the footnote variant).
+};
+
+/** A finite relation between states of two transition systems. */
+class PairRelation
+{
+  public:
+    void
+    add(StateId s1, StateId s2)
+    {
+        if (set_.insert(key(s1, s2)).second)
+            pairs_.emplace_back(s1, s2);
+    }
+
+    bool
+    contains(StateId s1, StateId s2) const
+    {
+        return set_.count(key(s1, s2)) != 0;
+    }
+
+    const std::vector<std::pair<StateId, StateId>> &
+    pairs() const
+    {
+        return pairs_;
+    }
+
+    size_t size() const { return pairs_.size(); }
+    bool empty() const { return pairs_.empty(); }
+
+  private:
+    static uint64_t
+    key(StateId s1, StateId s2)
+    {
+        return (static_cast<uint64_t>(s1) << 32) | s2;
+    }
+
+    std::vector<std::pair<StateId, StateId>> pairs_;
+    std::unordered_set<uint64_t> set_;
+};
+
+/** Diagnostic payload when a pair fails the check. */
+struct CheckFailure
+{
+    StateId p1; ///< The pair whose successors could not be matched.
+    StateId p2;
+    /** Cut-successors of p1 left "red" (unmatched) after marking. */
+    std::vector<StateId> unmatched1;
+    /** Cut-successors of p2 left "red"; empty in Simulation mode. */
+    std::vector<StateId> unmatched2;
+    /** True when next_i detected a cut-property violation. */
+    bool cutViolation = false;
+};
+
+/** Result of Algorithm 1. */
+struct CheckOutcome
+{
+    bool holds = false;
+    std::optional<CheckFailure> failure;
+};
+
+/**
+ * Algorithm 1, function main: checks that @p relation is a
+ * cut-bisimulation (or cut-simulation) between @p t1 and @p t2.
+ *
+ * All pairs in the relation must relate cut states; this is asserted.
+ * Returns the first failing pair with its unmatched successors, which the
+ * TV system surfaces as the counterexample location.
+ */
+CheckOutcome checkCutBisimulation(const ExplicitTransitionSystem &t1,
+                                  const ExplicitTransitionSystem &t2,
+                                  const PairRelation &relation,
+                                  CheckMode mode = CheckMode::Bisimulation);
+
+} // namespace keq::core
+
+#endif // KEQ_CORE_ALGORITHM1_H

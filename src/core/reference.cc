@@ -1,0 +1,111 @@
+#include "src/core/reference.h"
+
+#include <map>
+#include <set>
+
+#include "src/support/diagnostics.h"
+
+namespace keq::core {
+
+bool
+labelEquality(const ExplicitTransitionSystem &t1, StateId s1,
+              const ExplicitTransitionSystem &t2, StateId s2)
+{
+    return t1.label(s1) == t2.label(s2);
+}
+
+PairRelation
+largestCutBisimulation(const ExplicitTransitionSystem &t1,
+                       const ExplicitTransitionSystem &t2,
+                       const Acceptability &acceptable, CheckMode mode)
+{
+    std::vector<StateId> cuts1 = t1.cutStates();
+    std::vector<StateId> cuts2 = t2.cutStates();
+
+    // Precompute cut-successor sets once per cut state.
+    std::map<StateId, std::vector<StateId>> succ1, succ2;
+    for (StateId c : cuts1) {
+        CutSuccessorResult r = cutSuccessors(t1, c);
+        KEQ_ASSERT(!r.cutViolation, "largestCutBisimulation: invalid cut");
+        succ1[c] = r.successors;
+    }
+    for (StateId c : cuts2) {
+        CutSuccessorResult r = cutSuccessors(t2, c);
+        KEQ_ASSERT(!r.cutViolation, "largestCutBisimulation: invalid cut");
+        succ2[c] = r.successors;
+    }
+
+    // Greatest fixpoint: start from all acceptable pairs, repeatedly drop
+    // pairs whose successor obligations fail against the current relation.
+    std::set<std::pair<StateId, StateId>> current;
+    for (StateId c1 : cuts1) {
+        for (StateId c2 : cuts2) {
+            if (acceptable(t1, c1, t2, c2))
+                current.insert({c1, c2});
+        }
+    }
+
+    auto related = [&current](StateId a, StateId b) {
+        return current.count({a, b}) != 0;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto it = current.begin(); it != current.end();) {
+            auto [c1, c2] = *it;
+            bool ok = true;
+            for (StateId n1 : succ1[c1]) {
+                bool matched = false;
+                for (StateId n2 : succ2[c2]) {
+                    if (related(n1, n2)) {
+                        matched = true;
+                        break;
+                    }
+                }
+                if (!matched) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok && mode == CheckMode::Bisimulation) {
+                for (StateId n2 : succ2[c2]) {
+                    bool matched = false;
+                    for (StateId n1 : succ1[c1]) {
+                        if (related(n1, n2)) {
+                            matched = true;
+                            break;
+                        }
+                    }
+                    if (!matched) {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if (!ok) {
+                it = current.erase(it);
+                changed = true;
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    PairRelation relation;
+    for (const auto &[c1, c2] : current)
+        relation.add(c1, c2);
+    return relation;
+}
+
+bool
+cutBisimilar(const ExplicitTransitionSystem &t1,
+             const ExplicitTransitionSystem &t2,
+             const Acceptability &acceptable, CheckMode mode)
+{
+    PairRelation largest =
+        largestCutBisimulation(t1, t2, acceptable, mode);
+    return largest.contains(t1.initial(), t2.initial());
+}
+
+} // namespace keq::core

@@ -1,0 +1,56 @@
+#ifndef KEQ_CORE_REFERENCE_H
+#define KEQ_CORE_REFERENCE_H
+
+/**
+ * @file
+ * Reference decision procedures for cut-bisimilarity on finite systems.
+ *
+ * These compute the *largest* cut-(bi)simulation contained in a given
+ * acceptability relation by greatest-fixpoint iteration (Definition 7.8:
+ * the union of all cut-bisimulations within A is itself one, so the
+ * greatest fixpoint is well defined). They exist to property-test
+ * Algorithm 1 — any relation Algorithm 1 accepts must be contained in the
+ * largest one, and the systems are cut-bisimilar w.r.t. A iff the largest
+ * relation contains the initial pair.
+ */
+
+#include <functional>
+
+#include "src/core/algorithm1.h"
+#include "src/core/transition_system.h"
+
+namespace keq::core {
+
+/** Acceptability predicate over concrete state pairs (Definition 7.8). */
+using Acceptability = std::function<bool(const ExplicitTransitionSystem &,
+                                         StateId,
+                                         const ExplicitTransitionSystem &,
+                                         StateId)>;
+
+/** Acceptability requiring equal state labels. */
+bool labelEquality(const ExplicitTransitionSystem &t1, StateId s1,
+                   const ExplicitTransitionSystem &t2, StateId s2);
+
+/**
+ * Computes the largest cut-bisimulation (or cut-simulation) between the
+ * cut states of @p t1 and @p t2 contained in @p acceptable.
+ *
+ * Precondition: both systems' cut sets validate (Definition 7.1).
+ */
+PairRelation largestCutBisimulation(const ExplicitTransitionSystem &t1,
+                                    const ExplicitTransitionSystem &t2,
+                                    const Acceptability &acceptable,
+                                    CheckMode mode = CheckMode::Bisimulation);
+
+/**
+ * Decides T1 ~_A T2 (or T1 <=_A T2 in Simulation mode): true iff the
+ * largest relation contains (xi1, xi2).
+ */
+bool cutBisimilar(const ExplicitTransitionSystem &t1,
+                  const ExplicitTransitionSystem &t2,
+                  const Acceptability &acceptable,
+                  CheckMode mode = CheckMode::Bisimulation);
+
+} // namespace keq::core
+
+#endif // KEQ_CORE_REFERENCE_H

@@ -1,0 +1,151 @@
+#include "src/core/transition_system.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/support/diagnostics.h"
+
+namespace keq::core {
+
+StateId
+ExplicitTransitionSystem::addState(std::string label, bool is_cut)
+{
+    StateId id = static_cast<StateId>(successors_.size());
+    successors_.emplace_back();
+    labels_.push_back(std::move(label));
+    cut_.push_back(is_cut);
+    return id;
+}
+
+void
+ExplicitTransitionSystem::addTransition(StateId from, StateId to)
+{
+    KEQ_ASSERT(from < numStates() && to < numStates(),
+               "addTransition: state out of range");
+    std::vector<StateId> &succs = successors_[from];
+    if (std::find(succs.begin(), succs.end(), to) == succs.end())
+        succs.push_back(to);
+}
+
+void
+ExplicitTransitionSystem::setInitial(StateId state)
+{
+    KEQ_ASSERT(state < numStates(), "setInitial: state out of range");
+    initial_ = state;
+}
+
+void
+ExplicitTransitionSystem::setCut(StateId state, bool is_cut)
+{
+    KEQ_ASSERT(state < numStates(), "setCut: state out of range");
+    cut_[state] = is_cut;
+}
+
+size_t
+ExplicitTransitionSystem::numTransitions() const
+{
+    size_t count = 0;
+    for (const auto &succs : successors_)
+        count += succs.size();
+    return count;
+}
+
+std::vector<StateId>
+ExplicitTransitionSystem::cutStates() const
+{
+    std::vector<StateId> states;
+    for (StateId s = 0; s < numStates(); ++s) {
+        if (cut_[s])
+            states.push_back(s);
+    }
+    return states;
+}
+
+ExplicitTransitionSystem::CutValidation
+ExplicitTransitionSystem::validateCut() const
+{
+    if (numStates() == 0)
+        return {false, "empty transition system"};
+    if (!cut_[initial_])
+        return {false, "initial state is not a cut state"};
+    for (StateId s = 0; s < numStates(); ++s) {
+        if (!cut_[s])
+            continue;
+        CutSuccessorResult result = cutSuccessors(*this, s);
+        if (result.cutViolation) {
+            return {false, "cut property violated below cut state " +
+                               std::to_string(s)};
+        }
+    }
+    return {true, ""};
+}
+
+CutSuccessorResult
+cutSuccessors(const ExplicitTransitionSystem &ts, StateId state)
+{
+    // Algorithm 1, next_i: worklist of states reached via non-cut states.
+    // We additionally track visited states so the walk terminates even if
+    // the cut property is violated (the paper's algorithm would diverge on
+    // a non-cut cycle); violations are detected and reported afterwards.
+    CutSuccessorResult result;
+    std::vector<bool> enqueued(ts.numStates(), false);
+    std::vector<bool> emitted(ts.numStates(), false);
+    std::deque<StateId> worklist{state};
+    std::vector<StateId> visited_non_cut;
+
+    while (!worklist.empty()) {
+        StateId n = worklist.front();
+        worklist.pop_front();
+        const std::vector<StateId> &succs = ts.successors(n);
+        if (succs.empty() && !ts.isCut(n)) {
+            // A complete trace terminates outside the cut: Definition
+            // 2.1(b) is violated.
+            result.cutViolation = true;
+        }
+        for (StateId next : succs) {
+            if (ts.isCut(next)) {
+                if (!emitted[next]) {
+                    emitted[next] = true;
+                    result.successors.push_back(next);
+                }
+            } else if (!enqueued[next]) {
+                enqueued[next] = true;
+                visited_non_cut.push_back(next);
+                worklist.push_back(next);
+            }
+        }
+    }
+
+    // An infinite execution avoiding the cut exists iff the subgraph
+    // induced by the reachable non-cut states has a cycle. Detect with an
+    // iterative DFS using three colors (0 = white, 1 = on stack, 2 = done).
+    std::vector<uint8_t> color(ts.numStates(), 0);
+    for (StateId root : visited_non_cut) {
+        if (color[root] != 0)
+            continue;
+        std::vector<std::pair<StateId, size_t>> stack{{root, 0}};
+        color[root] = 1;
+        while (!stack.empty()) {
+            auto [node, index] = stack.back();
+            const std::vector<StateId> &succs = ts.successors(node);
+            if (index >= succs.size()) {
+                color[node] = 2;
+                stack.pop_back();
+                continue;
+            }
+            ++stack.back().second;
+            StateId next = succs[index];
+            if (ts.isCut(next) || !enqueued[next])
+                continue;
+            if (color[next] == 1) {
+                result.cutViolation = true;
+            } else if (color[next] == 0) {
+                color[next] = 1;
+                stack.emplace_back(next, size_t{0});
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace keq::core

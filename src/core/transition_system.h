@@ -1,0 +1,107 @@
+#ifndef KEQ_CORE_TRANSITION_SYSTEM_H
+#define KEQ_CORE_TRANSITION_SYSTEM_H
+
+/**
+ * @file
+ * Explicit (finite, concrete) cut transition systems.
+ *
+ * Direct implementation of Section 7 of the paper: a transition system
+ * T = (S, xi, ->) plus a distinguished cut set C, forming the cut
+ * transition system (S, xi, ->, C) of Definition 7.1. This concrete
+ * representation backs the verbatim Algorithm 1 (src/core/algorithm1.h),
+ * the reference fixpoint procedure used in property tests, and the toy
+ * language examples. The production checker (src/keq) runs the *symbolic*
+ * variant over language semantics instead.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace keq::core {
+
+/** Dense state identifier within one ExplicitTransitionSystem. */
+using StateId = uint32_t;
+
+/**
+ * A finite transition system with a designated initial state and cut set.
+ *
+ * States carry a free-form label used by acceptability relations in tests
+ * and examples (e.g. the observable portion of the state).
+ */
+class ExplicitTransitionSystem
+{
+  public:
+    /** Adds a state; returns its id. */
+    StateId addState(std::string label = "", bool is_cut = false);
+
+    /** Adds a transition @p from -> @p to. Parallel edges are deduped. */
+    void addTransition(StateId from, StateId to);
+
+    void setInitial(StateId state);
+    void setCut(StateId state, bool is_cut);
+
+    size_t numStates() const { return successors_.size(); }
+    size_t numTransitions() const;
+    StateId initial() const { return initial_; }
+    bool isCut(StateId state) const { return cut_[state]; }
+    const std::string &label(StateId state) const { return labels_[state]; }
+    const std::vector<StateId> &
+    successors(StateId state) const
+    {
+        return successors_[state];
+    }
+
+    /** All states currently in the cut set. */
+    std::vector<StateId> cutStates() const;
+
+    /** Result of checking Definition 7.1 on this system. */
+    struct CutValidation
+    {
+        bool valid = true;
+        std::string reason;
+    };
+
+    /**
+     * Checks that the cut set is a cut for the system (Definition 7.1):
+     * the initial state is a cut state and, from every cut state, every
+     * complete trace revisits the cut (no terminal non-cut states, no
+     * cycles through non-cut states only).
+     *
+     * Convention: a cut state with no successors is final and satisfies
+     * the condition vacuously, matching Algorithm 1 where next_i of a
+     * final state is empty and check() succeeds trivially.
+     */
+    CutValidation validateCut() const;
+
+  private:
+    std::vector<std::vector<StateId>> successors_;
+    std::vector<std::string> labels_;
+    std::vector<bool> cut_;
+    StateId initial_ = 0;
+};
+
+/** Outcome of computing cut-successors (Definition 7.3 / Algorithm 1). */
+struct CutSuccessorResult
+{
+    /** The set { n' | n ~> n' }, deduplicated, in discovery order. */
+    std::vector<StateId> successors;
+    /**
+     * True when the walk found a terminal non-cut state or a cycle of
+     * non-cut states, i.e. the cut property is violated below @p state.
+     * (The paper's Algorithm 1 would diverge here; we detect and report.)
+     */
+    bool cutViolation = false;
+};
+
+/**
+ * Computes the cut-successors of @p state: the cut states reachable via a
+ * nonempty path whose intermediate states are all non-cut. This is the
+ * worklist loop of Algorithm 1, function next_i (lines 15-25).
+ */
+CutSuccessorResult cutSuccessors(const ExplicitTransitionSystem &ts,
+                                 StateId state);
+
+} // namespace keq::core
+
+#endif // KEQ_CORE_TRANSITION_SYSTEM_H

@@ -1,0 +1,417 @@
+#include "src/driver/corpus.h"
+
+#include <sstream>
+#include <vector>
+
+#include "src/support/rng.h"
+
+namespace keq::driver {
+
+using support::Rng;
+
+namespace {
+
+/** Incrementally builds one function's body text. */
+class FunctionBuilder
+{
+  public:
+    FunctionBuilder(Rng &rng, const CorpusOptions &options)
+        : rng_(rng), options_(options)
+    {
+        pool_ = {"%p0", "%p1", "%p2"};
+    }
+
+    std::string
+    fresh()
+    {
+        return "%t" + std::to_string(next_++);
+    }
+
+    void
+    line(const std::string &text)
+    {
+        body_ << "  " << text << "\n";
+    }
+
+    void
+    label(const std::string &name)
+    {
+        body_ << name << ":\n";
+    }
+
+    /** A random available i32 value or a small literal. */
+    std::string
+    value()
+    {
+        if (rng_.chancePercent(25))
+            return std::to_string(rng_.range(0, 99));
+        return pool_[rng_.below(pool_.size())];
+    }
+
+    /** A random available i32 value (never a literal). */
+    std::string
+    regValue()
+    {
+        return pool_[rng_.below(pool_.size())];
+    }
+
+    void addToPool(const std::string &name) { pool_.push_back(name); }
+
+    /** Emits one random i32 arithmetic/bitwise op; returns its name. */
+    std::string
+    arithOp()
+    {
+        static const char *const kOps[] = {"add", "sub", "mul", "and",
+                                           "or",  "xor", "shl", "lshr",
+                                           "ashr"};
+        std::string op = kOps[rng_.below(6 + (rng_.chancePercent(50)
+                                                  ? 3
+                                                  : 0))];
+        std::string result = fresh();
+        std::string flags;
+        if (op == "add" && rng_.chancePercent(options_.nswPercent))
+            flags = " nsw";
+        std::string rhs = (op == "shl" || op == "lshr" || op == "ashr")
+                              ? std::to_string(rng_.range(0, 7))
+                              : value();
+        line(result + " = " + op + flags + " i32 " + value() + ", " +
+             rhs);
+        addToPool(result);
+        return result;
+    }
+
+    /** Emits a chain of @p count random ops. */
+    void
+    arithChain(size_t count)
+    {
+        for (size_t i = 0; i < count; ++i) {
+            if (options_.includeDivision && rng_.chancePercent(6)) {
+                divisionOp();
+            } else if (rng_.chancePercent(8)) {
+                selectOp();
+            } else {
+                arithOp();
+            }
+        }
+    }
+
+    void
+    divisionOp()
+    {
+        static const char *const kOps[] = {"udiv", "sdiv", "urem",
+                                           "srem"};
+        std::string op = kOps[rng_.below(4)];
+        std::string result = fresh();
+        // Divisor: a nonzero literal most of the time, occasionally a
+        // register (exercising the UB error paths and the refinement
+        // fallback).
+        std::string divisor = rng_.chancePercent(70)
+                                  ? std::to_string(rng_.range(1, 31))
+                                  : regValue();
+        line(result + " = " + op + " i32 " + regValue() + ", " +
+             divisor);
+        addToPool(result);
+    }
+
+    void
+    selectOp()
+    {
+        std::string cmp = fresh();
+        line(cmp + " = icmp " + pred() + " i32 " + value() + ", " +
+             value());
+        std::string result = fresh();
+        line(result + " = select i1 " + cmp + ", i32 " + value() +
+             ", i32 " + value());
+        addToPool(result);
+    }
+
+    std::string
+    pred()
+    {
+        static const char *const kPreds[] = {"eq",  "ne",  "ult", "ule",
+                                             "ugt", "uge", "slt", "sle",
+                                             "sgt", "sge"};
+        return kPreds[rng_.below(10)];
+    }
+
+    std::string text() const { return body_.str(); }
+
+    /** Value-scope management: values defined in one branch arm must not
+     *  leak into the other (SSA dominance). */
+    size_t poolMark() const { return pool_.size(); }
+    void poolRestore(size_t mark) { pool_.resize(mark); }
+
+    Rng &rng_;
+    const CorpusOptions &options_;
+    std::ostringstream body_;
+    std::vector<std::string> pool_;
+    unsigned next_ = 0;
+};
+
+/** Straight-line function: a chain of arithmetic, one exit. */
+std::string
+genStraightLine(Rng &rng, const CorpusOptions &options,
+                const std::string &name, size_t ops)
+{
+    FunctionBuilder b(rng, options);
+    std::ostringstream out;
+    out << "define i32 " << name << "(i32 %p0, i32 %p1, i32 %p2) {\n";
+    b.label("entry");
+    b.arithChain(ops);
+    b.line("ret i32 " + b.regValue());
+    out << b.text() << "}\n";
+    return out.str();
+}
+
+/** Two-armed diamond with a phi merge. */
+std::string
+genDiamond(Rng &rng, const CorpusOptions &options,
+           const std::string &name, size_t ops)
+{
+    FunctionBuilder b(rng, options);
+    std::ostringstream out;
+    out << "define i32 " << name << "(i32 %p0, i32 %p1, i32 %p2) {\n";
+    b.label("entry");
+    b.arithChain(ops / 3 + 1);
+    std::string cmp = b.fresh();
+    b.line(cmp + " = icmp " + b.pred() + " i32 " + b.regValue() + ", " +
+           b.value());
+    b.line("br i1 " + cmp + ", label %then, label %else");
+    size_t entry_scope = b.poolMark();
+    b.label("then");
+    b.arithChain(ops / 3 + 1);
+    std::string then_val = b.regValue();
+    b.line("br label %join");
+    b.poolRestore(entry_scope);
+    b.label("else");
+    b.arithChain(ops / 3 + 1);
+    std::string else_val = b.regValue();
+    b.line("br label %join");
+    b.poolRestore(entry_scope);
+    b.label("join");
+    std::string merged = b.fresh();
+    b.line(merged + " = phi i32 [ " + then_val + ", %then ], [ " +
+           else_val + ", %else ]");
+    b.addToPool(merged);
+    std::string result = b.fresh();
+    b.line(result + " = add i32 " + merged + ", " + b.value());
+    out << b.text() << "  ret i32 " << result << "\n}\n";
+    return out.str();
+}
+
+/** Counted loop with accumulators (the Figure 1 shape). */
+std::string
+genLoop(Rng &rng, const CorpusOptions &options, const std::string &name,
+        size_t body_ops, bool with_memory)
+{
+    FunctionBuilder b(rng, options);
+    std::ostringstream out;
+    out << "define i32 " << name << "(i32 %p0, i32 %p1, i32 %p2) {\n";
+    b.label("entry");
+    b.arithChain(2);
+    std::string seed_acc = b.regValue();
+    b.line("br label %head");
+
+    b.label("head");
+    b.line("%i = phi i32 [ 0, %entry ], [ %inext, %body ]");
+    b.line("%acc = phi i32 [ " + seed_acc +
+           ", %entry ], [ %accnext, %body ]");
+    std::string bound =
+        rng.chancePercent(60) ? "%p2" : std::to_string(rng.range(1, 40));
+    b.line("%cond = icmp ult i32 %i, " + bound);
+    b.line("br i1 %cond, label %body, label %exit");
+
+    b.label("body");
+    b.addToPool("%i");
+    b.addToPool("%acc");
+    if (with_memory) {
+        b.line("%idx = zext i32 %i to i64");
+        std::string masked = b.fresh();
+        // Keep indices in-bounds for the 64-byte buffer.
+        b.line(masked + " = and i64 %idx, 63");
+        std::string ptr = b.fresh();
+        b.line(ptr + " = getelementptr [64 x i8], [64 x i8]* @buf0, "
+                     "i64 0, i64 " +
+               masked);
+        std::string byte = b.fresh();
+        b.line(byte + " = load i8, i8* " + ptr);
+        std::string wide = b.fresh();
+        b.line(wide + " = zext i8 " + byte + " to i32");
+        b.addToPool(wide);
+        if (rng.chancePercent(50)) {
+            std::string narrowed = b.fresh();
+            b.line(narrowed + " = trunc i32 %acc to i8");
+            b.line("store i8 " + narrowed + ", i8* " + ptr);
+        }
+    }
+    b.arithChain(body_ops);
+    b.line("%accnext = add i32 %acc, " + b.regValue());
+    b.line("%inext = add i32 %i, 1");
+    b.line("br label %head");
+
+    b.label("exit");
+    b.line("ret i32 %acc");
+    out << b.text() << "}\n";
+    return out.str();
+}
+
+/** Calls to external functions mixed with arithmetic. */
+std::string
+genCalls(Rng &rng, const CorpusOptions &options, const std::string &name,
+         size_t ops)
+{
+    FunctionBuilder b(rng, options);
+    std::ostringstream out;
+    out << "define i32 " << name << "(i32 %p0, i32 %p1, i32 %p2) {\n";
+    b.label("entry");
+    b.arithChain(ops / 2 + 1);
+    std::string r1 = b.fresh();
+    b.line(r1 + " = call i32 @ext0(i32 " + b.regValue() + ")");
+    b.addToPool(r1);
+    b.arithChain(ops / 2 + 1);
+    std::string r2 = b.fresh();
+    b.line(r2 + " = call i32 @ext1(i32 " + b.regValue() + ", i32 " + r1 +
+           ")");
+    b.addToPool(r2);
+    if (rng.chancePercent(50))
+        b.line("call void @sink(i32 " + b.regValue() + ")");
+    std::string result = b.fresh();
+    b.line(result + " = add i32 " + r1 + ", " + r2);
+    out << b.text() << "  ret i32 " << result << "\n}\n";
+    return out.str();
+}
+
+/** Stack locals through alloca + load/store. */
+std::string
+genLocals(Rng &rng, const CorpusOptions &options, const std::string &name,
+          size_t ops)
+{
+    FunctionBuilder b(rng, options);
+    std::ostringstream out;
+    out << "define i32 " << name << "(i32 %p0, i32 %p1, i32 %p2) {\n";
+    b.label("entry");
+    b.line("%slot = alloca i32");
+    b.line("store i32 %p0, i32* %slot");
+    b.arithChain(ops);
+    b.line("store i32 " + b.regValue() + ", i32* %slot");
+    b.line("%ld = load i32, i32* %slot");
+    b.addToPool("%ld");
+    std::string result = b.fresh();
+    b.line(result + " = xor i32 %ld, " + b.value());
+    out << b.text() << "  ret i32 " << result << "\n}\n";
+    return out.str();
+}
+
+/** Global word traffic (load-modify-store on i32/i64 globals). */
+std::string
+genGlobals(Rng &rng, const CorpusOptions &options, const std::string &name,
+           size_t ops)
+{
+    FunctionBuilder b(rng, options);
+    std::ostringstream out;
+    out << "define i32 " << name << "(i32 %p0, i32 %p1, i32 %p2) {\n";
+    b.label("entry");
+    b.line("%w = load i32, i32* @word0");
+    b.addToPool("%w");
+    b.arithChain(ops);
+    b.line("store i32 " + b.regValue() + ", i32* @word0");
+    std::string result = b.fresh();
+    b.line(result + " = add i32 %w, " + b.regValue());
+    out << b.text() << "  ret i32 " << result << "\n}\n";
+    return out.str();
+}
+
+/** A switch over a computed selector with three cases plus default. */
+std::string
+genSwitch(Rng &rng, const CorpusOptions &options, const std::string &name,
+          size_t ops)
+{
+    FunctionBuilder b(rng, options);
+    std::ostringstream out;
+    out << "define i32 " << name << "(i32 %p0, i32 %p1, i32 %p2) {\n";
+    b.label("entry");
+    b.arithChain(ops / 2 + 1);
+    std::string selector = b.fresh();
+    b.line(selector + " = and i32 " + b.regValue() + ", 7");
+    b.line("switch i32 " + selector + ", label %dflt [");
+    b.line("  i32 0, label %c0");
+    b.line("  i32 3, label %c1");
+    b.line("  i32 5, label %c2");
+    b.line("]");
+    size_t scope = b.poolMark();
+    b.label("c0");
+    b.arithChain(2);
+    std::string v0 = b.regValue();
+    b.line("br label %join");
+    b.poolRestore(scope);
+    b.label("c1");
+    b.arithChain(2);
+    std::string v1 = b.regValue();
+    b.line("br label %join");
+    b.poolRestore(scope);
+    b.label("c2");
+    b.arithChain(2);
+    std::string v2 = b.regValue();
+    b.line("br label %join");
+    b.poolRestore(scope);
+    b.label("dflt");
+    std::string v3 = b.regValue();
+    b.line("br label %join");
+    b.label("join");
+    std::string merged = b.fresh();
+    b.line(merged + " = phi i32 [ " + v0 + ", %c0 ], [ " + v1 +
+           ", %c1 ], [ " + v2 + ", %c2 ], [ " + v3 + ", %dflt ]");
+    out << b.text() << "  ret i32 " << merged << "\n}\n";
+    return out.str();
+}
+
+} // namespace
+
+std::string
+generateCorpusSource(const CorpusOptions &options)
+{
+    Rng rng(options.seed);
+    std::ostringstream out;
+    out << "; Synthetic GCC-shaped corpus, seed "
+        << options.seed << "\n";
+    out << "@buf0 = external global [64 x i8]\n";
+    out << "@word0 = external global i32\n";
+    out << "@word1 = external global i64\n";
+    out << "declare i32 @ext0(i32)\n";
+    out << "declare i32 @ext1(i32, i32)\n";
+    out << "declare void @sink(i32)\n\n";
+
+    for (size_t i = 0; i < options.functionCount; ++i) {
+        std::string name = "@fn" + std::to_string(i);
+        // Size distribution: mostly small, occasional large bodies
+        // (log-ish tail like the paper's Figure 7 right panel).
+        size_t ops = rng.range(2, 12);
+        if (rng.chancePercent(25))
+            ops = rng.range(10, 40) * options.sizeScale;
+        if (rng.chancePercent(5))
+            ops = rng.range(40, 120) * options.sizeScale;
+
+        unsigned which = static_cast<unsigned>(rng.below(100));
+        std::string fn;
+        if (options.includeLoops && which < 22) {
+            fn = genLoop(rng, options, name, rng.range(1, 5),
+                         options.includeMemory && rng.chancePercent(50));
+        } else if (options.includeCalls && which < 38) {
+            fn = genCalls(rng, options, name, ops);
+        } else if (options.includeMemory && which < 50) {
+            fn = rng.chancePercent(50)
+                     ? genLocals(rng, options, name, ops)
+                     : genGlobals(rng, options, name, ops);
+        } else if (which < 60) {
+            fn = genSwitch(rng, options, name, ops);
+        } else if (which < 75) {
+            fn = genDiamond(rng, options, name, ops);
+        } else {
+            fn = genStraightLine(rng, options, name, ops);
+        }
+        out << fn << "\n";
+    }
+    return out.str();
+}
+
+} // namespace keq::driver

@@ -1,0 +1,44 @@
+#ifndef KEQ_DRIVER_CORPUS_H
+#define KEQ_DRIVER_CORPUS_H
+
+/**
+ * @file
+ * Deterministic synthetic workload generator (the SPEC 2006 GCC stand-in).
+ *
+ * The paper evaluates on 4732 C functions from GCC compiled at -O0
+ * (Section 5.1). That source corpus is not redistributable here, so the
+ * evaluation harness generates a corpus of LLVM IR functions with a
+ * comparable *shape* distribution: mostly small straight-line and
+ * single-loop functions, a long tail of larger functions mixing loops,
+ * memory traffic through globals and allocas, calls, comparisons,
+ * divisions and selects. Generation is deterministic in the seed, so
+ * every benchmark run sees the identical corpus.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace keq::driver {
+
+/** Corpus shape knobs. */
+struct CorpusOptions
+{
+    uint64_t seed = 0x5eed;
+    size_t functionCount = 200;
+    bool includeLoops = true;
+    bool includeMemory = true;
+    bool includeCalls = true;
+    bool includeDivision = true;
+    /** Fraction (percent) of signed adds carrying the nsw UB flag. */
+    unsigned nswPercent = 25;
+    /** Scale factor for the size tail (1 = paper-like shape, scaled). */
+    unsigned sizeScale = 1;
+};
+
+/** Generates a module of @p options.functionCount functions as LLVM IR
+ *  assembly text (parse with llvmir::parseModule). */
+std::string generateCorpusSource(const CorpusOptions &options);
+
+} // namespace keq::driver
+
+#endif // KEQ_DRIVER_CORPUS_H

@@ -1,0 +1,232 @@
+#include "src/driver/pipeline.h"
+
+#include <sstream>
+
+#include "src/llvmir/layout_builder.h"
+#include "src/llvmir/parser.h"
+#include "src/llvmir/symbolic_semantics.h"
+#include "src/llvmir/verifier.h"
+#include "src/memory/layout.h"
+#include "src/smt/term_factory.h"
+#include "src/smt/z3_solver.h"
+#include "src/support/stopwatch.h"
+#include "src/regalloc/regalloc.h"
+#include "src/vcgen/regalloc_vcgen.h"
+#include "src/vx86/symbolic_semantics.h"
+
+namespace keq::driver {
+
+const char *
+outcomeName(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::Succeeded: return "Succeeded";
+      case Outcome::Timeout: return "Failed due to timeout";
+      case Outcome::OutOfMemory: return "Failed due to out-of-memory";
+      case Outcome::Other: return "Other";
+      case Outcome::Unsupported: return "Unsupported";
+    }
+    return "?";
+}
+
+size_t
+ModuleReport::countOutcome(Outcome outcome) const
+{
+    size_t count = 0;
+    for (const FunctionReport &report : functions) {
+        if (report.outcome == outcome)
+            ++count;
+    }
+    return count;
+}
+
+std::string
+ModuleReport::renderTable() const
+{
+    size_t unsupported = countOutcome(Outcome::Unsupported);
+    size_t total = functions.size() - unsupported;
+    std::ostringstream os;
+    os << "Result                       | #Functions\n";
+    os << "-----------------------------+-----------\n";
+    auto row = [&](Outcome outcome) {
+        os << outcomeName(outcome);
+        for (size_t i = std::string(outcomeName(outcome)).size(); i < 29;
+             ++i) {
+            os << ' ';
+        }
+        os << "| " << countOutcome(outcome) << "\n";
+    };
+    row(Outcome::Succeeded);
+    row(Outcome::Timeout);
+    row(Outcome::OutOfMemory);
+    row(Outcome::Other);
+    os << "Total                        | " << total << "\n";
+    if (unsupported > 0) {
+        os << "(excluded: " << unsupported
+           << " functions outside the supported fragment)\n";
+    }
+    return os.str();
+}
+
+FunctionReport
+validateFunction(const llvmir::Module &module, const llvmir::Function &fn,
+                 const PipelineOptions &options)
+{
+    FunctionReport report;
+    report.function = fn.name;
+    report.llvmInstructions = fn.instructionCount();
+    support::Stopwatch watch;
+
+    try {
+        // 1. Instruction Selection with hint generation.
+        isel::FunctionHints hints;
+        vx86::MFunction mfn =
+            isel::lowerFunction(module, fn, options.isel, hints);
+        report.x86Instructions = mfn.instructionCount();
+
+        // 2. Verification condition generation.
+        vcgen::VcResult vc =
+            vcgen::generateSyncPoints(fn, mfn, hints, options.vc);
+        report.syncPointCount = vc.points.points.size();
+        report.specTextSize = vc.points.specTextSize();
+        if (options.specSizeBudget > 0 &&
+            report.specTextSize > options.specSizeBudget) {
+            report.outcome = Outcome::OutOfMemory;
+            report.detail = "sync-point specification exceeds the parse "
+                            "memory budget (" +
+                            std::to_string(report.specTextSize) +
+                            " chars)";
+            report.seconds = watch.seconds();
+            return report;
+        }
+
+        // 3. KEQ equivalence checking.
+        smt::TermFactory factory;
+        mem::MemoryLayout layout;
+        llvmir::populateLayout(module, layout);
+        llvmir::SymbolicSemantics sem_a(module, factory, layout);
+        vx86::MModule mmodule;
+        mmodule.functions.push_back(std::move(mfn));
+        vx86::SymbolicSemantics sem_b(mmodule, factory, layout);
+        smt::Z3Solver solver(factory);
+        sem::IselAcceptability acceptability;
+        checker::Checker checker(sem_a, sem_b, acceptability, solver,
+                             options.checker);
+        report.verdict = checker.check(fn.name, fn.name, vc.points);
+
+        switch (report.verdict.kind) {
+          case checker::VerdictKind::Equivalent:
+          case checker::VerdictKind::Refines:
+            report.outcome = Outcome::Succeeded;
+            break;
+          case checker::VerdictKind::Timeout:
+            report.outcome = Outcome::Timeout;
+            break;
+          case checker::VerdictKind::OutOfMemory:
+            report.outcome = Outcome::OutOfMemory;
+            break;
+          case checker::VerdictKind::NotValidated:
+            report.outcome = Outcome::Other;
+            break;
+        }
+        report.detail = report.verdict.reason;
+        if (!vc.adequate && report.outcome == Outcome::Other) {
+            report.detail +=
+                " [VC generator warnings: " +
+                std::to_string(vc.warnings.size()) + "]";
+        }
+    } catch (const support::Error &error) {
+        report.outcome = Outcome::Unsupported;
+        report.detail = error.what();
+    }
+
+    report.seconds = watch.seconds();
+    return report;
+}
+
+FunctionReport
+validateRegAlloc(const llvmir::Module &module, const llvmir::Function &fn,
+                 const PipelineOptions &options)
+{
+    FunctionReport report;
+    report.function = fn.name;
+    report.llvmInstructions = fn.instructionCount();
+    support::Stopwatch watch;
+
+    try {
+        isel::FunctionHints hints;
+        vx86::MFunction pre =
+            isel::lowerFunction(module, fn, options.isel, hints);
+        regalloc::AllocationResult allocation =
+            regalloc::allocateRegisters(pre);
+        report.x86Instructions = allocation.fn.instructionCount();
+
+        vcgen::VcResult vc =
+            vcgen::generateRegAllocSyncPoints(pre, allocation);
+        report.syncPointCount = vc.points.points.size();
+        report.specTextSize = vc.points.specTextSize();
+
+        smt::TermFactory factory;
+        mem::MemoryLayout layout;
+        llvmir::populateLayout(module, layout);
+        vx86::MModule pre_module;
+        pre_module.functions.push_back(std::move(pre));
+        vx86::MModule post_module;
+        post_module.functions.push_back(std::move(allocation.fn));
+        vx86::SymbolicSemantics sem_a(pre_module, factory, layout);
+        vx86::SymbolicSemantics sem_b(post_module, factory, layout);
+        smt::Z3Solver solver(factory);
+        sem::IselAcceptability acceptability;
+        checker::Checker checker(sem_a, sem_b, acceptability, solver,
+                                 options.checker);
+        report.verdict = checker.check(fn.name, fn.name, vc.points);
+
+        switch (report.verdict.kind) {
+          case checker::VerdictKind::Equivalent:
+          case checker::VerdictKind::Refines:
+            report.outcome = Outcome::Succeeded;
+            break;
+          case checker::VerdictKind::Timeout:
+            report.outcome = Outcome::Timeout;
+            break;
+          case checker::VerdictKind::OutOfMemory:
+            report.outcome = Outcome::OutOfMemory;
+            break;
+          case checker::VerdictKind::NotValidated:
+            report.outcome = Outcome::Other;
+            break;
+        }
+        report.detail = report.verdict.reason;
+    } catch (const support::Error &error) {
+        report.outcome = Outcome::Unsupported;
+        report.detail = error.what();
+    }
+
+    report.seconds = watch.seconds();
+    return report;
+}
+
+ModuleReport
+validateModule(const llvmir::Module &module,
+               const PipelineOptions &options)
+{
+    ModuleReport report;
+    for (const llvmir::Function &fn : module.functions) {
+        if (fn.isDeclaration())
+            continue;
+        report.functions.push_back(
+            validateFunction(module, fn, options));
+    }
+    return report;
+}
+
+ModuleReport
+validateSource(const std::string &llvm_source,
+               const PipelineOptions &options)
+{
+    llvmir::Module module = llvmir::parseModule(llvm_source);
+    llvmir::verifyModuleOrThrow(module);
+    return validateModule(module, options);
+}
+
+} // namespace keq::driver

@@ -1,0 +1,110 @@
+#ifndef KEQ_DRIVER_PIPELINE_H
+#define KEQ_DRIVER_PIPELINE_H
+
+/**
+ * @file
+ * The end-to-end Translation Validation pipeline (paper Figure 5):
+ *
+ *   LLVM IR --ISel+hints--> Virtual x86
+ *        \                     /
+ *         --> VC generator -->  sync points --> KEQ --> verdict
+ *
+ * One Pipeline validates a module function by function (function
+ * granularity per Section 4.5), producing a report with the same outcome
+ * categories as the paper's Figure 6: Succeeded / timeout / out-of-memory
+ * / other.
+ */
+
+#include <string>
+#include <vector>
+
+#include "src/isel/isel.h"
+#include "src/keq/checker.h"
+#include "src/llvmir/ir.h"
+#include "src/sem/sync_point.h"
+#include "src/vcgen/vcgen.h"
+#include "src/vx86/mir.h"
+
+namespace keq::driver {
+
+/** Figure 6 outcome categories (plus Unsupported, the paper's excluded
+ *  840 functions). */
+enum class Outcome : uint8_t {
+    Succeeded,
+    Timeout,
+    OutOfMemory,
+    Other,
+    Unsupported,
+};
+
+const char *outcomeName(Outcome outcome);
+
+/** Pipeline configuration. */
+struct PipelineOptions
+{
+    isel::IselOptions isel;
+    vcgen::VcOptions vc;
+    checker::CheckerConfig checker;
+    /**
+     * Cap (characters) on the textual sync-point specification; exceeding
+     * it aborts with OutOfMemory before checking, emulating the K
+     * parser's memory blow-up on large VC specs (Section 5.1).
+     * 0 = unlimited.
+     */
+    size_t specSizeBudget = 0;
+};
+
+/** Per-function validation report. */
+struct FunctionReport
+{
+    std::string function;
+    Outcome outcome = Outcome::Other;
+    checker::Verdict verdict;
+    std::string detail;
+    double seconds = 0.0;
+    size_t llvmInstructions = 0;
+    size_t x86Instructions = 0;
+    size_t syncPointCount = 0;
+    size_t specTextSize = 0;
+};
+
+/** Whole-module validation report (one Figure 6 table worth of data). */
+struct ModuleReport
+{
+    std::vector<FunctionReport> functions;
+
+    size_t countOutcome(Outcome outcome) const;
+    /** Figure 6-style table. */
+    std::string renderTable() const;
+};
+
+/** Validates every defined function of an LLVM module. */
+ModuleReport validateModule(const llvmir::Module &module,
+                            const PipelineOptions &options);
+
+/** Parses, verifies and validates LLVM assembly text. */
+ModuleReport validateSource(const std::string &llvm_source,
+                            const PipelineOptions &options);
+
+/**
+ * Validates a single function pair end-to-end; exposed for tests,
+ * examples, and the bug-study benches. The machine function is produced
+ * by ISel internally (with the configured bug, if any).
+ */
+FunctionReport validateFunction(const llvmir::Module &module,
+                                const llvmir::Function &fn,
+                                const PipelineOptions &options);
+
+/**
+ * Validates the *register allocation* of one function: lowers with ISel,
+ * allocates registers (src/regalloc), and runs the very same KEQ over
+ * the pre-RA/post-RA Virtual x86 pair — the paper's "ongoing work"
+ * experiment, with the allocator treated as a black box.
+ */
+FunctionReport validateRegAlloc(const llvmir::Module &module,
+                                const llvmir::Function &fn,
+                                const PipelineOptions &options);
+
+} // namespace keq::driver
+
+#endif // KEQ_DRIVER_PIPELINE_H

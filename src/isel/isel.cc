@@ -1,0 +1,1162 @@
+#include "src/isel/isel.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "src/support/diagnostics.h"
+
+namespace keq::isel {
+
+using llvmir::BasicBlock;
+using llvmir::Function;
+using llvmir::ICmpPred;
+using llvmir::Instruction;
+using llvmir::Opcode;
+using llvmir::Type;
+using llvmir::Value;
+using support::ApInt;
+using support::Error;
+using vx86::CondCode;
+using vx86::MAddress;
+using vx86::MBasicBlock;
+using vx86::MFunction;
+using vx86::MInst;
+using vx86::MModule;
+using vx86::MOpcode;
+using vx86::MOperand;
+
+namespace {
+
+/** Machine width of an LLVM type: i1 lives in an 8-bit register (GR8). */
+unsigned
+machineWidth(const Type *type)
+{
+    if (type->isInteger() && type->bitWidth() == 1)
+        return 8;
+    return type->valueBits();
+}
+
+CondCode
+condCodeFor(ICmpPred pred)
+{
+    switch (pred) {
+      case ICmpPred::Eq: return CondCode::E;
+      case ICmpPred::Ne: return CondCode::NE;
+      case ICmpPred::Ult: return CondCode::B;
+      case ICmpPred::Ule: return CondCode::BE;
+      case ICmpPred::Ugt: return CondCode::A;
+      case ICmpPred::Uge: return CondCode::AE;
+      case ICmpPred::Slt: return CondCode::L;
+      case ICmpPred::Sle: return CondCode::LE;
+      case ICmpPred::Sgt: return CondCode::G;
+      case ICmpPred::Sge: return CondCode::GE;
+    }
+    KEQ_ASSERT(false, "condCodeFor: bad predicate");
+    return CondCode::E;
+}
+
+/** SysV argument registers (canonical 64-bit names), in order. */
+const char *const kArgRegs[] = {"rdi", "rsi", "rdx", "rcx", "r8", "r9"};
+
+/** The per-function lowering engine. */
+class FunctionLowering
+{
+  public:
+    FunctionLowering(const llvmir::Module &module, const Function &fn,
+                     const IselOptions &options, FunctionHints &hints)
+        : module_(module), fn_(fn), options_(options), hints_(hints)
+    {}
+
+    MFunction
+    run()
+    {
+        mfn_.name = fn_.name;
+        mfn_.retWidth = fn_.returnType->isVoid()
+                            ? 0
+                            : machineWidth(fn_.returnType);
+
+        assignRegisters();
+        findFoldableCompares();
+
+        for (size_t i = 0; i < fn_.blocks.size(); ++i) {
+            MBasicBlock mblock;
+            mblock.name = ".LBB" + std::to_string(i);
+            hints_.blockMap[fn_.blocks[i].name] = mblock.name;
+            mfn_.blocks.push_back(std::move(mblock));
+        }
+
+        for (size_t i = 0; i < fn_.blocks.size(); ++i) {
+            current_ = &mfn_.blocks[i];
+            lowerBlock(fn_.blocks[i], i == 0);
+        }
+
+        // Phi-incoming constants were materialized lazily; insert the
+        // pending MOVri instructions in their predecessor blocks, before
+        // the trailing jump sequence.
+        flushPendingMaterializations();
+
+        if (options_.foldExtLoad)
+            foldExtLoads();
+        if (options_.mergeStores)
+            mergeStores();
+
+        return std::move(mfn_);
+    }
+
+  private:
+    // --- virtual register management --------------------------------------
+
+    MOperand
+    freshReg(unsigned width)
+    {
+        return MOperand::virtReg(nextVReg_++, width);
+    }
+
+    /** Pass 0: a register for every parameter and instruction result. */
+    void
+    assignRegisters()
+    {
+        for (const llvmir::Parameter &param : fn_.params) {
+            MOperand reg = freshReg(machineWidth(param.type));
+            valueReg_[param.name] = reg;
+            hints_.regMap[param.name] = reg.reg;
+        }
+        for (const BasicBlock &block : fn_.blocks) {
+            for (const Instruction &inst : block.insts) {
+                if (inst.result.empty())
+                    continue;
+                MOperand reg = freshReg(machineWidth(inst.type));
+                valueReg_[inst.result] = reg;
+                hints_.regMap[inst.result] = reg.reg;
+            }
+        }
+    }
+
+    /**
+     * Finds icmp instructions whose only use is the conditional branch
+     * terminating their own block; those fold into CMP + Jcc.
+     */
+    void
+    findFoldableCompares()
+    {
+        std::map<std::string, unsigned> use_counts;
+        auto count = [&](const Value &value) {
+            if (value.isVar())
+                ++use_counts[value.name];
+        };
+        for (const BasicBlock &block : fn_.blocks) {
+            for (const Instruction &inst : block.insts) {
+                for (const Value &operand : inst.operands)
+                    count(operand);
+                for (const llvmir::PhiIncoming &incoming : inst.incoming)
+                    count(incoming.value);
+            }
+        }
+        for (const BasicBlock &block : fn_.blocks) {
+            const Instruction &term = block.terminator();
+            if (term.op != Opcode::CondBr ||
+                !term.operands[0].isVar()) {
+                continue;
+            }
+            const std::string &cond = term.operands[0].name;
+            if (use_counts[cond] != 1)
+                continue;
+            for (const Instruction &inst : block.insts) {
+                if (inst.op == Opcode::ICmp && inst.result == cond) {
+                    foldedCompares_.insert(cond);
+                    break;
+                }
+            }
+        }
+    }
+
+    // --- emission helpers ----------------------------------------------------
+
+    void emit(MInst inst) { current_->insts.push_back(std::move(inst)); }
+
+    MInst
+    make(MOpcode op, unsigned width)
+    {
+        MInst inst;
+        inst.op = op;
+        inst.width = width;
+        return inst;
+    }
+
+    /** Immediate for an LLVM constant at its machine width. */
+    MOperand
+    immFor(const Value &value)
+    {
+        KEQ_ASSERT(value.isConst(), "immFor: not a constant");
+        unsigned width = machineWidth(value.type);
+        return MOperand::immediate(value.constant.zextTo(64).truncTo(
+            width >= value.constant.width() ? width
+                                            : value.constant.width()));
+    }
+
+    /**
+     * Materializes an LLVM value into a register, emitting MOVri for
+     * constants and LEA for globals.
+     */
+    MOperand
+    regFor(const Value &value)
+    {
+        switch (value.kind) {
+          case Value::Kind::Var: {
+            auto it = valueReg_.find(value.name);
+            KEQ_ASSERT(it != valueReg_.end(),
+                       "no register for " + value.name);
+            return it->second;
+          }
+          case Value::Kind::Const: {
+            MOperand reg = freshReg(machineWidth(value.type));
+            MInst inst = make(MOpcode::MOVri, reg.width);
+            inst.ops = {reg, immFor(value)};
+            emit(inst);
+            hints_.constRegs[reg.reg] =
+                value.constant.zextTo(64).truncTo(reg.width);
+            return reg;
+          }
+          case Value::Kind::Global: {
+            MOperand reg = freshReg(64);
+            MInst inst = make(MOpcode::LEA, 64);
+            inst.ops = {reg};
+            inst.addr.baseKind = MAddress::BaseKind::Global;
+            inst.addr.global = value.name;
+            emit(inst);
+            return reg;
+          }
+        }
+        KEQ_ASSERT(false, "regFor: bad value");
+        return {};
+    }
+
+    /** Register or immediate operand (for ri instruction forms). */
+    MOperand
+    regOrImm(const Value &value)
+    {
+        return value.isConst() ? immFor(value) : regFor(value);
+    }
+
+    /** Address for an LLVM pointer operand. */
+    MAddress
+    addressFor(const Value &pointer)
+    {
+        MAddress addr;
+        if (pointer.isGlobal()) {
+            addr.baseKind = MAddress::BaseKind::Global;
+            addr.global = pointer.name;
+        } else {
+            addr.baseKind = MAddress::BaseKind::Reg;
+            addr.baseReg = regFor(pointer);
+        }
+        return addr;
+    }
+
+    // --- per-instruction lowering ------------------------------------------------
+
+    void
+    lowerBlock(const BasicBlock &block, bool is_entry)
+    {
+        if (is_entry) {
+            // Receive arguments per the calling convention.
+            KEQ_ASSERT(fn_.params.size() <= 6,
+                       "more than 6 parameters unsupported");
+            for (size_t i = 0; i < fn_.params.size(); ++i) {
+                MOperand dst = valueReg_[fn_.params[i].name];
+                MInst copy = make(MOpcode::COPY, dst.width);
+                copy.ops = {dst,
+                            MOperand::physReg(kArgRegs[i], dst.width)};
+                emit(copy);
+            }
+        }
+        for (const Instruction &inst : block.insts)
+            lowerInst(block, inst);
+    }
+
+    void
+    lowerInst(const BasicBlock &block, const Instruction &inst)
+    {
+        switch (inst.op) {
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::Mul:
+          case Opcode::And:
+          case Opcode::Or:
+          case Opcode::Xor:
+          case Opcode::Shl:
+          case Opcode::LShr:
+          case Opcode::AShr:
+            lowerBinOp(inst);
+            return;
+          case Opcode::UDiv:
+          case Opcode::SDiv:
+          case Opcode::URem:
+          case Opcode::SRem:
+            lowerDivision(inst);
+            return;
+          case Opcode::ICmp:
+            lowerICmp(inst);
+            return;
+          case Opcode::ZExt:
+          case Opcode::SExt:
+          case Opcode::Trunc:
+          case Opcode::PtrToInt:
+          case Opcode::IntToPtr:
+          case Opcode::Bitcast:
+            lowerCast(inst);
+            return;
+          case Opcode::GetElementPtr:
+            lowerGep(inst);
+            return;
+          case Opcode::Load:
+            lowerLoad(inst);
+            return;
+          case Opcode::Store:
+            lowerStore(inst);
+            return;
+          case Opcode::Alloca:
+            lowerAlloca(inst);
+            return;
+          case Opcode::Phi:
+            lowerPhi(block, inst);
+            return;
+          case Opcode::Select:
+            lowerSelect(inst);
+            return;
+          case Opcode::Br: {
+            MInst jmp = make(MOpcode::JMP, 0);
+            jmp.target = hints_.blockMap[inst.target1];
+            emit(jmp);
+            return;
+          }
+          case Opcode::CondBr:
+            lowerCondBr(inst);
+            return;
+          case Opcode::Switch:
+            lowerSwitch(inst);
+            return;
+          case Opcode::Ret:
+            lowerRet(inst);
+            return;
+          case Opcode::Call:
+            lowerCall(inst);
+            return;
+          case Opcode::Unreachable:
+            emit(make(MOpcode::UD2, 0));
+            return;
+        }
+        KEQ_ASSERT(false, "lowerInst: unhandled opcode");
+    }
+
+    void
+    lowerBinOp(const Instruction &inst)
+    {
+        MOperand dst = valueReg_[inst.result];
+        MOperand lhs = regFor(inst.operands[0]);
+        bool rhs_const = inst.operands[1].isConst();
+        MOperand rhs = regOrImm(inst.operands[1]);
+        MOpcode op;
+        switch (inst.op) {
+          case Opcode::Add:
+            op = rhs_const ? MOpcode::ADDri : MOpcode::ADDrr;
+            break;
+          case Opcode::Sub:
+            op = rhs_const ? MOpcode::SUBri : MOpcode::SUBrr;
+            break;
+          case Opcode::Mul:
+            op = rhs_const ? MOpcode::IMULri : MOpcode::IMULrr;
+            break;
+          case Opcode::And:
+            op = rhs_const ? MOpcode::ANDri : MOpcode::ANDrr;
+            break;
+          case Opcode::Or:
+            op = rhs_const ? MOpcode::ORri : MOpcode::ORrr;
+            break;
+          case Opcode::Xor:
+            op = rhs_const ? MOpcode::XORri : MOpcode::XORrr;
+            break;
+          case Opcode::Shl:
+            op = rhs_const ? MOpcode::SHLri : MOpcode::SHLrr;
+            break;
+          case Opcode::LShr:
+            op = rhs_const ? MOpcode::SHRri : MOpcode::SHRrr;
+            break;
+          case Opcode::AShr:
+            op = rhs_const ? MOpcode::SARri : MOpcode::SARrr;
+            break;
+          default:
+            KEQ_ASSERT(false, "lowerBinOp: bad opcode");
+            return;
+        }
+        MInst minst = make(op, dst.width);
+        minst.ops = {dst, lhs, rhs};
+        emit(minst);
+    }
+
+    void
+    lowerDivision(const Instruction &inst)
+    {
+        unsigned width = machineWidth(inst.type);
+        if (width > 32) {
+            throw Error(fn_.name + ": 64-bit division is outside the "
+                                   "supported Virtual x86 fragment");
+        }
+        bool is_signed =
+            inst.op == Opcode::SDiv || inst.op == Opcode::SRem;
+        bool wants_remainder =
+            inst.op == Opcode::URem || inst.op == Opcode::SRem;
+
+        MOperand dividend = regFor(inst.operands[0]);
+        MOperand divisor = regFor(inst.operands[1]);
+
+        MInst to_ax = make(MOpcode::COPY, width);
+        to_ax.ops = {MOperand::physReg("rax", width), dividend};
+        emit(to_ax);
+        if (is_signed) {
+            emit(make(MOpcode::CDQ, width));
+        } else {
+            MInst zero = make(MOpcode::MOVri, width);
+            zero.ops = {MOperand::physReg("rdx", width),
+                        MOperand::immediate(ApInt(width, 0))};
+            emit(zero);
+        }
+        MInst div = make(is_signed ? MOpcode::IDIV : MOpcode::DIV, width);
+        div.ops = {divisor};
+        emit(div);
+
+        MOperand dst = valueReg_[inst.result];
+        MInst out = make(MOpcode::COPY, width);
+        out.ops = {dst, MOperand::physReg(
+                            wants_remainder ? "rdx" : "rax", width)};
+        emit(out);
+    }
+
+    void
+    lowerICmp(const Instruction &inst)
+    {
+        if (foldedCompares_.count(inst.result)) {
+            // Materialized at the branch; remember the comparison. The
+            // folded value never escapes the block, so it needs no
+            // machine register (and no hint entry).
+            foldedCmpInfo_[inst.result] = &inst;
+            hints_.regMap.erase(inst.result);
+            return;
+        }
+        emitCompare(inst);
+        MOperand dst = valueReg_[inst.result];
+        MInst set = make(MOpcode::SETcc, 8);
+        set.cc = condCodeFor(inst.pred);
+        set.ops = {dst};
+        emit(set);
+    }
+
+    /** Emits CMP for an icmp's operands (shared by SETcc and Jcc paths). */
+    void
+    emitCompare(const Instruction &icmp)
+    {
+        MOperand lhs = regFor(icmp.operands[0]);
+        bool rhs_const = icmp.operands[1].isConst();
+        MOperand rhs = regOrImm(icmp.operands[1]);
+        MInst cmp = make(rhs_const ? MOpcode::CMPri : MOpcode::CMPrr,
+                         lhs.width);
+        cmp.ops = {lhs, rhs};
+        emit(cmp);
+    }
+
+    void
+    lowerCast(const Instruction &inst)
+    {
+        MOperand dst = valueReg_[inst.result];
+        const Value &src_value = inst.operands[0];
+        unsigned src_width = src_value.isGlobal()
+                                 ? 64
+                                 : machineWidth(src_value.type);
+
+        if (inst.op == Opcode::SExt && src_value.type->isInteger() &&
+            src_value.type->bitWidth() == 1) {
+            throw Error(fn_.name + ": sext from i1 is outside the "
+                                   "supported fragment");
+        }
+
+        MOperand src = regFor(src_value);
+        if (dst.width == src_width) {
+            MInst copy = make(MOpcode::COPY, dst.width);
+            copy.ops = {dst, src};
+            emit(copy);
+            return;
+        }
+        if (dst.width < src_width) {
+            // Truncation: narrowing sub-register COPY.
+            MInst copy = make(MOpcode::COPY, dst.width);
+            copy.ops = {dst, src};
+            emit(copy);
+            return;
+        }
+        // Widening: zext (zero) or sext (sign).
+        bool sign = inst.op == Opcode::SExt;
+        MInst ext = make(sign ? MOpcode::MOVSXrr : MOpcode::MOVZXrr,
+                         src_width);
+        ext.ops = {dst, src};
+        emit(ext);
+    }
+
+    void
+    lowerGep(const Instruction &inst)
+    {
+        MOperand dst = valueReg_[inst.result];
+        // Accumulated address: optional dynamic base register, optional
+        // global symbol, constant displacement.
+        std::optional<MOperand> base;
+        std::string global;
+        int64_t disp = 0;
+
+        const Value &pointer = inst.operands[0];
+        if (pointer.isGlobal())
+            global = pointer.name;
+        else
+            base = regFor(pointer);
+
+        const Type *current = inst.sourceType;
+        for (size_t i = 1; i < inst.operands.size(); ++i) {
+            const Value &index = inst.operands[i];
+            uint64_t elem_size;
+            if (i == 1) {
+                elem_size = current->sizeInBytes();
+            } else if (current->isArray()) {
+                elem_size = current->elementType()->sizeInBytes();
+                current = current->elementType();
+            } else {
+                KEQ_ASSERT(current->isStruct(), "gep into scalar");
+                KEQ_ASSERT(index.isConst(),
+                           "struct gep index must be constant");
+                uint64_t field = index.constant.zext();
+                disp += static_cast<int64_t>(current->fieldOffset(
+                    static_cast<unsigned>(field)));
+                current = current->fields()[field];
+                continue;
+            }
+            if (index.isConst()) {
+                disp += index.constant.sext() *
+                        static_cast<int64_t>(elem_size);
+                continue;
+            }
+            // Dynamic index: widen to 64 bits, scale, add to the base.
+            MOperand idx = regFor(index);
+            MOperand wide = idx;
+            if (idx.width < 64) {
+                wide = freshReg(64);
+                MInst sx = make(MOpcode::MOVSXrr, idx.width);
+                sx.ops = {wide, idx};
+                emit(sx);
+            }
+            MOperand scaled = wide;
+            if (elem_size != 1) {
+                scaled = freshReg(64);
+                MInst mul = make(MOpcode::IMULri, 64);
+                mul.ops = {scaled, wide,
+                           MOperand::immediate(ApInt(64, elem_size))};
+                emit(mul);
+            }
+            if (!base.has_value() && !global.empty()) {
+                MOperand g = freshReg(64);
+                MInst lea = make(MOpcode::LEA, 64);
+                lea.ops = {g};
+                lea.addr.baseKind = MAddress::BaseKind::Global;
+                lea.addr.global = global;
+                emit(lea);
+                global.clear();
+                base = g;
+            }
+            if (base.has_value()) {
+                MOperand sum = freshReg(64);
+                MInst add = make(MOpcode::ADDrr, 64);
+                add.ops = {sum, *base, scaled};
+                emit(add);
+                base = sum;
+            } else {
+                base = scaled;
+            }
+        }
+
+        MInst lea = make(MOpcode::LEA, 64);
+        lea.ops = {dst};
+        if (!global.empty()) {
+            lea.addr.baseKind = MAddress::BaseKind::Global;
+            lea.addr.global = global;
+        } else if (base.has_value()) {
+            lea.addr.baseKind = MAddress::BaseKind::Reg;
+            lea.addr.baseReg = *base;
+        } else {
+            lea.addr.baseKind = MAddress::BaseKind::None;
+        }
+        lea.addr.disp = disp;
+        emit(lea);
+    }
+
+    void
+    lowerLoad(const Instruction &inst)
+    {
+        MOperand dst = valueReg_[inst.result];
+        unsigned mem_bits =
+            static_cast<unsigned>(inst.type->sizeInBytes() * 8);
+        MInst load = make(MOpcode::MOVrm, mem_bits);
+        load.ops = {dst};
+        load.addr = addressFor(inst.operands[0]);
+        emit(load);
+    }
+
+    void
+    lowerStore(const Instruction &inst)
+    {
+        const Value &value = inst.operands[0];
+        unsigned mem_bits =
+            static_cast<unsigned>(inst.type->sizeInBytes() * 8);
+        MInst store = make(value.isConst() ? MOpcode::MOVmi
+                                           : MOpcode::MOVmr,
+                           mem_bits);
+        if (value.isConst()) {
+            store.ops = {MOperand::immediate(
+                value.constant.zextTo(64).truncTo(mem_bits))};
+        } else {
+            MOperand reg = regFor(value);
+            // Register may be narrower than the memory width only for i1
+            // (8-bit register, 8-bit memory), so widths match here.
+            store.ops = {reg};
+        }
+        store.addr = addressFor(inst.operands[1]);
+        emit(store);
+    }
+
+    void
+    lowerAlloca(const Instruction &inst)
+    {
+        int frame_index = static_cast<int>(mfn_.frame.size());
+        mfn_.frame.push_back({fn_.name + "/" + inst.result,
+                              inst.sourceType->sizeInBytes()});
+        MOperand dst = valueReg_[inst.result];
+        MInst lea = make(MOpcode::LEA, 64);
+        lea.ops = {dst};
+        lea.addr.baseKind = MAddress::BaseKind::FrameIndex;
+        lea.addr.frameIndex = frame_index;
+        emit(lea);
+    }
+
+    void
+    lowerPhi(const BasicBlock &block, const Instruction &inst)
+    {
+        MOperand dst = valueReg_[inst.result];
+        MInst phi = make(MOpcode::PHI, dst.width);
+        phi.ops = {dst};
+        for (const llvmir::PhiIncoming &incoming : inst.incoming) {
+            MOperand value;
+            if (incoming.value.isVar()) {
+                value = valueReg_[incoming.value.name];
+            } else {
+                // Constants (and globals) must be materialized in the
+                // predecessor block; PHI operands are registers.
+                value = materializeInPred(incoming.block,
+                                          incoming.value, dst.width);
+            }
+            phi.incoming.emplace_back(value,
+                                      hints_.blockMap[incoming.block]);
+        }
+        (void)block;
+        emit(phi);
+    }
+
+    MOperand
+    materializeInPred(const std::string &pred_block, const Value &value,
+                      unsigned width)
+    {
+        MOperand reg = freshReg(value.isGlobal() ? 64 : width);
+        pendingMaterializations_.push_back({pred_block, value, reg});
+        if (value.isConst()) {
+            hints_.constRegs[reg.reg] =
+                value.constant.zextTo(64).truncTo(width);
+        }
+        return reg;
+    }
+
+    void
+    flushPendingMaterializations()
+    {
+        for (const Pending &pending : pendingMaterializations_) {
+            MBasicBlock *mblock = nullptr;
+            for (size_t i = 0; i < fn_.blocks.size(); ++i) {
+                if (fn_.blocks[i].name == pending.block)
+                    mblock = &mfn_.blocks[i];
+            }
+            KEQ_ASSERT(mblock != nullptr, "missing predecessor block");
+            // Insert before the trailing CMP/JCC/JMP/RET run so flags and
+            // control flow stay adjacent.
+            size_t insert_at = mblock->insts.size();
+            while (insert_at > 0) {
+                MOpcode op = mblock->insts[insert_at - 1].op;
+                if (op == MOpcode::JMP || op == MOpcode::JCC ||
+                    op == MOpcode::RET || op == MOpcode::CMPrr ||
+                    op == MOpcode::CMPri || op == MOpcode::TESTrr ||
+                    op == MOpcode::UD2) {
+                    --insert_at;
+                } else {
+                    break;
+                }
+            }
+            MInst inst;
+            if (pending.value.isConst()) {
+                inst = make(MOpcode::MOVri, pending.reg.width);
+                inst.ops = {pending.reg,
+                            MOperand::immediate(
+                                pending.value.constant.zextTo(64)
+                                    .truncTo(pending.reg.width))};
+            } else {
+                KEQ_ASSERT(pending.value.isGlobal(),
+                           "unexpected pending materialization");
+                inst = make(MOpcode::LEA, 64);
+                inst.ops = {pending.reg};
+                inst.addr.baseKind = MAddress::BaseKind::Global;
+                inst.addr.global = pending.value.name;
+            }
+            mblock->insts.insert(
+                mblock->insts.begin() + static_cast<long>(insert_at),
+                std::move(inst));
+        }
+    }
+
+    void
+    lowerSelect(const Instruction &inst)
+    {
+        // Branchless select: mask = -zext(cond); r = (a & mask) | (b & ~mask).
+        MOperand dst = valueReg_[inst.result];
+        unsigned width = dst.width;
+        MOperand cond = regFor(inst.operands[0]);
+        MOperand a = regFor(inst.operands[1]);
+        MOperand b = regFor(inst.operands[2]);
+
+        MOperand wide = cond;
+        if (cond.width != width) {
+            wide = freshReg(width);
+            MInst zx = make(MOpcode::MOVZXrr, cond.width);
+            zx.ops = {wide, cond};
+            emit(zx);
+        }
+        MOperand mask = freshReg(width);
+        MInst neg = make(MOpcode::NEGr, width);
+        neg.ops = {mask, wide};
+        emit(neg);
+        MOperand inv = freshReg(width);
+        MInst not_i = make(MOpcode::NOTr, width);
+        not_i.ops = {inv, mask};
+        emit(not_i);
+        MOperand lhs = freshReg(width);
+        MInst and_a = make(MOpcode::ANDrr, width);
+        and_a.ops = {lhs, a, mask};
+        emit(and_a);
+        MOperand rhs = freshReg(width);
+        MInst and_b = make(MOpcode::ANDrr, width);
+        and_b.ops = {rhs, b, inv};
+        emit(and_b);
+        MInst or_i = make(MOpcode::ORrr, width);
+        or_i.ops = {dst, lhs, rhs};
+        emit(or_i);
+    }
+
+    void
+    lowerCondBr(const Instruction &inst)
+    {
+        const Value &cond = inst.operands[0];
+        CondCode cc = CondCode::NE;
+        if (cond.isVar() && foldedCompares_.count(cond.name)) {
+            const Instruction *icmp = foldedCmpInfo_[cond.name];
+            emitCompare(*icmp);
+            cc = condCodeFor(icmp->pred);
+        } else {
+            MOperand reg = regFor(cond);
+            MInst test = make(MOpcode::TESTrr, reg.width);
+            test.ops = {reg, reg};
+            emit(test);
+            cc = CondCode::NE;
+        }
+        MInst jcc = make(MOpcode::JCC, 0);
+        jcc.cc = cc;
+        jcc.target = hints_.blockMap[inst.target1];
+        emit(jcc);
+        MInst jmp = make(MOpcode::JMP, 0);
+        jmp.target = hints_.blockMap[inst.target2];
+        emit(jmp);
+    }
+
+    void
+    lowerSwitch(const Instruction &inst)
+    {
+        // Sequential compare-and-branch chain (our Virtual x86, like the
+        // paper's, has no jump tables).
+        MOperand selector = regFor(inst.operands[0]);
+        for (const auto &[value, target] : inst.switchCases) {
+            MInst cmp = make(MOpcode::CMPri, selector.width);
+            cmp.ops = {selector,
+                       MOperand::immediate(
+                           value.zextTo(64).truncTo(selector.width))};
+            emit(cmp);
+            MInst je = make(MOpcode::JCC, 0);
+            je.cc = CondCode::E;
+            je.target = hints_.blockMap[target];
+            emit(je);
+        }
+        MInst jmp = make(MOpcode::JMP, 0);
+        jmp.target = hints_.blockMap[inst.target1];
+        emit(jmp);
+    }
+
+    void
+    lowerRet(const Instruction &inst)
+    {
+        if (!inst.operands.empty()) {
+            unsigned width = mfn_.retWidth;
+            const Value &value = inst.operands[0];
+            if (value.isConst()) {
+                MInst mov = make(MOpcode::MOVri, width);
+                mov.ops = {MOperand::physReg("rax", width),
+                           MOperand::immediate(
+                               value.constant.zextTo(64).truncTo(width))};
+                emit(mov);
+            } else {
+                MOperand src = regFor(value);
+                MInst copy = make(MOpcode::COPY, width);
+                copy.ops = {MOperand::physReg("rax", width), src};
+                emit(copy);
+            }
+        }
+        emit(make(MOpcode::RET, 0));
+    }
+
+    void
+    lowerCall(const Instruction &inst)
+    {
+        KEQ_ASSERT(inst.operands.size() <= 6,
+                   "more than 6 call arguments unsupported");
+        MInst call = make(MOpcode::CALL, 0);
+        for (size_t i = 0; i < inst.operands.size(); ++i) {
+            const Value &arg = inst.operands[i];
+            unsigned width = arg.isGlobal() ? 64
+                                            : machineWidth(arg.type);
+            MOperand phys = MOperand::physReg(kArgRegs[i], width);
+            if (arg.isConst()) {
+                MInst mov = make(MOpcode::MOVri, width);
+                mov.ops = {phys, MOperand::immediate(
+                                     arg.constant.zextTo(64).truncTo(
+                                         width))};
+                emit(mov);
+            } else {
+                MOperand src = regFor(arg);
+                MInst copy = make(MOpcode::COPY, width);
+                copy.ops = {phys, src};
+                emit(copy);
+            }
+            call.callArgs.push_back(phys);
+        }
+        call.target = inst.callee;
+        call.callSiteId = inst.callSiteId;
+        call.retWidth =
+            inst.type->isVoid() ? 0 : machineWidth(inst.type);
+        emit(call);
+        if (!inst.type->isVoid() && !inst.result.empty()) {
+            MOperand dst = valueReg_[inst.result];
+            MInst copy = make(MOpcode::COPY, dst.width);
+            copy.ops = {dst, MOperand::physReg("rax", dst.width)};
+            emit(copy);
+        }
+    }
+
+    // --- peephole passes ----------------------------------------------------------
+
+    /** Counts uses of a virtual register across the machine function. */
+    unsigned
+    countVRegUses(const std::string &reg) const
+    {
+        unsigned count = 0;
+        auto scan_op = [&](const MOperand &op) {
+            if (op.kind == MOperand::Kind::VirtReg && op.reg == reg)
+                ++count;
+        };
+        for (const MBasicBlock &block : mfn_.blocks) {
+            for (const MInst &inst : block.insts) {
+                // ops[0] is a def for most opcodes but a use for
+                // CMP/TEST/MOVmr/DIV/IDIV.
+                bool first_is_use =
+                    inst.op == MOpcode::CMPrr ||
+                    inst.op == MOpcode::CMPri ||
+                    inst.op == MOpcode::TESTrr ||
+                    inst.op == MOpcode::MOVmr ||
+                    inst.op == MOpcode::DIV || inst.op == MOpcode::IDIV;
+                if (first_is_use && !inst.ops.empty())
+                    scan_op(inst.ops[0]);
+                for (size_t i = 1; i < inst.ops.size(); ++i)
+                    scan_op(inst.ops[i]);
+                if (inst.addr.baseKind == MAddress::BaseKind::Reg)
+                    scan_op(inst.addr.baseReg);
+                if (inst.addr.hasIndex())
+                    scan_op(inst.addr.indexReg);
+                for (const auto &[value, pred] : inst.incoming)
+                    scan_op(value);
+                for (const MOperand &arg : inst.callArgs)
+                    scan_op(arg);
+            }
+        }
+        return count;
+    }
+
+    /**
+     * Folds `%a = MOVWrm [addr]; %b = MOVZX %a` into a zero-extending
+     * load. Correct: MOVZX(dst)rm(W) — same W-bit access. Bug::
+     * LoadWidening: MOV(dstW)rm — a *wider* access (LLVM PR4737).
+     */
+    void
+    foldExtLoads()
+    {
+        for (MBasicBlock &block : mfn_.blocks) {
+            for (size_t i = 0; i + 1 < block.insts.size(); ++i) {
+                MInst &load = block.insts[i];
+                MInst &ext = block.insts[i + 1];
+                if (load.op != MOpcode::MOVrm ||
+                    ext.op != MOpcode::MOVZXrr) {
+                    continue;
+                }
+                if (ext.ops[1].kind != MOperand::Kind::VirtReg ||
+                    ext.ops[1].reg != load.ops[0].reg) {
+                    continue;
+                }
+                if (countVRegUses(load.ops[0].reg) != 1)
+                    continue;
+                MInst folded;
+                if (options_.bug == Bug::LoadWidening) {
+                    // Miscompilation: load at the *destination* width.
+                    folded = make(MOpcode::MOVrm, ext.ops[0].width);
+                } else {
+                    folded = make(MOpcode::MOVZXrm, load.width);
+                }
+                folded.ops = {ext.ops[0]};
+                folded.addr = load.addr;
+                block.insts[i] = folded;
+                block.insts.erase(block.insts.begin() +
+                                  static_cast<long>(i) + 1);
+            }
+        }
+    }
+
+    /** Effective (global, disp) of a store address, looking through
+     *  LEA/COPY chains; nullopt when not globally resolvable. */
+    std::optional<std::pair<std::string, int64_t>>
+    resolveGlobalAddress(const MAddress &addr) const
+    {
+        if (addr.hasIndex())
+            return std::nullopt;
+        if (addr.baseKind == MAddress::BaseKind::Global)
+            return std::make_pair(addr.global, addr.disp);
+        if (addr.baseKind != MAddress::BaseKind::Reg ||
+            addr.baseReg.kind != MOperand::Kind::VirtReg) {
+            return std::nullopt;
+        }
+        // Follow the SSA def chain of the base register.
+        std::string reg = addr.baseReg.reg;
+        int64_t disp = addr.disp;
+        for (unsigned depth = 0; depth < 16; ++depth) {
+            const MInst *def = nullptr;
+            for (const MBasicBlock &block : mfn_.blocks) {
+                for (const MInst &inst : block.insts) {
+                    if (!inst.ops.empty() &&
+                        inst.ops[0].kind == MOperand::Kind::VirtReg &&
+                        inst.ops[0].reg == reg &&
+                        (inst.op == MOpcode::LEA ||
+                         inst.op == MOpcode::COPY)) {
+                        def = &inst;
+                    }
+                }
+            }
+            if (def == nullptr)
+                return std::nullopt;
+            if (def->op == MOpcode::COPY) {
+                if (def->ops[1].kind != MOperand::Kind::VirtReg)
+                    return std::nullopt;
+                reg = def->ops[1].reg;
+                continue;
+            }
+            // LEA
+            if (def->addr.baseKind == MAddress::BaseKind::Global &&
+                !def->addr.hasIndex()) {
+                return std::make_pair(def->addr.global,
+                                      disp + def->addr.disp);
+            }
+            if (def->addr.baseKind == MAddress::BaseKind::Reg &&
+                def->addr.baseReg.kind == MOperand::Kind::VirtReg &&
+                !def->addr.hasIndex()) {
+                disp += def->addr.disp;
+                reg = def->addr.baseReg.reg;
+                continue;
+            }
+            return std::nullopt;
+        }
+        return std::nullopt;
+    }
+
+    /**
+     * Merges two adjacent constant stores to the same global into one
+     * wider store. Correct: only when no intervening instruction may
+     * touch memory, placed at the earlier position. Bug::StoreMergeWAW:
+     * no intervening check, placed at the *later* position, so an
+     * overlapping store between them gets reordered (LLVM PR25154).
+     */
+    void
+    mergeStores()
+    {
+        for (MBasicBlock &block : mfn_.blocks) {
+            bool merged = true;
+            while (merged) {
+                merged = false;
+                struct StoreInfo
+                {
+                    size_t index;
+                    std::string global;
+                    int64_t disp;
+                    unsigned width;
+                };
+                std::vector<StoreInfo> stores;
+                for (size_t i = 0; i < block.insts.size(); ++i) {
+                    const MInst &inst = block.insts[i];
+                    if (inst.op != MOpcode::MOVmi)
+                        continue;
+                    auto resolved = resolveGlobalAddress(inst.addr);
+                    if (!resolved)
+                        continue;
+                    stores.push_back({i, resolved->first,
+                                      resolved->second, inst.width});
+                }
+                for (size_t x = 0; x < stores.size() && !merged; ++x) {
+                    for (size_t y = x + 1; y < stores.size() && !merged;
+                         ++y) {
+                        const StoreInfo &a = stores[x];
+                        const StoreInfo &b = stores[y];
+                        if (a.global != b.global || a.width != b.width)
+                            continue;
+                        unsigned bytes = a.width / 8;
+                        if (a.width * 2 > 64)
+                            continue;
+                        bool a_low =
+                            a.disp + static_cast<int64_t>(bytes) ==
+                            b.disp;
+                        bool b_low =
+                            b.disp + static_cast<int64_t>(bytes) ==
+                            a.disp;
+                        if (!a_low && !b_low)
+                            continue;
+                        if (options_.bug != Bug::StoreMergeWAW &&
+                            hasInterveningMemOp(block, a.index,
+                                                b.index)) {
+                            continue;
+                        }
+                        mergePair(block, a.index, b.index, a_low);
+                        merged = true;
+                    }
+                }
+            }
+        }
+    }
+
+    bool
+    hasInterveningMemOp(const MBasicBlock &block, size_t i,
+                        size_t j) const
+    {
+        for (size_t k = i + 1; k < j; ++k) {
+            switch (block.insts[k].op) {
+              case MOpcode::MOVrm:
+              case MOpcode::MOVmr:
+              case MOpcode::MOVmi:
+              case MOpcode::MOVZXrm:
+              case MOpcode::MOVSXrm:
+              case MOpcode::CALL:
+                return true;
+              default:
+                break;
+            }
+        }
+        return false;
+    }
+
+    void
+    mergePair(MBasicBlock &block, size_t i, size_t j, bool i_is_low)
+    {
+        MInst &first = block.insts[i];
+        MInst &second = block.insts[j];
+        const MInst &low = i_is_low ? first : second;
+        const MInst &high = i_is_low ? second : first;
+        unsigned width = first.width;
+
+        uint64_t low_bits = low.ops[0].imm.zext();
+        uint64_t high_bits = high.ops[0].imm.zext();
+        ApInt combined(width * 2, (high_bits << width) | low_bits);
+
+        MInst mergedInst = make(MOpcode::MOVmi, width * 2);
+        mergedInst.ops = {MOperand::immediate(combined)};
+        mergedInst.addr = low.addr;
+
+        if (options_.bug == Bug::StoreMergeWAW) {
+            // Buggy: the merged store replaces the *later* instruction,
+            // sinking the earlier write past everything in between.
+            block.insts[j] = mergedInst;
+            block.insts.erase(block.insts.begin() +
+                              static_cast<long>(i));
+        } else {
+            block.insts[i] = mergedInst;
+            block.insts.erase(block.insts.begin() +
+                              static_cast<long>(j));
+        }
+    }
+
+    struct Pending
+    {
+        std::string block;
+        Value value;
+        MOperand reg;
+    };
+
+    const llvmir::Module &module_;
+    const Function &fn_;
+    const IselOptions &options_;
+    FunctionHints &hints_;
+    MFunction mfn_;
+    MBasicBlock *current_ = nullptr;
+    unsigned nextVReg_ = 0;
+    std::map<std::string, MOperand> valueReg_;
+    std::set<std::string> foldedCompares_;
+    std::map<std::string, const Instruction *> foldedCmpInfo_;
+    std::vector<Pending> pendingMaterializations_;
+};
+
+} // namespace
+
+MFunction
+lowerFunction(const llvmir::Module &module, const Function &fn,
+              const IselOptions &options, FunctionHints &hints)
+{
+    KEQ_ASSERT(!fn.isDeclaration(), "cannot lower a declaration");
+    return FunctionLowering(module, fn, options, hints).run();
+}
+
+MModule
+lowerModule(const llvmir::Module &module, const IselOptions &options,
+            ModuleHints &hints)
+{
+    MModule mmodule;
+    for (const Function &fn : module.functions) {
+        if (fn.isDeclaration())
+            continue;
+        FunctionHints fn_hints;
+        mmodule.functions.push_back(
+            lowerFunction(module, fn, options, fn_hints));
+        hints[fn.name] = std::move(fn_hints);
+    }
+    return mmodule;
+}
+
+} // namespace keq::isel

@@ -1,0 +1,85 @@
+#ifndef KEQ_ISEL_ISEL_H
+#define KEQ_ISEL_ISEL_H
+
+/**
+ * @file
+ * Instruction Selection: LLVM IR -> Virtual x86 (Section 4.1).
+ *
+ * A faithful -O0-style lowering in the spirit of LLVM's SDISel: one
+ * machine block per IR block, every IR value materialized into a fresh
+ * virtual register, SysV calling convention, phi preservation, and
+ * cmp/jcc folding for compare-and-branch patterns. Two optional peephole
+ * "optimizations" can be enabled, each in a correct and a deliberately
+ * buggy variant reproducing the miscompilations of Section 5.2:
+ *
+ *  - Store merging: adjacent constant stores merge into one wider store.
+ *    The buggy variant (LLVM PR25154) sinks the merged store to the later
+ *    position without checking intervening overlapping writes, violating
+ *    a write-after-write dependency.
+ *  - Load narrowing of zext(load) patterns into zero-extending loads.
+ *    The buggy variant (LLVM PR4737) widens the memory access instead,
+ *    reading out of bounds.
+ *
+ * The hint generator (Section 4.5) records, per function, the block
+ * correspondence, the LLVM-value-to-virtual-register map, and the
+ * constants materialized into registers — the ~500-line compiler-side
+ * component of the paper's TV system.
+ */
+
+#include <map>
+#include <string>
+
+#include "src/llvmir/ir.h"
+#include "src/support/apint.h"
+#include "src/vx86/mir.h"
+
+namespace keq::isel {
+
+/** Reintroducible Instruction Selection bugs (Section 5.2). */
+enum class Bug : uint8_t {
+    None,
+    StoreMergeWAW, ///< Merged store sinks past an overlapping store.
+    LoadWidening,  ///< zext(load) folds into a *wider* load (OOB).
+};
+
+/** Lowering options. */
+struct IselOptions
+{
+    Bug bug = Bug::None;
+    /** Enable the store-merging peephole (correct unless bug says so). */
+    bool mergeStores = false;
+    /** Enable zext(load) folding (correct unless bug says so). */
+    bool foldExtLoad = false;
+};
+
+/** Compiler-generated hints for one function pair (Section 4.5). */
+struct FunctionHints
+{
+    /** LLVM block name -> machine block name. Includes loop headers. */
+    std::map<std::string, std::string> blockMap;
+    /** LLVM value name (with %) -> virtual register holding it. */
+    std::map<std::string, std::string> regMap;
+    /** Virtual registers holding known constants (materialized values). */
+    std::map<std::string, support::ApInt> constRegs;
+};
+
+/** Hints for a whole module, keyed by function name. */
+using ModuleHints = std::map<std::string, FunctionHints>;
+
+/**
+ * Lowers every defined function of @p module. Returns the machine module;
+ * fills @p hints. Throws support::Error on constructs outside the
+ * supported fragment (e.g. 64-bit division, sext from i1).
+ */
+vx86::MModule lowerModule(const llvmir::Module &module,
+                          const IselOptions &options, ModuleHints &hints);
+
+/** Lowers a single function (same contract as lowerModule). */
+vx86::MFunction lowerFunction(const llvmir::Module &module,
+                              const llvmir::Function &fn,
+                              const IselOptions &options,
+                              FunctionHints &hints);
+
+} // namespace keq::isel
+
+#endif // KEQ_ISEL_ISEL_H

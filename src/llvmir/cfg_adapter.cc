@@ -1,0 +1,64 @@
+#include "src/llvmir/cfg_adapter.h"
+
+namespace keq::llvmir {
+
+analysis::Cfg
+buildCfg(const Function &fn)
+{
+    analysis::Cfg cfg;
+    for (const BasicBlock &block : fn.blocks)
+        cfg.addBlock(block.name);
+    for (const BasicBlock &block : fn.blocks) {
+        size_t from = cfg.indexOf(block.name);
+        for (const std::string &succ : block.successors())
+            cfg.addEdge(from, cfg.indexOf(succ));
+    }
+    return cfg;
+}
+
+void
+instUseDef(const Instruction &inst, std::set<std::string> &use,
+           std::set<std::string> &def)
+{
+    if (inst.op != Opcode::Phi) {
+        for (const Value &operand : inst.operands) {
+            if (operand.isVar())
+                use.insert(operand.name);
+        }
+    }
+    if (!inst.result.empty())
+        def.insert(inst.result);
+}
+
+std::vector<analysis::BlockUseDef>
+useDefFacts(const Function &fn, const analysis::Cfg &cfg)
+{
+    std::vector<analysis::BlockUseDef> facts(cfg.numBlocks());
+    for (const BasicBlock &block : fn.blocks) {
+        analysis::BlockUseDef &fact = facts[cfg.indexOf(block.name)];
+        std::set<std::string> local_defs;
+        for (const Instruction &inst : block.insts) {
+            if (inst.op == Opcode::Phi) {
+                for (const PhiIncoming &incoming : inst.incoming) {
+                    if (incoming.value.isVar()) {
+                        fact.phiUse[cfg.indexOf(incoming.block)].insert(
+                            incoming.value.name);
+                    }
+                }
+            }
+            std::set<std::string> use, def;
+            instUseDef(inst, use, def);
+            for (const std::string &name : use) {
+                if (!local_defs.count(name))
+                    fact.use.insert(name);
+            }
+            for (const std::string &name : def) {
+                local_defs.insert(name);
+                fact.def.insert(name);
+            }
+        }
+    }
+    return facts;
+}
+
+} // namespace keq::llvmir

@@ -1,0 +1,34 @@
+#ifndef KEQ_LLVMIR_CFG_ADAPTER_H
+#define KEQ_LLVMIR_CFG_ADAPTER_H
+
+/**
+ * @file
+ * Adapters from LLVM IR functions to the generic CFG analyses.
+ */
+
+#include "src/analysis/cfg.h"
+#include "src/llvmir/ir.h"
+
+namespace keq::llvmir {
+
+/** Builds the generic CFG of @p fn (blocks in source order). */
+analysis::Cfg buildCfg(const Function &fn);
+
+/**
+ * Per-block use/def facts for SSA liveness. Uses are upward-exposed
+ * (a use after a same-block def does not count); phi reads are attributed
+ * to the incoming edge per the analysis::BlockUseDef contract.
+ */
+std::vector<analysis::BlockUseDef> useDefFacts(const Function &fn,
+                                               const analysis::Cfg &cfg);
+
+/**
+ * Uses and defs of one non-phi instruction (for the intra-block backward
+ * scans around call sites).
+ */
+void instUseDef(const Instruction &inst, std::set<std::string> &use,
+                std::set<std::string> &def);
+
+} // namespace keq::llvmir
+
+#endif // KEQ_LLVMIR_CFG_ADAPTER_H

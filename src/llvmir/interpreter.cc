@@ -1,0 +1,378 @@
+#include "src/llvmir/interpreter.h"
+
+#include <map>
+#include <sstream>
+
+#include "src/support/diagnostics.h"
+
+namespace keq::llvmir {
+
+using sem::ErrorKind;
+using support::ApInt;
+
+struct Interpreter::Frame
+{
+    const Function *fn = nullptr;
+    std::map<std::string, ApInt> env;
+    const BasicBlock *block = nullptr;
+    std::string cameFrom;
+    size_t index = 0;
+};
+
+Interpreter::Interpreter(const Module &module, mem::ConcreteMemory &memory)
+    : module_(module), memory_(memory)
+{
+    external_ = [](const std::string &,
+                   const std::vector<ApInt> &) { return ApInt(64, 0); };
+}
+
+void
+Interpreter::setExternalHandler(ExternalCallHandler handler)
+{
+    external_ = std::move(handler);
+}
+
+ApInt
+Interpreter::evalValue(const Frame &frame, const Value &value) const
+{
+    switch (value.kind) {
+      case Value::Kind::Const:
+        return value.constant;
+      case Value::Kind::Var: {
+        auto it = frame.env.find(value.name);
+        KEQ_ASSERT(it != frame.env.end(),
+                   "use of unbound value " + value.name);
+        return it->second;
+      }
+      case Value::Kind::Global: {
+        const mem::MemoryObject *object =
+            memory_.layout().find(value.name);
+        KEQ_ASSERT(object != nullptr, "unknown global " + value.name);
+        return ApInt(64, object->base);
+      }
+    }
+    KEQ_ASSERT(false, "evalValue: bad kind");
+    return {};
+}
+
+ExecResult
+Interpreter::run(const Function &fn, const std::vector<ApInt> &args,
+                 size_t max_steps)
+{
+    size_t budget = max_steps;
+    std::vector<std::string> call_trace;
+    ExecResult result = runInternal(fn, args, budget, call_trace);
+    result.callTrace = std::move(call_trace);
+    result.steps = max_steps - budget;
+    return result;
+}
+
+namespace {
+
+ApInt
+evalICmp(ICmpPred pred, ApInt a, ApInt b)
+{
+    bool r = false;
+    switch (pred) {
+      case ICmpPred::Eq: r = a.eq(b); break;
+      case ICmpPred::Ne: r = a.ne(b); break;
+      case ICmpPred::Ult: r = a.ult(b); break;
+      case ICmpPred::Ule: r = a.ule(b); break;
+      case ICmpPred::Ugt: r = a.ugt(b); break;
+      case ICmpPred::Uge: r = a.uge(b); break;
+      case ICmpPred::Slt: r = a.slt(b); break;
+      case ICmpPred::Sle: r = a.sle(b); break;
+      case ICmpPred::Sgt: r = a.sgt(b); break;
+      case ICmpPred::Sge: r = a.sge(b); break;
+    }
+    return ApInt(1, r ? 1 : 0);
+}
+
+} // namespace
+
+ExecResult
+Interpreter::runInternal(const Function &fn, const std::vector<ApInt> &args,
+                         size_t &budget,
+                         std::vector<std::string> &call_trace)
+{
+    KEQ_ASSERT(args.size() == fn.params.size(),
+               "argument count mismatch calling " + fn.name);
+    Frame frame;
+    frame.fn = &fn;
+    frame.block = &fn.entry();
+    for (size_t i = 0; i < args.size(); ++i)
+        frame.env[fn.params[i].name] =
+            args[i].truncTo(fn.params[i].type->valueBits());
+
+    auto trap = [](ErrorKind kind) {
+        ExecResult r;
+        r.outcome = ExecOutcome::Trapped;
+        r.error = kind;
+        return r;
+    };
+
+    while (true) {
+        if (budget == 0)
+            return {};
+        --budget;
+        KEQ_ASSERT(frame.index < frame.block->insts.size(),
+                   "fell off block %" + frame.block->name);
+        const Instruction &inst = frame.block->insts[frame.index];
+
+        switch (inst.op) {
+          case Opcode::Phi: {
+            // All phis of the block read their inputs simultaneously.
+            std::map<std::string, ApInt> updates;
+            size_t i = frame.index;
+            for (; i < frame.block->insts.size() &&
+                   frame.block->insts[i].op == Opcode::Phi;
+                 ++i) {
+                const Instruction &phi = frame.block->insts[i];
+                bool found = false;
+                for (const PhiIncoming &incoming : phi.incoming) {
+                    if (incoming.block == frame.cameFrom) {
+                        updates[phi.result] =
+                            evalValue(frame, incoming.value);
+                        found = true;
+                        break;
+                    }
+                }
+                KEQ_ASSERT(found, "phi without incoming for %" +
+                                      frame.cameFrom);
+            }
+            for (auto &[name, value] : updates)
+                frame.env[name] = value;
+            frame.index = i;
+            continue;
+          }
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::Mul: {
+            ApInt a = evalValue(frame, inst.operands[0]);
+            ApInt b = evalValue(frame, inst.operands[1]);
+            bool sovf = false, uovf = false;
+            ApInt r(a.width(), 0);
+            if (inst.op == Opcode::Add) {
+                r = a.add(b);
+                sovf = a.addOverflowSigned(b);
+                uovf = a.addOverflowUnsigned(b);
+            } else if (inst.op == Opcode::Sub) {
+                r = a.sub(b);
+                sovf = a.subOverflowSigned(b);
+                uovf = a.subOverflowUnsigned(b);
+            } else {
+                r = a.mul(b);
+                sovf = a.mulOverflowSigned(b);
+                uovf = a.mulOverflowUnsigned(b);
+            }
+            if ((inst.nsw && sovf) || (inst.nuw && uovf))
+                return trap(ErrorKind::SignedOverflow);
+            frame.env[inst.result] = r;
+            break;
+          }
+          case Opcode::UDiv:
+          case Opcode::SDiv:
+          case Opcode::URem:
+          case Opcode::SRem: {
+            ApInt a = evalValue(frame, inst.operands[0]);
+            ApInt b = evalValue(frame, inst.operands[1]);
+            if (b.isZero())
+                return trap(ErrorKind::DivByZero);
+            bool is_signed =
+                inst.op == Opcode::SDiv || inst.op == Opcode::SRem;
+            if (is_signed && a == ApInt::signedMin(a.width()) &&
+                b.isAllOnes()) {
+                return trap(ErrorKind::SignedOverflow);
+            }
+            ApInt r = inst.op == Opcode::UDiv   ? a.udiv(b)
+                      : inst.op == Opcode::SDiv ? a.sdiv(b)
+                      : inst.op == Opcode::URem ? a.urem(b)
+                                                : a.srem(b);
+            frame.env[inst.result] = r;
+            break;
+          }
+          case Opcode::And:
+          case Opcode::Or:
+          case Opcode::Xor:
+          case Opcode::Shl:
+          case Opcode::LShr:
+          case Opcode::AShr: {
+            ApInt a = evalValue(frame, inst.operands[0]);
+            ApInt b = evalValue(frame, inst.operands[1]);
+            ApInt r = inst.op == Opcode::And   ? a.and_(b)
+                      : inst.op == Opcode::Or  ? a.or_(b)
+                      : inst.op == Opcode::Xor ? a.xor_(b)
+                      : inst.op == Opcode::Shl ? a.shl(b)
+                      : inst.op == Opcode::LShr ? a.lshr(b)
+                                                : a.ashr(b);
+            frame.env[inst.result] = r;
+            break;
+          }
+          case Opcode::ICmp: {
+            ApInt a = evalValue(frame, inst.operands[0]);
+            ApInt b = evalValue(frame, inst.operands[1]);
+            frame.env[inst.result] = evalICmp(inst.pred, a, b);
+            break;
+          }
+          case Opcode::ZExt:
+            frame.env[inst.result] =
+                evalValue(frame, inst.operands[0])
+                    .zextTo(inst.type->valueBits());
+            break;
+          case Opcode::SExt:
+            frame.env[inst.result] =
+                evalValue(frame, inst.operands[0])
+                    .sextTo(inst.type->valueBits());
+            break;
+          case Opcode::Trunc:
+            frame.env[inst.result] =
+                evalValue(frame, inst.operands[0])
+                    .truncTo(inst.type->valueBits());
+            break;
+          case Opcode::PtrToInt: {
+            ApInt p = evalValue(frame, inst.operands[0]);
+            unsigned bits = inst.type->valueBits();
+            frame.env[inst.result] =
+                bits <= p.width() ? p.truncTo(bits) : p.zextTo(bits);
+            break;
+          }
+          case Opcode::IntToPtr: {
+            ApInt v = evalValue(frame, inst.operands[0]);
+            frame.env[inst.result] =
+                v.width() <= 64 ? v.zextTo(64) : v;
+            break;
+          }
+          case Opcode::Bitcast:
+            frame.env[inst.result] = evalValue(frame, inst.operands[0]);
+            break;
+          case Opcode::GetElementPtr: {
+            uint64_t address = evalValue(frame, inst.operands[0]).zext();
+            const Type *current = inst.sourceType;
+            for (size_t i = 1; i < inst.operands.size(); ++i) {
+                int64_t index =
+                    evalValue(frame, inst.operands[i]).sext();
+                if (i == 1) {
+                    address += static_cast<uint64_t>(
+                        index *
+                        static_cast<int64_t>(current->sizeInBytes()));
+                } else if (current->isArray()) {
+                    address += static_cast<uint64_t>(
+                        index * static_cast<int64_t>(
+                                    current->elementType()
+                                        ->sizeInBytes()));
+                    current = current->elementType();
+                } else {
+                    KEQ_ASSERT(current->isStruct(), "gep into scalar");
+                    address += current->fieldOffset(
+                        static_cast<unsigned>(index));
+                    current =
+                        current->fields()[static_cast<size_t>(index)];
+                }
+            }
+            frame.env[inst.result] = ApInt(64, address);
+            break;
+          }
+          case Opcode::Load: {
+            uint64_t address = evalValue(frame, inst.operands[0]).zext();
+            unsigned size =
+                static_cast<unsigned>(inst.type->sizeInBytes());
+            mem::ConcreteAccess access = memory_.read(address, size);
+            if (!access.ok)
+                return trap(ErrorKind::OutOfBounds);
+            frame.env[inst.result] =
+                access.value.truncTo(inst.type->valueBits());
+            break;
+          }
+          case Opcode::Store: {
+            ApInt value = evalValue(frame, inst.operands[0]);
+            uint64_t address = evalValue(frame, inst.operands[1]).zext();
+            unsigned mem_bits = static_cast<unsigned>(
+                inst.type->sizeInBytes() * 8);
+            if (!memory_.write(address, value.zextTo(mem_bits)))
+                return trap(ErrorKind::OutOfBounds);
+            break;
+          }
+          case Opcode::Alloca: {
+            const mem::MemoryObject *object = memory_.layout().find(
+                fn.name + "/" + inst.result);
+            KEQ_ASSERT(object != nullptr,
+                       "alloca slot missing from layout: " + inst.result);
+            frame.env[inst.result] = ApInt(64, object->base);
+            break;
+          }
+          case Opcode::Select: {
+            ApInt cond = evalValue(frame, inst.operands[0]);
+            frame.env[inst.result] = evalValue(
+                frame, cond.isZero() ? inst.operands[2]
+                                     : inst.operands[1]);
+            break;
+          }
+          case Opcode::Br:
+          case Opcode::CondBr:
+          case Opcode::Switch: {
+            std::string target = inst.target1;
+            if (inst.op == Opcode::CondBr &&
+                evalValue(frame, inst.operands[0]).isZero()) {
+                target = inst.target2;
+            }
+            if (inst.op == Opcode::Switch) {
+                ApInt selector = evalValue(frame, inst.operands[0]);
+                for (const auto &[value, case_target] :
+                     inst.switchCases) {
+                    if (selector == value) {
+                        target = case_target;
+                        break;
+                    }
+                }
+            }
+            frame.cameFrom = frame.block->name;
+            frame.block = fn.findBlock(target);
+            KEQ_ASSERT(frame.block != nullptr, "missing block " + target);
+            frame.index = 0;
+            continue;
+          }
+          case Opcode::Ret: {
+            ExecResult result;
+            result.outcome = ExecOutcome::Returned;
+            if (!inst.operands.empty())
+                result.value = evalValue(frame, inst.operands[0]);
+            return result;
+          }
+          case Opcode::Call: {
+            std::vector<ApInt> call_args;
+            for (const Value &operand : inst.operands)
+                call_args.push_back(evalValue(frame, operand));
+            const Function *callee = module_.findFunction(inst.callee);
+            ApInt ret;
+            if (callee != nullptr && !callee->isDeclaration()) {
+                ExecResult inner =
+                    runInternal(*callee, call_args, budget, call_trace);
+                if (inner.outcome != ExecOutcome::Returned)
+                    return inner;
+                ret = inner.value;
+            } else {
+                ret = external_(inst.callee, call_args);
+                std::ostringstream os;
+                os << inst.callee << "(";
+                for (size_t i = 0; i < call_args.size(); ++i) {
+                    if (i > 0)
+                        os << ",";
+                    os << call_args[i].toString();
+                }
+                os << ")=" << ret.toString();
+                call_trace.push_back(os.str());
+            }
+            if (!inst.type->isVoid()) {
+                frame.env[inst.result] =
+                    ret.truncTo(inst.type->valueBits());
+            }
+            break;
+          }
+          case Opcode::Unreachable:
+            return trap(ErrorKind::Unreachable);
+        }
+        ++frame.index;
+    }
+}
+
+} // namespace keq::llvmir

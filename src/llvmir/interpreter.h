@@ -1,0 +1,81 @@
+#ifndef KEQ_LLVMIR_INTERPRETER_H
+#define KEQ_LLVMIR_INTERPRETER_H
+
+/**
+ * @file
+ * Concrete reference interpreter for the LLVM IR subset.
+ *
+ * Used by the differential tests: for a given translation, the LLVM
+ * interpreter and the Virtual x86 interpreter must agree on return value,
+ * memory effects, call/return traces, and trap behaviour. Any divergence
+ * between them is exactly what the translation validator must also catch.
+ */
+
+#include <functional>
+#include <vector>
+
+#include "src/llvmir/ir.h"
+#include "src/memory/concrete_memory.h"
+#include "src/sem/symbolic_state.h" // for ErrorKind
+#include "src/support/apint.h"
+
+namespace keq::llvmir {
+
+/** Handler for calls to functions not defined in the module. */
+using ExternalCallHandler = std::function<support::ApInt(
+    const std::string &callee, const std::vector<support::ApInt> &args)>;
+
+/** How an interpretation ended. */
+enum class ExecOutcome : uint8_t {
+    Returned,  ///< Normal return.
+    Trapped,   ///< Reached an undefined-behaviour error state.
+    StepLimit, ///< Exceeded the step budget (likely non-termination).
+};
+
+/** Final state of an interpretation. */
+struct ExecResult
+{
+    ExecOutcome outcome = ExecOutcome::StepLimit;
+    support::ApInt value;                          ///< Returned only.
+    sem::ErrorKind error = sem::ErrorKind::None;   ///< Trapped only.
+    /** Sequence of "callee(arg,..)=ret" strings, for trace comparison. */
+    std::vector<std::string> callTrace;
+    size_t steps = 0;
+};
+
+/** Interprets functions of one module against a concrete memory. */
+class Interpreter
+{
+  public:
+    /**
+     * @param module Parsed and verified module.
+     * @param memory Concrete memory whose layout already contains the
+     *               module's allocations (see populateLayout).
+     */
+    Interpreter(const Module &module, mem::ConcreteMemory &memory);
+
+    /** Installs a handler for external calls (default: return 0). */
+    void setExternalHandler(ExternalCallHandler handler);
+
+    /** Runs @p fn on @p args with a step budget. */
+    ExecResult run(const Function &fn,
+                   const std::vector<support::ApInt> &args,
+                   size_t max_steps = 100000);
+
+  private:
+    struct Frame;
+
+    support::ApInt evalValue(const Frame &frame, const Value &value) const;
+    ExecResult runInternal(const Function &fn,
+                           const std::vector<support::ApInt> &args,
+                           size_t &budget,
+                           std::vector<std::string> &call_trace);
+
+    const Module &module_;
+    mem::ConcreteMemory &memory_;
+    ExternalCallHandler external_;
+};
+
+} // namespace keq::llvmir
+
+#endif // KEQ_LLVMIR_INTERPRETER_H

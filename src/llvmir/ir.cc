@@ -1,0 +1,315 @@
+#include "src/llvmir/ir.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/support/diagnostics.h"
+
+namespace keq::llvmir {
+
+const char *
+icmpPredName(ICmpPred pred)
+{
+    switch (pred) {
+      case ICmpPred::Eq: return "eq";
+      case ICmpPred::Ne: return "ne";
+      case ICmpPred::Ult: return "ult";
+      case ICmpPred::Ule: return "ule";
+      case ICmpPred::Ugt: return "ugt";
+      case ICmpPred::Uge: return "uge";
+      case ICmpPred::Slt: return "slt";
+      case ICmpPred::Sle: return "sle";
+      case ICmpPred::Sgt: return "sgt";
+      case ICmpPred::Sge: return "sge";
+    }
+    return "?";
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::UDiv: return "udiv";
+      case Opcode::SDiv: return "sdiv";
+      case Opcode::URem: return "urem";
+      case Opcode::SRem: return "srem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::LShr: return "lshr";
+      case Opcode::AShr: return "ashr";
+      case Opcode::ICmp: return "icmp";
+      case Opcode::ZExt: return "zext";
+      case Opcode::SExt: return "sext";
+      case Opcode::Trunc: return "trunc";
+      case Opcode::PtrToInt: return "ptrtoint";
+      case Opcode::IntToPtr: return "inttoptr";
+      case Opcode::Bitcast: return "bitcast";
+      case Opcode::GetElementPtr: return "getelementptr";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::Alloca: return "alloca";
+      case Opcode::Phi: return "phi";
+      case Opcode::Select: return "select";
+      case Opcode::Br: return "br";
+      case Opcode::CondBr: return "br";
+      case Opcode::Switch: return "switch";
+      case Opcode::Ret: return "ret";
+      case Opcode::Call: return "call";
+      case Opcode::Unreachable: return "unreachable";
+    }
+    return "?";
+}
+
+std::string
+Value::toString() const
+{
+    switch (kind) {
+      case Kind::Const:
+        return constant.toSignedString();
+      case Kind::Var:
+      case Kind::Global:
+        return name;
+    }
+    return "?";
+}
+
+bool
+Instruction::isTerminator() const
+{
+    return op == Opcode::Br || op == Opcode::CondBr ||
+           op == Opcode::Switch || op == Opcode::Ret ||
+           op == Opcode::Unreachable;
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    if (!result.empty())
+        os << result << " = ";
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::UDiv:
+      case Opcode::SDiv:
+      case Opcode::URem:
+      case Opcode::SRem:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::LShr:
+      case Opcode::AShr:
+        os << opcodeName(op);
+        if (nuw)
+            os << " nuw";
+        if (nsw)
+            os << " nsw";
+        os << " " << type->toString() << " " << operands[0].toString()
+           << ", " << operands[1].toString();
+        break;
+      case Opcode::ICmp:
+        os << "icmp " << icmpPredName(pred) << " "
+           << operands[0].type->toString() << " "
+           << operands[0].toString() << ", " << operands[1].toString();
+        break;
+      case Opcode::ZExt:
+      case Opcode::SExt:
+      case Opcode::Trunc:
+      case Opcode::PtrToInt:
+      case Opcode::IntToPtr:
+      case Opcode::Bitcast:
+        os << opcodeName(op) << " " << operands[0].type->toString() << " "
+           << operands[0].toString() << " to " << type->toString();
+        break;
+      case Opcode::GetElementPtr:
+        os << "getelementptr " << sourceType->toString() << ", "
+           << operands[0].type->toString() << " "
+           << operands[0].toString();
+        for (size_t i = 1; i < operands.size(); ++i) {
+            os << ", " << operands[i].type->toString() << " "
+               << operands[i].toString();
+        }
+        break;
+      case Opcode::Load:
+        os << "load " << type->toString() << ", "
+           << operands[0].type->toString() << " "
+           << operands[0].toString();
+        break;
+      case Opcode::Store:
+        os << "store " << operands[0].type->toString() << " "
+           << operands[0].toString() << ", "
+           << operands[1].type->toString() << " "
+           << operands[1].toString();
+        break;
+      case Opcode::Alloca:
+        os << "alloca " << sourceType->toString();
+        break;
+      case Opcode::Phi:
+        os << "phi " << type->toString();
+        for (size_t i = 0; i < incoming.size(); ++i) {
+            os << (i == 0 ? " " : ", ") << "[ "
+               << incoming[i].value.toString() << ", %"
+               << incoming[i].block << " ]";
+        }
+        break;
+      case Opcode::Select:
+        os << "select i1 " << operands[0].toString() << ", "
+           << type->toString() << " " << operands[1].toString() << ", "
+           << type->toString() << " " << operands[2].toString();
+        break;
+      case Opcode::Br:
+        os << "br label %" << target1;
+        break;
+      case Opcode::CondBr:
+        os << "br i1 " << operands[0].toString() << ", label %" << target1
+           << ", label %" << target2;
+        break;
+      case Opcode::Switch:
+        os << "switch " << operands[0].type->toString() << " "
+           << operands[0].toString() << ", label %" << target1 << " [";
+        for (const auto &[value, target] : switchCases) {
+            os << " " << operands[0].type->toString() << " "
+               << value.toSignedString() << ", label %" << target;
+        }
+        os << " ]";
+        break;
+      case Opcode::Ret:
+        os << "ret";
+        if (operands.empty())
+            os << " void";
+        else
+            os << " " << operands[0].type->toString() << " "
+               << operands[0].toString();
+        break;
+      case Opcode::Call:
+        os << "call " << type->toString() << " " << callee << "(";
+        for (size_t i = 0; i < operands.size(); ++i) {
+            if (i > 0)
+                os << ", ";
+            os << operands[i].type->toString() << " "
+               << operands[i].toString();
+        }
+        os << ")";
+        break;
+      case Opcode::Unreachable:
+        os << "unreachable";
+        break;
+    }
+    return os.str();
+}
+
+std::vector<std::string>
+BasicBlock::successors() const
+{
+    KEQ_ASSERT(!insts.empty(), "block without instructions");
+    const Instruction &term = terminator();
+    switch (term.op) {
+      case Opcode::Br:
+        return {term.target1};
+      case Opcode::CondBr:
+        return {term.target1, term.target2};
+      case Opcode::Switch: {
+        std::vector<std::string> out{term.target1};
+        for (const auto &[value, target] : term.switchCases) {
+            if (std::find(out.begin(), out.end(), target) == out.end())
+                out.push_back(target);
+        }
+        return out;
+      }
+      default:
+        return {};
+    }
+}
+
+const BasicBlock *
+Function::findBlock(const std::string &name) const
+{
+    for (const BasicBlock &block : blocks) {
+        if (block.name == name)
+            return &block;
+    }
+    return nullptr;
+}
+
+size_t
+Function::instructionCount() const
+{
+    size_t count = 0;
+    for (const BasicBlock &block : blocks)
+        count += block.insts.size();
+    return count;
+}
+
+std::string
+Function::toString() const
+{
+    std::ostringstream os;
+    os << "define " << returnType->toString() << " " << name << "(";
+    for (size_t i = 0; i < params.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        os << params[i].type->toString() << " " << params[i].name;
+    }
+    os << ") {\n";
+    for (const BasicBlock &block : blocks) {
+        os << block.name << ":\n";
+        for (const Instruction &inst : block.insts)
+            os << "  " << inst.toString() << "\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+Function *
+Module::findFunction(const std::string &name)
+{
+    for (Function &fn : functions) {
+        if (fn.name == name)
+            return &fn;
+    }
+    return nullptr;
+}
+
+const Function *
+Module::findFunction(const std::string &name) const
+{
+    for (const Function &fn : functions) {
+        if (fn.name == name)
+            return &fn;
+    }
+    return nullptr;
+}
+
+const GlobalVariable *
+Module::findGlobal(const std::string &name) const
+{
+    for (const GlobalVariable &global : globals) {
+        if (global.name == name)
+            return &global;
+    }
+    return nullptr;
+}
+
+std::string
+Module::toString() const
+{
+    std::ostringstream os;
+    for (const GlobalVariable &global : globals) {
+        os << global.name << " = external global "
+           << global.valueType->toString() << "\n";
+    }
+    if (!globals.empty())
+        os << "\n";
+    for (const Function &fn : functions)
+        os << fn.toString() << "\n";
+    return os.str();
+}
+
+} // namespace keq::llvmir

@@ -1,0 +1,198 @@
+#ifndef KEQ_LLVMIR_IR_H
+#define KEQ_LLVMIR_IR_H
+
+/**
+ * @file
+ * In-memory representation of the LLVM IR subset (Section 4.2).
+ *
+ * Instruction coverage: integer arithmetic and bitwise operators, integer
+ * and pointer comparisons, casts (zext/sext/trunc, ptrtoint/inttoptr,
+ * bitcast), getelementptr over arbitrarily nested arrays/structs, loads,
+ * stores, alloca, phi, select, branches, calls, returns and unreachable.
+ */
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/llvmir/types.h"
+#include "src/support/apint.h"
+
+namespace keq::llvmir {
+
+/** Integer comparison predicates of the icmp instruction. */
+enum class ICmpPred : uint8_t {
+    Eq, Ne, Ult, Ule, Ugt, Uge, Slt, Sle, Sgt, Sge,
+};
+
+const char *icmpPredName(ICmpPred pred);
+
+/** An SSA operand: literal constant, local %var, or global @name. */
+struct Value
+{
+    enum class Kind : uint8_t { Const, Var, Global };
+
+    Kind kind = Kind::Const;
+    const Type *type = nullptr;
+    support::ApInt constant; ///< Kind::Const only.
+    std::string name;        ///< %var or @global name (with sigil).
+
+    static Value
+    makeConst(const Type *type, support::ApInt constant)
+    {
+        return {Kind::Const, type, constant, {}};
+    }
+
+    static Value
+    makeVar(const Type *type, std::string name)
+    {
+        return {Kind::Var, type, {}, std::move(name)};
+    }
+
+    static Value
+    makeGlobal(const Type *type, std::string name)
+    {
+        return {Kind::Global, type, {}, std::move(name)};
+    }
+
+    bool isConst() const { return kind == Kind::Const; }
+    bool isVar() const { return kind == Kind::Var; }
+    bool isGlobal() const { return kind == Kind::Global; }
+
+    std::string toString() const;
+};
+
+/** Instruction opcodes of the supported subset. */
+enum class Opcode : uint8_t {
+    // Integer arithmetic.
+    Add, Sub, Mul, UDiv, SDiv, URem, SRem,
+    // Bitwise.
+    And, Or, Xor, Shl, LShr, AShr,
+    // Comparisons.
+    ICmp,
+    // Casts.
+    ZExt, SExt, Trunc, PtrToInt, IntToPtr, Bitcast,
+    // Memory.
+    GetElementPtr, Load, Store, Alloca,
+    // SSA / data flow.
+    Phi, Select,
+    // Control flow.
+    Br, CondBr, Switch, Ret, Call, Unreachable,
+};
+
+const char *opcodeName(Opcode op);
+
+/** One phi incoming edge. */
+struct PhiIncoming
+{
+    Value value;
+    std::string block;
+};
+
+/**
+ * A single instruction. One struct covers all opcodes; opcode-specific
+ * fields are documented inline and unused fields stay default.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Unreachable;
+
+    /** Result variable name including '%'; empty for non-producing ops. */
+    std::string result;
+    /** Result type (or stored value type for Store; pointee for Load). */
+    const Type *type = nullptr;
+
+    /** Generic operands (binops: lhs/rhs; store: value, pointer; ...). */
+    std::vector<Value> operands;
+
+    ICmpPred pred = ICmpPred::Eq; ///< ICmp only.
+    bool nsw = false;             ///< Add/Sub/Mul: no-signed-wrap UB flag.
+    bool nuw = false;             ///< Add/Sub/Mul: no-unsigned-wrap UB flag.
+
+    std::vector<PhiIncoming> incoming; ///< Phi only.
+
+    std::string target1; ///< Br: target; CondBr: true; Switch: default.
+    std::string target2; ///< CondBr: false target.
+
+    /** Switch only: (case value, target block) in source order. */
+    std::vector<std::pair<support::ApInt, std::string>> switchCases;
+
+    /**
+     * GetElementPtr: the source element type being indexed. Alloca: the
+     * allocated type. Load/Store: the accessed type (== `type`).
+     */
+    const Type *sourceType = nullptr;
+
+    std::string callee;     ///< Call only (with '@').
+    std::string callSiteId; ///< Call only; assigned "cs0", "cs1", ...
+
+    bool isTerminator() const;
+    std::string toString() const;
+};
+
+/** A basic block: a label plus a nonempty instruction list. */
+struct BasicBlock
+{
+    std::string name; ///< Without sigil, e.g. "entry", "for.cond".
+    std::vector<Instruction> insts;
+
+    const Instruction &
+    terminator() const
+    {
+        return insts.back();
+    }
+
+    /** Successor block names (0, 1 or 2 of them). */
+    std::vector<std::string> successors() const;
+};
+
+/** A function parameter. */
+struct Parameter
+{
+    const Type *type = nullptr;
+    std::string name; ///< With '%'.
+};
+
+/** A function definition (or declaration when blocks is empty). */
+struct Function
+{
+    std::string name; ///< With '@'.
+    const Type *returnType = nullptr;
+    std::vector<Parameter> params;
+    std::vector<BasicBlock> blocks;
+
+    bool isDeclaration() const { return blocks.empty(); }
+    const BasicBlock &entry() const { return blocks.front(); }
+    const BasicBlock *findBlock(const std::string &name) const;
+
+    /** Total instruction count (the paper's code-size metric). */
+    size_t instructionCount() const;
+
+    std::string toString() const;
+};
+
+/** A global variable (we model externals: name + value type). */
+struct GlobalVariable
+{
+    std::string name; ///< With '@'.
+    const Type *valueType = nullptr;
+};
+
+/** A module: types, globals and functions. */
+struct Module
+{
+    std::shared_ptr<TypeContext> types = std::make_shared<TypeContext>();
+    std::vector<GlobalVariable> globals;
+    std::vector<Function> functions;
+
+    Function *findFunction(const std::string &name);
+    const Function *findFunction(const std::string &name) const;
+    const GlobalVariable *findGlobal(const std::string &name) const;
+
+    std::string toString() const;
+};
+
+} // namespace keq::llvmir
+
+#endif // KEQ_LLVMIR_IR_H

@@ -1,0 +1,22 @@
+#include "src/llvmir/layout_builder.h"
+
+namespace keq::llvmir {
+
+void
+populateLayout(const Module &module, mem::MemoryLayout &layout)
+{
+    for (const GlobalVariable &global : module.globals)
+        layout.addGlobal(global.name, global.valueType->sizeInBytes());
+    for (const Function &fn : module.functions) {
+        for (const BasicBlock &block : fn.blocks) {
+            for (const Instruction &inst : block.insts) {
+                if (inst.op == Opcode::Alloca) {
+                    layout.addStackSlot(fn.name, inst.result,
+                                        inst.sourceType->sizeInBytes());
+                }
+            }
+        }
+    }
+}
+
+} // namespace keq::llvmir

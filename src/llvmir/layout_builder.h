@@ -1,0 +1,25 @@
+#ifndef KEQ_LLVMIR_LAYOUT_BUILDER_H
+#define KEQ_LLVMIR_LAYOUT_BUILDER_H
+
+/**
+ * @file
+ * Populates the common memory layout (Section 4.4) from an LLVM module.
+ *
+ * Globals become global objects; every alloca becomes a stack slot named
+ * "function/%result". The Virtual x86 side addresses the same slots
+ * through frame indexes that ISel derives from the same allocas, so both
+ * semantics agree on every allocation's base address by construction —
+ * the essence of the common memory model.
+ */
+
+#include "src/llvmir/ir.h"
+#include "src/memory/layout.h"
+
+namespace keq::llvmir {
+
+/** Registers all globals and allocas of @p module into @p layout. */
+void populateLayout(const Module &module, mem::MemoryLayout &layout);
+
+} // namespace keq::llvmir
+
+#endif // KEQ_LLVMIR_LAYOUT_BUILDER_H

@@ -1,0 +1,769 @@
+#include "src/llvmir/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/support/diagnostics.h"
+
+namespace keq::llvmir {
+
+namespace {
+
+using support::ApInt;
+using support::Error;
+
+/** Token kinds of the LLVM assembly lexer. */
+enum class Tok : uint8_t {
+    Word,      // add, i32, label, define, ...
+    LocalVar,  // %name
+    GlobalVar, // @name
+    Number,    // 123, -7
+    LabelDef,  // name:
+    Punct,     // ( ) { } [ ] , = *
+    End,
+};
+
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;
+    int line = 0;
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(std::string_view source) : source_(source) { advance(); }
+
+    const Token &peek() const { return current_; }
+
+    Token
+    next()
+    {
+        Token token = current_;
+        advance();
+        return token;
+    }
+
+    [[noreturn]] void
+    error(const std::string &message) const
+    {
+        throw Error("llvm parse error (line " +
+                    std::to_string(current_.line) + "): " + message +
+                    " near '" + current_.text + "'");
+    }
+
+  private:
+    static bool
+    isIdentChar(char c)
+    {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+               c == '.' || c == '-';
+    }
+
+    void
+    advance()
+    {
+        skipSpace();
+        current_.line = line_;
+        if (pos_ >= source_.size()) {
+            current_ = {Tok::End, "", line_};
+            return;
+        }
+        char c = source_[pos_];
+        if (c == '%' || c == '@') {
+            size_t start = pos_++;
+            while (pos_ < source_.size() && isIdentChar(source_[pos_]))
+                ++pos_;
+            current_ = {c == '%' ? Tok::LocalVar : Tok::GlobalVar,
+                        std::string(source_.substr(start, pos_ - start)),
+                        line_};
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '-' && pos_ + 1 < source_.size() &&
+             std::isdigit(static_cast<unsigned char>(source_[pos_ + 1])))) {
+            size_t start = pos_++;
+            while (pos_ < source_.size() &&
+                   std::isdigit(static_cast<unsigned char>(source_[pos_]))) {
+                ++pos_;
+            }
+            current_ = {Tok::Number,
+                        std::string(source_.substr(start, pos_ - start)),
+                        line_};
+            return;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '.') {
+            size_t start = pos_++;
+            while (pos_ < source_.size() && isIdentChar(source_[pos_]))
+                ++pos_;
+            std::string text(source_.substr(start, pos_ - start));
+            if (pos_ < source_.size() && source_[pos_] == ':') {
+                ++pos_;
+                current_ = {Tok::LabelDef, std::move(text), line_};
+            } else {
+                current_ = {Tok::Word, std::move(text), line_};
+            }
+            return;
+        }
+        static const std::string punct = "(){}[],=*";
+        if (punct.find(c) != std::string::npos) {
+            ++pos_;
+            current_ = {Tok::Punct, std::string(1, c), line_};
+            return;
+        }
+        throw Error("llvm parse error (line " + std::to_string(line_) +
+                    "): unexpected character '" + std::string(1, c) + "'");
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < source_.size()) {
+            char c = source_[pos_];
+            if (c == ';') {
+                while (pos_ < source_.size() && source_[pos_] != '\n')
+                    ++pos_;
+            } else if (c == '\n') {
+                ++line_;
+                ++pos_;
+            } else if (std::isspace(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+    }
+
+    std::string_view source_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    Token current_;
+};
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view source) : lexer_(source) {}
+
+    Module
+    parse()
+    {
+        Module module;
+        types_ = module.types.get();
+        while (lexer_.peek().kind != Tok::End) {
+            const Token &token = lexer_.peek();
+            if (token.kind == Tok::GlobalVar) {
+                parseGlobal(module);
+            } else if (token.kind == Tok::Word &&
+                       token.text == "declare") {
+                parseDeclare(module);
+            } else if (token.kind == Tok::Word && token.text == "define") {
+                parseDefine(module);
+            } else {
+                lexer_.error("expected global, declare or define");
+            }
+        }
+        return module;
+    }
+
+  private:
+    // --- token helpers ----------------------------------------------------
+
+    Token
+    expect(Tok kind, const std::string &what)
+    {
+        if (lexer_.peek().kind != kind)
+            lexer_.error("expected " + what);
+        return lexer_.next();
+    }
+
+    void
+    expectWord(const std::string &word)
+    {
+        Token token = expect(Tok::Word, "'" + word + "'");
+        if (token.text != word)
+            lexer_.error("expected '" + word + "', got '" + token.text +
+                         "'");
+    }
+
+    void
+    expectPunct(const std::string &punct)
+    {
+        Token token = expect(Tok::Punct, "'" + punct + "'");
+        if (token.text != punct)
+            lexer_.error("expected '" + punct + "'");
+    }
+
+    bool
+    acceptWord(const std::string &word)
+    {
+        if (lexer_.peek().kind == Tok::Word && lexer_.peek().text == word) {
+            lexer_.next();
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    acceptPunct(const std::string &punct)
+    {
+        if (lexer_.peek().kind == Tok::Punct &&
+            lexer_.peek().text == punct) {
+            lexer_.next();
+            return true;
+        }
+        return false;
+    }
+
+    uint64_t
+    parseNumber()
+    {
+        Token token = expect(Tok::Number, "number");
+        return static_cast<uint64_t>(std::stoll(token.text));
+    }
+
+    // --- types --------------------------------------------------------------
+
+    const Type *
+    parseType()
+    {
+        const Type *base = parseBaseType();
+        while (acceptPunct("*"))
+            base = types_->pointerTo(base);
+        return base;
+    }
+
+    const Type *
+    parseBaseType()
+    {
+        const Token &token = lexer_.peek();
+        if (token.kind == Tok::Word) {
+            if (token.text == "void") {
+                lexer_.next();
+                return types_->voidType();
+            }
+            if (token.text.size() > 1 && token.text[0] == 'i') {
+                std::string digits = token.text.substr(1);
+                bool numeric = !digits.empty();
+                for (char c : digits) {
+                    if (!std::isdigit(static_cast<unsigned char>(c)))
+                        numeric = false;
+                }
+                if (numeric) {
+                    lexer_.next();
+                    unsigned bits =
+                        static_cast<unsigned>(std::stoul(digits));
+                    if (bits != 1 && bits != 8 && bits != 16 &&
+                        bits != 32 && bits != 64) {
+                        throw Error("unsupported type i" + digits);
+                    }
+                    return types_->intType(bits);
+                }
+            }
+        }
+        if (token.kind == Tok::Punct && token.text == "[") {
+            lexer_.next();
+            uint64_t length = parseNumber();
+            expectWord("x");
+            const Type *element = parseType();
+            expectPunct("]");
+            return types_->arrayOf(element, length);
+        }
+        if (token.kind == Tok::Punct && token.text == "{") {
+            lexer_.next();
+            std::vector<const Type *> fields;
+            if (!acceptPunct("}")) {
+                fields.push_back(parseType());
+                while (acceptPunct(","))
+                    fields.push_back(parseType());
+                expectPunct("}");
+            }
+            return types_->structOf(std::move(fields));
+        }
+        lexer_.error("expected type");
+    }
+
+    // --- values ---------------------------------------------------------------
+
+    Value
+    parseValue(const Type *type)
+    {
+        const Token &token = lexer_.peek();
+        if (token.kind == Tok::Number) {
+            uint64_t bits = static_cast<uint64_t>(
+                std::stoll(lexer_.next().text));
+            if (!type->isFirstClass())
+                lexer_.error("literal of non-integer type");
+            return Value::makeConst(type, ApInt(type->valueBits(), bits));
+        }
+        if (token.kind == Tok::Word && token.text == "true") {
+            lexer_.next();
+            return Value::makeConst(type, ApInt(1, 1));
+        }
+        if (token.kind == Tok::Word && token.text == "false") {
+            lexer_.next();
+            return Value::makeConst(type, ApInt(1, 0));
+        }
+        if (token.kind == Tok::Word && token.text == "null") {
+            lexer_.next();
+            return Value::makeConst(type, ApInt(64, 0));
+        }
+        if (token.kind == Tok::LocalVar)
+            return Value::makeVar(type, lexer_.next().text);
+        if (token.kind == Tok::GlobalVar)
+            return Value::makeGlobal(type, lexer_.next().text);
+        lexer_.error("expected value");
+    }
+
+    /** Parses "<type> <value>". */
+    Value
+    parseTypedValue()
+    {
+        const Type *type = parseType();
+        return parseValue(type);
+    }
+
+    // --- top-level entities ------------------------------------------------------
+
+    void
+    parseGlobal(Module &module)
+    {
+        Token name = expect(Tok::GlobalVar, "global name");
+        expectPunct("=");
+        acceptWord("external");
+        expectWord("global");
+        const Type *type = parseType();
+        // Optional ", align N" is accepted and ignored (our memory model
+        // is alignment-free; Section 4.2).
+        if (acceptPunct(","))
+            skipAlign();
+        module.globals.push_back({name.text, type});
+    }
+
+    void
+    skipAlign()
+    {
+        expectWord("align");
+        parseNumber();
+    }
+
+    void
+    parseSignature(Function &fn)
+    {
+        fn.returnType = parseType();
+        Token name = expect(Tok::GlobalVar, "function name");
+        fn.name = name.text;
+        expectPunct("(");
+        if (!acceptPunct(")")) {
+            do {
+                Parameter param;
+                param.type = parseType();
+                Token pname = expect(Tok::LocalVar, "parameter name");
+                param.name = pname.text;
+                fn.params.push_back(param);
+            } while (acceptPunct(","));
+            expectPunct(")");
+        }
+    }
+
+    void
+    parseDeclare(Module &module)
+    {
+        expectWord("declare");
+        Function fn;
+        fn.returnType = parseType();
+        Token name = expect(Tok::GlobalVar, "function name");
+        fn.name = name.text;
+        expectPunct("(");
+        if (!acceptPunct(")")) {
+            do {
+                Parameter param;
+                param.type = parseType();
+                if (lexer_.peek().kind == Tok::LocalVar)
+                    param.name = lexer_.next().text;
+                fn.params.push_back(param);
+            } while (acceptPunct(","));
+            expectPunct(")");
+        }
+        module.functions.push_back(std::move(fn));
+    }
+
+    void
+    parseDefine(Module &module)
+    {
+        expectWord("define");
+        Function fn;
+        parseSignature(fn);
+        expectPunct("{");
+        callSites_ = 0;
+        while (!acceptPunct("}")) {
+            BasicBlock block;
+            if (lexer_.peek().kind == Tok::LabelDef) {
+                block.name = lexer_.next().text;
+            } else if (fn.blocks.empty()) {
+                block.name = "entry";
+            } else {
+                lexer_.error("expected block label");
+            }
+            while (lexer_.peek().kind != Tok::LabelDef &&
+                   !(lexer_.peek().kind == Tok::Punct &&
+                     lexer_.peek().text == "}")) {
+                block.insts.push_back(parseInstruction());
+            }
+            if (block.insts.empty())
+                lexer_.error("empty basic block %" + block.name);
+            fn.blocks.push_back(std::move(block));
+        }
+        if (fn.blocks.empty())
+            lexer_.error("function body without blocks");
+        module.functions.push_back(std::move(fn));
+    }
+
+    // --- instructions ---------------------------------------------------------------
+
+    Instruction
+    parseInstruction()
+    {
+        const Token &token = lexer_.peek();
+        if (token.kind == Tok::LocalVar) {
+            std::string result = lexer_.next().text;
+            expectPunct("=");
+            Instruction inst = parseRhs();
+            inst.result = std::move(result);
+            return inst;
+        }
+        if (token.kind == Tok::Word) {
+            if (token.text == "store")
+                return parseStore();
+            if (token.text == "br")
+                return parseBr();
+            if (token.text == "switch")
+                return parseSwitch();
+            if (token.text == "ret")
+                return parseRet();
+            if (token.text == "call") {
+                Instruction inst = parseCall();
+                return inst;
+            }
+            if (token.text == "unreachable") {
+                lexer_.next();
+                Instruction inst;
+                inst.op = Opcode::Unreachable;
+                return inst;
+            }
+        }
+        lexer_.error("expected instruction");
+    }
+
+    std::optional<Opcode>
+    binOpcode(const std::string &word) const
+    {
+        if (word == "add") return Opcode::Add;
+        if (word == "sub") return Opcode::Sub;
+        if (word == "mul") return Opcode::Mul;
+        if (word == "udiv") return Opcode::UDiv;
+        if (word == "sdiv") return Opcode::SDiv;
+        if (word == "urem") return Opcode::URem;
+        if (word == "srem") return Opcode::SRem;
+        if (word == "and") return Opcode::And;
+        if (word == "or") return Opcode::Or;
+        if (word == "xor") return Opcode::Xor;
+        if (word == "shl") return Opcode::Shl;
+        if (word == "lshr") return Opcode::LShr;
+        if (word == "ashr") return Opcode::AShr;
+        return std::nullopt;
+    }
+
+    std::optional<Opcode>
+    castOpcode(const std::string &word) const
+    {
+        if (word == "zext") return Opcode::ZExt;
+        if (word == "sext") return Opcode::SExt;
+        if (word == "trunc") return Opcode::Trunc;
+        if (word == "ptrtoint") return Opcode::PtrToInt;
+        if (word == "inttoptr") return Opcode::IntToPtr;
+        if (word == "bitcast") return Opcode::Bitcast;
+        return std::nullopt;
+    }
+
+    Instruction
+    parseRhs()
+    {
+        Token opTok = expect(Tok::Word, "opcode");
+        const std::string &word = opTok.text;
+        Instruction inst;
+
+        if (auto bin = binOpcode(word)) {
+            inst.op = *bin;
+            // Flags (order-insensitive).
+            while (true) {
+                if (acceptWord("nuw")) {
+                    inst.nuw = true;
+                } else if (acceptWord("nsw")) {
+                    inst.nsw = true;
+                } else if (acceptWord("exact")) {
+                    // accepted, no semantic effect in our subset
+                } else {
+                    break;
+                }
+            }
+            inst.type = parseType();
+            inst.operands.push_back(parseValue(inst.type));
+            expectPunct(",");
+            inst.operands.push_back(parseValue(inst.type));
+            return inst;
+        }
+        if (word == "icmp") {
+            inst.op = Opcode::ICmp;
+            inst.pred = parsePred();
+            const Type *type = parseType();
+            inst.type = types_->intType(1);
+            inst.operands.push_back(parseValue(type));
+            expectPunct(",");
+            inst.operands.push_back(parseValue(type));
+            return inst;
+        }
+        if (auto cast = castOpcode(word)) {
+            inst.op = *cast;
+            const Type *from = parseType();
+            inst.operands.push_back(parseValue(from));
+            expectWord("to");
+            inst.type = parseType();
+            return inst;
+        }
+        if (word == "getelementptr") {
+            inst.op = Opcode::GetElementPtr;
+            acceptWord("inbounds");
+            inst.sourceType = parseType();
+            expectPunct(",");
+            const Type *ptrType = parseType();
+            inst.operands.push_back(parseValue(ptrType));
+            while (acceptPunct(",")) {
+                const Type *idxType = parseType();
+                inst.operands.push_back(parseValue(idxType));
+            }
+            inst.type = types_->pointerTo(resultOfGep(inst));
+            return inst;
+        }
+        if (word == "load") {
+            inst.op = Opcode::Load;
+            inst.type = parseType();
+            inst.sourceType = inst.type;
+            expectPunct(",");
+            const Type *ptrType = parseType();
+            inst.operands.push_back(parseValue(ptrType));
+            if (acceptPunct(","))
+                skipAlign();
+            return inst;
+        }
+        if (word == "alloca") {
+            inst.op = Opcode::Alloca;
+            inst.sourceType = parseType();
+            inst.type = types_->pointerTo(inst.sourceType);
+            if (acceptPunct(","))
+                skipAlign();
+            return inst;
+        }
+        if (word == "phi") {
+            inst.op = Opcode::Phi;
+            inst.type = parseType();
+            do {
+                expectPunct("[");
+                PhiIncoming incoming;
+                incoming.value = parseValue(inst.type);
+                expectPunct(",");
+                Token block = expect(Tok::LocalVar, "predecessor label");
+                incoming.block = block.text.substr(1);
+                expectPunct("]");
+                inst.incoming.push_back(std::move(incoming));
+            } while (acceptPunct(","));
+            return inst;
+        }
+        if (word == "select") {
+            inst.op = Opcode::Select;
+            const Type *condType = parseType();
+            inst.operands.push_back(parseValue(condType));
+            expectPunct(",");
+            inst.type = parseType();
+            inst.operands.push_back(parseValue(inst.type));
+            expectPunct(",");
+            const Type *elseType = parseType();
+            inst.operands.push_back(parseValue(elseType));
+            return inst;
+        }
+        if (word == "call")
+            return parseCallRest();
+        lexer_.error("unsupported opcode '" + word + "'");
+    }
+
+    ICmpPred
+    parsePred()
+    {
+        Token token = expect(Tok::Word, "icmp predicate");
+        const std::string &p = token.text;
+        if (p == "eq") return ICmpPred::Eq;
+        if (p == "ne") return ICmpPred::Ne;
+        if (p == "ult") return ICmpPred::Ult;
+        if (p == "ule") return ICmpPred::Ule;
+        if (p == "ugt") return ICmpPred::Ugt;
+        if (p == "uge") return ICmpPred::Uge;
+        if (p == "slt") return ICmpPred::Slt;
+        if (p == "sle") return ICmpPred::Sle;
+        if (p == "sgt") return ICmpPred::Sgt;
+        if (p == "sge") return ICmpPred::Sge;
+        lexer_.error("unknown icmp predicate '" + p + "'");
+    }
+
+    /** GEP result element type: descend per index list. */
+    const Type *
+    resultOfGep(const Instruction &inst)
+    {
+        const Type *ptrType = inst.operands[0].type;
+        if (!ptrType->isPointer())
+            lexer_.error("getelementptr base is not a pointer");
+        const Type *current = inst.sourceType;
+        // First index steps over the base pointer, keeping the type.
+        for (size_t i = 2; i < inst.operands.size(); ++i) {
+            if (current->isArray()) {
+                current = current->elementType();
+            } else if (current->isStruct()) {
+                const Value &index = inst.operands[i];
+                if (!index.isConst())
+                    lexer_.error("struct GEP index must be constant");
+                uint64_t field = index.constant.zext();
+                if (field >= current->fields().size())
+                    lexer_.error("struct GEP index out of range");
+                current = current->fields()[field];
+            } else {
+                lexer_.error("getelementptr into non-aggregate");
+            }
+        }
+        return current;
+    }
+
+    Instruction
+    parseStore()
+    {
+        expectWord("store");
+        Instruction inst;
+        inst.op = Opcode::Store;
+        const Type *valueType = parseType();
+        inst.type = valueType;
+        inst.operands.push_back(parseValue(valueType));
+        expectPunct(",");
+        const Type *ptrType = parseType();
+        inst.operands.push_back(parseValue(ptrType));
+        if (acceptPunct(","))
+            skipAlign();
+        return inst;
+    }
+
+    Instruction
+    parseBr()
+    {
+        expectWord("br");
+        Instruction inst;
+        if (acceptWord("label")) {
+            inst.op = Opcode::Br;
+            Token target = expect(Tok::LocalVar, "branch target");
+            inst.target1 = target.text.substr(1);
+            return inst;
+        }
+        inst.op = Opcode::CondBr;
+        const Type *condType = parseType();
+        inst.operands.push_back(parseValue(condType));
+        expectPunct(",");
+        expectWord("label");
+        Token t1 = expect(Tok::LocalVar, "true target");
+        inst.target1 = t1.text.substr(1);
+        expectPunct(",");
+        expectWord("label");
+        Token t2 = expect(Tok::LocalVar, "false target");
+        inst.target2 = t2.text.substr(1);
+        return inst;
+    }
+
+    Instruction
+    parseSwitch()
+    {
+        expectWord("switch");
+        Instruction inst;
+        inst.op = Opcode::Switch;
+        const Type *type = parseType();
+        inst.operands.push_back(parseValue(type));
+        expectPunct(",");
+        expectWord("label");
+        Token def = expect(Tok::LocalVar, "default label");
+        inst.target1 = def.text.substr(1);
+        expectPunct("[");
+        while (!acceptPunct("]")) {
+            const Type *case_type = parseType();
+            Value case_value = parseValue(case_type);
+            if (!case_value.isConst())
+                lexer_.error("switch case value must be constant");
+            expectPunct(",");
+            expectWord("label");
+            Token target = expect(Tok::LocalVar, "case label");
+            inst.switchCases.emplace_back(case_value.constant,
+                                          target.text.substr(1));
+        }
+        return inst;
+    }
+
+    Instruction
+    parseRet()
+    {
+        expectWord("ret");
+        Instruction inst;
+        inst.op = Opcode::Ret;
+        if (acceptWord("void"))
+            return inst;
+        const Type *type = parseType();
+        inst.operands.push_back(parseValue(type));
+        return inst;
+    }
+
+    Instruction
+    parseCall()
+    {
+        expectWord("call");
+        return parseCallRest();
+    }
+
+    Instruction
+    parseCallRest()
+    {
+        Instruction inst;
+        inst.op = Opcode::Call;
+        inst.type = parseType();
+        Token callee = expect(Tok::GlobalVar, "callee");
+        inst.callee = callee.text;
+        expectPunct("(");
+        if (!acceptPunct(")")) {
+            do {
+                inst.operands.push_back(parseTypedValue());
+            } while (acceptPunct(","));
+            expectPunct(")");
+        }
+        inst.callSiteId = "cs" + std::to_string(callSites_++);
+        return inst;
+    }
+
+    Lexer lexer_;
+    TypeContext *types_ = nullptr;
+    unsigned callSites_ = 0;
+};
+
+} // namespace
+
+Module
+parseModule(std::string_view source)
+{
+    return Parser(source).parse();
+}
+
+} // namespace keq::llvmir

@@ -1,0 +1,26 @@
+#ifndef KEQ_LLVMIR_PARSER_H
+#define KEQ_LLVMIR_PARSER_H
+
+/**
+ * @file
+ * Parser for the textual form of the LLVM IR subset.
+ *
+ * Accepts the standard LLVM assembly syntax for the supported constructs
+ * (see src/llvmir/ir.h); `; ...` comments are ignored. Unsupported
+ * constructs raise keq::support::Error with a line number, which the
+ * evaluation driver reports as "unsupported function" — the paper's
+ * category for the 840 SPEC functions outside the modelled fragment.
+ */
+
+#include <string_view>
+
+#include "src/llvmir/ir.h"
+
+namespace keq::llvmir {
+
+/** Parses a module; throws support::Error on malformed input. */
+Module parseModule(std::string_view source);
+
+} // namespace keq::llvmir
+
+#endif // KEQ_LLVMIR_PARSER_H

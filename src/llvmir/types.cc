@@ -1,0 +1,137 @@
+#include "src/llvmir/types.h"
+
+#include "src/support/diagnostics.h"
+
+namespace keq::llvmir {
+
+uint64_t
+Type::fieldOffset(unsigned index) const
+{
+    KEQ_ASSERT(isStruct() && index < fields_.size(),
+               "fieldOffset: bad struct field");
+    uint64_t offset = 0;
+    for (unsigned i = 0; i < index; ++i)
+        offset += fields_[i]->sizeInBytes();
+    return offset;
+}
+
+std::string
+Type::toString() const
+{
+    switch (kind_) {
+      case Kind::Void:
+        return "void";
+      case Kind::Integer:
+        return "i" + std::to_string(bitWidth_);
+      case Kind::Pointer:
+        return pointee_->toString() + "*";
+      case Kind::Array:
+        return "[" + std::to_string(length_) + " x " +
+               element_->toString() + "]";
+      case Kind::Struct: {
+        std::string out = "{";
+        for (size_t i = 0; i < fields_.size(); ++i) {
+            if (i > 0)
+                out += ", ";
+            out += fields_[i]->toString();
+        }
+        return out + "}";
+      }
+    }
+    return "?";
+}
+
+unsigned
+Type::valueBits() const
+{
+    if (isInteger())
+        return bitWidth_;
+    KEQ_ASSERT(isPointer(), "valueBits: not a first-class type");
+    return 64;
+}
+
+TypeContext::TypeContext()
+{
+    Type *v = allocate();
+    v->kind_ = Type::Kind::Void;
+    void_ = v;
+}
+
+Type *
+TypeContext::allocate()
+{
+    storage_.emplace_back();
+    return &storage_.back();
+}
+
+const Type *
+TypeContext::intType(unsigned bits)
+{
+    KEQ_ASSERT(bits == 1 || bits == 8 || bits == 16 || bits == 32 ||
+                   bits == 64,
+               "unsupported integer width i" + std::to_string(bits));
+    for (const Type *t : interned_) {
+        if (t->isInteger() && t->bitWidth() == bits)
+            return t;
+    }
+    Type *t = allocate();
+    t->kind_ = Type::Kind::Integer;
+    t->bitWidth_ = bits;
+    t->size_ = (bits + 7) / 8;
+    interned_.push_back(t);
+    return t;
+}
+
+const Type *
+TypeContext::pointerTo(const Type *pointee)
+{
+    for (const Type *t : interned_) {
+        if (t->isPointer() && t->pointee() == pointee)
+            return t;
+    }
+    Type *t = allocate();
+    t->kind_ = Type::Kind::Pointer;
+    t->pointee_ = pointee;
+    t->size_ = 8;
+    interned_.push_back(t);
+    return t;
+}
+
+const Type *
+TypeContext::arrayOf(const Type *element, uint64_t length)
+{
+    for (const Type *t : interned_) {
+        if (t->isArray() && t->elementType() == element &&
+            t->arrayLength() == length) {
+            return t;
+        }
+    }
+    Type *t = allocate();
+    t->kind_ = Type::Kind::Array;
+    t->element_ = element;
+    t->length_ = length;
+    t->size_ = element->sizeInBytes() * length;
+    interned_.push_back(t);
+    return t;
+}
+
+const Type *
+TypeContext::structOf(std::vector<const Type *> fields)
+{
+    for (const Type *t : interned_) {
+        if (t->isStruct() && t->fields() == fields)
+            return t;
+    }
+    Type *t = allocate();
+    t->kind_ = Type::Kind::Struct;
+    uint64_t size = 0;
+    for (const Type *field : fields)
+        size += field->sizeInBytes();
+    t->fields_ = std::move(fields);
+    t->size_ = size;
+    interned_.push_back(t);
+    return t;
+}
+
+} // namespace keq::llvmir
+

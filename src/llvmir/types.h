@@ -1,0 +1,110 @@
+#ifndef KEQ_LLVMIR_TYPES_H
+#define KEQ_LLVMIR_TYPES_H
+
+/**
+ * @file
+ * The LLVM IR type subset of Section 4.2: integer types i1/i8/i16/i32/i64,
+ * arbitrarily nested array and struct types, pointers to all of these, and
+ * void (for function returns).
+ *
+ * Types are interned in a TypeContext, so Type pointers compare with ==.
+ * Following the paper's memory model simplification, aggregate layout is
+ * packed: a struct field's offset is the sum of the preceding field sizes
+ * (no alignment padding), and our semantics rejects programs relying on
+ * alignment.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace keq::llvmir {
+
+class TypeContext;
+
+/** An interned LLVM IR type. */
+class Type
+{
+  public:
+    enum class Kind : uint8_t { Void, Integer, Pointer, Array, Struct };
+
+    Kind kind() const { return kind_; }
+    bool isVoid() const { return kind_ == Kind::Void; }
+    bool isInteger() const { return kind_ == Kind::Integer; }
+    bool isPointer() const { return kind_ == Kind::Pointer; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isStruct() const { return kind_ == Kind::Struct; }
+    /** Integer or pointer: representable as a bitvector value. */
+    bool isFirstClass() const { return isInteger() || isPointer(); }
+
+    /** Bit width; integers only. */
+    unsigned bitWidth() const { return bitWidth_; }
+
+    /** Pointee type; pointers only. */
+    const Type *pointee() const { return pointee_; }
+
+    /** Element type; arrays only. */
+    const Type *elementType() const { return element_; }
+    /** Element count; arrays only. */
+    uint64_t arrayLength() const { return length_; }
+
+    /** Field types; structs only. */
+    const std::vector<const Type *> &fields() const { return fields_; }
+
+    /** Size in bytes when stored in memory (packed layout). */
+    uint64_t sizeInBytes() const { return size_; }
+
+    /** Byte offset of struct field @p index (packed layout). */
+    uint64_t fieldOffset(unsigned index) const;
+
+    /** Textual rendering, e.g. "[8 x i8]*". */
+    std::string toString() const;
+
+    /**
+     * Width of the bitvector representing a value of this type: the bit
+     * width for integers, 64 for pointers.
+     */
+    unsigned valueBits() const;
+
+    /** Construct via TypeContext only (public for container use). */
+    Type() = default;
+
+  private:
+    friend class TypeContext;
+
+    Kind kind_ = Kind::Void;
+    unsigned bitWidth_ = 0;
+    const Type *pointee_ = nullptr;
+    const Type *element_ = nullptr;
+    uint64_t length_ = 0;
+    std::vector<const Type *> fields_;
+    uint64_t size_ = 0;
+};
+
+/** Interns types; owns their storage. One per module. */
+class TypeContext
+{
+  public:
+    TypeContext();
+    TypeContext(const TypeContext &) = delete;
+    TypeContext &operator=(const TypeContext &) = delete;
+
+    const Type *voidType() const { return void_; }
+    /** Integer type; width must be one of 1, 8, 16, 32, 64. */
+    const Type *intType(unsigned bits);
+    const Type *pointerTo(const Type *pointee);
+    const Type *arrayOf(const Type *element, uint64_t length);
+    const Type *structOf(std::vector<const Type *> fields);
+
+  private:
+    Type *allocate();
+
+    std::deque<Type> storage_;
+    const Type *void_;
+    std::vector<const Type *> interned_;
+};
+
+} // namespace keq::llvmir
+
+#endif // KEQ_LLVMIR_TYPES_H

@@ -1,0 +1,134 @@
+#include "src/llvmir/verifier.h"
+
+#include <map>
+#include <set>
+
+#include "src/support/diagnostics.h"
+#include "src/support/strings.h"
+
+namespace keq::llvmir {
+
+namespace {
+
+void
+verifyFunction(const Module &module, const Function &fn,
+               std::vector<std::string> &problems)
+{
+    auto complain = [&](const std::string &what) {
+        problems.push_back(fn.name + ": " + what);
+    };
+
+    std::set<std::string> block_names;
+    std::map<std::string, std::vector<std::string>> preds;
+    for (const BasicBlock &block : fn.blocks) {
+        if (!block_names.insert(block.name).second)
+            complain("duplicate block %" + block.name);
+    }
+    for (const BasicBlock &block : fn.blocks) {
+        for (const std::string &succ : block.successors()) {
+            if (!block_names.count(succ)) {
+                complain("branch to unknown block %" + succ + " from %" +
+                         block.name);
+            } else {
+                preds[succ].push_back(block.name);
+            }
+        }
+    }
+
+    // SSA definitions: params + instruction results, unique.
+    std::set<std::string> defs;
+    for (const Parameter &param : fn.params)
+        defs.insert(param.name);
+    for (const BasicBlock &block : fn.blocks) {
+        for (const Instruction &inst : block.insts) {
+            if (!inst.result.empty() && !defs.insert(inst.result).second)
+                complain("multiple definitions of " + inst.result);
+        }
+    }
+
+    for (const BasicBlock &block : fn.blocks) {
+        if (block.insts.empty()) {
+            complain("empty block %" + block.name);
+            continue;
+        }
+        for (size_t i = 0; i < block.insts.size(); ++i) {
+            const Instruction &inst = block.insts[i];
+            bool is_last = i + 1 == block.insts.size();
+            if (inst.isTerminator() != is_last) {
+                complain(std::string(is_last ? "missing" : "misplaced") +
+                         " terminator in %" + block.name);
+            }
+            if (inst.op == Opcode::Phi && i > 0 &&
+                block.insts[i - 1].op != Opcode::Phi) {
+                complain("phi not at head of %" + block.name);
+            }
+            // Operand resolution.
+            for (const Value &value : inst.operands) {
+                if (value.isVar() && !defs.count(value.name))
+                    complain("use of undefined value " + value.name);
+                if (value.isGlobal() && !module.findGlobal(value.name))
+                    complain("use of unknown global " + value.name);
+            }
+            if (inst.op == Opcode::Phi) {
+                std::set<std::string> incoming_blocks;
+                for (const PhiIncoming &incoming : inst.incoming) {
+                    incoming_blocks.insert(incoming.block);
+                    if (incoming.value.isVar() &&
+                        !defs.count(incoming.value.name)) {
+                        complain("phi uses undefined value " +
+                                 incoming.value.name);
+                    }
+                }
+                std::set<std::string> actual(preds[block.name].begin(),
+                                             preds[block.name].end());
+                if (incoming_blocks != actual) {
+                    complain("phi incoming blocks disagree with "
+                             "predecessors of %" +
+                             block.name);
+                }
+            }
+            if (inst.op == Opcode::Switch) {
+                std::set<uint64_t> case_values;
+                for (const auto &[value, target] : inst.switchCases) {
+                    if (!case_values.insert(value.zext()).second) {
+                        complain("duplicate switch case value " +
+                                 value.toString());
+                    }
+                }
+            }
+            if (inst.op == Opcode::Call) {
+                // Callee may be external (missing), matching the paper's
+                // treatment of unknown callees; nothing to check beyond
+                // syntax.
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+verifyModule(const Module &module)
+{
+    std::vector<std::string> problems;
+    std::set<std::string> fn_names;
+    for (const Function &fn : module.functions) {
+        if (!fn_names.insert(fn.name).second)
+            problems.push_back("duplicate function " + fn.name);
+        if (!fn.isDeclaration())
+            verifyFunction(module, fn, problems);
+    }
+    return problems;
+}
+
+void
+verifyModuleOrThrow(const Module &module)
+{
+    std::vector<std::string> problems = verifyModule(module);
+    if (!problems.empty()) {
+        support::fatal("llvm verifier: " +
+                       support::join(problems, "; "));
+    }
+}
+
+} // namespace keq::llvmir

@@ -1,0 +1,31 @@
+#ifndef KEQ_LLVMIR_VERIFIER_H
+#define KEQ_LLVMIR_VERIFIER_H
+
+/**
+ * @file
+ * Structural well-formedness checks for parsed LLVM IR modules.
+ *
+ * The verifier guards the semantics and the ISel pass against malformed
+ * inputs: unique SSA definitions, terminated blocks, resolvable branch
+ * targets, phi/predecessor agreement, and resolvable globals/callees.
+ * (Full SSA dominance checking is intentionally out of scope; the
+ * symbolic semantics havocs undominated uses, which is sound for the
+ * checker — it can only cause validation failures, never false proofs.)
+ */
+
+#include <string>
+#include <vector>
+
+#include "src/llvmir/ir.h"
+
+namespace keq::llvmir {
+
+/** Collected verification problems; empty means well-formed. */
+std::vector<std::string> verifyModule(const Module &module);
+
+/** Throws support::Error listing all problems when verification fails. */
+void verifyModuleOrThrow(const Module &module);
+
+} // namespace keq::llvmir
+
+#endif // KEQ_LLVMIR_VERIFIER_H

@@ -1,0 +1,27 @@
+#include "src/memory/concrete_memory.h"
+
+namespace keq::mem {
+
+ConcreteAccess
+ConcreteMemory::read(uint64_t address, unsigned size) const
+{
+    if (layout_->containing(address, size) == nullptr)
+        return {false, {}};
+    uint64_t bits = 0;
+    for (unsigned i = 0; i < size; ++i)
+        bits |= static_cast<uint64_t>(peek(address + i)) << (8 * i);
+    return {true, support::ApInt(8 * size, bits)};
+}
+
+bool
+ConcreteMemory::write(uint64_t address, support::ApInt value)
+{
+    unsigned size = value.width() / 8;
+    if (layout_->containing(address, size) == nullptr)
+        return false;
+    for (unsigned i = 0; i < size; ++i)
+        bytes_[address + i] = value.byte(i);
+    return true;
+}
+
+} // namespace keq::mem

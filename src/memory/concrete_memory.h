@@ -1,0 +1,64 @@
+#ifndef KEQ_MEMORY_CONCRETE_MEMORY_H
+#define KEQ_MEMORY_CONCRETE_MEMORY_H
+
+/**
+ * @file
+ * Concrete byte memory for the reference interpreters.
+ *
+ * The concrete LLVM IR and Virtual x86 interpreters (used by the ISel
+ * differential tests and the examples) execute against this store. It
+ * enforces the same bounds discipline as the symbolic model, so a
+ * miscompilation that reads out of bounds traps identically in both
+ * worlds.
+ */
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/memory/layout.h"
+#include "src/support/apint.h"
+
+namespace keq::mem {
+
+/** Outcome of a concrete memory access. */
+struct ConcreteAccess
+{
+    bool ok = false;
+    support::ApInt value; ///< Loaded value (reads only).
+};
+
+/** A concrete, bounds-checked, byte-addressable memory. */
+class ConcreteMemory
+{
+  public:
+    explicit ConcreteMemory(const MemoryLayout &layout) : layout_(&layout)
+    {}
+
+    /**
+     * Little-endian read of @p size bytes; `ok` is false when the access
+     * is not fully contained in an allocation.
+     */
+    ConcreteAccess read(uint64_t address, unsigned size) const;
+
+    /** Little-endian write; returns false on an out-of-bounds access. */
+    bool write(uint64_t address, support::ApInt value);
+
+    /** Raw byte access without bounds checks (test setup only). */
+    void poke(uint64_t address, uint8_t byte) { bytes_[address] = byte; }
+    uint8_t
+    peek(uint64_t address) const
+    {
+        auto it = bytes_.find(address);
+        return it == bytes_.end() ? 0 : it->second;
+    }
+
+    const MemoryLayout &layout() const { return *layout_; }
+
+  private:
+    const MemoryLayout *layout_;
+    std::unordered_map<uint64_t, uint8_t> bytes_;
+};
+
+} // namespace keq::mem
+
+#endif // KEQ_MEMORY_CONCRETE_MEMORY_H

@@ -1,0 +1,58 @@
+#include "src/memory/layout.h"
+
+#include "src/support/diagnostics.h"
+
+namespace keq::mem {
+
+const MemoryObject &
+MemoryLayout::addGlobal(const std::string &name, uint64_t size)
+{
+    KEQ_ASSERT(find(name) == nullptr, "duplicate global " + name);
+    return place(name, size, globalCursor_);
+}
+
+const MemoryObject &
+MemoryLayout::addStackSlot(const std::string &function,
+                           const std::string &slot, uint64_t size)
+{
+    std::string name = function + "/" + slot;
+    KEQ_ASSERT(find(name) == nullptr, "duplicate stack slot " + name);
+    return place(std::move(name), size, stackCursor_);
+}
+
+const MemoryObject &
+MemoryLayout::place(std::string name, uint64_t size, uint64_t &cursor)
+{
+    KEQ_ASSERT(size > 0, "zero-sized allocation " + name);
+    MemoryObject object;
+    object.name = std::move(name);
+    object.base = cursor;
+    object.size = size;
+    // Advance past the object, a guard gap, and round up to 16 bytes.
+    cursor += size + kGuardGap;
+    cursor = (cursor + 15) & ~uint64_t{15};
+    objects_.push_back(object);
+    return objects_.back();
+}
+
+const MemoryObject *
+MemoryLayout::find(const std::string &name) const
+{
+    for (const MemoryObject &object : objects_) {
+        if (object.name == name)
+            return &object;
+    }
+    return nullptr;
+}
+
+const MemoryObject *
+MemoryLayout::containing(uint64_t address, uint64_t access_size) const
+{
+    for (const MemoryObject &object : objects_) {
+        if (object.contains(address, access_size))
+            return &object;
+    }
+    return nullptr;
+}
+
+} // namespace keq::mem

@@ -1,0 +1,90 @@
+#ifndef KEQ_MEMORY_LAYOUT_H
+#define KEQ_MEMORY_LAYOUT_H
+
+/**
+ * @file
+ * The common memory model's allocation layout (Section 4.4).
+ *
+ * Both the LLVM IR and Virtual x86 semantics share one flat, sequentially
+ * consistent, byte-addressable address space. The layout records every
+ * allocation (globals and per-function stack slots) at a deterministic
+ * concrete base address; the *contents* stay symbolic (one term of the
+ * memory array sort). Sharing the layout object between the two semantics
+ * is what makes "the memories are equal" a single term equality — the
+ * paper's common.k shortcut.
+ *
+ * Objects are separated by guard gaps so that any access that strays
+ * outside an allocation lands on unmapped addresses and is flagged as an
+ * out-of-bounds error state (Section 4.6).
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace keq::mem {
+
+/** One allocation: a named, contiguous byte range. */
+struct MemoryObject
+{
+    std::string name; ///< "@g" for globals, "fn/%p" for stack slots.
+    uint64_t base = 0;
+    uint64_t size = 0;
+
+    bool
+    contains(uint64_t address, uint64_t access_size) const
+    {
+        return address >= base && access_size <= size &&
+               address - base <= size - access_size;
+    }
+};
+
+/**
+ * The allocation table shared by both languages.
+ *
+ * Globals are placed from kGlobalBase upward and stack slots from
+ * kStackBase upward, each 16-byte aligned with a 16-byte guard gap.
+ */
+class MemoryLayout
+{
+  public:
+    static constexpr uint64_t kGlobalBase = 0x0000000000100000ull;
+    static constexpr uint64_t kStackBase = 0x00007fff00000000ull;
+    static constexpr uint64_t kGuardGap = 16;
+
+    /** Registers a global object; name must be unique. */
+    const MemoryObject &addGlobal(const std::string &name, uint64_t size);
+
+    /**
+     * Registers a stack slot of @p function (an alloca / frame object).
+     * The internal name is "function/slot".
+     */
+    const MemoryObject &addStackSlot(const std::string &function,
+                                     const std::string &slot,
+                                     uint64_t size);
+
+    /** Looks up an object by its full name; null when absent. */
+    const MemoryObject *find(const std::string &name) const;
+
+    /**
+     * Returns the object that fully contains [address, address+size), or
+     * null when the access is (partially) out of bounds.
+     */
+    const MemoryObject *containing(uint64_t address,
+                                   uint64_t access_size) const;
+
+    const std::vector<MemoryObject> &objects() const { return objects_; }
+
+  private:
+    const MemoryObject &place(std::string name, uint64_t size,
+                              uint64_t &cursor);
+
+    std::vector<MemoryObject> objects_;
+    uint64_t globalCursor_ = kGlobalBase;
+    uint64_t stackCursor_ = kStackBase;
+};
+
+} // namespace keq::mem
+
+#endif // KEQ_MEMORY_LAYOUT_H

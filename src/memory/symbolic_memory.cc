@@ -1,0 +1,35 @@
+#include "src/memory/symbolic_memory.h"
+
+namespace keq::mem {
+
+AccessCheck
+SymbolicMemory::checkAccess(smt::Term address, unsigned access_size) const
+{
+    smt::TermFactory &tf = factory_;
+
+    // Fast path: constant address decides exactly.
+    if (address.isBvConst()) {
+        const MemoryObject *object =
+            layout_.containing(address.bvValue().zext(), access_size);
+        return {tf.boolConst(object != nullptr)};
+    }
+
+    // Symbolic address: in-bounds iff some object fully contains the
+    // access. Encoded as base <= address && address <= base + size - n,
+    // which is gap-free arithmetic because object sizes are >= n or the
+    // disjunct is dropped.
+    smt::Term in_bounds = tf.falseTerm();
+    for (const MemoryObject &object : layout_.objects()) {
+        if (object.size < access_size)
+            continue;
+        smt::Term base = tf.bvConst(64, object.base);
+        smt::Term last =
+            tf.bvConst(64, object.base + object.size - access_size);
+        smt::Term inside =
+            tf.mkAnd(tf.bvUle(base, address), tf.bvUle(address, last));
+        in_bounds = tf.mkOr(in_bounds, inside);
+    }
+    return {in_bounds};
+}
+
+} // namespace keq::mem

@@ -1,0 +1,72 @@
+#ifndef KEQ_MEMORY_SYMBOLIC_MEMORY_H
+#define KEQ_MEMORY_SYMBOLIC_MEMORY_H
+
+/**
+ * @file
+ * Symbolic access helpers over the common memory model.
+ *
+ * A symbolic memory is just a term of the memory array sort; these helpers
+ * add the undefined-behaviour dimension: every load/store is classified
+ * against the allocation layout, producing the in-bounds condition the
+ * semantics use to branch into out-of-bounds error states (Section 4.6).
+ */
+
+#include "src/memory/layout.h"
+#include "src/smt/term_factory.h"
+
+namespace keq::mem {
+
+/**
+ * Classification of a memory access against the layout.
+ *
+ * `inBounds` is a boolean term: true iff [address, address+size) falls
+ * entirely inside some allocation. For the constant addresses that
+ * dominate -O0 code it folds to a literal.
+ */
+struct AccessCheck
+{
+    smt::Term inBounds;
+
+    bool definitelyInBounds() const { return inBounds.isTrue(); }
+    bool definitelyOutOfBounds() const { return inBounds.isFalse(); }
+};
+
+/** Builds access-condition terms for one layout. */
+class SymbolicMemory
+{
+  public:
+    SymbolicMemory(smt::TermFactory &factory, const MemoryLayout &layout)
+        : factory_(factory), layout_(layout)
+    {}
+
+    /**
+     * Classifies an access of @p access_size bytes at @p address (a bv64
+     * term).
+     */
+    AccessCheck checkAccess(smt::Term address, unsigned access_size) const;
+
+    /** Little-endian read returning a bv(8*size) term. */
+    smt::Term
+    read(smt::Term memory, smt::Term address, unsigned size) const
+    {
+        return factory_.readBytes(memory, address, size);
+    }
+
+    /** Little-endian write returning the new memory term. */
+    smt::Term
+    write(smt::Term memory, smt::Term address, smt::Term value,
+          unsigned size) const
+    {
+        return factory_.writeBytes(memory, address, value, size);
+    }
+
+    const MemoryLayout &layout() const { return layout_; }
+
+  private:
+    smt::TermFactory &factory_;
+    const MemoryLayout &layout_;
+};
+
+} // namespace keq::mem
+
+#endif // KEQ_MEMORY_SYMBOLIC_MEMORY_H

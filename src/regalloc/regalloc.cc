@@ -1,0 +1,264 @@
+#include "src/regalloc/regalloc.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/support/diagnostics.h"
+#include "src/vx86/cfg_adapter.h"
+
+namespace keq::regalloc {
+
+using vx86::MBasicBlock;
+using vx86::MFunction;
+using vx86::MInst;
+using vx86::MOpcode;
+using vx86::MOperand;
+
+namespace {
+
+bool
+isVirtReg(const std::string &name)
+{
+    return name.size() > 3 && name.substr(0, 3) == "%vr";
+}
+
+/** Allocation color pool, callee-saved first so values that live across
+ *  calls color without spilling (caller-saved regs interfere with CALL
+ *  defs and are skipped automatically for those values). */
+const char *const kColorPool[] = {
+    "rbx", "r12", "r13", "r14", "r15", "rcx", "rsi",
+    "rdi", "r8",  "r9",  "r10", "r11", "rax", "rdx",
+};
+
+/** Finds the insertion point before a block's trailing jump sequence. */
+size_t
+beforeTerminators(const MBasicBlock &block)
+{
+    size_t at = block.insts.size();
+    while (at > 0) {
+        MOpcode op = block.insts[at - 1].op;
+        if (op == MOpcode::JMP || op == MOpcode::JCC ||
+            op == MOpcode::RET || op == MOpcode::UD2) {
+            --at;
+        } else {
+            break;
+        }
+    }
+    return at;
+}
+
+/**
+ * Replaces PHIs by COPYs in the predecessor blocks, routed through fresh
+ * temporaries (a full parallel-copy sequentialization: every source is
+ * read into a temp before any destination is written).
+ */
+void
+eliminatePhis(MFunction &fn, unsigned &next_vreg)
+{
+    for (MBasicBlock &block : fn.blocks) {
+        // Collect this block's phi group.
+        std::vector<MInst> phis;
+        size_t i = 0;
+        while (i < block.insts.size() &&
+               block.insts[i].op == MOpcode::PHI) {
+            phis.push_back(block.insts[i]);
+            ++i;
+        }
+        if (phis.empty())
+            continue;
+        block.insts.erase(block.insts.begin(),
+                          block.insts.begin() + static_cast<long>(i));
+
+        // Per predecessor: temp copies then destination copies.
+        std::set<std::string> preds;
+        for (const MInst &phi : phis) {
+            for (const auto &[value, pred] : phi.incoming)
+                preds.insert(pred);
+        }
+        for (const std::string &pred_name : preds) {
+            MBasicBlock *pred = nullptr;
+            for (MBasicBlock &candidate : fn.blocks) {
+                if (candidate.name == pred_name)
+                    pred = &candidate;
+            }
+            KEQ_ASSERT(pred != nullptr, "phi predecessor missing");
+
+            std::vector<MInst> reads, writes;
+            for (const MInst &phi : phis) {
+                const MOperand *source = nullptr;
+                for (const auto &[value, from] : phi.incoming) {
+                    if (from == pred_name)
+                        source = &value;
+                }
+                KEQ_ASSERT(source != nullptr,
+                           "phi lacks incoming for " + pred_name);
+                MOperand temp = MOperand::virtReg(next_vreg++,
+                                                  phi.ops[0].width);
+                MInst read;
+                read.op = MOpcode::COPY;
+                read.width = temp.width;
+                read.ops = {temp, *source};
+                reads.push_back(read);
+                MInst write;
+                write.op = MOpcode::COPY;
+                write.width = temp.width;
+                write.ops = {phi.ops[0], temp};
+                writes.push_back(write);
+            }
+            size_t at = beforeTerminators(*pred);
+            std::vector<MInst> batch = reads;
+            batch.insert(batch.end(), writes.begin(), writes.end());
+            pred->insts.insert(pred->insts.begin() +
+                                   static_cast<long>(at),
+                               batch.begin(), batch.end());
+        }
+    }
+}
+
+/** Pairwise interference sets keyed by register name. */
+using Interference = std::map<std::string, std::set<std::string>>;
+
+void
+addInterference(Interference &graph, const std::string &a,
+                const std::string &b)
+{
+    if (a == b)
+        return;
+    graph[a].insert(b);
+    graph[b].insert(a);
+}
+
+Interference
+buildInterference(const MFunction &fn)
+{
+    analysis::Cfg cfg = vx86::buildCfg(fn);
+    std::vector<analysis::BlockUseDef> facts = vx86::useDefFacts(fn, cfg);
+    analysis::Liveness liveness = analysis::computeLiveness(cfg, facts);
+
+    auto tracked = [](const std::string &name) {
+        return isVirtReg(name) || vx86::isPhysReg(name);
+    };
+
+    Interference graph;
+    for (const MBasicBlock &block : fn.blocks) {
+        std::set<std::string> live =
+            liveness.liveOut[cfg.indexOf(block.name)];
+        for (size_t i = block.insts.size(); i-- > 0;) {
+            std::set<std::string> use, def;
+            vx86::minstUseDef(block.insts[i], fn, use, def);
+            for (const std::string &defined : def) {
+                if (!tracked(defined))
+                    continue;
+                graph.try_emplace(defined); // ensure node exists
+                for (const std::string &other : live) {
+                    if (tracked(other) && other != defined)
+                        addInterference(graph, defined, other);
+                }
+            }
+            for (const std::string &defined : def)
+                live.erase(defined);
+            for (const std::string &used : use) {
+                if (tracked(used))
+                    live.insert(used);
+            }
+        }
+    }
+    return graph;
+}
+
+} // namespace
+
+AllocationResult
+allocateRegisters(const MFunction &input)
+{
+    AllocationResult result;
+    result.fn = input;
+    MFunction &fn = result.fn;
+
+    // Continue virtual register numbering past the existing maximum.
+    unsigned next_vreg = 0;
+    for (const MBasicBlock &block : fn.blocks) {
+        for (const MInst &inst : block.insts) {
+            auto bump = [&](const MOperand &op) {
+                if (op.kind == MOperand::Kind::VirtReg) {
+                    unsigned number = static_cast<unsigned>(std::stoul(
+                        op.reg.substr(3, op.reg.rfind('_') - 3)));
+                    next_vreg = std::max(next_vreg, number + 1);
+                }
+            };
+            for (const MOperand &op : inst.ops)
+                bump(op);
+            for (const auto &[value, pred] : inst.incoming)
+                bump(value);
+        }
+    }
+
+    eliminatePhis(fn, next_vreg);
+    Interference graph = buildInterference(fn);
+
+    // Greedy coloring, highest degree first.
+    std::vector<std::string> vregs;
+    for (const auto &[node, neighbours] : graph) {
+        if (isVirtReg(node))
+            vregs.push_back(node);
+    }
+    std::sort(vregs.begin(), vregs.end(),
+              [&](const std::string &a, const std::string &b) {
+                  size_t da = graph[a].size(), db = graph[b].size();
+                  return da != db ? da > db : a < b;
+              });
+
+    for (const std::string &vreg : vregs) {
+        std::set<std::string> forbidden;
+        for (const std::string &neighbour : graph[vreg]) {
+            if (vx86::isPhysReg(neighbour)) {
+                forbidden.insert(neighbour);
+            } else {
+                auto it = result.assignment.find(neighbour);
+                if (it != result.assignment.end())
+                    forbidden.insert(it->second);
+            }
+        }
+        const char *chosen = nullptr;
+        for (const char *color : kColorPool) {
+            if (!forbidden.count(color)) {
+                chosen = color;
+                break;
+            }
+        }
+        if (chosen == nullptr) {
+            throw support::Error(
+                fn.name + ": register pressure exceeds the register "
+                          "file (spilling not implemented)");
+        }
+        result.assignment[vreg] = chosen;
+    }
+
+    // Rewrite every virtual register operand to its physical register at
+    // the same access width.
+    auto rewrite = [&](MOperand &op) {
+        if (op.kind != MOperand::Kind::VirtReg)
+            return;
+        auto it = result.assignment.find(op.reg);
+        KEQ_ASSERT(it != result.assignment.end(),
+                   "unallocated virtual register " + op.reg);
+        op = MOperand::physReg(it->second, op.width);
+    };
+    for (MBasicBlock &block : fn.blocks) {
+        for (MInst &inst : block.insts) {
+            for (MOperand &op : inst.ops)
+                rewrite(op);
+            if (inst.addr.baseKind == vx86::MAddress::BaseKind::Reg)
+                rewrite(inst.addr.baseReg);
+            if (inst.addr.hasIndex())
+                rewrite(inst.addr.indexReg);
+            KEQ_ASSERT(inst.op != MOpcode::PHI,
+                       "phi survived elimination");
+        }
+    }
+    return result;
+}
+
+} // namespace keq::regalloc

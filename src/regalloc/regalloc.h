@@ -1,0 +1,54 @@
+#ifndef KEQ_REGALLOC_REGALLOC_H
+#define KEQ_REGALLOC_REGALLOC_H
+
+/**
+ * @file
+ * Register allocation for Virtual x86, plus the hints its validation
+ * needs.
+ *
+ * The paper's Section 1 describes ongoing work applying KEQ *unchanged*
+ * to LLVM's register allocation with a VC generator that treats the
+ * allocator as a black box. This module reproduces that experiment:
+ *
+ *  1. PHI elimination: phi pseudo-instructions are replaced by COPYs in
+ *     the predecessor blocks (routed through fresh temporaries, so the
+ *     classic lost-copy/swap hazards of parallel copies cannot bite);
+ *  2. liveness-based interference construction (per-instruction, with
+ *     physical registers precolored — values live across CALLs therefore
+ *     end up in callee-saved registers);
+ *  3. greedy graph coloring over the general-purpose register file.
+ *
+ * Spilling is not implemented: functions whose pressure exceeds the
+ * register file are rejected (support::Error), mirroring the unsupported
+ * category of the paper's evaluation.
+ *
+ * The output is a phi-free machine function using physical registers
+ * only, plus the vreg-to-register assignment — the black-box "hint" the
+ * regalloc VC generator (src/vcgen/regalloc_vcgen.h) consumes.
+ */
+
+#include <map>
+#include <string>
+
+#include "src/vx86/mir.h"
+
+namespace keq::regalloc {
+
+/** Result of allocating one function. */
+struct AllocationResult
+{
+    /** The rewritten, phi-free, physical-register-only function. */
+    vx86::MFunction fn;
+    /** Virtual register name -> canonical physical register name. */
+    std::map<std::string, std::string> assignment;
+};
+
+/**
+ * Allocates registers for @p fn. Throws support::Error when the function
+ * needs more simultaneously-live values than available registers.
+ */
+AllocationResult allocateRegisters(const vx86::MFunction &fn);
+
+} // namespace keq::regalloc
+
+#endif // KEQ_REGALLOC_REGALLOC_H

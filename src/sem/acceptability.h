@@ -1,0 +1,82 @@
+#ifndef KEQ_SEM_ACCEPTABILITY_H
+#define KEQ_SEM_ACCEPTABILITY_H
+
+/**
+ * @file
+ * The acceptability (compatibility) relation of Definition 7.8.
+ *
+ * This is the analogue of the paper's `common.k` module: it fixes what it
+ * means for states of the two languages to be "the same" beyond the
+ * per-point equality constraints — in our system, whole-memory equality
+ * (both semantics share the common memory model of Section 4.4) plus the
+ * undefined-behaviour matching policy of Section 4.6.
+ */
+
+#include "src/sem/symbolic_state.h"
+
+namespace keq::sem {
+
+/** Which side of the pair a state belongs to. */
+enum class Side : uint8_t { A, B };
+
+/**
+ * Policy interface for matching error states across the two programs.
+ *
+ * The default (IselAcceptability) implements Section 4.6: side-A (input
+ * language) error states are related to *any* side-B state, so the checker
+ * automatically degrades to refinement in the presence of input UB; side-B
+ * error states are related only to corresponding side-A error states.
+ */
+class Acceptability
+{
+  public:
+    virtual ~Acceptability() = default;
+
+    /**
+     * May an Error state on side A (kind @p a_kind) be matched against an
+     * arbitrary (non-error) side-B state?
+     */
+    virtual bool errorAcceptsAnyOutput(ErrorKind a_kind) const = 0;
+
+    /** Are an A-side error and a B-side error mutually related? */
+    virtual bool errorsRelated(ErrorKind a_kind, ErrorKind b_kind) const = 0;
+
+    /**
+     * Whether whole-memory equality is required at related points. Always
+     * true for the common-memory-model instantiation; exposed so toy
+     * language pairs without memory can opt out.
+     */
+    virtual bool requiresMemoryEquality() const { return true; }
+};
+
+/** Section 4.6 policy for the LLVM-to-Virtual-x86 instantiation. */
+class IselAcceptability : public Acceptability
+{
+  public:
+    bool
+    errorAcceptsAnyOutput(ErrorKind a_kind) const override
+    {
+        // Any LLVM undefined behaviour licenses arbitrary output
+        // behaviour; the verdict is then refinement, not equivalence.
+        return a_kind != ErrorKind::None;
+    }
+
+    bool
+    errorsRelated(ErrorKind a_kind, ErrorKind b_kind) const override
+    {
+        if (a_kind == b_kind)
+            return true;
+        // The x86 divide-error exception covers both LLVM division UB
+        // kinds (division by zero and INT_MIN / -1 overflow).
+        if (b_kind == ErrorKind::DivByZero &&
+            (a_kind == ErrorKind::DivByZero ||
+             a_kind == ErrorKind::SignedOverflow)) {
+            return true;
+        }
+        return false;
+    }
+};
+
+} // namespace keq::sem
+
+#endif // KEQ_SEM_ACCEPTABILITY_H

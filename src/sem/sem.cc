@@ -1,0 +1,122 @@
+#include <sstream>
+
+#include "src/sem/symbolic_state.h"
+#include "src/sem/sync_point.h"
+
+namespace keq::sem {
+
+const char *
+statusName(Status status)
+{
+    switch (status) {
+      case Status::Running: return "running";
+      case Status::Exited: return "exited";
+      case Status::AtCall: return "at-call";
+      case Status::Error: return "error";
+    }
+    return "?";
+}
+
+const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::None: return "none";
+      case ErrorKind::OutOfBounds: return "out-of-bounds";
+      case ErrorKind::DivByZero: return "div-by-zero";
+      case ErrorKind::SignedOverflow: return "signed-overflow";
+      case ErrorKind::Unreachable: return "unreachable";
+    }
+    return "?";
+}
+
+const char *
+syncKindName(SyncKind kind)
+{
+    switch (kind) {
+      case SyncKind::Entry: return "entry";
+      case SyncKind::Exit: return "exit";
+      case SyncKind::BlockEntry: return "block";
+      case SyncKind::BeforeCall: return "before-call";
+      case SyncKind::AfterCall: return "after-call";
+    }
+    return "?";
+}
+
+std::string
+SymbolicState::describe() const
+{
+    std::ostringstream os;
+    os << statusName(status);
+    switch (status) {
+      case Status::Running:
+        os << " @" << function << "/" << block << "#" << instIndex;
+        if (!cameFrom.empty())
+            os << " (from " << cameFrom << ")";
+        break;
+      case Status::Exited:
+        os << " @" << function;
+        if (result)
+            os << " ret=" << result.toString();
+        break;
+      case Status::AtCall:
+        os << " @" << function << " call " << callee << " [site "
+           << callSiteId << "]";
+        break;
+      case Status::Error:
+        os << " @" << function << "/" << block << " ("
+           << errorKindName(errorKind) << ")";
+        break;
+    }
+    return os.str();
+}
+
+std::string
+SyncConstraint::toString() const
+{
+    switch (kind) {
+      case Kind::AEqB:
+        return regA + " = " + regB;
+      case Kind::AEqConst:
+        return regA + " = " + value.toString();
+      case Kind::BEqConst:
+        return value.toString() + " = " + regB;
+    }
+    return "?";
+}
+
+size_t
+SyncPointSet::specTextSize() const
+{
+    return render().size();
+}
+
+std::string
+SyncPointSet::render() const
+{
+    std::ostringstream os;
+    os << "Sync Point | Kind | Loc A (prev) | Loc B (prev) | Constraints\n";
+    for (const SyncPoint &point : points) {
+        os << point.id << " | " << syncKindName(point.kind) << " | ";
+        os << point.a.block;
+        if (!point.a.cameFrom.empty())
+            os << " (" << point.a.cameFrom << ")";
+        if (!point.a.callSiteId.empty())
+            os << " [" << point.a.callSiteId << "]";
+        os << " | " << point.b.block;
+        if (!point.b.cameFrom.empty())
+            os << " (" << point.b.cameFrom << ")";
+        if (!point.b.callSiteId.empty())
+            os << " [" << point.b.callSiteId << "]";
+        os << " | ";
+        for (size_t i = 0; i < point.constraints.size(); ++i) {
+            if (i > 0)
+                os << ", ";
+            os << point.constraints[i].toString();
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace keq::sem

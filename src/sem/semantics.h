@@ -1,0 +1,98 @@
+#ifndef KEQ_SEM_SEMANTICS_H
+#define KEQ_SEM_SEMANTICS_H
+
+/**
+ * @file
+ * The language-semantics interface the checker is parameterized by.
+ *
+ * This plays the role of a K framework operational semantics definition in
+ * the paper: given a symbolic configuration, produce its symbolic
+ * successors. KEQ (src/keq) consumes two implementations of this interface
+ * and nothing else about the languages, which is what makes it the first
+ * language-parametric equivalence checker (paper Sections 1 and 3).
+ */
+
+#include <string>
+#include <vector>
+
+#include "src/sem/symbolic_state.h"
+#include "src/smt/term_factory.h"
+
+namespace keq::sem {
+
+/**
+ * Operational semantics of one language, specialized to one program
+ * (module + function set), exposing symbolic small steps.
+ *
+ * Requirements on implementations:
+ *  - Determinism up to path splitting: the successors of a state must have
+ *    pairwise-disjoint path-condition increments whose disjunction is
+ *    implied by the parent's path condition. The checker's positive-form
+ *    SMT optimization (paper Section 3) relies on this.
+ *  - Reading a register absent from the environment must havoc it (bind a
+ *    fresh variable), so under-constrained seeds over-approximate; the
+ *    checker stays sound (it may only fail more often).
+ *  - Block boundaries: when control transfers to block B from block A, the
+ *    successor state must have block = B, cameFrom = A, instIndex = 0, so
+ *    the checker can detect cut points.
+ */
+class Semantics
+{
+  public:
+    virtual ~Semantics() = default;
+
+    /** Language name, e.g. "LLVM" or "Vx86" (used in reports). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Executes one small step from @p state, returning all successor
+     * states. @p state must be Running. An empty result means the
+     * semantics got stuck, which the checker reports as a validation
+     * failure (never as success).
+     */
+    virtual std::vector<SymbolicState> step(const SymbolicState &state) = 0;
+
+    /**
+     * Builds a Running state positioned at @p seed with the given
+     * environment, memory and path condition.
+     */
+    virtual SymbolicState makeState(const StateSeed &seed,
+                                    std::map<std::string, smt::Term> env,
+                                    smt::Term memory,
+                                    smt::Term path_cond) = 0;
+
+    /**
+     * Returns the width in bits of the named register, used by the checker
+     * to create fresh variables for sync-point seeding. Must work for any
+     * register a sync point of this language may mention.
+     */
+    virtual unsigned registerWidth(const std::string &function,
+                                   const std::string &reg) const = 0;
+
+    /**
+     * Binds register @p reg (as spelled in sync-point constraints) to
+     * @p value in @p state. Implementations translate spellings to their
+     * internal environment keys (e.g. "eax" is the low 32 bits of the
+     * canonical "rax" slot).
+     */
+    virtual void bindRegister(SymbolicState &state,
+                              const std::string &function,
+                              const std::string &reg,
+                              smt::Term value) = 0;
+
+    /**
+     * Reads register @p reg from @p state (havocs an unbound register,
+     * recording the fresh binding in @p state). The reserved name
+     * sem::kReturnValueName reads the Exited state's return value.
+     */
+    virtual smt::Term readRegister(SymbolicState &state,
+                                   const std::string &function,
+                                   const std::string &reg) = 0;
+
+    /** The term factory shared by this semantics and the checker. */
+    virtual smt::TermFactory &factory() = 0;
+};
+
+} // namespace keq::sem
+
+#endif // KEQ_SEM_SEMANTICS_H

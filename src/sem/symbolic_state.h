@@ -1,0 +1,118 @@
+#ifndef KEQ_SEM_SYMBOLIC_STATE_H
+#define KEQ_SEM_SYMBOLIC_STATE_H
+
+/**
+ * @file
+ * Language-generic symbolic program states.
+ *
+ * The KEQ checker is parametric in the two language semantics (Section 3
+ * of the paper); the only state representation it manipulates is this one.
+ * A symbolic state is a program point plus a symbolic environment (name ->
+ * term), a symbolic memory (one term of the common memory sort), and a
+ * path condition. Language-specific registers (LLVM virtual registers, x86
+ * virtual/physical registers, eflags bits) all live in the environment
+ * under their textual names, so sync-point constraints can refer to them
+ * uniformly.
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/smt/term.h"
+
+namespace keq::sem {
+
+/** Execution status of a symbolic state. */
+enum class Status : uint8_t {
+    Running,  ///< At a program point inside the function.
+    Exited,   ///< Function returned; `result` holds the return value.
+    AtCall,   ///< Stopped at a call site boundary (Section 4.5).
+    Error,    ///< Undefined behaviour reached (Section 4.6).
+};
+
+const char *statusName(Status status);
+
+/** Kinds of undefined-behaviour error states our semantics produce. */
+enum class ErrorKind : uint8_t {
+    None,
+    OutOfBounds,    ///< Memory access outside any allocation.
+    DivByZero,      ///< Integer division by zero.
+    SignedOverflow, ///< nsw/nuw arithmetic overflow (LLVM only).
+    Unreachable,    ///< Executed an `unreachable` terminator.
+};
+
+const char *errorKindName(ErrorKind kind);
+
+/**
+ * A symbolic state of one program.
+ *
+ * Value-semantic and cheap to copy (terms are shared pointers into the
+ * factory). Symbolic execution produces successor states functionally.
+ */
+struct SymbolicState
+{
+    Status status = Status::Running;
+
+    // --- Location (meaningful while Running) -----------------------------
+    std::string function;
+    std::string block;    ///< Block currently being executed.
+    std::string cameFrom; ///< Predecessor block; empty at function entry.
+    size_t instIndex = 0; ///< Next instruction to execute within `block`.
+
+    /** True exactly when the state sits at the entry of `block`. */
+    bool
+    atBlockEntry() const
+    {
+        return status == Status::Running && instIndex == 0;
+    }
+
+    // --- Symbolic content -------------------------------------------------
+    /** Register / local variable valuation. */
+    std::map<std::string, smt::Term> env;
+    /** The whole memory as one term of the common memory sort. */
+    smt::Term memory;
+    /** Path condition accumulated since the seeding sync point. */
+    smt::Term pathCond;
+
+    // --- Exit payload -----------------------------------------------------
+    /** Return value term (null for void returns); valid when Exited. */
+    smt::Term result;
+
+    // --- Error payload ------------------------------------------------------
+    ErrorKind errorKind = ErrorKind::None;
+
+    // --- Call-boundary payload ---------------------------------------------
+    /** Callee symbol name; valid when AtCall. */
+    std::string callee;
+    /** Argument value terms at the call; valid when AtCall. */
+    std::vector<smt::Term> callArgs;
+    /**
+     * Stable identifier of the call site within the function (used to pair
+     * before/after-call sync points across the two programs).
+     */
+    std::string callSiteId;
+
+    /** Human-readable one-line rendering for logs and counterexamples. */
+    std::string describe() const;
+};
+
+/**
+ * Where to position a freshly seeded state (the symbolic "p_i" of the
+ * paper's Section 3 example). Produced by the checker from a sync point.
+ */
+struct StateSeed
+{
+    std::string function;
+    std::string block;
+    std::string cameFrom;
+    /**
+     * When nonempty, position the state immediately *after* the call site
+     * with this id instead of at the block entry (post-call sync points).
+     */
+    std::string afterCallSiteId;
+};
+
+} // namespace keq::sem
+
+#endif // KEQ_SEM_SYMBOLIC_STATE_H

@@ -1,0 +1,123 @@
+#ifndef KEQ_SEM_SYNC_POINT_H
+#define KEQ_SEM_SYNC_POINT_H
+
+/**
+ * @file
+ * Synchronization points: the verification condition format (Section 4.5).
+ *
+ * A sync point is a pair of symbolic program locations plus equality
+ * constraints over registers of the two programs — exactly the rows of the
+ * paper's Figure 3. A SyncPointSet is the full VC a generator hands to the
+ * checker; the checker proves the set is a cut-bisimulation.
+ *
+ * Side "A" is the input program (e.g. LLVM IR), side "B" the output
+ * program (e.g. Virtual x86); the format itself is language-agnostic.
+ */
+
+#include <string>
+#include <vector>
+
+#include "src/support/apint.h"
+
+namespace keq::sem {
+
+/** Reserved register name that resolves to a state's return value. */
+inline const std::string kReturnValueName = "$ret";
+
+/** Role of a sync point in the cut (Section 4.5's five categories). */
+enum class SyncKind : uint8_t {
+    Entry,      ///< Function entry (paper's p0).
+    Exit,       ///< Function exit; matches Exited states (paper's p3).
+    BlockEntry, ///< Loop-entry / block head (paper's p1, p2).
+    BeforeCall, ///< Exiting-like point just before a call site.
+    AfterCall,  ///< Entry-like point just after a call site.
+};
+
+const char *syncKindName(SyncKind kind);
+
+/** One side's location of a sync point. */
+struct SyncLoc
+{
+    std::string function;
+    std::string block;      ///< Empty for Exit points.
+    std::string cameFrom;   ///< Empty = unqualified by predecessor.
+    std::string callSiteId; ///< For Before/AfterCall points.
+};
+
+/** An equality constraint between the two sides' registers or a literal. */
+struct SyncConstraint
+{
+    enum class Kind : uint8_t {
+        AEqB,     ///< regA (side A) equals regB (side B).
+        AEqConst, ///< regA equals `value`.
+        BEqConst, ///< regB equals `value`.
+    };
+
+    Kind kind;
+    std::string regA;
+    std::string regB;
+    support::ApInt value;
+
+    static SyncConstraint
+    aEqB(std::string reg_a, std::string reg_b)
+    {
+        return {Kind::AEqB, std::move(reg_a), std::move(reg_b), {}};
+    }
+
+    static SyncConstraint
+    aEqConst(std::string reg_a, support::ApInt value)
+    {
+        return {Kind::AEqConst, std::move(reg_a), {}, value};
+    }
+
+    static SyncConstraint
+    bEqConst(std::string reg_b, support::ApInt value)
+    {
+        return {Kind::BEqConst, {}, std::move(reg_b), value};
+    }
+
+    std::string toString() const;
+};
+
+/**
+ * One synchronization point (one row of Figure 3).
+ *
+ * Whole-memory equality between the two sides is implicit at every point
+ * (Section 4.5, "Memory state"), supplied by the acceptability module.
+ */
+struct SyncPoint
+{
+    std::string id; ///< e.g. "p0", "loop.for.cond.from.entry".
+    SyncKind kind = SyncKind::BlockEntry;
+    SyncLoc a;
+    SyncLoc b;
+    std::vector<SyncConstraint> constraints;
+
+    /** True for kinds the checker seeds and executes from (non-sinks). */
+    bool
+    isSource() const
+    {
+        return kind == SyncKind::Entry || kind == SyncKind::BlockEntry ||
+               kind == SyncKind::AfterCall;
+    }
+};
+
+/** The full verification condition for one function pair. */
+struct SyncPointSet
+{
+    std::vector<SyncPoint> points;
+
+    /**
+     * Size (in characters) of the textual spec, the metric our evaluation
+     * uses to emulate the K-parser memory blow-up (paper Section 5.1,
+     * "Out of memory").
+     */
+    size_t specTextSize() const;
+
+    /** Figure 3-style table rendering. */
+    std::string render() const;
+};
+
+} // namespace keq::sem
+
+#endif // KEQ_SEM_SYNC_POINT_H

@@ -1,0 +1,208 @@
+#include "src/smt/evaluator.h"
+
+#include "src/support/diagnostics.h"
+
+namespace keq::smt {
+
+using support::ApInt;
+
+void
+Assignment::setBv(const std::string &name, ApInt value)
+{
+    bvs_[name] = value;
+}
+
+void
+Assignment::setBool(const std::string &name, bool value)
+{
+    bools_[name] = value;
+}
+
+void
+Assignment::setArrayByte(const std::string &name, uint64_t address,
+                         uint8_t value)
+{
+    arrays_[name][address] = value;
+}
+
+ApInt
+Assignment::bv(const std::string &name) const
+{
+    auto it = bvs_.find(name);
+    KEQ_ASSERT(it != bvs_.end(), "unassigned bitvector variable " + name);
+    return it->second;
+}
+
+bool
+Assignment::boolean(const std::string &name) const
+{
+    auto it = bools_.find(name);
+    KEQ_ASSERT(it != bools_.end(), "unassigned bool variable " + name);
+    return it->second;
+}
+
+uint8_t
+Assignment::arrayByte(const std::string &name, uint64_t address) const
+{
+    auto it = arrays_.find(name);
+    if (it == arrays_.end())
+        return 0;
+    auto byte_it = it->second.find(address);
+    return byte_it == it->second.end() ? 0 : byte_it->second;
+}
+
+bool
+Assignment::hasBv(const std::string &name) const
+{
+    return bvs_.count(name) != 0;
+}
+
+bool
+Assignment::hasBool(const std::string &name) const
+{
+    return bools_.count(name) != 0;
+}
+
+ApInt
+Evaluator::evalBv(Term term)
+{
+    KEQ_ASSERT(term.sort().isBitVec(), "evalBv: non-bitvec term");
+    unsigned width = term.sort().width();
+    switch (term.kind()) {
+      case Kind::BvConst:
+        return term.bvValue();
+      case Kind::Var:
+        return assignment_.bv(term.varName());
+      case Kind::Ite:
+        return evalBool(term.operand(0)) ? evalBv(term.operand(1))
+                                         : evalBv(term.operand(2));
+      case Kind::BvNot:
+        return evalBv(term.operand(0)).not_();
+      case Kind::BvNeg:
+        return evalBv(term.operand(0)).neg();
+      case Kind::ZExt:
+        return evalBv(term.operand(0)).zextTo(width);
+      case Kind::SExt:
+        return evalBv(term.operand(0)).sextTo(width);
+      case Kind::Extract: {
+        ApInt inner = evalBv(term.operand(0));
+        ApInt shifted = inner.lshr(ApInt(inner.width(), term.extractLo()));
+        return shifted.truncTo(width);
+      }
+      case Kind::Concat: {
+        ApInt high = evalBv(term.operand(0));
+        ApInt low = evalBv(term.operand(1));
+        uint64_t bits = (high.zext() << low.width()) | low.zext();
+        return ApInt(width, bits);
+      }
+      case Kind::Select: {
+        ArrayValue array = evalArray(term.operand(0));
+        uint64_t address = evalBv(term.operand(1)).zext();
+        return ApInt(8, readArray(array, address));
+      }
+      default:
+        break;
+    }
+    ApInt a = evalBv(term.operand(0));
+    ApInt b = evalBv(term.operand(1));
+    switch (term.kind()) {
+      case Kind::BvAdd: return a.add(b);
+      case Kind::BvSub: return a.sub(b);
+      case Kind::BvMul: return a.mul(b);
+      case Kind::BvUDiv:
+        // SMT-LIB semantics: division by zero yields all-ones.
+        return b.isZero() ? ApInt::allOnes(width) : a.udiv(b);
+      case Kind::BvSDiv:
+        return b.isZero()
+                   ? (a.isNegative() ? ApInt(width, 1)
+                                     : ApInt::allOnes(width))
+                   : a.sdiv(b);
+      case Kind::BvURem: return b.isZero() ? a : a.urem(b);
+      case Kind::BvSRem: return b.isZero() ? a : a.srem(b);
+      case Kind::BvAnd: return a.and_(b);
+      case Kind::BvOr: return a.or_(b);
+      case Kind::BvXor: return a.xor_(b);
+      case Kind::BvShl: return a.shl(b);
+      case Kind::BvLShr: return a.lshr(b);
+      case Kind::BvAShr: return a.ashr(b);
+      default:
+        KEQ_ASSERT(false, "evalBv: unhandled kind");
+    }
+    return a;
+}
+
+bool
+Evaluator::evalBool(Term term)
+{
+    KEQ_ASSERT(term.sort().isBool(), "evalBool: non-bool term");
+    switch (term.kind()) {
+      case Kind::BoolConst:
+        return term.boolValue();
+      case Kind::Var:
+        return assignment_.boolean(term.varName());
+      case Kind::Not:
+        return !evalBool(term.operand(0));
+      case Kind::And:
+        return evalBool(term.operand(0)) && evalBool(term.operand(1));
+      case Kind::Or:
+        return evalBool(term.operand(0)) || evalBool(term.operand(1));
+      case Kind::Implies:
+        return !evalBool(term.operand(0)) || evalBool(term.operand(1));
+      case Kind::Iff:
+        return evalBool(term.operand(0)) == evalBool(term.operand(1));
+      case Kind::Ite:
+        return evalBool(term.operand(0)) ? evalBool(term.operand(1))
+                                         : evalBool(term.operand(2));
+      case Kind::Eq: {
+        Term a = term.operand(0);
+        if (a.sort().isBool())
+            return evalBool(a) == evalBool(term.operand(1));
+        if (a.sort().isBitVec()) {
+            return evalBv(a).eq(evalBv(term.operand(1)));
+        }
+        // Memory equality under an assignment cannot be decided from a
+        // finite overlay in general; tests avoid it.
+        KEQ_ASSERT(false, "evalBool: array equality not supported");
+        return false;
+      }
+      case Kind::BvUlt:
+        return evalBv(term.operand(0)).ult(evalBv(term.operand(1)));
+      case Kind::BvUle:
+        return evalBv(term.operand(0)).ule(evalBv(term.operand(1)));
+      case Kind::BvSlt:
+        return evalBv(term.operand(0)).slt(evalBv(term.operand(1)));
+      case Kind::BvSle:
+        return evalBv(term.operand(0)).sle(evalBv(term.operand(1)));
+      default:
+        KEQ_ASSERT(false, "evalBool: unhandled kind");
+    }
+    return false;
+}
+
+Evaluator::ArrayValue
+Evaluator::evalArray(Term term)
+{
+    if (term.kind() == Kind::Var)
+        return ArrayValue{term.varName(), {}};
+    if (term.kind() == Kind::Ite) {
+        return evalBool(term.operand(0)) ? evalArray(term.operand(1))
+                                         : evalArray(term.operand(2));
+    }
+    KEQ_ASSERT(term.kind() == Kind::Store, "evalArray: unhandled kind");
+    ArrayValue base = evalArray(term.operand(0));
+    uint64_t address = evalBv(term.operand(1)).zext();
+    uint8_t value = static_cast<uint8_t>(evalBv(term.operand(2)).zext());
+    base.overlay[address] = value;
+    return base;
+}
+
+uint8_t
+Evaluator::readArray(const ArrayValue &array, uint64_t address) const
+{
+    auto it = array.overlay.find(address);
+    if (it != array.overlay.end())
+        return it->second;
+    return assignment_.arrayByte(array.base, address);
+}
+
+} // namespace keq::smt

@@ -1,0 +1,31 @@
+#include "src/smt/solver.h"
+
+#include "src/smt/term_factory.h"
+
+namespace keq::smt {
+
+const char *
+satResultName(SatResult result)
+{
+    switch (result) {
+      case SatResult::Sat: return "sat";
+      case SatResult::Unsat: return "unsat";
+      case SatResult::Unknown: return "unknown";
+    }
+    return "?";
+}
+
+bool
+Solver::proveImplication(Term hypothesis, Term conclusion)
+{
+    TermFactory &tf = factory();
+    // Fast path: folding already decided it.
+    Term negated = tf.mkAnd(hypothesis, tf.mkNot(conclusion));
+    if (negated.isFalse())
+        return true;
+    if (hypothesis.isTrue() && conclusion.isFalse())
+        return false;
+    return checkSat({negated}) == SatResult::Unsat;
+}
+
+} // namespace keq::smt

@@ -1,0 +1,66 @@
+#ifndef KEQ_SMT_SOLVER_H
+#define KEQ_SMT_SOLVER_H
+
+/**
+ * @file
+ * Solver interface used by the KEQ checker.
+ *
+ * The checker only needs two questions answered: satisfiability of a
+ * conjunction, and validity of an implication. Keeping the interface this
+ * small lets the checker stay agnostic of the backing solver, mirroring
+ * how the paper's K framework fronts Z3.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "src/smt/term.h"
+
+namespace keq::smt {
+
+/** Outcome of a satisfiability query. */
+enum class SatResult { Sat, Unsat, Unknown };
+
+const char *satResultName(SatResult result);
+
+/** Aggregate statistics over the life of a solver. */
+struct SolverStats
+{
+    uint64_t queries = 0;
+    uint64_t sat = 0;
+    uint64_t unsat = 0;
+    uint64_t unknown = 0;
+    double totalSeconds = 0.0;
+};
+
+/** Abstract satisfiability oracle. */
+class Solver
+{
+  public:
+    virtual ~Solver() = default;
+
+    /** Checks satisfiability of the conjunction of @p assertions. */
+    virtual SatResult checkSat(const std::vector<Term> &assertions) = 0;
+
+    /**
+     * Proves `hypothesis => conclusion` by checking that
+     * `hypothesis && !conclusion` is unsatisfiable.
+     *
+     * @return true only when the implication is proven valid; Unknown
+     *         results (e.g. timeouts) report false.
+     */
+    bool proveImplication(Term hypothesis, Term conclusion);
+
+    /** Per-query timeout; 0 means no limit. */
+    virtual void setTimeoutMs(unsigned timeout_ms) = 0;
+
+    virtual const SolverStats &stats() const = 0;
+
+  protected:
+    /** Factory that owns the terms this solver receives. */
+    virtual TermFactory &factory() = 0;
+};
+
+} // namespace keq::smt
+
+#endif // KEQ_SMT_SOLVER_H

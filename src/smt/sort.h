@@ -1,0 +1,84 @@
+#ifndef KEQ_SMT_SORT_H
+#define KEQ_SMT_SORT_H
+
+/**
+ * @file
+ * Sorts of the symbolic expression language.
+ *
+ * The checker needs exactly three sort families: booleans (path
+ * conditions), bitvectors of width 1..64 (program values), and a single
+ * array sort BV64 -> BV8 modelling the byte-addressable common memory
+ * (Section 4.4 of the paper).
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "src/support/diagnostics.h"
+
+namespace keq::smt {
+
+/** Sort of a term: Bool, BitVec(width) or the memory array sort. */
+class Sort
+{
+  public:
+    enum class Kind : uint8_t { Bool, BitVec, MemArray };
+
+    static constexpr Sort boolSort() { return Sort(Kind::Bool, 0); }
+
+    static constexpr Sort
+    bitVec(unsigned width)
+    {
+        return Sort(Kind::BitVec, width);
+    }
+
+    /** The memory sort: arrays from 64-bit addresses to bytes. */
+    static constexpr Sort memArray() { return Sort(Kind::MemArray, 0); }
+
+    constexpr Kind kind() const { return kind_; }
+    constexpr bool isBool() const { return kind_ == Kind::Bool; }
+    constexpr bool isBitVec() const { return kind_ == Kind::BitVec; }
+    constexpr bool isMemArray() const { return kind_ == Kind::MemArray; }
+
+    /** Bit width; only meaningful for BitVec sorts. */
+    constexpr unsigned
+    width() const
+    {
+        return width_;
+    }
+
+    constexpr bool operator==(const Sort &rhs) const = default;
+
+    std::string
+    toString() const
+    {
+        switch (kind_) {
+          case Kind::Bool:
+            return "Bool";
+          case Kind::BitVec:
+            return "bv" + std::to_string(width_);
+          case Kind::MemArray:
+            return "Mem";
+        }
+        return "?";
+    }
+
+    /** Dense encoding for hashing. */
+    constexpr uint32_t
+    encode() const
+    {
+        return (static_cast<uint32_t>(kind_) << 8) | width_;
+    }
+
+  private:
+    constexpr Sort(Kind kind, unsigned width)
+        : kind_(kind), width_(static_cast<uint8_t>(width))
+    {}
+
+    Kind kind_;
+    uint8_t width_;
+};
+
+} // namespace keq::smt
+
+#endif // KEQ_SMT_SORT_H

@@ -1,0 +1,189 @@
+#include "src/smt/term.h"
+
+#include <sstream>
+
+#include "src/smt/term_node.h"
+#include "src/support/diagnostics.h"
+
+namespace keq::smt {
+
+const char *
+kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::BvConst: return "bvconst";
+      case Kind::BoolConst: return "boolconst";
+      case Kind::Var: return "var";
+      case Kind::Not: return "not";
+      case Kind::And: return "and";
+      case Kind::Or: return "or";
+      case Kind::Implies: return "=>";
+      case Kind::Iff: return "iff";
+      case Kind::Ite: return "ite";
+      case Kind::BvAdd: return "bvadd";
+      case Kind::BvSub: return "bvsub";
+      case Kind::BvMul: return "bvmul";
+      case Kind::BvUDiv: return "bvudiv";
+      case Kind::BvSDiv: return "bvsdiv";
+      case Kind::BvURem: return "bvurem";
+      case Kind::BvSRem: return "bvsrem";
+      case Kind::BvAnd: return "bvand";
+      case Kind::BvOr: return "bvor";
+      case Kind::BvXor: return "bvxor";
+      case Kind::BvNot: return "bvnot";
+      case Kind::BvNeg: return "bvneg";
+      case Kind::BvShl: return "bvshl";
+      case Kind::BvLShr: return "bvlshr";
+      case Kind::BvAShr: return "bvashr";
+      case Kind::Eq: return "=";
+      case Kind::BvUlt: return "bvult";
+      case Kind::BvUle: return "bvule";
+      case Kind::BvSlt: return "bvslt";
+      case Kind::BvSle: return "bvsle";
+      case Kind::ZExt: return "zext";
+      case Kind::SExt: return "sext";
+      case Kind::Extract: return "extract";
+      case Kind::Concat: return "concat";
+      case Kind::Select: return "select";
+      case Kind::Store: return "store";
+    }
+    return "?";
+}
+
+Kind
+Term::kind() const
+{
+    return node_->kind();
+}
+
+Sort
+Term::sort() const
+{
+    return node_->sort();
+}
+
+uint64_t
+Term::id() const
+{
+    return node_->id();
+}
+
+size_t
+Term::numOperands() const
+{
+    return node_->operands().size();
+}
+
+Term
+Term::operand(size_t index) const
+{
+    KEQ_ASSERT(index < node_->operands().size(), "operand out of range");
+    return node_->operands()[index];
+}
+
+support::ApInt
+Term::bvValue() const
+{
+    KEQ_ASSERT(isBvConst(), "bvValue on non-constant");
+    return node_->bvValue();
+}
+
+bool
+Term::boolValue() const
+{
+    KEQ_ASSERT(isBoolConst(), "boolValue on non-constant");
+    return node_->boolValue();
+}
+
+const std::string &
+Term::varName() const
+{
+    KEQ_ASSERT(isVar(), "varName on non-variable");
+    return node_->name();
+}
+
+unsigned
+Term::extractHi() const
+{
+    KEQ_ASSERT(kind() == Kind::Extract, "extractHi on non-extract");
+    return node_->hi();
+}
+
+unsigned
+Term::extractLo() const
+{
+    KEQ_ASSERT(kind() == Kind::Extract, "extractLo on non-extract");
+    return node_->lo();
+}
+
+bool
+Term::isTrue() const
+{
+    return isBoolConst() && boolValue();
+}
+
+bool
+Term::isFalse() const
+{
+    return isBoolConst() && !boolValue();
+}
+
+namespace {
+
+void
+printTerm(std::ostream &os, const Term &term)
+{
+    switch (term.kind()) {
+      case Kind::BvConst:
+        os << term.bvValue().toString() << ":bv"
+           << term.bvValue().width();
+        return;
+      case Kind::BoolConst:
+        os << (term.boolValue() ? "true" : "false");
+        return;
+      case Kind::Var:
+        os << term.varName();
+        return;
+      case Kind::Extract:
+        os << "((_ extract " << term.extractHi() << " "
+           << term.extractLo() << ") ";
+        printTerm(os, term.operand(0));
+        os << ")";
+        return;
+      case Kind::ZExt:
+      case Kind::SExt:
+        os << "((_ " << kindName(term.kind()) << " "
+           << term.sort().width() << ") ";
+        printTerm(os, term.operand(0));
+        os << ")";
+        return;
+      default:
+        break;
+    }
+    os << "(" << kindName(term.kind());
+    for (size_t i = 0; i < term.numOperands(); ++i) {
+        os << " ";
+        printTerm(os, term.operand(i));
+    }
+    os << ")";
+}
+
+} // namespace
+
+std::string
+Term::toString() const
+{
+    if (isNull())
+        return "<null>";
+    std::ostringstream os;
+    printTerm(os, *this);
+    return os.str();
+}
+
+size_t
+TermHash::operator()(const Term &term) const
+{
+    return std::hash<const TermNode *>()(term.node());
+}
+
+} // namespace keq::smt

@@ -1,0 +1,145 @@
+#ifndef KEQ_SMT_TERM_H
+#define KEQ_SMT_TERM_H
+
+/**
+ * @file
+ * Hash-consed symbolic terms.
+ *
+ * Terms form an immutable DAG owned by a TermFactory. Structurally
+ * identical terms are shared, so pointer equality is structural equality
+ * and hashing a term is O(1). The factory performs aggressive constant
+ * folding and algebraic simplification on construction, which keeps
+ * symbolic execution of mostly-concrete -O0 code cheap and keeps SMT
+ * queries small (the paper's K backend relies on the same property).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/smt/sort.h"
+#include "src/support/apint.h"
+
+namespace keq::smt {
+
+class TermFactory;
+class TermNode;
+
+/** Operator / leaf kinds of the term language. */
+enum class Kind : uint8_t {
+    // Leaves.
+    BvConst,   ///< Bitvector literal (payload: ApInt).
+    BoolConst, ///< Boolean literal (payload: bool).
+    Var,       ///< Free variable (payload: name), any sort.
+
+    // Boolean connectives.
+    Not,
+    And,
+    Or,
+    Implies,
+    Iff,
+    Ite, ///< operands: cond, then, else; sort of then/else.
+
+    // Bitvector arithmetic (both operands same width).
+    BvAdd,
+    BvSub,
+    BvMul,
+    BvUDiv,
+    BvSDiv,
+    BvURem,
+    BvSRem,
+    BvAnd,
+    BvOr,
+    BvXor,
+    BvNot,
+    BvNeg,
+    BvShl,
+    BvLShr,
+    BvAShr,
+
+    // Predicates (result sort Bool).
+    Eq, ///< Polymorphic equality (bitvec, bool or memory sort).
+    BvUlt,
+    BvUle,
+    BvSlt,
+    BvSle,
+
+    // Width adjustment.
+    ZExt,    ///< payload: target width.
+    SExt,    ///< payload: target width.
+    Extract, ///< payload: hi, lo bit positions (inclusive).
+    Concat,  ///< operand 0 is the high part.
+
+    // Memory arrays.
+    Select, ///< operands: array, index(bv64); result bv8.
+    Store,  ///< operands: array, index(bv64), value(bv8); result Mem.
+};
+
+const char *kindName(Kind kind);
+
+/**
+ * A reference to a hash-consed term node.
+ *
+ * Cheap to copy; two Terms are structurally equal iff they compare equal.
+ * A default-constructed Term is null and only valid as a placeholder.
+ */
+class Term
+{
+  public:
+    constexpr Term() : node_(nullptr) {}
+
+    bool isNull() const { return node_ == nullptr; }
+    explicit operator bool() const { return node_ != nullptr; }
+
+    Kind kind() const;
+    Sort sort() const;
+    /** Stable, dense identifier (creation order within the factory). */
+    uint64_t id() const;
+
+    size_t numOperands() const;
+    Term operand(size_t index) const;
+
+    bool isBvConst() const { return kind() == Kind::BvConst; }
+    bool isBoolConst() const { return kind() == Kind::BoolConst; }
+    bool isVar() const { return kind() == Kind::Var; }
+    /** True for BvConst and BoolConst. */
+    bool isConst() const { return isBvConst() || isBoolConst(); }
+
+    /** Literal value; only valid when isBvConst(). */
+    support::ApInt bvValue() const;
+    /** Literal value; only valid when isBoolConst(). */
+    bool boolValue() const;
+    /** Variable name; only valid when isVar(). */
+    const std::string &varName() const;
+    /** Extract bounds; only valid for Extract terms. */
+    unsigned extractHi() const;
+    unsigned extractLo() const;
+
+    /** True if this is the literal `true`. */
+    bool isTrue() const;
+    /** True if this is the literal `false`. */
+    bool isFalse() const;
+
+    bool operator==(const Term &rhs) const = default;
+
+    /** SMT-LIB-flavoured rendering (for logs and tests). */
+    std::string toString() const;
+
+    const TermNode *node() const { return node_; }
+
+  private:
+    friend class TermFactory;
+    explicit constexpr Term(const TermNode *node) : node_(node) {}
+
+    const TermNode *node_;
+};
+
+/** Hash functor so Terms can key unordered containers. */
+struct TermHash
+{
+    size_t operator()(const Term &term) const;
+};
+
+} // namespace keq::smt
+
+#endif // KEQ_SMT_TERM_H

@@ -1,0 +1,163 @@
+#ifndef KEQ_SMT_TERM_FACTORY_H
+#define KEQ_SMT_TERM_FACTORY_H
+
+/**
+ * @file
+ * Construction, hash-consing and on-the-fly simplification of terms.
+ */
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/smt/term.h"
+#include "src/smt/term_node.h"
+#include "src/support/apint.h"
+
+namespace keq::smt {
+
+/**
+ * Owns all term nodes of one validation pipeline.
+ *
+ * Every constructor performs constant folding and light algebraic
+ * simplification before interning, so structurally equal (post-fold) terms
+ * are always pointer-equal. Not thread safe; each validation run owns one
+ * factory.
+ */
+class TermFactory
+{
+  public:
+    TermFactory();
+    TermFactory(const TermFactory &) = delete;
+    TermFactory &operator=(const TermFactory &) = delete;
+
+    // --- Leaves ---------------------------------------------------------
+
+    Term bvConst(support::ApInt value);
+    /** Convenience: bvConst(ApInt(width, value)). */
+    Term bvConst(unsigned width, uint64_t value);
+    Term boolConst(bool value);
+    Term trueTerm() { return true_; }
+    Term falseTerm() { return false_; }
+
+    /**
+     * Named free variable. Re-requesting the same name returns the same
+     * term; requesting it with a different sort is an internal error.
+     */
+    Term var(const std::string &name, Sort sort);
+
+    /** Fresh variable with a unique name derived from @p hint. */
+    Term freshVar(const std::string &hint, Sort sort);
+
+    // --- Boolean layer ---------------------------------------------------
+
+    Term mkNot(Term a);
+    Term mkAnd(Term a, Term b);
+    Term mkAnd(const std::vector<Term> &conjuncts);
+    Term mkOr(Term a, Term b);
+    Term mkOr(const std::vector<Term> &disjuncts);
+    Term mkImplies(Term a, Term b);
+    Term mkIff(Term a, Term b);
+    Term mkIte(Term cond, Term then_t, Term else_t);
+    Term mkEq(Term a, Term b);
+    Term mkDistinct(Term a, Term b) { return mkNot(mkEq(a, b)); }
+
+    // --- Bitvector layer --------------------------------------------------
+
+    /** Generic binary bitvector operation (arithmetic/bitwise/shift). */
+    Term bvBinOp(Kind kind, Term a, Term b);
+
+    Term bvAdd(Term a, Term b) { return bvBinOp(Kind::BvAdd, a, b); }
+    Term bvSub(Term a, Term b) { return bvBinOp(Kind::BvSub, a, b); }
+    Term bvMul(Term a, Term b) { return bvBinOp(Kind::BvMul, a, b); }
+    Term bvUDiv(Term a, Term b) { return bvBinOp(Kind::BvUDiv, a, b); }
+    Term bvSDiv(Term a, Term b) { return bvBinOp(Kind::BvSDiv, a, b); }
+    Term bvURem(Term a, Term b) { return bvBinOp(Kind::BvURem, a, b); }
+    Term bvSRem(Term a, Term b) { return bvBinOp(Kind::BvSRem, a, b); }
+    Term bvAnd(Term a, Term b) { return bvBinOp(Kind::BvAnd, a, b); }
+    Term bvOr(Term a, Term b) { return bvBinOp(Kind::BvOr, a, b); }
+    Term bvXor(Term a, Term b) { return bvBinOp(Kind::BvXor, a, b); }
+    Term bvShl(Term a, Term b) { return bvBinOp(Kind::BvShl, a, b); }
+    Term bvLShr(Term a, Term b) { return bvBinOp(Kind::BvLShr, a, b); }
+    Term bvAShr(Term a, Term b) { return bvBinOp(Kind::BvAShr, a, b); }
+
+    Term bvNot(Term a);
+    Term bvNeg(Term a);
+
+    /** Generic bitvector predicate (BvUlt/BvUle/BvSlt/BvSle or Eq). */
+    Term bvPredicate(Kind kind, Term a, Term b);
+
+    Term bvUlt(Term a, Term b) { return bvPredicate(Kind::BvUlt, a, b); }
+    Term bvUle(Term a, Term b) { return bvPredicate(Kind::BvUle, a, b); }
+    Term bvUgt(Term a, Term b) { return bvUlt(b, a); }
+    Term bvUge(Term a, Term b) { return bvUle(b, a); }
+    Term bvSlt(Term a, Term b) { return bvPredicate(Kind::BvSlt, a, b); }
+    Term bvSle(Term a, Term b) { return bvPredicate(Kind::BvSle, a, b); }
+    Term bvSgt(Term a, Term b) { return bvSlt(b, a); }
+    Term bvSge(Term a, Term b) { return bvSle(b, a); }
+
+    Term zext(Term a, unsigned new_width);
+    Term sext(Term a, unsigned new_width);
+    /** Bits [hi, lo] inclusive; result width hi - lo + 1. */
+    Term extract(Term a, unsigned hi, unsigned lo);
+    /** Truncation to the low @p new_width bits. */
+    Term trunc(Term a, unsigned new_width);
+    /** @p high becomes the most significant bits. */
+    Term concat(Term high, Term low);
+
+    // --- Memory arrays ----------------------------------------------------
+
+    Term select(Term array, Term index);
+    Term store(Term array, Term index, Term value);
+
+    /** Little-endian read of @p num_bytes bytes starting at @p address. */
+    Term readBytes(Term array, Term address, unsigned num_bytes);
+    /** Little-endian write of @p value (width 8*num_bytes). */
+    Term writeBytes(Term array, Term address, Term value,
+                    unsigned num_bytes);
+
+    // --- Introspection ----------------------------------------------------
+
+    /** Number of distinct nodes created (memory budget metric). */
+    size_t nodeCount() const { return nodes_.size(); }
+
+  private:
+    struct NodeKey
+    {
+        Kind kind;
+        uint32_t sort;
+        std::vector<uint64_t> operands;
+        uint64_t aux0; // ApInt bits / bool value / hi
+        uint64_t aux1; // ApInt width / lo
+        std::string name;
+
+        bool operator==(const NodeKey &rhs) const = default;
+    };
+
+    struct NodeKeyHash
+    {
+        size_t operator()(const NodeKey &key) const;
+    };
+
+    Term intern(Kind kind, Sort sort, std::vector<Term> operands,
+                support::ApInt bv_value = support::ApInt(),
+                bool bool_value = false, std::string name = {},
+                unsigned hi = 0, unsigned lo = 0);
+
+    /** Orders commutative operand pairs by node id for better sharing. */
+    static void canonicalizeCommutative(Kind kind, Term &a, Term &b);
+
+    std::deque<TermNode> nodes_;
+    std::unordered_map<NodeKey, Term, NodeKeyHash> interned_;
+    std::unordered_map<std::string, Sort> varSorts_;
+    uint64_t nextId_ = 0;
+    uint64_t freshCounter_ = 0;
+    Term true_;
+    Term false_;
+};
+
+} // namespace keq::smt
+
+#endif // KEQ_SMT_TERM_FACTORY_H

@@ -1,0 +1,58 @@
+#ifndef KEQ_SMT_TERM_NODE_H
+#define KEQ_SMT_TERM_NODE_H
+
+/**
+ * @file
+ * Internal representation of a hash-consed term node.
+ *
+ * Only the factory and the term accessors look inside nodes; client code
+ * uses the Term facade.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/smt/sort.h"
+#include "src/smt/term.h"
+#include "src/support/apint.h"
+
+namespace keq::smt {
+
+/** Immutable node storage; instances owned by a TermFactory. */
+class TermNode
+{
+  public:
+    TermNode(uint64_t id, Kind kind, Sort sort, std::vector<Term> operands,
+             support::ApInt bv_value, bool bool_value, std::string name,
+             unsigned hi, unsigned lo)
+        : id_(id), kind_(kind), sort_(sort),
+          operands_(std::move(operands)), bvValue_(bv_value),
+          boolValue_(bool_value), name_(std::move(name)), hi_(hi), lo_(lo)
+    {}
+
+    uint64_t id() const { return id_; }
+    Kind kind() const { return kind_; }
+    Sort sort() const { return sort_; }
+    const std::vector<Term> &operands() const { return operands_; }
+    support::ApInt bvValue() const { return bvValue_; }
+    bool boolValue() const { return boolValue_; }
+    const std::string &name() const { return name_; }
+    unsigned hi() const { return hi_; }
+    unsigned lo() const { return lo_; }
+
+  private:
+    uint64_t id_;
+    Kind kind_;
+    Sort sort_;
+    std::vector<Term> operands_;
+    support::ApInt bvValue_;
+    bool boolValue_;
+    std::string name_;
+    unsigned hi_;
+    unsigned lo_;
+};
+
+} // namespace keq::smt
+
+#endif // KEQ_SMT_TERM_NODE_H

@@ -1,0 +1,45 @@
+#ifndef KEQ_SMT_Z3_SOLVER_H
+#define KEQ_SMT_Z3_SOLVER_H
+
+/**
+ * @file
+ * Z3-backed implementation of the Solver interface.
+ *
+ * Each query runs on a fresh z3::solver (no incrementality), matching the
+ * paper's observation that the K/Z3 integration cold-starts every query —
+ * and keeping query times directly comparable per call.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "src/smt/solver.h"
+#include "src/smt/term_factory.h"
+
+namespace keq::smt {
+
+/** Translates terms to Z3 ASTs and discharges queries. */
+class Z3Solver : public Solver
+{
+  public:
+    explicit Z3Solver(TermFactory &factory);
+    ~Z3Solver() override;
+
+    SatResult checkSat(const std::vector<Term> &assertions) override;
+    void setTimeoutMs(unsigned timeout_ms) override;
+    const SolverStats &stats() const override { return stats_; }
+
+  protected:
+    TermFactory &factory() override { return factory_; }
+
+  private:
+    struct Impl; // hides <z3++.h> from clients
+    TermFactory &factory_;
+    std::unique_ptr<Impl> impl_;
+    SolverStats stats_;
+    unsigned timeoutMs_ = 0;
+};
+
+} // namespace keq::smt
+
+#endif // KEQ_SMT_Z3_SOLVER_H

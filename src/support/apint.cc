@@ -1,0 +1,224 @@
+#include "src/support/apint.h"
+
+#include <sstream>
+
+#include "src/support/diagnostics.h"
+
+namespace keq::support {
+
+ApInt
+ApInt::add(ApInt rhs) const
+{
+    KEQ_ASSERT(width_ == rhs.width_, "ApInt::add width mismatch");
+    return ApInt(width_, value_ + rhs.value_);
+}
+
+ApInt
+ApInt::sub(ApInt rhs) const
+{
+    KEQ_ASSERT(width_ == rhs.width_, "ApInt::sub width mismatch");
+    return ApInt(width_, value_ - rhs.value_);
+}
+
+ApInt
+ApInt::mul(ApInt rhs) const
+{
+    KEQ_ASSERT(width_ == rhs.width_, "ApInt::mul width mismatch");
+    return ApInt(width_, value_ * rhs.value_);
+}
+
+ApInt
+ApInt::udiv(ApInt rhs) const
+{
+    KEQ_ASSERT(width_ == rhs.width_, "ApInt::udiv width mismatch");
+    KEQ_ASSERT(!rhs.isZero(), "ApInt::udiv division by zero");
+    return ApInt(width_, value_ / rhs.value_);
+}
+
+ApInt
+ApInt::sdiv(ApInt rhs) const
+{
+    KEQ_ASSERT(width_ == rhs.width_, "ApInt::sdiv width mismatch");
+    KEQ_ASSERT(!rhs.isZero(), "ApInt::sdiv division by zero");
+    // INT_MIN / -1 wraps (the semantics layers flag it as UB before
+    // reaching here in contexts where it matters).
+    if (sext() == signedMin(width_).sext() && rhs.isAllOnes())
+        return signedMin(width_);
+    return ApInt(width_, static_cast<uint64_t>(sext() / rhs.sext()));
+}
+
+ApInt
+ApInt::urem(ApInt rhs) const
+{
+    KEQ_ASSERT(width_ == rhs.width_, "ApInt::urem width mismatch");
+    KEQ_ASSERT(!rhs.isZero(), "ApInt::urem division by zero");
+    return ApInt(width_, value_ % rhs.value_);
+}
+
+ApInt
+ApInt::srem(ApInt rhs) const
+{
+    KEQ_ASSERT(width_ == rhs.width_, "ApInt::srem width mismatch");
+    KEQ_ASSERT(!rhs.isZero(), "ApInt::srem division by zero");
+    if (sext() == signedMin(width_).sext() && rhs.isAllOnes())
+        return ApInt(width_, 0);
+    return ApInt(width_, static_cast<uint64_t>(sext() % rhs.sext()));
+}
+
+ApInt
+ApInt::and_(ApInt rhs) const
+{
+    KEQ_ASSERT(width_ == rhs.width_, "ApInt::and width mismatch");
+    return ApInt(width_, value_ & rhs.value_);
+}
+
+ApInt
+ApInt::or_(ApInt rhs) const
+{
+    KEQ_ASSERT(width_ == rhs.width_, "ApInt::or width mismatch");
+    return ApInt(width_, value_ | rhs.value_);
+}
+
+ApInt
+ApInt::xor_(ApInt rhs) const
+{
+    KEQ_ASSERT(width_ == rhs.width_, "ApInt::xor width mismatch");
+    return ApInt(width_, value_ ^ rhs.value_);
+}
+
+ApInt
+ApInt::not_() const
+{
+    return ApInt(width_, ~value_);
+}
+
+ApInt
+ApInt::neg() const
+{
+    return ApInt(width_, ~value_ + 1);
+}
+
+ApInt
+ApInt::shl(ApInt amount) const
+{
+    uint64_t sh = amount.zext();
+    if (sh >= width_)
+        return ApInt(width_, 0);
+    return ApInt(width_, value_ << sh);
+}
+
+ApInt
+ApInt::lshr(ApInt amount) const
+{
+    uint64_t sh = amount.zext();
+    if (sh >= width_)
+        return ApInt(width_, 0);
+    return ApInt(width_, value_ >> sh);
+}
+
+ApInt
+ApInt::ashr(ApInt amount) const
+{
+    uint64_t sh = amount.zext();
+    if (sh >= width_)
+        return isNegative() ? allOnes(width_) : ApInt(width_, 0);
+    return ApInt(width_, static_cast<uint64_t>(sext() >> sh));
+}
+
+ApInt
+ApInt::zextTo(unsigned new_width) const
+{
+    KEQ_ASSERT(new_width >= width_, "ApInt::zextTo narrows");
+    return ApInt(new_width, value_);
+}
+
+ApInt
+ApInt::sextTo(unsigned new_width) const
+{
+    KEQ_ASSERT(new_width >= width_, "ApInt::sextTo narrows");
+    return ApInt(new_width, static_cast<uint64_t>(sext()));
+}
+
+ApInt
+ApInt::truncTo(unsigned new_width) const
+{
+    KEQ_ASSERT(new_width <= width_, "ApInt::truncTo widens");
+    return ApInt(new_width, value_);
+}
+
+bool
+ApInt::addOverflowSigned(ApInt rhs) const
+{
+    int64_t a = sext(), b = rhs.sext();
+    int64_t r = add(rhs).sext();
+    return (a >= 0) == (b >= 0) && (r >= 0) != (a >= 0);
+}
+
+bool
+ApInt::addOverflowUnsigned(ApInt rhs) const
+{
+    return add(rhs).zext() < zext();
+}
+
+bool
+ApInt::subOverflowSigned(ApInt rhs) const
+{
+    int64_t a = sext(), b = rhs.sext();
+    int64_t r = sub(rhs).sext();
+    return (a >= 0) != (b >= 0) && (r >= 0) != (a >= 0);
+}
+
+bool
+ApInt::subOverflowUnsigned(ApInt rhs) const
+{
+    return zext() < rhs.zext();
+}
+
+bool
+ApInt::mulOverflowSigned(ApInt rhs) const
+{
+    if (isZero() || rhs.isZero())
+        return false;
+    if (width_ <= 32) {
+        int64_t full = sext() * rhs.sext();
+        return full != mul(rhs).sext();
+    }
+    __int128 full = static_cast<__int128>(sext()) * rhs.sext();
+    return full != static_cast<__int128>(mul(rhs).sext());
+}
+
+bool
+ApInt::mulOverflowUnsigned(ApInt rhs) const
+{
+    if (isZero() || rhs.isZero())
+        return false;
+    if (width_ <= 32) {
+        uint64_t full = zext() * rhs.zext();
+        return full != mul(rhs).zext();
+    }
+    unsigned __int128 full =
+        static_cast<unsigned __int128>(zext()) * rhs.zext();
+    return full != static_cast<unsigned __int128>(mul(rhs).zext());
+}
+
+std::string
+ApInt::toString() const
+{
+    return std::to_string(value_);
+}
+
+std::string
+ApInt::toSignedString() const
+{
+    return std::to_string(sext());
+}
+
+std::string
+ApInt::toHexString() const
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << value_;
+    return os.str();
+}
+
+} // namespace keq::support

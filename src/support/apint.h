@@ -1,0 +1,165 @@
+#ifndef KEQ_SUPPORT_APINT_H
+#define KEQ_SUPPORT_APINT_H
+
+/**
+ * @file
+ * Arbitrary-width (1..64 bit) two's-complement integers.
+ *
+ * Both language semantics in this repository (LLVM IR and Virtual x86)
+ * operate on integer values of width 1, 8, 16, 32 and 64 bits. ApInt is the
+ * shared concrete value representation: a width tag plus a value that is
+ * always kept masked to the width. All arithmetic wraps modulo 2^width,
+ * matching LLVM IR semantics; explicit predicates report the overflow
+ * conditions needed for undefined-behaviour detection (nsw/nuw) and for
+ * x86 flag computation.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace keq::support {
+
+/**
+ * A fixed-width integer value of 1 to 64 bits, value kept masked.
+ *
+ * ApInt is a small value type (16 bytes); pass by value.
+ */
+class ApInt
+{
+  public:
+    /** Default-constructs the 1-bit value 0. */
+    constexpr ApInt() : width_(1), value_(0) {}
+
+    /**
+     * Constructs a value of the given width; excess high bits of @p value
+     * are discarded.
+     *
+     * @param width Bit width, must be in [1, 64].
+     * @param value Raw bits; masked to @p width.
+     */
+    constexpr ApInt(unsigned width, uint64_t value)
+        : width_(static_cast<uint8_t>(width)), value_(value & mask(width))
+    {}
+
+    /** Returns the all-ones value of the given width (i.e. -1). */
+    static constexpr ApInt allOnes(unsigned width)
+    {
+        return ApInt(width, ~uint64_t{0});
+    }
+
+    /** Returns the minimum signed value of the given width (100...0). */
+    static constexpr ApInt signedMin(unsigned width)
+    {
+        return ApInt(width, uint64_t{1} << (width - 1));
+    }
+
+    /** Returns the maximum signed value of the given width (011...1). */
+    static constexpr ApInt signedMax(unsigned width)
+    {
+        return ApInt(width, (uint64_t{1} << (width - 1)) - 1);
+    }
+
+    /** Bit width in [1, 64]. */
+    constexpr unsigned width() const { return width_; }
+
+    /** Value zero-extended to 64 bits. */
+    constexpr uint64_t zext() const { return value_; }
+
+    /** Value sign-extended to 64 bits. */
+    constexpr int64_t
+    sext() const
+    {
+        if (width_ == 64)
+            return static_cast<int64_t>(value_);
+        uint64_t sign_bit = uint64_t{1} << (width_ - 1);
+        return static_cast<int64_t>((value_ ^ sign_bit) - sign_bit);
+    }
+
+    constexpr bool isZero() const { return value_ == 0; }
+    constexpr bool isAllOnes() const { return value_ == mask(width_); }
+    constexpr bool isNegative() const { return sext() < 0; }
+
+    /** Extracts the byte at @p index (0 = least significant). */
+    constexpr uint8_t
+    byte(unsigned index) const
+    {
+        return static_cast<uint8_t>(value_ >> (8 * index));
+    }
+
+    // Wrapping arithmetic. Operands must have equal widths.
+    ApInt add(ApInt rhs) const;
+    ApInt sub(ApInt rhs) const;
+    ApInt mul(ApInt rhs) const;
+    /** Unsigned division; @p rhs must be nonzero. */
+    ApInt udiv(ApInt rhs) const;
+    /** Signed division (truncating); @p rhs must be nonzero. */
+    ApInt sdiv(ApInt rhs) const;
+    /** Unsigned remainder; @p rhs must be nonzero. */
+    ApInt urem(ApInt rhs) const;
+    /** Signed remainder (sign of dividend); @p rhs must be nonzero. */
+    ApInt srem(ApInt rhs) const;
+
+    // Bitwise operations.
+    ApInt and_(ApInt rhs) const;
+    ApInt or_(ApInt rhs) const;
+    ApInt xor_(ApInt rhs) const;
+    ApInt not_() const;
+    ApInt neg() const;
+
+    /**
+     * Shifts. Shift amounts >= width yield 0 (or all sign bits for ashr),
+     * mirroring the *defined* fallback our semantics give oversize shifts.
+     */
+    ApInt shl(ApInt amount) const;
+    ApInt lshr(ApInt amount) const;
+    ApInt ashr(ApInt amount) const;
+
+    // Comparisons (operands must have equal widths).
+    bool eq(ApInt rhs) const { return value_ == rhs.value_; }
+    bool ne(ApInt rhs) const { return value_ != rhs.value_; }
+    bool ult(ApInt rhs) const { return value_ < rhs.value_; }
+    bool ule(ApInt rhs) const { return value_ <= rhs.value_; }
+    bool ugt(ApInt rhs) const { return value_ > rhs.value_; }
+    bool uge(ApInt rhs) const { return value_ >= rhs.value_; }
+    bool slt(ApInt rhs) const { return sext() < rhs.sext(); }
+    bool sle(ApInt rhs) const { return sext() <= rhs.sext(); }
+    bool sgt(ApInt rhs) const { return sext() > rhs.sext(); }
+    bool sge(ApInt rhs) const { return sext() >= rhs.sext(); }
+
+    // Width changes.
+    ApInt zextTo(unsigned new_width) const;
+    ApInt sextTo(unsigned new_width) const;
+    ApInt truncTo(unsigned new_width) const;
+
+    // Overflow predicates (used for UB detection and eflags).
+    bool addOverflowSigned(ApInt rhs) const;
+    bool addOverflowUnsigned(ApInt rhs) const;
+    bool subOverflowSigned(ApInt rhs) const;
+    bool subOverflowUnsigned(ApInt rhs) const;
+    bool mulOverflowSigned(ApInt rhs) const;
+    bool mulOverflowUnsigned(ApInt rhs) const;
+
+    /** Decimal rendering of the unsigned value. */
+    std::string toString() const;
+    /** Decimal rendering of the signed value. */
+    std::string toSignedString() const;
+    /** Hexadecimal rendering, zero padded to the width. */
+    std::string toHexString() const;
+
+    /** Structural equality: same width and same bits. */
+    bool operator==(const ApInt &rhs) const = default;
+
+  private:
+    static constexpr uint64_t
+    mask(unsigned width)
+    {
+        return width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+    }
+
+    uint8_t width_;
+    uint64_t value_;
+};
+
+} // namespace keq::support
+
+#endif // KEQ_SUPPORT_APINT_H

@@ -1,0 +1,23 @@
+#include "src/support/diagnostics.h"
+
+#include <sstream>
+
+namespace keq::support {
+
+void
+assertionFailed(const char *expr, const char *file, int line,
+                const std::string &message)
+{
+    std::ostringstream os;
+    os << "internal error: " << message << " [" << expr << " at " << file
+       << ":" << line << "]";
+    throw InternalError(os.str());
+}
+
+void
+fatal(const std::string &message)
+{
+    throw Error(message);
+}
+
+} // namespace keq::support

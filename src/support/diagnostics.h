@@ -1,0 +1,60 @@
+#ifndef KEQ_SUPPORT_DIAGNOSTICS_H
+#define KEQ_SUPPORT_DIAGNOSTICS_H
+
+/**
+ * @file
+ * Error reporting primitives shared by every module.
+ *
+ * Two failure classes, following the fatal()/panic() split common in
+ * systems simulators:
+ *  - Error: the *input* is at fault (unparsable program, unsupported
+ *    construct, bad configuration). Thrown as an exception and reported to
+ *    the user.
+ *  - internal assertion failure (KEQ_ASSERT): the *library* is at fault;
+ *    throws InternalError carrying the failing expression and location.
+ */
+
+#include <stdexcept>
+#include <string>
+
+namespace keq::support {
+
+/** User-level error: bad input program, configuration, or query. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &message)
+        : std::runtime_error(message)
+    {}
+};
+
+/** Internal invariant violation; indicates a bug in this library. */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string &message)
+        : std::logic_error(message)
+    {}
+};
+
+/** Builds and throws an InternalError; used by KEQ_ASSERT. */
+[[noreturn]] void assertionFailed(const char *expr, const char *file,
+                                  int line, const std::string &message);
+
+/** Builds and throws an Error with the given message. */
+[[noreturn]] void fatal(const std::string &message);
+
+} // namespace keq::support
+
+/**
+ * Asserts an internal invariant; throws keq::support::InternalError on
+ * failure. Always enabled (validation correctness depends on these checks).
+ */
+#define KEQ_ASSERT(expr, msg)                                               \
+    do {                                                                    \
+        if (!(expr))                                                        \
+            ::keq::support::assertionFailed(#expr, __FILE__, __LINE__,     \
+                                            (msg));                        \
+    } while (false)
+
+#endif // KEQ_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,120 @@
+#include "src/support/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "src/support/diagnostics.h"
+
+namespace keq::support {
+
+Histogram::Histogram(std::vector<double> boundaries)
+    : boundaries_(std::move(boundaries)), counts_(boundaries_.size(), 0)
+{
+    KEQ_ASSERT(!boundaries_.empty(), "histogram needs at least one bucket");
+    KEQ_ASSERT(std::is_sorted(boundaries_.begin(), boundaries_.end()),
+               "histogram boundaries must ascend");
+}
+
+Histogram
+Histogram::logSpaced(double lo, double step, unsigned count)
+{
+    std::vector<double> bounds;
+    double b = lo;
+    for (unsigned i = 0; i < count; ++i) {
+        bounds.push_back(b);
+        b *= step;
+    }
+    return Histogram(std::move(bounds));
+}
+
+void
+Histogram::add(double value)
+{
+    auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(),
+                               value);
+    size_t index = it == boundaries_.begin()
+                       ? 0
+                       : static_cast<size_t>(it - boundaries_.begin()) - 1;
+    ++counts_[index];
+    ++total_;
+    samples_.push_back(value);
+}
+
+double
+Histogram::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+           static_cast<double>(samples_.size());
+}
+
+double
+Histogram::median() const
+{
+    return percentile(50.0);
+}
+
+double
+Histogram::min() const
+{
+    return samples_.empty()
+               ? 0.0
+               : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+Histogram::max() const
+{
+    return samples_.empty()
+               ? 0.0
+               : *std::max_element(samples_.begin(), samples_.end());
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(std::floor(rank));
+    size_t hi = static_cast<size_t>(std::ceil(rank));
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::string
+Histogram::render(const std::string &unit) const
+{
+    std::ostringstream os;
+    uint64_t peak = counts_.empty()
+                        ? 0
+                        : *std::max_element(counts_.begin(), counts_.end());
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        os.setf(std::ios::fixed);
+        os.precision(3);
+        os << "[" << boundaries_[i] << unit << ", ";
+        if (i + 1 < boundaries_.size())
+            os << boundaries_[i + 1] << unit << ")";
+        else
+            os << "inf)";
+        os << "\t" << counts_[i] << "\t";
+        unsigned bar = peak == 0
+                           ? 0
+                           : static_cast<unsigned>(
+                                 60.0 * static_cast<double>(counts_[i]) /
+                                 static_cast<double>(peak));
+        for (unsigned j = 0; j < std::max(1u, bar); ++j)
+            os << '#';
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace keq::support

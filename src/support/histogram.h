@@ -1,0 +1,60 @@
+#ifndef KEQ_SUPPORT_HISTOGRAM_H
+#define KEQ_SUPPORT_HISTOGRAM_H
+
+/**
+ * @file
+ * Bucketed histograms for the evaluation harness (Figure 7 reproductions).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace keq::support {
+
+/**
+ * A histogram over explicit bucket boundaries.
+ *
+ * Buckets are [b0, b1), [b1, b2), ..., [b_{n-1}, +inf). Values below b0
+ * fall in the first bucket.
+ */
+class Histogram
+{
+  public:
+    /** @param boundaries Ascending bucket lower bounds; must be nonempty. */
+    explicit Histogram(std::vector<double> boundaries);
+
+    /** Returns log-spaced boundaries: lo, lo*step, lo*step^2, ... (count). */
+    static Histogram logSpaced(double lo, double step, unsigned count);
+
+    void add(double value);
+
+    size_t bucketCount() const { return counts_.size(); }
+    uint64_t bucketCountAt(size_t index) const { return counts_[index]; }
+    uint64_t total() const { return total_; }
+
+    double mean() const;
+    double median() const;
+    double min() const;
+    double max() const;
+    /** p in [0, 100]. */
+    double percentile(double p) const;
+
+    /**
+     * Renders an ASCII table with one row per nonempty bucket:
+     * "[lo, hi)  count  bar".
+     *
+     * @param unit Label appended to bucket bounds (e.g. "s", "insts").
+     */
+    std::string render(const std::string &unit) const;
+
+  private:
+    std::vector<double> boundaries_;
+    std::vector<uint64_t> counts_;
+    std::vector<double> samples_; // kept for exact percentiles
+    uint64_t total_ = 0;
+};
+
+} // namespace keq::support
+
+#endif // KEQ_SUPPORT_HISTOGRAM_H

@@ -1,0 +1,62 @@
+#ifndef KEQ_SUPPORT_RNG_H
+#define KEQ_SUPPORT_RNG_H
+
+/**
+ * @file
+ * Deterministic pseudo-random number generator (SplitMix64).
+ *
+ * The synthetic workload corpus (src/driver) and the property-based tests
+ * must be reproducible across runs and platforms, so we avoid
+ * std::mt19937's distribution nondeterminism and use our own generator and
+ * range reduction.
+ */
+
+#include <cstdint>
+
+namespace keq::support {
+
+/** SplitMix64 generator: tiny, fast, and high quality for this use. */
+class Rng
+{
+  public:
+    explicit constexpr Rng(uint64_t seed) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    constexpr uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound); @p bound must be nonzero. */
+    constexpr uint64_t
+    below(uint64_t bound)
+    {
+        // Debiased modulo is unnecessary at our scales; keep it simple and
+        // deterministic.
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    constexpr uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw: true with probability @p percent / 100. */
+    constexpr bool chancePercent(unsigned percent)
+    {
+        return below(100) < percent;
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace keq::support
+
+#endif // KEQ_SUPPORT_RNG_H

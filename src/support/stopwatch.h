@@ -1,0 +1,38 @@
+#ifndef KEQ_SUPPORT_STOPWATCH_H
+#define KEQ_SUPPORT_STOPWATCH_H
+
+/**
+ * @file
+ * Monotonic wall-clock stopwatch for budgets and reporting.
+ */
+
+#include <chrono>
+
+namespace keq::support {
+
+/** Measures elapsed wall time from construction or the last reset. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed time in seconds. */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Elapsed time in milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace keq::support
+
+#endif // KEQ_SUPPORT_STOPWATCH_H

@@ -1,0 +1,208 @@
+#include "src/vcgen/regalloc_vcgen.h"
+
+#include <set>
+
+#include "src/analysis/cfg.h"
+#include "src/support/diagnostics.h"
+#include "src/vx86/cfg_adapter.h"
+
+namespace keq::vcgen {
+
+using regalloc::AllocationResult;
+using sem::SyncConstraint;
+using sem::SyncKind;
+using sem::SyncPoint;
+using vx86::MBasicBlock;
+using vx86::MFunction;
+using vx86::MInst;
+using vx86::MOpcode;
+
+namespace {
+
+bool
+isVirtReg(const std::string &name)
+{
+    return name.size() > 3 && name.substr(0, 3) == "%vr";
+}
+
+bool
+isFlagName(const std::string &name)
+{
+    return name == "zf" || name == "sf" || name == "cf" || name == "of";
+}
+
+unsigned
+widthOfVirtReg(const std::string &name)
+{
+    return static_cast<unsigned>(
+        std::stoul(name.substr(name.rfind('_') + 1)));
+}
+
+} // namespace
+
+VcResult
+generateRegAllocSyncPoints(const MFunction &pre,
+                           const AllocationResult &allocation)
+{
+    VcResult result;
+    analysis::Cfg cfg = vx86::buildCfg(pre);
+    std::vector<analysis::BlockUseDef> facts =
+        vx86::useDefFacts(pre, cfg);
+    analysis::Liveness liveness = analysis::computeLiveness(cfg, facts);
+    unsigned next_id = 0;
+    auto fresh_id = [&]() { return "p" + std::to_string(next_id++); };
+
+    /** Relates a pre-RA register to its post-RA location. */
+    auto locate = [&](SyncPoint &point, const std::string &reg) {
+        if (isFlagName(reg)) {
+            result.adequate = false;
+            result.warnings.push_back(point.id + ": eflags bit " + reg +
+                                      " live across a sync point");
+            return;
+        }
+        if (!isVirtReg(reg)) {
+            // A physical register on the pre-RA side maps to itself.
+            std::string spelling = vx86::physRegSpelling(reg, 64);
+            point.constraints.push_back(
+                SyncConstraint::aEqB(spelling, spelling));
+            return;
+        }
+        auto it = allocation.assignment.find(reg);
+        if (it == allocation.assignment.end()) {
+            result.adequate = false;
+            result.warnings.push_back(point.id + ": live register " +
+                                      reg + " has no assignment hint");
+            return;
+        }
+        point.constraints.push_back(SyncConstraint::aEqB(
+            reg,
+            vx86::physRegSpelling(it->second, widthOfVirtReg(reg))));
+    };
+
+    // --- Entry -----------------------------------------------------------
+    {
+        SyncPoint point;
+        point.id = fresh_id();
+        point.kind = SyncKind::Entry;
+        point.a = {pre.name, pre.blocks.front().name, "", ""};
+        point.b = {allocation.fn.name,
+                   allocation.fn.blocks.front().name, "", ""};
+        for (const std::string &reg : liveness.liveIn[cfg.entry()])
+            locate(point, reg);
+        result.points.points.push_back(std::move(point));
+    }
+
+    // --- Loop headers, one point per incoming edge --------------------------
+    for (const analysis::NaturalLoop &loop : analysis::naturalLoops(cfg)) {
+        const std::string &header = cfg.name(loop.header);
+        const MBasicBlock *hblock = pre.findBlock(header);
+        for (size_t pred : cfg.predecessors(loop.header)) {
+            const std::string &pred_name = cfg.name(pred);
+            SyncPoint point;
+            point.id = fresh_id();
+            point.kind = SyncKind::BlockEntry;
+            point.a = {pre.name, header, pred_name, ""};
+            point.b = {allocation.fn.name, header, pred_name, ""};
+
+            // Pass-through values: live into the header.
+            for (const std::string &reg :
+                 liveness.liveIn[loop.header]) {
+                locate(point, reg);
+            }
+            // Phi inputs: side A reads them at the head; side B's copies
+            // already placed the value in the phi destination's register.
+            for (const MInst &inst : hblock->insts) {
+                if (inst.op != MOpcode::PHI)
+                    break;
+                for (const auto &[value, from] : inst.incoming) {
+                    if (from != pred_name || !value.isReg())
+                        continue;
+                    auto it =
+                        allocation.assignment.find(inst.ops[0].reg);
+                    if (it == allocation.assignment.end()) {
+                        result.adequate = false;
+                        result.warnings.push_back(
+                            point.id + ": phi destination " +
+                            inst.ops[0].reg + " has no assignment");
+                        continue;
+                    }
+                    point.constraints.push_back(SyncConstraint::aEqB(
+                        value.reg,
+                        vx86::physRegSpelling(it->second,
+                                              inst.ops[0].width)));
+                }
+            }
+            result.points.points.push_back(std::move(point));
+        }
+    }
+
+    // --- Call boundaries -----------------------------------------------------
+    for (const MBasicBlock &block : pre.blocks) {
+        for (size_t i = 0; i < block.insts.size(); ++i) {
+            const MInst &inst = block.insts[i];
+            if (inst.op != MOpcode::CALL)
+                continue;
+            // Values live just after the call (intra-block backward scan
+            // seeded with the block's live-out).
+            std::set<std::string> live =
+                liveness.liveOut[cfg.indexOf(block.name)];
+            for (size_t j = block.insts.size(); j-- > i + 1;) {
+                std::set<std::string> use, def;
+                vx86::minstUseDef(block.insts[j], pre, use, def);
+                for (const std::string &name : def)
+                    live.erase(name);
+                live.insert(use.begin(), use.end());
+            }
+            std::set<std::string> survivors = live;
+            survivors.erase("rax");
+
+            SyncPoint before;
+            before.id = fresh_id();
+            before.kind = SyncKind::BeforeCall;
+            before.a = {pre.name, block.name, "", inst.callSiteId};
+            before.b = {allocation.fn.name, block.name, "",
+                        inst.callSiteId};
+            for (const std::string &reg : survivors) {
+                if (!isFlagName(reg))
+                    locate(before, reg);
+            }
+            result.points.points.push_back(std::move(before));
+
+            SyncPoint after;
+            after.id = fresh_id();
+            after.kind = SyncKind::AfterCall;
+            after.a = {pre.name, block.name, "", inst.callSiteId};
+            after.b = {allocation.fn.name, block.name, "",
+                       inst.callSiteId};
+            if (inst.retWidth > 0) {
+                std::string rax =
+                    vx86::physRegSpelling("rax", inst.retWidth);
+                after.constraints.push_back(
+                    SyncConstraint::aEqB(rax, rax));
+            }
+            for (const std::string &reg : survivors) {
+                if (!isFlagName(reg))
+                    locate(after, reg);
+            }
+            result.points.points.push_back(std::move(after));
+        }
+    }
+
+    // --- Exit ------------------------------------------------------------------
+    {
+        SyncPoint point;
+        point.id = fresh_id();
+        point.kind = SyncKind::Exit;
+        point.a = {pre.name, "", "", ""};
+        point.b = {allocation.fn.name, "", "", ""};
+        if (pre.retWidth > 0) {
+            point.constraints.push_back(SyncConstraint::aEqB(
+                sem::kReturnValueName, sem::kReturnValueName));
+        }
+        result.points.points.push_back(std::move(point));
+    }
+
+    return result;
+}
+
+} // namespace keq::vcgen

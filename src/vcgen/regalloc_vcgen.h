@@ -1,0 +1,39 @@
+#ifndef KEQ_VCGEN_REGALLOC_VCGEN_H
+#define KEQ_VCGEN_REGALLOC_VCGEN_H
+
+/**
+ * @file
+ * Verification condition generator for register allocation.
+ *
+ * This instantiates the paper's Section 1 claim that KEQ applies
+ * *unchanged* to LLVM's register allocation phase: side A is the pre-RA
+ * Virtual x86 function (virtual registers, PHIs), side B the allocated
+ * function (physical registers, phi-eliminated copies in predecessors),
+ * and both sides run the same vx86::SymbolicSemantics. The only
+ * transformation-specific knowledge is the vreg-to-physical-register
+ * assignment, which treats the allocator itself as a black box.
+ *
+ * Point placement mirrors the ISel generator (entry, loop-header edges,
+ * call boundaries, exit). Constraint derivation differs in one place:
+ * side A's phi reads happen at the block head while side B's copies
+ * already happened in the predecessor, so on a loop edge the phi *input*
+ * on side A is related to the phi *destination's* register on side B.
+ */
+
+#include "src/regalloc/regalloc.h"
+#include "src/vcgen/vcgen.h"
+#include "src/vx86/mir.h"
+
+namespace keq::vcgen {
+
+/**
+ * Generates sync points relating @p pre (virtual registers, with phis)
+ * and the result of allocating it.
+ */
+VcResult generateRegAllocSyncPoints(
+    const vx86::MFunction &pre,
+    const regalloc::AllocationResult &allocation);
+
+} // namespace keq::vcgen
+
+#endif // KEQ_VCGEN_REGALLOC_VCGEN_H

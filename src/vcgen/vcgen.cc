@@ -1,0 +1,332 @@
+#include "src/vcgen/vcgen.h"
+
+#include <set>
+
+#include "src/analysis/cfg.h"
+#include "src/llvmir/cfg_adapter.h"
+#include "src/support/diagnostics.h"
+#include "src/vx86/cfg_adapter.h"
+
+namespace keq::vcgen {
+
+using llvmir::BasicBlock;
+using llvmir::Function;
+using llvmir::Instruction;
+using llvmir::Opcode;
+using sem::SyncConstraint;
+using sem::SyncKind;
+using sem::SyncPoint;
+using support::ApInt;
+using vx86::MBasicBlock;
+using vx86::MFunction;
+using vx86::MInst;
+using vx86::MOpcode;
+
+namespace {
+
+/** Machine width of an LLVM type (i1 lives in 8-bit registers). */
+unsigned
+machineWidth(const llvmir::Type *type)
+{
+    if (type->isInteger() && type->bitWidth() == 1)
+        return 8;
+    return type->valueBits();
+}
+
+const char *const kArgRegs[] = {"rdi", "rsi", "rdx", "rcx", "r8", "r9"};
+
+bool
+isFlagName(const std::string &name)
+{
+    return name == "zf" || name == "sf" || name == "cf" || name == "of";
+}
+
+/** All the per-pair analysis state the generator needs. */
+struct Context
+{
+    const Function &fn;
+    const MFunction &mfn;
+    const isel::FunctionHints &hints;
+    VcOptions options;
+
+    analysis::Cfg cfgA;
+    std::vector<analysis::BlockUseDef> factsA;
+    analysis::Liveness livenessA;
+
+    analysis::Cfg cfgB;
+    std::vector<analysis::BlockUseDef> factsB;
+    analysis::Liveness livenessB;
+
+    VcResult result;
+    unsigned nextId = 0;
+
+    Context(const Function &fn_in, const MFunction &mfn_in,
+            const isel::FunctionHints &hints_in, VcOptions options_in)
+        : fn(fn_in), mfn(mfn_in), hints(hints_in), options(options_in),
+          cfgA(llvmir::buildCfg(fn_in)),
+          factsA(llvmir::useDefFacts(fn_in, cfgA)),
+          livenessA(analysis::computeLiveness(cfgA, factsA)),
+          cfgB(vx86::buildCfg(mfn_in)),
+          factsB(vx86::useDefFacts(mfn_in, cfgB)),
+          livenessB(analysis::computeLiveness(cfgB, factsB))
+    {}
+
+    std::string
+    freshId()
+    {
+        return "p" + std::to_string(nextId++);
+    }
+
+    std::string
+    mblockOf(const std::string &llvm_block)
+    {
+        auto it = hints.blockMap.find(llvm_block);
+        KEQ_ASSERT(it != hints.blockMap.end(),
+                   "no machine block for %" + llvm_block);
+        return it->second;
+    }
+
+    /** Live set along the LLVM edge pred -> block (per precision). */
+    std::set<std::string>
+    edgeLiveA(const std::string &pred, const std::string &block)
+    {
+        size_t p = cfgA.indexOf(pred);
+        size_t b = cfgA.indexOf(block);
+        if (options.precision == LivenessPrecision::Full)
+            return livenessA.edgeLive(cfgA, factsA, p, b);
+        // Crude: block-local upward-exposed uses plus phi reads.
+        std::set<std::string> live = factsA[b].use;
+        auto it = factsA[b].phiUse.find(p);
+        if (it != factsA[b].phiUse.end())
+            live.insert(it->second.begin(), it->second.end());
+        return live;
+    }
+
+    std::set<std::string>
+    edgeLiveB(const std::string &pred, const std::string &block)
+    {
+        size_t p = cfgB.indexOf(pred);
+        size_t b = cfgB.indexOf(block);
+        if (options.precision == LivenessPrecision::Full)
+            return livenessB.edgeLive(cfgB, factsB, p, b);
+        std::set<std::string> live = factsB[b].use;
+        auto it = factsB[b].phiUse.find(p);
+        if (it != factsB[b].phiUse.end())
+            live.insert(it->second.begin(), it->second.end());
+        return live;
+    }
+
+    /** Values live immediately after instruction @p index of @p block. */
+    std::set<std::string>
+    liveAfterA(const BasicBlock &block, size_t index)
+    {
+        size_t b = cfgA.indexOf(block.name);
+        std::set<std::string> live =
+            options.precision == LivenessPrecision::Full
+                ? livenessA.liveOut[b]
+                : std::set<std::string>{};
+        for (size_t i = block.insts.size(); i-- > index + 1;) {
+            std::set<std::string> use, def;
+            llvmir::instUseDef(block.insts[i], use, def);
+            for (const std::string &name : def)
+                live.erase(name);
+            live.insert(use.begin(), use.end());
+        }
+        return live;
+    }
+
+    std::set<std::string>
+    liveAfterB(const MBasicBlock &block, size_t index)
+    {
+        size_t b = cfgB.indexOf(block.name);
+        std::set<std::string> live =
+            options.precision == LivenessPrecision::Full
+                ? livenessB.liveOut[b]
+                : std::set<std::string>{};
+        for (size_t i = block.insts.size(); i-- > index + 1;) {
+            std::set<std::string> use, def;
+            vx86::minstUseDef(block.insts[i], mfn, use, def);
+            for (const std::string &name : def)
+                live.erase(name);
+            live.insert(use.begin(), use.end());
+        }
+        return live;
+    }
+
+    /**
+     * Emits the equality constraints relating @p live_a (LLVM values) and
+     * @p live_b (x86 registers) into @p point, flagging inadequacies.
+     * @p extra_covered_b lists x86 registers already constrained by the
+     * caller (e.g. rax at after-call points).
+     */
+    void
+    constrainLiveSets(SyncPoint &point,
+                      const std::set<std::string> &live_a,
+                      const std::set<std::string> &live_b,
+                      const std::set<std::string> &extra_covered_b)
+    {
+        std::set<std::string> covered_b = extra_covered_b;
+        for (const std::string &value : live_a) {
+            auto it = hints.regMap.find(value);
+            if (it == hints.regMap.end()) {
+                result.adequate = false;
+                result.warnings.push_back(
+                    point.id + ": live LLVM value " + value +
+                    " has no register hint");
+                continue;
+            }
+            point.constraints.push_back(
+                SyncConstraint::aEqB(value, it->second));
+            covered_b.insert(it->second);
+        }
+        for (const std::string &reg : live_b) {
+            if (covered_b.count(reg))
+                continue;
+            if (isFlagName(reg)) {
+                result.adequate = false;
+                result.warnings.push_back(
+                    point.id + ": eflags bit " + reg +
+                    " live across a synchronization point");
+                continue;
+            }
+            auto it = hints.constRegs.find(reg);
+            if (it != hints.constRegs.end()) {
+                point.constraints.push_back(
+                    SyncConstraint::bEqConst(reg, it->second));
+                continue;
+            }
+            result.adequate = false;
+            result.warnings.push_back(
+                point.id + ": live x86 register " + reg +
+                " has no live LLVM counterpart");
+        }
+    }
+};
+
+} // namespace
+
+VcResult
+generateSyncPoints(const Function &fn, const MFunction &mfn,
+                   const isel::FunctionHints &hints,
+                   const VcOptions &options)
+{
+    Context ctx(fn, mfn, hints, options);
+
+    // --- Function entry (paper's p0) -------------------------------------
+    {
+        SyncPoint point;
+        point.id = ctx.freshId();
+        point.kind = SyncKind::Entry;
+        point.a = {fn.name, fn.entry().name, "", ""};
+        point.b = {mfn.name, mfn.blocks.front().name, "", ""};
+        KEQ_ASSERT(fn.params.size() <= 6, "too many parameters");
+        for (size_t i = 0; i < fn.params.size(); ++i) {
+            unsigned width = machineWidth(fn.params[i].type);
+            point.constraints.push_back(SyncConstraint::aEqB(
+                fn.params[i].name,
+                vx86::physRegSpelling(kArgRegs[i], width)));
+        }
+        ctx.result.points.points.push_back(std::move(point));
+    }
+
+    // --- Loop-entry points: one per (header, predecessor) edge ------------
+    std::vector<analysis::NaturalLoop> loops =
+        analysis::naturalLoops(ctx.cfgA);
+    for (const analysis::NaturalLoop &loop : loops) {
+        const std::string &header = ctx.cfgA.name(loop.header);
+        for (size_t pred : ctx.cfgA.predecessors(loop.header)) {
+            const std::string &pred_name = ctx.cfgA.name(pred);
+            SyncPoint point;
+            point.id = ctx.freshId();
+            point.kind = SyncKind::BlockEntry;
+            point.a = {fn.name, header, pred_name, ""};
+            point.b = {mfn.name, ctx.mblockOf(header),
+                       ctx.mblockOf(pred_name), ""};
+            ctx.constrainLiveSets(
+                point, ctx.edgeLiveA(pred_name, header),
+                ctx.edgeLiveB(ctx.mblockOf(pred_name),
+                              ctx.mblockOf(header)),
+                {});
+            ctx.result.points.points.push_back(std::move(point));
+        }
+    }
+
+    // --- Call sites: before and after points --------------------------------
+    for (const BasicBlock &block : fn.blocks) {
+        for (size_t i = 0; i < block.insts.size(); ++i) {
+            const Instruction &inst = block.insts[i];
+            if (inst.op != Opcode::Call)
+                continue;
+            // Locate the corresponding machine call.
+            const MBasicBlock *mblock = nullptr;
+            size_t mindex = 0;
+            for (const MBasicBlock &candidate : mfn.blocks) {
+                for (size_t j = 0; j < candidate.insts.size(); ++j) {
+                    if (candidate.insts[j].op == MOpcode::CALL &&
+                        candidate.insts[j].callSiteId ==
+                            inst.callSiteId) {
+                        mblock = &candidate;
+                        mindex = j;
+                    }
+                }
+            }
+            KEQ_ASSERT(mblock != nullptr,
+                       "call site " + inst.callSiteId +
+                           " missing from machine code");
+
+            std::set<std::string> live_a = ctx.liveAfterA(block, i);
+            std::set<std::string> live_b = ctx.liveAfterB(*mblock,
+                                                          mindex);
+            // The call result is re-established by the after-call
+            // constraints; exclude it from the surviving-value sets.
+            std::set<std::string> survivors_a = live_a;
+            if (!inst.result.empty())
+                survivors_a.erase(inst.result);
+            std::set<std::string> survivors_b = live_b;
+            survivors_b.erase("rax");
+
+            SyncPoint before;
+            before.id = ctx.freshId();
+            before.kind = SyncKind::BeforeCall;
+            before.a = {fn.name, block.name, "", inst.callSiteId};
+            before.b = {mfn.name, mblock->name, "", inst.callSiteId};
+            ctx.constrainLiveSets(before, survivors_a, survivors_b, {});
+            ctx.result.points.points.push_back(std::move(before));
+
+            SyncPoint after;
+            after.id = ctx.freshId();
+            after.kind = SyncKind::AfterCall;
+            after.a = {fn.name, block.name, "", inst.callSiteId};
+            after.b = {mfn.name, mblock->name, "", inst.callSiteId};
+            std::set<std::string> covered_b;
+            if (!inst.result.empty() && !inst.type->isVoid()) {
+                unsigned width = machineWidth(inst.type);
+                after.constraints.push_back(SyncConstraint::aEqB(
+                    inst.result,
+                    vx86::physRegSpelling("rax", width)));
+                covered_b.insert("rax");
+            }
+            ctx.constrainLiveSets(after, survivors_a, survivors_b,
+                                  covered_b);
+            ctx.result.points.points.push_back(std::move(after));
+        }
+    }
+
+    // --- Function exit (paper's p3) -------------------------------------------
+    {
+        SyncPoint point;
+        point.id = ctx.freshId();
+        point.kind = SyncKind::Exit;
+        point.a = {fn.name, "", "", ""};
+        point.b = {mfn.name, "", "", ""};
+        if (!fn.returnType->isVoid()) {
+            point.constraints.push_back(SyncConstraint::aEqB(
+                sem::kReturnValueName, sem::kReturnValueName));
+        }
+        ctx.result.points.points.push_back(std::move(point));
+    }
+
+    return std::move(ctx.result);
+}
+
+} // namespace keq::vcgen

@@ -1,0 +1,64 @@
+#ifndef KEQ_VCGEN_VCGEN_H
+#define KEQ_VCGEN_VCGEN_H
+
+/**
+ * @file
+ * Verification condition generator for Instruction Selection (Section 4.5).
+ *
+ * Produces the synchronization point set for one LLVM/Virtual-x86 function
+ * pair from the compiler-generated hints plus static analysis:
+ *
+ *  - function entry and exit points (constraints from the calling
+ *    convention),
+ *  - one point per (loop header, predecessor) edge, constraining the
+ *    values live along that edge (phi-aware liveness),
+ *  - before/after points around every call site.
+ *
+ * When an x86 register is live at a point but has neither an LLVM
+ * counterpart in the hint map nor a known constant value, the generated
+ * set is flagged inadequate — the paper's residual failure category
+ * (Section 5.1, "Inadequate synchronization points"). The BlockLocal
+ * liveness precision deliberately reproduces that situation by using a
+ * cruder analysis.
+ */
+
+#include <string>
+#include <vector>
+
+#include "src/isel/isel.h"
+#include "src/llvmir/ir.h"
+#include "src/sem/sync_point.h"
+#include "src/vx86/mir.h"
+
+namespace keq::vcgen {
+
+/** Liveness analysis precision (Section 5.1 failure-mode reproduction). */
+enum class LivenessPrecision : uint8_t {
+    Full,       ///< Phi-aware interprocedural-block dataflow liveness.
+    BlockLocal, ///< Crude: block-local uses only (misses pass-throughs).
+};
+
+struct VcOptions
+{
+    LivenessPrecision precision = LivenessPrecision::Full;
+};
+
+/** Generated VC plus adequacy diagnostics. */
+struct VcResult
+{
+    sem::SyncPointSet points;
+    /** Human-readable notes on constraints that could not be formed. */
+    std::vector<std::string> warnings;
+    /** False when a live register could not be constrained. */
+    bool adequate = true;
+};
+
+/** Generates the sync point set for one function pair. */
+VcResult generateSyncPoints(const llvmir::Function &fn,
+                            const vx86::MFunction &mfn,
+                            const isel::FunctionHints &hints,
+                            const VcOptions &options = {});
+
+} // namespace keq::vcgen
+
+#endif // KEQ_VCGEN_VCGEN_H

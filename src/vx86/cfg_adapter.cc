@@ -1,0 +1,191 @@
+#include "src/vx86/cfg_adapter.h"
+
+namespace keq::vx86 {
+
+analysis::Cfg
+buildCfg(const MFunction &fn)
+{
+    analysis::Cfg cfg;
+    for (const MBasicBlock &block : fn.blocks)
+        cfg.addBlock(block.name);
+    for (const MBasicBlock &block : fn.blocks) {
+        size_t from = cfg.indexOf(block.name);
+        for (const std::string &succ : block.successors())
+            cfg.addEdge(from, cfg.indexOf(succ));
+    }
+    return cfg;
+}
+
+namespace {
+
+const char *const kFlagNames[] = {"zf", "sf", "cf", "of"};
+
+/** Caller-saved registers clobbered by a CALL (SysV x86-64). */
+const char *const kCallerSaved[] = {"rax", "rcx", "rdx", "rsi", "rdi",
+                                    "r8",  "r9",  "r10", "r11"};
+
+} // namespace
+
+void
+minstUseDef(const MInst &inst, const MFunction &fn,
+            std::set<std::string> &use, std::set<std::string> &def)
+{
+    auto use_op = [&](const MOperand &op) {
+        if (op.isReg())
+            use.insert(op.reg);
+    };
+    auto use_addr = [&](const MAddress &addr) {
+        if (addr.baseKind == MAddress::BaseKind::Reg)
+            use_op(addr.baseReg);
+        if (addr.hasIndex())
+            use_op(addr.indexReg);
+    };
+    auto def_op = [&](const MOperand &op) {
+        if (op.isReg())
+            def.insert(op.reg);
+    };
+    auto def_flags = [&]() {
+        for (const char *flag : kFlagNames)
+            def.insert(flag);
+    };
+    auto use_flags = [&]() {
+        for (const char *flag : kFlagNames)
+            use.insert(flag);
+    };
+
+    switch (inst.op) {
+      case MOpcode::PHI:
+        // Phi reads belong to the incoming edges; callers handle them.
+        def_op(inst.ops[0]);
+        break;
+      case MOpcode::COPY:
+      case MOpcode::MOVri:
+      case MOpcode::MOVZXrr:
+      case MOpcode::MOVSXrr:
+        use_op(inst.ops[1]);
+        def_op(inst.ops[0]);
+        break;
+      case MOpcode::LEA:
+      case MOpcode::MOVrm:
+      case MOpcode::MOVZXrm:
+      case MOpcode::MOVSXrm:
+        use_addr(inst.addr);
+        def_op(inst.ops[0]);
+        break;
+      case MOpcode::MOVmr:
+      case MOpcode::MOVmi:
+        use_addr(inst.addr);
+        use_op(inst.ops[0]);
+        break;
+      case MOpcode::ADDrr:
+      case MOpcode::ADDri:
+      case MOpcode::SUBrr:
+      case MOpcode::SUBri:
+      case MOpcode::IMULrr:
+      case MOpcode::IMULri:
+      case MOpcode::ANDrr:
+      case MOpcode::ANDri:
+      case MOpcode::ORrr:
+      case MOpcode::ORri:
+      case MOpcode::XORrr:
+      case MOpcode::XORri:
+      case MOpcode::SHLri:
+      case MOpcode::SHRri:
+      case MOpcode::SARri:
+      case MOpcode::SHLrr:
+      case MOpcode::SHRrr:
+      case MOpcode::SARrr:
+        use_op(inst.ops[1]);
+        use_op(inst.ops[2]);
+        def_op(inst.ops[0]);
+        def_flags();
+        break;
+      case MOpcode::NEGr:
+      case MOpcode::NOTr:
+        use_op(inst.ops[1]);
+        def_op(inst.ops[0]);
+        if (inst.op == MOpcode::NEGr)
+            def_flags();
+        break;
+      case MOpcode::INCr:
+      case MOpcode::DECr:
+        use_op(inst.ops[1]);
+        use.insert("cf"); // preserved, i.e. both read and rewritten
+        def_op(inst.ops[0]);
+        def_flags();
+        break;
+      case MOpcode::CDQ:
+        use.insert("rax");
+        def.insert("rdx");
+        break;
+      case MOpcode::DIV:
+      case MOpcode::IDIV:
+        use_op(inst.ops[0]);
+        use.insert("rax");
+        use.insert("rdx");
+        def.insert("rax");
+        def.insert("rdx");
+        def_flags();
+        break;
+      case MOpcode::CMPrr:
+      case MOpcode::CMPri:
+      case MOpcode::TESTrr:
+        use_op(inst.ops[0]);
+        use_op(inst.ops[1]);
+        def_flags();
+        break;
+      case MOpcode::SETcc:
+        use_flags();
+        def_op(inst.ops[0]);
+        break;
+      case MOpcode::JCC:
+        use_flags();
+        break;
+      case MOpcode::JMP:
+      case MOpcode::UD2:
+        break;
+      case MOpcode::CALL:
+        for (const MOperand &arg : inst.callArgs)
+            use_op(arg);
+        for (const char *reg : kCallerSaved)
+            def.insert(reg);
+        def_flags();
+        break;
+      case MOpcode::RET:
+        if (fn.retWidth > 0)
+            use.insert("rax");
+        break;
+    }
+}
+
+std::vector<analysis::BlockUseDef>
+useDefFacts(const MFunction &fn, const analysis::Cfg &cfg)
+{
+    std::vector<analysis::BlockUseDef> facts(cfg.numBlocks());
+    for (const MBasicBlock &block : fn.blocks) {
+        analysis::BlockUseDef &fact = facts[cfg.indexOf(block.name)];
+        std::set<std::string> local_defs;
+        for (const MInst &inst : block.insts) {
+            if (inst.op == MOpcode::PHI) {
+                for (const auto &[value, pred] : inst.incoming) {
+                    if (value.isReg()) {
+                        fact.phiUse[cfg.indexOf(pred)].insert(value.reg);
+                    }
+                }
+            }
+            std::set<std::string> use, def;
+            minstUseDef(inst, fn, use, def);
+            for (const std::string &name : use) {
+                if (!local_defs.count(name))
+                    fact.use.insert(name);
+            }
+            for (const std::string &name : def) {
+                local_defs.insert(name);
+                fact.def.insert(name);
+            }
+        }
+    }
+    return facts;
+}
+
+} // namespace keq::vx86

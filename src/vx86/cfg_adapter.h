@@ -1,0 +1,36 @@
+#ifndef KEQ_VX86_CFG_ADAPTER_H
+#define KEQ_VX86_CFG_ADAPTER_H
+
+/**
+ * @file
+ * Adapters from Virtual x86 functions to the generic CFG analyses.
+ *
+ * Liveness tracks virtual registers, physical registers (canonical
+ * names), and the four eflags bits ("zf"/"sf"/"cf"/"of"). Our lowering
+ * never keeps flags live across block boundaries; the VC generator
+ * asserts this when constraining edge-live sets.
+ */
+
+#include "src/analysis/cfg.h"
+#include "src/vx86/mir.h"
+
+namespace keq::vx86 {
+
+/** Builds the generic CFG of @p fn. */
+analysis::Cfg buildCfg(const MFunction &fn);
+
+/** Per-block use/def facts (upward-exposed uses, phi reads on edges). */
+std::vector<analysis::BlockUseDef> useDefFacts(const MFunction &fn,
+                                               const analysis::Cfg &cfg);
+
+/**
+ * Uses and defs of one machine instruction, including implicit physical
+ * register and eflags effects. Phi reads are not reported here (they
+ * belong to incoming edges).
+ */
+void minstUseDef(const MInst &inst, const MFunction &fn,
+                 std::set<std::string> &use, std::set<std::string> &def);
+
+} // namespace keq::vx86
+
+#endif // KEQ_VX86_CFG_ADAPTER_H

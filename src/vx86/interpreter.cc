@@ -1,0 +1,473 @@
+#include "src/vx86/interpreter.h"
+
+#include <sstream>
+
+#include "src/support/diagnostics.h"
+
+namespace keq::vx86 {
+
+using sem::ErrorKind;
+using support::ApInt;
+
+const std::vector<std::string> kArgRegs = {"rdi", "rsi", "rdx",
+                                           "rcx", "r8",  "r9"};
+
+struct Interpreter::Machine
+{
+    const MFunction *fn = nullptr;
+    std::map<std::string, ApInt> virt;  // %vrN_W -> value (width W)
+    std::map<std::string, uint64_t> phys; // canonical -> 64-bit value
+    bool zf = false, sf = false, cf = false, of = false;
+    const MBasicBlock *block = nullptr;
+    std::string cameFrom;
+    size_t index = 0;
+
+    ApInt
+    readOp(const MOperand &op) const
+    {
+        switch (op.kind) {
+          case MOperand::Kind::Imm:
+            return op.imm;
+          case MOperand::Kind::VirtReg: {
+            auto it = virt.find(op.reg);
+            // Unwritten virtual registers read as 0 (deterministic).
+            return it == virt.end() ? ApInt(op.width, 0) : it->second;
+          }
+          case MOperand::Kind::PhysReg: {
+            auto it = phys.find(op.reg);
+            uint64_t full = it == phys.end() ? 0 : it->second;
+            return ApInt(op.width, full);
+          }
+          case MOperand::Kind::None:
+            break;
+        }
+        KEQ_ASSERT(false, "readOp: bad operand");
+        return {};
+    }
+
+    void
+    writeOp(const MOperand &op, ApInt value)
+    {
+        KEQ_ASSERT(value.width() == op.width, "writeOp width mismatch");
+        if (op.kind == MOperand::Kind::VirtReg) {
+            virt[op.reg] = value;
+            return;
+        }
+        KEQ_ASSERT(op.kind == MOperand::Kind::PhysReg,
+                   "writeOp: not a register");
+        uint64_t old = phys.count(op.reg) ? phys[op.reg] : 0;
+        uint64_t bits = value.zext();
+        switch (op.width) {
+          case 64:
+            phys[op.reg] = bits;
+            break;
+          case 32:
+            phys[op.reg] = bits; // zero-extends
+            break;
+          case 16:
+            phys[op.reg] = (old & ~uint64_t{0xffff}) | bits;
+            break;
+          case 8:
+            phys[op.reg] = (old & ~uint64_t{0xff}) | bits;
+            break;
+          default:
+            KEQ_ASSERT(false, "writeOp: bad width");
+        }
+    }
+
+    void
+    setArithFlags(ApInt result, bool carry, bool overflow)
+    {
+        zf = result.isZero();
+        sf = result.isNegative();
+        cf = carry;
+        of = overflow;
+    }
+
+    bool
+    cond(CondCode cc) const
+    {
+        switch (cc) {
+          case CondCode::E: return zf;
+          case CondCode::NE: return !zf;
+          case CondCode::B: return cf;
+          case CondCode::AE: return !cf;
+          case CondCode::BE: return cf || zf;
+          case CondCode::A: return !(cf || zf);
+          case CondCode::L: return sf != of;
+          case CondCode::GE: return sf == of;
+          case CondCode::LE: return zf || sf != of;
+          case CondCode::G: return !zf && sf == of;
+          case CondCode::S: return sf;
+          case CondCode::NS: return !sf;
+          case CondCode::O: return of;
+          case CondCode::NO: return !of;
+        }
+        return false;
+    }
+};
+
+Interpreter::Interpreter(const MModule &module, mem::ConcreteMemory &memory)
+    : module_(module), memory_(memory)
+{
+    external_ = [](const std::string &,
+                   const std::vector<ApInt> &) { return ApInt(64, 0); };
+}
+
+void
+Interpreter::setExternalHandler(ExternalCallHandler handler)
+{
+    external_ = std::move(handler);
+}
+
+MExecResult
+Interpreter::run(const MFunction &fn, const std::vector<ApInt> &args,
+                 size_t max_steps)
+{
+    size_t budget = max_steps;
+    std::vector<std::string> call_trace;
+    MExecResult result = runInternal(fn, args, budget, call_trace);
+    result.callTrace = std::move(call_trace);
+    result.steps = max_steps - budget;
+    return result;
+}
+
+MExecResult
+Interpreter::runInternal(const MFunction &fn,
+                         const std::vector<ApInt> &args, size_t &budget,
+                         std::vector<std::string> &call_trace)
+{
+    KEQ_ASSERT(args.size() <= kArgRegs.size(),
+               "too many arguments for register passing");
+    Machine m;
+    m.fn = &fn;
+    m.block = &fn.blocks.front();
+    for (size_t i = 0; i < args.size(); ++i)
+        m.phys[kArgRegs[i]] = args[i].zext();
+
+    auto trap = [](ErrorKind kind) {
+        MExecResult r;
+        r.outcome = MExecOutcome::Trapped;
+        r.error = kind;
+        return r;
+    };
+
+    auto evalAddress = [&](const MAddress &addr) -> uint64_t {
+        uint64_t base = 0;
+        switch (addr.baseKind) {
+          case MAddress::BaseKind::Reg:
+            base = m.readOp(addr.baseReg).zextTo(64).zext();
+            break;
+          case MAddress::BaseKind::Global: {
+            const mem::MemoryObject *object =
+                memory_.layout().find(addr.global);
+            KEQ_ASSERT(object != nullptr,
+                       "unknown global " + addr.global);
+            base = object->base;
+            break;
+          }
+          case MAddress::BaseKind::FrameIndex: {
+            const mem::MemoryObject *object = memory_.layout().find(
+                fn.frame[static_cast<size_t>(addr.frameIndex)]
+                    .slotName);
+            KEQ_ASSERT(object != nullptr, "frame slot missing");
+            base = object->base;
+            break;
+          }
+          case MAddress::BaseKind::None:
+            break;
+        }
+        if (addr.hasIndex())
+            base += m.readOp(addr.indexReg).zextTo(64).zext() *
+                    addr.scale;
+        return base + static_cast<uint64_t>(addr.disp);
+    };
+
+    while (true) {
+        if (budget == 0)
+            return {};
+        --budget;
+        KEQ_ASSERT(m.index < m.block->insts.size(),
+                   "fell off machine block " + m.block->name);
+        const MInst &inst = m.block->insts[m.index];
+
+        switch (inst.op) {
+          case MOpcode::PHI: {
+            std::map<std::string, ApInt> updates;
+            size_t i = m.index;
+            for (; i < m.block->insts.size() &&
+                   m.block->insts[i].op == MOpcode::PHI;
+                 ++i) {
+                const MInst &phi = m.block->insts[i];
+                bool found = false;
+                for (const auto &[value, pred] : phi.incoming) {
+                    if (pred == m.cameFrom) {
+                        updates[phi.ops[0].reg] = m.readOp(value);
+                        found = true;
+                        break;
+                    }
+                }
+                KEQ_ASSERT(found, "PHI without incoming for " +
+                                      m.cameFrom);
+            }
+            for (auto &[name, value] : updates)
+                m.virt[name] = value;
+            m.index = i;
+            continue;
+          }
+          case MOpcode::COPY:
+          case MOpcode::MOVri:
+            m.writeOp(inst.ops[0],
+                      m.readOp(inst.ops[1]).truncTo(inst.ops[0].width));
+            break;
+          case MOpcode::MOVZXrr:
+            m.writeOp(inst.ops[0],
+                      m.readOp(inst.ops[1]).zextTo(inst.ops[0].width));
+            break;
+          case MOpcode::MOVSXrr:
+            m.writeOp(inst.ops[0],
+                      m.readOp(inst.ops[1]).sextTo(inst.ops[0].width));
+            break;
+          case MOpcode::LEA:
+            m.writeOp(inst.ops[0],
+                      ApInt(64, evalAddress(inst.addr))
+                          .truncTo(inst.ops[0].width));
+            break;
+          case MOpcode::MOVrm:
+          case MOpcode::MOVZXrm:
+          case MOpcode::MOVSXrm: {
+            uint64_t address = evalAddress(inst.addr);
+            unsigned size = inst.width / 8;
+            mem::ConcreteAccess access = memory_.read(address, size);
+            if (!access.ok)
+                return trap(ErrorKind::OutOfBounds);
+            ApInt value = access.value;
+            if (inst.op == MOpcode::MOVZXrm)
+                value = value.zextTo(inst.ops[0].width);
+            else if (inst.op == MOpcode::MOVSXrm)
+                value = value.sextTo(inst.ops[0].width);
+            m.writeOp(inst.ops[0], value);
+            break;
+          }
+          case MOpcode::MOVmr:
+          case MOpcode::MOVmi: {
+            uint64_t address = evalAddress(inst.addr);
+            ApInt value = m.readOp(inst.ops[0]).truncTo(inst.width);
+            if (!memory_.write(address, value))
+                return trap(ErrorKind::OutOfBounds);
+            break;
+          }
+          case MOpcode::ADDrr:
+          case MOpcode::ADDri: {
+            ApInt a = m.readOp(inst.ops[1]);
+            ApInt b = m.readOp(inst.ops[2]);
+            ApInt r = a.add(b);
+            m.writeOp(inst.ops[0], r);
+            m.setArithFlags(r, a.addOverflowUnsigned(b),
+                            a.addOverflowSigned(b));
+            break;
+          }
+          case MOpcode::SUBrr:
+          case MOpcode::SUBri: {
+            ApInt a = m.readOp(inst.ops[1]);
+            ApInt b = m.readOp(inst.ops[2]);
+            ApInt r = a.sub(b);
+            m.writeOp(inst.ops[0], r);
+            m.setArithFlags(r, a.subOverflowUnsigned(b),
+                            a.subOverflowSigned(b));
+            break;
+          }
+          case MOpcode::IMULrr:
+          case MOpcode::IMULri: {
+            ApInt a = m.readOp(inst.ops[1]);
+            ApInt b = m.readOp(inst.ops[2]);
+            m.writeOp(inst.ops[0], a.mul(b));
+            m.setArithFlags(a.mul(b), false, false); // undefined: pick 0
+            break;
+          }
+          case MOpcode::ANDrr:
+          case MOpcode::ANDri:
+          case MOpcode::ORrr:
+          case MOpcode::ORri:
+          case MOpcode::XORrr:
+          case MOpcode::XORri: {
+            ApInt a = m.readOp(inst.ops[1]);
+            ApInt b = m.readOp(inst.ops[2]);
+            ApInt r = (inst.op == MOpcode::ANDrr ||
+                       inst.op == MOpcode::ANDri)
+                          ? a.and_(b)
+                          : (inst.op == MOpcode::ORrr ||
+                             inst.op == MOpcode::ORri)
+                                ? a.or_(b)
+                                : a.xor_(b);
+            m.writeOp(inst.ops[0], r);
+            m.setArithFlags(r, false, false);
+            break;
+          }
+          case MOpcode::SHLri:
+          case MOpcode::SHRri:
+          case MOpcode::SARri:
+          case MOpcode::SHLrr:
+          case MOpcode::SHRrr:
+          case MOpcode::SARrr: {
+            ApInt a = m.readOp(inst.ops[1]);
+            ApInt count = m.readOp(inst.ops[2]);
+            unsigned w = a.width();
+            uint64_t masked = count.zext() & (w == 64 ? 63 : 31);
+            ApInt shift(w, masked);
+            ApInt r = (inst.op == MOpcode::SHLri ||
+                       inst.op == MOpcode::SHLrr)
+                          ? a.shl(shift)
+                          : (inst.op == MOpcode::SHRri ||
+                             inst.op == MOpcode::SHRrr)
+                                ? a.lshr(shift)
+                                : a.ashr(shift);
+            m.writeOp(inst.ops[0], r);
+            m.zf = r.isZero();
+            m.sf = r.isNegative();
+            m.cf = false; // undefined: pick 0
+            m.of = false;
+            break;
+          }
+          case MOpcode::NEGr: {
+            ApInt a = m.readOp(inst.ops[1]);
+            ApInt r = a.neg();
+            m.writeOp(inst.ops[0], r);
+            m.setArithFlags(r, !a.isZero(),
+                            a == ApInt::signedMin(a.width()));
+            break;
+          }
+          case MOpcode::NOTr:
+            m.writeOp(inst.ops[0], m.readOp(inst.ops[1]).not_());
+            break;
+          case MOpcode::INCr:
+          case MOpcode::DECr: {
+            ApInt a = m.readOp(inst.ops[1]);
+            ApInt one(a.width(), 1);
+            bool is_inc = inst.op == MOpcode::INCr;
+            ApInt r = is_inc ? a.add(one) : a.sub(one);
+            bool carry = m.cf; // preserved
+            m.writeOp(inst.ops[0], r);
+            m.setArithFlags(r, carry,
+                            is_inc ? a.addOverflowSigned(one)
+                                   : a.subOverflowSigned(one));
+            break;
+          }
+          case MOpcode::CDQ: {
+            unsigned w = inst.width;
+            ApInt a = m.readOp(MOperand::physReg("rax", w));
+            ApInt sign = a.isNegative() ? ApInt::allOnes(w)
+                                        : ApInt(w, 0);
+            m.writeOp(MOperand::physReg("rdx", w), sign);
+            break;
+          }
+          case MOpcode::DIV:
+          case MOpcode::IDIV: {
+            unsigned w = inst.width;
+            KEQ_ASSERT(w <= 32, "division wider than 32 bits");
+            ApInt divisor = m.readOp(inst.ops[0]);
+            if (divisor.isZero())
+                return trap(ErrorKind::DivByZero);
+            ApInt lo = m.readOp(MOperand::physReg("rax", w));
+            ApInt hi = m.readOp(MOperand::physReg("rdx", w));
+            uint64_t dividend_bits = (hi.zext() << w) | lo.zext();
+            ApInt dividend(2 * w, dividend_bits);
+            bool is_signed = inst.op == MOpcode::IDIV;
+            ApInt wide = is_signed ? divisor.sextTo(2 * w)
+                                   : divisor.zextTo(2 * w);
+            ApInt quotient =
+                is_signed ? dividend.sdiv(wide) : dividend.udiv(wide);
+            ApInt remainder =
+                is_signed ? dividend.srem(wide) : dividend.urem(wide);
+            ApInt narrow = quotient.truncTo(w);
+            bool fits = is_signed
+                            ? narrow.sextTo(2 * w) == quotient
+                            : narrow.zextTo(2 * w) == quotient;
+            if (!fits)
+                return trap(ErrorKind::DivByZero);
+            m.writeOp(MOperand::physReg("rax", w), narrow);
+            m.writeOp(MOperand::physReg("rdx", w),
+                      remainder.truncTo(w));
+            m.setArithFlags(narrow, false, false); // undefined
+            break;
+          }
+          case MOpcode::CMPrr:
+          case MOpcode::CMPri: {
+            ApInt a = m.readOp(inst.ops[0]);
+            ApInt b = m.readOp(inst.ops[1]);
+            m.setArithFlags(a.sub(b), a.subOverflowUnsigned(b),
+                            a.subOverflowSigned(b));
+            break;
+          }
+          case MOpcode::TESTrr: {
+            ApInt a = m.readOp(inst.ops[0]);
+            ApInt b = m.readOp(inst.ops[1]);
+            m.setArithFlags(a.and_(b), false, false);
+            break;
+          }
+          case MOpcode::SETcc:
+            m.writeOp(inst.ops[0], ApInt(8, m.cond(inst.cc) ? 1 : 0));
+            break;
+          case MOpcode::JCC:
+            if (m.cond(inst.cc)) {
+                m.cameFrom = m.block->name;
+                m.block = fn.findBlock(inst.target);
+                KEQ_ASSERT(m.block != nullptr,
+                           "missing block " + inst.target);
+                m.index = 0;
+                continue;
+            }
+            break;
+          case MOpcode::JMP:
+            m.cameFrom = m.block->name;
+            m.block = fn.findBlock(inst.target);
+            KEQ_ASSERT(m.block != nullptr,
+                       "missing block " + inst.target);
+            m.index = 0;
+            continue;
+          case MOpcode::CALL: {
+            std::vector<ApInt> call_args;
+            for (const MOperand &arg : inst.callArgs)
+                call_args.push_back(m.readOp(arg));
+            const MFunction *callee = module_.findFunction(inst.target);
+            ApInt ret;
+            if (callee != nullptr) {
+                MExecResult inner =
+                    runInternal(*callee, call_args, budget, call_trace);
+                if (inner.outcome != MExecOutcome::Returned)
+                    return inner;
+                ret = inner.value;
+            } else {
+                ret = external_(inst.target, call_args);
+                std::ostringstream os;
+                os << inst.target << "(";
+                for (size_t i = 0; i < call_args.size(); ++i) {
+                    if (i > 0)
+                        os << ",";
+                    os << call_args[i].toString();
+                }
+                os << ")=" << ret.toString();
+                call_trace.push_back(os.str());
+            }
+            if (inst.retWidth > 0) {
+                m.writeOp(MOperand::physReg("rax", inst.retWidth),
+                          ret.zextTo(64).truncTo(inst.retWidth));
+            }
+            break;
+          }
+          case MOpcode::UD2:
+            return trap(ErrorKind::Unreachable);
+          case MOpcode::RET: {
+            MExecResult result;
+            result.outcome = MExecOutcome::Returned;
+            if (fn.retWidth > 0)
+                result.value =
+                    m.readOp(MOperand::physReg("rax", fn.retWidth));
+            return result;
+          }
+        }
+        ++m.index;
+    }
+}
+
+} // namespace keq::vx86

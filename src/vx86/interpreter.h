@@ -1,0 +1,78 @@
+#ifndef KEQ_VX86_INTERPRETER_H
+#define KEQ_VX86_INTERPRETER_H
+
+/**
+ * @file
+ * Concrete reference interpreter for Virtual x86.
+ *
+ * Executes machine functions against the common concrete memory, following
+ * the SysV x86-64 calling convention used by the ISel pass (arguments in
+ * rdi/rsi/rdx/rcx/r8/r9, result in rax). The differential tests run the
+ * LLVM interpreter and this one on the same inputs and compare outcomes.
+ *
+ * Flags that real x86 leaves undefined (after shifts, imul, div) are set
+ * to 0 deterministically; the lowering never reads them.
+ */
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/memory/concrete_memory.h"
+#include "src/sem/symbolic_state.h" // ErrorKind
+#include "src/support/apint.h"
+#include "src/vx86/mir.h"
+
+namespace keq::vx86 {
+
+/** Handler for calls to functions not present in the machine module. */
+using ExternalCallHandler = std::function<support::ApInt(
+    const std::string &callee, const std::vector<support::ApInt> &args)>;
+
+enum class MExecOutcome : uint8_t { Returned, Trapped, StepLimit };
+
+struct MExecResult
+{
+    MExecOutcome outcome = MExecOutcome::StepLimit;
+    support::ApInt value;
+    sem::ErrorKind error = sem::ErrorKind::None;
+    std::vector<std::string> callTrace;
+    size_t steps = 0;
+};
+
+/** Interprets functions of one machine module. */
+class Interpreter
+{
+  public:
+    Interpreter(const MModule &module, mem::ConcreteMemory &memory);
+
+    void setExternalHandler(ExternalCallHandler handler);
+
+    /**
+     * Runs @p fn with integer arguments placed in the argument registers
+     * at the given widths.
+     */
+    MExecResult run(const MFunction &fn,
+                    const std::vector<support::ApInt> &args,
+                    size_t max_steps = 200000);
+
+  private:
+    struct Machine;
+
+    MExecResult runInternal(const MFunction &fn,
+                            const std::vector<support::ApInt> &args,
+                            size_t &budget,
+                            std::vector<std::string> &call_trace);
+
+    const MModule &module_;
+    mem::ConcreteMemory &memory_;
+    ExternalCallHandler external_;
+};
+
+/** Argument registers of the SysV x86-64 calling convention, in order. */
+extern const std::vector<std::string> kArgRegs;
+
+} // namespace keq::vx86
+
+#endif // KEQ_VX86_INTERPRETER_H

@@ -1,0 +1,496 @@
+#include "src/vx86/mir.h"
+
+#include <map>
+#include <sstream>
+
+#include "src/support/diagnostics.h"
+
+namespace keq::vx86 {
+
+const std::vector<std::string> kPhysRegs = {
+    "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
+    "r8",  "r9",  "r10", "r11", "r12", "r13", "r14", "r15",
+};
+
+bool
+isPhysReg(const std::string &name)
+{
+    for (const std::string &reg : kPhysRegs) {
+        if (reg == name)
+            return true;
+    }
+    return false;
+}
+
+namespace {
+
+/** Sub-register spelling tables for the legacy-named registers. */
+const std::map<std::string, std::pair<std::string, unsigned>> &
+subRegTable()
+{
+    static const std::map<std::string, std::pair<std::string, unsigned>>
+        table = {
+            {"rax", {"rax", 64}}, {"eax", {"rax", 32}},
+            {"ax", {"rax", 16}},  {"al", {"rax", 8}},
+            {"rbx", {"rbx", 64}}, {"ebx", {"rbx", 32}},
+            {"bx", {"rbx", 16}},  {"bl", {"rbx", 8}},
+            {"rcx", {"rcx", 64}}, {"ecx", {"rcx", 32}},
+            {"cx", {"rcx", 16}},  {"cl", {"rcx", 8}},
+            {"rdx", {"rdx", 64}}, {"edx", {"rdx", 32}},
+            {"dx", {"rdx", 16}},  {"dl", {"rdx", 8}},
+            {"rsi", {"rsi", 64}}, {"esi", {"rsi", 32}},
+            {"si", {"rsi", 16}},  {"sil", {"rsi", 8}},
+            {"rdi", {"rdi", 64}}, {"edi", {"rdi", 32}},
+            {"di", {"rdi", 16}},  {"dil", {"rdi", 8}},
+            {"rbp", {"rbp", 64}}, {"ebp", {"rbp", 32}},
+            {"rsp", {"rsp", 64}}, {"esp", {"rsp", 32}},
+        };
+    return table;
+}
+
+} // namespace
+
+bool
+decodePhysReg(const std::string &spelling, std::string &canonical,
+              unsigned &width)
+{
+    auto it = subRegTable().find(spelling);
+    if (it != subRegTable().end()) {
+        canonical = it->second.first;
+        width = it->second.second;
+        return true;
+    }
+    // r8..r15 with optional d/w/b suffix.
+    if (spelling.size() >= 2 && spelling[0] == 'r' &&
+        std::isdigit(static_cast<unsigned char>(spelling[1]))) {
+        std::string digits;
+        size_t i = 1;
+        while (i < spelling.size() &&
+               std::isdigit(static_cast<unsigned char>(spelling[i]))) {
+            digits += spelling[i++];
+        }
+        int num = std::stoi(digits);
+        if (num < 8 || num > 15)
+            return false;
+        std::string base = "r" + digits;
+        std::string suffix = spelling.substr(i);
+        if (suffix.empty()) {
+            canonical = base;
+            width = 64;
+            return true;
+        }
+        if (suffix == "d") {
+            canonical = base;
+            width = 32;
+            return true;
+        }
+        if (suffix == "w") {
+            canonical = base;
+            width = 16;
+            return true;
+        }
+        if (suffix == "b") {
+            canonical = base;
+            width = 8;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+physRegSpelling(const std::string &canonical, unsigned width)
+{
+    if (width == 64)
+        return canonical;
+    // r8..r15 take suffixes.
+    if (canonical.size() >= 2 &&
+        std::isdigit(static_cast<unsigned char>(canonical[1]))) {
+        switch (width) {
+          case 32: return canonical + "d";
+          case 16: return canonical + "w";
+          case 8: return canonical + "b";
+          default: break;
+        }
+    }
+    for (const auto &[spelling, entry] : subRegTable()) {
+        if (entry.first == canonical && entry.second == width)
+            return spelling;
+    }
+    KEQ_ASSERT(false, "no spelling for " + canonical + " at width " +
+                          std::to_string(width));
+    return canonical;
+}
+
+const char *
+condCodeName(CondCode cc)
+{
+    switch (cc) {
+      case CondCode::E: return "e";
+      case CondCode::NE: return "ne";
+      case CondCode::B: return "b";
+      case CondCode::BE: return "be";
+      case CondCode::A: return "a";
+      case CondCode::AE: return "ae";
+      case CondCode::L: return "l";
+      case CondCode::LE: return "le";
+      case CondCode::G: return "g";
+      case CondCode::GE: return "ge";
+      case CondCode::S: return "s";
+      case CondCode::NS: return "ns";
+      case CondCode::O: return "o";
+      case CondCode::NO: return "no";
+    }
+    return "?";
+}
+
+CondCode
+parseCondCode(const std::string &name)
+{
+    static const std::map<std::string, CondCode> table = {
+        {"e", CondCode::E},   {"ne", CondCode::NE}, {"b", CondCode::B},
+        {"be", CondCode::BE}, {"a", CondCode::A},   {"ae", CondCode::AE},
+        {"l", CondCode::L},   {"le", CondCode::LE}, {"g", CondCode::G},
+        {"ge", CondCode::GE}, {"s", CondCode::S},   {"ns", CondCode::NS},
+        {"o", CondCode::O},   {"no", CondCode::NO},
+    };
+    auto it = table.find(name);
+    KEQ_ASSERT(it != table.end(), "unknown condition code " + name);
+    return it->second;
+}
+
+const char *
+mopcodeBaseName(MOpcode op)
+{
+    switch (op) {
+      case MOpcode::COPY: return "COPY";
+      case MOpcode::PHI: return "PHI";
+      case MOpcode::MOVri: return "MOVri";
+      case MOpcode::MOVrm: return "MOVrm";
+      case MOpcode::MOVmr: return "MOVmr";
+      case MOpcode::MOVmi: return "MOVmi";
+      case MOpcode::MOVZXrr: return "MOVZXrr";
+      case MOpcode::MOVSXrr: return "MOVSXrr";
+      case MOpcode::MOVZXrm: return "MOVZXrm";
+      case MOpcode::MOVSXrm: return "MOVSXrm";
+      case MOpcode::LEA: return "LEA";
+      case MOpcode::ADDrr: return "ADDrr";
+      case MOpcode::ADDri: return "ADDri";
+      case MOpcode::SUBrr: return "SUBrr";
+      case MOpcode::SUBri: return "SUBri";
+      case MOpcode::IMULrr: return "IMULrr";
+      case MOpcode::IMULri: return "IMULri";
+      case MOpcode::ANDrr: return "ANDrr";
+      case MOpcode::ANDri: return "ANDri";
+      case MOpcode::ORrr: return "ORrr";
+      case MOpcode::ORri: return "ORri";
+      case MOpcode::XORrr: return "XORrr";
+      case MOpcode::XORri: return "XORri";
+      case MOpcode::SHLri: return "SHLri";
+      case MOpcode::SHRri: return "SHRri";
+      case MOpcode::SARri: return "SARri";
+      case MOpcode::SHLrr: return "SHLrr";
+      case MOpcode::SHRrr: return "SHRrr";
+      case MOpcode::SARrr: return "SARrr";
+      case MOpcode::NEGr: return "NEGr";
+      case MOpcode::NOTr: return "NOTr";
+      case MOpcode::INCr: return "INCr";
+      case MOpcode::DECr: return "DECr";
+      case MOpcode::CDQ: return "CDQ";
+      case MOpcode::DIV: return "DIV";
+      case MOpcode::IDIV: return "IDIV";
+      case MOpcode::CMPrr: return "CMPrr";
+      case MOpcode::CMPri: return "CMPri";
+      case MOpcode::TESTrr: return "TESTrr";
+      case MOpcode::SETcc: return "SETcc";
+      case MOpcode::JCC: return "JCC";
+      case MOpcode::JMP: return "JMP";
+      case MOpcode::CALL: return "CALL";
+      case MOpcode::RET: return "RET";
+      case MOpcode::UD2: return "UD2";
+    }
+    return "?";
+}
+
+std::string
+MOperand::toString() const
+{
+    switch (kind) {
+      case Kind::VirtReg:
+        return reg;
+      case Kind::PhysReg:
+        return physRegSpelling(reg, width);
+      case Kind::Imm:
+        return "$" + imm.toSignedString();
+      case Kind::None:
+        return "<none>";
+    }
+    return "?";
+}
+
+std::string
+MAddress::toString() const
+{
+    std::ostringstream os;
+    os << "[";
+    switch (baseKind) {
+      case BaseKind::Reg:
+        os << baseReg.toString();
+        break;
+      case BaseKind::Global:
+        os << global;
+        break;
+      case BaseKind::FrameIndex:
+        os << "fi" << frameIndex;
+        break;
+      case BaseKind::None:
+        os << "0";
+        break;
+    }
+    if (hasIndex())
+        os << " + " << indexReg.toString() << "*" << scale;
+    if (disp != 0) {
+        if (disp > 0)
+            os << " + " << disp;
+        else
+            os << " - " << -disp;
+    }
+    os << "]";
+    return os.str();
+}
+
+std::string
+MInst::toString() const
+{
+    std::ostringstream os;
+    std::string base = mopcodeBaseName(op);
+    auto opcodeText = [&]() {
+        // Width-annotated opcode, e.g. ADD32rr. Suffix-free pseudo ops
+        // (COPY/PHI/JMP/...) print bare.
+        switch (op) {
+          case MOpcode::COPY:
+          case MOpcode::PHI:
+          case MOpcode::JMP:
+          case MOpcode::CALL:
+          case MOpcode::RET:
+            return base;
+          case MOpcode::JCC:
+            return "J" + std::string(condCodeName(cc));
+          case MOpcode::SETcc:
+            return "SET" + std::string(condCodeName(cc));
+          case MOpcode::CDQ:
+            return std::string(width == 64 ? "CQO" : "CDQ");
+          case MOpcode::MOVZXrr:
+          case MOpcode::MOVSXrr:
+          case MOpcode::MOVZXrm:
+          case MOpcode::MOVSXrm: {
+            // Dual-width naming like LLVM's: MOVZX<dst>rr<src>.
+            bool sign = op == MOpcode::MOVSXrr || op == MOpcode::MOVSXrm;
+            bool memory =
+                op == MOpcode::MOVZXrm || op == MOpcode::MOVSXrm;
+            return std::string(sign ? "MOVSX" : "MOVZX") +
+                   std::to_string(ops[0].width) +
+                   (memory ? "rm" : "rr") + std::to_string(width);
+          }
+          default: {
+            // Insert width digits before the lowercase form suffix.
+            size_t split = base.size();
+            while (split > 0 &&
+                   std::islower(static_cast<unsigned char>(
+                       base[split - 1]))) {
+                --split;
+            }
+            return base.substr(0, split) + std::to_string(width) +
+                   base.substr(split);
+          }
+        }
+    };
+
+    switch (op) {
+      case MOpcode::PHI: {
+        os << ops[0].toString() << " = PHI";
+        for (size_t i = 0; i < incoming.size(); ++i) {
+            os << (i == 0 ? " " : ", ") << incoming[i].first.toString()
+               << ", " << incoming[i].second;
+        }
+        return os.str();
+      }
+      case MOpcode::COPY:
+        os << ops[0].toString() << " = COPY " << ops[1].toString();
+        return os.str();
+      case MOpcode::MOVri:
+        os << ops[0].toString() << " = " << opcodeText() << " "
+           << ops[1].toString();
+        return os.str();
+      case MOpcode::MOVrm:
+      case MOpcode::MOVZXrm:
+      case MOpcode::MOVSXrm:
+      case MOpcode::LEA:
+        os << ops[0].toString() << " = " << opcodeText() << " "
+           << addr.toString();
+        return os.str();
+      case MOpcode::MOVmr:
+        os << opcodeText() << " " << addr.toString() << ", "
+           << ops[0].toString();
+        return os.str();
+      case MOpcode::MOVmi:
+        os << opcodeText() << " " << addr.toString() << ", "
+           << ops[0].toString();
+        return os.str();
+      case MOpcode::MOVZXrr:
+      case MOpcode::MOVSXrr:
+        os << ops[0].toString() << " = " << opcodeText() << " "
+           << ops[1].toString();
+        return os.str();
+      case MOpcode::ADDrr:
+      case MOpcode::ADDri:
+      case MOpcode::SUBrr:
+      case MOpcode::SUBri:
+      case MOpcode::IMULrr:
+      case MOpcode::IMULri:
+      case MOpcode::ANDrr:
+      case MOpcode::ANDri:
+      case MOpcode::ORrr:
+      case MOpcode::ORri:
+      case MOpcode::XORrr:
+      case MOpcode::XORri:
+      case MOpcode::SHLri:
+      case MOpcode::SHRri:
+      case MOpcode::SARri:
+      case MOpcode::SHLrr:
+      case MOpcode::SHRrr:
+      case MOpcode::SARrr:
+        os << ops[0].toString() << " = " << opcodeText() << " "
+           << ops[1].toString() << ", " << ops[2].toString();
+        return os.str();
+      case MOpcode::NEGr:
+      case MOpcode::NOTr:
+      case MOpcode::INCr:
+      case MOpcode::DECr:
+        os << ops[0].toString() << " = " << opcodeText() << " "
+           << ops[1].toString();
+        return os.str();
+      case MOpcode::CDQ:
+        os << opcodeText();
+        return os.str();
+      case MOpcode::DIV:
+      case MOpcode::IDIV:
+        os << opcodeText() << " " << ops[0].toString();
+        return os.str();
+      case MOpcode::CMPrr:
+      case MOpcode::CMPri:
+      case MOpcode::TESTrr:
+        os << opcodeText() << " " << ops[0].toString() << ", "
+           << ops[1].toString();
+        return os.str();
+      case MOpcode::SETcc:
+        os << ops[0].toString() << " = " << opcodeText();
+        return os.str();
+      case MOpcode::JCC:
+        os << "J" << condCodeName(cc) << " " << target;
+        return os.str();
+      case MOpcode::JMP:
+        os << "JMP " << target;
+        return os.str();
+      case MOpcode::CALL: {
+        if (retWidth > 0)
+            os << physRegSpelling("rax", retWidth) << " = ";
+        os << "CALL " << target << "(";
+        for (size_t i = 0; i < callArgs.size(); ++i) {
+            if (i > 0)
+                os << ", ";
+            os << callArgs[i].toString();
+        }
+        os << ") site=" << callSiteId;
+        return os.str();
+      }
+      case MOpcode::RET:
+        os << "RET";
+        return os.str();
+      case MOpcode::UD2:
+        os << "UD2";
+        return os.str();
+      default:
+        break;
+    }
+    return opcodeText();
+}
+
+std::vector<std::string>
+MBasicBlock::successors() const
+{
+    std::vector<std::string> out;
+    for (const MInst &inst : insts) {
+        if (inst.op == MOpcode::JCC)
+            out.push_back(inst.target);
+        if (inst.op == MOpcode::JMP)
+            out.push_back(inst.target);
+    }
+    return out;
+}
+
+const MBasicBlock *
+MFunction::findBlock(const std::string &block_name) const
+{
+    for (const MBasicBlock &block : blocks) {
+        if (block.name == block_name)
+            return &block;
+    }
+    return nullptr;
+}
+
+size_t
+MFunction::instructionCount() const
+{
+    size_t count = 0;
+    for (const MBasicBlock &block : blocks)
+        count += block.insts.size();
+    return count;
+}
+
+std::string
+MFunction::toString() const
+{
+    std::ostringstream os;
+    os << "function " << name << " ret i" << retWidth << " {\n";
+    for (const FrameObject &object : frame)
+        os << "  frame " << object.slotName << " " << object.size << "\n";
+    for (const MBasicBlock &block : blocks) {
+        os << block.name << ":\n";
+        for (const MInst &inst : block.insts)
+            os << "  " << inst.toString() << "\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+MFunction *
+MModule::findFunction(const std::string &fn_name)
+{
+    for (MFunction &fn : functions) {
+        if (fn.name == fn_name)
+            return &fn;
+    }
+    return nullptr;
+}
+
+const MFunction *
+MModule::findFunction(const std::string &fn_name) const
+{
+    for (const MFunction &fn : functions) {
+        if (fn.name == fn_name)
+            return &fn;
+    }
+    return nullptr;
+}
+
+std::string
+MModule::toString() const
+{
+    std::ostringstream os;
+    for (const MFunction &fn : functions)
+        os << fn.toString() << "\n";
+    return os.str();
+}
+
+} // namespace keq::vx86

@@ -1,0 +1,221 @@
+#ifndef KEQ_VX86_MIR_H
+#define KEQ_VX86_MIR_H
+
+/**
+ * @file
+ * "Virtual x86": LLVM Machine IR specialized to the x86-64 ISA
+ * (Section 4.3 of the paper).
+ *
+ * The representation keeps the Machine IR's pre-register-allocation
+ * abstractions: an unlimited supply of SSA virtual registers, PHI and COPY
+ * pseudo-instructions, a frame-object abstraction for stack slots, plus
+ * the x86-64 physical general-purpose register file, eflags, and a subset
+ * of x86-64 opcodes sufficient for lowering the supported LLVM fragment.
+ *
+ * Register naming:
+ *  - virtual registers print as "%vrN_W" (N = number, W = width in bits);
+ *  - physical registers use their canonical 64-bit names internally
+ *    ("rax", ..., "r15") and print with the conventional sub-register
+ *    names at narrower widths ("eax", "ax", "al", "r8d", ...).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/apint.h"
+
+namespace keq::vx86 {
+
+/** The sixteen x86-64 general-purpose registers (canonical names). */
+extern const std::vector<std::string> kPhysRegs;
+
+/** True if @p name is a canonical 64-bit physical register name. */
+bool isPhysReg(const std::string &name);
+
+/**
+ * Maps a textual register spelling ("eax", "r8d", "al") to its canonical
+ * name and access width; returns false when unknown.
+ */
+bool decodePhysReg(const std::string &spelling, std::string &canonical,
+                   unsigned &width);
+
+/** Conventional spelling of a physical register at a width. */
+std::string physRegSpelling(const std::string &canonical, unsigned width);
+
+/** x86 condition codes (for Jcc / SETcc). */
+enum class CondCode : uint8_t {
+    E, NE, B, BE, A, AE, L, LE, G, GE, S, NS, O, NO,
+};
+
+const char *condCodeName(CondCode cc);
+/** Inverse of condCodeName; throws on unknown. */
+CondCode parseCondCode(const std::string &name);
+
+/** Machine operand. */
+struct MOperand
+{
+    enum class Kind : uint8_t { VirtReg, PhysReg, Imm, None };
+
+    Kind kind = Kind::None;
+    std::string reg;      ///< "%vr3_32" (VirtReg) or canonical (PhysReg).
+    unsigned width = 0;   ///< Access width in bits.
+    support::ApInt imm;   ///< Kind::Imm.
+
+    static MOperand
+    virtReg(unsigned number, unsigned width)
+    {
+        return {Kind::VirtReg,
+                "%vr" + std::to_string(number) + "_" +
+                    std::to_string(width),
+                width,
+                {}};
+    }
+
+    static MOperand
+    namedVirtReg(std::string name, unsigned width)
+    {
+        return {Kind::VirtReg, std::move(name), width, {}};
+    }
+
+    static MOperand
+    physReg(std::string canonical, unsigned width)
+    {
+        return {Kind::PhysReg, std::move(canonical), width, {}};
+    }
+
+    static MOperand
+    immediate(support::ApInt value)
+    {
+        return {Kind::Imm, {}, value.width(), value};
+    }
+
+    bool isReg() const
+    {
+        return kind == Kind::VirtReg || kind == Kind::PhysReg;
+    }
+    bool isImm() const { return kind == Kind::Imm; }
+
+    std::string toString() const;
+};
+
+/**
+ * x86 addressing mode: base + index*scale + displacement, where the base
+ * may be a register, a global symbol, or a frame index (Machine IR's
+ * stack-frame abstraction).
+ */
+struct MAddress
+{
+    enum class BaseKind : uint8_t { Reg, Global, FrameIndex, None };
+
+    BaseKind baseKind = BaseKind::None;
+    MOperand baseReg;       ///< BaseKind::Reg.
+    std::string global;     ///< BaseKind::Global ("@name").
+    int frameIndex = -1;    ///< BaseKind::FrameIndex.
+    MOperand indexReg;      ///< Optional; Kind::None when absent.
+    unsigned scale = 1;
+    int64_t disp = 0;
+
+    bool hasIndex() const { return indexReg.isReg(); }
+    std::string toString() const;
+};
+
+/** Virtual x86 opcodes (generic across widths; width stored on MInst). */
+enum class MOpcode : uint8_t {
+    // Pseudo instructions kept from Machine IR.
+    COPY, PHI,
+    // Data movement.
+    MOVri, MOVrm, MOVmr, MOVmi, MOVZXrr, MOVSXrr, MOVZXrm, MOVSXrm, LEA,
+    // Integer ALU.
+    ADDrr, ADDri, SUBrr, SUBri, IMULrr, IMULri,
+    ANDrr, ANDri, ORrr, ORri, XORrr, XORri,
+    SHLri, SHRri, SARri, SHLrr, SHRrr, SARrr,
+    NEGr, NOTr, INCr, DECr,
+    // Widening for division.
+    CDQ, // sign-extends eax into edx (CQO at width 64).
+    DIV, IDIV,
+    // Flags and control flow.
+    CMPrr, CMPri, TESTrr, SETcc, JCC, JMP,
+    CALL, RET,
+    UD2, ///< Trap; models LLVM `unreachable` lowering.
+};
+
+const char *mopcodeBaseName(MOpcode op);
+
+/** One machine instruction. */
+struct MInst
+{
+    MOpcode op = MOpcode::RET;
+    /** Operation width in bits (8/16/32/64); 0 where n/a (JMP...). */
+    unsigned width = 0;
+
+    /** Register/immediate operands; defs first (x86 two-address style). */
+    std::vector<MOperand> ops;
+
+    MAddress addr;              ///< Memory ops and LEA.
+    CondCode cc = CondCode::E;  ///< JCC / SETcc.
+    std::string target;         ///< JMP/JCC target block or CALL callee.
+
+    /** PHI incoming (value operand, predecessor block). */
+    std::vector<std::pair<MOperand, std::string>> incoming;
+
+    // CALL metadata (Machine IR keeps implicit uses/defs; we keep them
+    // explicitly so the semantics and interpreter agree with LLVM's).
+    std::vector<MOperand> callArgs; ///< Physical argument registers.
+    unsigned retWidth = 0;          ///< 0 for void.
+    std::string callSiteId;         ///< Matches the LLVM side's ids.
+
+    bool
+    isTerminator() const
+    {
+        return op == MOpcode::JMP || op == MOpcode::RET ||
+               op == MOpcode::UD2;
+    }
+
+    std::string toString() const;
+};
+
+/** A frame object: one stack slot (from an LLVM alloca). */
+struct FrameObject
+{
+    /** Full common-layout slot name, e.g. "@foo/%p". */
+    std::string slotName;
+    uint64_t size = 0;
+};
+
+/** A machine basic block. */
+struct MBasicBlock
+{
+    std::string name; ///< ".LBB0", ...
+    std::vector<MInst> insts;
+
+    /** Successor block names derived from the trailing jump sequence. */
+    std::vector<std::string> successors() const;
+};
+
+/** A machine function. */
+struct MFunction
+{
+    std::string name;    ///< Matches the LLVM symbol, with '@'.
+    unsigned retWidth = 0; ///< Return value width in bits; 0 = void.
+    std::vector<FrameObject> frame;
+    std::vector<MBasicBlock> blocks;
+
+    const MBasicBlock *findBlock(const std::string &name) const;
+    size_t instructionCount() const;
+    std::string toString() const;
+};
+
+/** A machine module. */
+struct MModule
+{
+    std::vector<MFunction> functions;
+
+    MFunction *findFunction(const std::string &name);
+    const MFunction *findFunction(const std::string &name) const;
+    std::string toString() const;
+};
+
+} // namespace keq::vx86
+
+#endif // KEQ_VX86_MIR_H

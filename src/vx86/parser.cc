@@ -1,0 +1,503 @@
+#include "src/vx86/parser.h"
+
+#include <cctype>
+#include <memory>
+#include <sstream>
+
+#include "src/support/diagnostics.h"
+#include "src/support/strings.h"
+
+namespace keq::vx86 {
+
+namespace {
+
+using support::ApInt;
+using support::Error;
+
+[[noreturn]] void
+fail(int line, const std::string &message)
+{
+    throw Error("vx86 parse error (line " + std::to_string(line) +
+                "): " + message);
+}
+
+/** Splits an instruction line into tokens on whitespace and commas,
+ *  keeping bracketed address expressions as single tokens. */
+std::vector<std::string>
+tokenize(std::string_view text, int line)
+{
+    std::vector<std::string> tokens;
+    size_t i = 0;
+    while (i < text.size()) {
+        char c = text[i];
+        if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+            ++i;
+            continue;
+        }
+        if (c == '[') {
+            size_t close = text.find(']', i);
+            if (close == std::string_view::npos)
+                fail(line, "unterminated address bracket");
+            tokens.emplace_back(text.substr(i, close - i + 1));
+            i = close + 1;
+            continue;
+        }
+        size_t start = i;
+        while (i < text.size() &&
+               !std::isspace(static_cast<unsigned char>(text[i])) &&
+               text[i] != ',' && text[i] != '[') {
+            ++i;
+        }
+        tokens.emplace_back(text.substr(start, i - start));
+    }
+    return tokens;
+}
+
+/** Parses a register or immediate operand token. */
+MOperand
+parseOperand(const std::string &token, unsigned imm_width, int line)
+{
+    if (token.empty())
+        fail(line, "empty operand");
+    if (token[0] == '$') {
+        int64_t value = std::stoll(token.substr(1));
+        return MOperand::immediate(
+            ApInt(imm_width, static_cast<uint64_t>(value)));
+    }
+    if (token.size() > 3 && token.substr(0, 3) == "%vr") {
+        size_t underscore = token.rfind('_');
+        if (underscore == std::string::npos)
+            fail(line, "virtual register without width: " + token);
+        unsigned width = static_cast<unsigned>(
+            std::stoul(token.substr(underscore + 1)));
+        return MOperand::namedVirtReg(token, width);
+    }
+    std::string canonical;
+    unsigned width = 0;
+    if (decodePhysReg(token, canonical, width))
+        return MOperand::physReg(canonical, width);
+    fail(line, "unknown operand '" + token + "'");
+}
+
+/** Parses "[base (+ index*scale) (+|- disp)]". */
+MAddress
+parseAddress(const std::string &token, int line)
+{
+    KEQ_ASSERT(token.size() >= 2 && token.front() == '[' &&
+                   token.back() == ']',
+               "parseAddress: not a bracketed token");
+    std::string inner(token.substr(1, token.size() - 2));
+    std::vector<std::string> parts = support::splitWhitespace(inner);
+
+    MAddress addr;
+    size_t index = 0;
+    auto parseBase = [&](const std::string &base) {
+        if (base.empty())
+            fail(line, "empty address base");
+        if (base[0] == '@') {
+            addr.baseKind = MAddress::BaseKind::Global;
+            addr.global = base;
+        } else if (base.size() > 2 && base.substr(0, 2) == "fi") {
+            addr.baseKind = MAddress::BaseKind::FrameIndex;
+            addr.frameIndex = std::stoi(base.substr(2));
+        } else if (base == "0") {
+            addr.baseKind = MAddress::BaseKind::None;
+        } else {
+            addr.baseKind = MAddress::BaseKind::Reg;
+            addr.baseReg = parseOperand(base, 64, line);
+        }
+    };
+    if (parts.empty())
+        fail(line, "empty address");
+    parseBase(parts[index++]);
+
+    while (index < parts.size()) {
+        const std::string &sign = parts[index];
+        if (sign != "+" && sign != "-")
+            fail(line, "expected +/- in address, got '" + sign + "'");
+        ++index;
+        if (index >= parts.size())
+            fail(line, "dangling sign in address");
+        const std::string &piece = parts[index++];
+        size_t star = piece.find('*');
+        if (star != std::string::npos) {
+            if (sign == "-")
+                fail(line, "negative index in address");
+            addr.indexReg = parseOperand(piece.substr(0, star), 64, line);
+            addr.scale = static_cast<unsigned>(
+                std::stoul(piece.substr(star + 1)));
+        } else if (std::isdigit(static_cast<unsigned char>(piece[0]))) {
+            int64_t disp = std::stoll(piece);
+            addr.disp += sign == "-" ? -disp : disp;
+        } else {
+            // A bare register after + is an unscaled index.
+            addr.indexReg = parseOperand(piece, 64, line);
+            addr.scale = 1;
+        }
+    }
+    return addr;
+}
+
+/** Decodes an opcode token like "ADD32rr" into (base enum, width). */
+bool
+decodeOpcode(const std::string &text, MOpcode &op, unsigned &width)
+{
+    // Dual-width extension opcodes: MOVZX<dst>rr<src> / MOVSX<dst>rm<src>.
+    // The instruction width field holds the *source* width; the
+    // destination width lives on the def operand.
+    if (text.size() > 5 && (text.substr(0, 5) == "MOVZX" ||
+                            text.substr(0, 5) == "MOVSX")) {
+        bool sign = text[3] == 'S';
+        std::string rest = text.substr(5);
+        size_t form = rest.find("rr");
+        bool memory = false;
+        if (form == std::string::npos) {
+            form = rest.find("rm");
+            memory = true;
+        }
+        if (form == std::string::npos || form == 0 ||
+            form + 2 >= rest.size()) {
+            return false;
+        }
+        width = static_cast<unsigned>(std::stoul(rest.substr(form + 2)));
+        op = memory ? (sign ? MOpcode::MOVSXrm : MOpcode::MOVZXrm)
+                    : (sign ? MOpcode::MOVSXrr : MOpcode::MOVZXrr);
+        return true;
+    }
+    // Peel off trailing lowercase form suffix, then digits, leaving the
+    // uppercase base.
+    size_t suffix_start = text.size();
+    while (suffix_start > 0 &&
+           std::islower(static_cast<unsigned char>(
+               text[suffix_start - 1]))) {
+        --suffix_start;
+    }
+    size_t digit_start = suffix_start;
+    while (digit_start > 0 &&
+           std::isdigit(static_cast<unsigned char>(
+               text[digit_start - 1]))) {
+        --digit_start;
+    }
+    std::string base = text.substr(0, digit_start) +
+                       text.substr(suffix_start);
+    std::string digits = text.substr(digit_start,
+                                     suffix_start - digit_start);
+    width = digits.empty()
+                ? 0
+                : static_cast<unsigned>(std::stoul(digits));
+
+    static const std::vector<std::pair<std::string, MOpcode>> table = {
+        {"MOVri", MOpcode::MOVri},     {"MOVrm", MOpcode::MOVrm},
+        {"MOVmr", MOpcode::MOVmr},     {"MOVmi", MOpcode::MOVmi},
+        {"MOVZXrr", MOpcode::MOVZXrr}, {"MOVSXrr", MOpcode::MOVSXrr},
+        {"MOVZXrm", MOpcode::MOVZXrm}, {"MOVSXrm", MOpcode::MOVSXrm},
+        {"LEA", MOpcode::LEA},         {"ADDrr", MOpcode::ADDrr},
+        {"ADDri", MOpcode::ADDri},     {"SUBrr", MOpcode::SUBrr},
+        {"SUBri", MOpcode::SUBri},     {"IMULrr", MOpcode::IMULrr},
+        {"IMULri", MOpcode::IMULri},   {"ANDrr", MOpcode::ANDrr},
+        {"ANDri", MOpcode::ANDri},     {"ORrr", MOpcode::ORrr},
+        {"ORri", MOpcode::ORri},       {"XORrr", MOpcode::XORrr},
+        {"XORri", MOpcode::XORri},     {"SHLri", MOpcode::SHLri},
+        {"SHRri", MOpcode::SHRri},     {"SARri", MOpcode::SARri},
+        {"SHLrr", MOpcode::SHLrr},     {"SHRrr", MOpcode::SHRrr},
+        {"SARrr", MOpcode::SARrr},     {"NEGr", MOpcode::NEGr},
+        {"NOTr", MOpcode::NOTr},       {"INCr", MOpcode::INCr},
+        {"DECr", MOpcode::DECr},       {"DIV", MOpcode::DIV},
+        {"IDIV", MOpcode::IDIV},       {"CMPrr", MOpcode::CMPrr},
+        {"CMPri", MOpcode::CMPri},     {"TESTrr", MOpcode::TESTrr},
+    };
+    for (const auto &[name, opcode] : table) {
+        if (base == name) {
+            op = opcode;
+            return true;
+        }
+    }
+    if (base == "CDQ" || base == "CQO") {
+        op = MOpcode::CDQ;
+        width = base == "CQO" ? 64 : 32;
+        return true;
+    }
+    return false;
+}
+
+class FunctionParser
+{
+  public:
+    FunctionParser(MFunction &fn) : fn_(fn) {}
+
+    void
+    parseLine(const std::string &raw, int line)
+    {
+        std::string_view trimmed = support::trim(raw);
+        if (trimmed.empty())
+            return;
+        if (trimmed.back() == ':') {
+            MBasicBlock block;
+            block.name = std::string(
+                trimmed.substr(0, trimmed.size() - 1));
+            fn_.blocks.push_back(std::move(block));
+            return;
+        }
+        if (support::startsWith(trimmed, "frame ")) {
+            std::vector<std::string> parts =
+                support::splitWhitespace(trimmed);
+            if (parts.size() != 3)
+                fail(line, "frame needs slot name and size");
+            fn_.frame.push_back(
+                {parts[1], std::stoull(parts[2])});
+            return;
+        }
+        if (fn_.blocks.empty())
+            fail(line, "instruction before first block label");
+        fn_.blocks.back().insts.push_back(
+            parseInst(std::string(trimmed), line));
+    }
+
+  private:
+    MInst
+    parseInst(const std::string &text, int line)
+    {
+        std::vector<std::string> tokens = tokenize(text, line);
+        KEQ_ASSERT(!tokens.empty(), "empty instruction line");
+
+        MInst inst;
+        size_t cursor = 0;
+        MOperand dest;
+        bool has_dest = false;
+        if (tokens.size() >= 3 && tokens[1] == "=") {
+            dest = parseOperand(tokens[0], 0, line);
+            has_dest = true;
+            cursor = 2;
+        }
+        const std::string opcode_text = tokens[cursor++];
+
+        auto remaining = [&]() {
+            return std::vector<std::string>(tokens.begin() +
+                                                static_cast<long>(cursor),
+                                            tokens.end());
+        };
+
+        if (opcode_text == "COPY") {
+            inst.op = MOpcode::COPY;
+            MOperand src = parseOperand(tokens[cursor++], 0, line);
+            inst.width = dest.width ? dest.width : src.width;
+            inst.ops = {dest, src};
+            return inst;
+        }
+        if (opcode_text == "PHI") {
+            inst.op = MOpcode::PHI;
+            inst.width = dest.width;
+            inst.ops = {dest};
+            std::vector<std::string> rest = remaining();
+            if (rest.size() % 2 != 0)
+                fail(line, "PHI needs value/block pairs");
+            for (size_t i = 0; i < rest.size(); i += 2) {
+                inst.incoming.emplace_back(
+                    parseOperand(rest[i], dest.width, line),
+                    rest[i + 1]);
+            }
+            return inst;
+        }
+        if (opcode_text == "JMP") {
+            inst.op = MOpcode::JMP;
+            inst.target = tokens[cursor];
+            return inst;
+        }
+        if (opcode_text == "RET") {
+            inst.op = MOpcode::RET;
+            return inst;
+        }
+        if (opcode_text == "UD2") {
+            inst.op = MOpcode::UD2;
+            return inst;
+        }
+        if (opcode_text == "CALL")
+            return parseCall(tokens, cursor, has_dest, dest, line);
+        if (opcode_text.size() > 1 && opcode_text[0] == 'J' &&
+            std::islower(static_cast<unsigned char>(opcode_text[1]))) {
+            inst.op = MOpcode::JCC;
+            inst.cc = parseCondCode(opcode_text.substr(1));
+            inst.target = tokens[cursor];
+            return inst;
+        }
+        if (opcode_text.size() > 3 &&
+            opcode_text.substr(0, 3) == "SET") {
+            inst.op = MOpcode::SETcc;
+            inst.cc = parseCondCode(opcode_text.substr(3));
+            inst.width = 8;
+            inst.ops = {dest};
+            return inst;
+        }
+
+        MOpcode op;
+        unsigned width = 0;
+        if (!decodeOpcode(opcode_text, op, width))
+            fail(line, "unknown opcode '" + opcode_text + "'");
+        inst.op = op;
+        inst.width = width;
+
+        switch (op) {
+          case MOpcode::MOVri:
+            inst.ops = {dest,
+                        parseOperand(tokens[cursor], width, line)};
+            return inst;
+          case MOpcode::MOVrm:
+          case MOpcode::MOVZXrm:
+          case MOpcode::MOVSXrm:
+          case MOpcode::LEA:
+            inst.addr = parseAddress(tokens[cursor], line);
+            inst.ops = {dest};
+            if (op == MOpcode::LEA)
+                inst.width = dest.width;
+            return inst;
+          case MOpcode::MOVmr:
+          case MOpcode::MOVmi:
+            inst.addr = parseAddress(tokens[cursor++], line);
+            inst.ops = {parseOperand(tokens[cursor], width, line)};
+            return inst;
+          case MOpcode::MOVZXrr:
+          case MOpcode::MOVSXrr:
+            inst.ops = {dest,
+                        parseOperand(tokens[cursor], width, line)};
+            return inst;
+          case MOpcode::ADDrr:
+          case MOpcode::ADDri:
+          case MOpcode::SUBrr:
+          case MOpcode::SUBri:
+          case MOpcode::IMULrr:
+          case MOpcode::IMULri:
+          case MOpcode::ANDrr:
+          case MOpcode::ANDri:
+          case MOpcode::ORrr:
+          case MOpcode::ORri:
+          case MOpcode::XORrr:
+          case MOpcode::XORri:
+          case MOpcode::SHLri:
+          case MOpcode::SHRri:
+          case MOpcode::SARri:
+          case MOpcode::SHLrr:
+          case MOpcode::SHRrr:
+          case MOpcode::SARrr: {
+            MOperand a = parseOperand(tokens[cursor++], width, line);
+            MOperand b = parseOperand(tokens[cursor], width, line);
+            inst.ops = {dest, a, b};
+            return inst;
+          }
+          case MOpcode::NEGr:
+          case MOpcode::NOTr:
+          case MOpcode::INCr:
+          case MOpcode::DECr:
+            inst.ops = {dest,
+                        parseOperand(tokens[cursor], width, line)};
+            return inst;
+          case MOpcode::CDQ:
+            return inst;
+          case MOpcode::DIV:
+          case MOpcode::IDIV:
+            inst.ops = {parseOperand(tokens[cursor], width, line)};
+            return inst;
+          case MOpcode::CMPrr:
+          case MOpcode::CMPri:
+          case MOpcode::TESTrr: {
+            MOperand a = parseOperand(tokens[cursor++], width, line);
+            MOperand b = parseOperand(tokens[cursor], width, line);
+            inst.ops = {a, b};
+            return inst;
+          }
+          default:
+            fail(line, "unhandled opcode form '" + opcode_text + "'");
+        }
+    }
+
+    MInst
+    parseCall(const std::vector<std::string> &tokens, size_t cursor,
+              bool has_dest, const MOperand &dest, int line)
+    {
+        MInst inst;
+        inst.op = MOpcode::CALL;
+        inst.retWidth = has_dest ? dest.width : 0;
+        // Callee token carries the argument list: "@f(edi," style pieces
+        // were split on whitespace/commas; re-join and re-split on parens.
+        std::string rest;
+        for (size_t i = cursor; i < tokens.size(); ++i) {
+            if (!rest.empty())
+                rest += " ";
+            rest += tokens[i];
+        }
+        size_t open = rest.find('(');
+        size_t close = rest.rfind(')');
+        if (open == std::string::npos || close == std::string::npos)
+            fail(line, "CALL needs an argument list");
+        inst.target = std::string(support::trim(rest.substr(0, open)));
+        std::string args = rest.substr(open + 1, close - open - 1);
+        for (const std::string &arg : support::splitWhitespace(args)) {
+            if (!arg.empty())
+                inst.callArgs.push_back(parseOperand(arg, 0, line));
+        }
+        std::string tail(support::trim(rest.substr(close + 1)));
+        if (support::startsWith(tail, "site="))
+            inst.callSiteId = tail.substr(5);
+        return inst;
+    }
+
+    MFunction &fn_;
+};
+
+} // namespace
+
+MModule
+parseMModule(std::string_view source)
+{
+    MModule module;
+    MFunction *current = nullptr;
+    FunctionParser *parser = nullptr;
+    std::unique_ptr<FunctionParser> parser_storage;
+
+    std::istringstream stream{std::string(source)};
+    std::string raw;
+    int line = 0;
+    while (std::getline(stream, raw)) {
+        ++line;
+        // Strip comments.
+        size_t hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw = raw.substr(0, hash);
+        std::string_view trimmed = support::trim(raw);
+        if (trimmed.empty())
+            continue;
+        if (support::startsWith(trimmed, "function ")) {
+            std::vector<std::string> parts =
+                support::splitWhitespace(trimmed);
+            // function @name ret i32 {
+            if (parts.size() < 4 || parts[2] != "ret")
+                fail(line, "bad function header");
+            MFunction fn;
+            fn.name = parts[1];
+            std::string ret = parts[3];
+            if (ret == "void" || ret == "i0") {
+                fn.retWidth = 0;
+            } else if (ret.size() > 1 && ret[0] == 'i') {
+                fn.retWidth = static_cast<unsigned>(
+                    std::stoul(ret.substr(1)));
+            } else {
+                fail(line, "bad return type '" + ret + "'");
+            }
+            module.functions.push_back(std::move(fn));
+            current = &module.functions.back();
+            parser_storage = std::make_unique<FunctionParser>(*current);
+            parser = parser_storage.get();
+            continue;
+        }
+        if (trimmed == "}") {
+            current = nullptr;
+            parser = nullptr;
+            continue;
+        }
+        if (parser == nullptr)
+            fail(line, "content outside a function");
+        parser->parseLine(raw, line);
+    }
+    return module;
+}
+
+} // namespace keq::vx86

@@ -1,0 +1,36 @@
+#ifndef KEQ_VX86_PARSER_H
+#define KEQ_VX86_PARSER_H
+
+/**
+ * @file
+ * Parser for the textual Virtual x86 form produced by MFunction::toString.
+ *
+ * The syntax is line-oriented:
+ *
+ *     function @foo ret i32 {
+ *       frame @foo/%p 4
+ *     .LBB0:
+ *       %vr0_32 = COPY edi
+ *       %vr1_32 = MOV32ri $5
+ *       MOV32mr [fi0 + 4], %vr1_32
+ *       CMP32rr %vr0_32, %vr1_32
+ *       Jae .LBB2
+ *       JMP .LBB1
+ *     ...
+ *     }
+ *
+ * Round-trip property: parse(print(m)) == print-identical m (tested).
+ */
+
+#include <string_view>
+
+#include "src/vx86/mir.h"
+
+namespace keq::vx86 {
+
+/** Parses a machine module; throws support::Error on malformed input. */
+MModule parseMModule(std::string_view source);
+
+} // namespace keq::vx86
+
+#endif // KEQ_VX86_PARSER_H

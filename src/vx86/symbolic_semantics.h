@@ -1,0 +1,76 @@
+#ifndef KEQ_VX86_SYMBOLIC_SEMANTICS_H
+#define KEQ_VX86_SYMBOLIC_SEMANTICS_H
+
+/**
+ * @file
+ * Symbolic operational semantics of Virtual x86 (Section 4.3).
+ *
+ * The C++ analogue of the paper's K definition of the Machine IR x86
+ * specialization: physical registers with x86-64 sub-register write
+ * semantics (32-bit writes zero-extend; 16/8-bit writes merge), the
+ * eflags bits zf/sf/cf/of as symbolic i1 values, PHI/COPY pseudo ops,
+ * frame objects resolved against the common memory layout, and error
+ * states for out-of-bounds accesses and divide faults.
+ *
+ * Flag modelling notes: after shifts and IMUL, x86 leaves some flags
+ * undefined; we havoc exactly those flags (fresh symbolic values), which
+ * over-approximates — sound for validation (can only cause a spurious
+ * failure, never a false proof).
+ */
+
+#include "src/memory/symbolic_memory.h"
+#include "src/sem/semantics.h"
+#include "src/vx86/mir.h"
+
+namespace keq::vx86 {
+
+/** Symbolic semantics of one Virtual x86 module. */
+class SymbolicSemantics : public sem::Semantics
+{
+  public:
+    SymbolicSemantics(const MModule &module, smt::TermFactory &factory,
+                      const mem::MemoryLayout &layout);
+
+    std::string name() const override { return "Vx86"; }
+    std::vector<sem::SymbolicState>
+    step(const sem::SymbolicState &state) override;
+    sem::SymbolicState makeState(const sem::StateSeed &seed,
+                                 std::map<std::string, smt::Term> env,
+                                 smt::Term memory,
+                                 smt::Term path_cond) override;
+    unsigned registerWidth(const std::string &function,
+                           const std::string &reg) const override;
+    void bindRegister(sem::SymbolicState &state,
+                      const std::string &function, const std::string &reg,
+                      smt::Term value) override;
+    smt::Term readRegister(sem::SymbolicState &state,
+                           const std::string &function,
+                           const std::string &reg) override;
+    smt::TermFactory &factory() override { return factory_; }
+
+  private:
+    const MFunction &function(const std::string &name) const;
+    smt::Term readOperand(sem::SymbolicState &state, const MOperand &op);
+    void writeReg(sem::SymbolicState &state, const MOperand &op,
+                  smt::Term value);
+    smt::Term evalAddress(sem::SymbolicState &state, const MFunction &fn,
+                          const MAddress &addr);
+    smt::Term flag(sem::SymbolicState &state, const char *name);
+    void setFlag(sem::SymbolicState &state, const char *name,
+                 smt::Term bit);
+    void havocFlag(sem::SymbolicState &state, const char *name);
+    void clearCompareShadow(sem::SymbolicState &state);
+    void setCompareShadow(sem::SymbolicState &state, smt::Term lhs,
+                          smt::Term rhs);
+    smt::Term condTerm(sem::SymbolicState &state, CondCode cc);
+    void setArithFlags(sem::SymbolicState &state, smt::Term result,
+                       smt::Term cf, smt::Term of);
+
+    const MModule &module_;
+    smt::TermFactory &factory_;
+    mem::SymbolicMemory symMem_;
+};
+
+} // namespace keq::vx86
+
+#endif // KEQ_VX86_SYMBOLIC_SEMANTICS_H

@@ -1,0 +1,203 @@
+/** @file Tests for dominators, natural loops and phi-aware liveness. */
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/cfg.h"
+#include "src/support/diagnostics.h"
+
+namespace keq::analysis {
+namespace {
+
+/** entry -> head -> {body -> head, exit}: the canonical counted loop. */
+Cfg
+loopCfg()
+{
+    Cfg cfg;
+    size_t entry = cfg.addBlock("entry");
+    size_t head = cfg.addBlock("head");
+    size_t body = cfg.addBlock("body");
+    size_t exit = cfg.addBlock("exit");
+    cfg.addEdge(entry, head);
+    cfg.addEdge(head, body);
+    cfg.addEdge(body, head);
+    cfg.addEdge(head, exit);
+    return cfg;
+}
+
+TEST(CfgTest, BasicQueries)
+{
+    Cfg cfg = loopCfg();
+    EXPECT_EQ(cfg.numBlocks(), 4u);
+    EXPECT_EQ(cfg.indexOf("head"), 1u);
+    EXPECT_EQ(cfg.name(2), "body");
+    EXPECT_EQ(cfg.successors(1).size(), 2u);
+    EXPECT_EQ(cfg.predecessors(1).size(), 2u);
+    EXPECT_THROW(cfg.indexOf("nope"), support::InternalError);
+}
+
+TEST(DominatorsTest, LoopCfg)
+{
+    Cfg cfg = loopCfg();
+    std::vector<size_t> idom = immediateDominators(cfg);
+    EXPECT_EQ(idom[0], 0u); // entry dominated by itself
+    EXPECT_EQ(idom[1], 0u); // head by entry
+    EXPECT_EQ(idom[2], 1u); // body by head
+    EXPECT_EQ(idom[3], 1u); // exit by head
+    EXPECT_TRUE(dominates(idom, 0, 3));
+    EXPECT_TRUE(dominates(idom, 1, 2));
+    EXPECT_FALSE(dominates(idom, 2, 3));
+    EXPECT_TRUE(dominates(idom, 1, 1));
+}
+
+TEST(DominatorsTest, Diamond)
+{
+    Cfg cfg;
+    size_t entry = cfg.addBlock("entry");
+    size_t left = cfg.addBlock("left");
+    size_t right = cfg.addBlock("right");
+    size_t join = cfg.addBlock("join");
+    cfg.addEdge(entry, left);
+    cfg.addEdge(entry, right);
+    cfg.addEdge(left, join);
+    cfg.addEdge(right, join);
+    std::vector<size_t> idom = immediateDominators(cfg);
+    EXPECT_EQ(idom[join], entry); // neither arm dominates the join
+    EXPECT_FALSE(dominates(idom, left, join));
+}
+
+TEST(DominatorsTest, UnreachableBlock)
+{
+    Cfg cfg;
+    cfg.addBlock("entry");
+    size_t island = cfg.addBlock("island");
+    std::vector<size_t> idom = immediateDominators(cfg);
+    EXPECT_EQ(idom[island], SIZE_MAX);
+    EXPECT_FALSE(dominates(idom, 0, island));
+}
+
+TEST(NaturalLoopsTest, SingleLoop)
+{
+    Cfg cfg = loopCfg();
+    std::vector<NaturalLoop> loops = naturalLoops(cfg);
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_EQ(loops[0].header, 1u);
+    EXPECT_EQ(loops[0].blocks, (std::set<size_t>{1, 2}));
+}
+
+TEST(NaturalLoopsTest, NestedLoops)
+{
+    // entry -> outer -> inner -> inner (self), inner -> outer, outer -> exit
+    Cfg cfg;
+    size_t entry = cfg.addBlock("entry");
+    size_t outer = cfg.addBlock("outer");
+    size_t inner = cfg.addBlock("inner");
+    size_t exit = cfg.addBlock("exit");
+    cfg.addEdge(entry, outer);
+    cfg.addEdge(outer, inner);
+    cfg.addEdge(inner, inner);
+    cfg.addEdge(inner, outer);
+    cfg.addEdge(outer, exit);
+    std::vector<NaturalLoop> loops = naturalLoops(cfg);
+    ASSERT_EQ(loops.size(), 2u);
+    // Loops are keyed by header; the inner self-loop is {inner}, the
+    // outer is {outer, inner}.
+    bool found_inner = false, found_outer = false;
+    for (const NaturalLoop &loop : loops) {
+        if (loop.header == inner) {
+            EXPECT_EQ(loop.blocks, (std::set<size_t>{inner}));
+            found_inner = true;
+        }
+        if (loop.header == outer) {
+            EXPECT_EQ(loop.blocks, (std::set<size_t>{outer, inner}));
+            found_outer = true;
+        }
+    }
+    EXPECT_TRUE(found_inner);
+    EXPECT_TRUE(found_outer);
+}
+
+TEST(NaturalLoopsTest, NoLoops)
+{
+    Cfg cfg;
+    size_t a = cfg.addBlock("a");
+    size_t b = cfg.addBlock("b");
+    cfg.addEdge(a, b);
+    EXPECT_TRUE(naturalLoops(cfg).empty());
+}
+
+TEST(LivenessTest, StraightLine)
+{
+    Cfg cfg;
+    size_t a = cfg.addBlock("a");
+    size_t b = cfg.addBlock("b");
+    cfg.addEdge(a, b);
+    std::vector<BlockUseDef> facts(2);
+    facts[a].def = {"x"};
+    facts[b].use = {"x", "y"};
+    Liveness live = computeLiveness(cfg, facts);
+    EXPECT_EQ(live.liveOut[a], (std::set<std::string>{"x", "y"}));
+    EXPECT_EQ(live.liveIn[a], (std::set<std::string>{"y"}));
+    EXPECT_EQ(live.liveIn[b], (std::set<std::string>{"x", "y"}));
+}
+
+TEST(LivenessTest, LoopCarriedValue)
+{
+    Cfg cfg = loopCfg();
+    std::vector<BlockUseDef> facts(4);
+    // head uses nothing directly; body uses and redefines acc.
+    facts[1].def = {"i"};
+    facts[2].use = {"acc", "i"};
+    facts[2].def = {"acc2"};
+    facts[3].use = {"acc"};
+    Liveness live = computeLiveness(cfg, facts);
+    // acc is live around the loop.
+    EXPECT_TRUE(live.liveIn[1].count("acc"));
+    EXPECT_TRUE(live.liveOut[2].count("acc"));
+    EXPECT_TRUE(live.liveIn[0].count("acc"));
+}
+
+TEST(LivenessTest, PhiUsesAttributedToEdges)
+{
+    // join has a phi reading xa from left and xb from right.
+    Cfg cfg;
+    size_t entry = cfg.addBlock("entry");
+    size_t left = cfg.addBlock("left");
+    size_t right = cfg.addBlock("right");
+    size_t join = cfg.addBlock("join");
+    cfg.addEdge(entry, left);
+    cfg.addEdge(entry, right);
+    cfg.addEdge(left, join);
+    cfg.addEdge(right, join);
+    std::vector<BlockUseDef> facts(4);
+    facts[left].def = {"xa"};
+    facts[right].def = {"xb"};
+    facts[join].def = {"x"};
+    facts[join].phiUse[left] = {"xa"};
+    facts[join].phiUse[right] = {"xb"};
+    Liveness live = computeLiveness(cfg, facts);
+    // xa is live out of left but NOT live into join (phi edge semantics)
+    // and NOT live out of right.
+    EXPECT_TRUE(live.liveOut[left].count("xa"));
+    EXPECT_FALSE(live.liveIn[join].count("xa"));
+    EXPECT_FALSE(live.liveOut[right].count("xa"));
+    // Edge-live sets carry the phi inputs.
+    EXPECT_TRUE(live.edgeLive(cfg, facts, left, join).count("xa"));
+    EXPECT_FALSE(live.edgeLive(cfg, facts, right, join).count("xa"));
+    EXPECT_TRUE(live.edgeLive(cfg, facts, right, join).count("xb"));
+}
+
+TEST(LivenessTest, DefKillsLiveness)
+{
+    Cfg cfg;
+    size_t a = cfg.addBlock("a");
+    size_t b = cfg.addBlock("b");
+    cfg.addEdge(a, b);
+    std::vector<BlockUseDef> facts(2);
+    facts[b].def = {"x"};
+    facts[b].use = {};
+    Liveness live = computeLiveness(cfg, facts);
+    EXPECT_FALSE(live.liveOut[a].count("x"));
+}
+
+} // namespace
+} // namespace keq::analysis

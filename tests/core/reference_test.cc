@@ -1,0 +1,151 @@
+/** @file Property tests tying Algorithm 1 to the reference greatest-
+ *  fixpoint cut-bisimulation procedure on random finite systems. */
+
+#include <gtest/gtest.h>
+
+#include "src/core/reference.h"
+#include "src/support/rng.h"
+
+namespace keq::core {
+namespace {
+
+using support::Rng;
+
+/**
+ * Generates a random cut transition system with a valid cut: every state
+ * gets a label from a small alphabet; we then add cut states densely
+ * enough and repair violations by promoting states into the cut.
+ */
+ExplicitTransitionSystem
+randomSystem(Rng &rng, size_t num_states, unsigned alphabet)
+{
+    ExplicitTransitionSystem ts;
+    for (size_t i = 0; i < num_states; ++i) {
+        std::string label(1, static_cast<char>(
+                                 'a' + rng.below(alphabet)));
+        ts.addState(label, rng.chancePercent(60));
+    }
+    for (size_t i = 0; i < num_states; ++i) {
+        unsigned out_degree = static_cast<unsigned>(rng.below(3));
+        for (unsigned e = 0; e < out_degree; ++e) {
+            ts.addTransition(static_cast<StateId>(i),
+                             static_cast<StateId>(
+                                 rng.below(num_states)));
+        }
+    }
+    ts.setInitial(0);
+    ts.setCut(0, true);
+    // Repair until the cut is valid: promote random states.
+    for (int attempts = 0; attempts < 200; ++attempts) {
+        if (ts.validateCut().valid)
+            break;
+        ts.setCut(static_cast<StateId>(rng.below(num_states)), true);
+    }
+    return ts;
+}
+
+class ReferenceProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(ReferenceProperty, LargestRelationPassesAlgorithm1)
+{
+    Rng rng(GetParam());
+    ExplicitTransitionSystem t1 = randomSystem(rng, 8, 2);
+    ExplicitTransitionSystem t2 = randomSystem(rng, 8, 2);
+    if (!t1.validateCut().valid || !t2.validateCut().valid)
+        GTEST_SKIP() << "could not repair a random cut";
+
+    PairRelation largest =
+        largestCutBisimulation(t1, t2, labelEquality);
+    // The greatest fixpoint is itself a cut-bisimulation, so the
+    // verbatim Algorithm 1 must accept it.
+    CheckOutcome outcome = checkCutBisimulation(t1, t2, largest);
+    EXPECT_TRUE(outcome.holds);
+}
+
+TEST_P(ReferenceProperty, AcceptedRelationsAreContainedInLargest)
+{
+    Rng rng(GetParam() * 7919);
+    ExplicitTransitionSystem t1 = randomSystem(rng, 7, 2);
+    ExplicitTransitionSystem t2 = randomSystem(rng, 7, 2);
+    if (!t1.validateCut().valid || !t2.validateCut().valid)
+        GTEST_SKIP() << "could not repair a random cut";
+
+    // Random candidate sub-relations of the acceptable pairs.
+    PairRelation largest =
+        largestCutBisimulation(t1, t2, labelEquality);
+    for (int trial = 0; trial < 10; ++trial) {
+        PairRelation candidate;
+        for (StateId s1 : t1.cutStates()) {
+            for (StateId s2 : t2.cutStates()) {
+                if (labelEquality(t1, s1, t2, s2) &&
+                    rng.chancePercent(50)) {
+                    candidate.add(s1, s2);
+                }
+            }
+        }
+        if (checkCutBisimulation(t1, t2, candidate).holds) {
+            // Soundness: any accepted relation is a cut-bisimulation,
+            // hence contained in the largest one.
+            for (const auto &[s1, s2] : candidate.pairs()) {
+                EXPECT_TRUE(largest.contains(s1, s2))
+                    << "accepted pair (" << s1 << "," << s2
+                    << ") outside the largest cut-bisimulation";
+            }
+        }
+    }
+}
+
+TEST_P(ReferenceProperty, SelfBisimilarity)
+{
+    Rng rng(GetParam() * 104729);
+    ExplicitTransitionSystem ts = randomSystem(rng, 9, 3);
+    if (!ts.validateCut().valid)
+        GTEST_SKIP() << "could not repair a random cut";
+    // Any system is cut-bisimilar to itself under label equality
+    // (identity is a witness).
+    EXPECT_TRUE(cutBisimilar(ts, ts, labelEquality));
+    // And the identity relation on cut states passes Algorithm 1.
+    PairRelation identity;
+    for (StateId s : ts.cutStates())
+        identity.add(s, s);
+    EXPECT_TRUE(checkCutBisimulation(ts, ts, identity).holds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReferenceProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+TEST(ReferenceTest, SimulationWeakerThanBisimulation)
+{
+    // T2 nondeterministically does more than T1.
+    ExplicitTransitionSystem t1, t2;
+    StateId a1 = t1.addState("a", true);
+    StateId b1 = t1.addState("b", true);
+    t1.addTransition(a1, b1);
+    t1.setInitial(a1);
+
+    StateId a2 = t2.addState("a", true);
+    StateId b2 = t2.addState("b", true);
+    StateId c2 = t2.addState("c", true);
+    t2.addTransition(a2, b2);
+    t2.addTransition(a2, c2);
+    t2.setInitial(a2);
+
+    EXPECT_FALSE(cutBisimilar(t1, t2, labelEquality,
+                              CheckMode::Bisimulation));
+    EXPECT_TRUE(cutBisimilar(t1, t2, labelEquality,
+                             CheckMode::Simulation));
+}
+
+TEST(ReferenceTest, LabelMismatchNeverBisimilar)
+{
+    ExplicitTransitionSystem t1, t2;
+    t1.addState("x", true);
+    t1.setInitial(0);
+    t2.addState("y", true);
+    t2.setInitial(0);
+    EXPECT_FALSE(cutBisimilar(t1, t2, labelEquality));
+}
+
+} // namespace
+} // namespace keq::core

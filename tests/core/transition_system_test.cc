@@ -1,0 +1,194 @@
+/** @file Tests for cut transition systems and cut-successor computation
+ *  (Definitions 7.1 and 7.3 of the paper). */
+
+#include <gtest/gtest.h>
+
+#include "src/core/transition_system.h"
+
+namespace keq::core {
+namespace {
+
+TEST(TransitionSystemTest, BasicConstruction)
+{
+    ExplicitTransitionSystem ts;
+    StateId a = ts.addState("a", true);
+    StateId b = ts.addState("b");
+    ts.addTransition(a, b);
+    ts.setInitial(a);
+    EXPECT_EQ(ts.numStates(), 2u);
+    EXPECT_EQ(ts.numTransitions(), 1u);
+    EXPECT_TRUE(ts.isCut(a));
+    EXPECT_FALSE(ts.isCut(b));
+    EXPECT_EQ(ts.label(a), "a");
+    EXPECT_EQ(ts.successors(a), std::vector<StateId>{b});
+}
+
+TEST(TransitionSystemTest, ParallelEdgesDeduplicate)
+{
+    ExplicitTransitionSystem ts;
+    StateId a = ts.addState("", true);
+    StateId b = ts.addState("", true);
+    ts.addTransition(a, b);
+    ts.addTransition(a, b);
+    EXPECT_EQ(ts.numTransitions(), 1u);
+}
+
+TEST(CutSuccessorTest, DirectSuccessor)
+{
+    ExplicitTransitionSystem ts;
+    StateId a = ts.addState("", true);
+    StateId b = ts.addState("", true);
+    ts.addTransition(a, b);
+    CutSuccessorResult result = cutSuccessors(ts, a);
+    EXPECT_FALSE(result.cutViolation);
+    EXPECT_EQ(result.successors, std::vector<StateId>{b});
+}
+
+TEST(CutSuccessorTest, SkipsNonCutStates)
+{
+    // a -> x -> y -> b with x, y outside the cut.
+    ExplicitTransitionSystem ts;
+    StateId a = ts.addState("", true);
+    StateId x = ts.addState();
+    StateId y = ts.addState();
+    StateId b = ts.addState("", true);
+    ts.addTransition(a, x);
+    ts.addTransition(x, y);
+    ts.addTransition(y, b);
+    CutSuccessorResult result = cutSuccessors(ts, a);
+    EXPECT_FALSE(result.cutViolation);
+    EXPECT_EQ(result.successors, std::vector<StateId>{b});
+}
+
+TEST(CutSuccessorTest, SelfLoopThroughNonCut)
+{
+    // A loop header reaching itself through the loop body.
+    ExplicitTransitionSystem ts;
+    StateId head = ts.addState("", true);
+    StateId body = ts.addState();
+    ts.addTransition(head, body);
+    ts.addTransition(body, head);
+    CutSuccessorResult result = cutSuccessors(ts, head);
+    EXPECT_FALSE(result.cutViolation);
+    EXPECT_EQ(result.successors, std::vector<StateId>{head});
+}
+
+TEST(CutSuccessorTest, NonCutDiamondIsNotACycle)
+{
+    // a -> {x, y} -> z -> b: z is visited twice via a diamond of non-cut
+    // states, which must NOT be reported as a cut violation.
+    ExplicitTransitionSystem ts;
+    StateId a = ts.addState("", true);
+    StateId x = ts.addState();
+    StateId y = ts.addState();
+    StateId z = ts.addState();
+    StateId b = ts.addState("", true);
+    ts.addTransition(a, x);
+    ts.addTransition(a, y);
+    ts.addTransition(x, z);
+    ts.addTransition(y, z);
+    ts.addTransition(z, b);
+    CutSuccessorResult result = cutSuccessors(ts, a);
+    EXPECT_FALSE(result.cutViolation);
+    EXPECT_EQ(result.successors, std::vector<StateId>{b});
+}
+
+TEST(CutSuccessorTest, DetectsNonCutCycle)
+{
+    // a -> x <-> y: an infinite execution avoiding the cut.
+    ExplicitTransitionSystem ts;
+    StateId a = ts.addState("", true);
+    StateId x = ts.addState();
+    StateId y = ts.addState();
+    ts.addTransition(a, x);
+    ts.addTransition(x, y);
+    ts.addTransition(y, x);
+    CutSuccessorResult result = cutSuccessors(ts, a);
+    EXPECT_TRUE(result.cutViolation);
+}
+
+TEST(CutSuccessorTest, DetectsTerminalNonCutState)
+{
+    // a -> x with x terminal and not in the cut: a complete trace ends
+    // outside the cut (Definition 2.1(b) violated).
+    ExplicitTransitionSystem ts;
+    StateId a = ts.addState("", true);
+    StateId x = ts.addState();
+    ts.addTransition(a, x);
+    CutSuccessorResult result = cutSuccessors(ts, a);
+    EXPECT_TRUE(result.cutViolation);
+}
+
+TEST(CutSuccessorTest, MultipleSuccessors)
+{
+    ExplicitTransitionSystem ts;
+    StateId a = ts.addState("", true);
+    StateId x = ts.addState();
+    StateId b = ts.addState("", true);
+    StateId c = ts.addState("", true);
+    ts.addTransition(a, x);
+    ts.addTransition(x, b);
+    ts.addTransition(x, c);
+    CutSuccessorResult result = cutSuccessors(ts, a);
+    EXPECT_FALSE(result.cutViolation);
+    EXPECT_EQ(result.successors.size(), 2u);
+}
+
+TEST(ValidateCutTest, AcceptsWellFormedCut)
+{
+    ExplicitTransitionSystem ts;
+    StateId entry = ts.addState("", true);
+    StateId head = ts.addState("", true);
+    StateId body = ts.addState();
+    StateId exit = ts.addState("", true);
+    ts.addTransition(entry, head);
+    ts.addTransition(head, body);
+    ts.addTransition(body, head);
+    ts.addTransition(head, exit);
+    ts.setInitial(entry);
+    EXPECT_TRUE(ts.validateCut().valid);
+}
+
+TEST(ValidateCutTest, RejectsNonCutInitialState)
+{
+    ExplicitTransitionSystem ts;
+    StateId a = ts.addState();
+    ts.setInitial(a);
+    ExplicitTransitionSystem::CutValidation validation = ts.validateCut();
+    EXPECT_FALSE(validation.valid);
+    EXPECT_NE(validation.reason.find("initial"), std::string::npos);
+}
+
+TEST(ValidateCutTest, RejectsUncutLoop)
+{
+    // entry -> x <-> y with no cut state in the cycle.
+    ExplicitTransitionSystem ts;
+    StateId entry = ts.addState("", true);
+    StateId x = ts.addState();
+    StateId y = ts.addState();
+    ts.addTransition(entry, x);
+    ts.addTransition(x, y);
+    ts.addTransition(y, x);
+    ts.setInitial(entry);
+    EXPECT_FALSE(ts.validateCut().valid);
+}
+
+TEST(ValidateCutTest, FinalCutStateIsFine)
+{
+    // A terminal state in the cut satisfies the convention vacuously.
+    ExplicitTransitionSystem ts;
+    StateId entry = ts.addState("", true);
+    StateId final_state = ts.addState("", true);
+    ts.addTransition(entry, final_state);
+    ts.setInitial(entry);
+    EXPECT_TRUE(ts.validateCut().valid);
+}
+
+TEST(ValidateCutTest, RejectsEmptySystem)
+{
+    ExplicitTransitionSystem ts;
+    EXPECT_FALSE(ts.validateCut().valid);
+}
+
+} // namespace
+} // namespace keq::core

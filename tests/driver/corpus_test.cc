@@ -1,0 +1,92 @@
+/** @file Corpus generator tests: determinism, parsability, shape. */
+
+#include <gtest/gtest.h>
+
+#include "src/driver/corpus.h"
+#include "src/llvmir/parser.h"
+#include "src/llvmir/verifier.h"
+
+namespace keq::driver {
+namespace {
+
+TEST(CorpusTest, DeterministicForSeed)
+{
+    CorpusOptions options;
+    options.functionCount = 10;
+    EXPECT_EQ(generateCorpusSource(options),
+              generateCorpusSource(options));
+    CorpusOptions other = options;
+    other.seed = options.seed + 1;
+    EXPECT_NE(generateCorpusSource(options),
+              generateCorpusSource(other));
+}
+
+TEST(CorpusTest, ParsesAndVerifies)
+{
+    CorpusOptions options;
+    options.functionCount = 50;
+    std::string source = generateCorpusSource(options);
+    llvmir::Module module = llvmir::parseModule(source);
+    EXPECT_TRUE(llvmir::verifyModule(module).empty());
+    size_t defined = 0;
+    for (const llvmir::Function &fn : module.functions) {
+        if (!fn.isDeclaration())
+            ++defined;
+    }
+    EXPECT_EQ(defined, 50u);
+}
+
+TEST(CorpusTest, FeatureTogglesWork)
+{
+    CorpusOptions no_loops;
+    no_loops.functionCount = 40;
+    no_loops.includeLoops = false;
+    no_loops.includeCalls = false;
+    no_loops.includeMemory = false;
+    no_loops.includeDivision = false;
+    std::string source = generateCorpusSource(no_loops);
+    // No loops (the loop template's head label), no calls, no division,
+    // no memory traffic. Diamond phis are fine — they are not loops.
+    EXPECT_EQ(source.find("head:"), std::string::npos);
+    EXPECT_EQ(source.find("call "), std::string::npos);
+    EXPECT_EQ(source.find("div i32"), std::string::npos);
+    EXPECT_EQ(source.find("rem i32"), std::string::npos);
+    EXPECT_EQ(source.find("load"), std::string::npos);
+    EXPECT_EQ(source.find("alloca"), std::string::npos);
+    llvmir::Module module = llvmir::parseModule(source);
+    EXPECT_TRUE(llvmir::verifyModule(module).empty());
+}
+
+TEST(CorpusTest, ShapeHasSmallMedianAndLargeTail)
+{
+    CorpusOptions options;
+    options.functionCount = 120;
+    llvmir::Module module =
+        llvmir::parseModule(generateCorpusSource(options));
+    std::vector<size_t> sizes;
+    for (const llvmir::Function &fn : module.functions) {
+        if (!fn.isDeclaration())
+            sizes.push_back(fn.instructionCount());
+    }
+    std::sort(sizes.begin(), sizes.end());
+    // Median stays small; the tail grows past 40 instructions (the
+    // paper's Figure 7 right-panel shape, scaled).
+    EXPECT_LE(sizes[sizes.size() / 2], 30u);
+    EXPECT_GE(sizes.back(), 40u);
+}
+
+TEST(CorpusTest, NswPercentControlsUbFlags)
+{
+    CorpusOptions none;
+    none.functionCount = 30;
+    none.nswPercent = 0;
+    EXPECT_EQ(generateCorpusSource(none).find("nsw"),
+              std::string::npos);
+    CorpusOptions all;
+    all.functionCount = 30;
+    all.nswPercent = 100;
+    EXPECT_NE(generateCorpusSource(all).find("nsw"), std::string::npos);
+}
+
+} // namespace
+} // namespace keq::driver

@@ -1,0 +1,229 @@
+/** @file Differential testing of ISel: for corpus functions, the LLVM
+ *  interpreter and the Virtual x86 interpreter must agree on outcome,
+ *  return value, memory effects, and external-call traces. */
+
+#include <gtest/gtest.h>
+
+#include "src/driver/corpus.h"
+#include "src/isel/isel.h"
+#include "src/llvmir/interpreter.h"
+#include "src/llvmir/layout_builder.h"
+#include "src/llvmir/parser.h"
+#include "src/llvmir/verifier.h"
+#include "src/support/rng.h"
+#include "src/vx86/interpreter.h"
+
+namespace keq::isel {
+namespace {
+
+using support::ApInt;
+using support::Rng;
+
+/** Maps an LLVM outcome/error onto the x86 observables. */
+bool
+outcomesAgree(const llvmir::ExecResult &a, const vx86::MExecResult &b)
+{
+    if (a.outcome == llvmir::ExecOutcome::StepLimit ||
+        b.outcome == vx86::MExecOutcome::StepLimit) {
+        return true; // budget races are not divergences
+    }
+    if (a.outcome == llvmir::ExecOutcome::Trapped) {
+        // Any input trap licenses any output behaviour (refinement), but
+        // matching traps are the common case; accept both.
+        return true;
+    }
+    if (b.outcome == vx86::MExecOutcome::Trapped)
+        return false; // output traps where input did not: miscompile
+    return a.value.zextTo(64) == b.value.zextTo(64);
+}
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(DifferentialTest, CorpusFunctionsBehaveIdentically)
+{
+    driver::CorpusOptions copts;
+    copts.seed = GetParam();
+    copts.functionCount = 12;
+    copts.nswPercent = 0; // keep UB out of the differential runs
+    std::string source = driver::generateCorpusSource(copts);
+
+    llvmir::Module module = llvmir::parseModule(source);
+    llvmir::verifyModuleOrThrow(module);
+    ModuleHints hints;
+    vx86::MModule mmodule = lowerModule(module, {}, hints);
+
+    mem::MemoryLayout layout;
+    llvmir::populateLayout(module, layout);
+
+    Rng rng(GetParam() * 31337);
+    for (const llvmir::Function &fn : module.functions) {
+        if (fn.isDeclaration())
+            continue;
+        const vx86::MFunction *mfn = mmodule.findFunction(fn.name);
+        ASSERT_NE(mfn, nullptr);
+        for (int trial = 0; trial < 4; ++trial) {
+            std::vector<ApInt> args;
+            for (const llvmir::Parameter &param : fn.params) {
+                // Mix small values (loop bounds) and full-range bits.
+                uint64_t bits = trial % 2 == 0 ? rng.below(40)
+                                               : rng.next();
+                args.push_back(ApInt(param.type->valueBits(), bits));
+            }
+            // Identical initial memories and external handlers.
+            mem::ConcreteMemory mem_a(layout);
+            mem::ConcreteMemory mem_b(layout);
+            for (const mem::MemoryObject &object : layout.objects()) {
+                Rng fill(object.base);
+                for (uint64_t i = 0; i < object.size; ++i) {
+                    uint8_t byte = static_cast<uint8_t>(fill.next());
+                    mem_a.poke(object.base + i, byte);
+                    mem_b.poke(object.base + i, byte);
+                }
+            }
+            auto handler = [](const std::string &callee,
+                              const std::vector<ApInt> &call_args) {
+                uint64_t h = 0x9e3779b97f4a7c15ull;
+                for (char c : callee)
+                    h = (h ^ static_cast<uint64_t>(c)) * 31;
+                for (const ApInt &arg : call_args)
+                    h = (h ^ arg.zext()) * 0x100000001b3ull;
+                return ApInt(64, h & 0xffff);
+            };
+
+            llvmir::Interpreter interp_a(module, mem_a);
+            interp_a.setExternalHandler(handler);
+            llvmir::ExecResult res_a = interp_a.run(fn, args, 50000);
+
+            vx86::Interpreter interp_b(mmodule, mem_b);
+            interp_b.setExternalHandler(handler);
+            std::vector<ApInt> margs;
+            for (const ApInt &arg : args)
+                margs.push_back(arg.zextTo(64));
+            vx86::MExecResult res_b = interp_b.run(*mfn, margs, 100000);
+
+            EXPECT_TRUE(outcomesAgree(res_a, res_b))
+                << fn.name << " diverged: llvm outcome "
+                << static_cast<int>(res_a.outcome) << " value "
+                << res_a.value.toString() << " vs x86 outcome "
+                << static_cast<int>(res_b.outcome) << " value "
+                << res_b.value.toString();
+
+            if (res_a.outcome == llvmir::ExecOutcome::Returned &&
+                res_b.outcome == vx86::MExecOutcome::Returned) {
+                // External call traces must match exactly.
+                EXPECT_EQ(res_a.callTrace, res_b.callTrace)
+                    << fn.name << ": call traces diverged";
+                // Memory effects must match byte for byte.
+                for (const mem::MemoryObject &object :
+                     layout.objects()) {
+                    for (uint64_t i = 0; i < object.size; ++i) {
+                        ASSERT_EQ(mem_a.peek(object.base + i),
+                                  mem_b.peek(object.base + i))
+                            << fn.name << ": memory diverged at "
+                            << object.name << "+" << i;
+                    }
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Range(uint64_t{100}, uint64_t{110}));
+
+TEST(DifferentialBugTest, WawBugChangesMemory)
+{
+    // The PR25154 scenario: with the bug, the concrete memories diverge.
+    const char *source = R"(
+@b = external global [8 x i8]
+define void @foo() {
+entry:
+  %p2 = getelementptr inbounds [8 x i8], [8 x i8]* @b, i64 0, i64 2
+  %p2w = bitcast i8* %p2 to i16*
+  store i16 0, i16* %p2w
+  %p3 = getelementptr inbounds [8 x i8], [8 x i8]* @b, i64 0, i64 3
+  %p3w = bitcast i8* %p3 to i16*
+  store i16 2, i16* %p3w
+  %p0 = getelementptr inbounds [8 x i8], [8 x i8]* @b, i64 0, i64 0
+  %p0w = bitcast i8* %p0 to i16*
+  store i16 1, i16* %p0w
+  ret void
+}
+)";
+    llvmir::Module module = llvmir::parseModule(source);
+    mem::MemoryLayout layout;
+    llvmir::populateLayout(module, layout);
+    uint64_t base = layout.find("@b")->base;
+
+    auto run_x86 = [&](Bug bug) {
+        IselOptions options;
+        options.mergeStores = true;
+        options.bug = bug;
+        FunctionHints hints;
+        vx86::MModule mmodule;
+        mmodule.functions.push_back(lowerFunction(
+            module, module.functions[0], options, hints));
+        mem::ConcreteMemory memory(layout);
+        vx86::Interpreter interp(mmodule, memory);
+        interp.run(mmodule.functions[0], {});
+        std::vector<uint8_t> bytes;
+        for (uint64_t i = 0; i < 8; ++i)
+            bytes.push_back(memory.peek(base + i));
+        return bytes;
+    };
+
+    // Reference: the LLVM interpreter.
+    mem::ConcreteMemory mem_ref(layout);
+    llvmir::Interpreter interp(module, mem_ref);
+    interp.run(module.functions[0], {});
+    std::vector<uint8_t> reference;
+    for (uint64_t i = 0; i < 8; ++i)
+        reference.push_back(mem_ref.peek(base + i));
+
+    EXPECT_EQ(run_x86(Bug::None), reference)
+        << "correct merge must preserve memory effects";
+    EXPECT_NE(run_x86(Bug::StoreMergeWAW), reference)
+        << "the WAW bug must corrupt the byte at offset 3";
+}
+
+TEST(DifferentialBugTest, LoadWideningTrapsConcretely)
+{
+    const char *source = R"(
+@a = external global [12 x i8]
+@b = external global i64
+define void @narrow() {
+entry:
+  %p = getelementptr inbounds [12 x i8], [12 x i8]* @a, i64 0, i64 8
+  %pw = bitcast i8* %p to i32*
+  %v = load i32, i32* %pw
+  %w = zext i32 %v to i64
+  store i64 %w, i64* @b
+  ret void
+}
+)";
+    llvmir::Module module = llvmir::parseModule(source);
+    mem::MemoryLayout layout;
+    llvmir::populateLayout(module, layout);
+
+    auto run_x86 = [&](Bug bug) {
+        IselOptions options;
+        options.foldExtLoad = true;
+        options.bug = bug;
+        FunctionHints hints;
+        vx86::MModule mmodule;
+        mmodule.functions.push_back(lowerFunction(
+            module, module.functions[0], options, hints));
+        mem::ConcreteMemory memory(layout);
+        vx86::Interpreter interp(mmodule, memory);
+        return interp.run(mmodule.functions[0], {});
+    };
+
+    EXPECT_EQ(run_x86(Bug::None).outcome, vx86::MExecOutcome::Returned);
+    vx86::MExecResult buggy = run_x86(Bug::LoadWidening);
+    EXPECT_EQ(buggy.outcome, vx86::MExecOutcome::Trapped);
+    EXPECT_EQ(buggy.error, sem::ErrorKind::OutOfBounds);
+}
+
+} // namespace
+} // namespace keq::isel

@@ -1,0 +1,347 @@
+/** @file Structural tests for the Instruction Selection lowering. */
+
+#include <gtest/gtest.h>
+
+#include "src/isel/isel.h"
+#include "src/llvmir/parser.h"
+#include "src/llvmir/verifier.h"
+#include "src/support/diagnostics.h"
+
+namespace keq::isel {
+namespace {
+
+struct Lowered
+{
+    llvmir::Module module;
+    vx86::MFunction mfn;
+    FunctionHints hints;
+};
+
+Lowered
+lower(const char *source, IselOptions options = {})
+{
+    Lowered result{llvmir::parseModule(source), {}, {}};
+    llvmir::verifyModuleOrThrow(result.module);
+    result.mfn = lowerFunction(result.module,
+                               result.module.functions.back(), options,
+                               result.hints);
+    return result;
+}
+
+size_t
+countOpcode(const vx86::MFunction &fn, vx86::MOpcode op)
+{
+    size_t count = 0;
+    for (const vx86::MBasicBlock &block : fn.blocks) {
+        for (const vx86::MInst &inst : block.insts) {
+            if (inst.op == op)
+                ++count;
+        }
+    }
+    return count;
+}
+
+TEST(IselTest, EntryCopiesFollowCallingConvention)
+{
+    Lowered low = lower(R"(
+define i32 @f(i32 %a, i32 %b, i32 %c) {
+entry:
+  ret i32 %a
+}
+)");
+    const vx86::MBasicBlock &entry = low.mfn.blocks.front();
+    ASSERT_GE(entry.insts.size(), 3u);
+    // Copies from edi, esi, edx in order.
+    EXPECT_EQ(entry.insts[0].toString(), "%vr0_32 = COPY edi");
+    EXPECT_EQ(entry.insts[1].toString(), "%vr1_32 = COPY esi");
+    EXPECT_EQ(entry.insts[2].toString(), "%vr2_32 = COPY edx");
+    // Hints map parameters to those registers.
+    EXPECT_EQ(low.hints.regMap.at("%a"), "%vr0_32");
+    EXPECT_EQ(low.hints.regMap.at("%c"), "%vr2_32");
+}
+
+TEST(IselTest, BlockMapCoversEveryBlock)
+{
+    Lowered low = lower(R"(
+define i32 @f(i32 %a) {
+entry:
+  br label %next
+next:
+  ret i32 %a
+}
+)");
+    EXPECT_EQ(low.hints.blockMap.at("entry"), ".LBB0");
+    EXPECT_EQ(low.hints.blockMap.at("next"), ".LBB1");
+    EXPECT_EQ(low.mfn.blocks.size(), 2u);
+}
+
+TEST(IselTest, FoldedCompareBranches)
+{
+    Lowered low = lower(R"(
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %c = icmp ult i32 %a, %b
+  br i1 %c, label %t, label %e
+t:
+  ret i32 1
+e:
+  ret i32 0
+}
+)");
+    // Single-use icmp folds into CMP + Jb; no SETcc materialized.
+    EXPECT_EQ(countOpcode(low.mfn, vx86::MOpcode::CMPrr), 1u);
+    EXPECT_EQ(countOpcode(low.mfn, vx86::MOpcode::SETcc), 0u);
+    EXPECT_EQ(countOpcode(low.mfn, vx86::MOpcode::JCC), 1u);
+    // The folded value gets no register hint (it never crosses blocks).
+    EXPECT_EQ(low.hints.regMap.count("%c"), 0u);
+}
+
+TEST(IselTest, MultiUseCompareMaterializesSetcc)
+{
+    Lowered low = lower(R"(
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %c = icmp eq i32 %a, %b
+  %z = zext i1 %c to i32
+  br i1 %c, label %t, label %e
+t:
+  ret i32 %z
+e:
+  ret i32 0
+}
+)");
+    EXPECT_EQ(countOpcode(low.mfn, vx86::MOpcode::SETcc), 1u);
+    // Branch on the materialized value uses TEST.
+    EXPECT_EQ(countOpcode(low.mfn, vx86::MOpcode::TESTrr), 1u);
+}
+
+TEST(IselTest, PhiConstantsMaterializeInPredecessors)
+{
+    Lowered low = lower(R"(
+define i32 @f(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 1, %entry ], [ %inc, %head.b ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %head.b, label %done
+head.b:
+  %inc = add i32 %i, 1
+  br label %head
+done:
+  ret i32 %i
+}
+)");
+    // The constant 1 must be materialized in .LBB0 (entry), before the
+    // JMP, and recorded in the constant-register hints (Figure 3's
+    // "1 = %vr9_32" constraint depends on it).
+    const vx86::MBasicBlock &entry = low.mfn.blocks.front();
+    bool found_mov = false;
+    std::string const_reg;
+    for (const vx86::MInst &inst : entry.insts) {
+        if (inst.op == vx86::MOpcode::MOVri &&
+            inst.ops[0].kind == vx86::MOperand::Kind::VirtReg) {
+            found_mov = true;
+            const_reg = inst.ops[0].reg;
+        }
+        if (inst.op == vx86::MOpcode::JMP)
+            break;
+    }
+    ASSERT_TRUE(found_mov);
+    ASSERT_TRUE(low.hints.constRegs.count(const_reg));
+    EXPECT_EQ(low.hints.constRegs.at(const_reg).zext(), 1u);
+}
+
+TEST(IselTest, DivisionUsesRdxRaxProtocol)
+{
+    Lowered low = lower(R"(
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %q = sdiv i32 %a, %b
+  %r = urem i32 %q, %b
+  ret i32 %r
+}
+)");
+    EXPECT_EQ(countOpcode(low.mfn, vx86::MOpcode::CDQ), 1u);
+    EXPECT_EQ(countOpcode(low.mfn, vx86::MOpcode::IDIV), 1u);
+    EXPECT_EQ(countOpcode(low.mfn, vx86::MOpcode::DIV), 1u);
+}
+
+TEST(IselTest, SixtyFourBitDivisionUnsupported)
+{
+    EXPECT_THROW(lower(R"(
+define i64 @f(i64 %a, i64 %b) {
+entry:
+  %q = udiv i64 %a, %b
+  ret i64 %q
+}
+)"),
+                 support::Error);
+}
+
+TEST(IselTest, SextFromI1Unsupported)
+{
+    EXPECT_THROW(lower(R"(
+define i32 @f(i32 %a) {
+entry:
+  %c = icmp eq i32 %a, 0
+  %s = sext i1 %c to i32
+  ret i32 %s
+}
+)"),
+                 support::Error);
+}
+
+TEST(IselTest, AllocaBecomesFrameObject)
+{
+    Lowered low = lower(R"(
+define i32 @f(i32 %v) {
+entry:
+  %slot = alloca i32
+  store i32 %v, i32* %slot
+  %r = load i32, i32* %slot
+  ret i32 %r
+}
+)");
+    ASSERT_EQ(low.mfn.frame.size(), 1u);
+    EXPECT_EQ(low.mfn.frame[0].slotName, "@f/%slot");
+    EXPECT_EQ(low.mfn.frame[0].size, 4u);
+    EXPECT_EQ(countOpcode(low.mfn, vx86::MOpcode::LEA), 1u);
+}
+
+TEST(IselTest, GepWithConstantIndicesFoldsToDisplacement)
+{
+    Lowered low = lower(R"(
+@g = external global [8 x i32]
+define i32 @f() {
+entry:
+  %p = getelementptr [8 x i32], [8 x i32]* @g, i64 0, i64 3
+  %v = load i32, i32* %p
+  ret i32 %v
+}
+)");
+    bool found = false;
+    for (const vx86::MInst &inst : low.mfn.blocks[0].insts) {
+        if (inst.op == vx86::MOpcode::LEA &&
+            inst.addr.baseKind == vx86::MAddress::BaseKind::Global) {
+            EXPECT_EQ(inst.addr.global, "@g");
+            EXPECT_EQ(inst.addr.disp, 12);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(IselTest, GepWithDynamicIndexScales)
+{
+    Lowered low = lower(R"(
+@g = external global [8 x i32]
+define i32 @f(i32 %i) {
+entry:
+  %w = sext i32 %i to i64
+  %p = getelementptr [8 x i32], [8 x i32]* @g, i64 0, i64 %w
+  %v = load i32, i32* %p
+  ret i32 %v
+}
+)");
+    EXPECT_GE(countOpcode(low.mfn, vx86::MOpcode::IMULri), 1u);
+    EXPECT_GE(countOpcode(low.mfn, vx86::MOpcode::ADDrr), 1u);
+}
+
+TEST(IselTest, CallSetsUpArgumentRegisters)
+{
+    Lowered low = lower(R"(
+declare i32 @ext(i32, i32)
+define i32 @f(i32 %a) {
+entry:
+  %r = call i32 @ext(i32 %a, i32 7)
+  ret i32 %r
+}
+)");
+    const vx86::MInst *call = nullptr;
+    for (const vx86::MInst &inst : low.mfn.blocks[0].insts) {
+        if (inst.op == vx86::MOpcode::CALL)
+            call = &inst;
+    }
+    ASSERT_NE(call, nullptr);
+    EXPECT_EQ(call->target, "@ext");
+    EXPECT_EQ(call->callSiteId, "cs0");
+    EXPECT_EQ(call->retWidth, 32u);
+    ASSERT_EQ(call->callArgs.size(), 2u);
+    EXPECT_EQ(call->callArgs[0].reg, "rdi");
+    EXPECT_EQ(call->callArgs[1].reg, "rsi");
+}
+
+TEST(IselTest, ReturnGoesThroughEax)
+{
+    Lowered low = lower(R"(
+define i32 @f(i32 %a) {
+entry:
+  ret i32 %a
+}
+)");
+    const vx86::MBasicBlock &block = low.mfn.blocks[0];
+    ASSERT_GE(block.insts.size(), 3u);
+    const vx86::MInst &copy = block.insts[block.insts.size() - 2];
+    EXPECT_EQ(copy.op, vx86::MOpcode::COPY);
+    EXPECT_EQ(copy.ops[0].reg, "rax");
+    EXPECT_EQ(block.insts.back().op, vx86::MOpcode::RET);
+}
+
+TEST(IselTest, UnreachableLowersToUd2)
+{
+    Lowered low = lower(
+        "define i32 @f() {\nentry:\n  unreachable\n}\n");
+    EXPECT_EQ(countOpcode(low.mfn, vx86::MOpcode::UD2), 1u);
+}
+
+TEST(IselTest, SelectLowersBranchless)
+{
+    Lowered low = lower(R"(
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %c = icmp ult i32 %a, %b
+  %s = select i1 %c, i32 %a, i32 %b
+  ret i32 %s
+}
+)");
+    // NEG/NOT/AND/AND/OR mask computation; single block, no branches.
+    EXPECT_EQ(low.mfn.blocks.size(), 1u);
+    EXPECT_EQ(countOpcode(low.mfn, vx86::MOpcode::NEGr), 1u);
+    EXPECT_EQ(countOpcode(low.mfn, vx86::MOpcode::ORrr), 1u);
+    EXPECT_EQ(countOpcode(low.mfn, vx86::MOpcode::JCC), 0u);
+}
+
+TEST(IselTest, EveryValueGetsARegisterHint)
+{
+    Lowered low = lower(R"(
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %1 = add i32 %a, %b
+  %2 = xor i32 %1, 255
+  %3 = shl i32 %2, 2
+  ret i32 %3
+}
+)");
+    for (const char *name : {"%a", "%b", "%1", "%2", "%3"})
+        EXPECT_TRUE(low.hints.regMap.count(name)) << name;
+}
+
+TEST(IselTest, ModuleLoweringSkipsDeclarations)
+{
+    llvmir::Module module = llvmir::parseModule(R"(
+declare i32 @ext(i32)
+define i32 @f(i32 %a) {
+entry:
+  ret i32 %a
+}
+)");
+    ModuleHints hints;
+    vx86::MModule mmodule = lowerModule(module, {}, hints);
+    EXPECT_EQ(mmodule.functions.size(), 1u);
+    EXPECT_EQ(mmodule.functions[0].name, "@f");
+    EXPECT_EQ(hints.count("@f"), 1u);
+}
+
+} // namespace
+} // namespace keq::isel

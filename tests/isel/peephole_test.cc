@@ -1,0 +1,201 @@
+/** @file Peephole pass tests: store merging and zext(load) folding, in
+ *  both correct and deliberately buggy variants (Section 5.2). */
+
+#include <gtest/gtest.h>
+
+#include "src/isel/isel.h"
+#include "src/llvmir/parser.h"
+
+namespace keq::isel {
+namespace {
+
+vx86::MFunction
+lowerWith(const char *source, IselOptions options)
+{
+    llvmir::Module module = llvmir::parseModule(source);
+    FunctionHints hints;
+    return lowerFunction(module, module.functions.back(), options,
+                         hints);
+}
+
+size_t
+countOpcode(const vx86::MFunction &fn, vx86::MOpcode op,
+            unsigned width = 0)
+{
+    size_t count = 0;
+    for (const vx86::MBasicBlock &block : fn.blocks) {
+        for (const vx86::MInst &inst : block.insts) {
+            if (inst.op == op && (width == 0 || inst.width == width))
+                ++count;
+        }
+    }
+    return count;
+}
+
+const char *const kAdjacentStores = R"(
+@g = external global [8 x i8]
+define void @f() {
+entry:
+  %p0 = getelementptr [8 x i8], [8 x i8]* @g, i64 0, i64 0
+  %p0w = bitcast i8* %p0 to i16*
+  store i16 1, i16* %p0w
+  %p2 = getelementptr [8 x i8], [8 x i8]* @g, i64 0, i64 2
+  %p2w = bitcast i8* %p2 to i16*
+  store i16 2, i16* %p2w
+  ret void
+}
+)";
+
+TEST(StoreMergeTest, MergesAdjacentNonOverlappingStores)
+{
+    IselOptions options;
+    options.mergeStores = true;
+    vx86::MFunction fn = lowerWith(kAdjacentStores, options);
+    // Two 16-bit stores became one 32-bit store.
+    EXPECT_EQ(countOpcode(fn, vx86::MOpcode::MOVmi, 32), 1u);
+    EXPECT_EQ(countOpcode(fn, vx86::MOpcode::MOVmi, 16), 0u);
+    // Merged little-endian: low halfword 1, high halfword 2.
+    for (const vx86::MInst &inst : fn.blocks[0].insts) {
+        if (inst.op == vx86::MOpcode::MOVmi) {
+            EXPECT_EQ(inst.ops[0].imm.zext(), 0x00020001u);
+        }
+    }
+}
+
+TEST(StoreMergeTest, DisabledByDefault)
+{
+    vx86::MFunction fn = lowerWith(kAdjacentStores, {});
+    EXPECT_EQ(countOpcode(fn, vx86::MOpcode::MOVmi, 16), 2u);
+}
+
+const char *const kOverlappingStores = R"(
+@g = external global [8 x i8]
+define void @f() {
+entry:
+  %p2 = getelementptr [8 x i8], [8 x i8]* @g, i64 0, i64 2
+  %p2w = bitcast i8* %p2 to i16*
+  store i16 0, i16* %p2w
+  %p3 = getelementptr [8 x i8], [8 x i8]* @g, i64 0, i64 3
+  %p3w = bitcast i8* %p3 to i16*
+  store i16 2, i16* %p3w
+  %p0 = getelementptr [8 x i8], [8 x i8]* @g, i64 0, i64 0
+  %p0w = bitcast i8* %p0 to i16*
+  store i16 1, i16* %p0w
+  ret void
+}
+)";
+
+TEST(StoreMergeTest, CorrectVariantRefusesReordering)
+{
+    // The store at offset 3 overlaps the (0,2) merge candidates, so the
+    // correct pass must not merge across it.
+    IselOptions options;
+    options.mergeStores = true;
+    vx86::MFunction fn = lowerWith(kOverlappingStores, options);
+    EXPECT_EQ(countOpcode(fn, vx86::MOpcode::MOVmi, 16), 3u);
+    EXPECT_EQ(countOpcode(fn, vx86::MOpcode::MOVmi, 32), 0u);
+}
+
+TEST(StoreMergeTest, BuggyVariantMergesAndSinks)
+{
+    IselOptions options;
+    options.mergeStores = true;
+    options.bug = Bug::StoreMergeWAW;
+    vx86::MFunction fn = lowerWith(kOverlappingStores, options);
+    EXPECT_EQ(countOpcode(fn, vx86::MOpcode::MOVmi, 32), 1u);
+    EXPECT_EQ(countOpcode(fn, vx86::MOpcode::MOVmi, 16), 1u);
+    // The buggy merge sits at the position of the *later* store: it must
+    // appear after the remaining 16-bit store in program order.
+    int pos16 = -1, pos32 = -1;
+    const auto &insts = fn.blocks[0].insts;
+    for (size_t i = 0; i < insts.size(); ++i) {
+        if (insts[i].op == vx86::MOpcode::MOVmi) {
+            if (insts[i].width == 16)
+                pos16 = static_cast<int>(i);
+            else
+                pos32 = static_cast<int>(i);
+        }
+    }
+    ASSERT_GE(pos16, 0);
+    ASSERT_GE(pos32, 0);
+    EXPECT_LT(pos16, pos32) << "merged store must sink past the "
+                               "overlapping one (that is the bug)";
+}
+
+const char *const kZextLoad = R"(
+@g = external global i32
+define i64 @f() {
+entry:
+  %v = load i32, i32* @g
+  %w = zext i32 %v to i64
+  ret i64 %w
+}
+)";
+
+TEST(ExtLoadFoldTest, CorrectFoldKeepsAccessWidth)
+{
+    IselOptions options;
+    options.foldExtLoad = true;
+    vx86::MFunction fn = lowerWith(kZextLoad, options);
+    // MOVZX64rm32: a 32-bit access zero-extended into 64 bits.
+    EXPECT_EQ(countOpcode(fn, vx86::MOpcode::MOVZXrm, 32), 1u);
+    EXPECT_EQ(countOpcode(fn, vx86::MOpcode::MOVrm), 0u);
+    EXPECT_EQ(countOpcode(fn, vx86::MOpcode::MOVZXrr), 0u);
+}
+
+TEST(ExtLoadFoldTest, BuggyFoldWidensTheAccess)
+{
+    IselOptions options;
+    options.foldExtLoad = true;
+    options.bug = Bug::LoadWidening;
+    vx86::MFunction fn = lowerWith(kZextLoad, options);
+    // MOV64rm: an 8-byte access — the PR4737 miscompilation.
+    EXPECT_EQ(countOpcode(fn, vx86::MOpcode::MOVrm, 64), 1u);
+    EXPECT_EQ(countOpcode(fn, vx86::MOpcode::MOVZXrm), 0u);
+}
+
+TEST(ExtLoadFoldTest, MultiUseLoadIsNotFolded)
+{
+    const char *source = R"(
+@g = external global i32
+define i64 @f() {
+entry:
+  %v = load i32, i32* @g
+  %w = zext i32 %v to i64
+  %x = add i32 %v, 1
+  store i32 %x, i32* @g
+  ret i64 %w
+}
+)";
+    IselOptions options;
+    options.foldExtLoad = true;
+    vx86::MFunction fn = lowerWith(source, options);
+    // %v has two uses, so the plain load must survive.
+    EXPECT_EQ(countOpcode(fn, vx86::MOpcode::MOVrm, 32), 1u);
+    EXPECT_EQ(countOpcode(fn, vx86::MOpcode::MOVZXrm), 0u);
+}
+
+TEST(StoreMergeTest, DifferentGlobalsNotMerged)
+{
+    const char *source = R"(
+@g = external global [4 x i8]
+@h = external global [4 x i8]
+define void @f() {
+entry:
+  %pg = getelementptr [4 x i8], [4 x i8]* @g, i64 0, i64 0
+  %pgw = bitcast i8* %pg to i16*
+  store i16 1, i16* %pgw
+  %ph = getelementptr [4 x i8], [4 x i8]* @h, i64 0, i64 2
+  %phw = bitcast i8* %ph to i16*
+  store i16 2, i16* %phw
+  ret void
+}
+)";
+    IselOptions options;
+    options.mergeStores = true;
+    vx86::MFunction fn = lowerWith(source, options);
+    EXPECT_EQ(countOpcode(fn, vx86::MOpcode::MOVmi, 16), 2u);
+}
+
+} // namespace
+} // namespace keq::isel

@@ -1,0 +1,352 @@
+/** @file End-to-end KEQ checker tests over the full TV pipeline. */
+
+#include <gtest/gtest.h>
+
+#include "src/driver/pipeline.h"
+#include "src/llvmir/parser.h"
+#include "src/llvmir/verifier.h"
+
+namespace keq::checker {
+namespace {
+
+driver::FunctionReport
+validate(const char *source, driver::PipelineOptions options = {})
+{
+    llvmir::Module module = llvmir::parseModule(source);
+    llvmir::verifyModuleOrThrow(module);
+    return driver::validateFunction(module, module.functions.back(),
+                                    options);
+}
+
+TEST(CheckerTest, StraightLineArithmetic)
+{
+    driver::FunctionReport report = validate(R"(
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %1 = add i32 %a, %b
+  %2 = xor i32 %1, 255
+  %3 = mul i32 %2, 3
+  %4 = sub i32 %3, %a
+  ret i32 %4
+}
+)");
+    EXPECT_EQ(report.verdict.kind, VerdictKind::Equivalent)
+        << report.detail;
+    // Straight-line identical computations discharge without Z3.
+    EXPECT_EQ(report.verdict.stats.solverQueries, 0u);
+}
+
+TEST(CheckerTest, BranchesAndPhis)
+{
+    driver::FunctionReport report = validate(R"(
+define i32 @max(i32 %a, i32 %b) {
+entry:
+  %c = icmp sgt i32 %a, %b
+  br i1 %c, label %t, label %e
+t:
+  br label %join
+e:
+  br label %join
+join:
+  %m = phi i32 [ %a, %t ], [ %b, %e ]
+  ret i32 %m
+}
+)");
+    EXPECT_EQ(report.verdict.kind, VerdictKind::Equivalent)
+        << report.detail;
+}
+
+TEST(CheckerTest, LoopWithAccumulators)
+{
+    driver::FunctionReport report = validate(R"(
+define i32 @sum(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %inc, %body ]
+  %s = phi i32 [ 0, %entry ], [ %snext, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %done
+body:
+  %snext = add i32 %s, %i
+  %inc = add i32 %i, 1
+  br label %head
+done:
+  ret i32 %s
+}
+)");
+    EXPECT_EQ(report.verdict.kind, VerdictKind::Equivalent)
+        << report.detail;
+}
+
+TEST(CheckerTest, MemoryThroughGlobalsAndLocals)
+{
+    driver::FunctionReport report = validate(R"(
+@g = external global i32
+define i32 @f(i32 %v) {
+entry:
+  %slot = alloca i32
+  store i32 %v, i32* %slot
+  %w = load i32, i32* @g
+  %x = load i32, i32* %slot
+  %y = add i32 %w, %x
+  store i32 %y, i32* @g
+  ret i32 %y
+}
+)");
+    EXPECT_EQ(report.verdict.kind, VerdictKind::Equivalent)
+        << report.detail;
+}
+
+TEST(CheckerTest, SymbolicIndexingIntoArray)
+{
+    driver::FunctionReport report = validate(R"(
+@buf = external global [64 x i8]
+define i32 @f(i32 %i) {
+entry:
+  %w = zext i32 %i to i64
+  %m = and i64 %w, 63
+  %p = getelementptr [64 x i8], [64 x i8]* @buf, i64 0, i64 %m
+  %b = load i8, i8* %p
+  %r = zext i8 %b to i32
+  ret i32 %r
+}
+)");
+    EXPECT_EQ(report.verdict.kind, VerdictKind::Equivalent)
+        << report.detail;
+}
+
+TEST(CheckerTest, CallsSynchronizeAtBoundaries)
+{
+    driver::FunctionReport report = validate(R"(
+declare i32 @ext(i32, i32)
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %r = call i32 @ext(i32 %a, i32 7)
+  %s = add i32 %r, %b
+  %t = call i32 @ext(i32 %s, i32 %r)
+  ret i32 %t
+}
+)");
+    EXPECT_EQ(report.verdict.kind, VerdictKind::Equivalent)
+        << report.detail;
+}
+
+TEST(CheckerTest, VoidFunction)
+{
+    driver::FunctionReport report = validate(R"(
+@g = external global i32
+define void @f(i32 %v) {
+entry:
+  store i32 %v, i32* @g
+  ret void
+}
+)");
+    EXPECT_EQ(report.verdict.kind, VerdictKind::Equivalent)
+        << report.detail;
+}
+
+TEST(CheckerTest, SelectLowering)
+{
+    driver::FunctionReport report = validate(R"(
+define i32 @pick(i32 %a, i32 %b) {
+entry:
+  %c = icmp ult i32 %a, %b
+  %r = select i1 %c, i32 %a, i32 %b
+  ret i32 %r
+}
+)");
+    // The branchless mask lowering needs a real Z3 proof (the terms
+    // differ structurally), so this exercises the solver path.
+    EXPECT_EQ(report.verdict.kind, VerdictKind::Equivalent)
+        << report.detail;
+}
+
+TEST(CheckerTest, NarrowTypesAndCasts)
+{
+    driver::FunctionReport report = validate(R"(
+define i16 @f(i8 %a, i16 %b) {
+entry:
+  %w = zext i8 %a to i16
+  %x = add i16 %w, %b
+  %t = trunc i16 %x to i8
+  %y = sext i8 %t to i16
+  ret i16 %y
+}
+)");
+    EXPECT_EQ(report.verdict.kind, VerdictKind::Equivalent)
+        << report.detail;
+}
+
+TEST(CheckerTest, I1ValuesAcrossWidths)
+{
+    driver::FunctionReport report = validate(R"(
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %c = icmp eq i32 %a, %b
+  %z = zext i1 %c to i32
+  %d = icmp ne i32 %a, 0
+  %y = zext i1 %d to i32
+  %r = add i32 %z, %y
+  ret i32 %r
+}
+)");
+    EXPECT_EQ(report.verdict.kind, VerdictKind::Equivalent)
+        << report.detail;
+}
+
+TEST(CheckerTest, DivisionByNonZeroConstant)
+{
+    driver::FunctionReport report = validate(R"(
+define i32 @f(i32 %a) {
+entry:
+  %q = udiv i32 %a, 7
+  %r = urem i32 %q, 3
+  ret i32 %r
+}
+)");
+    // No UB is reachable (constant divisors), so full equivalence.
+    EXPECT_EQ(report.verdict.kind, VerdictKind::Equivalent)
+        << report.detail;
+}
+
+TEST(CheckerTest, BuggyTranslationsRejected)
+{
+    const char *source = R"(
+@a = external global [12 x i8]
+@b = external global i64
+define void @narrow() {
+entry:
+  %p = getelementptr inbounds [12 x i8], [12 x i8]* @a, i64 0, i64 8
+  %pw = bitcast i8* %p to i32*
+  %v = load i32, i32* %pw
+  %w = zext i32 %v to i64
+  store i64 %w, i64* @b
+  ret void
+}
+)";
+    driver::PipelineOptions buggy;
+    buggy.isel.foldExtLoad = true;
+    buggy.isel.bug = isel::Bug::LoadWidening;
+    driver::FunctionReport report = validate(source, buggy);
+    EXPECT_EQ(report.verdict.kind, VerdictKind::NotValidated);
+    EXPECT_NE(report.verdict.reason.find("out-of-bounds"),
+              std::string::npos);
+}
+
+TEST(CheckerTest, SwitchLoweringValidates)
+{
+    driver::FunctionReport report = validate(R"(
+define i32 @classify(i32 %x, i32 %y) {
+entry:
+  %sel = and i32 %x, 7
+  switch i32 %sel, label %dflt [
+    i32 0, label %zero
+    i32 3, label %three
+    i32 5, label %five
+  ]
+zero:
+  br label %join
+three:
+  br label %join
+five:
+  br label %join
+dflt:
+  br label %join
+join:
+  %r = phi i32 [ 100, %zero ], [ 300, %three ], [ %y, %five ], [ -1, %dflt ]
+  ret i32 %r
+}
+)");
+    EXPECT_EQ(report.verdict.kind, VerdictKind::Equivalent)
+        << report.detail;
+    // The sequential case conditions normalize identically on both
+    // sides, so the whole proof folds.
+    EXPECT_EQ(report.verdict.stats.solverQueries, 0u);
+}
+
+TEST(CheckerTest, ProofLogRecordsDischargedObligations)
+{
+    driver::PipelineOptions options;
+    options.checker.collectProof = true;
+    driver::FunctionReport report = validate(R"(
+define i32 @max(i32 %a, i32 %b) {
+entry:
+  %c = icmp sgt i32 %a, %b
+  br i1 %c, label %t, label %e
+t:
+  br label %join
+e:
+  br label %join
+join:
+  %m = phi i32 [ %a, %t ], [ %b, %e ]
+  ret i32 %m
+}
+)",
+                                             options);
+    ASSERT_TRUE(report.verdict.validated());
+    ASSERT_FALSE(report.verdict.proof.empty());
+    // Every step names its source point and both states.
+    for (const ProofStep &step : report.verdict.proof) {
+        EXPECT_FALSE(step.sourcePoint.empty());
+        EXPECT_FALSE(step.stateA.empty());
+        EXPECT_FALSE(step.stateB.empty());
+    }
+    // The rendering mentions the entry point and a discharge method.
+    std::string text = report.verdict.renderProof();
+    EXPECT_NE(text.find("p0"), std::string::npos);
+    EXPECT_NE(text.find("==>"), std::string::npos);
+    // Off by default.
+    driver::FunctionReport quiet = validate(R"(
+define i32 @id(i32 %a) {
+entry:
+  ret i32 %a
+}
+)");
+    EXPECT_TRUE(quiet.verdict.proof.empty());
+}
+
+TEST(CheckerTest, ProofLogMarksAcceptabilitySteps)
+{
+    driver::PipelineOptions options;
+    options.checker.collectProof = true;
+    driver::FunctionReport report = validate(R"(
+define i32 @bump(i32 %a) {
+entry:
+  %r = add nsw i32 %a, 1
+  ret i32 %r
+}
+)",
+                                             options);
+    ASSERT_TRUE(report.verdict.validated());
+    bool has_acceptability = false;
+    for (const ProofStep &step : report.verdict.proof) {
+        if (step.method == ProofStep::Method::Acceptability)
+            has_acceptability = true;
+    }
+    EXPECT_TRUE(has_acceptability)
+        << "the UB error state must be discharged via acceptability";
+}
+
+TEST(CheckerTest, StatsArePopulated)
+{
+    driver::FunctionReport report = validate(R"(
+define i32 @f(i32 %a) {
+entry:
+  %c = icmp ult i32 %a, 10
+  br i1 %c, label %t, label %e
+t:
+  ret i32 1
+e:
+  ret i32 0
+}
+)");
+    EXPECT_TRUE(report.verdict.validated());
+    EXPECT_GE(report.verdict.stats.pointsChecked, 1u);
+    EXPECT_GT(report.verdict.stats.symbolicSteps, 0u);
+    EXPECT_GT(report.verdict.stats.pairsExamined, 0u);
+    EXPECT_GE(report.verdict.stats.totalSeconds, 0.0);
+}
+
+} // namespace
+} // namespace keq::checker

@@ -1,0 +1,165 @@
+/** @file Undefined-behaviour and refinement handling (Section 4.6). */
+
+#include <gtest/gtest.h>
+
+#include "src/driver/pipeline.h"
+#include "src/llvmir/parser.h"
+#include "src/llvmir/verifier.h"
+#include "src/sem/acceptability.h"
+
+namespace keq::checker {
+namespace {
+
+driver::FunctionReport
+validate(const char *source, driver::PipelineOptions options = {})
+{
+    llvmir::Module module = llvmir::parseModule(source);
+    llvmir::verifyModuleOrThrow(module);
+    return driver::validateFunction(module, module.functions.back(),
+                                    options);
+}
+
+TEST(RefinementTest, NswOverflowDegradesToRefinement)
+{
+    driver::FunctionReport report = validate(R"(
+define i32 @bump(i32 %a) {
+entry:
+  %r = add nsw i32 %a, 1
+  ret i32 %r
+}
+)");
+    // The translation is correct, but input UB is reachable, so only
+    // refinement is claimed (Section 4.6's automatic fallback).
+    EXPECT_EQ(report.verdict.kind, VerdictKind::Refines)
+        << report.detail;
+    EXPECT_TRUE(report.verdict.usedRefinementFallback);
+    EXPECT_EQ(report.outcome, driver::Outcome::Succeeded);
+}
+
+TEST(RefinementTest, UnreachableNswIsStillEquivalent)
+{
+    driver::FunctionReport report = validate(R"(
+define i32 @safe(i32 %a) {
+entry:
+  %m = and i32 %a, 65535
+  %r = add nsw i32 %m, 1
+  ret i32 %r
+}
+)");
+    // The overflow condition is unsatisfiable (masked operand), so the
+    // checker proves full equivalence.
+    EXPECT_EQ(report.verdict.kind, VerdictKind::Equivalent)
+        << report.detail;
+    EXPECT_FALSE(report.verdict.usedRefinementFallback);
+}
+
+TEST(RefinementTest, DivisionByRegisterRefines)
+{
+    driver::FunctionReport report = validate(R"(
+define i32 @div(i32 %a, i32 %b) {
+entry:
+  %q = sdiv i32 %a, %b
+  ret i32 %q
+}
+)");
+    // LLVM division UB (b == 0, INT_MIN / -1) maps onto the x86 #DE
+    // fault; the proof succeeds as a refinement.
+    EXPECT_EQ(report.verdict.kind, VerdictKind::Refines)
+        << report.detail;
+    EXPECT_EQ(report.outcome, driver::Outcome::Succeeded);
+}
+
+TEST(RefinementTest, UnsignedDivisionByRegisterRefines)
+{
+    driver::FunctionReport report = validate(R"(
+define i32 @udivrem(i32 %a, i32 %b) {
+entry:
+  %q = udiv i32 %a, %b
+  %r = urem i32 %a, %b
+  %s = add i32 %q, %r
+  ret i32 %s
+}
+)");
+    EXPECT_EQ(report.verdict.kind, VerdictKind::Refines)
+        << report.detail;
+}
+
+TEST(RefinementTest, UnreachableTerminatorAccepted)
+{
+    driver::FunctionReport report = validate(R"(
+define i32 @partial(i32 %a) {
+entry:
+  %c = icmp ult i32 %a, 10
+  br i1 %c, label %ok, label %impossible
+ok:
+  ret i32 %a
+impossible:
+  unreachable
+}
+)");
+    // `unreachable` is input UB; UD2 on the output side is acceptable.
+    EXPECT_TRUE(report.verdict.validated()) << report.detail;
+}
+
+TEST(RefinementTest, RefinementOnlyModeReportsRefines)
+{
+    driver::PipelineOptions options;
+    options.checker.refinementOnly = true;
+    driver::FunctionReport report = validate(R"(
+define i32 @f(i32 %a) {
+entry:
+  ret i32 %a
+}
+)",
+                                             options);
+    EXPECT_EQ(report.verdict.kind, VerdictKind::Refines);
+}
+
+TEST(AcceptabilityTest, IselPolicyTable)
+{
+    sem::IselAcceptability acceptability;
+    // Input-side UB accepts any output behaviour.
+    EXPECT_TRUE(acceptability.errorAcceptsAnyOutput(
+        sem::ErrorKind::SignedOverflow));
+    EXPECT_TRUE(
+        acceptability.errorAcceptsAnyOutput(sem::ErrorKind::OutOfBounds));
+    EXPECT_FALSE(acceptability.errorAcceptsAnyOutput(sem::ErrorKind::None));
+    // Same-kind errors relate.
+    EXPECT_TRUE(acceptability.errorsRelated(sem::ErrorKind::OutOfBounds,
+                                            sem::ErrorKind::OutOfBounds));
+    // The x86 divide fault covers both LLVM division UB kinds.
+    EXPECT_TRUE(acceptability.errorsRelated(
+        sem::ErrorKind::SignedOverflow, sem::ErrorKind::DivByZero));
+    EXPECT_TRUE(acceptability.errorsRelated(sem::ErrorKind::DivByZero,
+                                            sem::ErrorKind::DivByZero));
+    // But not unrelated kinds.
+    EXPECT_FALSE(acceptability.errorsRelated(
+        sem::ErrorKind::OutOfBounds, sem::ErrorKind::DivByZero));
+    EXPECT_TRUE(acceptability.requiresMemoryEquality());
+}
+
+TEST(RefinementTest, NswInsideLoopStillValidates)
+{
+    driver::FunctionReport report = validate(R"(
+define i32 @sum(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %inc, %body ]
+  %s = phi i32 [ 0, %entry ], [ %snext, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %done
+body:
+  %snext = add nsw i32 %s, %i
+  %inc = add i32 %i, 1
+  br label %head
+done:
+  ret i32 %s
+}
+)");
+    EXPECT_EQ(report.verdict.kind, VerdictKind::Refines)
+        << report.detail;
+}
+
+} // namespace
+} // namespace keq::checker

@@ -1,0 +1,265 @@
+/** @file Robustness properties the trust argument relies on (Section 4):
+ *  missing or inadequate sync points must FAIL validation, never pass;
+ *  resource budgets produce the paper's failure categories; the
+ *  positive-form SMT optimization is behaviour-preserving. */
+
+#include <gtest/gtest.h>
+
+#include "src/driver/pipeline.h"
+#include "src/isel/isel.h"
+#include "src/llvmir/layout_builder.h"
+#include "src/llvmir/parser.h"
+#include "src/llvmir/symbolic_semantics.h"
+#include "src/llvmir/verifier.h"
+#include "src/keq/checker.h"
+#include "src/smt/z3_solver.h"
+#include "src/vcgen/vcgen.h"
+#include "src/vx86/symbolic_semantics.h"
+
+namespace keq::checker {
+namespace {
+
+const char *const kLoopSource = R"(
+define i32 @sum(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %inc, %body ]
+  %s = phi i32 [ 0, %entry ], [ %snext, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %done
+body:
+  %snext = add i32 %s, %i
+  %inc = add i32 %i, 1
+  br label %head
+done:
+  ret i32 %s
+}
+)";
+
+/** Full manual pipeline so tests can tamper with the sync points. */
+struct ManualPipeline
+{
+    llvmir::Module module;
+    vx86::MModule mmodule;
+    isel::FunctionHints hints;
+    sem::SyncPointSet points;
+    smt::TermFactory factory;
+    mem::MemoryLayout layout;
+    std::unique_ptr<llvmir::SymbolicSemantics> semA;
+    std::unique_ptr<vx86::SymbolicSemantics> semB;
+    std::unique_ptr<smt::Z3Solver> solver;
+    sem::IselAcceptability acceptability;
+
+    explicit ManualPipeline(const char *source)
+        : module(llvmir::parseModule(source))
+    {
+        llvmir::verifyModuleOrThrow(module);
+        vx86::MFunction mfn = isel::lowerFunction(
+            module, module.functions.back(), {}, hints);
+        vcgen::VcResult vc = vcgen::generateSyncPoints(
+            module.functions.back(), mfn, hints);
+        points = vc.points;
+        mmodule.functions.push_back(std::move(mfn));
+        llvmir::populateLayout(module, layout);
+        semA = std::make_unique<llvmir::SymbolicSemantics>(module,
+                                                           factory,
+                                                           layout);
+        semB = std::make_unique<vx86::SymbolicSemantics>(mmodule,
+                                                         factory,
+                                                         layout);
+        solver = std::make_unique<smt::Z3Solver>(factory);
+    }
+
+    Verdict
+    check(CheckerConfig config = {})
+    {
+        Checker checker(*semA, *semB, acceptability, *solver, config);
+        const std::string &name = module.functions.back().name;
+        return checker.check(name, name, points);
+    }
+};
+
+TEST(RobustnessTest, BaselineLoopValidates)
+{
+    ManualPipeline pipeline(kLoopSource);
+    EXPECT_EQ(pipeline.check().kind, VerdictKind::Equivalent);
+}
+
+TEST(RobustnessTest, MissingLoopPointsFailClosed)
+{
+    // Remove the loop-entry points: the segments from the entry point
+    // can no longer reach a cut, so the checker must fail (here: the
+    // step budget acts as the missing-cut detector), never accept.
+    ManualPipeline pipeline(kLoopSource);
+    std::erase_if(pipeline.points.points, [](const sem::SyncPoint &p) {
+        return p.kind == sem::SyncKind::BlockEntry;
+    });
+    CheckerConfig config;
+    config.maxStepsPerSegment = 500;
+    Verdict verdict = pipeline.check(config);
+    EXPECT_FALSE(verdict.validated());
+    EXPECT_EQ(verdict.kind, VerdictKind::Timeout);
+}
+
+TEST(RobustnessTest, DroppedConstraintFailsClosed)
+{
+    // Remove one equality constraint from a loop point: the obligation
+    // at the next visit can no longer be proven.
+    ManualPipeline pipeline(kLoopSource);
+    bool dropped = false;
+    for (sem::SyncPoint &point : pipeline.points.points) {
+        if (point.kind == sem::SyncKind::BlockEntry &&
+            !point.constraints.empty() && !dropped) {
+            point.constraints.erase(point.constraints.begin());
+            dropped = true;
+        }
+    }
+    ASSERT_TRUE(dropped);
+    Verdict verdict = pipeline.check();
+    EXPECT_EQ(verdict.kind, VerdictKind::NotValidated);
+}
+
+TEST(RobustnessTest, CorruptedConstraintFailsClosed)
+{
+    // Swap the machine registers of two loop constraints: both now
+    // relate the wrong values (%snext <-> %inc).
+    ManualPipeline pipeline(kLoopSource);
+    bool corrupted = false;
+    for (sem::SyncPoint &point : pipeline.points.points) {
+        if (point.kind != sem::SyncKind::BlockEntry || corrupted)
+            continue;
+        sem::SyncConstraint *first = nullptr;
+        for (sem::SyncConstraint &constraint : point.constraints) {
+            if (constraint.kind != sem::SyncConstraint::Kind::AEqB)
+                continue;
+            if (constraint.regA != "%snext" &&
+                constraint.regA != "%inc") {
+                continue;
+            }
+            if (first == nullptr) {
+                first = &constraint;
+            } else {
+                std::swap(first->regB, constraint.regB);
+                corrupted = true;
+                break;
+            }
+        }
+    }
+    ASSERT_TRUE(corrupted);
+    EXPECT_EQ(pipeline.check().kind, VerdictKind::NotValidated);
+}
+
+TEST(RobustnessTest, CrudeLivenessProducesOtherFailures)
+{
+    // The paper's residual category: block-local liveness misses a
+    // pass-through value, the VC is inadequate, and KEQ fails.
+    const char *source = R"(
+define i32 @f(i32 %keep, i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %inc, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %done
+body:
+  %inc = add i32 %i, 1
+  br label %head
+done:
+  %r = add i32 %keep, %i
+  ret i32 %r
+}
+)";
+    llvmir::Module module = llvmir::parseModule(source);
+    llvmir::verifyModuleOrThrow(module);
+
+    driver::PipelineOptions precise;
+    EXPECT_EQ(driver::validateFunction(module, module.functions[0],
+                                       precise)
+                  .outcome,
+              driver::Outcome::Succeeded);
+
+    driver::PipelineOptions crude;
+    crude.vc.precision = vcgen::LivenessPrecision::BlockLocal;
+    driver::FunctionReport report =
+        driver::validateFunction(module, module.functions[0], crude);
+    EXPECT_EQ(report.outcome, driver::Outcome::Other);
+}
+
+TEST(RobustnessTest, WallBudgetYieldsTimeout)
+{
+    ManualPipeline pipeline(kLoopSource);
+    CheckerConfig config;
+    config.wallBudgetSeconds = 1e-9; // expire immediately
+    Verdict verdict = pipeline.check(config);
+    EXPECT_EQ(verdict.kind, VerdictKind::Timeout);
+}
+
+TEST(RobustnessTest, NodeBudgetYieldsOutOfMemory)
+{
+    ManualPipeline pipeline(kLoopSource);
+    CheckerConfig config;
+    config.maxTermNodes = 1;
+    Verdict verdict = pipeline.check(config);
+    EXPECT_EQ(verdict.kind, VerdictKind::OutOfMemory);
+}
+
+TEST(RobustnessTest, SpecSizeBudgetYieldsOutOfMemory)
+{
+    llvmir::Module module = llvmir::parseModule(kLoopSource);
+    driver::PipelineOptions options;
+    options.specSizeBudget = 10; // absurdly small
+    driver::FunctionReport report =
+        driver::validateFunction(module, module.functions[0], options);
+    EXPECT_EQ(report.outcome, driver::Outcome::OutOfMemory);
+}
+
+TEST(RobustnessTest, NegativeFormAgreesWithPositiveForm)
+{
+    // The Section 3 optimization must not change verdicts, only query
+    // shape.
+    ManualPipeline positive(kLoopSource);
+    CheckerConfig config_pos;
+    config_pos.positiveFormOpt = true;
+    Verdict with_opt = positive.check(config_pos);
+
+    ManualPipeline negative(kLoopSource);
+    CheckerConfig config_neg;
+    config_neg.positiveFormOpt = false;
+    Verdict without_opt = negative.check(config_neg);
+
+    EXPECT_EQ(with_opt.kind, without_opt.kind);
+    EXPECT_EQ(with_opt.kind, VerdictKind::Equivalent);
+}
+
+TEST(RobustnessTest, MismatchedFactoriesAssert)
+{
+    ManualPipeline pipeline(kLoopSource);
+    smt::TermFactory other_factory;
+    llvmir::SymbolicSemantics other_sem(pipeline.module, other_factory,
+                                        pipeline.layout);
+    EXPECT_THROW(Checker(*pipeline.semA, other_sem,
+                         pipeline.acceptability, *pipeline.solver, {}),
+                 support::InternalError);
+}
+
+TEST(RobustnessTest, SwappedTargetRejected)
+{
+    // Validate @sum's LLVM side against a *different* function's
+    // machine code: must fail.
+    ManualPipeline pipeline(kLoopSource);
+    // Lower a different function into the machine module under the same
+    // name lookup by mangling the machine code: change the ADD into SUB.
+    for (vx86::MBasicBlock &block :
+         pipeline.mmodule.functions[0].blocks) {
+        for (vx86::MInst &inst : block.insts) {
+            if (inst.op == vx86::MOpcode::ADDrr)
+                inst.op = vx86::MOpcode::SUBrr;
+        }
+    }
+    Verdict verdict = pipeline.check();
+    EXPECT_EQ(verdict.kind, VerdictKind::NotValidated);
+}
+
+} // namespace
+} // namespace keq::checker

@@ -1,0 +1,310 @@
+/** @file Concrete LLVM IR interpreter tests. */
+
+#include <gtest/gtest.h>
+
+#include "src/llvmir/interpreter.h"
+#include "src/llvmir/layout_builder.h"
+#include "src/llvmir/parser.h"
+
+namespace keq::llvmir {
+namespace {
+
+using support::ApInt;
+
+/** Parses, builds the layout, and runs @p fn_name on @p args. */
+ExecResult
+runProgram(const char *source, const std::string &fn_name,
+           std::vector<ApInt> args,
+           std::function<void(mem::ConcreteMemory &)> setup = {})
+{
+    Module module = parseModule(source);
+    static mem::MemoryLayout layout; // reset per call:
+    layout = mem::MemoryLayout();
+    populateLayout(module, layout);
+    mem::ConcreteMemory memory(layout);
+    if (setup)
+        setup(memory);
+    Interpreter interp(module, memory);
+    return interp.run(*module.findFunction(fn_name), args);
+}
+
+TEST(InterpreterTest, ArithmeticSequenceSum)
+{
+    const char *source = R"(
+define i32 @arithm_seq_sum(i32 %a0, i32 %d, i32 %n) {
+entry:
+  br label %for.cond
+for.cond:
+  %s.0 = phi i32 [ %a0, %entry ], [ %add1, %for.inc ]
+  %a.0 = phi i32 [ %a0, %entry ], [ %add, %for.inc ]
+  %i.0 = phi i32 [ 1, %entry ], [ %inc, %for.inc ]
+  %cmp = icmp ult i32 %i.0, %n
+  br i1 %cmp, label %for.body, label %for.end
+for.body:
+  %add = add i32 %a.0, %d
+  %add1 = add i32 %s.0, %add
+  br label %for.inc
+for.inc:
+  %inc = add i32 %i.0, 1
+  br label %for.cond
+for.end:
+  ret i32 %s.0
+}
+)";
+    // Sum of 2, 5, 8, 11, 14 = 40.
+    ExecResult result = runProgram(source, "@arithm_seq_sum",
+                                   {ApInt(32, 2), ApInt(32, 3),
+                                    ApInt(32, 5)});
+    ASSERT_EQ(result.outcome, ExecOutcome::Returned);
+    EXPECT_EQ(result.value.zext(), 40u);
+}
+
+TEST(InterpreterTest, PhiGroupsReadSimultaneously)
+{
+    // Swapping phis: correct parallel semantics swap x and y each trip.
+    const char *source = R"(
+define i32 @swap(i32 %n) {
+entry:
+  br label %head
+head:
+  %x = phi i32 [ 1, %entry ], [ %y, %body ]
+  %y = phi i32 [ 2, %entry ], [ %x, %body ]
+  %i = phi i32 [ 0, %entry ], [ %inc, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %done
+body:
+  %inc = add i32 %i, 1
+  br label %head
+done:
+  ret i32 %x
+}
+)";
+    // After odd trips x holds 2; sequential phi evaluation would yield
+    // x == y.
+    ExecResult result = runProgram(source, "@swap", {ApInt(32, 1)});
+    ASSERT_EQ(result.outcome, ExecOutcome::Returned);
+    EXPECT_EQ(result.value.zext(), 2u);
+}
+
+TEST(InterpreterTest, MemoryAndGep)
+{
+    const char *source = R"(
+@g = external global [4 x i32]
+define i32 @sumfirst2() {
+entry:
+  %p0 = getelementptr [4 x i32], [4 x i32]* @g, i64 0, i64 0
+  %p1 = getelementptr [4 x i32], [4 x i32]* @g, i64 0, i64 1
+  %a = load i32, i32* %p0
+  %b = load i32, i32* %p1
+  %s = add i32 %a, %b
+  ret i32 %s
+}
+)";
+    Module module = parseModule(source);
+    mem::MemoryLayout layout;
+    populateLayout(module, layout);
+    mem::ConcreteMemory memory(layout);
+    uint64_t base = layout.find("@g")->base;
+    memory.write(base, ApInt(32, 10));
+    memory.write(base + 4, ApInt(32, 32));
+    Interpreter interp(module, memory);
+    ExecResult result =
+        interp.run(*module.findFunction("@sumfirst2"), {});
+    ASSERT_EQ(result.outcome, ExecOutcome::Returned);
+    EXPECT_EQ(result.value.zext(), 42u);
+}
+
+TEST(InterpreterTest, AllocaStoreLoad)
+{
+    const char *source = R"(
+define i32 @local(i32 %v) {
+entry:
+  %slot = alloca i32
+  store i32 %v, i32* %slot
+  %r = load i32, i32* %slot
+  ret i32 %r
+}
+)";
+    ExecResult result = runProgram(source, "@local", {ApInt(32, 1234)});
+    ASSERT_EQ(result.outcome, ExecOutcome::Returned);
+    EXPECT_EQ(result.value.zext(), 1234u);
+}
+
+TEST(InterpreterTest, UndefinedBehaviourTraps)
+{
+    const char *div_source = R"(
+define i32 @div(i32 %a, i32 %b) {
+entry:
+  %q = sdiv i32 %a, %b
+  ret i32 %q
+}
+)";
+    ExecResult by_zero = runProgram(div_source, "@div",
+                                    {ApInt(32, 1), ApInt(32, 0)});
+    EXPECT_EQ(by_zero.outcome, ExecOutcome::Trapped);
+    EXPECT_EQ(by_zero.error, sem::ErrorKind::DivByZero);
+
+    ExecResult overflow =
+        runProgram(div_source, "@div",
+                   {ApInt::signedMin(32), ApInt::allOnes(32)});
+    EXPECT_EQ(overflow.outcome, ExecOutcome::Trapped);
+    EXPECT_EQ(overflow.error, sem::ErrorKind::SignedOverflow);
+
+    const char *nsw_source = R"(
+define i32 @bump(i32 %a) {
+entry:
+  %r = add nsw i32 %a, 1
+  ret i32 %r
+}
+)";
+    ExecResult nsw_ovf =
+        runProgram(nsw_source, "@bump", {ApInt::signedMax(32)});
+    EXPECT_EQ(nsw_ovf.outcome, ExecOutcome::Trapped);
+    EXPECT_EQ(nsw_ovf.error, sem::ErrorKind::SignedOverflow);
+    ExecResult nsw_ok = runProgram(nsw_source, "@bump", {ApInt(32, 1)});
+    EXPECT_EQ(nsw_ok.outcome, ExecOutcome::Returned);
+    EXPECT_EQ(nsw_ok.value.zext(), 2u);
+}
+
+TEST(InterpreterTest, OutOfBoundsTraps)
+{
+    const char *source = R"(
+@g = external global [4 x i8]
+define i8 @peek(i64 %i) {
+entry:
+  %p = getelementptr [4 x i8], [4 x i8]* @g, i64 0, i64 %i
+  %v = load i8, i8* %p
+  ret i8 %v
+}
+)";
+    ExecResult ok = runProgram(source, "@peek", {ApInt(64, 3)});
+    EXPECT_EQ(ok.outcome, ExecOutcome::Returned);
+    ExecResult oob = runProgram(source, "@peek", {ApInt(64, 4)});
+    EXPECT_EQ(oob.outcome, ExecOutcome::Trapped);
+    EXPECT_EQ(oob.error, sem::ErrorKind::OutOfBounds);
+}
+
+TEST(InterpreterTest, UnreachableTraps)
+{
+    ExecResult result = runProgram(
+        "define i32 @bad() {\nentry:\n  unreachable\n}\n", "@bad", {});
+    EXPECT_EQ(result.outcome, ExecOutcome::Trapped);
+    EXPECT_EQ(result.error, sem::ErrorKind::Unreachable);
+}
+
+TEST(InterpreterTest, InternalCallsRecurse)
+{
+    const char *source = R"(
+define i32 @fact(i32 %n) {
+entry:
+  %c = icmp ule i32 %n, 1
+  br i1 %c, label %base, label %rec
+base:
+  ret i32 1
+rec:
+  %m = sub i32 %n, 1
+  %f = call i32 @fact(i32 %m)
+  %r = mul i32 %n, %f
+  ret i32 %r
+}
+)";
+    ExecResult result = runProgram(source, "@fact", {ApInt(32, 5)});
+    ASSERT_EQ(result.outcome, ExecOutcome::Returned);
+    EXPECT_EQ(result.value.zext(), 120u);
+}
+
+TEST(InterpreterTest, ExternalCallsUseHandlerAndTrace)
+{
+    const char *source = R"(
+declare i32 @ext(i32)
+define i32 @caller(i32 %a) {
+entry:
+  %r = call i32 @ext(i32 %a)
+  ret i32 %r
+}
+)";
+    Module module = parseModule(source);
+    mem::MemoryLayout layout;
+    populateLayout(module, layout);
+    mem::ConcreteMemory memory(layout);
+    Interpreter interp(module, memory);
+    interp.setExternalHandler(
+        [](const std::string &, const std::vector<ApInt> &args) {
+            return ApInt(64, args[0].zext() * 2);
+        });
+    ExecResult result =
+        interp.run(*module.findFunction("@caller"), {ApInt(32, 21)});
+    ASSERT_EQ(result.outcome, ExecOutcome::Returned);
+    EXPECT_EQ(result.value.zext(), 42u);
+    ASSERT_EQ(result.callTrace.size(), 1u);
+    EXPECT_EQ(result.callTrace[0], "@ext(21)=42");
+}
+
+TEST(InterpreterTest, StepLimitStopsInfiniteLoops)
+{
+    const char *source = R"(
+define i32 @forever() {
+entry:
+  br label %spin
+spin:
+  br label %spin
+}
+)";
+    Module module = parseModule(source);
+    mem::MemoryLayout layout;
+    populateLayout(module, layout);
+    mem::ConcreteMemory memory(layout);
+    Interpreter interp(module, memory);
+    ExecResult result =
+        interp.run(*module.findFunction("@forever"), {}, 100);
+    EXPECT_EQ(result.outcome, ExecOutcome::StepLimit);
+}
+
+TEST(InterpreterTest, SwitchDispatch)
+{
+    const char *source = R"(
+define i32 @classify(i32 %x) {
+entry:
+  switch i32 %x, label %dflt [
+    i32 0, label %zero
+    i32 7, label %seven
+  ]
+zero:
+  ret i32 100
+seven:
+  ret i32 700
+dflt:
+  ret i32 -1
+}
+)";
+    EXPECT_EQ(runProgram(source, "@classify", {ApInt(32, 0)})
+                  .value.zext(),
+              100u);
+    EXPECT_EQ(runProgram(source, "@classify", {ApInt(32, 7)})
+                  .value.zext(),
+              700u);
+    EXPECT_EQ(runProgram(source, "@classify", {ApInt(32, 3)})
+                  .value.sext(),
+              -1);
+}
+
+TEST(InterpreterTest, SelectAndCasts)
+{
+    const char *source = R"(
+define i64 @pick(i32 %a, i32 %b) {
+entry:
+  %c = icmp sgt i32 %a, %b
+  %m = select i1 %c, i32 %a, i32 %b
+  %w = sext i32 %m to i64
+  ret i64 %w
+}
+)";
+    ExecResult result = runProgram(
+        source, "@pick",
+        {ApInt(32, static_cast<uint64_t>(-5)), ApInt(32, 3)});
+    ASSERT_EQ(result.outcome, ExecOutcome::Returned);
+    EXPECT_EQ(result.value.sext(), 3);
+}
+
+} // namespace
+} // namespace keq::llvmir

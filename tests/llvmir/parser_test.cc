@@ -1,0 +1,266 @@
+/** @file Parser tests for the LLVM IR subset. */
+
+#include <gtest/gtest.h>
+
+#include "src/llvmir/parser.h"
+#include "src/support/diagnostics.h"
+
+namespace keq::llvmir {
+namespace {
+
+TEST(ParserTest, MinimalFunction)
+{
+    Module m = parseModule("define i32 @id(i32 %x) {\nentry:\n"
+                           "  ret i32 %x\n}\n");
+    ASSERT_EQ(m.functions.size(), 1u);
+    const Function &fn = m.functions[0];
+    EXPECT_EQ(fn.name, "@id");
+    EXPECT_EQ(fn.returnType->bitWidth(), 32u);
+    ASSERT_EQ(fn.params.size(), 1u);
+    EXPECT_EQ(fn.params[0].name, "%x");
+    ASSERT_EQ(fn.blocks.size(), 1u);
+    EXPECT_EQ(fn.blocks[0].name, "entry");
+    EXPECT_EQ(fn.blocks[0].insts[0].op, Opcode::Ret);
+}
+
+TEST(ParserTest, GlobalsAndDeclarations)
+{
+    Module m = parseModule(
+        "@b = external global [8 x i8]\n"
+        "@w = external global i32, align 4\n"
+        "declare i32 @ext(i32, i32)\n");
+    ASSERT_EQ(m.globals.size(), 2u);
+    EXPECT_EQ(m.globals[0].name, "@b");
+    EXPECT_EQ(m.globals[0].valueType->sizeInBytes(), 8u);
+    ASSERT_EQ(m.functions.size(), 1u);
+    EXPECT_TRUE(m.functions[0].isDeclaration());
+    EXPECT_EQ(m.functions[0].params.size(), 2u);
+}
+
+TEST(ParserTest, BinOpsWithFlags)
+{
+    Module m = parseModule(
+        "define i32 @f(i32 %a, i32 %b) {\nentry:\n"
+        "  %1 = add nsw i32 %a, %b\n"
+        "  %2 = sub nuw nsw i32 %1, 1\n"
+        "  %3 = mul i32 %2, %2\n"
+        "  %4 = sdiv i32 %3, 7\n"
+        "  ret i32 %4\n}\n");
+    const BasicBlock &block = m.functions[0].blocks[0];
+    EXPECT_EQ(block.insts[0].op, Opcode::Add);
+    EXPECT_TRUE(block.insts[0].nsw);
+    EXPECT_FALSE(block.insts[0].nuw);
+    EXPECT_TRUE(block.insts[1].nuw);
+    EXPECT_TRUE(block.insts[1].nsw);
+    EXPECT_FALSE(block.insts[2].nsw);
+    EXPECT_EQ(block.insts[3].op, Opcode::SDiv);
+    // Constant operand parsed at the right width.
+    EXPECT_TRUE(block.insts[1].operands[1].isConst());
+    EXPECT_EQ(block.insts[1].operands[1].constant.width(), 32u);
+}
+
+TEST(ParserTest, ControlFlowAndPhi)
+{
+    Module m = parseModule(R"(
+define i32 @loop(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %next, %head.body ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %head.body, label %done
+head.body:
+  %next = add i32 %i, 1
+  br label %head
+done:
+  ret i32 %i
+}
+)");
+    const Function &fn = m.functions[0];
+    ASSERT_EQ(fn.blocks.size(), 4u);
+    const Instruction &phi = fn.blocks[1].insts[0];
+    EXPECT_EQ(phi.op, Opcode::Phi);
+    ASSERT_EQ(phi.incoming.size(), 2u);
+    EXPECT_EQ(phi.incoming[0].block, "entry");
+    EXPECT_EQ(phi.incoming[1].block, "head.body");
+    const Instruction &icmp = fn.blocks[1].insts[1];
+    EXPECT_EQ(icmp.op, Opcode::ICmp);
+    EXPECT_EQ(icmp.pred, ICmpPred::Slt);
+    const Instruction &condbr = fn.blocks[1].insts[2];
+    EXPECT_EQ(condbr.op, Opcode::CondBr);
+    EXPECT_EQ(condbr.target1, "head.body");
+    EXPECT_EQ(condbr.target2, "done");
+}
+
+TEST(ParserTest, MemoryOperations)
+{
+    Module m = parseModule(R"(
+@g = external global [4 x i32]
+define i64 @mem(i64 %idx) {
+entry:
+  %slot = alloca i32
+  store i32 7, i32* %slot
+  %v = load i32, i32* %slot, align 4
+  %p = getelementptr inbounds [4 x i32], [4 x i32]* @g, i64 0, i64 %idx
+  %w = load i32, i32* %p
+  %x = add i32 %v, %w
+  %wide = zext i32 %x to i64
+  ret i64 %wide
+}
+)");
+    const BasicBlock &block = m.functions[0].blocks[0];
+    EXPECT_EQ(block.insts[0].op, Opcode::Alloca);
+    EXPECT_EQ(block.insts[0].sourceType->bitWidth(), 32u);
+    EXPECT_EQ(block.insts[1].op, Opcode::Store);
+    EXPECT_EQ(block.insts[2].op, Opcode::Load);
+    const Instruction &gep = block.insts[3];
+    EXPECT_EQ(gep.op, Opcode::GetElementPtr);
+    EXPECT_EQ(gep.operands.size(), 3u);
+    EXPECT_TRUE(gep.type->isPointer());
+    EXPECT_EQ(gep.type->pointee()->bitWidth(), 32u);
+    EXPECT_EQ(block.insts[6].op, Opcode::ZExt);
+}
+
+TEST(ParserTest, CallsGetSequentialSiteIds)
+{
+    Module m = parseModule(R"(
+declare i32 @ext(i32)
+define i32 @f(i32 %a) {
+entry:
+  %1 = call i32 @ext(i32 %a)
+  call void @ext2()
+  %2 = call i32 @ext(i32 %1)
+  ret i32 %2
+}
+)");
+    const BasicBlock &block = m.functions[1].blocks[0];
+    EXPECT_EQ(block.insts[0].callSiteId, "cs0");
+    EXPECT_EQ(block.insts[1].callSiteId, "cs1");
+    EXPECT_EQ(block.insts[2].callSiteId, "cs2");
+    EXPECT_TRUE(block.insts[1].type->isVoid());
+}
+
+TEST(ParserTest, SelectAndCasts)
+{
+    Module m = parseModule(R"(
+define i64 @c(i32 %a, i64 %b) {
+entry:
+  %t = trunc i64 %b to i32
+  %c = icmp eq i32 %a, %t
+  %s = select i1 %c, i32 %a, i32 %t
+  %sx = sext i32 %s to i64
+  %pi = inttoptr i64 %sx to i32*
+  %ip = ptrtoint i32* %pi to i64
+  ret i64 %ip
+}
+)");
+    const BasicBlock &block = m.functions[0].blocks[0];
+    EXPECT_EQ(block.insts[0].op, Opcode::Trunc);
+    EXPECT_EQ(block.insts[2].op, Opcode::Select);
+    EXPECT_EQ(block.insts[3].op, Opcode::SExt);
+    EXPECT_EQ(block.insts[4].op, Opcode::IntToPtr);
+    EXPECT_EQ(block.insts[5].op, Opcode::PtrToInt);
+}
+
+TEST(ParserTest, SwitchTerminator)
+{
+    Module m = parseModule(R"(
+define i32 @f(i32 %x) {
+entry:
+  switch i32 %x, label %dflt [
+    i32 1, label %one
+    i32 -2, label %two
+  ]
+one:
+  ret i32 10
+two:
+  ret i32 20
+dflt:
+  ret i32 0
+}
+)");
+    const Instruction &sw = m.functions[0].blocks[0].insts[0];
+    EXPECT_EQ(sw.op, Opcode::Switch);
+    EXPECT_EQ(sw.target1, "dflt");
+    ASSERT_EQ(sw.switchCases.size(), 2u);
+    EXPECT_EQ(sw.switchCases[0].first.zext(), 1u);
+    EXPECT_EQ(sw.switchCases[0].second, "one");
+    EXPECT_EQ(sw.switchCases[1].first.sext(), -2);
+    EXPECT_TRUE(sw.isTerminator());
+    EXPECT_EQ(m.functions[0].blocks[0].successors(),
+              (std::vector<std::string>{"dflt", "one", "two"}));
+    // Round trip.
+    Module again = parseModule(m.toString());
+    EXPECT_EQ(m.toString(), again.toString());
+}
+
+TEST(ParserTest, CommentsAndNegativeLiterals)
+{
+    Module m = parseModule(
+        "; leading comment\n"
+        "define i32 @f() { ; trailing\nentry:\n"
+        "  %1 = add i32 -5, -1 ; another\n  ret i32 %1\n}\n");
+    const Instruction &add = m.functions[0].blocks[0].insts[0];
+    EXPECT_EQ(add.operands[0].constant.sext(), -5);
+    EXPECT_EQ(add.operands[1].constant.sext(), -1);
+}
+
+TEST(ParserTest, RejectsUnsupportedConstructs)
+{
+    EXPECT_THROW(parseModule("define float @f() {\nentry:\n ret\n}\n"),
+                 support::Error);
+    EXPECT_THROW(parseModule("define i128 @f() {\nentry:\n"
+                             "  ret i128 0\n}\n"),
+                 support::Error);
+    EXPECT_THROW(
+        parseModule("define i32 @f() {\nentry:\n  %1 = frobnicate\n}\n"),
+        support::Error);
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers)
+{
+    try {
+        parseModule("define i32 @f() {\nentry:\n  %1 = bogus i32 0\n}\n");
+        FAIL() << "expected parse error";
+    } catch (const support::Error &error) {
+        EXPECT_NE(std::string(error.what()).find("line 3"),
+                  std::string::npos);
+    }
+}
+
+TEST(ParserTest, RoundTripThroughPrinter)
+{
+    const char *source = R"(
+@g = external global i32
+define i32 @f(i32 %a) {
+entry:
+  %1 = load i32, i32* @g
+  %2 = add i32 %1, %a
+  store i32 %2, i32* @g
+  ret i32 %2
+}
+)";
+    Module first = parseModule(source);
+    Module second = parseModule(first.toString());
+    EXPECT_EQ(first.toString(), second.toString());
+}
+
+TEST(ParserTest, StructTypes)
+{
+    Module m = parseModule(R"(
+@s = external global {i32, {i8, i64}}
+define i64 @f() {
+entry:
+  %p = getelementptr {i32, {i8, i64}}, {i32, {i8, i64}}* @s, i64 0, i64 1, i64 1
+  %v = load i64, i64* %p
+  ret i64 %v
+}
+)");
+    EXPECT_EQ(m.globals[0].valueType->sizeInBytes(), 4u + 1u + 8u);
+    const Instruction &gep = m.functions[0].blocks[0].insts[0];
+    EXPECT_TRUE(gep.type->pointee()->isInteger());
+    EXPECT_EQ(gep.type->pointee()->bitWidth(), 64u);
+}
+
+} // namespace
+} // namespace keq::llvmir

@@ -1,0 +1,88 @@
+/** @file Tests for the LLVM IR type system (packed aggregate layout). */
+
+#include <gtest/gtest.h>
+
+#include "src/llvmir/types.h"
+#include "src/support/diagnostics.h"
+
+namespace keq::llvmir {
+namespace {
+
+TEST(TypesTest, IntegerTypesInterned)
+{
+    TypeContext ctx;
+    EXPECT_EQ(ctx.intType(32), ctx.intType(32));
+    EXPECT_NE(ctx.intType(32), ctx.intType(64));
+    EXPECT_EQ(ctx.intType(32)->bitWidth(), 32u);
+    EXPECT_EQ(ctx.intType(32)->sizeInBytes(), 4u);
+    EXPECT_EQ(ctx.intType(1)->sizeInBytes(), 1u);
+}
+
+TEST(TypesTest, UnsupportedWidthAsserts)
+{
+    TypeContext ctx;
+    EXPECT_THROW(ctx.intType(96), support::InternalError);
+    EXPECT_THROW(ctx.intType(7), support::InternalError);
+}
+
+TEST(TypesTest, Pointers)
+{
+    TypeContext ctx;
+    const Type *p = ctx.pointerTo(ctx.intType(32));
+    EXPECT_TRUE(p->isPointer());
+    EXPECT_EQ(p->pointee(), ctx.intType(32));
+    EXPECT_EQ(p->sizeInBytes(), 8u);
+    EXPECT_EQ(p->valueBits(), 64u);
+    EXPECT_EQ(p, ctx.pointerTo(ctx.intType(32)));
+    EXPECT_EQ(p->toString(), "i32*");
+}
+
+TEST(TypesTest, Arrays)
+{
+    TypeContext ctx;
+    const Type *arr = ctx.arrayOf(ctx.intType(8), 8);
+    EXPECT_TRUE(arr->isArray());
+    EXPECT_EQ(arr->arrayLength(), 8u);
+    EXPECT_EQ(arr->sizeInBytes(), 8u);
+    EXPECT_EQ(arr->toString(), "[8 x i8]");
+    // Nested arrays multiply.
+    const Type *nested = ctx.arrayOf(arr, 3);
+    EXPECT_EQ(nested->sizeInBytes(), 24u);
+    EXPECT_EQ(nested->toString(), "[3 x [8 x i8]]");
+}
+
+TEST(TypesTest, StructsArePacked)
+{
+    TypeContext ctx;
+    const Type *s = ctx.structOf(
+        {ctx.intType(8), ctx.intType(32), ctx.intType(16)});
+    EXPECT_TRUE(s->isStruct());
+    // Packed layout (Section 4.2: no alignment modelling).
+    EXPECT_EQ(s->sizeInBytes(), 7u);
+    EXPECT_EQ(s->fieldOffset(0), 0u);
+    EXPECT_EQ(s->fieldOffset(1), 1u);
+    EXPECT_EQ(s->fieldOffset(2), 5u);
+    EXPECT_EQ(s->toString(), "{i8, i32, i16}");
+}
+
+TEST(TypesTest, NestedAggregates)
+{
+    TypeContext ctx;
+    const Type *inner = ctx.structOf({ctx.intType(16), ctx.intType(16)});
+    const Type *outer = ctx.arrayOf(inner, 4);
+    EXPECT_EQ(outer->sizeInBytes(), 16u);
+    const Type *deep = ctx.structOf({outer, ctx.intType(64)});
+    EXPECT_EQ(deep->sizeInBytes(), 24u);
+    EXPECT_EQ(deep->fieldOffset(1), 16u);
+}
+
+TEST(TypesTest, VoidType)
+{
+    TypeContext ctx;
+    EXPECT_TRUE(ctx.voidType()->isVoid());
+    EXPECT_FALSE(ctx.voidType()->isFirstClass());
+    EXPECT_EQ(ctx.voidType()->toString(), "void");
+}
+
+} // namespace
+} // namespace keq::llvmir

@@ -1,0 +1,173 @@
+/** @file Verifier tests: structural well-formedness diagnostics. */
+
+#include <gtest/gtest.h>
+
+#include "src/llvmir/parser.h"
+#include "src/llvmir/verifier.h"
+#include "src/support/diagnostics.h"
+
+namespace keq::llvmir {
+namespace {
+
+std::vector<std::string>
+problemsOf(const char *source)
+{
+    return verifyModule(parseModule(source));
+}
+
+TEST(VerifierTest, AcceptsWellFormedModule)
+{
+    EXPECT_TRUE(problemsOf(R"(
+define i32 @f(i32 %a) {
+entry:
+  %1 = add i32 %a, 1
+  ret i32 %1
+}
+)")
+                    .empty());
+}
+
+TEST(VerifierTest, RejectsUseOfUndefinedValue)
+{
+    std::vector<std::string> problems = problemsOf(R"(
+define i32 @f() {
+entry:
+  %1 = add i32 %ghost, 1
+  ret i32 %1
+}
+)");
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("%ghost"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsDuplicateDefinition)
+{
+    std::vector<std::string> problems = problemsOf(R"(
+define i32 @f(i32 %a) {
+entry:
+  %1 = add i32 %a, 1
+  %1 = add i32 %a, 2
+  ret i32 %1
+}
+)");
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("multiple definitions"),
+              std::string::npos);
+}
+
+TEST(VerifierTest, RejectsMissingTerminator)
+{
+    std::vector<std::string> problems = problemsOf(R"(
+define i32 @f(i32 %a) {
+entry:
+  %1 = add i32 %a, 1
+next:
+  ret i32 %1
+}
+)");
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("terminator"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsBranchToUnknownBlock)
+{
+    std::vector<std::string> problems = problemsOf(R"(
+define i32 @f() {
+entry:
+  br label %nowhere
+}
+)");
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("%nowhere"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsPhiPredecessorMismatch)
+{
+    std::vector<std::string> problems = problemsOf(R"(
+define i32 @f(i32 %a) {
+entry:
+  br label %join
+other:
+  br label %join
+join:
+  %x = phi i32 [ %a, %entry ]
+  ret i32 %x
+}
+)");
+    // `other` is unreachable but still a predecessor; the phi lists only
+    // `entry`.
+    ASSERT_FALSE(problems.empty());
+    bool found = false;
+    for (const std::string &problem : problems) {
+        if (problem.find("phi incoming blocks") != std::string::npos)
+            found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(VerifierTest, RejectsUnknownGlobal)
+{
+    std::vector<std::string> problems = problemsOf(R"(
+define i32 @f() {
+entry:
+  %1 = load i32, i32* @nope
+  ret i32 %1
+}
+)");
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("@nope"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsDuplicateFunctions)
+{
+    std::vector<std::string> problems = problemsOf(R"(
+define i32 @f() {
+entry:
+  ret i32 0
+}
+define i32 @f() {
+entry:
+  ret i32 1
+}
+)");
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("duplicate function"), std::string::npos);
+}
+
+TEST(VerifierTest, ThrowVariantAggregatesProblems)
+{
+    Module m = parseModule(R"(
+define i32 @f() {
+entry:
+  %1 = add i32 %ghost, %phantom
+  ret i32 %1
+}
+)");
+    EXPECT_THROW(verifyModuleOrThrow(m), support::Error);
+}
+
+TEST(VerifierTest, RejectsDuplicateSwitchCases)
+{
+    std::vector<std::string> problems = problemsOf(R"(
+define i32 @f(i32 %x) {
+entry:
+  switch i32 %x, label %d [
+    i32 1, label %d
+    i32 1, label %d
+  ]
+d:
+  ret i32 0
+}
+)");
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("duplicate switch case"),
+              std::string::npos);
+}
+
+TEST(VerifierTest, DeclarationsSkipBodyChecks)
+{
+    EXPECT_TRUE(problemsOf("declare i32 @ext(i32)\n").empty());
+}
+
+} // namespace
+} // namespace keq::llvmir

@@ -1,0 +1,71 @@
+/** @file Tests for the bounds-checked concrete memory. */
+
+#include <gtest/gtest.h>
+
+#include "src/memory/concrete_memory.h"
+
+namespace keq::mem {
+namespace {
+
+using support::ApInt;
+
+class ConcreteMemoryTest : public ::testing::Test
+{
+  protected:
+    ConcreteMemoryTest()
+    {
+        global_ = &layout_.addGlobal("@g", 16);
+    }
+
+    MemoryLayout layout_;
+    const MemoryObject *global_;
+};
+
+TEST_F(ConcreteMemoryTest, LittleEndianRoundTrip)
+{
+    ConcreteMemory memory(layout_);
+    EXPECT_TRUE(memory.write(global_->base, ApInt(32, 0x11223344)));
+    ConcreteAccess read = memory.read(global_->base, 4);
+    ASSERT_TRUE(read.ok);
+    EXPECT_EQ(read.value.zext(), 0x11223344u);
+    EXPECT_EQ(memory.peek(global_->base), 0x44);
+    EXPECT_EQ(memory.peek(global_->base + 3), 0x11);
+}
+
+TEST_F(ConcreteMemoryTest, PartialOverwrite)
+{
+    ConcreteMemory memory(layout_);
+    memory.write(global_->base, ApInt(32, 0xAABBCCDD));
+    memory.write(global_->base + 1, ApInt(16, 0x1122));
+    ConcreteAccess read = memory.read(global_->base, 4);
+    ASSERT_TRUE(read.ok);
+    EXPECT_EQ(read.value.zext(), 0xAA1122DDu);
+}
+
+TEST_F(ConcreteMemoryTest, UninitializedReadsZero)
+{
+    ConcreteMemory memory(layout_);
+    ConcreteAccess read = memory.read(global_->base, 8);
+    ASSERT_TRUE(read.ok);
+    EXPECT_EQ(read.value.zext(), 0u);
+}
+
+TEST_F(ConcreteMemoryTest, OutOfBoundsRejected)
+{
+    ConcreteMemory memory(layout_);
+    EXPECT_FALSE(memory.read(global_->base + 13, 4).ok);
+    EXPECT_FALSE(memory.write(global_->base + 15, ApInt(16, 1)));
+    EXPECT_FALSE(memory.read(0x10, 1).ok);
+    // Boundary access is fine.
+    EXPECT_TRUE(memory.read(global_->base + 12, 4).ok);
+}
+
+TEST_F(ConcreteMemoryTest, PokePeekBypassBounds)
+{
+    ConcreteMemory memory(layout_);
+    memory.poke(0x1, 0x7f);
+    EXPECT_EQ(memory.peek(0x1), 0x7f);
+}
+
+} // namespace
+} // namespace keq::mem

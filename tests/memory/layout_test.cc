@@ -1,0 +1,88 @@
+/** @file Tests for the common memory layout (Section 4.4). */
+
+#include <gtest/gtest.h>
+
+#include "src/memory/layout.h"
+#include "src/support/diagnostics.h"
+
+namespace keq::mem {
+namespace {
+
+TEST(LayoutTest, GlobalsPlacedWithGuardGaps)
+{
+    MemoryLayout layout;
+    const MemoryObject &a = layout.addGlobal("@a", 12);
+    const MemoryObject &b = layout.addGlobal("@b", 8);
+    EXPECT_EQ(a.base, MemoryLayout::kGlobalBase);
+    // At least a guard gap separates consecutive objects.
+    EXPECT_GE(b.base, a.base + a.size + MemoryLayout::kGuardGap);
+    // 16-byte alignment of every base.
+    EXPECT_EQ(a.base % 16, 0u);
+    EXPECT_EQ(b.base % 16, 0u);
+}
+
+TEST(LayoutTest, StackSlotsLiveInTheStackRegion)
+{
+    MemoryLayout layout;
+    const MemoryObject &slot = layout.addStackSlot("@f", "%p", 4);
+    EXPECT_EQ(slot.name, "@f/%p");
+    EXPECT_GE(slot.base, MemoryLayout::kStackBase);
+}
+
+TEST(LayoutTest, FindByName)
+{
+    MemoryLayout layout;
+    layout.addGlobal("@g", 4);
+    layout.addStackSlot("@f", "%x", 8);
+    EXPECT_NE(layout.find("@g"), nullptr);
+    EXPECT_NE(layout.find("@f/%x"), nullptr);
+    EXPECT_EQ(layout.find("@missing"), nullptr);
+}
+
+TEST(LayoutTest, DuplicateNamesAssert)
+{
+    MemoryLayout layout;
+    layout.addGlobal("@g", 4);
+    EXPECT_THROW(layout.addGlobal("@g", 4), support::InternalError);
+}
+
+TEST(LayoutTest, ZeroSizedAllocationAsserts)
+{
+    MemoryLayout layout;
+    EXPECT_THROW(layout.addGlobal("@z", 0), support::InternalError);
+}
+
+TEST(LayoutTest, ContainmentQueries)
+{
+    MemoryLayout layout;
+    const MemoryObject &g = layout.addGlobal("@g", 12);
+    // Fully inside.
+    EXPECT_EQ(layout.containing(g.base, 4), &layout.objects()[0]);
+    EXPECT_EQ(layout.containing(g.base + 8, 4), &layout.objects()[0]);
+    // Straddling the end: out of bounds.
+    EXPECT_EQ(layout.containing(g.base + 8, 8), nullptr);
+    // Just past the end.
+    EXPECT_EQ(layout.containing(g.base + 12, 1), nullptr);
+    // In the guard gap.
+    EXPECT_EQ(layout.containing(g.base + g.size + 1, 1), nullptr);
+    // Far away.
+    EXPECT_EQ(layout.containing(0, 1), nullptr);
+}
+
+TEST(LayoutTest, ObjectContainsEdgeCases)
+{
+    MemoryObject object{"@o", 100, 8};
+    EXPECT_TRUE(object.contains(100, 8));
+    EXPECT_TRUE(object.contains(107, 1));
+    EXPECT_FALSE(object.contains(107, 2));
+    EXPECT_FALSE(object.contains(99, 1));
+    // Access larger than the object can never be contained.
+    EXPECT_FALSE(object.contains(100, 9));
+    // Overflow-safe even near the address-space top.
+    MemoryObject high{"@h", ~uint64_t{0} - 4, 4};
+    EXPECT_TRUE(high.contains(~uint64_t{0} - 4, 4));
+    EXPECT_FALSE(high.contains(~uint64_t{0} - 4, 8));
+}
+
+} // namespace
+} // namespace keq::mem

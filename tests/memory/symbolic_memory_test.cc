@@ -1,0 +1,74 @@
+/** @file Tests for symbolic bounds classification (Section 4.6's OOB
+ *  error-state conditions). */
+
+#include <gtest/gtest.h>
+
+#include "src/memory/symbolic_memory.h"
+
+namespace keq::mem {
+namespace {
+
+class SymbolicMemoryTest : public ::testing::Test
+{
+  protected:
+    SymbolicMemoryTest() : symmem_(tf_, layout_)
+    {
+        global_ = &layout_.addGlobal("@g", 12);
+    }
+
+    smt::TermFactory tf_;
+    MemoryLayout layout_;
+    SymbolicMemory symmem_{tf_, layout_};
+    const MemoryObject *global_;
+};
+
+TEST_F(SymbolicMemoryTest, ConstantAddressDecidesExactly)
+{
+    AccessCheck ok =
+        symmem_.checkAccess(tf_.bvConst(64, global_->base), 4);
+    EXPECT_TRUE(ok.definitelyInBounds());
+
+    AccessCheck straddle =
+        symmem_.checkAccess(tf_.bvConst(64, global_->base + 10), 4);
+    EXPECT_TRUE(straddle.definitelyOutOfBounds());
+
+    AccessCheck wild = symmem_.checkAccess(tf_.bvConst(64, 0x10), 1);
+    EXPECT_TRUE(wild.definitelyOutOfBounds());
+}
+
+TEST_F(SymbolicMemoryTest, SymbolicAddressYieldsCondition)
+{
+    smt::Term addr = tf_.var("p", smt::Sort::bitVec(64));
+    AccessCheck check = symmem_.checkAccess(addr, 4);
+    EXPECT_FALSE(check.definitelyInBounds());
+    EXPECT_FALSE(check.definitelyOutOfBounds());
+    EXPECT_TRUE(check.inBounds.sort().isBool());
+}
+
+TEST_F(SymbolicMemoryTest, AccessLargerThanEveryObjectIsAlwaysOob)
+{
+    smt::Term addr = tf_.var("p", smt::Sort::bitVec(64));
+    AccessCheck check = symmem_.checkAccess(addr, 16); // object is 12
+    EXPECT_TRUE(check.definitelyOutOfBounds());
+}
+
+TEST_F(SymbolicMemoryTest, ReadWriteDelegateToFactory)
+{
+    smt::Term mem = tf_.var("m", smt::Sort::memArray());
+    smt::Term addr = tf_.bvConst(64, global_->base);
+    smt::Term value = tf_.bvConst(32, 0xCAFEBABE);
+    smt::Term written = symmem_.write(mem, addr, value, 4);
+    EXPECT_EQ(symmem_.read(written, addr, 4), value);
+}
+
+TEST_F(SymbolicMemoryTest, MultipleObjectsDisjunction)
+{
+    layout_.addGlobal("@h", 8);
+    smt::Term addr = tf_.var("q", smt::Sort::bitVec(64));
+    AccessCheck check = symmem_.checkAccess(addr, 4);
+    // Condition must mention both objects (an OR at top level).
+    EXPECT_EQ(check.inBounds.kind(), smt::Kind::Or);
+}
+
+} // namespace
+} // namespace keq::mem

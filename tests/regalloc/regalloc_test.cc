@@ -1,0 +1,196 @@
+/** @file Register allocator tests: phi elimination, interference,
+ *  coloring, and differential execution pre/post allocation. */
+
+#include <gtest/gtest.h>
+
+#include "src/isel/isel.h"
+#include "src/llvmir/interpreter.h"
+#include "src/llvmir/layout_builder.h"
+#include "src/llvmir/parser.h"
+#include "src/llvmir/verifier.h"
+#include "src/regalloc/regalloc.h"
+#include "src/support/diagnostics.h"
+#include "src/support/rng.h"
+#include "src/vx86/interpreter.h"
+
+namespace keq::regalloc {
+namespace {
+
+using support::ApInt;
+
+struct Lowered
+{
+    llvmir::Module module;
+    vx86::MFunction pre;
+    AllocationResult allocation;
+};
+
+Lowered
+lowerAndAllocate(const char *source)
+{
+    Lowered out{llvmir::parseModule(source), {}, {}};
+    llvmir::verifyModuleOrThrow(out.module);
+    isel::FunctionHints hints;
+    out.pre = isel::lowerFunction(out.module, out.module.functions.back(),
+                                  {}, hints);
+    out.allocation = allocateRegisters(out.pre);
+    return out;
+}
+
+const char *const kLoop = R"(
+define i32 @sum(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %inc, %body ]
+  %s = phi i32 [ 0, %entry ], [ %snext, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %done
+body:
+  %snext = add i32 %s, %i
+  %inc = add i32 %i, 1
+  br label %head
+done:
+  ret i32 %s
+}
+)";
+
+TEST(RegAllocTest, EliminatesAllPhisAndVirtRegs)
+{
+    Lowered low = lowerAndAllocate(kLoop);
+    for (const vx86::MBasicBlock &block : low.allocation.fn.blocks) {
+        for (const vx86::MInst &inst : block.insts) {
+            EXPECT_NE(inst.op, vx86::MOpcode::PHI);
+            for (const vx86::MOperand &op : inst.ops) {
+                EXPECT_NE(op.kind, vx86::MOperand::Kind::VirtReg)
+                    << inst.toString();
+            }
+        }
+    }
+    // Every pre-RA vreg got an assignment.
+    EXPECT_FALSE(low.allocation.assignment.empty());
+    for (const auto &[vreg, phys] : low.allocation.assignment)
+        EXPECT_TRUE(vx86::isPhysReg(phys)) << vreg << " -> " << phys;
+}
+
+TEST(RegAllocTest, InterferingValuesGetDistinctRegisters)
+{
+    Lowered low = lowerAndAllocate(kLoop);
+    // The loop counter and accumulator are simultaneously live; they
+    // must land in different registers. Find their vregs via execution
+    // structure: both are PHI destinations in the pre-RA head block.
+    std::vector<std::string> phi_dests;
+    for (const vx86::MInst &inst : low.pre.blocks[1].insts) {
+        if (inst.op == vx86::MOpcode::PHI)
+            phi_dests.push_back(inst.ops[0].reg);
+    }
+    ASSERT_GE(phi_dests.size(), 2u);
+    EXPECT_NE(low.allocation.assignment.at(phi_dests[0]),
+              low.allocation.assignment.at(phi_dests[1]));
+}
+
+TEST(RegAllocTest, ValuesLiveAcrossCallsGetCalleeSavedRegisters)
+{
+    Lowered low = lowerAndAllocate(R"(
+declare i32 @ext(i32)
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %r = call i32 @ext(i32 %a)
+  %s = add i32 %r, %b
+  ret i32 %s
+}
+)");
+    // %b survives the call; its register must be callee-saved.
+    static const std::set<std::string> kCalleeSaved = {"rbx", "r12",
+                                                       "r13", "r14",
+                                                       "r15"};
+    // Find %b's vreg via the ISel convention: second entry COPY.
+    const vx86::MInst &copy_b = low.pre.blocks[0].insts[1];
+    ASSERT_EQ(copy_b.op, vx86::MOpcode::COPY);
+    std::string breg = copy_b.ops[0].reg;
+    EXPECT_TRUE(
+        kCalleeSaved.count(low.allocation.assignment.at(breg)))
+        << "%b allocated to " << low.allocation.assignment.at(breg);
+}
+
+TEST(RegAllocTest, PressureOverflowRejected)
+{
+    // 20 simultaneously-live values cannot fit 14 registers.
+    std::string source = "define i32 @fat(i32 %a) {\nentry:\n";
+    for (int i = 0; i < 20; ++i) {
+        source += "  %v" + std::to_string(i) + " = add i32 %a, " +
+                  std::to_string(i) + "\n";
+    }
+    source += "  %acc0 = add i32 %v0, %v1\n";
+    for (int i = 2; i < 20; ++i) {
+        source += "  %acc" + std::to_string(i - 1) + " = add i32 %acc" +
+                  std::to_string(i - 2) + ", %v" + std::to_string(i) +
+                  "\n";
+    }
+    source += "  ret i32 %acc18\n}\n";
+    llvmir::Module module = llvmir::parseModule(source);
+    isel::FunctionHints hints;
+    vx86::MFunction pre =
+        isel::lowerFunction(module, module.functions[0], {}, hints);
+    EXPECT_THROW(allocateRegisters(pre), support::Error);
+}
+
+/** Differential property: pre- and post-allocation code behave
+ *  identically on concrete inputs (including the swap-hazard phis). */
+class RegAllocDifferential : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(RegAllocDifferential, PrePostAgreeOnConcreteInputs)
+{
+    const char *source = R"(
+define i32 @swapsum(i32 %n) {
+entry:
+  br label %head
+head:
+  %x = phi i32 [ 1, %entry ], [ %y, %body ]
+  %y = phi i32 [ 2, %entry ], [ %x, %body ]
+  %i = phi i32 [ 0, %entry ], [ %inc, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %done
+body:
+  %inc = add i32 %i, 1
+  br label %head
+done:
+  %r = add i32 %x, %y
+  %rr = mul i32 %r, %x
+  ret i32 %rr
+}
+)";
+    Lowered low = lowerAndAllocate(source);
+    mem::MemoryLayout layout;
+    llvmir::populateLayout(low.module, layout);
+
+    support::Rng rng(GetParam());
+    for (int trial = 0; trial < 8; ++trial) {
+        ApInt n(32, rng.below(10));
+        vx86::MModule pre_module;
+        pre_module.functions.push_back(low.pre);
+        mem::ConcreteMemory mem_pre(layout);
+        vx86::Interpreter interp_pre(pre_module, mem_pre);
+        vx86::MExecResult pre_result =
+            interp_pre.run(pre_module.functions[0], {n.zextTo(64)});
+
+        vx86::MModule post_module;
+        post_module.functions.push_back(low.allocation.fn);
+        mem::ConcreteMemory mem_post(layout);
+        vx86::Interpreter interp_post(post_module, mem_post);
+        vx86::MExecResult post_result =
+            interp_post.run(post_module.functions[0], {n.zextTo(64)});
+
+        ASSERT_EQ(pre_result.outcome, vx86::MExecOutcome::Returned);
+        ASSERT_EQ(post_result.outcome, vx86::MExecOutcome::Returned);
+        EXPECT_EQ(pre_result.value.zext(), post_result.value.zext())
+            << "n = " << n.toString();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegAllocDifferential,
+                         ::testing::Range(uint64_t{0}, uint64_t{6}));
+
+} // namespace
+} // namespace keq::regalloc

@@ -1,0 +1,245 @@
+/** @file Concrete evaluation tests, including a random property sweep
+ *  cross-checking evaluation against the factory's constant folding. */
+
+#include <gtest/gtest.h>
+
+#include "src/smt/evaluator.h"
+#include "src/smt/term_factory.h"
+#include "src/support/rng.h"
+
+namespace keq::smt {
+namespace {
+
+using support::ApInt;
+using support::Rng;
+
+TEST(EvaluatorTest, Leaves)
+{
+    TermFactory tf;
+    Assignment env;
+    env.setBv("x", ApInt(32, 42));
+    env.setBool("p", true);
+    Evaluator ev(env);
+    EXPECT_EQ(ev.evalBv(tf.bvConst(32, 7)).zext(), 7u);
+    EXPECT_EQ(ev.evalBv(tf.var("x", Sort::bitVec(32))).zext(), 42u);
+    EXPECT_TRUE(ev.evalBool(tf.var("p", Sort::boolSort())));
+    EXPECT_FALSE(ev.evalBool(tf.falseTerm()));
+}
+
+TEST(EvaluatorTest, ArithmeticAndPredicates)
+{
+    TermFactory tf;
+    Assignment env;
+    env.setBv("a", ApInt(32, 100));
+    env.setBv("b", ApInt(32, 7));
+    Evaluator ev(env);
+    Term a = tf.var("a", Sort::bitVec(32));
+    Term b = tf.var("b", Sort::bitVec(32));
+    EXPECT_EQ(ev.evalBv(tf.bvAdd(a, b)).zext(), 107u);
+    EXPECT_EQ(ev.evalBv(tf.bvUDiv(a, b)).zext(), 14u);
+    EXPECT_TRUE(ev.evalBool(tf.bvUlt(b, a)));
+    EXPECT_TRUE(ev.evalBool(tf.mkEq(a, tf.bvConst(32, 100))));
+}
+
+TEST(EvaluatorTest, MemorySelectStore)
+{
+    TermFactory tf;
+    Assignment env;
+    env.setArrayByte("m", 0x10, 0xAB);
+    Evaluator ev(env);
+    Term mem = tf.var("m", Sort::memArray());
+    Term idx_reg = tf.var("i", Sort::bitVec(64));
+    env.setBv("i", ApInt(64, 0x10));
+    EXPECT_EQ(ev.evalBv(tf.select(mem, idx_reg)).zext(), 0xABu);
+    // Unset bytes read as zero.
+    EXPECT_EQ(ev.evalBv(tf.select(mem, tf.bvConst(64, 0x99))).zext(), 0u);
+    // Stored bytes shadow the assignment.
+    Term stored = tf.store(mem, idx_reg, tf.bvConst(8, 0xCD));
+    EXPECT_EQ(ev.evalBv(tf.select(stored, idx_reg)).zext(), 0xCDu);
+}
+
+TEST(EvaluatorTest, SmtLibDivisionByZeroConventions)
+{
+    TermFactory tf;
+    Assignment env;
+    env.setBv("a", ApInt(8, 5));
+    env.setBv("z", ApInt(8, 0));
+    Evaluator ev(env);
+    Term a = tf.var("a", Sort::bitVec(8));
+    Term z = tf.var("z", Sort::bitVec(8));
+    EXPECT_EQ(ev.evalBv(tf.bvUDiv(a, z)).zext(), 0xffu);
+    EXPECT_EQ(ev.evalBv(tf.bvURem(a, z)).zext(), 5u);
+}
+
+/**
+ * Property sweep: build random term DAGs over concrete leaves two ways —
+ * (1) with variables then evaluate, (2) with the corresponding constants
+ * so the factory folds — and check both agree.
+ */
+class EvalFoldingProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(EvalFoldingProperty, EvaluationMatchesFolding)
+{
+    Rng rng(GetParam());
+    TermFactory tf;
+    Assignment env;
+    const unsigned width = 32;
+
+    std::vector<std::pair<Term, Term>> nodes; // (symbolic, constant)
+    for (int i = 0; i < 4; ++i) {
+        ApInt value(width, rng.next());
+        std::string name = "v" + std::to_string(i);
+        env.setBv(name, value);
+        nodes.emplace_back(tf.var(name, Sort::bitVec(width)),
+                           tf.bvConst(value));
+    }
+
+    for (int i = 0; i < 120; ++i) {
+        auto [sa, ca] = nodes[rng.below(nodes.size())];
+        auto [sb, cb] = nodes[rng.below(nodes.size())];
+        static const Kind kOps[] = {
+            Kind::BvAdd,  Kind::BvSub,  Kind::BvMul, Kind::BvAnd,
+            Kind::BvOr,   Kind::BvXor,  Kind::BvShl, Kind::BvLShr,
+            Kind::BvAShr, Kind::BvUDiv, Kind::BvURem,
+        };
+        Kind op = kOps[rng.below(sizeof(kOps) / sizeof(kOps[0]))];
+        Term sym = tf.bvBinOp(op, sa, sb);
+        Term folded = tf.bvBinOp(op, ca, cb);
+        Evaluator ev(env);
+        if (folded.isBvConst()) { // division by zero stays symbolic
+            EXPECT_EQ(ev.evalBv(sym), folded.bvValue())
+                << kindName(op) << " mismatch";
+        }
+        nodes.emplace_back(sym, folded);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvalFoldingProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+/**
+ * Deep property sweep covering the normalization folds: random term DAGs
+ * mixing arithmetic, comparisons, boolean connectives, ite, negation,
+ * width changes and concats — built twice (symbolic and constant) and
+ * cross-checked. Any unsound fold (comparison flips, ite distribution,
+ * sign-replication concat, ...) shows up as a mismatch here.
+ */
+class DeepFoldingProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(DeepFoldingProperty, RichTermsEvaluateConsistently)
+{
+    Rng rng(GetParam() * 0x9E3779B9u + 7);
+    TermFactory tf;
+    Assignment env;
+
+    std::vector<std::pair<Term, Term>> bvs;  // (symbolic, constant)
+    std::vector<std::pair<Term, Term>> bools;
+    for (int i = 0; i < 4; ++i) {
+        ApInt value(32, rng.next());
+        std::string name = "w" + std::to_string(i);
+        env.setBv(name, value);
+        bvs.emplace_back(tf.var(name, Sort::bitVec(32)),
+                         tf.bvConst(value));
+    }
+    bools.emplace_back(tf.trueTerm(), tf.trueTerm());
+
+    auto pick_bv = [&]() { return bvs[rng.below(bvs.size())]; };
+    auto pick_bool = [&]() { return bools[rng.below(bools.size())]; };
+
+    Evaluator ev(env);
+    for (int step = 0; step < 200; ++step) {
+        switch (rng.below(7)) {
+          case 0: { // binary arithmetic
+            auto [sa, ca] = pick_bv();
+            auto [sb, cb] = pick_bv();
+            static const Kind kOps[] = {Kind::BvAdd, Kind::BvSub,
+                                        Kind::BvMul, Kind::BvAnd,
+                                        Kind::BvOr,  Kind::BvXor};
+            Kind op = kOps[rng.below(6)];
+            bvs.emplace_back(tf.bvBinOp(op, sa, sb),
+                             tf.bvBinOp(op, ca, cb));
+            break;
+          }
+          case 1: { // comparison
+            auto [sa, ca] = pick_bv();
+            auto [sb, cb] = pick_bv();
+            static const Kind kPreds[] = {Kind::BvUlt, Kind::BvUle,
+                                          Kind::BvSlt, Kind::BvSle,
+                                          Kind::Eq};
+            Kind pred = kPreds[rng.below(5)];
+            bools.emplace_back(tf.bvPredicate(pred, sa, sb),
+                               tf.bvPredicate(pred, ca, cb));
+            break;
+          }
+          case 2: { // boolean connective / negation
+            auto [sa, ca] = pick_bool();
+            auto [sb, cb] = pick_bool();
+            switch (rng.below(3)) {
+              case 0:
+                bools.emplace_back(tf.mkAnd(sa, sb), tf.mkAnd(ca, cb));
+                break;
+              case 1:
+                bools.emplace_back(tf.mkOr(sa, sb), tf.mkOr(ca, cb));
+                break;
+              default:
+                bools.emplace_back(tf.mkNot(sa), tf.mkNot(ca));
+                break;
+            }
+            break;
+          }
+          case 3: { // ite
+            auto [sc, cc] = pick_bool();
+            auto [sa, ca] = pick_bv();
+            auto [sb, cb] = pick_bv();
+            bvs.emplace_back(tf.mkIte(sc, sa, sb),
+                             tf.mkIte(cc, ca, cb));
+            break;
+          }
+          case 4: { // unary
+            auto [sa, ca] = pick_bv();
+            if (rng.chancePercent(50))
+                bvs.emplace_back(tf.bvNot(sa), tf.bvNot(ca));
+            else
+                bvs.emplace_back(tf.bvNeg(sa), tf.bvNeg(ca));
+            break;
+          }
+          case 5: { // width games: trunc to 8, extend back
+            auto [sa, ca] = pick_bv();
+            Term s8 = tf.trunc(sa, 8);
+            Term c8 = tf.trunc(ca, 8);
+            bool sign = rng.chancePercent(50);
+            bvs.emplace_back(sign ? tf.sext(s8, 32) : tf.zext(s8, 32),
+                             sign ? tf.sext(c8, 32) : tf.zext(c8, 32));
+            break;
+          }
+          default: { // concat halves of two values
+            auto [sa, ca] = pick_bv();
+            auto [sb, cb] = pick_bv();
+            bvs.emplace_back(tf.concat(tf.extract(sa, 15, 0),
+                                       tf.extract(sb, 15, 0)),
+                             tf.concat(tf.extract(ca, 15, 0),
+                                       tf.extract(cb, 15, 0)));
+            break;
+          }
+        }
+        // Cross-check the newest nodes.
+        auto [sym_bv, const_bv] = bvs.back();
+        if (const_bv.isBvConst()) {
+            EXPECT_EQ(ev.evalBv(sym_bv), const_bv.bvValue())
+                << sym_bv.toString();
+        }
+        auto [sym_b, const_b] = bools.back();
+        if (const_b.isBoolConst()) {
+            EXPECT_EQ(ev.evalBool(sym_b), const_b.boolValue())
+                << sym_b.toString();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeepFoldingProperty,
+                         ::testing::Range(uint64_t{0}, uint64_t{16}));
+
+} // namespace
+} // namespace keq::smt

@@ -1,0 +1,300 @@
+/** @file Hash-consing and simplification tests for the term factory. */
+
+#include <gtest/gtest.h>
+
+#include "src/smt/term_factory.h"
+#include "src/support/diagnostics.h"
+
+namespace keq::smt {
+namespace {
+
+using support::ApInt;
+
+class TermTest : public ::testing::Test
+{
+  protected:
+    TermFactory tf;
+    Term x = tf.var("x", Sort::bitVec(32));
+    Term y = tf.var("y", Sort::bitVec(32));
+    Term zero = tf.bvConst(32, 0);
+    Term one = tf.bvConst(32, 1);
+    Term p = tf.var("p", Sort::boolSort());
+    Term q = tf.var("q", Sort::boolSort());
+};
+
+TEST_F(TermTest, HashConsingSharesStructure)
+{
+    EXPECT_EQ(tf.bvAdd(x, y), tf.bvAdd(x, y));
+    EXPECT_EQ(tf.bvConst(32, 7), tf.bvConst(ApInt(32, 7)));
+    EXPECT_EQ(tf.var("x", Sort::bitVec(32)), x);
+    // Commutative operands canonicalize.
+    EXPECT_EQ(tf.bvAdd(x, y), tf.bvAdd(y, x));
+    EXPECT_EQ(tf.bvMul(x, y), tf.bvMul(y, x));
+    EXPECT_EQ(tf.mkEq(x, y), tf.mkEq(y, x));
+    // Non-commutative operations do not.
+    EXPECT_NE(tf.bvSub(x, y), tf.bvSub(y, x));
+}
+
+TEST_F(TermTest, VariableSortClash)
+{
+    EXPECT_THROW(tf.var("x", Sort::bitVec(8)), support::InternalError);
+}
+
+TEST_F(TermTest, FreshVarsAreDistinct)
+{
+    EXPECT_NE(tf.freshVar("h", Sort::bitVec(8)),
+              tf.freshVar("h", Sort::bitVec(8)));
+}
+
+TEST_F(TermTest, ConstantFolding)
+{
+    EXPECT_EQ(tf.bvAdd(tf.bvConst(32, 2), tf.bvConst(32, 3)),
+              tf.bvConst(32, 5));
+    EXPECT_EQ(tf.bvMul(tf.bvConst(8, 16), tf.bvConst(8, 16)),
+              tf.bvConst(8, 0));
+    EXPECT_EQ(tf.bvUlt(tf.bvConst(32, 1), tf.bvConst(32, 2)),
+              tf.trueTerm());
+    EXPECT_EQ(tf.bvSlt(tf.bvConst(8, 0xff), tf.bvConst(8, 0)),
+              tf.trueTerm());
+}
+
+TEST_F(TermTest, DivisionByZeroConstantStaysSymbolic)
+{
+    Term div = tf.bvUDiv(one, zero);
+    EXPECT_EQ(div.kind(), Kind::BvUDiv);
+}
+
+TEST_F(TermTest, AlgebraicIdentities)
+{
+    EXPECT_EQ(tf.bvAdd(x, zero), x);
+    EXPECT_EQ(tf.bvAdd(zero, x), x);
+    EXPECT_EQ(tf.bvSub(x, zero), x);
+    EXPECT_EQ(tf.bvSub(x, x), zero);
+    EXPECT_EQ(tf.bvMul(x, one), x);
+    EXPECT_EQ(tf.bvMul(x, zero), zero);
+    EXPECT_EQ(tf.bvAnd(x, zero), zero);
+    EXPECT_EQ(tf.bvAnd(x, tf.bvConst(ApInt::allOnes(32))), x);
+    EXPECT_EQ(tf.bvAnd(x, x), x);
+    EXPECT_EQ(tf.bvOr(x, zero), x);
+    EXPECT_EQ(tf.bvXor(x, x), zero);
+    EXPECT_EQ(tf.bvShl(x, zero), x);
+    EXPECT_EQ(tf.bvNot(tf.bvNot(x)), x);
+    EXPECT_EQ(tf.bvNeg(tf.bvNeg(x)), x);
+}
+
+TEST_F(TermTest, PredicateIdentities)
+{
+    EXPECT_EQ(tf.bvUlt(x, x), tf.falseTerm());
+    EXPECT_EQ(tf.bvUle(x, x), tf.trueTerm());
+    EXPECT_EQ(tf.mkEq(x, x), tf.trueTerm());
+    EXPECT_EQ(tf.mkEq(zero, one), tf.falseTerm());
+}
+
+TEST_F(TermTest, BooleanIdentities)
+{
+    EXPECT_EQ(tf.mkAnd(p, tf.trueTerm()), p);
+    EXPECT_EQ(tf.mkAnd(p, tf.falseTerm()), tf.falseTerm());
+    EXPECT_EQ(tf.mkOr(p, tf.falseTerm()), p);
+    EXPECT_EQ(tf.mkOr(p, tf.trueTerm()), tf.trueTerm());
+    EXPECT_EQ(tf.mkAnd(p, p), p);
+    EXPECT_EQ(tf.mkNot(tf.mkNot(p)), p);
+    EXPECT_EQ(tf.mkIff(p, p), tf.trueTerm());
+    EXPECT_EQ(tf.mkIff(p, tf.falseTerm()), tf.mkNot(p));
+    EXPECT_EQ(tf.mkImplies(tf.falseTerm(), p), tf.trueTerm());
+}
+
+TEST_F(TermTest, IteSimplification)
+{
+    EXPECT_EQ(tf.mkIte(tf.trueTerm(), x, y), x);
+    EXPECT_EQ(tf.mkIte(tf.falseTerm(), x, y), y);
+    EXPECT_EQ(tf.mkIte(p, x, x), x);
+}
+
+TEST_F(TermTest, EqOfConstArmedIteFoldsToCondition)
+{
+    // This is the fold that collapses flag/SETcc encodings back to the
+    // branch predicate across the two languages.
+    Term cond = tf.bvUlt(x, y);
+    Term bit = tf.mkIte(cond, tf.bvConst(1, 1), tf.bvConst(1, 0));
+    EXPECT_EQ(tf.mkEq(bit, tf.bvConst(1, 1)), cond);
+    EXPECT_EQ(tf.mkEq(bit, tf.bvConst(1, 0)), tf.mkNot(cond));
+    EXPECT_EQ(tf.mkEq(tf.bvConst(1, 1), bit), cond);
+}
+
+TEST_F(TermTest, ExtensionPushesThroughConstArmedIte)
+{
+    Term cond = tf.bvUlt(x, y);
+    Term bit8 = tf.mkIte(cond, tf.bvConst(8, 1), tf.bvConst(8, 0));
+    Term bit1 = tf.mkIte(cond, tf.bvConst(1, 1), tf.bvConst(1, 0));
+    // zext of the 1-bit and 8-bit encodings meet at the same term.
+    EXPECT_EQ(tf.zext(bit8, 32), tf.zext(bit1, 32));
+    EXPECT_EQ(tf.trunc(bit8, 1), bit1);
+}
+
+TEST_F(TermTest, WidthOperations)
+{
+    EXPECT_EQ(tf.zext(x, 32), x);
+    EXPECT_EQ(tf.zext(tf.bvConst(8, 0xff), 32), tf.bvConst(32, 0xff));
+    EXPECT_EQ(tf.sext(tf.bvConst(8, 0xff), 32),
+              tf.bvConst(32, 0xffffffff));
+    EXPECT_EQ(tf.extract(tf.bvConst(32, 0x12345678), 15, 8),
+              tf.bvConst(8, 0x56));
+    EXPECT_EQ(tf.extract(x, 31, 0), x);
+    EXPECT_EQ(tf.trunc(tf.bvConst(32, 0x1234), 8), tf.bvConst(8, 0x34));
+    // zext of zext composes.
+    Term b = tf.var("b8", Sort::bitVec(8));
+    EXPECT_EQ(tf.zext(tf.zext(b, 16), 32), tf.zext(b, 32));
+    // extract of zext routes below/above the original width.
+    EXPECT_EQ(tf.extract(tf.zext(b, 32), 7, 0), b);
+    EXPECT_EQ(tf.extract(tf.zext(b, 32), 31, 8), tf.bvConst(24, 0));
+    // extract of extract composes.
+    EXPECT_EQ(tf.extract(tf.extract(x, 23, 8), 7, 0),
+              tf.extract(x, 15, 8));
+}
+
+TEST_F(TermTest, ConcatFolding)
+{
+    EXPECT_EQ(tf.concat(tf.bvConst(8, 0x12), tf.bvConst(8, 0x34)),
+              tf.bvConst(16, 0x1234));
+    Term b = tf.var("b8", Sort::bitVec(8));
+    EXPECT_EQ(tf.concat(tf.bvConst(8, 0), b), tf.zext(b, 16));
+    // Adjacent extracts of the same base reassemble.
+    EXPECT_EQ(tf.concat(tf.extract(x, 15, 8), tf.extract(x, 7, 0)),
+              tf.extract(x, 15, 0));
+}
+
+TEST_F(TermTest, SelectOverStoreChains)
+{
+    Term mem = tf.var("m", Sort::memArray());
+    Term a0 = tf.bvConst(64, 0x1000);
+    Term a1 = tf.bvConst(64, 0x1001);
+    Term v = tf.var("v8", Sort::bitVec(8));
+    Term stored = tf.store(mem, a0, v);
+    // Same concrete address: read back the stored value.
+    EXPECT_EQ(tf.select(stored, a0), v);
+    // Distinct constant address: read through the store.
+    EXPECT_EQ(tf.select(stored, a1), tf.select(mem, a1));
+    // Symbolic index blocks the walk.
+    Term idx = tf.var("i64", Sort::bitVec(64));
+    EXPECT_EQ(tf.select(stored, idx).kind(), Kind::Select);
+}
+
+TEST_F(TermTest, StoreNormalization)
+{
+    Term mem = tf.var("m", Sort::memArray());
+    Term addr = tf.bvConst(64, 0x1000);
+    Term v1 = tf.var("v1", Sort::bitVec(8));
+    Term v2 = tf.var("v2", Sort::bitVec(8));
+    // Overwriting store collapses.
+    EXPECT_EQ(tf.store(tf.store(mem, addr, v1), addr, v2),
+              tf.store(mem, addr, v2));
+    // Storing back the read value is a no-op.
+    EXPECT_EQ(tf.store(mem, addr, tf.select(mem, addr)), mem);
+}
+
+TEST_F(TermTest, ReadWriteBytesRoundTrip)
+{
+    Term mem = tf.var("m", Sort::memArray());
+    Term addr = tf.bvConst(64, 0x2000);
+    Term value = tf.var("w32", Sort::bitVec(32));
+    Term written = tf.writeBytes(mem, addr, value, 4);
+    // Little-endian read of what was written yields the value again.
+    EXPECT_EQ(tf.readBytes(written, addr, 4), value);
+}
+
+TEST_F(TermTest, ReadBytesConcreteLittleEndian)
+{
+    Term mem = tf.var("m", Sort::memArray());
+    Term addr = tf.bvConst(64, 0);
+    Term written =
+        tf.writeBytes(mem, addr, tf.bvConst(32, 0x11223344), 4);
+    EXPECT_EQ(tf.select(written, tf.bvConst(64, 0)), tf.bvConst(8, 0x44));
+    EXPECT_EQ(tf.select(written, tf.bvConst(64, 3)), tf.bvConst(8, 0x11));
+}
+
+TEST_F(TermTest, ComparisonNegationFlips)
+{
+    // !(a <u b) == (b <=u a), etc. — keeps the comparison language
+    // closed under negation across flag encodings.
+    EXPECT_EQ(tf.mkNot(tf.bvUlt(x, y)), tf.bvUle(y, x));
+    EXPECT_EQ(tf.mkNot(tf.bvUle(x, y)), tf.bvUlt(y, x));
+    EXPECT_EQ(tf.mkNot(tf.bvSlt(x, y)), tf.bvSle(y, x));
+    EXPECT_EQ(tf.mkNot(tf.bvSle(x, y)), tf.bvSlt(y, x));
+    // Involutive.
+    EXPECT_EQ(tf.mkNot(tf.mkNot(tf.bvSlt(x, y))), tf.bvSlt(x, y));
+    // ugt spelled two ways meets at one term.
+    EXPECT_EQ(tf.bvUgt(x, y), tf.mkNot(tf.bvUle(x, y)));
+}
+
+TEST_F(TermTest, StrictOrEqualMerges)
+{
+    // The x86 BE condition (cf || zf) folds to ule.
+    EXPECT_EQ(tf.mkOr(tf.bvUlt(x, y), tf.mkEq(x, y)), tf.bvUle(x, y));
+    EXPECT_EQ(tf.mkOr(tf.mkEq(y, x), tf.bvUlt(x, y)), tf.bvUle(x, y));
+    EXPECT_EQ(tf.mkOr(tf.bvSlt(x, y), tf.mkEq(x, y)), tf.bvSle(x, y));
+}
+
+TEST_F(TermTest, ComplementDetectionThroughFlips)
+{
+    Term c = tf.bvUlt(x, y);
+    Term not_c = tf.mkNot(c); // == ule(y, x)
+    EXPECT_EQ(tf.mkOr(c, not_c), tf.trueTerm());
+    EXPECT_EQ(tf.mkOr(not_c, c), tf.trueTerm());
+    EXPECT_EQ(tf.mkAnd(c, not_c), tf.falseTerm());
+}
+
+TEST_F(TermTest, OpsDistributeOverConstArmedIte)
+{
+    Term c = tf.bvUlt(x, y);
+    Term sel = tf.mkIte(c, tf.bvConst(32, 62), tf.bvConst(32, 29));
+    // mul(x, ite(c, 62, 29)) pushes into the arms — the select-mask
+    // normalization that keeps Z3 away from bit-blasting products.
+    EXPECT_EQ(tf.bvMul(x, sel),
+              tf.mkIte(c, tf.bvMul(x, tf.bvConst(32, 62)),
+                       tf.bvMul(x, tf.bvConst(32, 29))));
+    // Shared-condition ites merge arm-wise.
+    Term sel2 = tf.mkIte(c, x, zero);
+    Term sel3 = tf.mkIte(c, zero, y);
+    EXPECT_EQ(tf.bvOr(tf.bvAnd(x, tf.mkIte(c, tf.bvConst(32, ~0u),
+                                           zero)),
+                      tf.bvAnd(y, tf.mkIte(c, zero,
+                                           tf.bvConst(32, ~0u)))),
+              tf.mkIte(c, x, y));
+    EXPECT_EQ(tf.bvAdd(sel2, sel3), tf.mkIte(c, x, y));
+    // Unary ops push through any ite.
+    EXPECT_EQ(tf.bvNeg(tf.mkIte(c, tf.bvConst(32, 1), zero)),
+              tf.mkIte(c, tf.bvConst(ApInt::allOnes(32)), zero));
+    // Predicates distribute too.
+    EXPECT_EQ(tf.bvUlt(sel, tf.bvConst(32, 40)),
+              tf.mkIte(c, tf.falseTerm(), tf.trueTerm()));
+}
+
+TEST_F(TermTest, SignReplicationConcatFoldsToSext)
+{
+    // concat(sext(x[31]), x) == sext(x, 64): the CDQ pattern.
+    Term sign = tf.extract(x, 31, 31);
+    Term high = tf.sext(sign, 32);
+    EXPECT_EQ(tf.concat(high, x), tf.sext(x, 64));
+}
+
+TEST_F(TermTest, PrinterSmoke)
+{
+    Term t = tf.bvAdd(x, tf.bvConst(32, 5));
+    std::string text = t.toString();
+    EXPECT_NE(text.find("bvadd"), std::string::npos);
+    EXPECT_NE(text.find("x"), std::string::npos);
+    EXPECT_NE(text.find("5:bv32"), std::string::npos);
+}
+
+TEST_F(TermTest, NodeCountGrowsOnlyForNewStructure)
+{
+    size_t before = tf.nodeCount();
+    tf.bvAdd(x, y);
+    size_t after_first = tf.nodeCount();
+    tf.bvAdd(y, x); // canonicalized duplicate
+    EXPECT_EQ(tf.nodeCount(), after_first);
+    EXPECT_GT(after_first, before);
+}
+
+} // namespace
+} // namespace keq::smt

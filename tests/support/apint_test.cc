@@ -1,0 +1,176 @@
+/** @file Unit and property tests for support::ApInt. */
+
+#include <gtest/gtest.h>
+
+#include "src/support/apint.h"
+#include "src/support/diagnostics.h"
+#include "src/support/rng.h"
+
+namespace keq::support {
+namespace {
+
+TEST(ApIntTest, ConstructionMasksToWidth)
+{
+    EXPECT_EQ(ApInt(8, 0x1ff).zext(), 0xffu);
+    EXPECT_EQ(ApInt(1, 3).zext(), 1u);
+    EXPECT_EQ(ApInt(64, ~uint64_t{0}).zext(), ~uint64_t{0});
+    EXPECT_EQ(ApInt(16, 0x12345).zext(), 0x2345u);
+}
+
+TEST(ApIntTest, SignExtension)
+{
+    EXPECT_EQ(ApInt(8, 0xff).sext(), -1);
+    EXPECT_EQ(ApInt(8, 0x7f).sext(), 127);
+    EXPECT_EQ(ApInt(8, 0x80).sext(), -128);
+    EXPECT_EQ(ApInt(1, 1).sext(), -1);
+    EXPECT_EQ(ApInt(64, ~uint64_t{0}).sext(), -1);
+    EXPECT_EQ(ApInt(32, 0x80000000u).sext(), -2147483648ll);
+}
+
+TEST(ApIntTest, NamedConstants)
+{
+    EXPECT_TRUE(ApInt::allOnes(8).isAllOnes());
+    EXPECT_EQ(ApInt::signedMin(8).sext(), -128);
+    EXPECT_EQ(ApInt::signedMax(8).sext(), 127);
+    EXPECT_EQ(ApInt::signedMin(64).sext(), INT64_MIN);
+    EXPECT_EQ(ApInt::signedMax(64).sext(), INT64_MAX);
+}
+
+TEST(ApIntTest, WrappingArithmetic)
+{
+    EXPECT_EQ(ApInt(8, 200).add(ApInt(8, 100)).zext(), 44u);
+    EXPECT_EQ(ApInt(8, 10).sub(ApInt(8, 20)).zext(), 246u);
+    EXPECT_EQ(ApInt(8, 16).mul(ApInt(8, 16)).zext(), 0u);
+    EXPECT_EQ(ApInt(16, 1000).mul(ApInt(16, 1000)).zext(),
+              (1000u * 1000u) & 0xffffu);
+}
+
+TEST(ApIntTest, Division)
+{
+    EXPECT_EQ(ApInt(32, 17).udiv(ApInt(32, 5)).zext(), 3u);
+    EXPECT_EQ(ApInt(32, 17).urem(ApInt(32, 5)).zext(), 2u);
+    // Signed: truncation toward zero, remainder keeps dividend sign.
+    ApInt neg17(32, static_cast<uint64_t>(-17));
+    EXPECT_EQ(neg17.sdiv(ApInt(32, 5)).sext(), -3);
+    EXPECT_EQ(neg17.srem(ApInt(32, 5)).sext(), -2);
+    EXPECT_EQ(ApInt(32, 17).sdiv(ApInt(32, static_cast<uint64_t>(-5)))
+                  .sext(),
+              -3);
+    // INT_MIN / -1 wraps rather than trapping at this layer.
+    EXPECT_EQ(ApInt::signedMin(32).sdiv(ApInt::allOnes(32)),
+              ApInt::signedMin(32));
+    EXPECT_EQ(ApInt::signedMin(32).srem(ApInt::allOnes(32)).zext(), 0u);
+}
+
+TEST(ApIntTest, DivisionByZeroAsserts)
+{
+    EXPECT_THROW(ApInt(8, 1).udiv(ApInt(8, 0)), InternalError);
+    EXPECT_THROW(ApInt(8, 1).srem(ApInt(8, 0)), InternalError);
+}
+
+TEST(ApIntTest, WidthMismatchAsserts)
+{
+    EXPECT_THROW(ApInt(8, 1).add(ApInt(16, 1)), InternalError);
+}
+
+TEST(ApIntTest, Shifts)
+{
+    EXPECT_EQ(ApInt(8, 1).shl(ApInt(8, 3)).zext(), 8u);
+    EXPECT_EQ(ApInt(8, 0x80).lshr(ApInt(8, 7)).zext(), 1u);
+    EXPECT_EQ(ApInt(8, 0x80).ashr(ApInt(8, 7)).zext(), 0xffu);
+    // Oversize shift counts saturate.
+    EXPECT_EQ(ApInt(8, 0xff).shl(ApInt(8, 8)).zext(), 0u);
+    EXPECT_EQ(ApInt(8, 0xff).lshr(ApInt(8, 200)).zext(), 0u);
+    EXPECT_EQ(ApInt(8, 0x80).ashr(ApInt(8, 8)).zext(), 0xffu);
+    EXPECT_EQ(ApInt(8, 0x40).ashr(ApInt(8, 8)).zext(), 0u);
+}
+
+TEST(ApIntTest, Comparisons)
+{
+    ApInt small(8, 1), big(8, 0xff);
+    EXPECT_TRUE(small.ult(big));
+    EXPECT_TRUE(big.slt(small)); // 0xff is -1 signed
+    EXPECT_TRUE(small.sgt(big));
+    EXPECT_TRUE(big.uge(small));
+    EXPECT_TRUE(small.eq(ApInt(8, 1)));
+    EXPECT_TRUE(small.ne(big));
+}
+
+TEST(ApIntTest, WidthChanges)
+{
+    EXPECT_EQ(ApInt(8, 0xff).zextTo(16).zext(), 0xffu);
+    EXPECT_EQ(ApInt(8, 0xff).sextTo(16).zext(), 0xffffu);
+    EXPECT_EQ(ApInt(16, 0x1234).truncTo(8).zext(), 0x34u);
+    EXPECT_EQ(ApInt(1, 1).sextTo(32).sext(), -1);
+}
+
+TEST(ApIntTest, ByteExtraction)
+{
+    ApInt value(32, 0x11223344);
+    EXPECT_EQ(value.byte(0), 0x44);
+    EXPECT_EQ(value.byte(1), 0x33);
+    EXPECT_EQ(value.byte(2), 0x22);
+    EXPECT_EQ(value.byte(3), 0x11);
+}
+
+TEST(ApIntTest, OverflowPredicates)
+{
+    EXPECT_TRUE(ApInt::signedMax(8).addOverflowSigned(ApInt(8, 1)));
+    EXPECT_FALSE(ApInt(8, 100).addOverflowSigned(ApInt(8, 27)));
+    EXPECT_TRUE(ApInt(8, 255).addOverflowUnsigned(ApInt(8, 1)));
+    EXPECT_TRUE(ApInt::signedMin(8).subOverflowSigned(ApInt(8, 1)));
+    EXPECT_TRUE(ApInt(8, 0).subOverflowUnsigned(ApInt(8, 1)));
+    EXPECT_TRUE(ApInt(8, 16).mulOverflowSigned(ApInt(8, 16)));
+    EXPECT_FALSE(ApInt(8, 3).mulOverflowSigned(ApInt(8, 5)));
+    EXPECT_TRUE(ApInt(64, uint64_t{1} << 33)
+                    .mulOverflowUnsigned(ApInt(64, uint64_t{1} << 33)));
+}
+
+TEST(ApIntTest, Strings)
+{
+    EXPECT_EQ(ApInt(8, 0xff).toString(), "255");
+    EXPECT_EQ(ApInt(8, 0xff).toSignedString(), "-1");
+    EXPECT_EQ(ApInt(8, 0xff).toHexString(), "0xff");
+}
+
+/** Property sweep: ApInt arithmetic at width 64 agrees with native
+ *  uint64_t, and at narrower widths with masked native arithmetic. */
+class ApIntPropertyTest : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(ApIntPropertyTest, AgreesWithNativeArithmetic)
+{
+    unsigned width = GetParam();
+    support::Rng rng(0xABCDEF ^ width);
+    uint64_t mask = width == 64 ? ~uint64_t{0}
+                                : (uint64_t{1} << width) - 1;
+    for (int i = 0; i < 500; ++i) {
+        uint64_t a = rng.next() & mask;
+        uint64_t b = rng.next() & mask;
+        ApInt pa(width, a), pb(width, b);
+        EXPECT_EQ(pa.add(pb).zext(), (a + b) & mask);
+        EXPECT_EQ(pa.sub(pb).zext(), (a - b) & mask);
+        EXPECT_EQ(pa.mul(pb).zext(), (a * b) & mask);
+        EXPECT_EQ(pa.and_(pb).zext(), a & b);
+        EXPECT_EQ(pa.or_(pb).zext(), a | b);
+        EXPECT_EQ(pa.xor_(pb).zext(), a ^ b);
+        EXPECT_EQ(pa.not_().zext(), ~a & mask);
+        EXPECT_EQ(pa.neg().zext(), (~a + 1) & mask);
+        EXPECT_EQ(pa.ult(pb), a < b);
+        EXPECT_EQ(pa.eq(pb), a == b);
+        EXPECT_EQ(pa.slt(pb), pa.sext() < pb.sext());
+        if (b != 0) {
+            EXPECT_EQ(pa.udiv(pb).zext(), a / b);
+            EXPECT_EQ(pa.urem(pb).zext(), a % b);
+        }
+        // Round trips.
+        EXPECT_EQ(pa.zextTo(64).truncTo(width), pa);
+        EXPECT_EQ(pa.sextTo(64).truncTo(width), pa);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ApIntPropertyTest,
+                         ::testing::Values(1u, 8u, 16u, 32u, 64u));
+
+} // namespace
+} // namespace keq::support

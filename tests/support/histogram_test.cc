@@ -1,0 +1,76 @@
+/** @file Unit tests for the evaluation histogram. */
+
+#include <gtest/gtest.h>
+
+#include "src/support/histogram.h"
+
+namespace keq::support {
+namespace {
+
+TEST(HistogramTest, BucketsValues)
+{
+    Histogram h({0.0, 1.0, 10.0});
+    h.add(0.5);
+    h.add(1.5);
+    h.add(5.0);
+    h.add(100.0);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.bucketCountAt(0), 1u);
+    EXPECT_EQ(h.bucketCountAt(1), 2u);
+    EXPECT_EQ(h.bucketCountAt(2), 1u);
+}
+
+TEST(HistogramTest, BelowFirstBoundaryFallsInFirstBucket)
+{
+    Histogram h({1.0, 2.0});
+    h.add(0.1);
+    EXPECT_EQ(h.bucketCountAt(0), 1u);
+}
+
+TEST(HistogramTest, Statistics)
+{
+    Histogram h({0.0, 100.0});
+    for (double v : {1.0, 2.0, 3.0, 4.0, 5.0})
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(h.median(), 3.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 5.0);
+}
+
+TEST(HistogramTest, LogSpacedBoundaries)
+{
+    // Boundaries: 0.001, 0.01, 0.1, 1 -> buckets [0.001, 0.01), ...
+    Histogram h = Histogram::logSpaced(0.001, 10.0, 4);
+    h.add(0.0005); // below the first bound: first bucket
+    h.add(0.005);  // [0.001, 0.01)
+    h.add(0.05);   // [0.01, 0.1)
+    h.add(0.5);    // [0.1, 1)
+    h.add(5.0);    // [1, inf)
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.bucketCountAt(0), 2u);
+    EXPECT_EQ(h.bucketCountAt(1), 1u);
+    EXPECT_EQ(h.bucketCountAt(2), 1u);
+    EXPECT_EQ(h.bucketCountAt(3), 1u);
+}
+
+TEST(HistogramTest, RenderListsNonEmptyBuckets)
+{
+    Histogram h({0.0, 1.0});
+    h.add(0.5);
+    std::string text = h.render("s");
+    EXPECT_NE(text.find("[0.000s, 1.000s)"), std::string::npos);
+    EXPECT_NE(text.find("#"), std::string::npos);
+}
+
+TEST(HistogramTest, EmptyStatisticsAreZero)
+{
+    Histogram h({0.0});
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.median(), 0.0);
+}
+
+} // namespace
+} // namespace keq::support

@@ -1,0 +1,60 @@
+/** @file Determinism and range tests for the corpus RNG. */
+
+#include <gtest/gtest.h>
+
+#include "src/support/rng.h"
+
+namespace keq::support {
+namespace {
+
+TEST(RngTest, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 32; ++i) {
+        if (a.next() != b.next())
+            ++differing;
+    }
+    EXPECT_GT(differing, 28);
+}
+
+TEST(RngTest, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(RngTest, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        uint64_t value = rng.range(3, 5);
+        EXPECT_GE(value, 3u);
+        EXPECT_LE(value, 5u);
+        saw_lo |= value == 3;
+        saw_hi |= value == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ChancePercentExtremes)
+{
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chancePercent(0));
+        EXPECT_TRUE(rng.chancePercent(100));
+    }
+}
+
+} // namespace
+} // namespace keq::support

@@ -1,0 +1,54 @@
+/** @file Unit tests for the string utilities. */
+
+#include <gtest/gtest.h>
+
+#include "src/support/strings.h"
+
+namespace keq::support {
+namespace {
+
+TEST(StringsTest, Trim)
+{
+    EXPECT_EQ(trim("  hello  "), "hello");
+    EXPECT_EQ(trim("hello"), "hello");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(StringsTest, Split)
+{
+    EXPECT_EQ(split("a,b,c", ','),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split("a,,c", ','),
+              (std::vector<std::string>{"a", "", "c"}));
+    EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+    EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringsTest, SplitWhitespace)
+{
+    EXPECT_EQ(splitWhitespace("  a  b\tc \n"),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_TRUE(splitWhitespace("   ").empty());
+    EXPECT_EQ(splitWhitespace("one"),
+              (std::vector<std::string>{"one"}));
+}
+
+TEST(StringsTest, Affixes)
+{
+    EXPECT_TRUE(startsWith("%vr3_32", "%vr"));
+    EXPECT_FALSE(startsWith("vr", "%vr"));
+    EXPECT_TRUE(endsWith("file.cc", ".cc"));
+    EXPECT_FALSE(endsWith("cc", "file.cc"));
+}
+
+TEST(StringsTest, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ", "), "");
+    EXPECT_EQ(join({"solo"}, ", "), "solo");
+}
+
+} // namespace
+} // namespace keq::support

@@ -1,0 +1,274 @@
+/** @file VC generator tests: sync point placement and constraints
+ *  (Section 4.5, Figure 3). */
+
+#include <gtest/gtest.h>
+
+#include "src/isel/isel.h"
+#include "src/llvmir/parser.h"
+#include "src/llvmir/verifier.h"
+#include "src/vcgen/vcgen.h"
+
+namespace keq::vcgen {
+namespace {
+
+using sem::SyncConstraint;
+using sem::SyncKind;
+using sem::SyncPoint;
+
+struct Generated
+{
+    llvmir::Module module;
+    vx86::MFunction mfn;
+    isel::FunctionHints hints;
+    VcResult vc;
+};
+
+Generated
+generate(const char *source, VcOptions options = {})
+{
+    Generated g{llvmir::parseModule(source), {}, {}, {}};
+    llvmir::verifyModuleOrThrow(g.module);
+    g.mfn = isel::lowerFunction(g.module, g.module.functions.back(), {},
+                                g.hints);
+    g.vc = generateSyncPoints(g.module.functions.back(), g.mfn, g.hints,
+                              options);
+    return g;
+}
+
+const SyncPoint *
+findKind(const Generated &g, SyncKind kind)
+{
+    for (const SyncPoint &point : g.vc.points.points) {
+        if (point.kind == kind)
+            return &point;
+    }
+    return nullptr;
+}
+
+const char *const kArithmSeqSum = R"(
+define i32 @arithm_seq_sum(i32 %a0, i32 %d, i32 %n) {
+entry:
+  br label %for.cond
+for.cond:
+  %s.0 = phi i32 [ %a0, %entry ], [ %add1, %for.inc ]
+  %a.0 = phi i32 [ %a0, %entry ], [ %add, %for.inc ]
+  %i.0 = phi i32 [ 1, %entry ], [ %inc, %for.inc ]
+  %cmp = icmp ult i32 %i.0, %n
+  br i1 %cmp, label %for.body, label %for.end
+for.body:
+  %add = add i32 %a.0, %d
+  %add1 = add i32 %s.0, %add
+  br label %for.inc
+for.inc:
+  %inc = add i32 %i.0, 1
+  br label %for.cond
+for.end:
+  ret i32 %s.0
+}
+)";
+
+TEST(VcGenTest, RunningExampleProducesFigure3Shape)
+{
+    Generated g = generate(kArithmSeqSum);
+    EXPECT_TRUE(g.vc.adequate);
+    // p0 entry, two loop points (from entry and from for.inc), exit.
+    ASSERT_EQ(g.vc.points.points.size(), 4u);
+    EXPECT_EQ(g.vc.points.points[0].kind, SyncKind::Entry);
+    EXPECT_EQ(g.vc.points.points[1].kind, SyncKind::BlockEntry);
+    EXPECT_EQ(g.vc.points.points[2].kind, SyncKind::BlockEntry);
+    EXPECT_EQ(g.vc.points.points[3].kind, SyncKind::Exit);
+
+    // Entry constraints follow the calling convention (Figure 3 p0).
+    const SyncPoint &entry = g.vc.points.points[0];
+    ASSERT_EQ(entry.constraints.size(), 3u);
+    EXPECT_EQ(entry.constraints[0].regA, "%a0");
+    EXPECT_EQ(entry.constraints[0].regB, "edi");
+    EXPECT_EQ(entry.constraints[1].regB, "esi");
+    EXPECT_EQ(entry.constraints[2].regB, "edx");
+
+    // Loop points qualified by predecessor on both sides.
+    const SyncPoint &p1 = g.vc.points.points[1];
+    EXPECT_EQ(p1.a.block, "for.cond");
+    EXPECT_EQ(p1.a.cameFrom, "entry");
+    EXPECT_EQ(p1.b.block, ".LBB1");
+    EXPECT_EQ(p1.b.cameFrom, ".LBB0");
+    // The constant-1 phi input shows up as a BEqConst constraint (the
+    // paper's "1 = %vr9_32").
+    bool has_const_constraint = false;
+    for (const SyncConstraint &constraint : p1.constraints) {
+        if (constraint.kind == SyncConstraint::Kind::BEqConst &&
+            constraint.value.zext() == 1) {
+            has_const_constraint = true;
+        }
+    }
+    EXPECT_TRUE(has_const_constraint);
+
+    // p2 (around the back edge) constrains the phi inputs from for.inc.
+    const SyncPoint &p2 = g.vc.points.points[2];
+    EXPECT_EQ(p2.a.cameFrom, "for.inc");
+    std::set<std::string> constrained;
+    for (const SyncConstraint &constraint : p2.constraints)
+        constrained.insert(constraint.regA);
+    EXPECT_TRUE(constrained.count("%add"));
+    EXPECT_TRUE(constrained.count("%add1"));
+    EXPECT_TRUE(constrained.count("%inc"));
+    EXPECT_TRUE(constrained.count("%n"));
+    EXPECT_TRUE(constrained.count("%d"));
+
+    // Exit relates the return values.
+    const SyncPoint &exit = g.vc.points.points[3];
+    ASSERT_EQ(exit.constraints.size(), 1u);
+    EXPECT_EQ(exit.constraints[0].regA, sem::kReturnValueName);
+}
+
+TEST(VcGenTest, StraightLineGetsOnlyEntryAndExit)
+{
+    Generated g = generate(R"(
+define i32 @f(i32 %a) {
+entry:
+  %1 = add i32 %a, 1
+  ret i32 %1
+}
+)");
+    ASSERT_EQ(g.vc.points.points.size(), 2u);
+    EXPECT_EQ(g.vc.points.points[0].kind, SyncKind::Entry);
+    EXPECT_EQ(g.vc.points.points[1].kind, SyncKind::Exit);
+}
+
+TEST(VcGenTest, VoidFunctionExitHasNoRetConstraint)
+{
+    Generated g = generate(R"(
+define void @f() {
+entry:
+  ret void
+}
+)");
+    const SyncPoint *exit = findKind(g, SyncKind::Exit);
+    ASSERT_NE(exit, nullptr);
+    EXPECT_TRUE(exit->constraints.empty());
+}
+
+TEST(VcGenTest, CallSitesGetBeforeAndAfterPoints)
+{
+    Generated g = generate(R"(
+declare i32 @ext(i32)
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %r = call i32 @ext(i32 %a)
+  %s = add i32 %r, %b
+  ret i32 %s
+}
+)");
+    const SyncPoint *before = findKind(g, SyncKind::BeforeCall);
+    const SyncPoint *after = findKind(g, SyncKind::AfterCall);
+    ASSERT_NE(before, nullptr);
+    ASSERT_NE(after, nullptr);
+    EXPECT_EQ(before->a.callSiteId, "cs0");
+    EXPECT_EQ(after->b.callSiteId, "cs0");
+
+    // The after point binds the call result to rax's 32-bit view and
+    // constrains the surviving value %b.
+    bool binds_result = false, constrains_b = false;
+    for (const SyncConstraint &constraint : after->constraints) {
+        if (constraint.regA == "%r" && constraint.regB == "eax")
+            binds_result = true;
+        if (constraint.regA == "%b")
+            constrains_b = true;
+    }
+    EXPECT_TRUE(binds_result);
+    EXPECT_TRUE(constrains_b);
+
+    // The before point checks the survivor too (soundness across the
+    // call), but not the not-yet-existing result.
+    bool before_mentions_result = false;
+    for (const SyncConstraint &constraint : before->constraints) {
+        if (constraint.regA == "%r")
+            before_mentions_result = true;
+    }
+    EXPECT_FALSE(before_mentions_result);
+}
+
+TEST(VcGenTest, CrudeLivenessDropsPassThroughConstraints)
+{
+    // %keep passes through the loop untouched; full liveness constrains
+    // it at the loop head, block-local liveness misses it.
+    const char *source = R"(
+define i32 @f(i32 %keep, i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %inc, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %done
+body:
+  %inc = add i32 %i, 1
+  br label %head
+done:
+  %r = add i32 %keep, %i
+  ret i32 %r
+}
+)";
+    Generated full = generate(source);
+    VcOptions crude_options;
+    crude_options.precision = LivenessPrecision::BlockLocal;
+    Generated crude = generate(source, crude_options);
+
+    auto loop_constrains_keep = [](const Generated &g) {
+        for (const SyncPoint &point : g.vc.points.points) {
+            if (point.kind != SyncKind::BlockEntry)
+                continue;
+            for (const SyncConstraint &constraint : point.constraints) {
+                if (constraint.regA == "%keep")
+                    return true;
+            }
+        }
+        return false;
+    };
+    EXPECT_TRUE(loop_constrains_keep(full));
+    EXPECT_FALSE(loop_constrains_keep(crude));
+}
+
+TEST(VcGenTest, RenderedSpecMentionsEveryPoint)
+{
+    Generated g = generate(kArithmSeqSum);
+    std::string text = g.vc.points.render();
+    for (const SyncPoint &point : g.vc.points.points)
+        EXPECT_NE(text.find(point.id), std::string::npos);
+    EXPECT_GT(g.vc.points.specTextSize(), 100u);
+}
+
+TEST(VcGenTest, NestedLoopsGetPointsPerHeaderPredecessor)
+{
+    Generated g = generate(R"(
+define i32 @f(i32 %n) {
+entry:
+  br label %outer
+outer:
+  %i = phi i32 [ 0, %entry ], [ %inext, %outer.latch ]
+  %ci = icmp ult i32 %i, %n
+  br i1 %ci, label %inner, label %done
+inner:
+  %j = phi i32 [ 0, %outer ], [ %jnext, %inner ]
+  %jnext = add i32 %j, 1
+  %cj = icmp ult i32 %jnext, %n
+  br i1 %cj, label %inner, label %outer.latch
+outer.latch:
+  %inext = add i32 %i, 1
+  br label %outer
+done:
+  ret i32 %i
+}
+)");
+    size_t block_points = 0;
+    for (const SyncPoint &point : g.vc.points.points) {
+        if (point.kind == SyncKind::BlockEntry)
+            ++block_points;
+    }
+    // outer has preds {entry, outer.latch}; inner has preds
+    // {outer, inner}: four loop points.
+    EXPECT_EQ(block_points, 4u);
+    EXPECT_TRUE(g.vc.adequate);
+}
+
+} // namespace
+} // namespace keq::vcgen

@@ -1,0 +1,322 @@
+/** @file Concrete Virtual x86 interpreter tests, including the x86-64
+ *  sub-register write semantics and flag behaviour. */
+
+#include <gtest/gtest.h>
+
+#include "src/vx86/interpreter.h"
+#include "src/vx86/parser.h"
+
+namespace keq::vx86 {
+namespace {
+
+using support::ApInt;
+
+MExecResult
+runText(const char *source, const std::string &fn,
+        std::vector<ApInt> args, mem::MemoryLayout &layout,
+        std::function<void(mem::ConcreteMemory &)> setup = {})
+{
+    MModule module = parseMModule(source);
+    mem::ConcreteMemory memory(layout);
+    if (setup)
+        setup(memory);
+    Interpreter interp(module, memory);
+    return interp.run(*module.findFunction(fn), args);
+}
+
+TEST(Vx86InterpreterTest, CopyAndArithmetic)
+{
+    const char *source = R"(function @f ret i32 {
+.LBB0:
+  %vr0_32 = COPY edi
+  %vr1_32 = COPY esi
+  %vr2_32 = ADD32rr %vr0_32, %vr1_32
+  %vr3_32 = SUB32ri %vr2_32, $5
+  eax = COPY %vr3_32
+  RET
+}
+)";
+    mem::MemoryLayout layout;
+    MExecResult result = runText(source, "@f",
+                                 {ApInt(32, 40), ApInt(32, 7)}, layout);
+    ASSERT_EQ(result.outcome, MExecOutcome::Returned);
+    EXPECT_EQ(result.value.zext(), 42u);
+}
+
+TEST(Vx86InterpreterTest, ThirtyTwoBitWritesZeroUpperHalf)
+{
+    const char *source = R"(function @f ret i64 {
+.LBB0:
+  rax = MOV64ri $-1
+  eax = MOV32ri $5
+  RET
+}
+)";
+    mem::MemoryLayout layout;
+    MExecResult result = runText(source, "@f", {}, layout);
+    ASSERT_EQ(result.outcome, MExecOutcome::Returned);
+    // x86-64: writing eax zeroes the upper 32 bits of rax.
+    EXPECT_EQ(result.value.zext(), 5u);
+}
+
+TEST(Vx86InterpreterTest, EightBitWritesPreserveUpperBits)
+{
+    const char *source = R"(function @f ret i64 {
+.LBB0:
+  rax = MOV64ri $511
+  al = MOV8ri $0
+  RET
+}
+)";
+    mem::MemoryLayout layout;
+    MExecResult result = runText(source, "@f", {}, layout);
+    ASSERT_EQ(result.outcome, MExecOutcome::Returned);
+    // 0x1ff with the low byte cleared is 0x100.
+    EXPECT_EQ(result.value.zext(), 0x100u);
+}
+
+TEST(Vx86InterpreterTest, CompareAndBranch)
+{
+    const char *source = R"(function @min ret i32 {
+.LBB0:
+  %vr0_32 = COPY edi
+  %vr1_32 = COPY esi
+  CMP32rr %vr0_32, %vr1_32
+  Jb .LBB1
+  JMP .LBB2
+.LBB1:
+  eax = COPY %vr0_32
+  RET
+.LBB2:
+  eax = COPY %vr1_32
+  RET
+}
+)";
+    mem::MemoryLayout layout;
+    MExecResult lo = runText(source, "@min",
+                             {ApInt(32, 3), ApInt(32, 9)}, layout);
+    EXPECT_EQ(lo.value.zext(), 3u);
+    MExecResult hi = runText(source, "@min",
+                             {ApInt(32, 9), ApInt(32, 3)}, layout);
+    EXPECT_EQ(hi.value.zext(), 3u);
+}
+
+TEST(Vx86InterpreterTest, SignedConditionsUseOverflowFlag)
+{
+    const char *source = R"(function @sgn ret i32 {
+.LBB0:
+  %vr0_32 = COPY edi
+  CMP32ri %vr0_32, $0
+  Jl .LBB1
+  JMP .LBB2
+.LBB1:
+  eax = MOV32ri $1
+  RET
+.LBB2:
+  eax = MOV32ri $0
+  RET
+}
+)";
+    mem::MemoryLayout layout;
+    EXPECT_EQ(runText(source, "@sgn",
+                      {ApInt(32, static_cast<uint64_t>(-5))}, layout)
+                  .value.zext(),
+              1u);
+    EXPECT_EQ(runText(source, "@sgn", {ApInt(32, 5)}, layout)
+                  .value.zext(),
+              0u);
+    // INT_MIN - 0 keeps sf=1, of=0, so Jl still fires; check
+    // INT_MIN vs positive where the subtraction overflows.
+    EXPECT_EQ(runText(source, "@sgn", {ApInt::signedMin(32)}, layout)
+                  .value.zext(),
+              1u);
+}
+
+TEST(Vx86InterpreterTest, PhiFollowsCameFrom)
+{
+    const char *source = R"(function @loop ret i32 {
+.LBB0:
+  %vr0_32 = COPY edi
+  %vr1_32 = MOV32ri $0
+  JMP .LBB1
+.LBB1:
+  %vr2_32 = PHI %vr1_32, .LBB0, %vr3_32, .LBB2
+  %vr4_32 = PHI %vr0_32, .LBB0, %vr5_32, .LBB2
+  CMP32ri %vr4_32, $0
+  Jne .LBB2
+  JMP .LBB3
+.LBB2:
+  %vr3_32 = ADD32rr %vr2_32, %vr4_32
+  %vr5_32 = SUB32ri %vr4_32, $1
+  JMP .LBB1
+.LBB3:
+  eax = COPY %vr2_32
+  RET
+}
+)";
+    mem::MemoryLayout layout;
+    // Sums n + (n-1) + ... + 1.
+    MExecResult result = runText(source, "@loop", {ApInt(32, 5)},
+                                 layout);
+    ASSERT_EQ(result.outcome, MExecOutcome::Returned);
+    EXPECT_EQ(result.value.zext(), 15u);
+}
+
+TEST(Vx86InterpreterTest, MemoryThroughFrameAndGlobal)
+{
+    const char *source = R"(function @mem ret i32 {
+  frame @mem/%slot 4
+.LBB0:
+  %vr0_32 = COPY edi
+  MOV32mr [fi0], %vr0_32
+  %vr1_32 = MOV32rm [fi0]
+  %vr2_32 = MOV32rm [@g + 4]
+  %vr3_32 = ADD32rr %vr1_32, %vr2_32
+  eax = COPY %vr3_32
+  RET
+}
+)";
+    mem::MemoryLayout layout;
+    layout.addGlobal("@g", 8);
+    layout.addStackSlot("@mem", "%slot", 4);
+    uint64_t gbase = layout.find("@g")->base;
+    MExecResult result = runText(
+        source, "@mem", {ApInt(32, 30)}, layout,
+        [&](mem::ConcreteMemory &memory) {
+            memory.write(gbase + 4, ApInt(32, 12));
+        });
+    ASSERT_EQ(result.outcome, MExecOutcome::Returned);
+    EXPECT_EQ(result.value.zext(), 42u);
+}
+
+TEST(Vx86InterpreterTest, OutOfBoundsTraps)
+{
+    const char *source = R"(function @bad ret i32 {
+.LBB0:
+  %vr0_32 = MOV32rm [@g + 6]
+  eax = COPY %vr0_32
+  RET
+}
+)";
+    mem::MemoryLayout layout;
+    layout.addGlobal("@g", 8);
+    MExecResult result = runText(source, "@bad", {}, layout);
+    EXPECT_EQ(result.outcome, MExecOutcome::Trapped);
+    EXPECT_EQ(result.error, sem::ErrorKind::OutOfBounds);
+}
+
+TEST(Vx86InterpreterTest, DivisionViaRdxRax)
+{
+    const char *source = R"(function @div ret i32 {
+.LBB0:
+  %vr0_32 = COPY edi
+  %vr1_32 = COPY esi
+  eax = COPY %vr0_32
+  CDQ
+  IDIV32 %vr1_32
+  %vr2_32 = COPY eax
+  eax = COPY %vr2_32
+  RET
+}
+)";
+    mem::MemoryLayout layout;
+    MExecResult result = runText(
+        source, "@div",
+        {ApInt(32, static_cast<uint64_t>(-40)), ApInt(32, 8)}, layout);
+    ASSERT_EQ(result.outcome, MExecOutcome::Returned);
+    EXPECT_EQ(result.value.sext(), -5);
+    // Divide fault on zero.
+    MExecResult fault = runText(source, "@div",
+                                {ApInt(32, 1), ApInt(32, 0)}, layout);
+    EXPECT_EQ(fault.outcome, MExecOutcome::Trapped);
+    EXPECT_EQ(fault.error, sem::ErrorKind::DivByZero);
+    // Divide fault on quotient overflow (INT_MIN / -1).
+    MExecResult ovf =
+        runText(source, "@div",
+                {ApInt::signedMin(32), ApInt::allOnes(32)}, layout);
+    EXPECT_EQ(ovf.outcome, MExecOutcome::Trapped);
+}
+
+TEST(Vx86InterpreterTest, UnsignedDivisionZeroExtends)
+{
+    const char *source = R"(function @udiv ret i32 {
+.LBB0:
+  %vr0_32 = COPY edi
+  %vr1_32 = COPY esi
+  eax = COPY %vr0_32
+  edx = MOV32ri $0
+  DIV32 %vr1_32
+  %vr2_32 = COPY edx
+  eax = COPY %vr2_32
+  RET
+}
+)";
+    mem::MemoryLayout layout;
+    // 0xfffffff0 % 7 treating operands as unsigned.
+    MExecResult result = runText(
+        source, "@udiv",
+        {ApInt(32, 0xfffffff0u), ApInt(32, 7)}, layout);
+    ASSERT_EQ(result.outcome, MExecOutcome::Returned);
+    EXPECT_EQ(result.value.zext(), 0xfffffff0u % 7u);
+}
+
+TEST(Vx86InterpreterTest, SetccMaterializesCondition)
+{
+    const char *source = R"(function @isz ret i32 {
+.LBB0:
+  %vr0_32 = COPY edi
+  TEST32rr %vr0_32, %vr0_32
+  %vr1_8 = SETe
+  %vr2_32 = MOVZX32rr8 %vr1_8
+  eax = COPY %vr2_32
+  RET
+}
+)";
+    mem::MemoryLayout layout;
+    EXPECT_EQ(runText(source, "@isz", {ApInt(32, 0)}, layout)
+                  .value.zext(),
+              1u);
+    EXPECT_EQ(runText(source, "@isz", {ApInt(32, 9)}, layout)
+                  .value.zext(),
+              0u);
+}
+
+TEST(Vx86InterpreterTest, Ud2Traps)
+{
+    const char *source = "function @t ret i32 {\n.LBB0:\n  UD2\n}\n";
+    mem::MemoryLayout layout;
+    MExecResult result = runText(source, "@t", {}, layout);
+    EXPECT_EQ(result.outcome, MExecOutcome::Trapped);
+    EXPECT_EQ(result.error, sem::ErrorKind::Unreachable);
+}
+
+TEST(Vx86InterpreterTest, ExternalCallTrace)
+{
+    const char *source = R"(function @c ret i32 {
+.LBB0:
+  %vr0_32 = COPY edi
+  edi = COPY %vr0_32
+  eax = CALL @ext(edi) site=cs0
+  %vr1_32 = COPY eax
+  eax = COPY %vr1_32
+  RET
+}
+)";
+    mem::MemoryLayout layout;
+    MModule module = parseMModule(source);
+    mem::ConcreteMemory memory(layout);
+    Interpreter interp(module, memory);
+    interp.setExternalHandler(
+        [](const std::string &, const std::vector<ApInt> &args) {
+            return ApInt(64, args[0].zext() + 1);
+        });
+    MExecResult result =
+        interp.run(*module.findFunction("@c"), {ApInt(32, 41)});
+    ASSERT_EQ(result.outcome, MExecOutcome::Returned);
+    EXPECT_EQ(result.value.zext(), 42u);
+    ASSERT_EQ(result.callTrace.size(), 1u);
+    EXPECT_EQ(result.callTrace[0], "@ext(41)=42");
+}
+
+} // namespace
+} // namespace keq::vx86

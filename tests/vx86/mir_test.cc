@@ -1,0 +1,197 @@
+/** @file Virtual x86 representation tests: register decoding, printing,
+ *  and parser round-trips. */
+
+#include <gtest/gtest.h>
+
+#include "src/support/diagnostics.h"
+#include "src/vx86/mir.h"
+#include "src/vx86/parser.h"
+
+namespace keq::vx86 {
+namespace {
+
+TEST(PhysRegTest, DecodeSpellings)
+{
+    std::string canonical;
+    unsigned width = 0;
+    ASSERT_TRUE(decodePhysReg("eax", canonical, width));
+    EXPECT_EQ(canonical, "rax");
+    EXPECT_EQ(width, 32u);
+    ASSERT_TRUE(decodePhysReg("dil", canonical, width));
+    EXPECT_EQ(canonical, "rdi");
+    EXPECT_EQ(width, 8u);
+    ASSERT_TRUE(decodePhysReg("r8d", canonical, width));
+    EXPECT_EQ(canonical, "r8");
+    EXPECT_EQ(width, 32u);
+    ASSERT_TRUE(decodePhysReg("r15", canonical, width));
+    EXPECT_EQ(width, 64u);
+    ASSERT_TRUE(decodePhysReg("r10b", canonical, width));
+    EXPECT_EQ(width, 8u);
+    EXPECT_FALSE(decodePhysReg("r16", canonical, width));
+    EXPECT_FALSE(decodePhysReg("xmm0", canonical, width));
+}
+
+TEST(PhysRegTest, SpellingsRoundTrip)
+{
+    EXPECT_EQ(physRegSpelling("rax", 32), "eax");
+    EXPECT_EQ(physRegSpelling("rax", 8), "al");
+    EXPECT_EQ(physRegSpelling("r9", 16), "r9w");
+    EXPECT_EQ(physRegSpelling("rdi", 64), "rdi");
+    for (const std::string &reg : kPhysRegs) {
+        for (unsigned width : {64u, 32u}) {
+            std::string canonical;
+            unsigned decoded = 0;
+            ASSERT_TRUE(decodePhysReg(physRegSpelling(reg, width),
+                                      canonical, decoded));
+            EXPECT_EQ(canonical, reg);
+            EXPECT_EQ(decoded, width);
+        }
+    }
+}
+
+TEST(CondCodeTest, NamesRoundTrip)
+{
+    for (CondCode cc :
+         {CondCode::E, CondCode::NE, CondCode::B, CondCode::BE,
+          CondCode::A, CondCode::AE, CondCode::L, CondCode::LE,
+          CondCode::G, CondCode::GE, CondCode::S, CondCode::NS,
+          CondCode::O, CondCode::NO}) {
+        EXPECT_EQ(parseCondCode(condCodeName(cc)), cc);
+    }
+}
+
+TEST(MirPrintTest, InstructionForms)
+{
+    MInst copy;
+    copy.op = MOpcode::COPY;
+    copy.width = 32;
+    copy.ops = {MOperand::virtReg(3, 32), MOperand::physReg("rdi", 32)};
+    EXPECT_EQ(copy.toString(), "%vr3_32 = COPY edi");
+
+    MInst add;
+    add.op = MOpcode::ADDri;
+    add.width = 32;
+    add.ops = {MOperand::virtReg(0, 32), MOperand::virtReg(1, 32),
+               MOperand::immediate(support::ApInt(32, 5))};
+    EXPECT_EQ(add.toString(), "%vr0_32 = ADD32ri %vr1_32, $5");
+
+    MInst load;
+    load.op = MOpcode::MOVrm;
+    load.width = 32;
+    load.ops = {MOperand::virtReg(2, 32)};
+    load.addr.baseKind = MAddress::BaseKind::Global;
+    load.addr.global = "@g";
+    load.addr.disp = 8;
+    EXPECT_EQ(load.toString(), "%vr2_32 = MOV32rm [@g + 8]");
+
+    MInst jcc;
+    jcc.op = MOpcode::JCC;
+    jcc.cc = CondCode::AE;
+    jcc.target = ".LBB4";
+    EXPECT_EQ(jcc.toString(), "Jae .LBB4");
+}
+
+/** Builds a small function, prints it, parses the text, re-prints, and
+ *  expects identical output (round-trip property). */
+TEST(MirRoundTripTest, PrintParsePrint)
+{
+    const char *source = R"(function @demo ret i32 {
+  frame @demo/%p 4
+.LBB0:
+  %vr0_32 = COPY edi
+  %vr1_64 = LEA64 [fi0]
+  MOV32mr [%vr1_64], %vr0_32
+  %vr2_32 = MOV32rm [%vr1_64 + 4]
+  %vr3_32 = ADD32rr %vr2_32, %vr0_32
+  %vr4_32 = MOV32ri $-7
+  CMP32rr %vr3_32, %vr4_32
+  Jb .LBB1
+  JMP .LBB2
+.LBB1:
+  %vr5_8 = SETe
+  %vr6_32 = MOVZX32rr8 %vr5_8
+  eax = COPY %vr6_32
+  RET
+.LBB2:
+  %vr7_32 = PHI %vr3_32, .LBB0
+  TEST32rr %vr7_32, %vr7_32
+  Jne .LBB1
+  JMP .LBB1
+}
+)";
+    MModule parsed = parseMModule(source);
+    ASSERT_EQ(parsed.functions.size(), 1u);
+    std::string printed = parsed.functions[0].toString();
+    MModule reparsed = parseMModule(printed);
+    EXPECT_EQ(printed, reparsed.functions[0].toString());
+    // Structure checks.
+    const MFunction &fn = parsed.functions[0];
+    EXPECT_EQ(fn.retWidth, 32u);
+    ASSERT_EQ(fn.frame.size(), 1u);
+    EXPECT_EQ(fn.frame[0].slotName, "@demo/%p");
+    EXPECT_EQ(fn.blocks.size(), 3u);
+    EXPECT_EQ(fn.blocks[0].successors(),
+              (std::vector<std::string>{".LBB1", ".LBB2"}));
+}
+
+TEST(MirRoundTripTest, CallsAndDivision)
+{
+    const char *source = R"(function @c ret i32 {
+.LBB0:
+  %vr0_32 = COPY edi
+  eax = COPY %vr0_32
+  CDQ
+  IDIV32 %vr0_32
+  %vr1_32 = COPY eax
+  edi = COPY %vr1_32
+  eax = CALL @ext(edi) site=cs0
+  %vr2_32 = COPY eax
+  eax = COPY %vr2_32
+  RET
+}
+)";
+    MModule parsed = parseMModule(source);
+    const MFunction &fn = parsed.functions[0];
+    std::string printed = fn.toString();
+    EXPECT_EQ(printed, parseMModule(printed).functions[0].toString());
+    // CALL metadata survived.
+    const MInst *call = nullptr;
+    for (const MInst &inst : fn.blocks[0].insts) {
+        if (inst.op == MOpcode::CALL)
+            call = &inst;
+    }
+    ASSERT_NE(call, nullptr);
+    EXPECT_EQ(call->target, "@ext");
+    EXPECT_EQ(call->callSiteId, "cs0");
+    EXPECT_EQ(call->retWidth, 32u);
+    ASSERT_EQ(call->callArgs.size(), 1u);
+    EXPECT_EQ(call->callArgs[0].reg, "rdi");
+}
+
+TEST(MirTest, BlockSuccessors)
+{
+    MBasicBlock block;
+    MInst jcc;
+    jcc.op = MOpcode::JCC;
+    jcc.target = ".LBB1";
+    MInst jmp;
+    jmp.op = MOpcode::JMP;
+    jmp.target = ".LBB2";
+    block.insts = {jcc, jmp};
+    EXPECT_EQ(block.successors(),
+              (std::vector<std::string>{".LBB1", ".LBB2"}));
+}
+
+TEST(MirParseTest, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseMModule("JMP nowhere\n"), support::Error);
+    EXPECT_THROW(parseMModule("function @f ret i32 {\n  FROB32rr a, b\n}"),
+                 support::Error);
+    EXPECT_THROW(
+        parseMModule("function @f ret i32 {\n.LBB0:\n"
+                     "  %vr0_32 = MOV32rm [oops\n}"),
+        support::Error);
+}
+
+} // namespace
+} // namespace keq::vx86

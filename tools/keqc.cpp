@@ -1,0 +1,200 @@
+/**
+ * @file
+ * keqc — command-line Translation Validation driver.
+ *
+ * The analogue of the paper artifact's run-tests.py: reads an LLVM IR
+ * module, runs Instruction Selection, generates the verification
+ * conditions, and validates every function with KEQ.
+ *
+ * Usage:
+ *   keqc [options] file.ll
+ *     --print-mir         print the Virtual x86 produced by ISel
+ *     --proof             print the proof log (discharged obligations)
+ *     --print-sync        print the synchronization point tables
+ *     --merge-stores      enable the store-merging peephole
+ *     --fold-ext-load     enable zext(load) folding
+ *     --bug=waw|loadwiden reintroduce a Section 5.2 bug
+ *     --refinement        check cut-simulation only
+ *     --no-positive-form  disable the Section 3 SMT optimization
+ *     --crude-liveness    use block-local liveness in the VC generator
+ *     --wall-budget=SEC   per-function wall budget (0 = none)
+ *     --spec-budget=N     sync-spec size budget in chars (0 = none)
+ *     --function=NAME     validate only @NAME
+ *
+ * Exit code: number of functions that failed validation (0 = all good).
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/driver/pipeline.h"
+#include "src/isel/isel.h"
+#include "src/llvmir/parser.h"
+#include "src/llvmir/verifier.h"
+#include "src/vcgen/vcgen.h"
+
+namespace {
+
+struct CliOptions
+{
+    std::string path;
+    std::string only_function;
+    bool print_mir = false;
+    bool print_sync = false;
+    keq::driver::PipelineOptions pipeline;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0 << " [options] file.ll\n"
+              << "  --print-mir --print-sync --merge-stores "
+                 "--fold-ext-load\n"
+              << "  --bug=waw|loadwiden --refinement "
+                 "--no-positive-form --crude-liveness\n"
+              << "  --wall-budget=SEC --spec-budget=N "
+                 "--function=NAME\n";
+    std::exit(2);
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions options;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value_of = [&](const std::string &prefix) {
+            return arg.substr(prefix.size());
+        };
+        if (arg == "--proof") {
+            options.pipeline.checker.collectProof = true;
+        } else if (arg == "--print-mir") {
+            options.print_mir = true;
+        } else if (arg == "--print-sync") {
+            options.print_sync = true;
+        } else if (arg == "--merge-stores") {
+            options.pipeline.isel.mergeStores = true;
+        } else if (arg == "--fold-ext-load") {
+            options.pipeline.isel.foldExtLoad = true;
+        } else if (arg.rfind("--bug=", 0) == 0) {
+            std::string bug = value_of("--bug=");
+            if (bug == "waw") {
+                options.pipeline.isel.bug =
+                    keq::isel::Bug::StoreMergeWAW;
+                options.pipeline.isel.mergeStores = true;
+            } else if (bug == "loadwiden") {
+                options.pipeline.isel.bug =
+                    keq::isel::Bug::LoadWidening;
+                options.pipeline.isel.foldExtLoad = true;
+            } else {
+                usage(argv[0]);
+            }
+        } else if (arg == "--refinement") {
+            options.pipeline.checker.refinementOnly = true;
+        } else if (arg == "--no-positive-form") {
+            options.pipeline.checker.positiveFormOpt = false;
+        } else if (arg == "--crude-liveness") {
+            options.pipeline.vc.precision =
+                keq::vcgen::LivenessPrecision::BlockLocal;
+        } else if (arg.rfind("--wall-budget=", 0) == 0) {
+            options.pipeline.checker.wallBudgetSeconds =
+                std::stod(value_of("--wall-budget="));
+        } else if (arg.rfind("--spec-budget=", 0) == 0) {
+            options.pipeline.specSizeBudget = static_cast<size_t>(
+                std::stoull(value_of("--spec-budget=")));
+        } else if (arg.rfind("--function=", 0) == 0) {
+            options.only_function = "@" + value_of("--function=");
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage(argv[0]);
+        } else if (options.path.empty()) {
+            options.path = arg;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (options.path.empty())
+        usage(argv[0]);
+    return options;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace keq;
+    CliOptions options = parseArgs(argc, argv);
+
+    std::ifstream file(options.path);
+    if (!file) {
+        std::cerr << "keqc: cannot open " << options.path << "\n";
+        return 2;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+
+    llvmir::Module module;
+    try {
+        module = llvmir::parseModule(buffer.str());
+        llvmir::verifyModuleOrThrow(module);
+    } catch (const support::Error &error) {
+        std::cerr << "keqc: " << error.what() << "\n";
+        return 2;
+    }
+
+    int failures = 0;
+    size_t validated = 0, total = 0;
+    for (const llvmir::Function &fn : module.functions) {
+        if (fn.isDeclaration())
+            continue;
+        if (!options.only_function.empty() &&
+            fn.name != options.only_function) {
+            continue;
+        }
+        ++total;
+        if (options.print_mir || options.print_sync) {
+            try {
+                isel::FunctionHints hints;
+                vx86::MFunction mfn = isel::lowerFunction(
+                    module, fn, options.pipeline.isel, hints);
+                if (options.print_mir)
+                    std::cout << mfn.toString() << "\n";
+                if (options.print_sync) {
+                    vcgen::VcResult vc = vcgen::generateSyncPoints(
+                        fn, mfn, hints, options.pipeline.vc);
+                    std::cout << vc.points.render() << "\n";
+                    for (const std::string &warning : vc.warnings)
+                        std::cout << "  warning: " << warning << "\n";
+                }
+            } catch (const support::Error &error) {
+                std::cout << fn.name << ": unsupported ("
+                          << error.what() << ")\n";
+                continue;
+            }
+        }
+        driver::FunctionReport report =
+            driver::validateFunction(module, fn, options.pipeline);
+        std::cout << fn.name << ": "
+                  << driver::outcomeName(report.outcome);
+        if (report.outcome == driver::Outcome::Succeeded) {
+            std::cout << " ("
+                      << checker::verdictKindName(report.verdict.kind)
+                      << ", " << report.verdict.stats.solverQueries
+                      << " queries, " << report.seconds << " s)";
+            ++validated;
+        } else if (!report.detail.empty()) {
+            std::cout << "\n  " << report.detail;
+        }
+        std::cout << "\n";
+        if (options.pipeline.checker.collectProof)
+            std::cout << report.verdict.renderProof();
+        if (report.outcome != driver::Outcome::Succeeded &&
+            report.outcome != driver::Outcome::Unsupported) {
+            ++failures;
+        }
+    }
+    std::cout << validated << "/" << total << " functions validated\n";
+    return failures;
+}
