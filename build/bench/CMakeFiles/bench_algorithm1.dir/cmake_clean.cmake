@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_algorithm1.dir/bench_algorithm1.cpp.o"
+  "CMakeFiles/bench_algorithm1.dir/bench_algorithm1.cpp.o.d"
+  "bench_algorithm1"
+  "bench_algorithm1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_algorithm1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_regalloc.dir/bench_regalloc.cpp.o"
+  "CMakeFiles/bench_regalloc.dir/bench_regalloc.cpp.o.d"
+  "bench_regalloc"
+  "bench_regalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

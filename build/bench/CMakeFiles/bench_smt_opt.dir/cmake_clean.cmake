@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smt_opt.dir/bench_smt_opt.cpp.o"
+  "CMakeFiles/bench_smt_opt.dir/bench_smt_opt.cpp.o.d"
+  "bench_smt_opt"
+  "bench_smt_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smt_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bug_demo.dir/bug_demo.cpp.o"
+  "CMakeFiles/bug_demo.dir/bug_demo.cpp.o.d"
+  "bug_demo"
+  "bug_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bug_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_language.cpp" "examples/CMakeFiles/custom_language.dir/custom_language.cpp.o" "gcc" "examples/CMakeFiles/custom_language.dir/custom_language.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/keq/CMakeFiles/keq_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/keq_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/keq_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/keq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_language.dir/custom_language.cpp.o"
+  "CMakeFiles/custom_language.dir/custom_language.cpp.o.d"
+  "custom_language"
+  "custom_language.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_language.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refinement_ub.dir/refinement_ub.cpp.o"
+  "CMakeFiles/refinement_ub.dir/refinement_ub.cpp.o.d"
+  "refinement_ub"
+  "refinement_ub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refinement_ub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for refinement_ub.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regalloc_validation.dir/regalloc_validation.cpp.o"
+  "CMakeFiles/regalloc_validation.dir/regalloc_validation.cpp.o.d"
+  "regalloc_validation"
+  "regalloc_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regalloc_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("smt")
+subdirs("core")
+subdirs("sem")
+subdirs("memory")
+subdirs("analysis")
+subdirs("llvmir")
+subdirs("vx86")
+subdirs("isel")
+subdirs("regalloc")
+subdirs("vcgen")
+subdirs("keq")
+subdirs("driver")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keq_analysis.dir/cfg.cc.o"
+  "CMakeFiles/keq_analysis.dir/cfg.cc.o.d"
+  "libkeq_analysis.a"
+  "libkeq_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keq_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

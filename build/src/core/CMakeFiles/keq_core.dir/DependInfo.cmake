@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algorithm1.cc" "src/core/CMakeFiles/keq_core.dir/algorithm1.cc.o" "gcc" "src/core/CMakeFiles/keq_core.dir/algorithm1.cc.o.d"
+  "/root/repo/src/core/reference.cc" "src/core/CMakeFiles/keq_core.dir/reference.cc.o" "gcc" "src/core/CMakeFiles/keq_core.dir/reference.cc.o.d"
+  "/root/repo/src/core/transition_system.cc" "src/core/CMakeFiles/keq_core.dir/transition_system.cc.o" "gcc" "src/core/CMakeFiles/keq_core.dir/transition_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/keq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

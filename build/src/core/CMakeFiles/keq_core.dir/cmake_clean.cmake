@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keq_core.dir/algorithm1.cc.o"
+  "CMakeFiles/keq_core.dir/algorithm1.cc.o.d"
+  "CMakeFiles/keq_core.dir/reference.cc.o"
+  "CMakeFiles/keq_core.dir/reference.cc.o.d"
+  "CMakeFiles/keq_core.dir/transition_system.cc.o"
+  "CMakeFiles/keq_core.dir/transition_system.cc.o.d"
+  "libkeq_core.a"
+  "libkeq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

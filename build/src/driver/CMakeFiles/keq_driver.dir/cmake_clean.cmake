@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keq_driver.dir/corpus.cc.o"
+  "CMakeFiles/keq_driver.dir/corpus.cc.o.d"
+  "CMakeFiles/keq_driver.dir/pipeline.cc.o"
+  "CMakeFiles/keq_driver.dir/pipeline.cc.o.d"
+  "libkeq_driver.a"
+  "libkeq_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keq_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

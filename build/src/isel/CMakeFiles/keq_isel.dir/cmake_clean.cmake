@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keq_isel.dir/isel.cc.o"
+  "CMakeFiles/keq_isel.dir/isel.cc.o.d"
+  "libkeq_isel.a"
+  "libkeq_isel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keq_isel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

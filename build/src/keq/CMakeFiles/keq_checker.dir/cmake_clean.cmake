@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keq_checker.dir/checker.cc.o"
+  "CMakeFiles/keq_checker.dir/checker.cc.o.d"
+  "libkeq_checker.a"
+  "libkeq_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keq_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

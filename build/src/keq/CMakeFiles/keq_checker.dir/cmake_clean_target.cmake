@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkeq_checker.a"
+)

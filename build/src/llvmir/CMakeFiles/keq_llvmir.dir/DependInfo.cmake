@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llvmir/cfg_adapter.cc" "src/llvmir/CMakeFiles/keq_llvmir.dir/cfg_adapter.cc.o" "gcc" "src/llvmir/CMakeFiles/keq_llvmir.dir/cfg_adapter.cc.o.d"
+  "/root/repo/src/llvmir/interpreter.cc" "src/llvmir/CMakeFiles/keq_llvmir.dir/interpreter.cc.o" "gcc" "src/llvmir/CMakeFiles/keq_llvmir.dir/interpreter.cc.o.d"
+  "/root/repo/src/llvmir/ir.cc" "src/llvmir/CMakeFiles/keq_llvmir.dir/ir.cc.o" "gcc" "src/llvmir/CMakeFiles/keq_llvmir.dir/ir.cc.o.d"
+  "/root/repo/src/llvmir/layout_builder.cc" "src/llvmir/CMakeFiles/keq_llvmir.dir/layout_builder.cc.o" "gcc" "src/llvmir/CMakeFiles/keq_llvmir.dir/layout_builder.cc.o.d"
+  "/root/repo/src/llvmir/parser.cc" "src/llvmir/CMakeFiles/keq_llvmir.dir/parser.cc.o" "gcc" "src/llvmir/CMakeFiles/keq_llvmir.dir/parser.cc.o.d"
+  "/root/repo/src/llvmir/symbolic_semantics.cc" "src/llvmir/CMakeFiles/keq_llvmir.dir/symbolic_semantics.cc.o" "gcc" "src/llvmir/CMakeFiles/keq_llvmir.dir/symbolic_semantics.cc.o.d"
+  "/root/repo/src/llvmir/types.cc" "src/llvmir/CMakeFiles/keq_llvmir.dir/types.cc.o" "gcc" "src/llvmir/CMakeFiles/keq_llvmir.dir/types.cc.o.d"
+  "/root/repo/src/llvmir/verifier.cc" "src/llvmir/CMakeFiles/keq_llvmir.dir/verifier.cc.o" "gcc" "src/llvmir/CMakeFiles/keq_llvmir.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/keq_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/keq_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/keq_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/keq_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/keq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

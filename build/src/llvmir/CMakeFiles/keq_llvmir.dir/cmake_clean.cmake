@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keq_llvmir.dir/cfg_adapter.cc.o"
+  "CMakeFiles/keq_llvmir.dir/cfg_adapter.cc.o.d"
+  "CMakeFiles/keq_llvmir.dir/interpreter.cc.o"
+  "CMakeFiles/keq_llvmir.dir/interpreter.cc.o.d"
+  "CMakeFiles/keq_llvmir.dir/ir.cc.o"
+  "CMakeFiles/keq_llvmir.dir/ir.cc.o.d"
+  "CMakeFiles/keq_llvmir.dir/layout_builder.cc.o"
+  "CMakeFiles/keq_llvmir.dir/layout_builder.cc.o.d"
+  "CMakeFiles/keq_llvmir.dir/parser.cc.o"
+  "CMakeFiles/keq_llvmir.dir/parser.cc.o.d"
+  "CMakeFiles/keq_llvmir.dir/symbolic_semantics.cc.o"
+  "CMakeFiles/keq_llvmir.dir/symbolic_semantics.cc.o.d"
+  "CMakeFiles/keq_llvmir.dir/types.cc.o"
+  "CMakeFiles/keq_llvmir.dir/types.cc.o.d"
+  "CMakeFiles/keq_llvmir.dir/verifier.cc.o"
+  "CMakeFiles/keq_llvmir.dir/verifier.cc.o.d"
+  "libkeq_llvmir.a"
+  "libkeq_llvmir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keq_llvmir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for keq_llvmir.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keq_memory.dir/concrete_memory.cc.o"
+  "CMakeFiles/keq_memory.dir/concrete_memory.cc.o.d"
+  "CMakeFiles/keq_memory.dir/layout.cc.o"
+  "CMakeFiles/keq_memory.dir/layout.cc.o.d"
+  "CMakeFiles/keq_memory.dir/symbolic_memory.cc.o"
+  "CMakeFiles/keq_memory.dir/symbolic_memory.cc.o.d"
+  "libkeq_memory.a"
+  "libkeq_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keq_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keq_regalloc.dir/regalloc.cc.o"
+  "CMakeFiles/keq_regalloc.dir/regalloc.cc.o.d"
+  "libkeq_regalloc.a"
+  "libkeq_regalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keq_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keq_sem.dir/sem.cc.o"
+  "CMakeFiles/keq_sem.dir/sem.cc.o.d"
+  "libkeq_sem.a"
+  "libkeq_sem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keq_sem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

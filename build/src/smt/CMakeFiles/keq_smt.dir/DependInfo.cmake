@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/evaluator.cc" "src/smt/CMakeFiles/keq_smt.dir/evaluator.cc.o" "gcc" "src/smt/CMakeFiles/keq_smt.dir/evaluator.cc.o.d"
+  "/root/repo/src/smt/solver.cc" "src/smt/CMakeFiles/keq_smt.dir/solver.cc.o" "gcc" "src/smt/CMakeFiles/keq_smt.dir/solver.cc.o.d"
+  "/root/repo/src/smt/term.cc" "src/smt/CMakeFiles/keq_smt.dir/term.cc.o" "gcc" "src/smt/CMakeFiles/keq_smt.dir/term.cc.o.d"
+  "/root/repo/src/smt/term_factory.cc" "src/smt/CMakeFiles/keq_smt.dir/term_factory.cc.o" "gcc" "src/smt/CMakeFiles/keq_smt.dir/term_factory.cc.o.d"
+  "/root/repo/src/smt/z3_solver.cc" "src/smt/CMakeFiles/keq_smt.dir/z3_solver.cc.o" "gcc" "src/smt/CMakeFiles/keq_smt.dir/z3_solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/keq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keq_smt.dir/evaluator.cc.o"
+  "CMakeFiles/keq_smt.dir/evaluator.cc.o.d"
+  "CMakeFiles/keq_smt.dir/solver.cc.o"
+  "CMakeFiles/keq_smt.dir/solver.cc.o.d"
+  "CMakeFiles/keq_smt.dir/term.cc.o"
+  "CMakeFiles/keq_smt.dir/term.cc.o.d"
+  "CMakeFiles/keq_smt.dir/term_factory.cc.o"
+  "CMakeFiles/keq_smt.dir/term_factory.cc.o.d"
+  "CMakeFiles/keq_smt.dir/z3_solver.cc.o"
+  "CMakeFiles/keq_smt.dir/z3_solver.cc.o.d"
+  "libkeq_smt.a"
+  "libkeq_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keq_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/apint.cc" "src/support/CMakeFiles/keq_support.dir/apint.cc.o" "gcc" "src/support/CMakeFiles/keq_support.dir/apint.cc.o.d"
+  "/root/repo/src/support/diagnostics.cc" "src/support/CMakeFiles/keq_support.dir/diagnostics.cc.o" "gcc" "src/support/CMakeFiles/keq_support.dir/diagnostics.cc.o.d"
+  "/root/repo/src/support/histogram.cc" "src/support/CMakeFiles/keq_support.dir/histogram.cc.o" "gcc" "src/support/CMakeFiles/keq_support.dir/histogram.cc.o.d"
+  "/root/repo/src/support/strings.cc" "src/support/CMakeFiles/keq_support.dir/strings.cc.o" "gcc" "src/support/CMakeFiles/keq_support.dir/strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keq_support.dir/apint.cc.o"
+  "CMakeFiles/keq_support.dir/apint.cc.o.d"
+  "CMakeFiles/keq_support.dir/diagnostics.cc.o"
+  "CMakeFiles/keq_support.dir/diagnostics.cc.o.d"
+  "CMakeFiles/keq_support.dir/histogram.cc.o"
+  "CMakeFiles/keq_support.dir/histogram.cc.o.d"
+  "CMakeFiles/keq_support.dir/strings.cc.o"
+  "CMakeFiles/keq_support.dir/strings.cc.o.d"
+  "libkeq_support.a"
+  "libkeq_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keq_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

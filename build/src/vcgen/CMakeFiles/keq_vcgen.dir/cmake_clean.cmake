@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keq_vcgen.dir/regalloc_vcgen.cc.o"
+  "CMakeFiles/keq_vcgen.dir/regalloc_vcgen.cc.o.d"
+  "CMakeFiles/keq_vcgen.dir/vcgen.cc.o"
+  "CMakeFiles/keq_vcgen.dir/vcgen.cc.o.d"
+  "libkeq_vcgen.a"
+  "libkeq_vcgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keq_vcgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vx86/cfg_adapter.cc" "src/vx86/CMakeFiles/keq_vx86.dir/cfg_adapter.cc.o" "gcc" "src/vx86/CMakeFiles/keq_vx86.dir/cfg_adapter.cc.o.d"
+  "/root/repo/src/vx86/interpreter.cc" "src/vx86/CMakeFiles/keq_vx86.dir/interpreter.cc.o" "gcc" "src/vx86/CMakeFiles/keq_vx86.dir/interpreter.cc.o.d"
+  "/root/repo/src/vx86/mir.cc" "src/vx86/CMakeFiles/keq_vx86.dir/mir.cc.o" "gcc" "src/vx86/CMakeFiles/keq_vx86.dir/mir.cc.o.d"
+  "/root/repo/src/vx86/parser.cc" "src/vx86/CMakeFiles/keq_vx86.dir/parser.cc.o" "gcc" "src/vx86/CMakeFiles/keq_vx86.dir/parser.cc.o.d"
+  "/root/repo/src/vx86/symbolic_semantics.cc" "src/vx86/CMakeFiles/keq_vx86.dir/symbolic_semantics.cc.o" "gcc" "src/vx86/CMakeFiles/keq_vx86.dir/symbolic_semantics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/keq_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/keq_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/keq_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/keq_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/keq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keq_vx86.dir/cfg_adapter.cc.o"
+  "CMakeFiles/keq_vx86.dir/cfg_adapter.cc.o.d"
+  "CMakeFiles/keq_vx86.dir/interpreter.cc.o"
+  "CMakeFiles/keq_vx86.dir/interpreter.cc.o.d"
+  "CMakeFiles/keq_vx86.dir/mir.cc.o"
+  "CMakeFiles/keq_vx86.dir/mir.cc.o.d"
+  "CMakeFiles/keq_vx86.dir/parser.cc.o"
+  "CMakeFiles/keq_vx86.dir/parser.cc.o.d"
+  "CMakeFiles/keq_vx86.dir/symbolic_semantics.cc.o"
+  "CMakeFiles/keq_vx86.dir/symbolic_semantics.cc.o.d"
+  "libkeq_vx86.a"
+  "libkeq_vx86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keq_vx86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

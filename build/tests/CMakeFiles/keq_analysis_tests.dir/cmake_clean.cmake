@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keq_analysis_tests.dir/analysis/cfg_test.cc.o"
+  "CMakeFiles/keq_analysis_tests.dir/analysis/cfg_test.cc.o.d"
+  "keq_analysis_tests"
+  "keq_analysis_tests.pdb"
+  "keq_analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keq_analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keq_checker_tests.dir/keq/checker_test.cc.o"
+  "CMakeFiles/keq_checker_tests.dir/keq/checker_test.cc.o.d"
+  "CMakeFiles/keq_checker_tests.dir/keq/refinement_test.cc.o"
+  "CMakeFiles/keq_checker_tests.dir/keq/refinement_test.cc.o.d"
+  "CMakeFiles/keq_checker_tests.dir/keq/robustness_test.cc.o"
+  "CMakeFiles/keq_checker_tests.dir/keq/robustness_test.cc.o.d"
+  "keq_checker_tests"
+  "keq_checker_tests.pdb"
+  "keq_checker_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keq_checker_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/algorithm1_test.cc" "tests/CMakeFiles/keq_core_tests.dir/core/algorithm1_test.cc.o" "gcc" "tests/CMakeFiles/keq_core_tests.dir/core/algorithm1_test.cc.o.d"
+  "/root/repo/tests/core/reference_test.cc" "tests/CMakeFiles/keq_core_tests.dir/core/reference_test.cc.o" "gcc" "tests/CMakeFiles/keq_core_tests.dir/core/reference_test.cc.o.d"
+  "/root/repo/tests/core/transition_system_test.cc" "tests/CMakeFiles/keq_core_tests.dir/core/transition_system_test.cc.o" "gcc" "tests/CMakeFiles/keq_core_tests.dir/core/transition_system_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/keq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/keq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keq_core_tests.dir/core/algorithm1_test.cc.o"
+  "CMakeFiles/keq_core_tests.dir/core/algorithm1_test.cc.o.d"
+  "CMakeFiles/keq_core_tests.dir/core/reference_test.cc.o"
+  "CMakeFiles/keq_core_tests.dir/core/reference_test.cc.o.d"
+  "CMakeFiles/keq_core_tests.dir/core/transition_system_test.cc.o"
+  "CMakeFiles/keq_core_tests.dir/core/transition_system_test.cc.o.d"
+  "keq_core_tests"
+  "keq_core_tests.pdb"
+  "keq_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keq_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keq_driver_tests.dir/driver/corpus_test.cc.o"
+  "CMakeFiles/keq_driver_tests.dir/driver/corpus_test.cc.o.d"
+  "CMakeFiles/keq_driver_tests.dir/driver/pipeline_test.cc.o"
+  "CMakeFiles/keq_driver_tests.dir/driver/pipeline_test.cc.o.d"
+  "keq_driver_tests"
+  "keq_driver_tests.pdb"
+  "keq_driver_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keq_driver_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

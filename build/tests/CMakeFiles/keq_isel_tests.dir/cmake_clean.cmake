@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keq_isel_tests.dir/isel/differential_test.cc.o"
+  "CMakeFiles/keq_isel_tests.dir/isel/differential_test.cc.o.d"
+  "CMakeFiles/keq_isel_tests.dir/isel/isel_test.cc.o"
+  "CMakeFiles/keq_isel_tests.dir/isel/isel_test.cc.o.d"
+  "CMakeFiles/keq_isel_tests.dir/isel/peephole_test.cc.o"
+  "CMakeFiles/keq_isel_tests.dir/isel/peephole_test.cc.o.d"
+  "keq_isel_tests"
+  "keq_isel_tests.pdb"
+  "keq_isel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keq_isel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

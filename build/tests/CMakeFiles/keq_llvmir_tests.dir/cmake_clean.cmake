@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keq_llvmir_tests.dir/llvmir/interpreter_test.cc.o"
+  "CMakeFiles/keq_llvmir_tests.dir/llvmir/interpreter_test.cc.o.d"
+  "CMakeFiles/keq_llvmir_tests.dir/llvmir/parser_test.cc.o"
+  "CMakeFiles/keq_llvmir_tests.dir/llvmir/parser_test.cc.o.d"
+  "CMakeFiles/keq_llvmir_tests.dir/llvmir/symbolic_test.cc.o"
+  "CMakeFiles/keq_llvmir_tests.dir/llvmir/symbolic_test.cc.o.d"
+  "CMakeFiles/keq_llvmir_tests.dir/llvmir/types_test.cc.o"
+  "CMakeFiles/keq_llvmir_tests.dir/llvmir/types_test.cc.o.d"
+  "CMakeFiles/keq_llvmir_tests.dir/llvmir/verifier_test.cc.o"
+  "CMakeFiles/keq_llvmir_tests.dir/llvmir/verifier_test.cc.o.d"
+  "keq_llvmir_tests"
+  "keq_llvmir_tests.pdb"
+  "keq_llvmir_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keq_llvmir_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/memory/concrete_memory_test.cc" "tests/CMakeFiles/keq_memory_tests.dir/memory/concrete_memory_test.cc.o" "gcc" "tests/CMakeFiles/keq_memory_tests.dir/memory/concrete_memory_test.cc.o.d"
+  "/root/repo/tests/memory/layout_test.cc" "tests/CMakeFiles/keq_memory_tests.dir/memory/layout_test.cc.o" "gcc" "tests/CMakeFiles/keq_memory_tests.dir/memory/layout_test.cc.o.d"
+  "/root/repo/tests/memory/symbolic_memory_test.cc" "tests/CMakeFiles/keq_memory_tests.dir/memory/symbolic_memory_test.cc.o" "gcc" "tests/CMakeFiles/keq_memory_tests.dir/memory/symbolic_memory_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memory/CMakeFiles/keq_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/keq_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/keq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

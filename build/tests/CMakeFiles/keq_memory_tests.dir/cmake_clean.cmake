@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keq_memory_tests.dir/memory/concrete_memory_test.cc.o"
+  "CMakeFiles/keq_memory_tests.dir/memory/concrete_memory_test.cc.o.d"
+  "CMakeFiles/keq_memory_tests.dir/memory/layout_test.cc.o"
+  "CMakeFiles/keq_memory_tests.dir/memory/layout_test.cc.o.d"
+  "CMakeFiles/keq_memory_tests.dir/memory/symbolic_memory_test.cc.o"
+  "CMakeFiles/keq_memory_tests.dir/memory/symbolic_memory_test.cc.o.d"
+  "keq_memory_tests"
+  "keq_memory_tests.pdb"
+  "keq_memory_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keq_memory_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

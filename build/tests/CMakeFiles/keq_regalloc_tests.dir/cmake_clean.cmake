@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keq_regalloc_tests.dir/regalloc/regalloc_test.cc.o"
+  "CMakeFiles/keq_regalloc_tests.dir/regalloc/regalloc_test.cc.o.d"
+  "CMakeFiles/keq_regalloc_tests.dir/regalloc/validation_test.cc.o"
+  "CMakeFiles/keq_regalloc_tests.dir/regalloc/validation_test.cc.o.d"
+  "keq_regalloc_tests"
+  "keq_regalloc_tests.pdb"
+  "keq_regalloc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keq_regalloc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keq_smt_tests.dir/smt/evaluator_test.cc.o"
+  "CMakeFiles/keq_smt_tests.dir/smt/evaluator_test.cc.o.d"
+  "CMakeFiles/keq_smt_tests.dir/smt/solver_test.cc.o"
+  "CMakeFiles/keq_smt_tests.dir/smt/solver_test.cc.o.d"
+  "CMakeFiles/keq_smt_tests.dir/smt/term_test.cc.o"
+  "CMakeFiles/keq_smt_tests.dir/smt/term_test.cc.o.d"
+  "keq_smt_tests"
+  "keq_smt_tests.pdb"
+  "keq_smt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keq_smt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

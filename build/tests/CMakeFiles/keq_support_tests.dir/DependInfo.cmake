@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/apint_test.cc" "tests/CMakeFiles/keq_support_tests.dir/support/apint_test.cc.o" "gcc" "tests/CMakeFiles/keq_support_tests.dir/support/apint_test.cc.o.d"
+  "/root/repo/tests/support/histogram_test.cc" "tests/CMakeFiles/keq_support_tests.dir/support/histogram_test.cc.o" "gcc" "tests/CMakeFiles/keq_support_tests.dir/support/histogram_test.cc.o.d"
+  "/root/repo/tests/support/rng_test.cc" "tests/CMakeFiles/keq_support_tests.dir/support/rng_test.cc.o" "gcc" "tests/CMakeFiles/keq_support_tests.dir/support/rng_test.cc.o.d"
+  "/root/repo/tests/support/strings_test.cc" "tests/CMakeFiles/keq_support_tests.dir/support/strings_test.cc.o" "gcc" "tests/CMakeFiles/keq_support_tests.dir/support/strings_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/keq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

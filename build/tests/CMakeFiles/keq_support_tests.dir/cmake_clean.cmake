@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keq_support_tests.dir/support/apint_test.cc.o"
+  "CMakeFiles/keq_support_tests.dir/support/apint_test.cc.o.d"
+  "CMakeFiles/keq_support_tests.dir/support/histogram_test.cc.o"
+  "CMakeFiles/keq_support_tests.dir/support/histogram_test.cc.o.d"
+  "CMakeFiles/keq_support_tests.dir/support/rng_test.cc.o"
+  "CMakeFiles/keq_support_tests.dir/support/rng_test.cc.o.d"
+  "CMakeFiles/keq_support_tests.dir/support/strings_test.cc.o"
+  "CMakeFiles/keq_support_tests.dir/support/strings_test.cc.o.d"
+  "keq_support_tests"
+  "keq_support_tests.pdb"
+  "keq_support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keq_support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keq_vcgen_tests.dir/vcgen/vcgen_test.cc.o"
+  "CMakeFiles/keq_vcgen_tests.dir/vcgen/vcgen_test.cc.o.d"
+  "keq_vcgen_tests"
+  "keq_vcgen_tests.pdb"
+  "keq_vcgen_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keq_vcgen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

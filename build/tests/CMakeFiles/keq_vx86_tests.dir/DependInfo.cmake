@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vx86/interpreter_test.cc" "tests/CMakeFiles/keq_vx86_tests.dir/vx86/interpreter_test.cc.o" "gcc" "tests/CMakeFiles/keq_vx86_tests.dir/vx86/interpreter_test.cc.o.d"
+  "/root/repo/tests/vx86/mir_test.cc" "tests/CMakeFiles/keq_vx86_tests.dir/vx86/mir_test.cc.o" "gcc" "tests/CMakeFiles/keq_vx86_tests.dir/vx86/mir_test.cc.o.d"
+  "/root/repo/tests/vx86/symbolic_test.cc" "tests/CMakeFiles/keq_vx86_tests.dir/vx86/symbolic_test.cc.o" "gcc" "tests/CMakeFiles/keq_vx86_tests.dir/vx86/symbolic_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vx86/CMakeFiles/keq_vx86.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/keq_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/keq_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/keq_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/keq_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/keq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

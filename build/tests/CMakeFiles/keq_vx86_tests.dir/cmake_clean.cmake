@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keq_vx86_tests.dir/vx86/interpreter_test.cc.o"
+  "CMakeFiles/keq_vx86_tests.dir/vx86/interpreter_test.cc.o.d"
+  "CMakeFiles/keq_vx86_tests.dir/vx86/mir_test.cc.o"
+  "CMakeFiles/keq_vx86_tests.dir/vx86/mir_test.cc.o.d"
+  "CMakeFiles/keq_vx86_tests.dir/vx86/symbolic_test.cc.o"
+  "CMakeFiles/keq_vx86_tests.dir/vx86/symbolic_test.cc.o.d"
+  "keq_vx86_tests"
+  "keq_vx86_tests.pdb"
+  "keq_vx86_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keq_vx86_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

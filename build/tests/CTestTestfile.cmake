@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/keq_support_tests[1]_include.cmake")
+include("/root/repo/build/tests/keq_smt_tests[1]_include.cmake")
+include("/root/repo/build/tests/keq_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/keq_memory_tests[1]_include.cmake")
+include("/root/repo/build/tests/keq_analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/keq_llvmir_tests[1]_include.cmake")
+include("/root/repo/build/tests/keq_vx86_tests[1]_include.cmake")
+include("/root/repo/build/tests/keq_isel_tests[1]_include.cmake")
+include("/root/repo/build/tests/keq_vcgen_tests[1]_include.cmake")
+include("/root/repo/build/tests/keq_checker_tests[1]_include.cmake")
+include("/root/repo/build/tests/keq_driver_tests[1]_include.cmake")
+include("/root/repo/build/tests/keq_regalloc_tests[1]_include.cmake")

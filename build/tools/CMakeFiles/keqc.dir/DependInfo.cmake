@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/keqc.cpp" "tools/CMakeFiles/keqc.dir/keqc.cpp.o" "gcc" "tools/CMakeFiles/keqc.dir/keqc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/keq_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/keq/CMakeFiles/keq_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/vcgen/CMakeFiles/keq_vcgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/isel/CMakeFiles/keq_isel.dir/DependInfo.cmake"
+  "/root/repo/build/src/llvmir/CMakeFiles/keq_llvmir.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/keq_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/vx86/CMakeFiles/keq_vx86.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/keq_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/keq_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/keq_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/keq_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/keq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keqc.dir/keqc.cpp.o"
+  "CMakeFiles/keqc.dir/keqc.cpp.o.d"
+  "keqc"
+  "keqc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keqc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
