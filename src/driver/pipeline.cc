@@ -1,5 +1,7 @@
 #include "src/driver/pipeline.h"
 
+#include <algorithm>
+#include <optional>
 #include <sstream>
 
 #include "src/llvmir/layout_builder.h"
@@ -10,6 +12,7 @@
 #include "src/smt/term_factory.h"
 #include "src/smt/z3_solver.h"
 #include "src/support/stopwatch.h"
+#include "src/support/thread_pool.h"
 #include "src/regalloc/regalloc.h"
 #include "src/vcgen/regalloc_vcgen.h"
 #include "src/vx86/symbolic_semantics.h"
@@ -27,6 +30,23 @@ outcomeName(Outcome outcome)
       case Outcome::Unsupported: return "Unsupported";
     }
     return "?";
+}
+
+std::string
+FunctionReport::canonicalSummary() const
+{
+    std::ostringstream os;
+    os << function << " | " << outcomeName(outcome) << " | "
+       << checker::verdictKindName(verdict.kind)
+       << " | refine=" << (verdict.usedRefinementFallback ? 1 : 0)
+       << " | queries=" << verdict.stats.solverQueries
+       << " points=" << verdict.stats.pointsChecked
+       << " steps=" << verdict.stats.symbolicSteps
+       << " pairs=" << verdict.stats.pairsExamined
+       << " | llvm=" << llvmInstructions << " x86=" << x86Instructions
+       << " sync=" << syncPointCount << " spec=" << specTextSize
+       << " | " << detail;
+    return os.str();
 }
 
 size_t
@@ -68,9 +88,28 @@ ModuleReport::renderTable() const
     return os.str();
 }
 
+std::string
+ModuleReport::canonicalSummary() const
+{
+    std::ostringstream os;
+    for (const FunctionReport &report : functions)
+        os << report.canonicalSummary() << "\n";
+    return os.str();
+}
+
+namespace {
+
+/**
+ * The per-function unit of work. Creates every non-thread-safe component
+ * (factory, semantics, Z3) locally so concurrent invocations share
+ * nothing but the optional query cache.
+ */
 FunctionReport
-validateFunction(const llvmir::Module &module, const llvmir::Function &fn,
-                 const PipelineOptions &options)
+validateFunctionImpl(const llvmir::Module &module,
+                     const llvmir::Function &fn,
+                     const PipelineOptions &options,
+                     const std::shared_ptr<smt::QueryCache> &cache,
+                     smt::SolverStats *solver_stats)
 {
     FunctionReport report;
     report.function = fn.name;
@@ -108,11 +147,19 @@ validateFunction(const llvmir::Module &module, const llvmir::Function &fn,
         vx86::MModule mmodule;
         mmodule.functions.push_back(std::move(mfn));
         vx86::SymbolicSemantics sem_b(mmodule, factory, layout);
-        smt::Z3Solver solver(factory);
+        smt::Z3Solver z3(factory);
+        std::optional<smt::CachingSolver> caching;
+        smt::Solver *solver = &z3;
+        if (cache != nullptr) {
+            caching.emplace(factory, z3, cache);
+            solver = &*caching;
+        }
         sem::IselAcceptability acceptability;
-        checker::Checker checker(sem_a, sem_b, acceptability, solver,
-                             options.checker);
+        checker::Checker checker(sem_a, sem_b, acceptability, *solver,
+                                 options.checker);
         report.verdict = checker.check(fn.name, fn.name, vc.points);
+        if (solver_stats != nullptr)
+            *solver_stats = solver->stats();
 
         switch (report.verdict.kind) {
           case checker::VerdictKind::Equivalent:
@@ -142,6 +189,26 @@ validateFunction(const llvmir::Module &module, const llvmir::Function &fn,
 
     report.seconds = watch.seconds();
     return report;
+}
+
+std::vector<const llvmir::Function *>
+definedFunctions(const llvmir::Module &module)
+{
+    std::vector<const llvmir::Function *> functions;
+    for (const llvmir::Function &fn : module.functions) {
+        if (!fn.isDeclaration())
+            functions.push_back(&fn);
+    }
+    return functions;
+}
+
+} // namespace
+
+FunctionReport
+validateFunction(const llvmir::Module &module, const llvmir::Function &fn,
+                 const PipelineOptions &options)
+{
+    return validateFunctionImpl(module, fn, options, nullptr, nullptr);
 }
 
 FunctionReport
@@ -203,6 +270,114 @@ validateRegAlloc(const llvmir::Module &module, const llvmir::Function &fn,
     }
 
     report.seconds = watch.seconds();
+    return report;
+}
+
+// --- Pipeline ------------------------------------------------------------
+
+Pipeline::Pipeline(PipelineOptions options, ExecutionOptions exec)
+    : options_(std::move(options)), exec_(exec)
+{
+    if (exec_.solverCache && exec_.sharedCache) {
+        cache_ =
+            std::make_shared<smt::QueryCache>(exec_.cacheShardCapacity);
+    }
+}
+
+FunctionReport
+Pipeline::validateFunction(const llvmir::Module &module,
+                           const llvmir::Function &fn)
+{
+    std::shared_ptr<smt::QueryCache> cache = cache_;
+    if (exec_.solverCache && !exec_.sharedCache) {
+        cache =
+            std::make_shared<smt::QueryCache>(exec_.cacheShardCapacity);
+    }
+    smt::SolverStats stats;
+    FunctionReport report =
+        validateFunctionImpl(module, fn, options_, cache, &stats);
+    return report;
+}
+
+ModuleReport
+Pipeline::run(const llvmir::Module &module)
+{
+    return runWithJobs(module, 1);
+}
+
+ModuleReport
+Pipeline::runParallel(const llvmir::Module &module)
+{
+    return runWithJobs(module, exec_.jobs);
+}
+
+ModuleReport
+Pipeline::runParallel(const llvmir::Module &module, unsigned jobs)
+{
+    return runWithJobs(module, jobs);
+}
+
+ModuleReport
+Pipeline::runWithJobs(const llvmir::Module &module, unsigned jobs)
+{
+    std::vector<const llvmir::Function *> functions =
+        definedFunctions(module);
+
+    ModuleReport report;
+    report.functions.resize(functions.size());
+    std::vector<smt::SolverStats> per_function(functions.size());
+
+    smt::CacheStats cache_before;
+    if (cache_ != nullptr)
+        cache_before = cache_->stats();
+
+    auto validate_one = [&](size_t index) {
+        std::shared_ptr<smt::QueryCache> cache = cache_;
+        if (exec_.solverCache && !exec_.sharedCache) {
+            cache = std::make_shared<smt::QueryCache>(
+                exec_.cacheShardCapacity);
+        }
+        report.functions[index] =
+            validateFunctionImpl(module, *functions[index], options_,
+                                 cache, &per_function[index]);
+    };
+
+    // Validation is CPU-bound, so oversubscribing cores only adds
+    // contention (Z3's allocator locks, context switches): clamp the
+    // worker count to the host parallelism and the amount of work.
+    // jobs == 0 means "one worker per core".
+    unsigned workers = jobs == 0 ? support::ThreadPool::hardwareThreads()
+                                 : jobs;
+    workers = std::min<unsigned>(
+        {workers, support::ThreadPool::hardwareThreads(),
+         static_cast<unsigned>(
+             std::max<size_t>(functions.size(), 1))});
+
+    if (workers <= 1) {
+        for (size_t i = 0; i < functions.size(); ++i)
+            validate_one(i);
+    } else {
+        support::ThreadPool pool(workers);
+        support::parallelFor(pool, functions.size(), validate_one);
+    }
+
+    // Merge in deterministic input order (not completion order).
+    for (const smt::SolverStats &stats : per_function)
+        report.solverStats += stats;
+    if (cache_ != nullptr) {
+        smt::CacheStats after = cache_->stats();
+        report.cacheStats.hits = after.hits - cache_before.hits;
+        report.cacheStats.misses = after.misses - cache_before.misses;
+        report.cacheStats.modelHits =
+            after.modelHits - cache_before.modelHits;
+        report.cacheStats.evictions =
+            after.evictions - cache_before.evictions;
+        report.cacheStats.entries = after.entries;
+    } else {
+        report.cacheStats.hits = report.solverStats.cacheHits;
+        report.cacheStats.misses = report.solverStats.cacheMisses;
+        report.cacheStats.evictions = report.solverStats.cacheEvictions;
+    }
     return report;
 }
 

@@ -13,8 +13,18 @@
  * granularity per Section 4.5), producing a report with the same outcome
  * categories as the paper's Figure 6: Succeeded / timeout / out-of-memory
  * / other.
+ *
+ * Function granularity makes validation embarrassingly parallel:
+ * Pipeline::runParallel fans the functions out over a fixed thread pool.
+ * Thread-ownership model: every per-function validation creates its own
+ * TermFactory, semantics, and Z3 backend (hash-consing stays
+ * thread-local; no locks on the hot path); the only shared state is the
+ * memoizing smt::QueryCache, which is sharded and mutex-guarded.
+ * Reports are merged back in deterministic input order, so serial and
+ * parallel runs produce identical ordered verdicts.
  */
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +32,7 @@
 #include "src/keq/checker.h"
 #include "src/llvmir/ir.h"
 #include "src/sem/sync_point.h"
+#include "src/smt/caching_solver.h"
 #include "src/vcgen/vcgen.h"
 #include "src/vx86/mir.h"
 
@@ -54,6 +65,27 @@ struct PipelineOptions
     size_t specSizeBudget = 0;
 };
 
+/** How a Pipeline executes and memoizes (orthogonal to what it checks). */
+struct ExecutionOptions
+{
+    /**
+     * Worker threads for runParallel; 0 = one per hardware thread.
+     * Validation is CPU-bound, so the effective worker count is capped
+     * at the host's hardware parallelism (and at the function count).
+     */
+    unsigned jobs = 1;
+    /** Memoize solver verdicts across sync points and functions. */
+    bool solverCache = true;
+    /**
+     * Share one QueryCache across all workers (sharded, mutex-guarded).
+     * When false each function task gets a private cache, so memoization
+     * only spans the sync points of one function.
+     */
+    bool sharedCache = true;
+    /** Per-shard entry cap before eviction (0 = unlimited). */
+    size_t cacheShardCapacity = 1 << 16;
+};
+
 /** Per-function validation report. */
 struct FunctionReport
 {
@@ -66,16 +98,77 @@ struct FunctionReport
     size_t x86Instructions = 0;
     size_t syncPointCount = 0;
     size_t specTextSize = 0;
+
+    /**
+     * Timing-free rendering of everything deterministic in this report.
+     * Serial and parallel runs of the same module must produce identical
+     * canonical summaries (asserted in tests); wall-clock fields
+     * (seconds, solver seconds) are excluded because they legitimately
+     * vary run to run.
+     */
+    std::string canonicalSummary() const;
 };
 
 /** Whole-module validation report (one Figure 6 table worth of data). */
 struct ModuleReport
 {
     std::vector<FunctionReport> functions;
+    /** Solver statistics aggregated over all functions in input order. */
+    smt::SolverStats solverStats;
+    /** Query-cache counters (all zero when caching is disabled). */
+    smt::CacheStats cacheStats;
 
     size_t countOutcome(Outcome outcome) const;
     /** Figure 6-style table. */
     std::string renderTable() const;
+    /** Concatenated FunctionReport::canonicalSummary lines. */
+    std::string canonicalSummary() const;
+};
+
+/**
+ * The validation engine: owns the configuration and the (optional)
+ * memoizing solver cache, and runs a module either serially or fanned
+ * out over a thread pool. The cache persists across run calls, so
+ * revalidating a module (or validating similar modules) through one
+ * Pipeline gets warm-cache behaviour.
+ */
+class Pipeline
+{
+  public:
+    explicit Pipeline(PipelineOptions options = {},
+                      ExecutionOptions exec = {});
+
+    /** Validates every defined function serially, in module order. */
+    ModuleReport run(const llvmir::Module &module);
+
+    /**
+     * Validates every defined function on @p jobs worker threads
+     * (defaults to ExecutionOptions::jobs). Reports come back in module
+     * order regardless of completion order, and verdicts are identical
+     * to a serial run's.
+     */
+    ModuleReport runParallel(const llvmir::Module &module);
+    ModuleReport runParallel(const llvmir::Module &module, unsigned jobs);
+
+    /** Validates one function through this Pipeline's cache. */
+    FunctionReport validateFunction(const llvmir::Module &module,
+                                    const llvmir::Function &fn);
+
+    const PipelineOptions &options() const { return options_; }
+    const ExecutionOptions &execution() const { return exec_; }
+
+    /** The shared cache; null when caching is disabled or per-function. */
+    const std::shared_ptr<smt::QueryCache> &cache() const
+    {
+        return cache_;
+    }
+
+  private:
+    ModuleReport runWithJobs(const llvmir::Module &module, unsigned jobs);
+
+    PipelineOptions options_;
+    ExecutionOptions exec_;
+    std::shared_ptr<smt::QueryCache> cache_;
 };
 
 /** Validates every defined function of an LLVM module. */

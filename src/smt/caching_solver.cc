@@ -1,0 +1,492 @@
+#include "src/smt/caching_solver.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <unordered_set>
+
+#include "src/smt/term_node.h"
+#include "src/support/diagnostics.h"
+#include "src/support/rng.h"
+#include "src/support/stopwatch.h"
+
+namespace keq::smt {
+
+namespace {
+
+/**
+ * Appends a canonical linearization of @p root's DAG to @p out: every
+ * node not yet in @p index is emitted exactly once (operands as
+ * back-references), so the result is linear in the DAG size and equal
+ * strings mean structurally equal terms. Node identity is purely
+ * structural — kind, sort, payload, operand indices — never
+ * factory-specific ids, so fingerprints agree across workers with
+ * private factories.
+ *
+ * Variable handling: when @p var_numbers is non-null, variables are
+ * emitted as their first-occurrence ordinal instead of their name
+ * (alpha-renaming). Satisfiability is invariant under sort-preserving
+ * bijective renaming of free variables, so queries that differ only in
+ * register numbering or fresh-variable counters — rampant across sync
+ * points and corpus functions — collapse onto one cache key. Passing
+ * the same maps across several roots serializes a whole assertion set
+ * with one consistent renaming.
+ */
+void
+fingerprintTerm(Term root, std::string &out,
+                std::unordered_map<const TermNode *, unsigned> &index,
+                std::unordered_map<std::string, unsigned> *var_numbers)
+{
+    struct Frame
+    {
+        Term term;
+        size_t nextOperand = 0;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({root});
+    while (!stack.empty()) {
+        Frame &frame = stack.back();
+        if (index.count(frame.term.node()) != 0) {
+            stack.pop_back();
+            continue;
+        }
+        if (frame.nextOperand < frame.term.numOperands()) {
+            Term operand = frame.term.operand(frame.nextOperand++);
+            if (index.count(operand.node()) == 0)
+                stack.push_back({operand});
+            continue;
+        }
+
+        const Term &term = frame.term;
+        out += 'k';
+        out += std::to_string(static_cast<unsigned>(term.kind()));
+        out += 's';
+        out += std::to_string(term.sort().encode());
+        switch (term.kind()) {
+          case Kind::BvConst:
+            out += 'v';
+            out += std::to_string(term.bvValue().zext());
+            break;
+          case Kind::BoolConst:
+            out += term.boolValue() ? "b1" : "b0";
+            break;
+          case Kind::Var:
+            if (var_numbers != nullptr) {
+                auto [it, inserted] = var_numbers->emplace(
+                    term.varName(),
+                    static_cast<unsigned>(var_numbers->size()));
+                out += 'n';
+                out += std::to_string(it->second);
+            } else {
+                // Length-prefixed so exotic names cannot forge
+                // delimiters.
+                out += 'n';
+                out += std::to_string(term.varName().size());
+                out += ':';
+                out += term.varName();
+            }
+            break;
+          case Kind::Extract:
+            out += 'h';
+            out += std::to_string(term.extractHi());
+            out += 'l';
+            out += std::to_string(term.extractLo());
+            break;
+          default:
+            break;
+        }
+        for (size_t i = 0; i < term.numOperands(); ++i) {
+            out += i == 0 ? '(' : ',';
+            out += std::to_string(index.at(term.operand(i).node()));
+        }
+        if (term.numOperands() > 0)
+            out += ')';
+        out += ';';
+
+        unsigned id = static_cast<unsigned>(index.size());
+        index.emplace(term.node(), id);
+        stack.pop_back();
+    }
+}
+
+/** Fingerprint of one term with fresh (local) maps. */
+std::string
+localFingerprint(Term root, bool alpha_rename)
+{
+    std::string out;
+    std::unordered_map<const TermNode *, unsigned> index;
+    std::unordered_map<std::string, unsigned> vars;
+    fingerprintTerm(root, out, index, alpha_rename ? &vars : nullptr);
+    return out;
+}
+
+/** Free variables of a query, and whether evaluation can decide it. */
+struct QueryScan
+{
+    bool supported = true;
+    std::vector<std::pair<std::string, Sort>> vars;
+};
+
+QueryScan
+scanQuery(const std::vector<Term> &assertions)
+{
+    QueryScan scan;
+    std::unordered_set<const TermNode *> visited;
+    std::unordered_set<std::string> seen;
+    std::vector<Term> stack(assertions.begin(), assertions.end());
+    while (!stack.empty()) {
+        Term term = stack.back();
+        stack.pop_back();
+        if (!visited.insert(term.node()).second)
+            continue;
+        if (term.kind() == Kind::Var) {
+            if (seen.insert(term.varName()).second)
+                scan.vars.emplace_back(term.varName(), term.sort());
+        } else if (term.kind() == Kind::Eq &&
+                   !term.operand(0).sort().isBool() &&
+                   !term.operand(0).sort().isBitVec()) {
+            // Array equality cannot be decided from a finite overlay.
+            scan.supported = false;
+            return scan;
+        }
+        for (size_t i = 0; i < term.numOperands(); ++i)
+            stack.push_back(term.operand(i));
+    }
+    return scan;
+}
+
+} // namespace
+
+// --- QueryCache ----------------------------------------------------------
+
+QueryCache::QueryCache(size_t max_entries_per_shard)
+    : maxPerShard_(max_entries_per_shard)
+{}
+
+QueryCache::Shard &
+QueryCache::shardFor(const std::string &key)
+{
+    return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
+std::optional<SatResult>
+QueryCache::lookup(const std::string &key)
+{
+    Shard &shard = shardFor(key);
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+        ++shard.misses;
+        return std::nullopt;
+    }
+    ++shard.hits;
+    return it->second;
+}
+
+void
+QueryCache::insert(const std::string &key, SatResult result)
+{
+    KEQ_ASSERT(result != SatResult::Unknown,
+               "QueryCache: Unknown verdicts must not be cached");
+    Shard &shard = shardFor(key);
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    if (maxPerShard_ > 0 && shard.map.size() >= maxPerShard_ &&
+        shard.map.count(key) == 0) {
+        // Evict an arbitrary resident entry; the workload is dominated by
+        // re-queries of recent shapes, so any O(1) policy is adequate.
+        shard.map.erase(shard.map.begin());
+        ++shard.evictions;
+    }
+    shard.map.emplace(key, result);
+}
+
+void
+QueryCache::addModel(std::shared_ptr<const Assignment> model)
+{
+    std::unique_lock<std::mutex> lock(modelMutex_);
+    if (models_.size() < kMaxModels) {
+        models_.push_back(std::move(model));
+    } else {
+        // Overwrite the oldest slot (bounded ring).
+        models_[modelNext_] = std::move(model);
+        modelNext_ = (modelNext_ + 1) % kMaxModels;
+    }
+}
+
+std::vector<std::shared_ptr<const Assignment>>
+QueryCache::models() const
+{
+    std::unique_lock<std::mutex> lock(modelMutex_);
+    return models_;
+}
+
+void
+QueryCache::noteModelHit()
+{
+    std::unique_lock<std::mutex> lock(modelMutex_);
+    ++modelHits_;
+}
+
+CacheStats
+QueryCache::stats() const
+{
+    CacheStats stats;
+    for (const Shard &shard : shards_) {
+        std::unique_lock<std::mutex> lock(shard.mutex);
+        stats.hits += shard.hits;
+        stats.misses += shard.misses;
+        stats.evictions += shard.evictions;
+        stats.entries += shard.map.size();
+    }
+    std::unique_lock<std::mutex> lock(modelMutex_);
+    stats.modelHits = modelHits_;
+    return stats;
+}
+
+void
+QueryCache::clear()
+{
+    for (Shard &shard : shards_) {
+        std::unique_lock<std::mutex> lock(shard.mutex);
+        shard.map.clear();
+        shard.hits = 0;
+        shard.misses = 0;
+        shard.evictions = 0;
+    }
+    std::unique_lock<std::mutex> lock(modelMutex_);
+    models_.clear();
+    modelNext_ = 0;
+    modelHits_ = 0;
+}
+
+// --- CachingSolver -------------------------------------------------------
+
+CachingSolver::CachingSolver(TermFactory &factory, Solver &backend,
+                             std::shared_ptr<QueryCache> cache)
+    : factory_(factory), backend_(backend), cache_(std::move(cache))
+{
+    KEQ_ASSERT(cache_ != nullptr, "CachingSolver: null cache");
+    backend_.enableModelCapture(true);
+}
+
+std::optional<SatResult>
+CachingSolver::tryModelReuse(const std::vector<Term> &assertions,
+                             const std::string &key)
+{
+    QueryScan scan = scanQuery(assertions);
+    if (!scan.supported)
+        return std::nullopt;
+
+    // Does this total assignment satisfy every assertion? A `true`
+    // return is a satisfiability *proof* (the assignment is a model);
+    // `false` proves nothing about the query.
+    auto satisfies = [&](const Assignment &candidate) {
+        Evaluator eval(candidate);
+        try {
+            for (const Term &assertion : assertions) {
+                if (!eval.evalBool(assertion))
+                    return false;
+            }
+        } catch (const support::InternalError &) {
+            // Evaluation strayed outside the supported fragment;
+            // treat as "this assignment does not apply".
+            return false;
+        }
+        return true;
+    };
+
+    // Phase 1 — pooled models, newest first: they come from the most
+    // recent (and thus most similar) queries.
+    std::vector<std::shared_ptr<const Assignment>> models =
+        cache_->models();
+    for (auto it = models.rbegin(); it != models.rend(); ++it) {
+        const Assignment &pooled = **it;
+        // Extend the pooled model to a total assignment over this
+        // query's variables; the extension's values are arbitrary
+        // (zero), since evaluation below re-verifies the whole model.
+        Assignment total;
+        for (const auto &[name, sort] : scan.vars) {
+            if (sort.isBitVec()) {
+                if (pooled.hasBv(name) &&
+                    pooled.bv(name).width() == sort.width()) {
+                    total.setBv(name, pooled.bv(name));
+                } else {
+                    total.setBv(name, support::ApInt(sort.width(), 0));
+                }
+            } else if (sort.isBool()) {
+                total.setBool(name, pooled.hasBool(name)
+                                        ? pooled.boolean(name)
+                                        : false);
+            }
+            // Array variables need no entry: unset bytes read as zero.
+        }
+        if (satisfies(total))
+            return SatResult::Sat;
+    }
+
+    // Phase 2 — deterministic random probing. Path-feasibility checks
+    // (the bulk of Sat traffic) are usually satisfied by a large
+    // fraction of the input space, so a few dozen seeded-random
+    // assignments often find a model in microseconds where Z3 grinds
+    // through bvmul/overflow reasoning for ~100 ms. Seeding from the
+    // canonical key keeps the probe sequence — and therefore every
+    // verdict and counter — deterministic across runs and threads.
+    // Unsat queries pay kProbes cheap evaluations and move on.
+    static constexpr int kProbes = 48;
+    support::Rng rng(
+        static_cast<uint64_t>(std::hash<std::string>{}(key)) ^
+        0x9E3779B97F4A7C15ull);
+    for (int probe = 0; probe < kProbes; ++probe) {
+        Assignment candidate;
+        for (const auto &[name, sort] : scan.vars) {
+            if (sort.isBitVec()) {
+                uint64_t bits;
+                switch (probe) {
+                  case 0: bits = 0; break;
+                  case 1: bits = ~0ull; break;
+                  case 2: bits = 1; break;
+                  default: bits = rng.next(); break;
+                }
+                candidate.setBv(name,
+                                support::ApInt(sort.width(), bits));
+            } else if (sort.isBool()) {
+                candidate.setBool(
+                    name, probe == 0 ? false : (rng.next() & 1) != 0);
+            }
+        }
+        if (satisfies(candidate)) {
+            // Keep the discovered model: neighboring path conditions
+            // will likely accept it via phase 1.
+            cache_->addModel(std::make_shared<const Assignment>(
+                std::move(candidate)));
+            return SatResult::Sat;
+        }
+    }
+    if (std::getenv("KEQ_CACHE_DEBUG") != nullptr) {
+        std::fprintf(stderr, "NOREUSE sup=%d nv=%zu h=%zx\n",
+                     scan.supported ? 1 : 0, scan.vars.size(),
+                     std::hash<std::string>{}(key));
+    }
+    return std::nullopt;
+}
+
+std::string
+CachingSolver::normalizedKey(const std::vector<Term> &assertions)
+{
+    // Stage 1 — order and dedup the assertion set. A conjunction is
+    // commutative/associative/idempotent, so order and duplicates must
+    // not affect the key. Sorting primarily by the alpha-renamed
+    // fingerprint keeps alpha-variant *sets* in the same order (so they
+    // meet in stage 2); the exact fingerprint breaks ties
+    // deterministically and is the dedup criterion — deduping on the
+    // renamed form alone would wrongly merge distinct assertions such
+    // as x<y and y<x.
+    struct Entry
+    {
+        std::string alpha;
+        std::string exact;
+        Term term;
+    };
+    std::vector<Entry> entries;
+    entries.reserve(assertions.size());
+    for (const Term &assertion : assertions) {
+        entries.push_back({localFingerprint(assertion, true),
+                           localFingerprint(assertion, false),
+                           assertion});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.alpha != b.alpha)
+                      return a.alpha < b.alpha;
+                  return a.exact < b.exact;
+              });
+    entries.erase(std::unique(entries.begin(), entries.end(),
+                              [](const Entry &a, const Entry &b) {
+                                  return a.exact == b.exact;
+                              }),
+                  entries.end());
+
+    // Stage 2 — serialize the sorted set as one DAG with a single
+    // consistent variable renaming (first occurrence across the whole
+    // set). Equal keys therefore imply the assertion sets are equal up
+    // to a sort-preserving bijection of free variables, which preserves
+    // satisfiability. Shared subterms across assertions are emitted
+    // once; a root marker per assertion records which nodes are
+    // asserted.
+    std::string key;
+    std::unordered_map<const TermNode *, unsigned> index;
+    std::unordered_map<std::string, unsigned> var_numbers;
+    for (const Entry &entry : entries) {
+        fingerprintTerm(entry.term, key, index, &var_numbers);
+        key += 'r';
+        key += std::to_string(index.at(entry.term.node()));
+        key += '\n';
+    }
+    return key;
+}
+
+SatResult
+CachingSolver::checkSat(const std::vector<Term> &assertions)
+{
+    ++stats_.queries;
+    std::string key = normalizedKey(assertions);
+    if (std::optional<SatResult> hit = cache_->lookup(key)) {
+        ++stats_.cacheHits;
+        switch (*hit) {
+          case SatResult::Sat: ++stats_.sat; break;
+          case SatResult::Unsat: ++stats_.unsat; break;
+          case SatResult::Unknown: ++stats_.unknown; break;
+        }
+        return *hit;
+    }
+    if (std::optional<SatResult> reused =
+            tryModelReuse(assertions, key)) {
+        // A pooled model satisfies the query under concrete evaluation:
+        // Sat without touching the backend. Store the verdict so exact
+        // repeats take the cheaper key path.
+        ++stats_.cacheHits;
+        ++stats_.sat;
+        cache_->noteModelHit();
+        cache_->insert(key, *reused);
+        return *reused;
+    }
+    ++stats_.cacheMisses;
+
+    support::Stopwatch watch;
+    SatResult result = backend_.checkSat(assertions);
+    stats_.totalSeconds += watch.seconds();
+    if (std::getenv("KEQ_CACHE_DEBUG") != nullptr) {
+        std::fprintf(stderr, "MISS %8.2f ms  %s  h=%zx  n=%zu  a=%zu\n",
+                     watch.seconds() * 1e3,
+                     result == SatResult::Sat
+                         ? "sat  "
+                         : (result == SatResult::Unsat ? "unsat"
+                                                       : "unk  "),
+                     std::hash<std::string>{}(key), key.size(),
+                     assertions.size());
+    }
+    if (result == SatResult::Sat) {
+        Assignment model;
+        if (backend_.lastModel(&model)) {
+            cache_->addModel(
+                std::make_shared<const Assignment>(std::move(model)));
+        }
+    }
+    if (result != SatResult::Unknown)
+        cache_->insert(key, result);
+    switch (result) {
+      case SatResult::Sat: ++stats_.sat; break;
+      case SatResult::Unsat: ++stats_.unsat; break;
+      case SatResult::Unknown: ++stats_.unknown; break;
+    }
+    return result;
+}
+
+void
+CachingSolver::setTimeoutMs(unsigned timeout_ms)
+{
+    backend_.setTimeoutMs(timeout_ms);
+}
+
+} // namespace keq::smt

@@ -1,0 +1,204 @@
+#ifndef KEQ_SMT_CACHING_SOLVER_H
+#define KEQ_SMT_CACHING_SOLVER_H
+
+/**
+ * @file
+ * Memoizing decorator around any Solver.
+ *
+ * Cut-bisimulation checking re-proves near-identical implications at every
+ * synchronization point, and corpus functions repeat whole query shapes —
+ * yet each Z3Solver::checkSat cold-starts a fresh z3::solver. The
+ * CachingSolver normalizes every query to a canonical key (sorted, deduped
+ * assertion fingerprints) and memoizes definitive Sat/Unsat verdicts, so
+ * repeated queries are answered without touching the backend.
+ *
+ * Soundness:
+ *  - Keys are exact structural fingerprints (a linearized serialization of
+ *    the term DAG), not lossy hashes, and are independent of the owning
+ *    TermFactory — a cache may be shared across workers that each own a
+ *    private factory (hash-consing stays thread-local; only the sharded
+ *    cache map takes locks).
+ *  - Sat/Unsat are definitive regardless of timeouts, so caching them can
+ *    never change a verdict. Unknown results (timeouts, incompleteness)
+ *    are NEVER cached: a later query with a larger budget must get a fresh
+ *    chance to resolve.
+ */
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/smt/evaluator.h"
+#include "src/smt/solver.h"
+#include "src/smt/term_factory.h"
+
+namespace keq::smt {
+
+/** Snapshot of one cache's counters (aggregated over shards). */
+struct CacheStats
+{
+    uint64_t hits = 0;      ///< lookups answered by a stored verdict
+    uint64_t misses = 0;    ///< lookups that found no stored verdict
+    uint64_t modelHits = 0; ///< misses answered Sat by a reused model
+    uint64_t evictions = 0;
+    uint64_t entries = 0;
+
+    /** Fraction of lookups that avoided the backend entirely. */
+    double
+    hitRate() const
+    {
+        uint64_t lookups = hits + misses;
+        return lookups == 0
+                   ? 0.0
+                   : static_cast<double>(hits + modelHits) /
+                         static_cast<double>(lookups);
+    }
+
+    /** Queries that actually reached the backing solver. */
+    uint64_t
+    backendCalls() const
+    {
+        return misses - modelHits;
+    }
+};
+
+/**
+ * Thread-safe verdict store keyed by canonical query fingerprints.
+ *
+ * Sharded by key hash: concurrent workers contend only when they touch
+ * the same shard, and each shard holds its mutex just for one map
+ * operation — the solver call itself never runs under a lock.
+ */
+class QueryCache
+{
+  public:
+    /** @param max_entries_per_shard Eviction threshold (0 = unlimited). */
+    explicit QueryCache(size_t max_entries_per_shard = 1 << 16);
+
+    std::optional<SatResult> lookup(const std::string &key);
+
+    /** Stores a definitive verdict; Unknown is ignored by contract. */
+    void insert(const std::string &key, SatResult result);
+
+    /**
+     * Model pool for Sat-by-evaluation reuse: retains the most recent
+     * satisfying assignments (a bounded ring). A pooled model answers a
+     * *new* query only after the CachingSolver re-verifies it by
+     * concrete evaluation, so stale or mismatched models cost a lookup,
+     * never a wrong verdict.
+     */
+    void addModel(std::shared_ptr<const Assignment> model);
+    std::vector<std::shared_ptr<const Assignment>> models() const;
+    /** Records a miss that a pooled model answered (CacheStats). */
+    void noteModelHit();
+
+    CacheStats stats() const;
+    void clear();
+
+  private:
+    static constexpr size_t kShards = 16;
+    static constexpr size_t kMaxModels = 64;
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<std::string, SatResult> map;
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t evictions = 0;
+    };
+
+    Shard &shardFor(const std::string &key);
+
+    size_t maxPerShard_;
+    std::array<Shard, kShards> shards_;
+
+    mutable std::mutex modelMutex_;
+    std::vector<std::shared_ptr<const Assignment>> models_;
+    size_t modelNext_ = 0;
+    uint64_t modelHits_ = 0;
+};
+
+/**
+ * Solver decorator that consults a QueryCache before the backend.
+ *
+ * Two memoization layers, tried in order:
+ *  1. verdict store — exact canonical-key match returns the stored
+ *     Sat/Unsat;
+ *  2. model reuse — on a key miss, recent satisfying assignments from
+ *     the pool are evaluated against the query (memoized concrete
+ *     evaluation, microseconds); if one satisfies every assertion the
+ *     query is Sat by construction, no solver needed. This pays off on
+ *     path-feasibility checks, which dominate Sat traffic and rarely
+ *     repeat exactly but are usually satisfied by a neighboring path's
+ *     model.
+ *
+ * Stats contract (relied on by the checker, which reads query *deltas*):
+ * `queries` counts every checkSat call whether or not it hit, and
+ * sat/unsat/unknown count returned results — so a cached run reports the
+ * same query/verdict counts as an uncached one and only totalSeconds
+ * (backend time actually spent) shrinks. cacheHits counts queries
+ * answered without the backend (key hits and model hits alike),
+ * cacheMisses counts queries that reached the backend; their sum is
+ * `queries`.
+ */
+class CachingSolver : public Solver
+{
+  public:
+    /**
+     * @param factory Factory owning the terms this solver will receive.
+     * @param backend Solver that misses fall through to; must outlive
+     *                this decorator.
+     * @param cache Verdict store, possibly shared with other workers'
+     *              CachingSolvers.
+     */
+    CachingSolver(TermFactory &factory, Solver &backend,
+                  std::shared_ptr<QueryCache> cache);
+
+    SatResult checkSat(const std::vector<Term> &assertions) override;
+    void setTimeoutMs(unsigned timeout_ms) override;
+    const SolverStats &stats() const override { return stats_; }
+
+    const std::shared_ptr<QueryCache> &
+    cache() const
+    {
+        return cache_;
+    }
+
+    /**
+     * Canonical fingerprint of a query: per-assertion structural
+     * serializations, sorted and deduplicated. Assertion order and
+     * duplicates never change the key (conjunction is commutative,
+     * associative and idempotent). Exposed for the property tests.
+     */
+    static std::string normalizedKey(const std::vector<Term> &assertions);
+
+  protected:
+    TermFactory &factory() override { return factory_; }
+
+  private:
+    /**
+     * Tries to answer @p assertions without the backend: first with
+     * pooled models, then with deterministic random probes (seeded from
+     * @p key). Returns Sat when some assignment provably satisfies
+     * every assertion under concrete evaluation; nullopt otherwise
+     * (never Unsat — failing to find a model proves nothing).
+     */
+    std::optional<SatResult>
+    tryModelReuse(const std::vector<Term> &assertions,
+                  const std::string &key);
+
+    TermFactory &factory_;
+    Solver &backend_;
+    std::shared_ptr<QueryCache> cache_;
+    SolverStats stats_;
+};
+
+} // namespace keq::smt
+
+#endif // KEQ_SMT_CACHING_SOLVER_H

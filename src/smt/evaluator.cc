@@ -66,6 +66,39 @@ Assignment::hasBool(const std::string &name) const
 ApInt
 Evaluator::evalBv(Term term)
 {
+    auto it = bvMemo_.find(term.id());
+    if (it != bvMemo_.end())
+        return it->second;
+    ApInt value = evalBvUncached(term);
+    bvMemo_.emplace(term.id(), value);
+    return value;
+}
+
+bool
+Evaluator::evalBool(Term term)
+{
+    auto it = boolMemo_.find(term.id());
+    if (it != boolMemo_.end())
+        return it->second;
+    bool value = evalBoolUncached(term);
+    boolMemo_.emplace(term.id(), value);
+    return value;
+}
+
+Evaluator::ArrayValue
+Evaluator::evalArray(Term term)
+{
+    auto it = arrayMemo_.find(term.id());
+    if (it != arrayMemo_.end())
+        return it->second;
+    ArrayValue value = evalArrayUncached(term);
+    arrayMemo_.emplace(term.id(), value);
+    return value;
+}
+
+ApInt
+Evaluator::evalBvUncached(Term term)
+{
     KEQ_ASSERT(term.sort().isBitVec(), "evalBv: non-bitvec term");
     unsigned width = term.sort().width();
     switch (term.kind()) {
@@ -132,7 +165,7 @@ Evaluator::evalBv(Term term)
 }
 
 bool
-Evaluator::evalBool(Term term)
+Evaluator::evalBoolUncached(Term term)
 {
     KEQ_ASSERT(term.sort().isBool(), "evalBool: non-bool term");
     switch (term.kind()) {
@@ -180,7 +213,7 @@ Evaluator::evalBool(Term term)
 }
 
 Evaluator::ArrayValue
-Evaluator::evalArray(Term term)
+Evaluator::evalArrayUncached(Term term)
 {
     if (term.kind() == Kind::Var)
         return ArrayValue{term.varName(), {}};

@@ -49,6 +49,12 @@ class Assignment
  *
  * Array-sorted terms evaluate to (base array name, overlay of stored
  * bytes); bool and bitvector terms evaluate to concrete values.
+ *
+ * Results are memoized per evaluator instance (evaluation is pure), so
+ * shared subterms of a hash-consed DAG are visited once — required for
+ * the solver cache's model-reuse path, which evaluates whole solver
+ * queries. The referenced Assignment must not change while this
+ * evaluator is in use.
  */
 class Evaluator
 {
@@ -70,10 +76,16 @@ class Evaluator
         std::map<uint64_t, uint8_t> overlay;
     };
 
+    support::ApInt evalBvUncached(Term term);
+    bool evalBoolUncached(Term term);
     ArrayValue evalArray(Term term);
+    ArrayValue evalArrayUncached(Term term);
     uint8_t readArray(const ArrayValue &array, uint64_t address) const;
 
     const Assignment &assignment_;
+    std::unordered_map<uint64_t, support::ApInt> bvMemo_;
+    std::unordered_map<uint64_t, bool> boolMemo_;
+    std::unordered_map<uint64_t, ArrayValue> arrayMemo_;
 };
 
 } // namespace keq::smt

@@ -4,6 +4,20 @@
 
 namespace keq::smt {
 
+SolverStats &
+SolverStats::operator+=(const SolverStats &rhs)
+{
+    queries += rhs.queries;
+    sat += rhs.sat;
+    unsat += rhs.unsat;
+    unknown += rhs.unknown;
+    totalSeconds += rhs.totalSeconds;
+    cacheHits += rhs.cacheHits;
+    cacheMisses += rhs.cacheMisses;
+    cacheEvictions += rhs.cacheEvictions;
+    return *this;
+}
+
 const char *
 satResultName(SatResult result)
 {

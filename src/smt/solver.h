@@ -31,7 +31,18 @@ struct SolverStats
     uint64_t unsat = 0;
     uint64_t unknown = 0;
     double totalSeconds = 0.0;
+
+    // Memoization counters; nonzero only when a CachingSolver fronts the
+    // backend. Every query is either a hit or a miss, so
+    // cacheHits + cacheMisses == queries for a CachingSolver.
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    uint64_t cacheEvictions = 0;
+
+    SolverStats &operator+=(const SolverStats &rhs);
 };
+
+class Assignment; // evaluator.h
 
 /** Abstract satisfiability oracle. */
 class Solver
@@ -41,6 +52,26 @@ class Solver
 
     /** Checks satisfiability of the conjunction of @p assertions. */
     virtual SatResult checkSat(const std::vector<Term> &assertions) = 0;
+
+    /**
+     * Asks the solver to retain the satisfying model of each Sat answer
+     * so that lastModel() can surface it. Off by default: extracting
+     * models costs time the plain pipeline never recoups. Backends
+     * without model support may ignore this.
+     */
+    virtual void enableModelCapture(bool enabled) { (void)enabled; }
+
+    /**
+     * Copies the model of the most recent Sat answer into @p out.
+     *
+     * @return false when no model is available (capture disabled, last
+     *         answer not Sat, or the backend cannot produce models).
+     */
+    virtual bool lastModel(Assignment *out) const
+    {
+        (void)out;
+        return false;
+    }
 
     /**
      * Proves `hypothesis => conclusion` by checking that

@@ -150,6 +150,15 @@ Z3Solver::Z3Solver(TermFactory &factory)
 
 Z3Solver::~Z3Solver() = default;
 
+bool
+Z3Solver::lastModel(Assignment *out) const
+{
+    if (!lastModel_.has_value())
+        return false;
+    *out = *lastModel_;
+    return true;
+}
+
 void
 Z3Solver::setTimeoutMs(unsigned timeout_ms)
 {
@@ -186,6 +195,36 @@ Z3Solver::checkSat(const std::vector<Term> &assertions)
         std::cerr << "; slow query (" << seconds << " s)\n"
                   << solver.to_smt2() << "\n";
     }
+    lastModel_.reset();
+    if (z3_result == z3::sat && captureModels_) {
+        lastModel_.emplace();
+        try {
+            z3::model model = solver.get_model();
+            for (unsigned i = 0; i < model.size(); ++i) {
+                z3::func_decl decl = model[i];
+                if (decl.arity() != 0)
+                    continue;
+                z3::expr value = model.get_const_interp(decl);
+                z3::sort range = decl.range();
+                if (range.is_bv() && range.bv_size() <= 64 &&
+                    value.is_numeral()) {
+                    lastModel_->setBv(
+                        decl.name().str(),
+                        support::ApInt(range.bv_size(),
+                                       value.get_numeral_uint64()));
+                } else if (range.is_bool() && value.is_bool()) {
+                    lastModel_->setBool(decl.name().str(),
+                                        value.is_true());
+                }
+                // Array interpretations are skipped: reused models are
+                // re-verified by evaluation, which reads unlisted bytes
+                // as zero.
+            }
+        } catch (const z3::exception &) {
+            lastModel_.reset();
+        }
+    }
+
     switch (z3_result) {
       case z3::sat:
         ++stats_.sat;

@@ -11,8 +11,10 @@
  */
 
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "src/smt/evaluator.h"
 #include "src/smt/solver.h"
 #include "src/smt/term_factory.h"
 
@@ -29,6 +31,18 @@ class Z3Solver : public Solver
     void setTimeoutMs(unsigned timeout_ms) override;
     const SolverStats &stats() const override { return stats_; }
 
+    void enableModelCapture(bool enabled) override
+    {
+        captureModels_ = enabled;
+    }
+
+    /**
+     * Bitvector and bool constants of the last Sat model. Array
+     * interpretations are not extracted: consumers re-verify reused
+     * models by evaluation, under which unlisted bytes read as zero.
+     */
+    bool lastModel(Assignment *out) const override;
+
   protected:
     TermFactory &factory() override { return factory_; }
 
@@ -38,6 +52,8 @@ class Z3Solver : public Solver
     std::unique_ptr<Impl> impl_;
     SolverStats stats_;
     unsigned timeoutMs_ = 0;
+    bool captureModels_ = false;
+    std::optional<Assignment> lastModel_;
 };
 
 } // namespace keq::smt

@@ -1,0 +1,120 @@
+#include "src/support/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+
+#include "src/support/diagnostics.h"
+
+namespace keq::support {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = hardwareThreads();
+    threads_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &thread : threads_)
+        thread.join();
+}
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    KEQ_ASSERT(task != nullptr, "ThreadPool::submit: null task");
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        KEQ_ASSERT(!stopping_, "ThreadPool::submit: pool is stopping");
+        queue_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            --inFlight_;
+            if (inFlight_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+void
+parallelFor(ThreadPool &pool, size_t count,
+            const std::function<void(size_t)> &body)
+{
+    if (count == 0)
+        return;
+    // One claiming task per worker; indices are handed out dynamically so
+    // a slow function (the Figure 7 tail) does not serialize its batch.
+    struct Shared
+    {
+        std::atomic<size_t> next{0};
+        std::mutex errorMutex;
+        std::exception_ptr error;
+    };
+    auto shared = std::make_shared<Shared>();
+    size_t tasks = std::min<size_t>(pool.threadCount(), count);
+    for (size_t t = 0; t < tasks; ++t) {
+        pool.submit([shared, count, &body] {
+            for (;;) {
+                size_t index =
+                    shared->next.fetch_add(1, std::memory_order_relaxed);
+                if (index >= count)
+                    return;
+                try {
+                    body(index);
+                } catch (...) {
+                    std::unique_lock<std::mutex> lock(
+                        shared->errorMutex);
+                    if (!shared->error)
+                        shared->error = std::current_exception();
+                }
+            }
+        });
+    }
+    pool.wait();
+    if (shared->error)
+        std::rethrow_exception(shared->error);
+}
+
+} // namespace keq::support

@@ -1,0 +1,87 @@
+#ifndef KEQ_SUPPORT_THREAD_POOL_H
+#define KEQ_SUPPORT_THREAD_POOL_H
+
+/**
+ * @file
+ * Fixed-size thread pool for the parallel validation pipeline.
+ *
+ * Function-granularity validation (paper Section 4.5) is embarrassingly
+ * parallel: every function pair is an independent equivalence instance, so
+ * the driver only needs a plain fixed pool — no work stealing, no task
+ * dependencies. Workers pull tasks from one locked deque; the per-task
+ * unit of work (a whole function validation) is far too coarse for queue
+ * contention to matter.
+ *
+ * Ownership rule for users (see DESIGN.md §4): anything that is not
+ * thread safe — TermFactory, Z3Solver, symbolic semantics — must be
+ * created *inside* the task so each worker owns its own instance. The
+ * pool itself shares nothing between tasks.
+ */
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace keq::support {
+
+/** Plain fixed pool of worker threads over one task queue. */
+class ThreadPool
+{
+  public:
+    /** @param threads Worker count; 0 means hardwareThreads(). */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Joins all workers after draining the queue. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueues @p task for execution on some worker. Tasks must not
+     * throw; use parallelFor for exception-propagating loops.
+     */
+    void submit(std::function<void()> task);
+
+    /** Blocks until every submitted task has finished. */
+    void wait();
+
+    unsigned
+    threadCount() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static unsigned hardwareThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_; ///< Signals workers: work or shutdown.
+    std::condition_variable idle_; ///< Signals waiters: everything done.
+    size_t inFlight_ = 0;          ///< Queued + currently running tasks.
+    bool stopping_ = false;
+};
+
+/**
+ * Runs body(0) .. body(count - 1) on the pool and blocks until all are
+ * done. Indices are claimed dynamically, so uneven task costs balance
+ * across workers. If any invocation throws, the first exception (in
+ * completion order) is rethrown in the caller after the loop drains;
+ * remaining indices still run.
+ */
+void parallelFor(ThreadPool &pool, size_t count,
+                 const std::function<void(size_t)> &body);
+
+} // namespace keq::support
+
+#endif // KEQ_SUPPORT_THREAD_POOL_H

@@ -1,0 +1,279 @@
+/** @file Property tests for the memoizing solver cache: key
+ *  normalization, the never-cache-Unknown contract, model reuse, and
+ *  counter bookkeeping. */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/smt/caching_solver.h"
+#include "src/smt/term_factory.h"
+#include "src/smt/z3_solver.h"
+#include "src/support/diagnostics.h"
+
+namespace keq::smt {
+namespace {
+
+/**
+ * Backend with a scripted answer sequence. Counts every call, so tests
+ * can assert exactly which queries reached the backend and which were
+ * answered by the cache layers in front of it.
+ */
+class ScriptedSolver : public Solver
+{
+  public:
+    explicit ScriptedSolver(TermFactory &factory) : factory_(factory) {}
+
+    std::deque<SatResult> script;
+    SatResult fallback = SatResult::Unsat;
+    size_t calls = 0;
+
+    SatResult
+    checkSat(const std::vector<Term> &) override
+    {
+        ++calls;
+        SatResult result = fallback;
+        if (!script.empty()) {
+            result = script.front();
+            script.pop_front();
+        }
+        ++stats_.queries;
+        switch (result) {
+        case SatResult::Sat: ++stats_.sat; break;
+        case SatResult::Unsat: ++stats_.unsat; break;
+        case SatResult::Unknown: ++stats_.unknown; break;
+        }
+        return result;
+    }
+
+    void setTimeoutMs(unsigned) override {}
+    const SolverStats &stats() const override { return stats_; }
+
+  protected:
+    TermFactory &factory() override { return factory_; }
+
+  private:
+    TermFactory &factory_;
+    SolverStats stats_;
+};
+
+Term
+var32(TermFactory &tf, const char *name)
+{
+    return tf.var(name, Sort::bitVec(32));
+}
+
+/**
+ * x == a && x == b with a != b: unsatisfiable, so neither pooled models
+ * nor random probes can ever answer it — every key miss must reach the
+ * backend. The workhorse for backend-call-count assertions.
+ */
+std::vector<Term>
+contradiction(TermFactory &tf, const char *name, uint64_t a, uint64_t b)
+{
+    Term x = var32(tf, name);
+    return {tf.mkEq(x, tf.bvConst(32, a)),
+            tf.mkEq(x, tf.bvConst(32, b))};
+}
+
+TEST(NormalizedKeyTest, OrderAndDuplicatesDoNotChangeTheKey)
+{
+    TermFactory tf;
+    Term p = tf.bvUlt(var32(tf, "a"), var32(tf, "b"));
+    Term q = tf.bvUlt(var32(tf, "b"), var32(tf, "c"));
+
+    std::string key = CachingSolver::normalizedKey({p, q});
+    EXPECT_EQ(CachingSolver::normalizedKey({q, p}), key);
+    EXPECT_EQ(CachingSolver::normalizedKey({p, q, p}), key);
+    EXPECT_EQ(CachingSolver::normalizedKey({q, q, p, q}), key);
+}
+
+TEST(NormalizedKeyTest, DistinctQueriesGetDistinctKeys)
+{
+    TermFactory tf;
+    Term p = tf.bvUlt(var32(tf, "a"), var32(tf, "b"));
+    Term q = tf.bvUlt(var32(tf, "b"), var32(tf, "c"));
+
+    EXPECT_NE(CachingSolver::normalizedKey({p}),
+              CachingSolver::normalizedKey({q, p}));
+    // a < b and its converse are alpha-equivalent one assertion at a
+    // time, but the *set* {a<b, b<a} must not collapse to {a<b}: shared
+    // variable numbering across the whole set keeps them apart.
+    Term converse = tf.bvUlt(var32(tf, "b"), var32(tf, "a"));
+    EXPECT_NE(CachingSolver::normalizedKey({p, converse}),
+              CachingSolver::normalizedKey({p}));
+    EXPECT_NE(CachingSolver::normalizedKey({p}),
+              CachingSolver::normalizedKey(
+                  {tf.bvUlt(var32(tf, "a"), tf.bvConst(32, 7))}));
+}
+
+TEST(NormalizedKeyTest, AlphaRenamingDoesNotChangeTheKey)
+{
+    TermFactory tf;
+    // Same query shape over disjoint variable names: alpha-equivalent,
+    // hence equisatisfiable, hence safe (and profitable) to share a key.
+    Term p1 = tf.bvUlt(tf.bvAdd(var32(tf, "x"), tf.bvConst(32, 3)),
+                       var32(tf, "y"));
+    Term p2 = tf.bvUlt(tf.bvAdd(var32(tf, "u"), tf.bvConst(32, 3)),
+                       var32(tf, "v"));
+    EXPECT_EQ(CachingSolver::normalizedKey({p1}),
+              CachingSolver::normalizedKey({p2}));
+}
+
+TEST(NormalizedKeyTest, KeysAreFactoryIndependent)
+{
+    // The cache is shared across workers that each own a private
+    // hash-consing factory; equal queries built in different factories
+    // must map to the same key.
+    TermFactory tf1;
+    TermFactory tf2;
+    auto build = [](TermFactory &tf) {
+        return std::vector<Term>{
+            tf.bvUlt(var32(tf, "a"), var32(tf, "b")),
+            tf.mkEq(tf.bvAdd(var32(tf, "a"), tf.bvConst(32, 1)),
+                    var32(tf, "c"))};
+    };
+    EXPECT_EQ(CachingSolver::normalizedKey(build(tf1)),
+              CachingSolver::normalizedKey(build(tf2)));
+}
+
+TEST(CachingSolverTest, UnknownIsNeverCached)
+{
+    TermFactory tf;
+    ScriptedSolver backend(tf);
+    CachingSolver solver(tf, backend,
+                         std::make_shared<QueryCache>());
+    std::vector<Term> query = contradiction(tf, "x", 1, 2);
+
+    backend.script = {SatResult::Unknown, SatResult::Unknown,
+                      SatResult::Unsat};
+    EXPECT_EQ(solver.checkSat(query), SatResult::Unknown);
+    EXPECT_EQ(solver.checkSat(query), SatResult::Unknown);
+    EXPECT_EQ(backend.calls, 2u)
+        << "an Unknown verdict must not be served from the cache";
+
+    // A definitive answer is cached; the backend is not asked again.
+    EXPECT_EQ(solver.checkSat(query), SatResult::Unsat);
+    EXPECT_EQ(solver.checkSat(query), SatResult::Unsat);
+    EXPECT_EQ(backend.calls, 3u);
+}
+
+TEST(CachingSolverTest, DeterministicProbingAnswersSatWithoutBackend)
+{
+    TermFactory tf;
+    ScriptedSolver backend(tf);
+    // The backend would (wrongly) say Unsat — it must never be asked,
+    // because probe evaluation *proves* Sat for x == 1.
+    backend.fallback = SatResult::Unsat;
+    auto cache = std::make_shared<QueryCache>();
+    CachingSolver solver(tf, backend, cache);
+
+    std::vector<Term> query{
+        tf.mkEq(var32(tf, "x"), tf.bvConst(32, 1))};
+    EXPECT_EQ(solver.checkSat(query), SatResult::Sat);
+    EXPECT_EQ(backend.calls, 0u);
+    EXPECT_EQ(solver.stats().cacheHits, 1u);
+    EXPECT_EQ(cache->stats().modelHits, 1u);
+
+    // The Sat verdict was inserted under its key: a repeat is a key hit.
+    EXPECT_EQ(solver.checkSat(query), SatResult::Sat);
+    EXPECT_EQ(backend.calls, 0u);
+    EXPECT_EQ(cache->stats().hits, 1u);
+}
+
+TEST(CachingSolverTest, CountersAddUp)
+{
+    TermFactory tf;
+    ScriptedSolver backend(tf);
+    auto cache = std::make_shared<QueryCache>();
+    CachingSolver solver(tf, backend, cache);
+
+    backend.script = {SatResult::Unsat, SatResult::Unknown,
+                      SatResult::Unsat};
+    std::vector<Term> q1 = contradiction(tf, "x", 1, 2);
+    std::vector<Term> q2 = contradiction(tf, "x", 3, 4);
+    solver.checkSat(q1);                      // miss -> backend Unsat
+    solver.checkSat(q1);                      // key hit
+    solver.checkSat(q2);                      // miss -> backend Unknown
+    solver.checkSat(q2);                      // miss again -> Unsat
+    solver.checkSat({tf.mkEq(var32(tf, "y"), // probe-provable Sat
+                             tf.bvConst(32, 0))});
+
+    const SolverStats &stats = solver.stats();
+    EXPECT_EQ(stats.queries, 5u);
+    EXPECT_EQ(stats.cacheHits + stats.cacheMisses, stats.queries)
+        << "every query is either a hit or a miss";
+    EXPECT_EQ(stats.sat + stats.unsat + stats.unknown, stats.queries)
+        << "cached answers must still be counted as verdicts";
+    EXPECT_EQ(stats.cacheHits, 2u);  // one key hit + one model hit
+    EXPECT_EQ(stats.cacheMisses, 3u);
+    EXPECT_EQ(stats.cacheMisses, backend.calls);
+
+    CacheStats cstats = cache->stats();
+    EXPECT_EQ(cstats.hits + cstats.misses, stats.queries);
+    EXPECT_LE(cstats.modelHits, cstats.misses);
+    EXPECT_EQ(cstats.backendCalls(), backend.calls);
+    EXPECT_DOUBLE_EQ(cstats.hitRate(), 2.0 / 5.0);
+}
+
+TEST(CachingSolverTest, ModelFromBackendIsReusedAcrossQueries)
+{
+    TermFactory tf;
+    Z3Solver backend(tf);
+    auto cache = std::make_shared<QueryCache>();
+    CachingSolver solver(tf, backend, cache);
+
+    // Query A forces the backend to produce a model with x = 77 (no
+    // probe can guess 77: the fixed probes are 0, ~0 and 1, and the 45
+    // seeded random draws have a ~2^-26 chance of hitting it).
+    Term x = var32(tf, "x");
+    EXPECT_EQ(solver.checkSat({tf.mkEq(x, tf.bvConst(32, 77))}),
+              SatResult::Sat);
+    EXPECT_EQ(cache->stats().misses, 1u);
+    ASSERT_EQ(cache->models().size(), 1u)
+        << "a Sat answer must pool the backend's model";
+
+    // Query B has a different key but is satisfied by the pooled model
+    // (x + 1 == 78), so evaluation answers it without the backend.
+    uint64_t backend_before = backend.stats().queries;
+    EXPECT_EQ(solver.checkSat({tf.mkEq(tf.bvAdd(x, tf.bvConst(32, 1)),
+                                       tf.bvConst(32, 78))}),
+              SatResult::Sat);
+    EXPECT_EQ(backend.stats().queries, backend_before);
+    EXPECT_EQ(cache->stats().modelHits, 1u);
+}
+
+TEST(QueryCacheTest, RejectsUnknownAndReturnsStoredVerdicts)
+{
+    QueryCache cache;
+    EXPECT_FALSE(cache.lookup("k1").has_value());
+    cache.insert("k1", SatResult::Sat);
+    cache.insert("k2", SatResult::Unsat);
+    EXPECT_THROW(cache.insert("k3", SatResult::Unknown),
+                 support::InternalError);
+    EXPECT_EQ(cache.lookup("k1"), SatResult::Sat);
+    EXPECT_EQ(cache.lookup("k2"), SatResult::Unsat);
+    EXPECT_FALSE(cache.lookup("k3").has_value());
+    EXPECT_EQ(cache.stats().entries, 2u);
+
+    cache.clear();
+    EXPECT_FALSE(cache.lookup("k1").has_value());
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(QueryCacheTest, EvictionKeepsShardsBounded)
+{
+    QueryCache cache(/*max_entries_per_shard=*/2);
+    for (int i = 0; i < 256; ++i)
+        cache.insert("key-" + std::to_string(i), SatResult::Unsat);
+    CacheStats stats = cache.stats();
+    EXPECT_GT(stats.evictions, 0u);
+    EXPECT_LE(stats.entries, 16u * 2u) << "16 shards x 2 entries max";
+    EXPECT_EQ(stats.entries + stats.evictions, 256u);
+}
+
+} // namespace
+} // namespace keq::smt

@@ -20,10 +20,13 @@
  *     --wall-budget=SEC   per-function wall budget (0 = none)
  *     --spec-budget=N     sync-spec size budget in chars (0 = none)
  *     --function=NAME     validate only @NAME
+ *     --jobs=N            validate N functions in parallel (0 = #cores)
+ *     --no-solver-cache   disable solver-query memoization
  *
  * Exit code: number of functions that failed validation (0 = all good).
  */
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -44,6 +47,7 @@ struct CliOptions
     bool print_mir = false;
     bool print_sync = false;
     keq::driver::PipelineOptions pipeline;
+    keq::driver::ExecutionOptions exec;
 };
 
 [[noreturn]] void
@@ -55,7 +59,8 @@ usage(const char *argv0)
               << "  --bug=waw|loadwiden --refinement "
                  "--no-positive-form --crude-liveness\n"
               << "  --wall-budget=SEC --spec-budget=N "
-                 "--function=NAME\n";
+                 "--function=NAME\n"
+              << "  --jobs=N --no-solver-cache\n";
     std::exit(2);
 }
 
@@ -67,6 +72,20 @@ parseArgs(int argc, char **argv)
         std::string arg = argv[i];
         auto value_of = [&](const std::string &prefix) {
             return arg.substr(prefix.size());
+        };
+        // Malformed numeric values (--jobs=abc) exit with usage instead
+        // of an uncaught std::invalid_argument.
+        auto number_of = [&](const std::string &prefix) -> double {
+            try {
+                size_t used = 0;
+                std::string text = value_of(prefix);
+                double value = std::stod(text, &used);
+                if (used != text.size() || value < 0)
+                    usage(argv[0]);
+                return value;
+            } catch (const std::exception &) {
+                usage(argv[0]);
+            }
         };
         if (arg == "--proof") {
             options.pipeline.checker.collectProof = true;
@@ -100,12 +119,17 @@ parseArgs(int argc, char **argv)
                 keq::vcgen::LivenessPrecision::BlockLocal;
         } else if (arg.rfind("--wall-budget=", 0) == 0) {
             options.pipeline.checker.wallBudgetSeconds =
-                std::stod(value_of("--wall-budget="));
+                number_of("--wall-budget=");
         } else if (arg.rfind("--spec-budget=", 0) == 0) {
-            options.pipeline.specSizeBudget = static_cast<size_t>(
-                std::stoull(value_of("--spec-budget=")));
+            options.pipeline.specSizeBudget =
+                static_cast<size_t>(number_of("--spec-budget="));
         } else if (arg.rfind("--function=", 0) == 0) {
             options.only_function = "@" + value_of("--function=");
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            options.exec.jobs =
+                static_cast<unsigned>(number_of("--jobs="));
+        } else if (arg == "--no-solver-cache") {
+            options.exec.solverCache = false;
         } else if (!arg.empty() && arg[0] == '-') {
             usage(argv[0]);
         } else if (options.path.empty()) {
@@ -144,17 +168,14 @@ main(int argc, char **argv)
         return 2;
     }
 
-    int failures = 0;
-    size_t validated = 0, total = 0;
-    for (const llvmir::Function &fn : module.functions) {
-        if (fn.isDeclaration())
-            continue;
-        if (!options.only_function.empty() &&
-            fn.name != options.only_function) {
-            continue;
-        }
-        ++total;
-        if (options.print_mir || options.print_sync) {
+    if (options.print_mir || options.print_sync) {
+        for (const llvmir::Function &fn : module.functions) {
+            if (fn.isDeclaration())
+                continue;
+            if (!options.only_function.empty() &&
+                fn.name != options.only_function) {
+                continue;
+            }
             try {
                 isel::FunctionHints hints;
                 vx86::MFunction mfn = isel::lowerFunction(
@@ -171,30 +192,61 @@ main(int argc, char **argv)
             } catch (const support::Error &error) {
                 std::cout << fn.name << ": unsupported ("
                           << error.what() << ")\n";
-                continue;
             }
         }
-        driver::FunctionReport report =
-            driver::validateFunction(module, fn, options.pipeline);
-        std::cout << fn.name << ": "
-                  << driver::outcomeName(report.outcome);
-        if (report.outcome == driver::Outcome::Succeeded) {
+    }
+
+    // One Pipeline for the whole module: the solver cache warms up
+    // across functions. With --jobs=N functions validate concurrently;
+    // reports always come back in module order.
+    driver::Pipeline pipeline(options.pipeline, options.exec);
+    driver::ModuleReport report;
+    if (options.only_function.empty()) {
+        report = pipeline.runParallel(module);
+    } else {
+        for (const llvmir::Function &fn : module.functions) {
+            if (!fn.isDeclaration() && fn.name == options.only_function)
+                report.functions.push_back(
+                    pipeline.validateFunction(module, fn));
+        }
+    }
+
+    int failures = 0;
+    size_t validated = 0;
+    for (const driver::FunctionReport &fn_report : report.functions) {
+        std::cout << fn_report.function << ": "
+                  << driver::outcomeName(fn_report.outcome);
+        if (fn_report.outcome == driver::Outcome::Succeeded) {
             std::cout << " ("
-                      << checker::verdictKindName(report.verdict.kind)
-                      << ", " << report.verdict.stats.solverQueries
-                      << " queries, " << report.seconds << " s)";
+                      << checker::verdictKindName(
+                             fn_report.verdict.kind)
+                      << ", " << fn_report.verdict.stats.solverQueries
+                      << " queries, " << fn_report.seconds << " s)";
             ++validated;
-        } else if (!report.detail.empty()) {
-            std::cout << "\n  " << report.detail;
+        } else if (!fn_report.detail.empty()) {
+            std::cout << "\n  " << fn_report.detail;
         }
         std::cout << "\n";
         if (options.pipeline.checker.collectProof)
-            std::cout << report.verdict.renderProof();
-        if (report.outcome != driver::Outcome::Succeeded &&
-            report.outcome != driver::Outcome::Unsupported) {
+            std::cout << fn_report.verdict.renderProof();
+        if (fn_report.outcome != driver::Outcome::Succeeded &&
+            fn_report.outcome != driver::Outcome::Unsupported) {
             ++failures;
         }
     }
-    std::cout << validated << "/" << total << " functions validated\n";
+    std::cout << validated << "/" << report.functions.size()
+              << " functions validated\n";
+    if (options.exec.solverCache && options.only_function.empty()) {
+        const smt::CacheStats &cache = report.cacheStats;
+        std::printf("solver cache: %llu key hits + %llu model hits / "
+                    "%llu lookups (%.1f%% avoided the solver), "
+                    "%llu evictions\n",
+                    static_cast<unsigned long long>(cache.hits),
+                    static_cast<unsigned long long>(cache.modelHits),
+                    static_cast<unsigned long long>(cache.hits +
+                                                    cache.misses),
+                    100.0 * cache.hitRate(),
+                    static_cast<unsigned long long>(cache.evictions));
+    }
     return failures;
 }

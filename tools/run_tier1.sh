@@ -1,0 +1,32 @@
+#!/bin/sh
+# Configure, build, and run the tier-1 test suite in one shot.
+#
+# Usage:
+#   tools/run_tier1.sh [build-dir]        # default build dir: build/
+#   KEQ_TSAN=1 tools/run_tier1.sh tsan    # ThreadSanitizer build in tsan/
+#
+# KEQ_TSAN=1 compiles and links everything with -fsanitize=thread; use a
+# separate build directory for it so the instrumented objects don't mix
+# with the regular ones.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-build}
+case $build_dir in
+    /*) ;;
+    *) build_dir=$repo_root/$build_dir ;;
+esac
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
+
+tsan_flag=OFF
+if [ -n "${KEQ_TSAN:-}" ] && [ "${KEQ_TSAN:-0}" != "0" ]; then
+    tsan_flag=ON
+    # Z3 is uninstrumented; silence its false positives (see tsan.supp).
+    TSAN_OPTIONS="suppressions=$repo_root/tools/tsan.supp ${TSAN_OPTIONS:-}"
+    export TSAN_OPTIONS
+fi
+
+cmake -S "$repo_root" -B "$build_dir" -DKEQ_TSAN=$tsan_flag
+cmake --build "$build_dir" -j "$jobs"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
