@@ -11,8 +11,12 @@
  * away while the default invocation stays laptop-fast.
  */
 
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace keq::bench {
 
@@ -35,6 +39,89 @@ envDouble(const char *name, double fallback)
         return fallback;
     return std::strtod(value, nullptr);
 }
+
+/**
+ * Machine-readable bench output: a flat, insertion-ordered JSON object
+ * written next to the binary (or into $KEQ_BENCH_JSON_DIR), so CI and
+ * the plotting scripts can track results across commits without
+ * scraping the human-readable tables.
+ */
+class JsonReporter
+{
+  public:
+    void field(const std::string &key, double value)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", value);
+        fields_.emplace_back(key, buf);
+    }
+
+    void field(const std::string &key, uint64_t value)
+    {
+        fields_.emplace_back(key, std::to_string(value));
+    }
+
+    void field(const std::string &key, bool value)
+    {
+        fields_.emplace_back(key, value ? "true" : "false");
+    }
+
+    void field(const std::string &key, const std::string &value)
+    {
+        fields_.emplace_back(key, "\"" + escape(value) + "\"");
+    }
+
+    /** Renders the object; keys keep insertion order. */
+    std::string render() const
+    {
+        std::string out = "{";
+        for (size_t i = 0; i < fields_.size(); ++i) {
+            if (i > 0)
+                out += ",";
+            out += "\n  \"" + escape(fields_[i].first)
+                   + "\": " + fields_[i].second;
+        }
+        out += "\n}\n";
+        return out;
+    }
+
+    /**
+     * Writes the object to @p filename inside $KEQ_BENCH_JSON_DIR
+     * (default: the working directory). Returns false on I/O failure —
+     * benches report it but do not fail the run over it.
+     */
+    bool writeFile(const std::string &filename) const
+    {
+        const char *dir = std::getenv("KEQ_BENCH_JSON_DIR");
+        std::string path = dir != nullptr && *dir != '\0'
+                               ? std::string(dir) + "/" + filename
+                               : filename;
+        std::FILE *file = std::fopen(path.c_str(), "w");
+        if (file == nullptr)
+            return false;
+        std::string text = render();
+        size_t written =
+            std::fwrite(text.data(), 1, text.size(), file);
+        bool ok = written == text.size() && std::fclose(file) == 0;
+        if (ok)
+            std::printf("wrote %s\n", path.c_str());
+        return ok;
+    }
+
+  private:
+    static std::string escape(const std::string &raw)
+    {
+        std::string out;
+        for (char c : raw) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        return out;
+    }
+
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 } // namespace keq::bench
 

@@ -60,10 +60,14 @@ main()
               << support::ThreadPool::hardwareThreads()
               << " hardware thread(s); workers are capped there)\n\n";
 
-    // Baseline: the legacy serial pipeline (cold solver per query).
+    // Baseline: the legacy serial pipeline (cold solver per query, no
+    // preprocessing, no incremental backend).
     driver::ExecutionOptions serial_exec;
     serial_exec.jobs = 1;
     serial_exec.solverCache = false;
+    serial_exec.simplifyQueries = false;
+    serial_exec.sliceQueries = false;
+    serial_exec.incrementalSolver = false;
     driver::Pipeline serial_pipeline(options, serial_exec);
     support::Stopwatch watch;
     driver::ModuleReport serial = serial_pipeline.run(module);
@@ -117,5 +121,20 @@ main()
                 static_cast<unsigned long long>(
                     parallel.cacheStats.evictions));
     std::printf("verdicts: identical across all three runs\n");
+
+    bench::JsonReporter json;
+    json.field("bench", std::string("parallel"));
+    json.field("functions", uint64_t{function_count});
+    json.field("jobs", uint64_t{jobs});
+    json.field("serial_seconds", serial_seconds);
+    json.field("cached_seconds", cached_seconds);
+    json.field("parallel_seconds", parallel_seconds);
+    json.field("cached_speedup", serial_seconds / cached_seconds);
+    json.field("parallel_speedup", serial_seconds / parallel_seconds);
+    json.field("cache_hits", parallel.cacheStats.hits);
+    json.field("cache_model_hits", parallel.cacheStats.modelHits);
+    json.field("cache_misses", parallel.cacheStats.misses);
+    json.field("verdicts_identical", identical);
+    json.writeFile("BENCH_parallel.json");
     return 0;
 }

@@ -1,20 +1,25 @@
 /**
  * @file
- * Experiment E7 — the Section 3 SMT query optimization ablation.
+ * Experiment E7 — the Section 3 SMT query optimization ablation — plus
+ * the optimization-stack benchmark for the incremental backend.
  *
- * The paper replaces the negative-form query unsat(phi1 && !phi2) by the
- * positive form unsat(phi1 && (phi2' || phi2'' || ...)) over the sibling
- * path conditions of a deterministic semantics, reporting that Z3 solves
- * the positive form much faster.
+ * Part 1 (optimization stack): the Figure 6 corpus validated twice
+ * through identically-configured pipelines, once with the PR 1 stack
+ * (cached serial, cold Z3 per query, no preprocessing) and once with the
+ * full stack (rewrite engine -> cone slicer -> cache -> incremental Z3).
+ * The harness *asserts* verdict identity — the stack must shift timings,
+ * never outcomes — then reports the per-function geomean speedup and the
+ * per-stage attribution of where queries were resolved.
  *
- * Two measurements:
- *  1. End-to-end: the same corpus validated with the optimization on and
- *     off (checker-level switch), comparing total solver time and query
- *     counts.
- *  2. Micro: google-benchmark timing of the two query forms on
- *     synthetic path-condition families of growing width.
+ * Part 2 (E7 proper): the paper replaces the negative-form query
+ * unsat(phi1 && !phi2) by the positive form
+ * unsat(phi1 && (phi2' || phi2'' || ...)) over the sibling path
+ * conditions of a deterministic semantics, reporting that Z3 solves the
+ * positive form much faster. Measured end-to-end on a corpus and micro
+ * on synthetic path-condition families of growing width.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 
@@ -23,8 +28,11 @@
 #include "bench/bench_common.h"
 #include "src/driver/corpus.h"
 #include "src/driver/pipeline.h"
+#include "src/llvmir/parser.h"
+#include "src/llvmir/verifier.h"
 #include "src/smt/term_factory.h"
 #include "src/smt/z3_solver.h"
+#include "src/support/stopwatch.h"
 
 namespace {
 
@@ -106,9 +114,136 @@ BENCHMARK(BM_PositiveForm)->Arg(2)->Arg(4)->Arg(8);
 
 } // namespace
 
+/**
+ * The optimization-stack comparison: PR 1 cached-serial baseline vs the
+ * full rewrite/slice/incremental stack on the Figure 6 corpus. Returns
+ * false when the two runs disagree on any verdict (the harness's hard
+ * failure).
+ */
+bool
+runStackComparison()
+{
+    using namespace keq;
+
+    size_t function_count = bench::envSize("KEQ_SMT_FUNCTIONS", 120);
+    driver::CorpusOptions copts;
+    copts.functionCount = function_count;
+    copts.seed = 0x6cc2006; // the Figure 6 corpus
+    llvmir::Module module =
+        llvmir::parseModule(driver::generateCorpusSource(copts));
+    llvmir::verifyModuleOrThrow(module);
+
+    driver::PipelineOptions options; // no wall budgets: verdicts must
+                                     // be timing-independent
+
+    std::cout << "=== SMT optimization stack: rewrite + slice + "
+                 "incremental Z3 ===\n";
+    std::cout << "corpus: " << function_count
+              << " Figure 6 functions (seed " << copts.seed << ")\n\n";
+
+    // Baseline: the PR 1 stack — shared cache, serial, cold Z3 per
+    // query, no preprocessing.
+    driver::ExecutionOptions base_exec;
+    base_exec.jobs = 1;
+    base_exec.simplifyQueries = false;
+    base_exec.sliceQueries = false;
+    base_exec.incrementalSolver = false;
+    support::Stopwatch watch;
+    driver::ModuleReport baseline =
+        driver::Pipeline(options, base_exec).run(module);
+    double baseline_seconds = watch.seconds();
+
+    // Full stack: the ExecutionOptions defaults.
+    driver::ExecutionOptions opt_exec;
+    opt_exec.jobs = 1;
+    watch.reset();
+    driver::ModuleReport optimized =
+        driver::Pipeline(options, opt_exec).run(module);
+    double optimized_seconds = watch.seconds();
+
+    if (baseline.canonicalSummary() != optimized.canonicalSummary()) {
+        std::cerr << "FAIL: optimization stack changed verdicts\n";
+        return false;
+    }
+
+    // Per-function geomean of the speedup, with a floor so sub-noise
+    // timings cannot dominate the mean either way.
+    constexpr double kFloorSeconds = 1e-5;
+    double log_sum = 0.0;
+    for (size_t i = 0; i < baseline.functions.size(); ++i) {
+        double base = std::max(baseline.functions[i].seconds,
+                               kFloorSeconds);
+        double opt = std::max(optimized.functions[i].seconds,
+                              kFloorSeconds);
+        log_sum += std::log(base / opt);
+    }
+    double geomean = baseline.functions.empty()
+                         ? 1.0
+                         : std::exp(log_sum /
+                                    double(baseline.functions.size()));
+
+    const smt::SolverStats &stats = optimized.solverStats;
+    std::printf("baseline (cache only):  %7.2f s  (%.2f s in solver)\n",
+                baseline_seconds,
+                baseline.solverStats.totalSeconds);
+    std::printf("optimized stack:        %7.2f s  (%.2f s in solver)\n",
+                optimized_seconds, stats.totalSeconds);
+    std::printf("wall speedup: %.2fx, per-function geomean: %.2fx\n\n",
+                baseline_seconds / std::max(1e-9, optimized_seconds),
+                geomean);
+    std::printf(
+        "stage attribution (%llu queries):\n"
+        "  rewrite:     %llu resolved (%llu rule firings)\n"
+        "  slice:       %llu resolved (%llu assertions pruned)\n"
+        "  cache:       %llu hits\n"
+        "  incremental: %llu misses to backend — %llu warm / %llu "
+        "cold solves, %llu assertions reused, %llu fallbacks\n",
+        static_cast<unsigned long long>(stats.queries),
+        static_cast<unsigned long long>(stats.rewriteResolved),
+        static_cast<unsigned long long>(stats.rewriteApplications),
+        static_cast<unsigned long long>(stats.sliceResolved),
+        static_cast<unsigned long long>(stats.slicedAssertions),
+        static_cast<unsigned long long>(stats.cacheHits),
+        static_cast<unsigned long long>(stats.cacheMisses),
+        static_cast<unsigned long long>(stats.incrementalSolves),
+        static_cast<unsigned long long>(stats.coldSolves),
+        static_cast<unsigned long long>(stats.incrementalReused),
+        static_cast<unsigned long long>(stats.incrementalFallbacks));
+    std::printf("verdicts: identical across both runs\n\n");
+
+    bench::JsonReporter json;
+    json.field("bench", std::string("smt_opt"));
+    json.field("functions", uint64_t{function_count});
+    json.field("baseline_seconds", baseline_seconds);
+    json.field("optimized_seconds", optimized_seconds);
+    json.field("baseline_solver_seconds",
+               baseline.solverStats.totalSeconds);
+    json.field("optimized_solver_seconds", stats.totalSeconds);
+    json.field("wall_speedup",
+               baseline_seconds / std::max(1e-9, optimized_seconds));
+    json.field("geomean_speedup", geomean);
+    json.field("queries", stats.queries);
+    json.field("rewrite_resolved", stats.rewriteResolved);
+    json.field("rewrite_applications", stats.rewriteApplications);
+    json.field("slice_resolved", stats.sliceResolved);
+    json.field("sliced_assertions", stats.slicedAssertions);
+    json.field("cache_hits", stats.cacheHits);
+    json.field("cache_misses", stats.cacheMisses);
+    json.field("incremental_reused", stats.incrementalReused);
+    json.field("incremental_solves", stats.incrementalSolves);
+    json.field("cold_solves", stats.coldSolves);
+    json.field("incremental_fallbacks", stats.incrementalFallbacks);
+    json.field("verdicts_identical", true);
+    json.writeFile("BENCH_smt.json");
+    return true;
+}
+
 int
 main(int argc, char **argv)
 {
+    if (!runStackComparison())
+        return 1;
+
     size_t function_count = bench::envSize("KEQ_SMTOPT_FUNCTIONS", 150);
     driver::CorpusOptions copts;
     copts.functionCount = function_count;

@@ -9,6 +9,7 @@
 #include "src/llvmir/symbolic_semantics.h"
 #include "src/llvmir/verifier.h"
 #include "src/memory/layout.h"
+#include "src/smt/incremental_z3_solver.h"
 #include "src/smt/term_factory.h"
 #include "src/smt/z3_solver.h"
 #include "src/support/stopwatch.h"
@@ -103,12 +104,18 @@ namespace {
  * The per-function unit of work. Creates every non-thread-safe component
  * (factory, semantics, Z3) locally so concurrent invocations share
  * nothing but the optional query cache.
+ *
+ * @param exec Solver-stack configuration; nullptr selects the plain
+ *             cold-start Z3 backend with no preprocessing (the free
+ *             validateFunction entry points, used as the unoptimized
+ *             reference stack by tests and benches).
  */
 FunctionReport
 validateFunctionImpl(const llvmir::Module &module,
                      const llvmir::Function &fn,
                      const PipelineOptions &options,
                      const std::shared_ptr<smt::QueryCache> &cache,
+                     const ExecutionOptions *exec,
                      smt::SolverStats *solver_stats)
 {
     FunctionReport report;
@@ -147,11 +154,18 @@ validateFunctionImpl(const llvmir::Module &module,
         vx86::MModule mmodule;
         mmodule.functions.push_back(std::move(mfn));
         vx86::SymbolicSemantics sem_b(mmodule, factory, layout);
-        smt::Z3Solver z3(factory);
+        std::unique_ptr<smt::Solver> backend;
+        if (exec != nullptr && exec->incrementalSolver)
+            backend = std::make_unique<smt::IncrementalZ3Solver>(factory);
+        else
+            backend = std::make_unique<smt::Z3Solver>(factory);
         std::optional<smt::CachingSolver> caching;
-        smt::Solver *solver = &z3;
+        smt::Solver *solver = backend.get();
         if (cache != nullptr) {
-            caching.emplace(factory, z3, cache);
+            smt::CachingSolver::Options stack;
+            stack.simplify = exec != nullptr && exec->simplifyQueries;
+            stack.slice = exec != nullptr && exec->sliceQueries;
+            caching.emplace(factory, *backend, cache, stack);
             solver = &*caching;
         }
         sem::IselAcceptability acceptability;
@@ -208,7 +222,8 @@ FunctionReport
 validateFunction(const llvmir::Module &module, const llvmir::Function &fn,
                  const PipelineOptions &options)
 {
-    return validateFunctionImpl(module, fn, options, nullptr, nullptr);
+    return validateFunctionImpl(module, fn, options, nullptr, nullptr,
+                                nullptr);
 }
 
 FunctionReport
@@ -294,8 +309,8 @@ Pipeline::validateFunction(const llvmir::Module &module,
             std::make_shared<smt::QueryCache>(exec_.cacheShardCapacity);
     }
     smt::SolverStats stats;
-    FunctionReport report =
-        validateFunctionImpl(module, fn, options_, cache, &stats);
+    FunctionReport report = validateFunctionImpl(module, fn, options_,
+                                                 cache, &exec_, &stats);
     return report;
 }
 
@@ -339,7 +354,7 @@ Pipeline::runWithJobs(const llvmir::Module &module, unsigned jobs)
         }
         report.functions[index] =
             validateFunctionImpl(module, *functions[index], options_,
-                                 cache, &per_function[index]);
+                                 cache, &exec_, &per_function[index]);
     };
 
     // Validation is CPU-bound, so oversubscribing cores only adds

@@ -84,6 +84,19 @@ struct ExecutionOptions
     bool sharedCache = true;
     /** Per-shard entry cap before eviction (0 = unlimited). */
     size_t cacheShardCapacity = 1 << 16;
+    /**
+     * Run the rewrite engine (simplify) and cone-of-influence slicer in
+     * front of the cache, and back the stack with the incremental Z3
+     * solver instead of a cold-start-per-query one. All three preserve
+     * verdicts bit-for-bit (asserted by the differential tests), so they
+     * default on; flags exist to measure each stage's contribution and
+     * to pin the PR 1 behaviour in regression baselines.
+     */
+    bool simplifyQueries = true;
+    /** Enable cone-of-influence slicing (see simplifyQueries). */
+    bool sliceQueries = true;
+    /** Use IncrementalZ3Solver as the per-worker backend. */
+    bool incrementalSolver = true;
 };
 
 /** Per-function validation report. */

@@ -123,6 +123,7 @@ class Run
         smt::SolverStats after = solver_.stats();
         stats_.solverQueries = after.queries - before.queries;
         stats_.solverSeconds = after.totalSeconds - before.totalSeconds;
+        stats_.solverStats = after - before;
         stats_.totalSeconds = watch_.seconds();
         verdict.stats = stats_;
         return verdict;

@@ -79,6 +79,12 @@ struct CheckStats
     uint64_t solverQueries = 0;
     double solverSeconds = 0.0;
     double totalSeconds = 0.0;
+    /**
+     * Per-stage solver counters attributed to this check (the delta of
+     * the solver's stats across the run). All optimization-stack fields
+     * are zero when the plain Z3 backend is used directly.
+     */
+    smt::SolverStats solverStats;
 };
 
 /**

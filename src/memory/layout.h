@@ -53,7 +53,11 @@ class MemoryLayout
     static constexpr uint64_t kStackBase = 0x00007fff00000000ull;
     static constexpr uint64_t kGuardGap = 16;
 
-    /** Registers a global object; name must be unique. */
+    /**
+     * Registers a global object; name must be unique. The returned
+     * reference (like addStackSlot's) is invalidated by the next
+     * registration — copy it if it must outlive further adds.
+     */
     const MemoryObject &addGlobal(const std::string &name, uint64_t size);
 
     /**

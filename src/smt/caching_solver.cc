@@ -263,11 +263,23 @@ QueryCache::clear()
 // --- CachingSolver -------------------------------------------------------
 
 CachingSolver::CachingSolver(TermFactory &factory, Solver &backend,
-                             std::shared_ptr<QueryCache> cache)
-    : factory_(factory), backend_(backend), cache_(std::move(cache))
+                             std::shared_ptr<QueryCache> cache,
+                             Options options)
+    : factory_(factory), backend_(backend), cache_(std::move(cache)),
+      options_(options), simplifier_(factory), slicer_(factory)
 {
     KEQ_ASSERT(cache_ != nullptr, "CachingSolver: null cache");
     backend_.enableModelCapture(true);
+}
+
+void
+CachingSolver::countVerdict(SatResult result)
+{
+    switch (result) {
+      case SatResult::Sat: ++stats_.sat; break;
+      case SatResult::Unsat: ++stats_.unsat; break;
+      case SatResult::Unknown: ++stats_.unknown; break;
+    }
 }
 
 std::optional<SatResult>
@@ -430,18 +442,51 @@ SatResult
 CachingSolver::checkSat(const std::vector<Term> &assertions)
 {
     ++stats_.queries;
-    std::string key = normalizedKey(assertions);
+
+    // Stage 1 — rewrite engine. Normalizes the query (which also
+    // improves key-cache hit rates downstream) and decides structurally
+    // trivial obligations outright.
+    std::vector<Term> working = assertions;
+    if (options_.simplify) {
+        SimplifyResult simplified = simplifier_.simplifyQuery(working);
+        stats_.rewriteApplications += simplified.rewrites;
+        if (simplified.decided.has_value()) {
+            ++stats_.rewriteResolved;
+            countVerdict(*simplified.decided);
+            return *simplified.decided;
+        }
+        working = std::move(simplified.assertions);
+    }
+
+    // Stage 2 — cone-of-influence slicing. Prunes witness-discharged
+    // cones (shrinking the key and the backend query) and answers Sat
+    // when every cone is discharged.
+    if (options_.slice) {
+        SliceResult sliced = slicer_.slice(working);
+        stats_.slicedAssertions += sliced.droppedAssertions;
+        if (sliced.decided.has_value()) {
+            ++stats_.sliceResolved;
+            if (*sliced.decided == SatResult::Sat &&
+                sliced.droppedAssertions > 0) {
+                // The combined cone witness is a genuine model of the
+                // whole query; pool it for neighbors.
+                cache_->addModel(std::make_shared<const Assignment>(
+                    std::move(sliced.droppedWitness)));
+            }
+            countVerdict(*sliced.decided);
+            return *sliced.decided;
+        }
+        working = std::move(sliced.kept);
+    }
+
+    // Stages 3-4 — verdict store and model reuse on the reduced query.
+    std::string key = normalizedKey(working);
     if (std::optional<SatResult> hit = cache_->lookup(key)) {
         ++stats_.cacheHits;
-        switch (*hit) {
-          case SatResult::Sat: ++stats_.sat; break;
-          case SatResult::Unsat: ++stats_.unsat; break;
-          case SatResult::Unknown: ++stats_.unknown; break;
-        }
+        countVerdict(*hit);
         return *hit;
     }
-    if (std::optional<SatResult> reused =
-            tryModelReuse(assertions, key)) {
+    if (std::optional<SatResult> reused = tryModelReuse(working, key)) {
         // A pooled model satisfies the query under concrete evaluation:
         // Sat without touching the backend. Store the verdict so exact
         // repeats take the cheaper key path.
@@ -454,7 +499,15 @@ CachingSolver::checkSat(const std::vector<Term> &assertions)
     ++stats_.cacheMisses;
 
     support::Stopwatch watch;
-    SatResult result = backend_.checkSat(assertions);
+    SolverStats backend_before = backend_.stats();
+    SatResult result = backend_.checkSat(working);
+    // Fold the backend's per-call attribution (incremental reuse,
+    // fallbacks, cold solves) into this stack's stats.
+    SolverStats backend_delta = backend_.stats() - backend_before;
+    stats_.incrementalReused += backend_delta.incrementalReused;
+    stats_.incrementalSolves += backend_delta.incrementalSolves;
+    stats_.incrementalFallbacks += backend_delta.incrementalFallbacks;
+    stats_.coldSolves += backend_delta.coldSolves;
     stats_.totalSeconds += watch.seconds();
     if (std::getenv("KEQ_CACHE_DEBUG") != nullptr) {
         std::fprintf(stderr, "MISS %8.2f ms  %s  h=%zx  n=%zu  a=%zu\n",
@@ -464,7 +517,7 @@ CachingSolver::checkSat(const std::vector<Term> &assertions)
                          : (result == SatResult::Unsat ? "unsat"
                                                        : "unk  "),
                      std::hash<std::string>{}(key), key.size(),
-                     assertions.size());
+                     working.size());
     }
     if (result == SatResult::Sat) {
         Assignment model;
@@ -475,11 +528,7 @@ CachingSolver::checkSat(const std::vector<Term> &assertions)
     }
     if (result != SatResult::Unknown)
         cache_->insert(key, result);
-    switch (result) {
-      case SatResult::Sat: ++stats_.sat; break;
-      case SatResult::Unsat: ++stats_.unsat; break;
-      case SatResult::Unknown: ++stats_.unknown; break;
-    }
+    countVerdict(result);
     return result;
 }
 

@@ -34,6 +34,8 @@
 #include <vector>
 
 #include "src/smt/evaluator.h"
+#include "src/smt/simplifier.h"
+#include "src/smt/slicer.h"
 #include "src/smt/solver.h"
 #include "src/smt/term_factory.h"
 
@@ -125,40 +127,70 @@ class QueryCache
 };
 
 /**
- * Solver decorator that consults a QueryCache before the backend.
+ * Solver decorator running the query optimization stack in front of the
+ * backend: simplify -> slice -> cache -> backend.
  *
- * Two memoization layers, tried in order:
- *  1. verdict store — exact canonical-key match returns the stored
- *     Sat/Unsat;
- *  2. model reuse — on a key miss, recent satisfying assignments from
+ * Stages, tried in order (each may answer without the next):
+ *  1. rewrite engine — the Simplifier normalizes the query and decides
+ *     structurally trivial ones (rewrites to `false` => Unsat, rewrites
+ *     away => Sat);
+ *  2. cone-of-influence slicer — variable-disjoint cones with a
+ *     verified witness are pruned; a fully discharged query is Sat;
+ *  3. verdict store — exact canonical-key match on the *reduced* query
+ *     returns the stored Sat/Unsat;
+ *  4. model reuse — on a key miss, recent satisfying assignments from
  *     the pool are evaluated against the query (memoized concrete
  *     evaluation, microseconds); if one satisfies every assertion the
  *     query is Sat by construction, no solver needed. This pays off on
  *     path-feasibility checks, which dominate Sat traffic and rarely
  *     repeat exactly but are usually satisfied by a neighboring path's
  *     model.
+ * Simplification and slicing also shrink what stages 3-4 fingerprint
+ * and what the backend must solve, so they speed up misses too.
  *
  * Stats contract (relied on by the checker, which reads query *deltas*):
  * `queries` counts every checkSat call whether or not it hit, and
  * sat/unsat/unknown count returned results — so a cached run reports the
  * same query/verdict counts as an uncached one and only totalSeconds
- * (backend time actually spent) shrinks. cacheHits counts queries
- * answered without the backend (key hits and model hits alike),
- * cacheMisses counts queries that reached the backend; their sum is
- * `queries`.
+ * (backend time actually spent) shrinks. Every query is resolved by
+ * exactly one stage:
+ *   rewriteResolved + sliceResolved + cacheHits + cacheMisses == queries
+ * where cacheHits counts queries answered by the verdict store or a
+ * reused model, and cacheMisses counts queries that reached the
+ * backend. The incremental-backend counters (incrementalReused,
+ * incrementalSolves, incrementalFallbacks, coldSolves) are folded in
+ * from the backend's own stats per call, so one SolverStats describes
+ * the whole stack.
  */
+/**
+ * Preprocessing configuration for CachingSolver. Both stages run before
+ * the cache by default; tests that assert exact backend-call counts
+ * construct with `{false, false}` to pin the PR 1 cache-only behavior.
+ */
+struct CachingSolverOptions
+{
+    /** Run the Simplifier (rewrite + equality propagation) first. */
+    bool simplify = true;
+    /** Run the cone-of-influence Slicer on the simplified set. */
+    bool slice = true;
+};
+
 class CachingSolver : public Solver
 {
   public:
+    using Options = CachingSolverOptions;
+
     /**
      * @param factory Factory owning the terms this solver will receive.
      * @param backend Solver that misses fall through to; must outlive
      *                this decorator.
      * @param cache Verdict store, possibly shared with other workers'
      *              CachingSolvers.
+     * @param options Which preprocessing stages to run before the cache.
      */
     CachingSolver(TermFactory &factory, Solver &backend,
-                  std::shared_ptr<QueryCache> cache);
+                  std::shared_ptr<QueryCache> cache,
+                  Options options = Options());
 
     SatResult checkSat(const std::vector<Term> &assertions) override;
     void setTimeoutMs(unsigned timeout_ms) override;
@@ -193,9 +225,15 @@ class CachingSolver : public Solver
     tryModelReuse(const std::vector<Term> &assertions,
                   const std::string &key);
 
+    /** Tallies a returned verdict into sat/unsat/unknown. */
+    void countVerdict(SatResult result);
+
     TermFactory &factory_;
     Solver &backend_;
     std::shared_ptr<QueryCache> cache_;
+    Options options_;
+    Simplifier simplifier_;
+    Slicer slicer_;
     SolverStats stats_;
 };
 

@@ -1,0 +1,70 @@
+#ifndef KEQ_SMT_INCREMENTAL_Z3_SOLVER_H
+#define KEQ_SMT_INCREMENTAL_Z3_SOLVER_H
+
+/**
+ * @file
+ * Incremental Z3 backend (stage 3 of the optimization stack).
+ *
+ * Z3Solver cold-starts a fresh z3::solver per query, mirroring the
+ * paper's K/Z3 integration. Checker queries, however, arrive in runs
+ * that share long assertion prefixes: the cut-point hypothesis terms
+ * accumulate in order, and successive proof obligations differ only in
+ * the negated conclusion at the tail. IncrementalZ3Solver keeps one
+ * z3::solver alive per worker and mirrors the assertion list onto a
+ * push/pop scope stack — one scope per directly-asserted assertion
+ * (plain scoped asserts keep Z3's full preprocessing enabled, unlike an
+ * assumption-literal encoding). A new query pops back to the longest
+ * common prefix with the previous one and pushes only the suffix, so
+ * the prefix's internalized clauses survive across queries.
+ *
+ * Soundness guardrail: an Unknown from the incremental solver is
+ * retried on a fresh cold solver before being reported (and the
+ * persistent solver is rebuilt), so incrementality can change timings
+ * but not verdicts — the identity-vs-Z3Solver property tests assert
+ * this on interleaved query sequences.
+ */
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/smt/evaluator.h"
+#include "src/smt/solver.h"
+#include "src/smt/term_factory.h"
+
+namespace keq::smt {
+
+/** Persistent Z3 solver reusing shared assertion prefixes. */
+class IncrementalZ3Solver : public Solver
+{
+  public:
+    explicit IncrementalZ3Solver(TermFactory &factory);
+    ~IncrementalZ3Solver() override;
+
+    SatResult checkSat(const std::vector<Term> &assertions) override;
+    void setTimeoutMs(unsigned timeout_ms) override;
+    const SolverStats &stats() const override { return stats_; }
+
+    void enableModelCapture(bool enabled) override
+    {
+        captureModels_ = enabled;
+    }
+
+    bool lastModel(Assignment *out) const override;
+
+  protected:
+    TermFactory &factory() override { return factory_; }
+
+  private:
+    struct Impl; // hides <z3++.h> from clients
+    TermFactory &factory_;
+    std::unique_ptr<Impl> impl_;
+    SolverStats stats_;
+    unsigned timeoutMs_ = 0;
+    bool captureModels_ = false;
+    std::optional<Assignment> lastModel_;
+};
+
+} // namespace keq::smt
+
+#endif // KEQ_SMT_INCREMENTAL_Z3_SOLVER_H

@@ -1,0 +1,586 @@
+#include "src/smt/simplifier.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/smt/term_node.h"
+#include "src/support/diagnostics.h"
+
+namespace keq::smt {
+
+using support::ApInt;
+
+namespace {
+
+bool
+isCommutativeBvOp(Kind kind)
+{
+    return kind == Kind::BvAdd || kind == Kind::BvMul ||
+           kind == Kind::BvAnd || kind == Kind::BvOr ||
+           kind == Kind::BvXor;
+}
+
+/** Folds two constants of a commutative/associative bv operation. */
+ApInt
+foldAssoc(Kind kind, ApInt a, ApInt b)
+{
+    switch (kind) {
+      case Kind::BvAdd: return a.add(b);
+      case Kind::BvMul: return a.mul(b);
+      case Kind::BvAnd: return a.and_(b);
+      case Kind::BvOr: return a.or_(b);
+      case Kind::BvXor: return a.xor_(b);
+      default:
+        KEQ_ASSERT(false, "foldAssoc: not associative");
+    }
+    return a;
+}
+
+/** The non-constant / constant split of a binary term, if it has one. */
+struct ConstSplit
+{
+    Term other;
+    ApInt value;
+    bool found = false;
+};
+
+ConstSplit
+splitConst(Term term)
+{
+    ConstSplit split;
+    if (term.operand(0).isBvConst()) {
+        split = {term.operand(1), term.operand(0).bvValue(), true};
+    } else if (term.operand(1).isBvConst()) {
+        split = {term.operand(0), term.operand(1).bvValue(), true};
+    }
+    return split;
+}
+
+bool
+mentionsVar(Term root, const std::string &name)
+{
+    std::unordered_set<const TermNode *> visited;
+    std::vector<Term> stack{root};
+    while (!stack.empty()) {
+        Term term = stack.back();
+        stack.pop_back();
+        if (!visited.insert(term.node()).second)
+            continue;
+        if (term.isVar() && term.varName() == name)
+            return true;
+        for (size_t i = 0; i < term.numOperands(); ++i)
+            stack.push_back(term.operand(i));
+    }
+    return false;
+}
+
+} // namespace
+
+// --- substitution ---------------------------------------------------------
+
+Term
+substituteVars(TermFactory &tf, Term term,
+               const std::unordered_map<std::string, Term> &map)
+{
+    // Iterative post-order rebuild through the factory. The memo is
+    // local to one substitution map.
+    std::unordered_map<const TermNode *, Term> memo;
+    struct Frame
+    {
+        Term term;
+        size_t nextOperand = 0;
+        std::vector<Term> rebuilt;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({term, 0, {}});
+    while (true) {
+        Frame &frame = stack.back();
+        if (auto it = memo.find(frame.term.node()); it != memo.end()) {
+            Term result = it->second;
+            stack.pop_back();
+            if (stack.empty())
+                return result;
+            stack.back().rebuilt.push_back(result);
+            continue;
+        }
+        if (frame.nextOperand < frame.term.numOperands()) {
+            Term operand = frame.term.operand(frame.nextOperand++);
+            stack.push_back({operand, 0, {}});
+            continue;
+        }
+
+        Term t = frame.term;
+        const std::vector<Term> &ops = frame.rebuilt;
+        Term result;
+        switch (t.kind()) {
+          case Kind::Var: {
+            auto it = map.find(t.varName());
+            if (it != map.end()) {
+                KEQ_ASSERT(it->second.sort() == t.sort(),
+                           "substituteVars: sort mismatch");
+                result = it->second;
+            } else {
+                result = t;
+            }
+            break;
+          }
+          case Kind::BvConst:
+          case Kind::BoolConst:
+            result = t;
+            break;
+          case Kind::Not:
+            result = tf.mkNot(ops[0]);
+            break;
+          case Kind::And:
+            result = tf.mkAnd(ops[0], ops[1]);
+            break;
+          case Kind::Or:
+            result = tf.mkOr(ops[0], ops[1]);
+            break;
+          case Kind::Implies:
+            result = tf.mkImplies(ops[0], ops[1]);
+            break;
+          case Kind::Iff:
+            result = tf.mkIff(ops[0], ops[1]);
+            break;
+          case Kind::Ite:
+            result = tf.mkIte(ops[0], ops[1], ops[2]);
+            break;
+          case Kind::Eq:
+            result = tf.mkEq(ops[0], ops[1]);
+            break;
+          case Kind::BvUlt:
+          case Kind::BvUle:
+          case Kind::BvSlt:
+          case Kind::BvSle:
+            result = tf.bvPredicate(t.kind(), ops[0], ops[1]);
+            break;
+          case Kind::BvNot:
+            result = tf.bvNot(ops[0]);
+            break;
+          case Kind::BvNeg:
+            result = tf.bvNeg(ops[0]);
+            break;
+          case Kind::ZExt:
+            result = tf.zext(ops[0], t.sort().width());
+            break;
+          case Kind::SExt:
+            result = tf.sext(ops[0], t.sort().width());
+            break;
+          case Kind::Extract:
+            result = tf.extract(ops[0], t.extractHi(), t.extractLo());
+            break;
+          case Kind::Concat:
+            result = tf.concat(ops[0], ops[1]);
+            break;
+          case Kind::Select:
+            result = tf.select(ops[0], ops[1]);
+            break;
+          case Kind::Store:
+            result = tf.store(ops[0], ops[1], ops[2]);
+            break;
+          default:
+            // Binary bitvector arithmetic.
+            result = tf.bvBinOp(t.kind(), ops[0], ops[1]);
+            break;
+        }
+        memo.emplace(t.node(), result);
+        stack.pop_back();
+        if (stack.empty())
+            return result;
+        stack.back().rebuilt.push_back(result);
+    }
+}
+
+// --- the rewriter ---------------------------------------------------------
+
+Term
+Simplifier::rewrite(Term term)
+{
+    if (auto it = memo_.find(term.node()); it != memo_.end())
+        return it->second;
+    Term result = applyRules(rewriteOperands(term));
+    memo_.emplace(term.node(), result);
+    return result;
+}
+
+Term
+Simplifier::rewriteOperands(Term term)
+{
+    if (term.numOperands() == 0)
+        return term;
+    std::vector<Term> ops;
+    ops.reserve(term.numOperands());
+    bool changed = false;
+    for (size_t i = 0; i < term.numOperands(); ++i) {
+        Term rewritten = rewrite(term.operand(i));
+        changed |= !(rewritten == term.operand(i));
+        ops.push_back(rewritten);
+    }
+    if (!changed)
+        return term;
+    // Rebuild through the factory so its construction-time rules fire on
+    // the rewritten operands.
+    switch (term.kind()) {
+      case Kind::Not: return tf_.mkNot(ops[0]);
+      case Kind::And: return tf_.mkAnd(ops[0], ops[1]);
+      case Kind::Or: return tf_.mkOr(ops[0], ops[1]);
+      case Kind::Implies: return tf_.mkImplies(ops[0], ops[1]);
+      case Kind::Iff: return tf_.mkIff(ops[0], ops[1]);
+      case Kind::Ite: return tf_.mkIte(ops[0], ops[1], ops[2]);
+      case Kind::Eq: return tf_.mkEq(ops[0], ops[1]);
+      case Kind::BvUlt:
+      case Kind::BvUle:
+      case Kind::BvSlt:
+      case Kind::BvSle:
+        return tf_.bvPredicate(term.kind(), ops[0], ops[1]);
+      case Kind::BvNot: return tf_.bvNot(ops[0]);
+      case Kind::BvNeg: return tf_.bvNeg(ops[0]);
+      case Kind::ZExt: return tf_.zext(ops[0], term.sort().width());
+      case Kind::SExt: return tf_.sext(ops[0], term.sort().width());
+      case Kind::Extract:
+        return tf_.extract(ops[0], term.extractHi(), term.extractLo());
+      case Kind::Concat: return tf_.concat(ops[0], ops[1]);
+      case Kind::Select: return tf_.select(ops[0], ops[1]);
+      case Kind::Store: return tf_.store(ops[0], ops[1], ops[2]);
+      default: return tf_.bvBinOp(term.kind(), ops[0], ops[1]);
+    }
+}
+
+Term
+Simplifier::applyRules(Term term)
+{
+    // Every rule strictly shrinks (node count, operand widths), so the
+    // fixpoint terminates; the cap is pure defence.
+    for (int round = 0; round < 64; ++round) {
+        Term next = applyRulesOnce(term);
+        if (next.isNull())
+            return term;
+        ++rewrites_;
+        // The rewritten root may expose new operand-level redexes (e.g.
+        // ite-lifting creates And/Or of fresh subterms), so normalize
+        // the whole replacement before the next round.
+        term = rewrite(next);
+    }
+    return term;
+}
+
+Term
+Simplifier::applyRulesOnce(Term t)
+{
+    const Kind kind = t.kind();
+
+    // --- bitvector arithmetic ---------------------------------------------
+    if (kind == Kind::BvSub && t.operand(1).isBvConst() &&
+        !t.operand(1).bvValue().isZero()) {
+        // x - c -> x + (-c): funnels subtraction into the associative
+        // re-folding below.
+        return tf_.bvAdd(t.operand(0),
+                         tf_.bvConst(t.operand(1).bvValue().neg()));
+    }
+    if (isCommutativeBvOp(kind)) {
+        ConstSplit outer = splitConst(t);
+        if (outer.found && outer.other.kind() == kind) {
+            ConstSplit inner = splitConst(outer.other);
+            if (inner.found) {
+                // (x op c1) op c2 -> x op (c1 op c2).
+                return tf_.bvBinOp(
+                    kind, inner.other,
+                    tf_.bvConst(foldAssoc(kind, inner.value,
+                                          outer.value)));
+            }
+        }
+    }
+    if (kind == Kind::BvXor) {
+        // x ^ allones -> ~x.
+        ConstSplit split = splitConst(t);
+        if (split.found && split.value.isAllOnes())
+            return tf_.bvNot(split.other);
+    }
+    if (kind == Kind::BvAnd || kind == Kind::BvOr) {
+        // x & ~x -> 0, x | ~x -> allones.
+        Term a = t.operand(0);
+        Term b = t.operand(1);
+        bool complements =
+            (a.kind() == Kind::BvNot && a.operand(0) == b) ||
+            (b.kind() == Kind::BvNot && b.operand(0) == a);
+        if (complements) {
+            unsigned width = t.sort().width();
+            return kind == Kind::BvAnd
+                       ? tf_.bvConst(width, 0)
+                       : tf_.bvConst(ApInt::allOnes(width));
+        }
+    }
+    if ((kind == Kind::BvShl || kind == Kind::BvLShr) &&
+        t.operand(1).isBvConst() && t.operand(0).kind() == kind &&
+        t.operand(0).operand(1).isBvConst()) {
+        // (x shift c1) shift c2 -> x shift (c1 + c2), saturating to 0 at
+        // the width (both shifts shift in zeros).
+        unsigned width = t.sort().width();
+        uint64_t total = t.operand(1).bvValue().zext() +
+                         t.operand(0).operand(1).bvValue().zext();
+        if (total >= width)
+            return tf_.bvConst(width, 0);
+        return tf_.bvBinOp(kind, t.operand(0).operand(0),
+                           tf_.bvConst(width, total));
+    }
+
+    // --- comparisons -------------------------------------------------------
+    if (kind == Kind::BvUlt || kind == Kind::BvUle ||
+        kind == Kind::BvSlt || kind == Kind::BvSle) {
+        Term a = t.operand(0);
+        Term b = t.operand(1);
+        unsigned width = a.sort().width();
+        if (b.isBvConst()) {
+            ApInt bv = b.bvValue();
+            if (kind == Kind::BvUlt && bv.isZero())
+                return tf_.falseTerm();
+            if (kind == Kind::BvUlt && bv.zext() == 1)
+                return tf_.mkEq(a, tf_.bvConst(width, 0));
+            if (kind == Kind::BvUle && bv.isAllOnes())
+                return tf_.trueTerm();
+            if (kind == Kind::BvSle && bv == ApInt::signedMax(width))
+                return tf_.trueTerm();
+            if (kind == Kind::BvSlt && bv == ApInt::signedMin(width))
+                return tf_.falseTerm();
+        }
+        if (a.isBvConst()) {
+            ApInt av = a.bvValue();
+            if (kind == Kind::BvUle && av.isZero())
+                return tf_.trueTerm();
+            if (kind == Kind::BvUlt && av.isAllOnes())
+                return tf_.falseTerm();
+            if (kind == Kind::BvSle && av == ApInt::signedMin(width))
+                return tf_.trueTerm();
+            if (kind == Kind::BvSlt && av == ApInt::signedMax(width))
+                return tf_.falseTerm();
+        }
+        // Strip matching extensions: zext is monotone for unsigned
+        // comparisons, sext for signed ones (and for unsigned ones the
+        // order embedding does not hold, so only the matching pairs
+        // fold).
+        bool is_unsigned = kind == Kind::BvUlt || kind == Kind::BvUle;
+        Kind ext = is_unsigned ? Kind::ZExt : Kind::SExt;
+        if (a.kind() == ext && b.kind() == ext &&
+            a.operand(0).sort() == b.operand(0).sort()) {
+            return tf_.bvPredicate(kind, a.operand(0), b.operand(0));
+        }
+        // zext(x) < c with c >= 2^w(x): always true (likewise <=).
+        if (is_unsigned && a.kind() == Kind::ZExt && b.isBvConst()) {
+            unsigned iw = a.operand(0).sort().width();
+            ApInt bound = ApInt::allOnes(iw).zextTo(width);
+            if (kind == Kind::BvUlt ? bound.ult(b.bvValue())
+                                    : bound.ule(b.bvValue())) {
+                return tf_.trueTerm();
+            }
+            // And when c fits in the narrow width, compare there.
+            if (b.bvValue().ule(bound)) {
+                return tf_.bvPredicate(
+                    kind, a.operand(0),
+                    tf_.bvConst(b.bvValue().truncTo(iw)));
+            }
+        }
+    }
+
+    if (kind == Kind::Eq && t.operand(0).sort().isBitVec()) {
+        Term a = t.operand(0);
+        Term b = t.operand(1);
+        // Orient the constant to one side for the rules below.
+        if (a.isBvConst())
+            std::swap(a, b);
+        if (b.isBvConst()) {
+            ApInt c = b.bvValue();
+            // eq(x + c1, c2) -> eq(x, c2 - c1): exposes definitional
+            // equalities to the propagation pass.
+            if (a.kind() == Kind::BvAdd) {
+                ConstSplit split = splitConst(a);
+                if (split.found) {
+                    return tf_.mkEq(split.other,
+                                    tf_.bvConst(c.sub(split.value)));
+                }
+            }
+            if (a.kind() == Kind::BvXor) {
+                ConstSplit split = splitConst(a);
+                if (split.found) {
+                    return tf_.mkEq(split.other,
+                                    tf_.bvConst(c.xor_(split.value)));
+                }
+            }
+            // eq(zext(x), c): decided by c's high bits.
+            if (a.kind() == Kind::ZExt) {
+                unsigned iw = a.operand(0).sort().width();
+                if (!c.lshr(ApInt(c.width(), iw)).isZero())
+                    return tf_.falseTerm();
+                return tf_.mkEq(a.operand(0),
+                                tf_.bvConst(c.truncTo(iw)));
+            }
+            // eq(sext(x), c): c must be its own sign-extension.
+            if (a.kind() == Kind::SExt) {
+                unsigned iw = a.operand(0).sort().width();
+                ApInt low = c.truncTo(iw);
+                if (!(low.sextTo(c.width()) == c))
+                    return tf_.falseTerm();
+                return tf_.mkEq(a.operand(0), tf_.bvConst(low));
+            }
+            // eq(bvnot(x), c) -> eq(x, ~c); eq(bvneg(x), c) -> eq(x,-c).
+            if (a.kind() == Kind::BvNot)
+                return tf_.mkEq(a.operand(0), tf_.bvConst(c.not_()));
+            if (a.kind() == Kind::BvNeg)
+                return tf_.mkEq(a.operand(0), tf_.bvConst(c.neg()));
+        }
+        // eq(zext(x), zext(y)) / eq(sext(x), sext(y)) with equal inner
+        // widths: extensions are injective.
+        if ((a.kind() == Kind::ZExt || a.kind() == Kind::SExt) &&
+            b.kind() == a.kind() &&
+            a.operand(0).sort() == b.operand(0).sort()) {
+            return tf_.mkEq(a.operand(0), b.operand(0));
+        }
+        // eq(x + c, x) with c != 0 is false (cancellation).
+        auto cancels = [](Term sum, Term base) {
+            if (sum.kind() != Kind::BvAdd)
+                return false;
+            ConstSplit split = splitConst(sum);
+            return split.found && split.other == base &&
+                   !split.value.isZero();
+        };
+        if (cancels(a, b) || cancels(b, a))
+            return tf_.falseTerm();
+    }
+
+    // --- ite lifting -------------------------------------------------------
+    if (kind == Kind::Ite) {
+        Term cond = t.operand(0);
+        Term then_t = t.operand(1);
+        Term else_t = t.operand(2);
+        if (cond.kind() == Kind::Not)
+            return tf_.mkIte(cond.operand(0), else_t, then_t);
+        if (t.sort().isBool()) {
+            // Boolean ites become and/or so the factory's absorption and
+            // complement rules see through them.
+            if (then_t.isTrue())
+                return tf_.mkOr(cond, else_t);
+            if (then_t.isFalse())
+                return tf_.mkAnd(tf_.mkNot(cond), else_t);
+            if (else_t.isTrue())
+                return tf_.mkOr(tf_.mkNot(cond), then_t);
+            if (else_t.isFalse())
+                return tf_.mkAnd(cond, then_t);
+        }
+        // Nested ites on the same condition collapse to one decision.
+        if (then_t.kind() == Kind::Ite && then_t.operand(0) == cond)
+            return tf_.mkIte(cond, then_t.operand(1), else_t);
+        if (else_t.kind() == Kind::Ite && else_t.operand(0) == cond)
+            return tf_.mkIte(cond, then_t, else_t.operand(2));
+    }
+
+    return Term();
+}
+
+// --- whole-query simplification -------------------------------------------
+
+SimplifyResult
+Simplifier::simplifyQuery(const std::vector<Term> &assertions)
+{
+    SimplifyResult result;
+    uint64_t rewrites_before = rewrites_;
+
+    // 1. Flatten top-level conjunctions (mkAnd builds left-leaning
+    //    chains) and rewrite each conjunct.
+    std::vector<Term> flat;
+    std::vector<Term> pending(assertions.rbegin(), assertions.rend());
+    while (!pending.empty()) {
+        Term term = pending.back();
+        pending.pop_back();
+        if (term.kind() == Kind::And) {
+            pending.push_back(term.operand(1));
+            pending.push_back(term.operand(0));
+            continue;
+        }
+        flat.push_back(rewrite(term));
+    }
+
+    // 2. Equality propagation: eliminate definitional constraints.
+    //    `x == t` (x not free in t) lets every other assertion replace x
+    //    by t; the defining equation is then dropped — any model of the
+    //    rest extends uniquely to x. Bool facts propagate the same way:
+    //    a bare `x` assertion pins x to true, `!x` to false.
+    for (size_t round = 0; round < flat.size() + 1; ++round) {
+        std::unordered_map<std::string, Term> binding;
+        size_t defining = flat.size();
+        for (size_t i = 0; i < flat.size() && binding.empty(); ++i) {
+            Term a = flat[i];
+            Term var, value;
+            if (a.kind() == Kind::Eq || a.kind() == Kind::Iff) {
+                if (a.operand(0).isVar()) {
+                    var = a.operand(0);
+                    value = a.operand(1);
+                } else if (a.operand(1).isVar()) {
+                    var = a.operand(1);
+                    value = a.operand(0);
+                }
+                if (var && !mentionsVar(value, var.varName())) {
+                    binding.emplace(var.varName(), value);
+                    defining = i;
+                }
+            } else if (a.isVar()) {
+                binding.emplace(a.varName(), tf_.trueTerm());
+                defining = i;
+            } else if (a.kind() == Kind::Not && a.operand(0).isVar()) {
+                binding.emplace(a.operand(0).varName(), tf_.falseTerm());
+                defining = i;
+            }
+        }
+        if (binding.empty())
+            break;
+        ++result.eliminatedVars;
+        ++rewrites_;
+        std::vector<Term> next;
+        next.reserve(flat.size() - 1);
+        for (size_t i = 0; i < flat.size(); ++i) {
+            if (i == defining)
+                continue;
+            Term substituted = substituteVars(tf_, flat[i], binding);
+            next.push_back(rewrite(substituted));
+        }
+        flat = std::move(next);
+    }
+
+    // 3. Re-conjoin through the factory: its chain scan cancels
+    //    duplicate and complementary assertions across the whole set,
+    //    then flatten back into assertion form.
+    Term conjoined = tf_.trueTerm();
+    for (const Term &a : flat)
+        conjoined = tf_.mkAnd(conjoined, a);
+
+    // 4. Structural fast paths.
+    if (conjoined.isFalse()) {
+        result.decided = SatResult::Unsat;
+        result.rewrites = rewrites_ - rewrites_before;
+        return result;
+    }
+    if (conjoined.isTrue()) {
+        // Everything rewrote away; the empty conjunction is satisfied by
+        // any assignment. (Eliminated definitional variables extend any
+        // model, so this is still Sat for the original query.)
+        result.decided = SatResult::Sat;
+        result.rewrites = rewrites_ - rewrites_before;
+        return result;
+    }
+
+    result.assertions.clear();
+    std::vector<Term> chain{conjoined};
+    while (!chain.empty()) {
+        Term term = chain.back();
+        chain.pop_back();
+        if (term.kind() == Kind::And) {
+            chain.push_back(term.operand(1));
+            chain.push_back(term.operand(0));
+            continue;
+        }
+        result.assertions.push_back(term);
+    }
+    result.rewrites = rewrites_ - rewrites_before;
+    return result;
+}
+
+} // namespace keq::smt

@@ -1,0 +1,114 @@
+#ifndef KEQ_SMT_SIMPLIFIER_H
+#define KEQ_SMT_SIMPLIFIER_H
+
+/**
+ * @file
+ * Rewrite engine for SMT queries (stage 1 of the optimization stack).
+ *
+ * The TermFactory already folds constants and applies local identities on
+ * construction, but it only ever sees one node at a time. The Simplifier
+ * adds what the factory cannot:
+ *
+ *  - bitvector algebraic rules that need to look through one operand
+ *    (associative constant re-folding, shift composition, extension
+ *    narrowing of comparisons, xor-with-allones, x & ~x, ...);
+ *  - ite-lifting: boolean-sorted ites become and/or combinations and
+ *    nested same-condition ites collapse, so the factory's boolean
+ *    absorption/complement machinery applies to their conditions;
+ *  - whole-query passes: top-level conjunctions are flattened into
+ *    assertion sets, definitional equalities (`x == t` with `x` free)
+ *    are eliminated by substitution (equality propagation), and the
+ *    final set is re-conjoined through the factory so duplicated and
+ *    contradictory assertions cancel across the set;
+ *  - structural fast paths: a query that rewrites to `false` is Unsat
+ *    and a query that rewrites away entirely is Sat — trivial
+ *    verification conditions never reach Z3.
+ *
+ * Every rewrite is satisfiability-preserving (most are equivalences;
+ * variable elimination is equisatisfiable in both directions), so the
+ * downstream verdict is bit-identical to the unoptimized stack's.
+ * Rebuilding terms through the owning factory keeps the output
+ * hash-consed, which is what makes the rewriter cheap: results are
+ * memoized per node, so shared DAG nodes are visited once per
+ * Simplifier lifetime.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/smt/solver.h"
+#include "src/smt/term.h"
+#include "src/smt/term_factory.h"
+
+namespace keq::smt {
+
+/** Outcome of simplifying one query (an assertion conjunction). */
+struct SimplifyResult
+{
+    /** The simplified assertion set; meaningless when decided is set. */
+    std::vector<Term> assertions;
+    /** Set when the fast paths decided the query without a solver. */
+    std::optional<SatResult> decided;
+    /** Individual rewrite rule firings (term- and set-level). */
+    uint64_t rewrites = 0;
+    /** Variables eliminated by equality propagation. */
+    uint64_t eliminatedVars = 0;
+};
+
+/**
+ * Bottom-up memoizing rewriter over one TermFactory's DAG.
+ *
+ * Not thread safe; use one Simplifier per worker (it holds references
+ * into its factory, so it must not outlive it). The memo table persists
+ * across calls — rewriting is pure, so a node's normal form never
+ * changes.
+ */
+class Simplifier
+{
+  public:
+    explicit Simplifier(TermFactory &factory) : tf_(factory) {}
+
+    /**
+     * Normal form of one term: operands rewritten first, then the rule
+     * set applied to fixpoint at the root. Sort-preserving and, unlike
+     * simplifyQuery's set-level passes, *model-preserving*: for every
+     * assignment, eval(rewrite(t)) == eval(t) (the property tests check
+     * exactly this against smt::Evaluator).
+     */
+    Term rewrite(Term term);
+
+    /**
+     * Whole-query simplification: flatten top-level conjunctions,
+     * rewrite every assertion, eliminate definitional equalities by
+     * substitution, re-conjoin through the factory, and decide
+     * structurally trivial queries. Satisfiability-preserving.
+     */
+    SimplifyResult simplifyQuery(const std::vector<Term> &assertions);
+
+    /** Rule firings since construction. */
+    uint64_t rewriteCount() const { return rewrites_; }
+
+  private:
+    Term rewriteOperands(Term term);
+    /** Applies root rules until none fire; counts into rewrites_. */
+    Term applyRules(Term term);
+    /** One pass of root rules; null when nothing fired. */
+    Term applyRulesOnce(Term term);
+
+    TermFactory &tf_;
+    std::unordered_map<const TermNode *, Term> memo_;
+    uint64_t rewrites_ = 0;
+};
+
+/**
+ * Capture-free substitution of free variables by terms, rebuilt through
+ * @p tf (so factory folds re-apply). Exposed for the simplifier tests.
+ */
+Term substituteVars(TermFactory &tf, Term term,
+                    const std::unordered_map<std::string, Term> &map);
+
+} // namespace keq::smt
+
+#endif // KEQ_SMT_SIMPLIFIER_H

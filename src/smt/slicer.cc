@@ -1,0 +1,248 @@
+#include "src/smt/slicer.h"
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/smt/caching_solver.h"
+#include "src/smt/term_node.h"
+#include "src/support/diagnostics.h"
+#include "src/support/rng.h"
+
+namespace keq::smt {
+
+namespace {
+
+/** Free variables of one assertion, plus evaluation supportability. */
+struct AssertionScan
+{
+    std::vector<std::pair<std::string, Sort>> vars;
+    /** False when concrete evaluation cannot decide the assertion
+     *  (array-sorted equality has no finite-overlay semantics). */
+    bool evaluable = true;
+};
+
+AssertionScan
+scanAssertion(Term root)
+{
+    AssertionScan scan;
+    std::unordered_set<const TermNode *> visited;
+    std::unordered_set<std::string> seen;
+    std::vector<Term> stack{root};
+    while (!stack.empty()) {
+        Term term = stack.back();
+        stack.pop_back();
+        if (!visited.insert(term.node()).second)
+            continue;
+        if (term.isVar()) {
+            if (seen.insert(term.varName()).second)
+                scan.vars.emplace_back(term.varName(), term.sort());
+        } else if (term.kind() == Kind::Eq &&
+                   !term.operand(0).sort().isBool() &&
+                   !term.operand(0).sort().isBitVec()) {
+            scan.evaluable = false;
+        }
+        for (size_t i = 0; i < term.numOperands(); ++i)
+            stack.push_back(term.operand(i));
+    }
+    return scan;
+}
+
+/** Union-find over assertion indices. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(size_t n) : parent_(n)
+    {
+        for (size_t i = 0; i < n; ++i)
+            parent_[i] = i;
+    }
+
+    size_t
+    find(size_t x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    void
+    unite(size_t a, size_t b)
+    {
+        parent_[find(a)] = find(b);
+    }
+
+  private:
+    std::vector<size_t> parent_;
+};
+
+/** One cone of influence: assertions closed under variable sharing. */
+struct Cone
+{
+    std::vector<size_t> assertionIndices;
+    std::vector<std::pair<std::string, Sort>> vars;
+    bool evaluable = true;
+};
+
+/**
+ * Deterministic witness search over one cone. Mirrors the QueryCache's
+ * probe discipline (fixed corner cases first, then seeded SplitMix64
+ * draws) at a smaller budget: cones are small, and a miss costs only a
+ * few memoized evaluations.
+ */
+bool
+findWitness(const Cone &cone, const std::vector<Term> &assertions,
+            uint64_t seed, Assignment *witness)
+{
+    if (!cone.evaluable)
+        return false;
+    static constexpr int kProbes = 12;
+    support::Rng rng(seed ^ 0xC2B2AE3D27D4EB4Full);
+    for (int probe = 0; probe < kProbes; ++probe) {
+        Assignment candidate;
+        for (const auto &[name, sort] : cone.vars) {
+            if (sort.isBitVec()) {
+                uint64_t bits;
+                switch (probe) {
+                  case 0: bits = 0; break;
+                  case 1: bits = ~0ull; break;
+                  case 2: bits = 1; break;
+                  default: bits = rng.next(); break;
+                }
+                candidate.setBv(name, support::ApInt(sort.width(), bits));
+            } else if (sort.isBool()) {
+                candidate.setBool(
+                    name, probe == 0 ? false : (rng.next() & 1) != 0);
+            }
+            // Array variables need no entry: unset bytes read as zero.
+        }
+        Evaluator eval(candidate);
+        bool satisfied = true;
+        try {
+            for (size_t index : cone.assertionIndices) {
+                if (!eval.evalBool(assertions[index])) {
+                    satisfied = false;
+                    break;
+                }
+            }
+        } catch (const support::InternalError &) {
+            satisfied = false;
+        }
+        if (satisfied) {
+            *witness = std::move(candidate);
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+SliceResult
+Slicer::slice(const std::vector<Term> &assertions)
+{
+    SliceResult result;
+    const size_t n = assertions.size();
+    if (n == 0) {
+        result.decided = SatResult::Sat;
+        return result;
+    }
+
+    // 1. Cone fixpoint: assertions sharing any free variable coalesce.
+    //    (The factory folds variable-free assertions to constants, but
+    //    guard anyway: `false` decides the query, `true` drops.)
+    std::vector<AssertionScan> scans;
+    scans.reserve(n);
+    UnionFind uf(n);
+    std::unordered_map<std::string, size_t> owner; // var -> assertion
+    for (size_t i = 0; i < n; ++i) {
+        if (assertions[i].isFalse()) {
+            result.decided = SatResult::Unsat;
+            return result;
+        }
+        scans.push_back(scanAssertion(assertions[i]));
+        for (const auto &[name, sort] : scans[i].vars) {
+            (void)sort;
+            auto [it, inserted] = owner.emplace(name, i);
+            if (!inserted)
+                uf.unite(i, it->second);
+        }
+    }
+
+    // 2. Materialize cones. Variable-free `true` assertions form empty
+    //    cones and drop silently.
+    std::unordered_map<size_t, Cone> cones;
+    std::vector<size_t> roots; // deterministic iteration order
+    for (size_t i = 0; i < n; ++i) {
+        if (assertions[i].isTrue())
+            continue;
+        size_t root = uf.find(i);
+        auto [it, inserted] = cones.emplace(root, Cone{});
+        if (inserted)
+            roots.push_back(root);
+        Cone &cone = it->second;
+        cone.assertionIndices.push_back(i);
+        cone.evaluable &= scans[i].evaluable;
+    }
+    // Collect each cone's variables once, in first-occurrence order.
+    for (size_t root : roots) {
+        Cone &cone = cones.at(root);
+        std::unordered_set<std::string> seen;
+        for (size_t index : cone.assertionIndices) {
+            for (const auto &var : scans[index].vars) {
+                if (seen.insert(var.first).second)
+                    cone.vars.push_back(var);
+            }
+        }
+    }
+    result.components = roots.size();
+
+    // 3. Discharge cones with a verified witness; keep the rest. The
+    //    probe seed derives from the cone's canonical fingerprint, so
+    //    the search — and hence every downstream counter — is
+    //    deterministic across runs, threads, and factories.
+    std::vector<bool> dropped(n, false);
+    bool all_dropped = true;
+    for (size_t root : roots) {
+        const Cone &cone = cones.at(root);
+        std::vector<Term> cone_assertions;
+        cone_assertions.reserve(cone.assertionIndices.size());
+        for (size_t index : cone.assertionIndices)
+            cone_assertions.push_back(assertions[index]);
+        uint64_t seed = std::hash<std::string>{}(
+            CachingSolver::normalizedKey(cone_assertions));
+        Assignment witness;
+        if (findWitness(cone, assertions, seed, &witness)) {
+            for (size_t index : cone.assertionIndices)
+                dropped[index] = true;
+            result.droppedAssertions += cone.assertionIndices.size();
+            // Merge the witness into the combined dropped-cone model
+            // (cones are variable-disjoint, so no clashes).
+            for (const auto &[name, sort] : cone.vars) {
+                if (sort.isBitVec())
+                    result.droppedWitness.setBv(name, witness.bv(name));
+                else if (sort.isBool())
+                    result.droppedWitness.setBool(name,
+                                                  witness.boolean(name));
+            }
+        } else {
+            all_dropped = false;
+        }
+    }
+
+    if (all_dropped) {
+        // Every cone has a witness and cone models compose: Sat.
+        result.decided = SatResult::Sat;
+        return result;
+    }
+    for (size_t i = 0; i < n; ++i) {
+        if (!assertions[i].isTrue() && !dropped[i])
+            result.kept.push_back(assertions[i]);
+    }
+    return result;
+}
+
+} // namespace keq::smt

@@ -1,0 +1,70 @@
+#ifndef KEQ_SMT_SLICER_H
+#define KEQ_SMT_SLICER_H
+
+/**
+ * @file
+ * Cone-of-influence slicer for SMT queries (stage 2 of the optimization
+ * stack).
+ *
+ * A checker query is a conjunction mixing the actual proof goal with a
+ * long tail of side constraints (definitional equalities, path-condition
+ * fragments of unrelated registers). The slicer computes the cones of
+ * influence — the fixpoint partition of the assertion set under "shares
+ * a free variable", walked over the hash-consed term DAG — and then
+ * discharges whole cones that are independently satisfiable by a cheap
+ * deterministic witness search (concrete evaluation of a few seeded
+ * probe assignments). Cones share no variables, so their models compose:
+ * dropping a cone with a verified witness never changes the query's
+ * verdict, it only shrinks what the cache fingerprints and the solver
+ * sees. When every cone is discharged the query is Sat outright.
+ *
+ * The witness check is evaluation-proven (the same discipline as the
+ * QueryCache's model reuse), so slicing can shift timings but never
+ * verdicts — asserted by the differential property tests.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/smt/evaluator.h"
+#include "src/smt/solver.h"
+#include "src/smt/term.h"
+#include "src/smt/term_factory.h"
+
+namespace keq::smt {
+
+/** Outcome of slicing one query. */
+struct SliceResult
+{
+    /** Assertions of the undischarged cones, in input order. */
+    std::vector<Term> kept;
+    /** Set when slicing alone decided the query. */
+    std::optional<SatResult> decided;
+    /** Assertions pruned (their cone had a verified witness). */
+    uint64_t droppedAssertions = 0;
+    /** Number of cones (connected components) in the query. */
+    uint64_t components = 0;
+    /**
+     * Combined witness of every dropped cone: a partial model that
+     * satisfies exactly the pruned assertions. Useful as a pooled model
+     * seed — it is re-verified by evaluation before any reuse.
+     */
+    Assignment droppedWitness;
+};
+
+/** Slices assertion sets along cones of influence. */
+class Slicer
+{
+  public:
+    explicit Slicer(TermFactory &factory) : tf_(factory) {}
+
+    SliceResult slice(const std::vector<Term> &assertions);
+
+  private:
+    TermFactory &tf_;
+};
+
+} // namespace keq::smt
+
+#endif // KEQ_SMT_SLICER_H

@@ -15,7 +15,40 @@ SolverStats::operator+=(const SolverStats &rhs)
     cacheHits += rhs.cacheHits;
     cacheMisses += rhs.cacheMisses;
     cacheEvictions += rhs.cacheEvictions;
+    rewriteResolved += rhs.rewriteResolved;
+    rewriteApplications += rhs.rewriteApplications;
+    sliceResolved += rhs.sliceResolved;
+    slicedAssertions += rhs.slicedAssertions;
+    incrementalReused += rhs.incrementalReused;
+    incrementalSolves += rhs.incrementalSolves;
+    incrementalFallbacks += rhs.incrementalFallbacks;
+    coldSolves += rhs.coldSolves;
     return *this;
+}
+
+SolverStats
+SolverStats::operator-(const SolverStats &rhs) const
+{
+    SolverStats delta;
+    delta.queries = queries - rhs.queries;
+    delta.sat = sat - rhs.sat;
+    delta.unsat = unsat - rhs.unsat;
+    delta.unknown = unknown - rhs.unknown;
+    delta.totalSeconds = totalSeconds - rhs.totalSeconds;
+    delta.cacheHits = cacheHits - rhs.cacheHits;
+    delta.cacheMisses = cacheMisses - rhs.cacheMisses;
+    delta.cacheEvictions = cacheEvictions - rhs.cacheEvictions;
+    delta.rewriteResolved = rewriteResolved - rhs.rewriteResolved;
+    delta.rewriteApplications =
+        rewriteApplications - rhs.rewriteApplications;
+    delta.sliceResolved = sliceResolved - rhs.sliceResolved;
+    delta.slicedAssertions = slicedAssertions - rhs.slicedAssertions;
+    delta.incrementalReused = incrementalReused - rhs.incrementalReused;
+    delta.incrementalSolves = incrementalSolves - rhs.incrementalSolves;
+    delta.incrementalFallbacks =
+        incrementalFallbacks - rhs.incrementalFallbacks;
+    delta.coldSolves = coldSolves - rhs.coldSolves;
+    return delta;
 }
 
 const char *

@@ -33,13 +33,29 @@ struct SolverStats
     double totalSeconds = 0.0;
 
     // Memoization counters; nonzero only when a CachingSolver fronts the
-    // backend. Every query is either a hit or a miss, so
-    // cacheHits + cacheMisses == queries for a CachingSolver.
+    // backend. For a CachingSolver every query is resolved by exactly one
+    // stage, so
+    //   rewriteResolved + sliceResolved + cacheHits + cacheMisses
+    //     == queries.
     uint64_t cacheHits = 0;
     uint64_t cacheMisses = 0;
     uint64_t cacheEvictions = 0;
 
+    // Per-stage counters of the query optimization stack
+    // (simplify -> slice -> cache -> incremental Z3); all zero for the
+    // unoptimized stack.
+    uint64_t rewriteResolved = 0; ///< queries decided by the rewrite engine
+    uint64_t rewriteApplications = 0; ///< individual rewrite rule firings
+    uint64_t sliceResolved = 0;   ///< queries decided by COI slicing alone
+    uint64_t slicedAssertions = 0; ///< assertions pruned before solving
+    uint64_t incrementalReused = 0; ///< assertions reused from a live prefix
+    uint64_t incrementalSolves = 0; ///< backend checks reusing >= 1 assertion
+    uint64_t incrementalFallbacks = 0; ///< Unknown -> fresh-solver retries
+    uint64_t coldSolves = 0;      ///< backend checks with no reused prefix
+
     SolverStats &operator+=(const SolverStats &rhs);
+    /** Field-wise difference; used to attribute counters to one check. */
+    SolverStats operator-(const SolverStats &rhs) const;
 };
 
 class Assignment; // evaluator.h

@@ -2,10 +2,10 @@
 
 #include <cstdlib>
 #include <iostream>
-#include <unordered_map>
 
 #include <z3++.h>
 
+#include "src/smt/z3_lowering.h"
 #include "src/support/diagnostics.h"
 #include "src/support/stopwatch.h"
 
@@ -14,134 +14,7 @@ namespace keq::smt {
 struct Z3Solver::Impl
 {
     z3::context ctx;
-    std::unordered_map<uint64_t, z3::expr> cache;
-
-    z3::sort
-    lowerSort(Sort sort)
-    {
-        switch (sort.kind()) {
-          case Sort::Kind::Bool:
-            return ctx.bool_sort();
-          case Sort::Kind::BitVec:
-            return ctx.bv_sort(sort.width());
-          case Sort::Kind::MemArray:
-            return ctx.array_sort(ctx.bv_sort(64), ctx.bv_sort(8));
-        }
-        KEQ_ASSERT(false, "lowerSort: unhandled sort");
-        return ctx.bool_sort();
-    }
-
-    z3::expr
-    lower(Term term)
-    {
-        auto it = cache.find(term.id());
-        if (it != cache.end())
-            return it->second;
-        z3::expr result = lowerUncached(term);
-        cache.emplace(term.id(), result);
-        return result;
-    }
-
-    z3::expr
-    lowerUncached(Term term)
-    {
-        switch (term.kind()) {
-          case Kind::BvConst:
-            return ctx.bv_val(term.bvValue().zext(),
-                              term.bvValue().width());
-          case Kind::BoolConst:
-            return ctx.bool_val(term.boolValue());
-          case Kind::Var:
-            return ctx.constant(term.varName().c_str(),
-                                lowerSort(term.sort()));
-          case Kind::Not:
-            return !lower(term.operand(0));
-          case Kind::And:
-            return lower(term.operand(0)) && lower(term.operand(1));
-          case Kind::Or:
-            return lower(term.operand(0)) || lower(term.operand(1));
-          case Kind::Implies:
-            return z3::implies(lower(term.operand(0)),
-                               lower(term.operand(1)));
-          case Kind::Iff:
-            return lower(term.operand(0)) == lower(term.operand(1));
-          case Kind::Ite:
-            return z3::ite(lower(term.operand(0)),
-                           lower(term.operand(1)),
-                           lower(term.operand(2)));
-          case Kind::BvAdd:
-            return lower(term.operand(0)) + lower(term.operand(1));
-          case Kind::BvSub:
-            return lower(term.operand(0)) - lower(term.operand(1));
-          case Kind::BvMul:
-            return lower(term.operand(0)) * lower(term.operand(1));
-          case Kind::BvUDiv:
-            return z3::udiv(lower(term.operand(0)),
-                            lower(term.operand(1)));
-          case Kind::BvSDiv:
-            return lower(term.operand(0)) / lower(term.operand(1));
-          case Kind::BvURem:
-            return z3::urem(lower(term.operand(0)),
-                            lower(term.operand(1)));
-          case Kind::BvSRem:
-            return z3::srem(lower(term.operand(0)),
-                            lower(term.operand(1)));
-          case Kind::BvAnd:
-            return lower(term.operand(0)) & lower(term.operand(1));
-          case Kind::BvOr:
-            return lower(term.operand(0)) | lower(term.operand(1));
-          case Kind::BvXor:
-            return lower(term.operand(0)) ^ lower(term.operand(1));
-          case Kind::BvNot:
-            return ~lower(term.operand(0));
-          case Kind::BvNeg:
-            return -lower(term.operand(0));
-          case Kind::BvShl:
-            return z3::shl(lower(term.operand(0)),
-                           lower(term.operand(1)));
-          case Kind::BvLShr:
-            return z3::lshr(lower(term.operand(0)),
-                            lower(term.operand(1)));
-          case Kind::BvAShr:
-            return z3::ashr(lower(term.operand(0)),
-                            lower(term.operand(1)));
-          case Kind::Eq:
-            return lower(term.operand(0)) == lower(term.operand(1));
-          case Kind::BvUlt:
-            return z3::ult(lower(term.operand(0)),
-                           lower(term.operand(1)));
-          case Kind::BvUle:
-            return z3::ule(lower(term.operand(0)),
-                           lower(term.operand(1)));
-          case Kind::BvSlt:
-            return lower(term.operand(0)) < lower(term.operand(1));
-          case Kind::BvSle:
-            return lower(term.operand(0)) <= lower(term.operand(1));
-          case Kind::ZExt:
-            return z3::zext(lower(term.operand(0)),
-                            term.sort().width() -
-                                term.operand(0).sort().width());
-          case Kind::SExt:
-            return z3::sext(lower(term.operand(0)),
-                            term.sort().width() -
-                                term.operand(0).sort().width());
-          case Kind::Extract:
-            return lower(term.operand(0))
-                .extract(term.extractHi(), term.extractLo());
-          case Kind::Concat:
-            return z3::concat(lower(term.operand(0)),
-                              lower(term.operand(1)));
-          case Kind::Select:
-            return z3::select(lower(term.operand(0)),
-                              lower(term.operand(1)));
-          case Kind::Store:
-            return z3::store(lower(term.operand(0)),
-                             lower(term.operand(1)),
-                             lower(term.operand(2)));
-        }
-        KEQ_ASSERT(false, "lowerUncached: unhandled kind");
-        return ctx.bool_val(false);
-    }
+    Z3Lowering lowering{ctx};
 };
 
 Z3Solver::Z3Solver(TermFactory &factory)
@@ -178,7 +51,7 @@ Z3Solver::checkSat(const std::vector<Term> &assertions)
     for (const Term &assertion : assertions) {
         KEQ_ASSERT(assertion.sort().isBool(),
                    "checkSat: non-bool assertion");
-        solver.add(impl_->lower(assertion));
+        solver.add(impl_->lowering.lower(assertion));
     }
     z3::check_result z3_result = solver.check();
 
@@ -199,27 +72,7 @@ Z3Solver::checkSat(const std::vector<Term> &assertions)
     if (z3_result == z3::sat && captureModels_) {
         lastModel_.emplace();
         try {
-            z3::model model = solver.get_model();
-            for (unsigned i = 0; i < model.size(); ++i) {
-                z3::func_decl decl = model[i];
-                if (decl.arity() != 0)
-                    continue;
-                z3::expr value = model.get_const_interp(decl);
-                z3::sort range = decl.range();
-                if (range.is_bv() && range.bv_size() <= 64 &&
-                    value.is_numeral()) {
-                    lastModel_->setBv(
-                        decl.name().str(),
-                        support::ApInt(range.bv_size(),
-                                       value.get_numeral_uint64()));
-                } else if (range.is_bool() && value.is_bool()) {
-                    lastModel_->setBool(decl.name().str(),
-                                        value.is_true());
-                }
-                // Array interpretations are skipped: reused models are
-                // re-verified by evaluation, which reads unlisted bytes
-                // as zero.
-            }
+            extractModel(solver.get_model(), &*lastModel_);
         } catch (const z3::exception &) {
             lastModel_.reset();
         }

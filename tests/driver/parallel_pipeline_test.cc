@@ -54,13 +54,24 @@ TEST(ParallelPipelineTest, ParallelVerdictsMatchSerialAtEveryJobCount)
         EXPECT_EQ(parallel.canonicalSummary(),
                   reference.canonicalSummary())
             << "jobs=" << jobs;
-        // The stats contract holds whether or not queries were cached.
+        // The stats contract holds whether or not queries were cached:
+        // every query is resolved by exactly one stage of the stack.
         EXPECT_EQ(parallel.solverStats.queries,
                   reference.solverStats.queries)
             << "jobs=" << jobs;
-        EXPECT_EQ(parallel.solverStats.cacheHits +
+        EXPECT_EQ(parallel.solverStats.rewriteResolved +
+                      parallel.solverStats.sliceResolved +
+                      parallel.solverStats.cacheHits +
                       parallel.solverStats.cacheMisses,
                   parallel.solverStats.queries)
+            << "jobs=" << jobs;
+        // Preprocessing is deterministic and thread-independent, so the
+        // per-stage resolution counts match the serial run exactly.
+        EXPECT_EQ(parallel.solverStats.rewriteResolved,
+                  reference.solverStats.rewriteResolved)
+            << "jobs=" << jobs;
+        EXPECT_EQ(parallel.solverStats.sliceResolved,
+                  reference.solverStats.sliceResolved)
             << "jobs=" << jobs;
     }
 }
@@ -96,11 +107,20 @@ TEST(ParallelPipelineTest, CachePersistsAcrossRunsOfOnePipeline)
     ModuleReport first = pipeline.run(module);
     ModuleReport second = pipeline.run(module);
     EXPECT_EQ(first.canonicalSummary(), second.canonicalSummary());
-    // Every query of the rerun repeats one from the first run, so the
-    // warm cache answers all of them without the backend.
-    EXPECT_EQ(second.solverStats.cacheHits,
-              second.solverStats.queries);
+    // Every query of the rerun repeats one from the first run: whatever
+    // preprocessing does not resolve outright, the warm cache answers
+    // without the backend.
     EXPECT_EQ(second.solverStats.cacheMisses, 0u);
+    EXPECT_EQ(second.solverStats.cacheHits +
+                  second.solverStats.rewriteResolved +
+                  second.solverStats.sliceResolved,
+              second.solverStats.queries);
+    // Preprocessing is deterministic: both runs resolve the same
+    // queries at the same stages.
+    EXPECT_EQ(second.solverStats.rewriteResolved,
+              first.solverStats.rewriteResolved);
+    EXPECT_EQ(second.solverStats.sliceResolved,
+              first.solverStats.sliceResolved);
 }
 
 /**
@@ -123,7 +143,12 @@ TEST(ParallelPipelineTest, SharedCacheSurvivesConcurrentWorkers)
         threads.emplace_back([t, &verdicts, cache]() {
             smt::TermFactory tf; // hash-consing stays thread-local
             smt::Z3Solver backend(tf);
-            smt::CachingSolver solver(tf, backend, cache);
+            // Preprocessing off: these tiny queries would be resolved
+            // by the rewrite engine, and this test is specifically
+            // about hammering the shared cache.
+            smt::CachingSolver solver(tf, backend, cache,
+                                      {.simplify = false,
+                                       .slice = false});
             smt::Term x = tf.var("x", smt::Sort::bitVec(32));
             for (unsigned i = 0; i < kQueries; ++i) {
                 // Same query stream in every thread: maximal contention

@@ -11,8 +11,11 @@ namespace {
 TEST(LayoutTest, GlobalsPlacedWithGuardGaps)
 {
     MemoryLayout layout;
-    const MemoryObject &a = layout.addGlobal("@a", 12);
-    const MemoryObject &b = layout.addGlobal("@b", 8);
+    // Copies, not references: registering @b may reallocate the object
+    // vector and invalidate a reference returned for @a (caught by the
+    // AddressSanitizer build).
+    MemoryObject a = layout.addGlobal("@a", 12);
+    MemoryObject b = layout.addGlobal("@b", 8);
     EXPECT_EQ(a.base, MemoryLayout::kGlobalBase);
     // At least a guard gap separates consecutive objects.
     EXPECT_GE(b.base, a.base + a.size + MemoryLayout::kGuardGap);

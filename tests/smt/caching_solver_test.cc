@@ -67,6 +67,16 @@ var32(TermFactory &tf, const char *name)
 }
 
 /**
+ * Preprocessing disabled: the tests below assert exact backend-call and
+ * hit/miss counts of the *cache layers*, which requires queries to reach
+ * them instead of being resolved by the rewrite engine or the slicer.
+ * The optimization-stack stages have their own tests (simplifier_test,
+ * slicer_test) plus stack-level ones at the bottom of this file.
+ */
+constexpr CachingSolver::Options kCacheOnly{/*simplify=*/false,
+                                            /*slice=*/false};
+
+/**
  * x == a && x == b with a != b: unsatisfiable, so neither pooled models
  * nor random probes can ever answer it — every key miss must reach the
  * backend. The workhorse for backend-call-count assertions.
@@ -144,8 +154,8 @@ TEST(CachingSolverTest, UnknownIsNeverCached)
 {
     TermFactory tf;
     ScriptedSolver backend(tf);
-    CachingSolver solver(tf, backend,
-                         std::make_shared<QueryCache>());
+    CachingSolver solver(tf, backend, std::make_shared<QueryCache>(),
+                         kCacheOnly);
     std::vector<Term> query = contradiction(tf, "x", 1, 2);
 
     backend.script = {SatResult::Unknown, SatResult::Unknown,
@@ -169,7 +179,7 @@ TEST(CachingSolverTest, DeterministicProbingAnswersSatWithoutBackend)
     // because probe evaluation *proves* Sat for x == 1.
     backend.fallback = SatResult::Unsat;
     auto cache = std::make_shared<QueryCache>();
-    CachingSolver solver(tf, backend, cache);
+    CachingSolver solver(tf, backend, cache, kCacheOnly);
 
     std::vector<Term> query{
         tf.mkEq(var32(tf, "x"), tf.bvConst(32, 1))};
@@ -189,7 +199,7 @@ TEST(CachingSolverTest, CountersAddUp)
     TermFactory tf;
     ScriptedSolver backend(tf);
     auto cache = std::make_shared<QueryCache>();
-    CachingSolver solver(tf, backend, cache);
+    CachingSolver solver(tf, backend, cache, kCacheOnly);
 
     backend.script = {SatResult::Unsat, SatResult::Unknown,
                       SatResult::Unsat};
@@ -224,7 +234,7 @@ TEST(CachingSolverTest, ModelFromBackendIsReusedAcrossQueries)
     TermFactory tf;
     Z3Solver backend(tf);
     auto cache = std::make_shared<QueryCache>();
-    CachingSolver solver(tf, backend, cache);
+    CachingSolver solver(tf, backend, cache, kCacheOnly);
 
     // Query A forces the backend to produce a model with x = 77 (no
     // probe can guess 77: the fixed probes are 0, ~0 and 1, and the 45
@@ -244,6 +254,62 @@ TEST(CachingSolverTest, ModelFromBackendIsReusedAcrossQueries)
               SatResult::Sat);
     EXPECT_EQ(backend.stats().queries, backend_before);
     EXPECT_EQ(cache->stats().modelHits, 1u);
+}
+
+TEST(CachingSolverTest, RewriteEngineResolvesTrivialQueriesBeforeCache)
+{
+    TermFactory tf;
+    ScriptedSolver backend(tf);
+    auto cache = std::make_shared<QueryCache>();
+    CachingSolver solver(tf, backend, cache); // full stack (defaults)
+
+    // x == 1 && x == 2: equality propagation substitutes 1 for x and
+    // folds 1 == 2 to false — Unsat with no backend, no cache lookup.
+    EXPECT_EQ(solver.checkSat(contradiction(tf, "x", 1, 2)),
+              SatResult::Unsat);
+    // x == 7 alone: the definitional equality rewrites away entirely.
+    EXPECT_EQ(solver.checkSat(
+                  {tf.mkEq(var32(tf, "x"), tf.bvConst(32, 7))}),
+              SatResult::Sat);
+    EXPECT_EQ(backend.calls, 0u);
+    EXPECT_EQ(cache->stats().hits + cache->stats().misses, 0u)
+        << "rewrite-resolved queries must not touch the cache";
+
+    const SolverStats &stats = solver.stats();
+    EXPECT_EQ(stats.rewriteResolved, 2u);
+    EXPECT_GT(stats.rewriteApplications, 0u);
+    EXPECT_EQ(stats.queries, 2u);
+    EXPECT_EQ(stats.sat, 1u);
+    EXPECT_EQ(stats.unsat, 1u);
+}
+
+TEST(CachingSolverTest, StackInvariantEveryQueryResolvedByOneStage)
+{
+    TermFactory tf;
+    Z3Solver backend(tf);
+    auto cache = std::make_shared<QueryCache>();
+    CachingSolver solver(tf, backend, cache); // full stack (defaults)
+
+    Term x = var32(tf, "x");
+    Term y = var32(tf, "y");
+    std::vector<std::vector<Term>> queries = {
+        {tf.mkEq(x, tf.bvConst(32, 1))},             // rewrite: Sat
+        contradiction(tf, "x", 1, 2),                // rewrite: Unsat
+        {tf.bvUlt(x, y)},                            // probe/backend
+        {tf.bvUlt(x, y)},                            // repeat
+        {tf.bvUlt(tf.bvMul(x, x), tf.bvConst(32, 9)),
+         tf.bvUlt(y, tf.bvAdd(y, tf.bvConst(32, 1)))}, // two cones
+    };
+    for (const std::vector<Term> &query : queries)
+        EXPECT_NE(solver.checkSat(query), SatResult::Unknown);
+
+    const SolverStats &stats = solver.stats();
+    EXPECT_EQ(stats.queries, queries.size());
+    EXPECT_EQ(stats.rewriteResolved + stats.sliceResolved +
+                  stats.cacheHits + stats.cacheMisses,
+              stats.queries);
+    EXPECT_EQ(stats.sat + stats.unsat + stats.unknown, stats.queries);
+    EXPECT_GE(stats.rewriteResolved, 2u);
 }
 
 TEST(QueryCacheTest, RejectsUnknownAndReturnsStoredVerdicts)

@@ -1,0 +1,306 @@
+/** @file Rewrite-engine tests: targeted rule checks, a randomized
+ *  model-preservation sweep against the concrete Evaluator, and a
+ *  differential sweep of simplifyQuery against Z3 verdicts. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/smt/evaluator.h"
+#include "src/smt/simplifier.h"
+#include "src/smt/term_factory.h"
+#include "src/smt/z3_solver.h"
+#include "src/support/rng.h"
+
+namespace keq::smt {
+namespace {
+
+using support::ApInt;
+using support::Rng;
+
+Term
+var32(TermFactory &tf, const char *name)
+{
+    return tf.var(name, Sort::bitVec(32));
+}
+
+TEST(SimplifierTest, AssociativeConstantRefolding)
+{
+    TermFactory tf;
+    Simplifier simp(tf);
+    Term x = var32(tf, "x");
+    // (x - 5) - 6 -> x + (-11): subtraction funnels into addition and
+    // the constants refold across the chain.
+    Term term = tf.bvSub(tf.bvSub(x, tf.bvConst(32, 5)),
+                         tf.bvConst(32, 6));
+    Term expected = tf.bvAdd(x, tf.bvConst(ApInt(32, 11).neg()));
+    EXPECT_EQ(simp.rewrite(term), expected);
+    EXPECT_GT(simp.rewriteCount(), 0u);
+
+    // (x & 0xff) & 0x0f -> x & 0x0f.
+    Term masked = tf.bvAnd(tf.bvAnd(x, tf.bvConst(32, 0xff)),
+                           tf.bvConst(32, 0x0f));
+    EXPECT_EQ(simp.rewrite(masked), tf.bvAnd(x, tf.bvConst(32, 0x0f)));
+}
+
+TEST(SimplifierTest, ComparisonBoundsAndExtensionStripping)
+{
+    TermFactory tf;
+    Simplifier simp(tf);
+    Term x = var32(tf, "x");
+    Term y = var32(tf, "y");
+
+    EXPECT_EQ(simp.rewrite(tf.bvUlt(x, tf.bvConst(32, 0))),
+              tf.falseTerm());
+    EXPECT_EQ(simp.rewrite(tf.bvUlt(x, tf.bvConst(32, 1))),
+              tf.mkEq(x, tf.bvConst(32, 0)));
+    EXPECT_EQ(simp.rewrite(
+                  tf.bvUle(x, tf.bvConst(ApInt::allOnes(32)))),
+              tf.trueTerm());
+    // zext is an order embedding for unsigned comparisons.
+    EXPECT_EQ(simp.rewrite(tf.bvUlt(tf.zext(x, 64), tf.zext(y, 64))),
+              tf.bvUlt(x, y));
+    // zext(x) < 2^32 over 64 bits is a tautology.
+    EXPECT_EQ(simp.rewrite(tf.bvUlt(tf.zext(x, 64),
+                                    tf.bvConst(64, 1ull << 32))),
+              tf.trueTerm());
+}
+
+TEST(SimplifierTest, EqualityNormalization)
+{
+    TermFactory tf;
+    Simplifier simp(tf);
+    Term x = var32(tf, "x");
+
+    // eq(x + 3, 10) -> eq(x, 7): exposes the definitional form.
+    EXPECT_EQ(simp.rewrite(tf.mkEq(tf.bvAdd(x, tf.bvConst(32, 3)),
+                                   tf.bvConst(32, 10))),
+              tf.mkEq(x, tf.bvConst(32, 7)));
+    // eq(zext8->32(x8), 0x1ff): the high bits cannot match.
+    Term x8 = tf.var("b", Sort::bitVec(8));
+    EXPECT_EQ(simp.rewrite(
+                  tf.mkEq(tf.zext(x8, 32), tf.bvConst(32, 0x1ff))),
+              tf.falseTerm());
+    // eq(x + 1, x) cancels to false.
+    EXPECT_EQ(simp.rewrite(tf.mkEq(tf.bvAdd(x, tf.bvConst(32, 1)), x)),
+              tf.falseTerm());
+}
+
+TEST(SimplifierTest, IteLifting)
+{
+    TermFactory tf;
+    Simplifier simp(tf);
+    Term p = tf.var("p", Sort::boolSort());
+    Term q = tf.var("q", Sort::boolSort());
+    Term x = var32(tf, "x");
+    Term y = var32(tf, "y");
+
+    EXPECT_EQ(simp.rewrite(tf.mkIte(p, tf.trueTerm(), q)),
+              tf.mkOr(p, q));
+    EXPECT_EQ(simp.rewrite(tf.mkIte(p, q, tf.falseTerm())),
+              tf.mkAnd(p, q));
+    // ite(!p, a, b) -> ite(p, b, a).
+    EXPECT_EQ(simp.rewrite(tf.mkIte(tf.mkNot(p), x, y)),
+              tf.mkIte(p, y, x));
+    // Nested same-condition decisions collapse.
+    EXPECT_EQ(simp.rewrite(tf.mkIte(p, tf.mkIte(p, x, y), y)),
+              tf.mkIte(p, x, y));
+}
+
+TEST(SimplifierTest, SubstituteVarsRebuildsThroughTheFactory)
+{
+    TermFactory tf;
+    Term x = var32(tf, "x");
+    Term y = var32(tf, "y");
+    Term term = tf.bvAdd(tf.bvMul(x, x), y);
+    std::unordered_map<std::string, Term> map{
+        {"x", tf.bvConst(32, 3)}};
+    // 3 * 3 folds on construction, so the result is 9 + y.
+    EXPECT_EQ(substituteVars(tf, term, map),
+              tf.bvAdd(tf.bvConst(32, 9), y));
+    // Unmapped variables survive untouched.
+    EXPECT_EQ(substituteVars(tf, y, map), y);
+}
+
+TEST(SimplifierTest, EqualityPropagationEliminatesDefinitions)
+{
+    TermFactory tf;
+    Simplifier simp(tf);
+    Term x = var32(tf, "x");
+    Term y = var32(tf, "y");
+    // x == y + 1 is definitional; substituting turns the second
+    // assertion into a pure y-constraint.
+    SimplifyResult result = simp.simplifyQuery(
+        {tf.mkEq(x, tf.bvAdd(y, tf.bvConst(32, 1))),
+         tf.bvUlt(x, tf.bvConst(32, 5))});
+    ASSERT_FALSE(result.decided.has_value());
+    EXPECT_EQ(result.eliminatedVars, 1u);
+    ASSERT_EQ(result.assertions.size(), 1u);
+    EXPECT_EQ(result.assertions[0],
+              tf.bvUlt(tf.bvAdd(y, tf.bvConst(32, 1)),
+                       tf.bvConst(32, 5)));
+}
+
+TEST(SimplifierTest, StructuralFastPaths)
+{
+    TermFactory tf;
+    Simplifier simp(tf);
+    Term x = var32(tf, "x");
+
+    // A chained contradiction resolves to Unsat with no solver.
+    SimplifyResult unsat = simp.simplifyQuery(
+        {tf.mkEq(x, tf.bvConst(32, 1)), tf.mkEq(x, tf.bvConst(32, 2))});
+    EXPECT_EQ(unsat.decided, SatResult::Unsat);
+
+    // A pure definition chain rewrites away entirely: Sat.
+    Term y = var32(tf, "y");
+    SimplifyResult sat = simp.simplifyQuery(
+        {tf.mkEq(x, tf.bvAdd(y, tf.bvConst(32, 1))),
+         tf.mkEq(y, tf.bvConst(32, 41))});
+    EXPECT_EQ(sat.decided, SatResult::Sat);
+
+    // The empty query is trivially Sat.
+    EXPECT_EQ(simp.simplifyQuery({}).decided, SatResult::Sat);
+}
+
+/**
+ * Random model-preservation sweep: rewrite() must be *eval-identical*,
+ * not merely equisatisfiable. Build random boolean DAGs over a small
+ * variable pool, then compare eval(t) with eval(rewrite(t)) under many
+ * random assignments.
+ */
+class SimplifierModelProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(SimplifierModelProperty, RewritePreservesEvaluation)
+{
+    Rng rng(GetParam() * 0xD1342543DE82EF95ull + 1);
+    TermFactory tf;
+    Simplifier simp(tf);
+
+    std::vector<Term> bvs = {
+        var32(tf, "a"), var32(tf, "b"), var32(tf, "c"),
+        tf.bvConst(32, 0), tf.bvConst(32, 1),
+        tf.bvConst(ApInt::allOnes(32)), tf.bvConst(32, 0x80000000ull),
+    };
+    std::vector<Term> bools = {tf.var("p", Sort::boolSort()),
+                               tf.trueTerm()};
+
+    auto pick_bv = [&]() { return bvs[rng.below(bvs.size())]; };
+    auto pick_bool = [&]() { return bools[rng.below(bools.size())]; };
+
+    for (int step = 0; step < 150; ++step) {
+        switch (rng.below(6)) {
+          case 0: {
+            static const Kind kOps[] = {Kind::BvAdd, Kind::BvSub,
+                                        Kind::BvMul, Kind::BvAnd,
+                                        Kind::BvOr,  Kind::BvXor,
+                                        Kind::BvShl, Kind::BvLShr};
+            bvs.push_back(tf.bvBinOp(kOps[rng.below(8)], pick_bv(),
+                                     pick_bv()));
+            break;
+          }
+          case 1: {
+            static const Kind kPreds[] = {Kind::BvUlt, Kind::BvUle,
+                                          Kind::BvSlt, Kind::BvSle,
+                                          Kind::Eq};
+            bools.push_back(
+                tf.bvPredicate(kPreds[rng.below(5)], pick_bv(),
+                               pick_bv()));
+            break;
+          }
+          case 2:
+            bools.push_back(rng.chancePercent(50)
+                                ? tf.mkAnd(pick_bool(), pick_bool())
+                                : tf.mkOr(pick_bool(), pick_bool()));
+            break;
+          case 3:
+            bvs.push_back(tf.mkIte(pick_bool(), pick_bv(), pick_bv()));
+            break;
+          case 4:
+            bvs.push_back(rng.chancePercent(50) ? tf.bvNot(pick_bv())
+                                                : tf.bvNeg(pick_bv()));
+            break;
+          default: {
+            Term narrow = tf.trunc(pick_bv(), 8);
+            bvs.push_back(rng.chancePercent(50) ? tf.zext(narrow, 32)
+                                                : tf.sext(narrow, 32));
+            break;
+          }
+        }
+
+        Term original = bools.back();
+        Term rewritten = simp.rewrite(original);
+        for (int probe = 0; probe < 8; ++probe) {
+            Assignment env;
+            env.setBv("a", ApInt(32, probe == 0 ? 0 : rng.next()));
+            env.setBv("b", ApInt(32, probe == 1 ? ~0ull : rng.next()));
+            env.setBv("c", ApInt(32, rng.next()));
+            env.setBool("p", (rng.next() & 1) != 0);
+            Evaluator eval(env);
+            EXPECT_EQ(eval.evalBool(original), eval.evalBool(rewritten))
+                << original.toString() << "\n  vs "
+                << rewritten.toString();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifierModelProperty,
+                         ::testing::Range(uint64_t{0}, uint64_t{10}));
+
+/**
+ * Differential sweep against Z3: whatever simplifyQuery decides or
+ * produces must have exactly the verdict of the original assertion set.
+ */
+class SimplifyQueryProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(SimplifyQueryProperty, SimplifiedQueriesKeepTheirVerdict)
+{
+    Rng rng(GetParam() * 0xA24BAED4963EE407ull + 3);
+    TermFactory tf;
+    Z3Solver z3(tf);
+    Simplifier simp(tf);
+
+    std::vector<Term> vars = {var32(tf, "a"), var32(tf, "b"),
+                              var32(tf, "c"), var32(tf, "d")};
+    auto random_atom = [&]() -> Term {
+        Term x = vars[rng.below(vars.size())];
+        Term rhs = rng.chancePercent(50)
+                       ? vars[rng.below(vars.size())]
+                       : tf.bvConst(32, rng.below(12));
+        if (rng.chancePercent(30))
+            x = tf.bvAdd(x, tf.bvConst(32, rng.below(5)));
+        switch (rng.below(3)) {
+          case 0: return tf.mkEq(x, rhs);
+          case 1: return tf.bvUlt(x, rhs);
+          default: return tf.bvUle(x, rhs);
+        }
+    };
+
+    for (int round = 0; round < 25; ++round) {
+        std::vector<Term> query;
+        size_t count = 1 + rng.below(5);
+        for (size_t i = 0; i < count; ++i)
+            query.push_back(random_atom());
+
+        SatResult reference = z3.checkSat(query);
+        ASSERT_NE(reference, SatResult::Unknown);
+
+        SimplifyResult result = simp.simplifyQuery(query);
+        if (result.decided.has_value()) {
+            EXPECT_EQ(*result.decided, reference)
+                << "round " << round;
+        } else {
+            EXPECT_EQ(z3.checkSat(result.assertions), reference)
+                << "round " << round;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyQueryProperty,
+                         ::testing::Range(uint64_t{0}, uint64_t{8}));
+
+} // namespace
+} // namespace keq::smt

@@ -18,10 +18,14 @@
  *     --no-positive-form  disable the Section 3 SMT optimization
  *     --crude-liveness    use block-local liveness in the VC generator
  *     --wall-budget=SEC   per-function wall budget (0 = none)
+ *     --smt-timeout-ms=N  per-SMT-query timeout in ms (0 = none)
  *     --spec-budget=N     sync-spec size budget in chars (0 = none)
  *     --function=NAME     validate only @NAME
  *     --jobs=N            validate N functions in parallel (0 = #cores)
  *     --no-solver-cache   disable solver-query memoization
+ *     --no-smt-opt        disable the query optimization stack
+ *                         (rewrite, slicing, incremental backend)
+ *     --stats             print per-stage solver counters after the run
  *
  * Exit code: number of functions that failed validation (0 = all good).
  */
@@ -46,6 +50,7 @@ struct CliOptions
     std::string only_function;
     bool print_mir = false;
     bool print_sync = false;
+    bool print_stats = false;
     keq::driver::PipelineOptions pipeline;
     keq::driver::ExecutionOptions exec;
 };
@@ -60,7 +65,8 @@ usage(const char *argv0)
                  "--no-positive-form --crude-liveness\n"
               << "  --wall-budget=SEC --spec-budget=N "
                  "--function=NAME\n"
-              << "  --jobs=N --no-solver-cache\n";
+              << "  --smt-timeout-ms=N --jobs=N --no-solver-cache\n"
+              << "  --no-smt-opt --stats\n";
     std::exit(2);
 }
 
@@ -120,6 +126,9 @@ parseArgs(int argc, char **argv)
         } else if (arg.rfind("--wall-budget=", 0) == 0) {
             options.pipeline.checker.wallBudgetSeconds =
                 number_of("--wall-budget=");
+        } else if (arg.rfind("--smt-timeout-ms=", 0) == 0) {
+            options.pipeline.checker.solverTimeoutMs =
+                static_cast<unsigned>(number_of("--smt-timeout-ms="));
         } else if (arg.rfind("--spec-budget=", 0) == 0) {
             options.pipeline.specSizeBudget =
                 static_cast<size_t>(number_of("--spec-budget="));
@@ -130,6 +139,12 @@ parseArgs(int argc, char **argv)
                 static_cast<unsigned>(number_of("--jobs="));
         } else if (arg == "--no-solver-cache") {
             options.exec.solverCache = false;
+        } else if (arg == "--no-smt-opt") {
+            options.exec.simplifyQueries = false;
+            options.exec.sliceQueries = false;
+            options.exec.incrementalSolver = false;
+        } else if (arg == "--stats") {
+            options.print_stats = true;
         } else if (!arg.empty() && arg[0] == '-') {
             usage(argv[0]);
         } else if (options.path.empty()) {
@@ -247,6 +262,33 @@ main(int argc, char **argv)
                                                     cache.misses),
                     100.0 * cache.hitRate(),
                     static_cast<unsigned long long>(cache.evictions));
+    }
+    if (options.print_stats) {
+        // Aggregate per-function deltas so the single-function path
+        // reports the same counters as a whole-module run.
+        smt::SolverStats stats;
+        for (const driver::FunctionReport &fn_report : report.functions)
+            stats += fn_report.verdict.stats.solverStats;
+        auto u = [](uint64_t v) {
+            return static_cast<unsigned long long>(v);
+        };
+        std::printf("solver stack: %llu queries (%llu sat, %llu unsat, "
+                    "%llu unknown), %.3f s in backend\n",
+                    u(stats.queries), u(stats.sat), u(stats.unsat),
+                    u(stats.unknown), stats.totalSeconds);
+        std::printf("  rewrite:     %llu resolved, %llu rule firings\n",
+                    u(stats.rewriteResolved),
+                    u(stats.rewriteApplications));
+        std::printf("  slice:       %llu resolved, %llu assertions "
+                    "pruned\n",
+                    u(stats.sliceResolved), u(stats.slicedAssertions));
+        std::printf("  cache:       %llu hits, %llu misses\n",
+                    u(stats.cacheHits), u(stats.cacheMisses));
+        std::printf("  incremental: %llu assertions reused over %llu "
+                    "warm checks, %llu cold, %llu fallbacks\n",
+                    u(stats.incrementalReused),
+                    u(stats.incrementalSolves), u(stats.coldSolves),
+                    u(stats.incrementalFallbacks));
     }
     return failures;
 }

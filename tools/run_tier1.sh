@@ -2,16 +2,35 @@
 # Configure, build, and run the tier-1 test suite in one shot.
 #
 # Usage:
-#   tools/run_tier1.sh [build-dir]        # default build dir: build/
-#   KEQ_TSAN=1 tools/run_tier1.sh tsan    # ThreadSanitizer build in tsan/
+#   tools/run_tier1.sh [sanitizer] [build-dir]
 #
-# KEQ_TSAN=1 compiles and links everything with -fsanitize=thread; use a
-# separate build directory for it so the instrumented objects don't mix
-# with the regular ones.
+#   tools/run_tier1.sh                # plain build in build/
+#   tools/run_tier1.sh tsan           # ThreadSanitizer build in build-tsan/
+#   tools/run_tier1.sh asan           # AddressSanitizer build in build-asan/
+#   tools/run_tier1.sh asan mydir     # AddressSanitizer build in mydir/
+#
+# The legacy spelling `KEQ_TSAN=1 tools/run_tier1.sh tsan-dir` still
+# works: when the first argument is not a sanitizer name it is taken as
+# the build directory. Each sanitizer gets its own default build
+# directory so instrumented objects never mix with regular ones.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build_dir=${1:-build}
+
+sanitizer=none
+case ${1:-} in
+    tsan|asan)
+        sanitizer=$1
+        shift
+        ;;
+esac
+
+case $sanitizer in
+    tsan) default_dir=build-tsan ;;
+    asan) default_dir=build-asan ;;
+    *) default_dir=build ;;
+esac
+build_dir=${1:-$default_dir}
 case $build_dir in
     /*) ;;
     *) build_dir=$repo_root/$build_dir ;;
@@ -20,13 +39,28 @@ esac
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
 
 tsan_flag=OFF
-if [ -n "${KEQ_TSAN:-}" ] && [ "${KEQ_TSAN:-0}" != "0" ]; then
+asan_flag=OFF
+if [ "$sanitizer" = tsan ] ||
+   { [ -n "${KEQ_TSAN:-}" ] && [ "${KEQ_TSAN:-0}" != "0" ]; }; then
     tsan_flag=ON
     # Z3 is uninstrumented; silence its false positives (see tsan.supp).
     TSAN_OPTIONS="suppressions=$repo_root/tools/tsan.supp ${TSAN_OPTIONS:-}"
     export TSAN_OPTIONS
 fi
+if [ "$sanitizer" = asan ] ||
+   { [ -n "${KEQ_ASAN:-}" ] && [ "${KEQ_ASAN:-0}" != "0" ]; }; then
+    asan_flag=ON
+    # Z3 is uninstrumented and holds allocations until exit; leak
+    # checking would drown real reports in library noise.
+    ASAN_OPTIONS="detect_leaks=0 ${ASAN_OPTIONS:-}"
+    export ASAN_OPTIONS
+fi
+if [ "$tsan_flag" = ON ] && [ "$asan_flag" = ON ]; then
+    echo "error: tsan and asan are mutually exclusive" >&2
+    exit 2
+fi
 
-cmake -S "$repo_root" -B "$build_dir" -DKEQ_TSAN=$tsan_flag
+cmake -S "$repo_root" -B "$build_dir" -DKEQ_TSAN=$tsan_flag \
+    -DKEQ_ASAN=$asan_flag
 cmake --build "$build_dir" -j "$jobs"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
