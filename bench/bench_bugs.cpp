@@ -7,54 +7,40 @@
  * shows the TV system rejects exactly the buggy translations while
  * accepting the correct ones — the table the paper walks through with
  * Figures 8-11.
+ *
+ * The bug definitions live in the shared fuzz::MutationCatalog: each
+ * IselBug entry carries the exemplar program, the correct-peephole
+ * lowering, and the buggy one, so this bench, the fuzz campaign, and
+ * the kill-guarantee tests all exercise the very same configurations.
  */
 
+#include <cstdio>
 #include <iostream>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "src/driver/pipeline.h"
+#include "src/fuzz/mutation_catalog.h"
 #include "src/llvmir/parser.h"
 #include "src/llvmir/verifier.h"
 
 namespace {
 
-const char *const kWawProgram = R"(
-@b = external global [8 x i8]
-define void @foo() {
-entry:
-  %p2 = getelementptr inbounds [8 x i8], [8 x i8]* @b, i64 0, i64 2
-  %p2w = bitcast i8* %p2 to i16*
-  store i16 0, i16* %p2w
-  %p3 = getelementptr inbounds [8 x i8], [8 x i8]* @b, i64 0, i64 3
-  %p3w = bitcast i8* %p3 to i16*
-  store i16 2, i16* %p3w
-  %p0 = getelementptr inbounds [8 x i8], [8 x i8]* @b, i64 0, i64 0
-  %p0w = bitcast i8* %p0 to i16*
-  store i16 1, i16* %p0w
-  ret void
-}
-)";
-
-const char *const kLoadNarrowProgram = R"(
-@a = external global [12 x i8]
-@b = external global i64
-define void @narrow() {
-entry:
-  %p = getelementptr inbounds [12 x i8], [12 x i8]* @a, i64 0, i64 8
-  %pw = bitcast i8* %p to i32*
-  %v = load i32, i32* %pw
-  %w = zext i32 %v to i64
-  store i64 %w, i64* @b
-  ret void
-}
-)";
-
 struct Row
 {
-    const char *experiment;
-    const char *configuration;
+    std::string experiment;
+    std::string configuration;
     const char *source;
+    const char *function;
     keq::isel::IselOptions isel;
     bool expect_validated;
+};
+
+/** Paper labels for the catalogue's reintroduced-bug entries. */
+const std::map<std::string, const char *> kExperimentLabels = {
+    {"waw-store-merge", "E5 (Fig 8/9, PR25154)"},
+    {"load-widening", "E6 (Fig 10/11, PR4737)"},
 };
 
 } // namespace
@@ -63,30 +49,26 @@ int
 main()
 {
     using namespace keq;
-    using isel::Bug;
 
     std::vector<Row> rows;
-    {
-        Row row{"E5 (Fig 8/9, PR25154)", "plain lowering", kWawProgram,
-                {}, true};
-        rows.push_back(row);
-        row.configuration = "correct store merging";
-        row.isel.mergeStores = true;
-        rows.push_back(row);
-        row.configuration = "BUGGY store merging (WAW reorder)";
-        row.isel.bug = Bug::StoreMergeWAW;
-        row.expect_validated = false;
-        rows.push_back(row);
-    }
-    {
-        Row row{"E6 (Fig 10/11, PR4737)", "correct zext(load) folding",
-                kLoadNarrowProgram, {}, true};
-        row.isel.foldExtLoad = true;
-        rows.push_back(row);
-        row.configuration = "BUGGY load widening (OOB read)";
-        row.isel.bug = Bug::LoadWidening;
-        row.expect_validated = false;
-        rows.push_back(row);
+    for (const fuzz::Mutation &mutation : fuzz::mutationCatalog()) {
+        if (mutation.kind != fuzz::MutationKind::IselBug)
+            continue;
+        auto label = kExperimentLabels.find(mutation.id);
+        const char *experiment = label != kExperimentLabels.end()
+                                     ? label->second
+                                     : mutation.id;
+        // Three configurations per bug: the plain lowering (peephole
+        // off), the corrected peephole, and the reintroduced bug.
+        rows.push_back({experiment, "plain lowering", mutation.exemplar,
+                        mutation.exemplarFunction, {}, true});
+        rows.push_back({experiment, "correct peephole",
+                        mutation.exemplar, mutation.exemplarFunction,
+                        mutation.cleanOptions, true});
+        rows.push_back({experiment,
+                        std::string("BUGGY: ") + mutation.description,
+                        mutation.exemplar, mutation.exemplarFunction,
+                        mutation.buggyOptions, false});
     }
 
     std::cout << "=== E5+E6 / Section 5.2: reintroduced ISel bugs ===\n\n";
@@ -99,17 +81,22 @@ main()
     for (const Row &row : rows) {
         llvmir::Module module = llvmir::parseModule(row.source);
         llvmir::verifyModuleOrThrow(module);
+        const llvmir::Function *fn = module.findFunction(row.function);
+        if (fn == nullptr) {
+            std::cerr << "missing function " << row.function << "\n";
+            return 1;
+        }
         driver::PipelineOptions options;
         options.isel = row.isel;
-        driver::FunctionReport report = driver::validateFunction(
-            module, module.functions.front(), options);
+        driver::FunctionReport report =
+            driver::validateFunction(module, *fn, options);
         total_seconds += report.seconds;
         bool validated =
             report.outcome == driver::Outcome::Succeeded;
         bool ok = validated == row.expect_validated;
         failures += ok ? 0 : 1;
-        std::printf("%-21s | %-37s | %-14s | %s %s\n", row.experiment,
-                    row.configuration,
+        std::printf("%-21s | %-37.37s | %-14s | %s %s\n",
+                    row.experiment.c_str(), row.configuration.c_str(),
                     checker::verdictKindName(report.verdict.kind),
                     row.expect_validated ? "accept" : "reject",
                     ok ? "(OK)" : "(MISMATCH)");

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fuzzing-throughput baseline: runs the same fixed-seed campaign at
+ * --jobs 1 and --jobs N and reports generate->mutate->cross-check
+ * throughput (programs/second), plus the campaign's health counters.
+ *
+ * Doubles as an end-to-end determinism check: the serial and parallel
+ * runs must produce byte-identical canonical summaries, and every
+ * miscompile class in the mutation catalogue must be killed.
+ *
+ * Scale knobs:
+ *   KEQ_FUZZ_ITERATIONS  random-phase iterations (default 60)
+ *   KEQ_FUZZ_SEED        campaign seed (default 1)
+ *
+ * Writes BENCH_fuzz.json (see bench_common.h for the output directory).
+ */
+
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "src/fuzz/campaign.h"
+
+int
+main()
+{
+    using namespace keq;
+
+    fuzz::CampaignOptions options;
+    options.seed = keq::bench::envSize("KEQ_FUZZ_SEED", 1);
+    options.iterations = keq::bench::envSize("KEQ_FUZZ_ITERATIONS", 60);
+
+    unsigned hw = std::thread::hardware_concurrency();
+    unsigned jobs_n = hw > 1 ? hw : 2;
+
+    std::printf("=== keq-fuzz throughput (seed=%llu, %zu iterations) "
+                "===\n\n",
+                static_cast<unsigned long long>(options.seed),
+                options.iterations);
+
+    options.jobs = 1;
+    fuzz::CampaignResult serial = fuzz::runCampaign(options);
+    std::printf("jobs=1:  %6.2f s  %7.2f programs/s\n", serial.seconds,
+                serial.seconds > 0.0
+                    ? static_cast<double>(
+                          serial.stats.programsGenerated) /
+                          serial.seconds
+                    : 0.0);
+
+    options.jobs = jobs_n;
+    fuzz::CampaignResult parallel = fuzz::runCampaign(options);
+    double parallel_rate =
+        parallel.seconds > 0.0
+            ? static_cast<double>(parallel.stats.programsGenerated) /
+                  parallel.seconds
+            : 0.0;
+    std::printf("jobs=%-2u: %6.2f s  %7.2f programs/s  (%.2fx)\n",
+                jobs_n, parallel.seconds, parallel_rate,
+                serial.seconds > 0.0 && parallel.seconds > 0.0
+                    ? serial.seconds / parallel.seconds
+                    : 0.0);
+
+    bool deterministic =
+        serial.canonicalSummary() == parallel.canonicalSummary();
+    bool classes_killed = serial.allMiscompileClassesKilled();
+    std::printf("\ndeterministic across jobs: %s\n",
+                deterministic ? "yes" : "NO (BUG)");
+    std::printf("all miscompile classes killed: %s\n",
+                classes_killed ? "yes" : "NO (BUG)");
+    std::printf("soundness bugs: %llu, completeness gaps: %llu\n",
+                static_cast<unsigned long long>(
+                    serial.stats.soundnessBugs),
+                static_cast<unsigned long long>(
+                    serial.stats.completenessGaps));
+
+    keq::bench::JsonReporter json;
+    json.field("seed", static_cast<uint64_t>(options.seed));
+    json.field("iterations",
+               static_cast<uint64_t>(serial.iterationsRun));
+    json.field("programs", serial.stats.programsGenerated);
+    json.field("instructions", serial.stats.generatedInstructions);
+    json.field("baseline_validated", serial.stats.baselineValidated);
+    json.field("baseline_unvalidated",
+               serial.stats.baselineUnvalidated);
+    json.field("mutants_applied", serial.stats.mutantsApplied);
+    json.field("mutants_killed", serial.stats.mutantsKilled);
+    json.field("mutants_neutral",
+               serial.stats.mutantsSurvivedNeutral);
+    json.field("benign_accepted", serial.stats.benignAccepted);
+    json.field("soundness_bugs", serial.stats.soundnessBugs);
+    json.field("completeness_gaps", serial.stats.completenessGaps);
+    json.field("seconds_jobs1", serial.seconds);
+    json.field("programs_per_second_jobs1",
+               serial.seconds > 0.0
+                   ? static_cast<double>(
+                         serial.stats.programsGenerated) /
+                         serial.seconds
+                   : 0.0);
+    json.field("jobs_n", static_cast<uint64_t>(jobs_n));
+    json.field("seconds_jobsn", parallel.seconds);
+    json.field("programs_per_second_jobsn", parallel_rate);
+    json.field("deterministic_across_jobs", deterministic);
+    json.field("all_classes_killed", classes_killed);
+    json.writeFile("BENCH_fuzz.json");
+
+    return static_cast<int>(serial.stats.soundnessBugs +
+                            serial.stats.completenessGaps) +
+           (deterministic ? 0 : 1) + (classes_killed ? 0 : 1);
+}

@@ -101,7 +101,9 @@ ModuleReport::canonicalSummary() const
 namespace {
 
 /**
- * The per-function unit of work. Creates every non-thread-safe component
+ * VC generation + KEQ checking for one (LLVM, Virtual x86) pair whose
+ * machine side has already been produced — by this pipeline's ISel, or
+ * by the fuzz mutation engine. Creates every non-thread-safe component
  * (factory, semantics, Z3) locally so concurrent invocations share
  * nothing but the optional query cache.
  *
@@ -111,12 +113,12 @@ namespace {
  *             reference stack by tests and benches).
  */
 FunctionReport
-validateFunctionImpl(const llvmir::Module &module,
-                     const llvmir::Function &fn,
-                     const PipelineOptions &options,
-                     const std::shared_ptr<smt::QueryCache> &cache,
-                     const ExecutionOptions *exec,
-                     smt::SolverStats *solver_stats)
+validatePairImpl(const llvmir::Module &module, const llvmir::Function &fn,
+                 vx86::MFunction mfn, const isel::FunctionHints &hints,
+                 const PipelineOptions &options,
+                 const std::shared_ptr<smt::QueryCache> &cache,
+                 const ExecutionOptions *exec,
+                 smt::SolverStats *solver_stats)
 {
     FunctionReport report;
     report.function = fn.name;
@@ -124,10 +126,6 @@ validateFunctionImpl(const llvmir::Module &module,
     support::Stopwatch watch;
 
     try {
-        // 1. Instruction Selection with hint generation.
-        isel::FunctionHints hints;
-        vx86::MFunction mfn =
-            isel::lowerFunction(module, fn, options.isel, hints);
         report.x86Instructions = mfn.instructionCount();
 
         // 2. Verification condition generation.
@@ -205,6 +203,36 @@ validateFunctionImpl(const llvmir::Module &module,
     return report;
 }
 
+/**
+ * The per-function unit of work including the ISel stage: lower, then
+ * validate the resulting pair.
+ */
+FunctionReport
+validateFunctionImpl(const llvmir::Module &module,
+                     const llvmir::Function &fn,
+                     const PipelineOptions &options,
+                     const std::shared_ptr<smt::QueryCache> &cache,
+                     const ExecutionOptions *exec,
+                     smt::SolverStats *solver_stats)
+{
+    // 1. Instruction Selection with hint generation. Unsupported
+    // constructs surface here, before any pair exists.
+    isel::FunctionHints hints;
+    vx86::MFunction mfn;
+    try {
+        mfn = isel::lowerFunction(module, fn, options.isel, hints);
+    } catch (const support::Error &error) {
+        FunctionReport report;
+        report.function = fn.name;
+        report.llvmInstructions = fn.instructionCount();
+        report.outcome = Outcome::Unsupported;
+        report.detail = error.what();
+        return report;
+    }
+    return validatePairImpl(module, fn, std::move(mfn), hints, options,
+                            cache, exec, solver_stats);
+}
+
 std::vector<const llvmir::Function *>
 definedFunctions(const llvmir::Module &module)
 {
@@ -224,6 +252,16 @@ validateFunction(const llvmir::Module &module, const llvmir::Function &fn,
 {
     return validateFunctionImpl(module, fn, options, nullptr, nullptr,
                                 nullptr);
+}
+
+FunctionReport
+validateFunctionPair(const llvmir::Module &module,
+                     const llvmir::Function &fn, vx86::MFunction mfn,
+                     const isel::FunctionHints &hints,
+                     const PipelineOptions &options)
+{
+    return validatePairImpl(module, fn, std::move(mfn), hints, options,
+                            nullptr, nullptr, nullptr);
 }
 
 FunctionReport

@@ -202,6 +202,20 @@ FunctionReport validateFunction(const llvmir::Module &module,
                                 const PipelineOptions &options);
 
 /**
+ * Validates a *given* (LLVM, Virtual x86) function pair: VC generation
+ * and KEQ checking only, no ISel. The machine function may come from
+ * anywhere — in particular from the fuzz mutation engine, which runs the
+ * real ISel and then rewrites its output; @p hints must describe the
+ * lowering the machine function was derived from. options.isel is
+ * ignored (the machine side is already fixed).
+ */
+FunctionReport validateFunctionPair(const llvmir::Module &module,
+                                    const llvmir::Function &fn,
+                                    vx86::MFunction mfn,
+                                    const isel::FunctionHints &hints,
+                                    const PipelineOptions &options);
+
+/**
  * Validates the *register allocation* of one function: lowers with ISel,
  * allocates registers (src/regalloc), and runs the very same KEQ over
  * the pre-RA/post-RA Virtual x86 pair — the paper's "ongoing work"

@@ -1,0 +1,625 @@
+#include "src/fuzz/campaign.h"
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "src/llvmir/parser.h"
+#include "src/llvmir/verifier.h"
+#include "src/support/diagnostics.h"
+#include "src/support/thread_pool.h"
+
+namespace keq::fuzz {
+
+using support::Rng;
+
+namespace {
+
+/** Salt separating the mutant-oracle stream from the baseline one. */
+constexpr uint64_t kMutantOracleSalt = 0x5851f42d4c957f2dull;
+
+uint64_t
+fnvHash(std::string_view text)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (char c : text)
+        h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ull;
+    return h;
+}
+
+/**
+ * Round-trippable module rendering: Module::toString prints
+ * declarations as body-less defines, which the parser rejects, so the
+ * reproducer artifacts render them as proper `declare` lines.
+ */
+std::string
+moduleToSource(const llvmir::Module &module)
+{
+    std::ostringstream out;
+    for (const llvmir::GlobalVariable &global : module.globals)
+        out << global.name << " = external global "
+            << global.valueType->toString() << "\n";
+    for (const llvmir::Function &fn : module.functions) {
+        if (!fn.isDeclaration())
+            continue;
+        out << "declare " << fn.returnType->toString() << " " << fn.name
+            << "(";
+        for (size_t i = 0; i < fn.params.size(); ++i)
+            out << (i ? ", " : "") << fn.params[i].type->toString();
+        out << ")\n";
+    }
+    out << "\n";
+    for (const llvmir::Function &fn : module.functions)
+        if (!fn.isDeclaration())
+            out << fn.toString();
+    return out.str();
+}
+
+const llvmir::Function *
+firstDefinedFunction(const llvmir::Module &module)
+{
+    for (const llvmir::Function &fn : module.functions)
+        if (!fn.isDeclaration())
+            return &fn;
+    return nullptr;
+}
+
+/** The MirRewrite entries the random phase samples from. */
+std::vector<const Mutation *>
+randomPhaseEntries(const CampaignOptions &options)
+{
+    std::vector<const Mutation *> entries;
+    if (!options.onlyMutation.empty()) {
+        if (const Mutation *entry = findMutation(options.onlyMutation))
+            entries.push_back(entry);
+        return entries;
+    }
+    // IselBug entries need their trigger pattern (adjacent stores /
+    // zext(load)), which random programs rarely contain; they are
+    // covered by the calibration phase instead.
+    for (const Mutation &mutation : mutationCatalog())
+        if (mutation.kind == MutationKind::MirRewrite)
+            entries.push_back(&mutation);
+    return entries;
+}
+
+/** A failing seed captured during an iteration (pre-shrink). */
+struct Failure
+{
+    llvmir::Module module;
+    Reproducer repro;
+    uint64_t oracleSeed = 0;
+    bool fromCalibration = false;
+};
+
+struct IterationOutcome
+{
+    CampaignStats stats;
+    std::optional<Failure> failure;
+};
+
+/**
+ * Classifies one mutant oracle result into the campaign counters;
+ * returns the classification string when it is a validator bug.
+ */
+std::string
+classifyMutant(const Mutation &mutation, const OracleResult &result,
+               CampaignStats &stats)
+{
+    if (result.verdict == OracleVerdict::Inconclusive) {
+        stats.inconclusive++;
+        return {};
+    }
+    if (result.verdict == OracleVerdict::SoundnessBug) {
+        stats.soundnessBugs++;
+        return "soundness";
+    }
+    if (mutation.expectEquivalent) {
+        if (result.verdict == OracleVerdict::Agree) {
+            stats.benignAccepted++;
+            return {};
+        }
+        // Killed: the rewrite preserves semantics by construction, so a
+        // rejection (with a validated baseline) is a completeness gap.
+        stats.completenessGaps++;
+        return "completeness";
+    }
+    if (result.verdict == OracleVerdict::Killed) {
+        stats.mutantsKilled++;
+        stats.killsByMutation[mutation.id]++;
+        return {};
+    }
+    stats.mutantsSurvivedNeutral++;
+    return {};
+}
+
+IterationOutcome
+runIteration(const CampaignOptions &options, size_t index)
+{
+    IterationOutcome outcome;
+    CampaignStats &stats = outcome.stats;
+
+    Rng iter = Rng::stream(options.seed, index);
+    Rng gen_rng = iter.split();
+    Rng select_rng = iter.split();
+    uint64_t mut_seed = iter.next();
+    uint64_t oracle_seed = iter.next();
+
+    llvmir::Module module = generateModule(gen_rng, options.generator);
+    const llvmir::Function *fn = firstDefinedFunction(module);
+    stats.programsGenerated++;
+    stats.generatedInstructions += fn->instructionCount();
+
+    // Baseline: the clean lowering must validate and must agree with
+    // the LLVM-side execution; otherwise the iteration carries no
+    // mutant signal.
+    isel::FunctionHints hints;
+    vx86::MFunction clean;
+    try {
+        clean = isel::lowerFunction(module, *fn, {}, hints);
+    } catch (const support::Error &) {
+        stats.unsupported++;
+        return outcome;
+    }
+    Rng baseline_oracle(oracle_seed);
+    OracleResult baseline = crossCheck(module, *fn, clean, hints,
+                                       baseline_oracle, options.oracle);
+    switch (baseline.verdict) {
+    case OracleVerdict::Agree:
+        stats.baselineValidated++;
+        break;
+    case OracleVerdict::Killed:
+        stats.baselineUnvalidated++;
+        return outcome;
+    case OracleVerdict::SoundnessBug: {
+        stats.soundnessBugs++;
+        Failure failure;
+        failure.module = module;
+        failure.repro.mutationId = "none";
+        failure.repro.classification = "soundness";
+        failure.repro.iteration = index;
+        failure.repro.mutationSeed = mut_seed;
+        failure.oracleSeed = oracle_seed;
+        outcome.failure = std::move(failure);
+        return outcome;
+    }
+    case OracleVerdict::Inconclusive:
+        stats.inconclusive++;
+        return outcome;
+    }
+
+    std::vector<const Mutation *> entries = randomPhaseEntries(options);
+    if (entries.empty())
+        return outcome;
+    const Mutation &mutation =
+        *entries[select_rng.below(entries.size())];
+
+    stats.mutantsAttempted++;
+    Rng mut_rng(mut_seed);
+    MutantLowering mutant;
+    try {
+        mutant = lowerMutant(mutation, module, *fn, mut_rng);
+    } catch (const support::Error &) {
+        stats.unsupported++;
+        return outcome;
+    }
+    if (!mutant.applied)
+        return outcome;
+    stats.mutantsApplied++;
+    stats.appliedByMutation[mutation.id]++;
+
+    Rng mutant_oracle(oracle_seed ^ kMutantOracleSalt);
+    OracleResult result = crossCheck(module, *fn, mutant.mfn,
+                                     mutant.hints, mutant_oracle,
+                                     options.oracle);
+    std::string classification = classifyMutant(mutation, result, stats);
+    if (!classification.empty()) {
+        Failure failure;
+        failure.module = module;
+        failure.repro.mutationId = mutation.id;
+        failure.repro.classification = classification;
+        failure.repro.iteration = index;
+        failure.repro.mutationSeed = mut_seed;
+        failure.oracleSeed = oracle_seed;
+        outcome.failure = std::move(failure);
+    }
+    return outcome;
+}
+
+/**
+ * Calibration: every catalogue entry once, on its own exemplar. The
+ * per-entry streams are pure in (seed, id), so calibration results are
+ * independent of jobs and iteration count.
+ */
+void
+runCalibration(const CampaignOptions &options, CampaignStats &stats,
+               std::vector<Failure> &failures)
+{
+    for (const Mutation &mutation : mutationCatalog()) {
+        if (!options.onlyMutation.empty() &&
+            options.onlyMutation != mutation.id)
+            continue;
+        llvmir::Module module = llvmir::parseModule(mutation.exemplar);
+        llvmir::verifyModuleOrThrow(module);
+        const llvmir::Function *fn =
+            module.findFunction(mutation.exemplarFunction);
+        if (fn == nullptr)
+            throw support::Error(std::string("catalogue entry ") +
+                                 mutation.id +
+                                 ": exemplar function not found");
+        uint64_t mut_seed = options.seed ^ fnvHash(mutation.id);
+        uint64_t oracle_seed = fnvHash(mutation.id) * 31 ^ options.seed;
+
+        stats.mutantsAttempted++;
+        Rng mut_rng(mut_seed);
+        MutantLowering mutant = lowerMutant(mutation, module, *fn,
+                                            mut_rng);
+        if (!mutant.applied)
+            throw support::Error(
+                std::string("catalogue entry ") + mutation.id +
+                ": mutation does not apply to its own exemplar");
+        stats.mutantsApplied++;
+        stats.appliedByMutation[mutation.id]++;
+
+        Rng oracle_rng(oracle_seed ^ kMutantOracleSalt);
+        OracleResult result = crossCheck(module, *fn, mutant.mfn,
+                                         mutant.hints, oracle_rng,
+                                         options.oracle);
+        std::string classification =
+            classifyMutant(mutation, result, stats);
+        if (!classification.empty()) {
+            Failure failure;
+            failure.module = module;
+            failure.repro.mutationId = mutation.id;
+            failure.repro.classification = classification;
+            failure.repro.iteration = 0;
+            failure.repro.mutationSeed = mut_seed;
+            failure.oracleSeed = oracle_seed;
+            failure.fromCalibration = true;
+            failures.push_back(std::move(failure));
+        }
+    }
+}
+
+/**
+ * The shrinker's predicate: the recorded mutation, replayed with the
+ * recorded seeds, still produces the same classification (and for
+ * completeness gaps the baseline still validates, so the gap stays
+ * attributable to the rewrite).
+ */
+bool
+failureReproduces(const llvmir::Module &module, const Reproducer &repro,
+                  uint64_t oracle_seed, const CampaignOptions &options)
+{
+    const llvmir::Function *fn = firstDefinedFunction(module);
+    if (fn == nullptr)
+        return false;
+    try {
+        if (repro.mutationId == "none") {
+            isel::FunctionHints hints;
+            vx86::MFunction clean =
+                isel::lowerFunction(module, *fn, {}, hints);
+            Rng oracle_rng(oracle_seed);
+            OracleResult result = crossCheck(module, *fn, clean, hints,
+                                             oracle_rng, options.oracle);
+            return result.verdict == OracleVerdict::SoundnessBug;
+        }
+        const Mutation *mutation = findMutation(repro.mutationId);
+        if (mutation == nullptr)
+            return false;
+        if (repro.classification == "completeness") {
+            isel::FunctionHints hints;
+            vx86::MFunction clean =
+                isel::lowerFunction(module, *fn, {}, hints);
+            Rng baseline_rng(oracle_seed);
+            OracleResult baseline = crossCheck(
+                module, *fn, clean, hints, baseline_rng, options.oracle);
+            if (baseline.verdict != OracleVerdict::Agree)
+                return false;
+        }
+        Rng mut_rng(repro.mutationSeed);
+        MutantLowering mutant =
+            lowerMutant(*mutation, module, *fn, mut_rng);
+        if (!mutant.applied)
+            return false;
+        Rng oracle_rng(oracle_seed ^ kMutantOracleSalt);
+        OracleResult result = crossCheck(module, *fn, mutant.mfn,
+                                         mutant.hints, oracle_rng,
+                                         options.oracle);
+        if (repro.classification == "soundness")
+            return result.verdict == OracleVerdict::SoundnessBug;
+        return result.verdict == OracleVerdict::Killed;
+    } catch (const support::Error &) {
+        return false;
+    }
+}
+
+std::string
+renderArtifact(const llvmir::Module &module, const Reproducer &repro,
+               uint64_t seed, uint64_t oracle_seed)
+{
+    std::ostringstream out;
+    out << "; keq-fuzz-repro v1\n"
+        << "; mutation=" << repro.mutationId << "\n"
+        << "; class=" << repro.classification << "\n"
+        << "; seed=" << seed << "\n"
+        << "; iteration=" << repro.iteration << "\n"
+        << "; mutseed=" << repro.mutationSeed << "\n"
+        << "; oracleseed=" << oracle_seed << "\n"
+        << moduleToSource(module);
+    return out.str();
+}
+
+/** Shrinks, renders, and (optionally) persists one failure. */
+Reproducer
+finalizeFailure(Failure &failure, const CampaignOptions &options,
+                ShrinkStats *shrink_stats)
+{
+    Reproducer repro = failure.repro;
+    llvmir::Module final_module = failure.module;
+    repro.originalInstructions =
+        moduleInstructionCount(failure.module);
+    repro.shrunkInstructions = repro.originalInstructions;
+
+    if (options.shrinkFailures) {
+        FailurePredicate predicate =
+            [&](const llvmir::Module &candidate) {
+                return failureReproduces(candidate, repro,
+                                         failure.oracleSeed, options);
+            };
+        // Only shrink what provably reproduces from its own source
+        // (paranoia: a non-reproducing failure is itself a finding and
+        // must be reported unshrunk).
+        if (predicate(failure.module)) {
+            ShrinkResult shrunk =
+                shrinkModule(failure.module, predicate, options.shrink);
+            final_module = std::move(shrunk.module);
+            repro.shrunkInstructions = shrunk.stats.finalInstructions;
+            if (shrink_stats != nullptr)
+                *shrink_stats = shrunk.stats;
+        }
+    }
+
+    repro.artifact = renderArtifact(final_module, repro, options.seed,
+                                    failure.oracleSeed);
+    std::string stem = failure.fromCalibration
+                           ? "cal-" + repro.mutationId
+                           : std::to_string(repro.iteration) + "-" +
+                                 repro.mutationId;
+    repro.fileName =
+        "repro-" + stem + "-" + repro.classification + ".ll";
+    if (!options.corpusDir.empty()) {
+        std::filesystem::create_directories(options.corpusDir);
+        std::ofstream out(std::filesystem::path(options.corpusDir) /
+                          repro.fileName);
+        out << repro.artifact;
+    }
+    return repro;
+}
+
+} // namespace
+
+void
+CampaignStats::merge(const CampaignStats &other)
+{
+    programsGenerated += other.programsGenerated;
+    generatedInstructions += other.generatedInstructions;
+    baselineValidated += other.baselineValidated;
+    baselineUnvalidated += other.baselineUnvalidated;
+    unsupported += other.unsupported;
+    mutantsAttempted += other.mutantsAttempted;
+    mutantsApplied += other.mutantsApplied;
+    mutantsKilled += other.mutantsKilled;
+    mutantsSurvivedNeutral += other.mutantsSurvivedNeutral;
+    benignAccepted += other.benignAccepted;
+    soundnessBugs += other.soundnessBugs;
+    completenessGaps += other.completenessGaps;
+    inconclusive += other.inconclusive;
+    for (const auto &[id, count] : other.appliedByMutation)
+        appliedByMutation[id] += count;
+    for (const auto &[id, count] : other.killsByMutation)
+        killsByMutation[id] += count;
+}
+
+bool
+CampaignResult::allMiscompileClassesKilled() const
+{
+    for (const Mutation &mutation : mutationCatalog()) {
+        if (mutation.expectEquivalent)
+            continue;
+        auto it = stats.killsByMutation.find(mutation.id);
+        if (it == stats.killsByMutation.end() || it->second == 0)
+            return false;
+    }
+    return true;
+}
+
+std::string
+CampaignResult::canonicalSummary() const
+{
+    std::ostringstream out;
+    out << "iterations=" << iterationsRun
+        << " truncated=" << (truncated ? 1 : 0) << "\n";
+    out << "programs=" << stats.programsGenerated
+        << " instructions=" << stats.generatedInstructions
+        << " baseline-validated=" << stats.baselineValidated
+        << " baseline-unvalidated=" << stats.baselineUnvalidated
+        << " unsupported=" << stats.unsupported << "\n";
+    out << "mutants attempted=" << stats.mutantsAttempted
+        << " applied=" << stats.mutantsApplied
+        << " killed=" << stats.mutantsKilled
+        << " neutral=" << stats.mutantsSurvivedNeutral
+        << " benign-accepted=" << stats.benignAccepted << "\n";
+    out << "soundness-bugs=" << stats.soundnessBugs
+        << " completeness-gaps=" << stats.completenessGaps
+        << " inconclusive=" << stats.inconclusive << "\n";
+    for (const auto &[id, count] : stats.appliedByMutation)
+        out << "applied " << id << "=" << count << "\n";
+    for (const auto &[id, count] : stats.killsByMutation)
+        out << "killed " << id << "=" << count << "\n";
+    for (const Reproducer &repro : reproducers)
+        out << "repro " << repro.fileName
+            << " instructions=" << repro.originalInstructions << "->"
+            << repro.shrunkInstructions << "\n";
+    return out.str();
+}
+
+std::string
+CampaignResult::renderTable() const
+{
+    std::ostringstream out;
+    out << canonicalSummary();
+    double rate = seconds > 0.0
+                      ? static_cast<double>(stats.programsGenerated) /
+                            seconds
+                      : 0.0;
+    out << "wall-clock " << seconds << " s (" << rate
+        << " programs/s)\n";
+    out << (allMiscompileClassesKilled()
+                ? "every miscompile class killed at least once\n"
+                : "WARNING: some miscompile class was never killed\n");
+    return out.str();
+}
+
+CampaignResult
+runCampaign(const CampaignOptions &options)
+{
+    auto start = std::chrono::steady_clock::now();
+    CampaignResult result;
+    std::vector<Failure> failures;
+
+    if (options.calibrate)
+        runCalibration(options, result.stats, failures);
+
+    std::vector<std::optional<IterationOutcome>> outcomes(
+        options.iterations);
+    std::atomic<bool> expired{false};
+    auto overBudget = [&]() {
+        if (options.maxSeconds <= 0.0)
+            return false;
+        if (expired.load(std::memory_order_relaxed))
+            return true;
+        std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        if (elapsed.count() < options.maxSeconds)
+            return false;
+        expired.store(true, std::memory_order_relaxed);
+        return true;
+    };
+
+    support::ThreadPool pool(options.jobs);
+    support::parallelFor(pool, options.iterations, [&](size_t index) {
+        if (overBudget())
+            return; // truncation: the slot stays empty
+        outcomes[index] = runIteration(options, index);
+    });
+
+    // Merge in iteration order: the summary is independent of worker
+    // scheduling.
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        if (!outcomes[i].has_value())
+            continue;
+        result.iterationsRun++;
+        result.stats.merge(outcomes[i]->stats);
+        if (outcomes[i]->failure.has_value())
+            failures.push_back(std::move(*outcomes[i]->failure));
+    }
+    result.truncated = expired.load();
+
+    // Shrink and persist serially, calibration failures first, then by
+    // iteration (the order failures were pushed).
+    for (Failure &failure : failures)
+        result.reproducers.push_back(
+            finalizeFailure(failure, options, nullptr));
+
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    result.seconds = elapsed.count();
+    return result;
+}
+
+ReplayResult
+replayReproducer(const std::string &artifact,
+                 const CampaignOptions &options)
+{
+    ReplayResult replay;
+    Reproducer repro;
+    uint64_t oracle_seed = 0;
+
+    std::istringstream lines(artifact);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.rfind("; ", 0) != 0)
+            continue;
+        std::string_view view(line);
+        view.remove_prefix(2);
+        auto take = [&view](std::string_view key) {
+            return view.rfind(key, 0) == 0
+                       ? std::optional<std::string>(std::string(
+                             view.substr(key.size())))
+                       : std::nullopt;
+        };
+        if (auto v = take("mutation="))
+            repro.mutationId = *v;
+        else if (auto v = take("class="))
+            repro.classification = *v;
+        else if (auto v = take("iteration="))
+            repro.iteration = std::stoull(*v);
+        else if (auto v = take("mutseed="))
+            repro.mutationSeed = std::stoull(*v);
+        else if (auto v = take("oracleseed="))
+            oracle_seed = std::stoull(*v);
+    }
+    replay.classification = repro.classification;
+    if (repro.classification.empty() || repro.mutationId.empty()) {
+        replay.detail = "artifact is missing keq-fuzz-repro metadata";
+        return replay;
+    }
+
+    llvmir::Module module = llvmir::parseModule(artifact);
+    llvmir::verifyModuleOrThrow(module);
+    const llvmir::Function *fn = firstDefinedFunction(module);
+    if (fn == nullptr) {
+        replay.detail = "artifact contains no defined function";
+        return replay;
+    }
+
+    // Re-run the recorded scenario and capture the oracle view.
+    if (repro.mutationId == "none") {
+        isel::FunctionHints hints;
+        vx86::MFunction clean = isel::lowerFunction(module, *fn, {},
+                                                    hints);
+        Rng oracle_rng(oracle_seed);
+        replay.oracle = crossCheck(module, *fn, clean, hints, oracle_rng,
+                                   options.oracle);
+        replay.reproduced =
+            replay.oracle.verdict == OracleVerdict::SoundnessBug;
+        return replay;
+    }
+    const Mutation *mutation = findMutation(repro.mutationId);
+    if (mutation == nullptr) {
+        replay.detail =
+            "unknown mutation id: " + repro.mutationId;
+        return replay;
+    }
+    Rng mut_rng(repro.mutationSeed);
+    MutantLowering mutant = lowerMutant(*mutation, module, *fn, mut_rng);
+    if (!mutant.applied) {
+        replay.detail = "mutation no longer applies to the module";
+        return replay;
+    }
+    Rng oracle_rng(oracle_seed ^ kMutantOracleSalt);
+    replay.oracle = crossCheck(module, *fn, mutant.mfn, mutant.hints,
+                               oracle_rng, options.oracle);
+    replay.reproduced =
+        repro.classification == "soundness"
+            ? replay.oracle.verdict == OracleVerdict::SoundnessBug
+            : replay.oracle.verdict == OracleVerdict::Killed;
+    replay.detail = replay.oracle.detail;
+    return replay;
+}
+
+} // namespace keq::fuzz

@@ -1,0 +1,161 @@
+#ifndef KEQ_FUZZ_CAMPAIGN_H
+#define KEQ_FUZZ_CAMPAIGN_H
+
+/**
+ * @file
+ * Fuzzing campaigns: generate -> mutate -> cross-check, in parallel,
+ * deterministically.
+ *
+ * Each iteration i derives all of its randomness from the pure stream
+ * Rng::stream(seed, i) — generation, mutation-site choice, and oracle
+ * inputs each get their own split — so an iteration's result depends
+ * only on (options, i), never on which worker ran it or in what order.
+ * Results are merged in iteration order; the canonical summary therefore
+ * matches byte-for-byte across --jobs values and across runs (asserted
+ * by tests and by the fuzz_smoke CI target).
+ *
+ * A campaign has three phases:
+ *
+ *  1. calibration — every catalogue entry is applied to its own exemplar
+ *     once. This deterministically guarantees each miscompile class is
+ *     caught (killed) at least once per campaign, independent of what
+ *     the random phase happens to hit.
+ *  2. random iterations — generate a program, validate the clean
+ *     lowering (baseline), pick a MirRewrite mutation, cross-check the
+ *     mutant against the differential oracle.
+ *  3. shrinking + persistence — failing seeds (soundness bugs and
+ *     completeness gaps) are minimized under "same classification still
+ *     reproduces" and written as replayable reproducer files.
+ *
+ * Wall-clock never influences results: --max-seconds only truncates the
+ * iteration range (recorded in the summary as `truncated`), which is why
+ * the determinism tests run without it.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/generator.h"
+#include "src/fuzz/mutation_catalog.h"
+#include "src/fuzz/oracle.h"
+#include "src/fuzz/shrinker.h"
+
+namespace keq::fuzz {
+
+struct CampaignOptions
+{
+    uint64_t seed = 1;
+    /** Worker threads; 0 = one per hardware thread. */
+    unsigned jobs = 1;
+    /** Random-phase iteration count. */
+    size_t iterations = 50;
+    /**
+     * Safety cap in seconds; 0 = none. Exceeding it stops issuing new
+     * iterations (already-claimed ones finish), so a capped run's
+     * summary is a prefix-truncation — deterministic runs leave it 0.
+     */
+    double maxSeconds = 0.0;
+    /** Run the per-entry exemplar calibration phase. */
+    bool calibrate = true;
+    /** Shrink failing seeds before reporting them. */
+    bool shrinkFailures = true;
+    /** Directory for reproducer files; empty = keep in memory only. */
+    std::string corpusDir;
+    /** Restrict the random phase to one catalogue id; empty = all. */
+    std::string onlyMutation;
+    GeneratorOptions generator;
+    OracleOptions oracle;
+    ShrinkOptions shrink;
+};
+
+/** Aggregated campaign counters (all deterministic). */
+struct CampaignStats
+{
+    uint64_t programsGenerated = 0;
+    uint64_t generatedInstructions = 0;
+    /** Clean lowerings the checker validated. */
+    uint64_t baselineValidated = 0;
+    /** Clean lowerings the checker could not validate (VC inadequacy);
+     *  these iterations skip the mutation stage. */
+    uint64_t baselineUnvalidated = 0;
+    /** ISel rejected the program (unsupported fragment). */
+    uint64_t unsupported = 0;
+    uint64_t mutantsAttempted = 0;
+    /** Mutations that found an applicable site. */
+    uint64_t mutantsApplied = 0;
+    /** Miscompiles the checker rejected. */
+    uint64_t mutantsKilled = 0;
+    /** Miscompiles that were semantically neutral on this program
+     *  (checker validated, executions agreed). */
+    uint64_t mutantsSurvivedNeutral = 0;
+    /** Benign rewrites the checker accepted. */
+    uint64_t benignAccepted = 0;
+    /** Checker validated + executions diverged. */
+    uint64_t soundnessBugs = 0;
+    /** Benign rewrite rejected although the baseline validated. */
+    uint64_t completenessGaps = 0;
+    /** Checker timeout/OOM/unsupported on the mutant. */
+    uint64_t inconclusive = 0;
+    std::map<std::string, uint64_t> appliedByMutation;
+    std::map<std::string, uint64_t> killsByMutation;
+
+    void merge(const CampaignStats &other);
+};
+
+/** One failing seed, with everything needed to replay it. */
+struct Reproducer
+{
+    std::string fileName; ///< Basename; empty when not persisted.
+    /** Replayable artifact: metadata header + module text. */
+    std::string artifact;
+    std::string mutationId;
+    /** "soundness" or "completeness". */
+    std::string classification;
+    uint64_t iteration = 0;
+    /** Seed of the Rng that chose the mutation site. */
+    uint64_t mutationSeed = 0;
+    size_t originalInstructions = 0;
+    size_t shrunkInstructions = 0;
+};
+
+struct CampaignResult
+{
+    CampaignStats stats;
+    std::vector<Reproducer> reproducers;
+    /** Iterations actually run (< options.iterations when capped). */
+    size_t iterationsRun = 0;
+    bool truncated = false;
+    double seconds = 0.0;
+
+    /** Every miscompile catalogue entry killed at least once? */
+    bool allMiscompileClassesKilled() const;
+    /** Timing-free rendering; identical across runs and jobs counts. */
+    std::string canonicalSummary() const;
+    /** Human-facing table (includes throughput). */
+    std::string renderTable() const;
+};
+
+/** Runs a campaign with CampaignOptions::jobs workers. */
+CampaignResult runCampaign(const CampaignOptions &options);
+
+/** Outcome of replaying one reproducer artifact. */
+struct ReplayResult
+{
+    bool reproduced = false;
+    std::string classification; ///< From the artifact header.
+    OracleResult oracle;
+    std::string detail;
+};
+
+/**
+ * Re-runs the mutation + oracle recorded in a reproducer artifact (as
+ * produced by Reproducer::artifact / `keq-fuzz --replay`).
+ */
+ReplayResult replayReproducer(const std::string &artifact,
+                              const CampaignOptions &options);
+
+} // namespace keq::fuzz
+
+#endif // KEQ_FUZZ_CAMPAIGN_H

@@ -1,0 +1,633 @@
+#include "src/fuzz/generator.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "src/llvmir/parser.h"
+#include "src/llvmir/verifier.h"
+#include "src/support/diagnostics.h"
+
+namespace keq::fuzz {
+
+using support::Rng;
+
+namespace {
+
+/** The integer widths generated programs compute in. */
+const unsigned kWidths[] = {8, 16, 32, 64};
+
+std::string
+ty(unsigned width)
+{
+    return "i" + std::to_string(width);
+}
+
+/**
+ * Emits one function as LLVM assembly text. Values are tracked in
+ * per-width pools so every use site sees a dominating, correctly-typed
+ * definition; branch arms snapshot and restore the pools (the corpus
+ * generator's scoping discipline, generalised to multiple widths).
+ */
+class Gen
+{
+  public:
+    Gen(Rng &rng, const GeneratorOptions &options)
+        : rng_(rng), options_(options)
+    {
+    }
+
+    std::string
+    run()
+    {
+        std::ostringstream out;
+        emitSignature(out);
+        label("entry");
+        emitSeeding();
+        size_t regions = rng_.range(1, 2);
+        for (size_t i = 0; i < regions; ++i)
+            emitSeq(options_.maxDepth,
+                    options_.targetOps / (2 * regions) + 1);
+        line("ret " + ty(returnWidth_) + " " + regValue(returnWidth_));
+        out << body_.str() << "}\n";
+        return out.str();
+    }
+
+  private:
+    // ----- text plumbing -------------------------------------------------
+
+    std::string
+    fresh()
+    {
+        return "%v" + std::to_string(next_++);
+    }
+
+    std::string
+    freshLabel(const char *stem)
+    {
+        return std::string(stem) + std::to_string(nextLabel_++);
+    }
+
+    void
+    line(const std::string &text)
+    {
+        body_ << "  " << text << "\n";
+    }
+
+    void
+    label(const std::string &name)
+    {
+        body_ << name << ":\n";
+        current_ = name;
+    }
+
+    // ----- value pools ---------------------------------------------------
+
+    using PoolMark = std::map<unsigned, size_t>;
+
+    PoolMark
+    poolMark() const
+    {
+        PoolMark mark;
+        for (const auto &[width, pool] : pools_)
+            mark[width] = pool.size();
+        return mark;
+    }
+
+    void
+    poolRestore(const PoolMark &mark)
+    {
+        for (auto &[width, pool] : pools_) {
+            auto it = mark.find(width);
+            pool.resize(it == mark.end() ? 0 : it->second);
+        }
+    }
+
+    void
+    addToPool(unsigned width, const std::string &name)
+    {
+        pools_[width].push_back(name);
+    }
+
+    std::string
+    regValue(unsigned width)
+    {
+        const auto &pool = pools_.at(width);
+        return pool[rng_.below(pool.size())];
+    }
+
+    /** A literal safe for the parser (non-negative, fits in int64). */
+    std::string
+    literal(unsigned width)
+    {
+        if (rng_.chancePercent(70))
+            return std::to_string(rng_.range(0, 99));
+        uint64_t mask = width >= 64 ? 0x7fffffffffffffffull
+                                    : ((1ull << width) - 1);
+        return std::to_string(rng_.next() & mask);
+    }
+
+    std::string
+    value(unsigned width)
+    {
+        if (rng_.chancePercent(25))
+            return literal(width);
+        return regValue(width);
+    }
+
+    unsigned
+    pickWidth()
+    {
+        return kWidths[rng_.below(4)];
+    }
+
+    std::string
+    pred()
+    {
+        static const char *const kPreds[] = {"eq",  "ne",  "ult", "ule",
+                                             "ugt", "uge", "slt", "sle",
+                                             "sgt", "sge"};
+        return kPreds[rng_.below(10)];
+    }
+
+    // ----- function frame ------------------------------------------------
+
+    void
+    emitSignature(std::ostringstream &out)
+    {
+        // %p0 is always i32 (loop bounds and selectors mask it); the
+        // remaining parameter widths vary.
+        paramWidths_ = {32, pickWidth(), pickWidth()};
+        returnWidth_ = pickWidth();
+        out << "define " << ty(returnWidth_) << " "
+            << options_.functionName << "(";
+        for (size_t i = 0; i < paramWidths_.size(); ++i) {
+            if (i)
+                out << ", ";
+            out << ty(paramWidths_[i]) << " %p" << i;
+        }
+        out << ") {\n";
+    }
+
+    /**
+     * Guarantees a nonempty pool at every width before any random op
+     * runs: parameters first, then casts from %p0 for missing widths.
+     */
+    void
+    emitSeeding()
+    {
+        for (size_t i = 0; i < paramWidths_.size(); ++i)
+            addToPool(paramWidths_[i], "%p" + std::to_string(i));
+        for (unsigned width : kWidths) {
+            if (!pools_[width].empty())
+                continue;
+            std::string name = fresh();
+            if (width > 32)
+                line(name + " = zext i32 %p0 to " + ty(width));
+            else
+                line(name + " = trunc i32 %p0 to " + ty(width));
+            addToPool(width, name);
+        }
+        if (options_.memory) {
+            line("%fzslot = alloca i32");
+            line("store i32 " + regValue(32) + ", i32* %fzslot");
+        }
+    }
+
+    // ----- single ops ----------------------------------------------------
+
+    void
+    arithOp()
+    {
+        static const char *const kOps[] = {"add", "sub", "mul", "and",
+                                           "or",  "xor", "shl", "lshr",
+                                           "ashr"};
+        unsigned width = pickWidth();
+        std::string op = kOps[rng_.below(9)];
+        std::string result = fresh();
+        std::string flags;
+        if ((op == "add" || op == "sub" || op == "mul") &&
+            rng_.chancePercent(options_.nswPercent))
+            flags = " nsw";
+        // Shift amounts stay literal and in-range: an oversized or
+        // symbolic shift count is poison territory the oracle cannot
+        // cross-check exactly.
+        std::string rhs = (op == "shl" || op == "lshr" || op == "ashr")
+                              ? std::to_string(rng_.range(0, width - 1))
+                              : value(width);
+        line(result + " = " + op + flags + " " + ty(width) + " " +
+             value(width) + ", " + rhs);
+        addToPool(width, result);
+    }
+
+    void
+    divisionOp()
+    {
+        static const char *const kOps[] = {"udiv", "sdiv", "urem",
+                                           "srem"};
+        // 64-bit division is ISel's documented unsupported fragment;
+        // stay at or below 32 bits so every generated program lowers.
+        static const unsigned kDivWidths[] = {8, 16, 32};
+        unsigned width = kDivWidths[rng_.below(3)];
+        std::string op = kOps[rng_.below(4)];
+        std::string divisor =
+            (options_.registerDivisors && rng_.chancePercent(30))
+                ? regValue(width)
+                : std::to_string(rng_.range(1, 31));
+        std::string result = fresh();
+        line(result + " = " + op + " " + ty(width) + " " +
+             regValue(width) + ", " + divisor);
+        addToPool(width, result);
+    }
+
+    void
+    castOp()
+    {
+        unsigned src = pickWidth();
+        unsigned dst = pickWidth();
+        while (dst == src)
+            dst = pickWidth();
+        std::string op;
+        if (dst > src)
+            op = rng_.chancePercent(50) ? "zext" : "sext";
+        else
+            op = "trunc";
+        std::string result = fresh();
+        line(result + " = " + op + " " + ty(src) + " " + regValue(src) +
+             " to " + ty(dst));
+        addToPool(dst, result);
+    }
+
+    /** icmp at a random width; returns the i1 result name. */
+    std::string
+    icmpOp()
+    {
+        unsigned width = pickWidth();
+        std::string result = fresh();
+        line(result + " = icmp " + pred() + " " + ty(width) + " " +
+             regValue(width) + ", " + value(width));
+        return result;
+    }
+
+    void
+    selectOp()
+    {
+        std::string cond = icmpOp();
+        unsigned width = pickWidth();
+        std::string result = fresh();
+        line(result + " = select i1 " + cond + ", " + ty(width) + " " +
+             value(width) + ", " + ty(width) + " " + value(width));
+        addToPool(width, result);
+    }
+
+    void
+    boolOp()
+    {
+        // An i1 materialised into an integer register (zext only: sext
+        // from i1 is ISel's other unsupported fragment).
+        std::string cond = icmpOp();
+        unsigned width = pickWidth();
+        std::string result = fresh();
+        line(result + " = zext i1 " + cond + " to " + ty(width));
+        addToPool(width, result);
+    }
+
+    void
+    memoryOp()
+    {
+        switch (rng_.below(4)) {
+        case 0: { // i32 global word.
+            if (rng_.chancePercent(50)) {
+                std::string result = fresh();
+                line(result + " = load i32, i32* @fz_word32");
+                addToPool(32, result);
+            } else {
+                line("store i32 " + regValue(32) + ", i32* @fz_word32");
+            }
+            break;
+        }
+        case 1: { // i64 global word.
+            if (rng_.chancePercent(50)) {
+                std::string result = fresh();
+                line(result + " = load i64, i64* @fz_word64");
+                addToPool(64, result);
+            } else {
+                line("store i64 " + regValue(64) + ", i64* @fz_word64");
+            }
+            break;
+        }
+        case 2: { // Byte traffic through the 64-byte buffer, in-bounds
+                  // by masking.
+            std::string idx = fresh();
+            line(idx + " = and i64 " + regValue(64) + ", 63");
+            std::string ptr = fresh();
+            line(ptr + " = getelementptr [64 x i8], [64 x i8]* @fz_buf, "
+                       "i64 0, i64 " +
+                 idx);
+            if (rng_.chancePercent(60)) {
+                std::string byte = fresh();
+                line(byte + " = load i8, i8* " + ptr);
+                addToPool(8, byte);
+            } else {
+                line("store i8 " + regValue(8) + ", i8* " + ptr);
+            }
+            break;
+        }
+        default: { // The alloca slot.
+            if (rng_.chancePercent(50)) {
+                std::string result = fresh();
+                line(result + " = load i32, i32* %fzslot");
+                addToPool(32, result);
+            } else {
+                line("store i32 " + regValue(32) + ", i32* %fzslot");
+            }
+            break;
+        }
+        }
+    }
+
+    void
+    callOp()
+    {
+        switch (rng_.below(3)) {
+        case 0: {
+            std::string result = fresh();
+            line(result + " = call i32 @fz_ext0(i32 " + regValue(32) +
+                 ")");
+            addToPool(32, result);
+            break;
+        }
+        case 1: {
+            std::string result = fresh();
+            line(result + " = call i64 @fz_ext1(i64 " + regValue(64) +
+                 ", i32 " + regValue(32) + ")");
+            addToPool(64, result);
+            break;
+        }
+        default:
+            line("call void @fz_sink(i32 " + regValue(32) + ")");
+            break;
+        }
+    }
+
+    void
+    emitOp()
+    {
+        unsigned roll = static_cast<unsigned>(rng_.below(100));
+        if (options_.division && roll < 6)
+            divisionOp();
+        else if (options_.memory && roll < 22)
+            memoryOp();
+        else if (options_.calls && roll < 30)
+            callOp();
+        else if (roll < 40)
+            castOp();
+        else if (roll < 48)
+            selectOp();
+        else if (roll < 54)
+            boolOp();
+        else
+            arithOp();
+    }
+
+    void
+    emitOps(size_t count)
+    {
+        for (size_t i = 0; i < count; ++i)
+            emitOp();
+    }
+
+    // ----- control regions -----------------------------------------------
+
+    /** Ops, optionally a nested control region, more ops. */
+    void
+    emitSeq(size_t depth, size_t ops)
+    {
+        emitOps(ops / 2 + 1);
+        if (depth > 0) {
+            switch (rng_.below(4)) {
+            case 0:
+                emitDiamond(depth - 1);
+                break;
+            case 1:
+                if (options_.loops) {
+                    emitLoop(depth - 1);
+                    break;
+                }
+                [[fallthrough]];
+            case 2:
+                if (options_.switches) {
+                    emitSwitch();
+                    break;
+                }
+                [[fallthrough]];
+            default:
+                emitOps(2);
+                break;
+            }
+        }
+        emitOps(ops - ops / 2);
+    }
+
+    void
+    emitDiamond(size_t depth)
+    {
+        std::string cond = icmpOp();
+        std::string then_l = freshLabel("fzt");
+        std::string else_l = freshLabel("fze");
+        std::string join_l = freshLabel("fzj");
+        line("br i1 " + cond + ", label %" + then_l + ", label %" +
+             else_l);
+
+        unsigned phi_width = pickWidth();
+        PoolMark mark = poolMark();
+
+        label(then_l);
+        emitSeq(depth, rng_.range(1, 3));
+        std::string then_val = regValue(phi_width);
+        std::string then_end = current_;
+        line("br label %" + join_l);
+        poolRestore(mark);
+
+        label(else_l);
+        emitSeq(depth, rng_.range(1, 3));
+        std::string else_val = regValue(phi_width);
+        std::string else_end = current_;
+        line("br label %" + join_l);
+        poolRestore(mark);
+
+        label(join_l);
+        std::string merged = fresh();
+        line(merged + " = phi " + ty(phi_width) + " [ " + then_val +
+             ", %" + then_end + " ], [ " + else_val + ", %" + else_end +
+             " ]");
+        addToPool(phi_width, merged);
+    }
+
+    /**
+     * Counted loop with an accumulator. The back edge always comes from
+     * a dedicated latch block, so the header phis can name their
+     * incoming block before the body (which may itself branch) exists.
+     */
+    void
+    emitLoop(size_t depth)
+    {
+        std::string pre = current_;
+        std::string head = freshLabel("fzh");
+        std::string body = freshLabel("fzb");
+        std::string latch = freshLabel("fzl");
+        std::string exit = freshLabel("fzx");
+        unsigned acc_width = pickWidth();
+        std::string acc_seed = regValue(acc_width);
+
+        // Bound: small literal, or a masked i32 register (computed in
+        // the preheader so it dominates the header).
+        std::string bound;
+        if (rng_.chancePercent(50)) {
+            bound = std::to_string(rng_.range(1, 10));
+        } else {
+            bound = fresh();
+            line(bound + " = and i32 " + regValue(32) + ", 7");
+        }
+        line("br label %" + head);
+
+        std::string iv = fresh();
+        std::string iv_next = fresh();
+        std::string acc = fresh();
+        std::string acc_next = fresh();
+
+        label(head);
+        line(iv + " = phi i32 [ 0, %" + pre + " ], [ " + iv_next +
+             ", %" + latch + " ]");
+        line(acc + " = phi " + ty(acc_width) + " [ " + acc_seed + ", %" +
+             pre + " ], [ " + acc_next + ", %" + latch + " ]");
+        std::string cond = fresh();
+        line(cond + " = icmp ult i32 " + iv + ", " + bound);
+        line("br i1 " + cond + ", label %" + body + ", label %" + exit);
+
+        PoolMark mark = poolMark();
+        label(body);
+        addToPool(32, iv);
+        addToPool(acc_width, acc);
+        emitSeq(depth, rng_.range(1, 3));
+        std::string step = regValue(acc_width);
+        line("br label %" + latch);
+
+        label(latch);
+        line(acc_next + " = add " + ty(acc_width) + " " + acc + ", " +
+             step);
+        line(iv_next + " = add i32 " + iv + ", 1");
+        line("br label %" + head);
+        poolRestore(mark);
+
+        label(exit);
+        // Only the accumulator phi survives the loop (it is defined in
+        // the header, which dominates the exit).
+        addToPool(acc_width, acc);
+    }
+
+    void
+    emitSwitch()
+    {
+        std::string sel = fresh();
+        line(sel + " = and i32 " + regValue(32) + ", 7");
+        std::string dflt = freshLabel("fzd");
+        std::string join = freshLabel("fzj");
+
+        // Three distinct case values in the selector's 0..7 range.
+        std::vector<int> values = {0, 1, 2, 3, 4, 5, 6, 7};
+        rng_.shuffle(values);
+        values.resize(3);
+
+        std::vector<std::string> cases;
+        for (int i = 0; i < 3; ++i)
+            cases.push_back(freshLabel("fzc"));
+        line("switch i32 " + sel + ", label %" + dflt + " [");
+        for (int i = 0; i < 3; ++i)
+            line("  i32 " + std::to_string(values[i]) + ", label %" +
+                 cases[i]);
+        line("]");
+
+        unsigned phi_width = pickWidth();
+        PoolMark mark = poolMark();
+        std::vector<std::pair<std::string, std::string>> incoming;
+        for (const std::string &arm : cases) {
+            label(arm);
+            emitOps(rng_.range(1, 2));
+            incoming.emplace_back(regValue(phi_width), arm);
+            line("br label %" + join);
+            poolRestore(mark);
+        }
+        label(dflt);
+        incoming.emplace_back(regValue(phi_width), dflt);
+        line("br label %" + join);
+
+        label(join);
+        std::string merged = fresh();
+        std::string phi = merged + " = phi " + ty(phi_width);
+        for (size_t i = 0; i < incoming.size(); ++i) {
+            phi += i ? ", [ " : " [ ";
+            phi += incoming[i].first + ", %" + incoming[i].second + " ]";
+        }
+        line(phi);
+        addToPool(phi_width, merged);
+    }
+
+    Rng &rng_;
+    const GeneratorOptions &options_;
+    std::ostringstream body_;
+    std::map<unsigned, std::vector<std::string>> pools_;
+    std::vector<unsigned> paramWidths_;
+    unsigned returnWidth_ = 32;
+    std::string current_ = "entry";
+    unsigned next_ = 0;
+    unsigned nextLabel_ = 0;
+};
+
+} // namespace
+
+std::string
+generatorPrelude()
+{
+    return "@fz_buf = external global [64 x i8]\n"
+           "@fz_word32 = external global i32\n"
+           "@fz_word64 = external global i64\n"
+           "declare i32 @fz_ext0(i32)\n"
+           "declare i64 @fz_ext1(i64, i32)\n"
+           "declare void @fz_sink(i32)\n";
+}
+
+std::string
+generateFunctionSource(Rng &rng, const GeneratorOptions &options)
+{
+    return Gen(rng, options).run();
+}
+
+std::string
+generateModuleSource(Rng &rng, const GeneratorOptions &options)
+{
+    std::ostringstream out;
+    out << "; keq-fuzz generated program\n"
+        << generatorPrelude() << "\n"
+        << generateFunctionSource(rng, options);
+    return out.str();
+}
+
+llvmir::Module
+generateModule(Rng &rng, const GeneratorOptions &options)
+{
+    std::string source = generateModuleSource(rng, options);
+    llvmir::Module module;
+    try {
+        module = llvmir::parseModule(source);
+        llvmir::verifyModuleOrThrow(module);
+    } catch (const support::Error &error) {
+        throw support::Error(
+            std::string("fuzz generator produced invalid IR (a generator "
+                        "bug): ") +
+            error.what() + "\n--- program ---\n" + source);
+    }
+    return module;
+}
+
+} // namespace keq::fuzz

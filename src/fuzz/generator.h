@@ -1,0 +1,93 @@
+#ifndef KEQ_FUZZ_GENERATOR_H
+#define KEQ_FUZZ_GENERATOR_H
+
+/**
+ * @file
+ * Well-typed random LLVM IR generator for the fuzzing subsystem.
+ *
+ * Where the corpus generator (src/driver/corpus.h) reproduces the *shape
+ * distribution* of the paper's GCC workload for benchmarking, this
+ * generator manufactures adversarial-but-valid programs for the
+ * differential oracle: nested control flow (diamonds, counted loops,
+ * switches), mixed integer widths with explicit casts, byte- and
+ * word-granular memory traffic through globals and allocas, and calls
+ * into the external-function boundary — every program well-typed by
+ * construction and guaranteed to pass llvmir::Verifier (asserted in
+ * generateModule and property-tested across seeds).
+ *
+ * Determinism contract: the emitted text is a pure function of the Rng
+ * stream and the options. Callers that need generation to be independent
+ * of other random consumers (mutation choice, oracle inputs) hand the
+ * generator its own Rng::split() stream.
+ *
+ * Loops are bounded by construction (literal or masked-parameter trip
+ * counts), so generated programs always terminate within the oracle's
+ * step budgets.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "src/llvmir/ir.h"
+#include "src/support/rng.h"
+
+namespace keq::fuzz {
+
+/** Generator shape knobs. */
+struct GeneratorOptions
+{
+    /** Emit counted loops (always bounded). */
+    bool loops = true;
+    /** Emit loads/stores against globals, buffers, and allocas. */
+    bool memory = true;
+    /** Emit calls to the declared external functions. */
+    bool calls = true;
+    /** Emit switch terminators. */
+    bool switches = true;
+    /** Emit udiv/sdiv/urem/srem (literal nonzero divisors). */
+    bool division = true;
+    /**
+     * Fraction (percent) of adds/subs/muls carrying the nsw flag. Off by
+     * default: UB-free programs keep the oracle's execution comparison
+     * exact (an input-side trap licenses any output behaviour, which
+     * weakens a trial to "no information").
+     */
+    unsigned nswPercent = 0;
+    /**
+     * Allow register divisors (division-by-zero UB paths). Off by
+     * default for the same reason as nswPercent.
+     */
+    bool registerDivisors = false;
+    /** Maximum control-region nesting (loop in diamond in loop...). */
+    size_t maxDepth = 2;
+    /** Rough arithmetic-op budget steering the program size. */
+    size_t targetOps = 14;
+    /** Name of the generated function (with '@'). */
+    std::string functionName = "@fuzzee";
+};
+
+/**
+ * The module prelude every generated program shares: external globals
+ * (word and buffer allocations) and external function declarations.
+ */
+std::string generatorPrelude();
+
+/** Generates one function definition as LLVM assembly text. */
+std::string generateFunctionSource(support::Rng &rng,
+                                   const GeneratorOptions &options);
+
+/** Prelude plus one generated function: a complete module text. */
+std::string generateModuleSource(support::Rng &rng,
+                                 const GeneratorOptions &options);
+
+/**
+ * Generates, parses, and verifies one module. A verifier diagnostic on
+ * generated output is a generator bug and throws support::Error (the
+ * property tests run this across many seeds).
+ */
+llvmir::Module generateModule(support::Rng &rng,
+                              const GeneratorOptions &options);
+
+} // namespace keq::fuzz
+
+#endif // KEQ_FUZZ_GENERATOR_H

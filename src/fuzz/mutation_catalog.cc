@@ -1,0 +1,451 @@
+#include "src/fuzz/mutation_catalog.h"
+
+#include <utility>
+
+namespace keq::fuzz {
+
+using support::ApInt;
+using support::Rng;
+using vx86::MFunction;
+using vx86::MInst;
+using vx86::MOpcode;
+using vx86::MOperand;
+
+namespace {
+
+/** A location inside a machine function. */
+struct Site
+{
+    size_t block = 0;
+    size_t inst = 0;
+    int variant = 0;
+};
+
+template <typename Pred>
+std::vector<Site>
+collectSites(const MFunction &mfn, Pred pred)
+{
+    std::vector<Site> sites;
+    for (size_t b = 0; b < mfn.blocks.size(); ++b)
+        for (size_t i = 0; i < mfn.blocks[b].insts.size(); ++i) {
+            int variant = pred(mfn.blocks[b], i);
+            if (variant >= 0)
+                sites.push_back({b, i, variant});
+        }
+    return sites;
+}
+
+bool
+isFlagSetter(MOpcode op)
+{
+    return op == MOpcode::CMPrr || op == MOpcode::CMPri ||
+           op == MOpcode::TESTrr;
+}
+
+bool
+isFlagReader(MOpcode op)
+{
+    return op == MOpcode::JCC || op == MOpcode::SETcc;
+}
+
+// --- miscompile rewrites ------------------------------------------------
+
+/** Swaps the source operands of a SUBrr or the operands of a CMPrr. */
+bool
+applyOperandSwap(MFunction &mfn, Rng &rng)
+{
+    std::vector<Site> sites =
+        collectSites(mfn, [](const vx86::MBasicBlock &bb, size_t i) {
+            const MInst &inst = bb.insts[i];
+            if (inst.op == MOpcode::SUBrr && inst.ops.size() == 3 &&
+                inst.ops[1].isReg() && inst.ops[2].isReg() &&
+                inst.ops[1].reg != inst.ops[2].reg)
+                return 0;
+            if (inst.op == MOpcode::CMPrr && inst.ops.size() == 2 &&
+                inst.ops[0].isReg() && inst.ops[1].isReg() &&
+                inst.ops[0].reg != inst.ops[1].reg)
+                return 1;
+            return -1;
+        });
+    if (sites.empty())
+        return false;
+    Site site = sites[rng.below(sites.size())];
+    MInst &inst = mfn.blocks[site.block].insts[site.inst];
+    if (site.variant == 0)
+        std::swap(inst.ops[1], inst.ops[2]);
+    else
+        std::swap(inst.ops[0], inst.ops[1]);
+    return true;
+}
+
+/** Inserts a TESTrr between a flag setter and its JCC/SETcc consumer. */
+bool
+applyFlagClobber(MFunction &mfn, Rng &rng)
+{
+    std::vector<Site> sites =
+        collectSites(mfn, [](const vx86::MBasicBlock &bb, size_t i) {
+            const MInst &inst = bb.insts[i];
+            if (!isFlagSetter(inst.op) || i + 1 >= bb.insts.size() ||
+                !isFlagReader(bb.insts[i + 1].op))
+                return -1;
+            // TEST needs a register; every flag setter's first operand
+            // is one.
+            return inst.ops.empty() || !inst.ops[0].isReg() ? -1 : 0;
+        });
+    if (sites.empty())
+        return false;
+    Site site = sites[rng.below(sites.size())];
+    auto &insts = mfn.blocks[site.block].insts;
+    const MInst &setter = insts[site.inst];
+    MInst clobber;
+    clobber.op = MOpcode::TESTrr;
+    clobber.width = setter.width;
+    clobber.ops = {setter.ops[0], setter.ops[0]};
+    insts.insert(insts.begin() + site.inst + 1, clobber);
+    return true;
+}
+
+/** Turns a sign-extending move into a zero-extending one. */
+bool
+applyDropSignExtend(MFunction &mfn, Rng &rng)
+{
+    std::vector<Site> sites =
+        collectSites(mfn, [](const vx86::MBasicBlock &bb, size_t i) {
+            MOpcode op = bb.insts[i].op;
+            return op == MOpcode::MOVSXrr || op == MOpcode::MOVSXrm ? 0
+                                                                    : -1;
+        });
+    if (sites.empty())
+        return false;
+    Site site = sites[rng.below(sites.size())];
+    MInst &inst = mfn.blocks[site.block].insts[site.inst];
+    inst.op = inst.op == MOpcode::MOVSXrr ? MOpcode::MOVZXrr
+                                          : MOpcode::MOVZXrm;
+    return true;
+}
+
+/**
+ * Truncates an immediate to 8 bits (zero-extended back to its width), as
+ * if the materialization picked the wrong operand size; when that is a
+ * no-op (small constants) the sign bit is flipped instead so the mutant
+ * always differs. Shift-count immediates are excluded: an oversized
+ * count would probe the semantics' defined-fallback corner rather than
+ * the width bug this entry models.
+ */
+bool
+applyWrongWidthConstant(MFunction &mfn, Rng &rng)
+{
+    auto eligible = [](MOpcode op) {
+        return op == MOpcode::MOVri || op == MOpcode::ADDri ||
+               op == MOpcode::SUBri || op == MOpcode::ANDri ||
+               op == MOpcode::ORri || op == MOpcode::XORri ||
+               op == MOpcode::IMULri || op == MOpcode::CMPri;
+    };
+    std::vector<Site> sites = collectSites(
+        mfn, [&eligible](const vx86::MBasicBlock &bb, size_t i) {
+            const MInst &inst = bb.insts[i];
+            if (!eligible(inst.op))
+                return -1;
+            for (size_t o = 0; o < inst.ops.size(); ++o)
+                if (inst.ops[o].isImm())
+                    return static_cast<int>(o);
+            return -1;
+        });
+    if (sites.empty())
+        return false;
+    Site site = sites[rng.below(sites.size())];
+    MOperand &operand =
+        mfn.blocks[site.block].insts[site.inst].ops[site.variant];
+    ApInt old = operand.imm;
+    ApInt mutated = old.truncTo(8).zextTo(old.width());
+    if (mutated.eq(old))
+        mutated = old.xor_(ApInt::signedMin(old.width()));
+    operand.imm = mutated;
+    return true;
+}
+
+// --- semantics-preserving rewrites --------------------------------------
+
+/** Swaps the source operands of a commutative ALU instruction. */
+bool
+applyBenignCommute(MFunction &mfn, Rng &rng)
+{
+    auto commutative = [](MOpcode op) {
+        return op == MOpcode::ADDrr || op == MOpcode::ANDrr ||
+               op == MOpcode::ORrr || op == MOpcode::XORrr ||
+               op == MOpcode::IMULrr;
+    };
+    std::vector<Site> sites = collectSites(
+        mfn, [&commutative](const vx86::MBasicBlock &bb, size_t i) {
+            const MInst &inst = bb.insts[i];
+            return commutative(inst.op) && inst.ops.size() == 3 &&
+                           inst.ops[1].isReg() && inst.ops[2].isReg() &&
+                           inst.ops[1].reg != inst.ops[2].reg
+                       ? 0
+                       : -1;
+        });
+    if (sites.empty())
+        return false;
+    Site site = sites[rng.below(sites.size())];
+    MInst &inst = mfn.blocks[site.block].insts[site.inst];
+    std::swap(inst.ops[1], inst.ops[2]);
+    return true;
+}
+
+/** Largest virtual-register number used anywhere in the function. */
+unsigned
+maxVirtRegNumber(const MFunction &mfn)
+{
+    unsigned max_number = 0;
+    auto scan = [&max_number](const MOperand &op) {
+        if (op.kind != MOperand::Kind::VirtReg)
+            return;
+        // Names are "%vrN_W".
+        unsigned number = 0;
+        for (size_t i = 3; i < op.reg.size() && op.reg[i] != '_'; ++i)
+            number = number * 10 + static_cast<unsigned>(op.reg[i] - '0');
+        if (number > max_number)
+            max_number = number;
+    };
+    for (const auto &bb : mfn.blocks)
+        for (const MInst &inst : bb.insts) {
+            for (const MOperand &op : inst.ops)
+                scan(op);
+            for (const auto &[value, block] : inst.incoming)
+                scan(value);
+            scan(inst.addr.baseReg);
+            scan(inst.addr.indexReg);
+        }
+    return max_number;
+}
+
+/**
+ * Inserts a MOVri to a fresh (dead) virtual register at a random legal
+ * position: after a block's leading PHI group, no later than its first
+ * terminator. MOVri writes no flags, so even a slot between a CMP and
+ * its JCC is behaviour-preserving.
+ */
+bool
+applyBenignDeadDef(MFunction &mfn, Rng &rng)
+{
+    struct Slot
+    {
+        size_t block;
+        size_t index;
+    };
+    std::vector<Slot> slots;
+    for (size_t b = 0; b < mfn.blocks.size(); ++b) {
+        const auto &insts = mfn.blocks[b].insts;
+        size_t first = 0;
+        while (first < insts.size() &&
+               insts[first].op == MOpcode::PHI)
+            ++first;
+        size_t last = first;
+        while (last < insts.size() && !insts[last].isTerminator())
+            ++last;
+        for (size_t i = first; i <= last && i <= insts.size(); ++i)
+            slots.push_back({b, i});
+    }
+    if (slots.empty())
+        return false;
+    Slot slot = slots[rng.below(slots.size())];
+    MInst mov;
+    mov.op = MOpcode::MOVri;
+    mov.width = 32;
+    mov.ops = {MOperand::virtReg(maxVirtRegNumber(mfn) + 1, 32),
+               MOperand::immediate(ApInt(32, rng.next()))};
+    auto &insts = mfn.blocks[slot.block].insts;
+    insts.insert(insts.begin() + slot.index, mov);
+    return true;
+}
+
+// --- exemplars ----------------------------------------------------------
+
+// The Section 5.2 bug-study programs (paper Figures 8-11), shared with
+// bench_bugs: a write-after-write store triple that buggy store merging
+// reorders, and a zext(load) that buggy folding widens out of bounds.
+const char *const kWawExemplar = R"(
+@b = external global [8 x i8]
+define void @foo() {
+entry:
+  %p2 = getelementptr inbounds [8 x i8], [8 x i8]* @b, i64 0, i64 2
+  %p2w = bitcast i8* %p2 to i16*
+  store i16 0, i16* %p2w
+  %p3 = getelementptr inbounds [8 x i8], [8 x i8]* @b, i64 0, i64 3
+  %p3w = bitcast i8* %p3 to i16*
+  store i16 2, i16* %p3w
+  %p0 = getelementptr inbounds [8 x i8], [8 x i8]* @b, i64 0, i64 0
+  %p0w = bitcast i8* %p0 to i16*
+  store i16 1, i16* %p0w
+  ret void
+}
+)";
+
+const char *const kLoadNarrowExemplar = R"(
+@a = external global [12 x i8]
+@b = external global i64
+define void @narrow() {
+entry:
+  %p = getelementptr inbounds [12 x i8], [12 x i8]* @a, i64 0, i64 8
+  %pw = bitcast i8* %p to i32*
+  %v = load i32, i32* %pw
+  %w = zext i32 %v to i64
+  store i64 %w, i64* @b
+  ret void
+}
+)";
+
+const char *const kSubExemplar = R"(
+define i32 @swapped(i32 %a, i32 %b) {
+entry:
+  %x = sub i32 %a, %b
+  ret i32 %x
+}
+)";
+
+const char *const kBranchExemplar = R"(
+define i32 @flags(i32 %a, i32 %b) {
+entry:
+  %c = icmp slt i32 %a, %b
+  br i1 %c, label %t, label %f
+t:
+  ret i32 1
+f:
+  ret i32 0
+}
+)";
+
+const char *const kSextExemplar = R"(
+define i32 @sx(i16 %a) {
+entry:
+  %x = sext i16 %a to i32
+  ret i32 %x
+}
+)";
+
+const char *const kConstExemplar = R"(
+define i32 @wconst(i32 %a) {
+entry:
+  %x = add i32 %a, 100000
+  ret i32 %x
+}
+)";
+
+const char *const kAddExemplar = R"(
+define i32 @commute(i32 %a, i32 %b) {
+entry:
+  %x = add i32 %a, %b
+  ret i32 %x
+}
+)";
+
+isel::IselOptions
+iselBug(isel::Bug bug, bool merge_stores, bool fold_ext_load)
+{
+    isel::IselOptions options;
+    options.bug = bug;
+    options.mergeStores = merge_stores;
+    options.foldExtLoad = fold_ext_load;
+    return options;
+}
+
+std::vector<Mutation>
+buildCatalog()
+{
+    std::vector<Mutation> catalog;
+    // IselBug entries: cleanOptions enable the *correct* variant of the
+    // same peephole, so the comparison isolates the bug, not the
+    // optimization (exactly the bench_bugs experiment rows).
+    catalog.push_back({"waw-store-merge",
+                       "store merging sinks a merged store past an "
+                       "overlapping write (PR25154)",
+                       MutationKind::IselBug, false,
+                       iselBug(isel::Bug::None, true, false),
+                       iselBug(isel::Bug::StoreMergeWAW, true, false),
+                       kWawExemplar, "@foo", nullptr});
+    catalog.push_back({"load-widening",
+                       "zext(load) folds into a wider, out-of-bounds "
+                       "load (PR4737)",
+                       MutationKind::IselBug, false,
+                       iselBug(isel::Bug::None, false, true),
+                       iselBug(isel::Bug::LoadWidening, false, true),
+                       kLoadNarrowExemplar, "@narrow", nullptr});
+    // Injected miscompile rewrites.
+    catalog.push_back({"operand-swap",
+                       "swaps the operands of a SUBrr or CMPrr",
+                       MutationKind::MirRewrite, false, {}, {},
+                       kSubExemplar, "@swapped", applyOperandSwap});
+    catalog.push_back({"flag-clobber",
+                       "clobbers eflags between a compare and its "
+                       "consumer",
+                       MutationKind::MirRewrite, false, {}, {},
+                       kBranchExemplar, "@flags", applyFlagClobber});
+    catalog.push_back({"drop-sign-extend",
+                       "replaces a sign-extending move with a "
+                       "zero-extending one",
+                       MutationKind::MirRewrite, false, {}, {},
+                       kSextExemplar, "@sx", applyDropSignExtend});
+    catalog.push_back({"wrong-width-constant",
+                       "materializes an immediate at the wrong width",
+                       MutationKind::MirRewrite, false, {}, {},
+                       kConstExemplar, "@wconst",
+                       applyWrongWidthConstant});
+    // Semantics-preserving rewrites (completeness probes).
+    catalog.push_back({"benign-commute",
+                       "commutes the operands of an ADD/AND/OR/XOR/IMUL",
+                       MutationKind::MirRewrite, true, {}, {},
+                       kAddExemplar, "@commute", applyBenignCommute});
+    catalog.push_back({"benign-dead-def",
+                       "inserts a MOVri to a fresh dead register",
+                       MutationKind::MirRewrite, true, {}, {},
+                       kAddExemplar, "@commute", applyBenignDeadDef});
+    return catalog;
+}
+
+} // namespace
+
+const char *
+mutationKindName(MutationKind kind)
+{
+    return kind == MutationKind::IselBug ? "isel-bug" : "mir-rewrite";
+}
+
+const std::vector<Mutation> &
+mutationCatalog()
+{
+    static const std::vector<Mutation> catalog = buildCatalog();
+    return catalog;
+}
+
+const Mutation *
+findMutation(std::string_view id)
+{
+    for (const Mutation &mutation : mutationCatalog())
+        if (id == mutation.id)
+            return &mutation;
+    return nullptr;
+}
+
+MutantLowering
+lowerMutant(const Mutation &mutation, const llvmir::Module &module,
+            const llvmir::Function &fn, Rng &rng)
+{
+    MutantLowering result;
+    if (mutation.kind == MutationKind::IselBug) {
+        isel::FunctionHints clean_hints;
+        vx86::MFunction clean = isel::lowerFunction(
+            module, fn, mutation.cleanOptions, clean_hints);
+        result.mfn = isel::lowerFunction(module, fn,
+                                         mutation.buggyOptions,
+                                         result.hints);
+        result.applied = clean.toString() != result.mfn.toString();
+        return result;
+    }
+    result.mfn =
+        isel::lowerFunction(module, fn, mutation.cleanOptions,
+                            result.hints);
+    result.applied = mutation.apply(result.mfn, rng);
+    return result;
+}
+
+} // namespace keq::fuzz

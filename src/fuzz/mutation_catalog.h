@@ -1,0 +1,107 @@
+#ifndef KEQ_FUZZ_MUTATION_CATALOG_H
+#define KEQ_FUZZ_MUTATION_CATALOG_H
+
+/**
+ * @file
+ * The shared catalogue of compiler-bug mutations.
+ *
+ * One table drives three consumers: the bug-study bench (bench_bugs
+ * reports the Section 5.2 experiments from the IselBug rows), the fuzz
+ * campaign (random programs x random mutations x differential oracle),
+ * and the kill-guarantee tests (every miscompile entry's exemplar must
+ * be rejected by the checker).
+ *
+ * Two mutation mechanisms:
+ *  - IselBug: re-lower with one of ISel's deliberately buggy peepholes
+ *    enabled (the paper's PR25154 / PR4737 reintroductions). The bug
+ *    triggers only on programs containing the peephole's pattern, so
+ *    each entry carries an exemplar that does.
+ *  - MirRewrite: run the *correct* ISel, then rewrite its Virtual x86
+ *    output in place — operand swaps, flag clobbers, dropped sign
+ *    extensions, wrong-width constants (a superset of the paper's bug
+ *    study), plus semantics-preserving rewrites (commuting, dead code)
+ *    that probe the checker's completeness instead of its soundness.
+ *
+ * Entries with expectEquivalent=false are injected miscompiles: the
+ * checker validating one AND the differential oracle observing divergent
+ * executions is a soundness bug in the validator. Entries with
+ * expectEquivalent=true are benign: the checker rejecting one (when it
+ * validated the unmutated lowering of the same program) is a
+ * completeness gap.
+ */
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/isel/isel.h"
+#include "src/llvmir/ir.h"
+#include "src/support/rng.h"
+#include "src/vx86/mir.h"
+
+namespace keq::fuzz {
+
+enum class MutationKind : uint8_t {
+    /** Re-lower with a buggy ISel peephole enabled. */
+    IselBug,
+    /** Rewrite the correct lowering's machine code in place. */
+    MirRewrite,
+};
+
+const char *mutationKindName(MutationKind kind);
+
+/** One catalogue entry. */
+struct Mutation
+{
+    /** Stable identifier (CLI --mutation, stats keys, repro metadata). */
+    const char *id;
+    const char *description;
+    MutationKind kind;
+    /** True for semantics-preserving rewrites (completeness probes). */
+    bool expectEquivalent;
+    /** Lowering for the reference / correct side. */
+    isel::IselOptions cleanOptions;
+    /** IselBug only: the buggy lowering configuration. */
+    isel::IselOptions buggyOptions;
+    /** A module on which this mutation demonstrably applies. */
+    const char *exemplar;
+    /** Name of the mutated function inside the exemplar (with '@'). */
+    const char *exemplarFunction;
+    /**
+     * MirRewrite only: applies the rewrite to @p mfn at an rng-chosen
+     * site; returns false (leaving @p mfn unchanged) when the function
+     * contains no applicable site. Site choice is the only randomness,
+     * so replaying with an equal Rng state reproduces the exact mutant.
+     */
+    bool (*apply)(vx86::MFunction &mfn, support::Rng &rng);
+};
+
+/** The full catalogue, in stable order. */
+const std::vector<Mutation> &mutationCatalog();
+
+/** Looks up an entry by id; null when unknown. */
+const Mutation *findMutation(std::string_view id);
+
+/** Result of lowering a program through a mutation. */
+struct MutantLowering
+{
+    vx86::MFunction mfn;
+    /** Hints describing the lowering the mutant was derived from. */
+    isel::FunctionHints hints;
+    /** A site was found and the machine code actually changed. */
+    bool applied = false;
+};
+
+/**
+ * Produces the mutant machine function for @p fn: runs the entry's
+ * lowering (buggy for IselBug, correct-then-rewritten for MirRewrite).
+ * Throws support::Error when ISel rejects the function (unsupported
+ * fragment).
+ */
+MutantLowering lowerMutant(const Mutation &mutation,
+                           const llvmir::Module &module,
+                           const llvmir::Function &fn, support::Rng &rng);
+
+} // namespace keq::fuzz
+
+#endif // KEQ_FUZZ_MUTATION_CATALOG_H

@@ -1,0 +1,108 @@
+#ifndef KEQ_FUZZ_ORACLE_H
+#define KEQ_FUZZ_ORACLE_H
+
+/**
+ * @file
+ * The differential oracle: cross-checks the KEQ checker's verdict on an
+ * (LLVM, Virtual x86) pair against concrete executions of both sides.
+ *
+ * Both interpreters run on identical random inputs (arguments, initial
+ * memory bytes, external-call handler); a trial compares outcome, return
+ * value, external-call trace, and the final memory image. Refinement
+ * applies exactly as in the paper: an input-side trap licenses any
+ * output behaviour, while an output-side trap where the input returned
+ * is a divergence. The checker is then run on the same pair and the two
+ * sources of truth are reconciled:
+ *
+ *   checker \ execution |  agrees            |  diverges
+ *   --------------------+--------------------+---------------
+ *   validated           |  Agree             |  SOUNDNESS BUG
+ *   rejected            |  Killed            |  Killed
+ *   timeout/oom/unsup.  |  Inconclusive      |  Inconclusive
+ *
+ * "Killed / execution agrees" is deliberately not a completeness
+ * verdict on its own: random trials only sample the input space, so the
+ * campaign layer derives completeness gaps from mutations that are
+ * semantics-preserving *by construction* (Mutation::expectEquivalent).
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "src/driver/pipeline.h"
+#include "src/isel/isel.h"
+#include "src/llvmir/ir.h"
+#include "src/support/rng.h"
+#include "src/vx86/mir.h"
+
+namespace keq::fuzz {
+
+/** What the execution trials observed. */
+enum class ExecAgreement : uint8_t {
+    Agree,        ///< All observed trials matched.
+    Diverged,     ///< At least one trial differed.
+    Inconclusive, ///< No trial produced comparable behaviour.
+};
+
+const char *execAgreementName(ExecAgreement agreement);
+
+/** The reconciled verdict (matrix above). */
+enum class OracleVerdict : uint8_t {
+    Agree,
+    Killed,
+    SoundnessBug,
+    Inconclusive,
+};
+
+const char *oracleVerdictName(OracleVerdict verdict);
+
+struct OracleOptions
+{
+    /** Number of random input trials per pair. */
+    size_t trials = 6;
+    size_t llvmStepBudget = 200000;
+    size_t x86StepBudget = 400000;
+    /** Checker configuration for the validation side. */
+    driver::PipelineOptions pipeline;
+};
+
+struct OracleResult
+{
+    OracleVerdict verdict = OracleVerdict::Inconclusive;
+    ExecAgreement execution = ExecAgreement::Inconclusive;
+    /** The checker-side report for the pair. */
+    driver::FunctionReport report;
+    size_t trialsRun = 0;
+    /** Trials where the input side returned (so comparison had teeth). */
+    size_t trialsObserved = 0;
+    /** First diverging trial index, or -1. */
+    int divergentTrial = -1;
+    std::string detail;
+};
+
+/**
+ * Runs the full cross-check on one pair. @p rng drives the trial inputs
+ * only; the checker side is deterministic.
+ */
+OracleResult crossCheck(const llvmir::Module &module,
+                        const llvmir::Function &fn,
+                        const vx86::MFunction &mfn,
+                        const isel::FunctionHints &hints,
+                        support::Rng &rng,
+                        const OracleOptions &options = {});
+
+/**
+ * Execution-only comparison (no checker): returns the agreement over
+ * @p options.trials random inputs, filling the trial counters of
+ * @p result. Exposed for the interpreter-vs-interpreter tests.
+ */
+ExecAgreement compareExecutions(const llvmir::Module &module,
+                                const llvmir::Function &fn,
+                                const vx86::MFunction &mfn,
+                                support::Rng &rng,
+                                const OracleOptions &options,
+                                OracleResult &result);
+
+} // namespace keq::fuzz
+
+#endif // KEQ_FUZZ_ORACLE_H

@@ -1,0 +1,259 @@
+#include "src/fuzz/shrinker.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/llvmir/verifier.h"
+
+namespace keq::fuzz {
+
+using llvmir::BasicBlock;
+using llvmir::Function;
+using llvmir::Instruction;
+using llvmir::Module;
+using llvmir::Opcode;
+using support::ApInt;
+
+namespace {
+
+/** Every %name used as an operand anywhere in @p fn. */
+std::set<std::string>
+collectUses(const Function &fn)
+{
+    std::set<std::string> uses;
+    for (const BasicBlock &bb : fn.blocks)
+        for (const Instruction &inst : bb.insts) {
+            for (const llvmir::Value &value : inst.operands)
+                if (value.isVar())
+                    uses.insert(value.name);
+            for (const llvmir::PhiIncoming &incoming : inst.incoming)
+                if (incoming.value.isVar())
+                    uses.insert(incoming.value.name);
+        }
+    return uses;
+}
+
+/**
+ * Removes blocks unreachable from the entry and phi edges from blocks
+ * that are no longer predecessors — the cleanup both branch-collapsing
+ * passes rely on to turn one accepted edit into a whole-region deletion.
+ */
+void
+cleanupFunction(Function &fn)
+{
+    if (fn.blocks.empty())
+        return;
+    // Reachability from the entry block.
+    std::set<std::string> reachable;
+    std::vector<std::string> work = {fn.blocks.front().name};
+    while (!work.empty()) {
+        std::string name = work.back();
+        work.pop_back();
+        if (!reachable.insert(name).second)
+            continue;
+        if (const BasicBlock *bb = fn.findBlock(name))
+            for (const std::string &succ : bb->successors())
+                work.push_back(succ);
+    }
+    std::vector<BasicBlock> kept;
+    for (BasicBlock &bb : fn.blocks)
+        if (reachable.count(bb.name))
+            kept.push_back(std::move(bb));
+    fn.blocks = std::move(kept);
+
+    // Predecessor sets of the surviving graph.
+    std::map<std::string, std::set<std::string>> preds;
+    for (const BasicBlock &bb : fn.blocks)
+        for (const std::string &succ : bb.successors())
+            preds[succ].insert(bb.name);
+
+    for (BasicBlock &bb : fn.blocks)
+        for (Instruction &inst : bb.insts) {
+            if (inst.op != Opcode::Phi)
+                continue;
+            std::vector<llvmir::PhiIncoming> kept_in;
+            for (llvmir::PhiIncoming &incoming : inst.incoming)
+                if (preds[bb.name].count(incoming.block))
+                    kept_in.push_back(std::move(incoming));
+            inst.incoming = std::move(kept_in);
+        }
+}
+
+/** Verifies, then asks the predicate; counts the attempt. */
+bool
+acceptable(const Module &candidate, const FailurePredicate &still_fails,
+           ShrinkStats &stats)
+{
+    stats.attempts++;
+    if (!llvmir::verifyModule(candidate).empty())
+        return false;
+    return still_fails(candidate);
+}
+
+/** One accepted CondBr/Switch collapse, or false. */
+bool
+passCollapseBranches(Module &current, const FailurePredicate &still_fails,
+                     ShrinkStats &stats)
+{
+    for (size_t fi = 0; fi < current.functions.size(); ++fi) {
+        const Function &fn = current.functions[fi];
+        if (fn.isDeclaration())
+            continue;
+        for (size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+            const Instruction &term = fn.blocks[bi].insts.back();
+            std::vector<std::string> targets;
+            if (term.op == Opcode::CondBr)
+                targets = {term.target1, term.target2};
+            else if (term.op == Opcode::Switch)
+                targets = {term.target1};
+            else
+                continue;
+            for (const std::string &target : targets) {
+                Module candidate = current;
+                Instruction &new_term =
+                    candidate.functions[fi].blocks[bi].insts.back();
+                new_term.op = Opcode::Br;
+                new_term.target1 = target;
+                new_term.target2.clear();
+                new_term.operands.clear();
+                new_term.switchCases.clear();
+                cleanupFunction(candidate.functions[fi]);
+                if (acceptable(candidate, still_fails, stats)) {
+                    current = std::move(candidate);
+                    stats.accepted++;
+                    return true;
+                }
+            }
+        }
+    }
+    return false;
+}
+
+/** One accepted instruction deletion, or false. */
+bool
+passDeleteInstructions(Module &current,
+                       const FailurePredicate &still_fails,
+                       ShrinkStats &stats)
+{
+    for (size_t fi = 0; fi < current.functions.size(); ++fi) {
+        const Function &fn = current.functions[fi];
+        if (fn.isDeclaration())
+            continue;
+        std::set<std::string> uses = collectUses(fn);
+        for (size_t bi = fn.blocks.size(); bi-- > 0;) {
+            const BasicBlock &bb = fn.blocks[bi];
+            // Back to front: later instructions tend to use earlier
+            // ones, so their deletions unlock upstream deletions.
+            for (size_t ii = bb.insts.size(); ii-- > 0;) {
+                const Instruction &inst = bb.insts[ii];
+                if (inst.isTerminator())
+                    continue;
+                if (!inst.result.empty() && uses.count(inst.result))
+                    continue; // a live definition
+                if (bb.insts.size() == 1)
+                    continue; // blocks must stay nonempty
+                Module candidate = current;
+                auto &insts = candidate.functions[fi].blocks[bi].insts;
+                insts.erase(insts.begin() + static_cast<long>(ii));
+                if (acceptable(candidate, still_fails, stats)) {
+                    current = std::move(candidate);
+                    stats.accepted++;
+                    return true;
+                }
+            }
+        }
+    }
+    return false;
+}
+
+bool
+isDivisionRhs(const Instruction &inst, size_t operand_index)
+{
+    return (inst.op == Opcode::UDiv || inst.op == Opcode::SDiv ||
+            inst.op == Opcode::URem || inst.op == Opcode::SRem) &&
+           operand_index == 1;
+}
+
+/** One accepted literal simplification, or false. */
+bool
+passSimplifyConstants(Module &current,
+                      const FailurePredicate &still_fails,
+                      ShrinkStats &stats)
+{
+    for (size_t fi = 0; fi < current.functions.size(); ++fi) {
+        const Function &fn = current.functions[fi];
+        if (fn.isDeclaration())
+            continue;
+        for (size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+            const BasicBlock &bb = fn.blocks[bi];
+            for (size_t ii = 0; ii < bb.insts.size(); ++ii) {
+                const Instruction &inst = bb.insts[ii];
+                for (size_t oi = 0; oi < inst.operands.size(); ++oi) {
+                    const llvmir::Value &value = inst.operands[oi];
+                    if (!value.isConst() || !value.type ||
+                        !value.type->isInteger())
+                        continue;
+                    uint64_t simple = isDivisionRhs(inst, oi) ? 1 : 0;
+                    ApInt target(value.constant.width(), simple);
+                    if (value.constant.eq(target))
+                        continue;
+                    Module candidate = current;
+                    candidate.functions[fi]
+                        .blocks[bi]
+                        .insts[ii]
+                        .operands[oi]
+                        .constant = target;
+                    if (acceptable(candidate, still_fails, stats)) {
+                        current = std::move(candidate);
+                        stats.accepted++;
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+size_t
+moduleInstructionCount(const Module &module)
+{
+    size_t count = 0;
+    for (const Function &fn : module.functions)
+        count += fn.instructionCount();
+    return count;
+}
+
+ShrinkResult
+shrinkModule(const Module &module, const FailurePredicate &stillFails,
+             const ShrinkOptions &options)
+{
+    ShrinkResult result;
+    result.module = module;
+    result.stats.originalInstructions = moduleInstructionCount(module);
+
+    bool improved = true;
+    while (improved && result.stats.rounds < options.maxRounds) {
+        improved = false;
+        result.stats.rounds++;
+        while (passCollapseBranches(result.module, stillFails,
+                                    result.stats))
+            improved = true;
+        while (passDeleteInstructions(result.module, stillFails,
+                                      result.stats))
+            improved = true;
+        if (options.simplifyConstants)
+            while (passSimplifyConstants(result.module, stillFails,
+                                         result.stats))
+                improved = true;
+    }
+    result.stats.finalInstructions =
+        moduleInstructionCount(result.module);
+    return result;
+}
+
+} // namespace keq::fuzz

@@ -1,0 +1,81 @@
+#ifndef KEQ_FUZZ_SHRINKER_H
+#define KEQ_FUZZ_SHRINKER_H
+
+/**
+ * @file
+ * Test-case minimization for failing fuzz seeds.
+ *
+ * Given a module and a failure predicate ("the interesting behaviour
+ * still reproduces"), the shrinker greedily applies reduction passes and
+ * keeps every candidate that (a) still verifies and (b) still satisfies
+ * the predicate:
+ *
+ *  1. branch collapsing — a CondBr becomes an unconditional Br (either
+ *     arm), a Switch jumps straight to its default; unreachable blocks
+ *     and stale phi edges are cleaned up, so whole regions disappear in
+ *     one accepted step;
+ *  2. instruction deletion — unused definitions and side-effecting
+ *     instructions (stores, calls), scanned back to front;
+ *  3. constant simplification — literal operands become 0 (1 for
+ *     divisors, so the candidate stays UB-free).
+ *
+ * Passes repeat until a full round accepts nothing (or maxRounds). The
+ * predicate is typically expensive (a checker run plus oracle trials),
+ * so candidates are ordered big-wins-first.
+ */
+
+#include <functional>
+
+#include "src/llvmir/ir.h"
+
+namespace keq::fuzz {
+
+/** Returns true when the candidate still exhibits the failure. */
+using FailurePredicate = std::function<bool(const llvmir::Module &)>;
+
+struct ShrinkOptions
+{
+    /** Cap on full rounds over all passes. */
+    size_t maxRounds = 8;
+    bool simplifyConstants = true;
+};
+
+struct ShrinkStats
+{
+    size_t attempts = 0;
+    size_t accepted = 0;
+    size_t rounds = 0;
+    size_t originalInstructions = 0;
+    size_t finalInstructions = 0;
+
+    /** Fraction of instructions removed, in [0, 1]. */
+    double
+    reduction() const
+    {
+        if (originalInstructions == 0)
+            return 0.0;
+        return 1.0 - static_cast<double>(finalInstructions) /
+                         static_cast<double>(originalInstructions);
+    }
+};
+
+struct ShrinkResult
+{
+    llvmir::Module module;
+    ShrinkStats stats;
+};
+
+/** Total instruction count over the module's defined functions. */
+size_t moduleInstructionCount(const llvmir::Module &module);
+
+/**
+ * Minimizes @p module under @p stillFails. The input module must itself
+ * satisfy the predicate; the result always does.
+ */
+ShrinkResult shrinkModule(const llvmir::Module &module,
+                          const FailurePredicate &stillFails,
+                          const ShrinkOptions &options = {});
+
+} // namespace keq::fuzz
+
+#endif // KEQ_FUZZ_SHRINKER_H

@@ -10,6 +10,237 @@ namespace keq::llvmir {
 
 namespace {
 
+/**
+ * Type-consistency checks. The parser records the *written* type on every
+ * operand, so a use site can disagree with its definition (or a pointer
+ * can be dereferenced at the wrong pointee type) while still parsing
+ * fine. The symbolic semantics and ISel assume these invariants; the
+ * random program generator (src/fuzz) leans on the verifier to prove its
+ * output well-typed by construction, so every violated invariant must be
+ * a diagnostic here rather than an assertion failure further down.
+ */
+void
+typeCheckInstruction(const Module &module, const Function &fn,
+                     const Instruction &inst,
+                     const std::map<std::string, const Type *> &def_types,
+                     std::vector<std::string> &problems)
+{
+    auto complain = [&](const std::string &what) {
+        problems.push_back(fn.name + ": " + what);
+    };
+
+    // Use-site type must match the definition-site type. Skip operands
+    // whose definition is unknown (already reported) to avoid cascades.
+    auto check_use = [&](const Value &value, const char *where) {
+        if (value.type == nullptr) {
+            complain(std::string("untyped operand in ") + where);
+            return false;
+        }
+        if (value.isVar()) {
+            auto it = def_types.find(value.name);
+            if (it != def_types.end() && it->second != nullptr &&
+                it->second != value.type) {
+                complain("use of " + value.name + " at type " +
+                         value.type->toString() + " but defined as " +
+                         it->second->toString() + " (in " + where + ")");
+                return false;
+            }
+        } else if (value.isGlobal()) {
+            const GlobalVariable *global = module.findGlobal(value.name);
+            if (global != nullptr && !value.type->isPointer()) {
+                complain("global " + value.name +
+                         " used at non-pointer type " +
+                         value.type->toString());
+                return false;
+            }
+        } else if (!value.type->isFirstClass()) {
+            complain(std::string("literal of non-first-class type in ") +
+                     where);
+            return false;
+        }
+        return true;
+    };
+    for (const Value &value : inst.operands)
+        check_use(value, opcodeName(inst.op));
+    for (const PhiIncoming &incoming : inst.incoming)
+        check_use(incoming.value, "phi");
+
+    auto is_int = [](const Type *type) {
+        return type != nullptr && type->isInteger();
+    };
+
+    switch (inst.op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::UDiv: case Opcode::SDiv: case Opcode::URem:
+      case Opcode::SRem: case Opcode::And: case Opcode::Or:
+      case Opcode::Xor: case Opcode::Shl: case Opcode::LShr:
+      case Opcode::AShr:
+        if (!is_int(inst.type)) {
+            complain(std::string(opcodeName(inst.op)) +
+                     " on non-integer type");
+            break;
+        }
+        for (const Value &value : inst.operands) {
+            if (value.type != inst.type)
+                complain(std::string(opcodeName(inst.op)) +
+                         " operand type differs from result type");
+        }
+        break;
+      case Opcode::ICmp:
+        if (inst.operands.size() == 2 &&
+            inst.operands[0].type != inst.operands[1].type) {
+            complain("icmp operand types disagree");
+        }
+        for (const Value &value : inst.operands) {
+            if (value.type != nullptr && !value.type->isFirstClass())
+                complain("icmp on non-first-class type");
+        }
+        break;
+      case Opcode::ZExt: case Opcode::SExt:
+        if (!is_int(inst.type) || inst.operands.empty() ||
+            !is_int(inst.operands[0].type)) {
+            complain(std::string(opcodeName(inst.op)) +
+                     " requires integer types");
+        } else if (inst.operands[0].type->bitWidth() >=
+                   inst.type->bitWidth()) {
+            complain(std::string(opcodeName(inst.op)) +
+                     " must widen (" +
+                     inst.operands[0].type->toString() + " to " +
+                     inst.type->toString() + ")");
+        }
+        break;
+      case Opcode::Trunc:
+        if (!is_int(inst.type) || inst.operands.empty() ||
+            !is_int(inst.operands[0].type)) {
+            complain("trunc requires integer types");
+        } else if (inst.operands[0].type->bitWidth() <=
+                   inst.type->bitWidth()) {
+            complain("trunc must narrow (" +
+                     inst.operands[0].type->toString() + " to " +
+                     inst.type->toString() + ")");
+        }
+        break;
+      case Opcode::PtrToInt:
+        if (inst.operands.empty() || inst.operands[0].type == nullptr ||
+            !inst.operands[0].type->isPointer() || !is_int(inst.type)) {
+            complain("ptrtoint requires pointer-to-integer types");
+        }
+        break;
+      case Opcode::IntToPtr:
+        if (inst.operands.empty() || !is_int(inst.operands[0].type) ||
+            inst.type == nullptr || !inst.type->isPointer()) {
+            complain("inttoptr requires integer-to-pointer types");
+        }
+        break;
+      case Opcode::Bitcast:
+        if (inst.operands.empty() || inst.operands[0].type == nullptr ||
+            inst.type == nullptr ||
+            !inst.operands[0].type->isPointer() ||
+            !inst.type->isPointer()) {
+            complain("bitcast outside the pointer-to-pointer subset");
+        }
+        break;
+      case Opcode::Load:
+        if (inst.operands.empty() || inst.operands[0].type == nullptr ||
+            !inst.operands[0].type->isPointer()) {
+            complain("load from non-pointer operand");
+        } else if (inst.operands[0].type->pointee() != inst.type) {
+            complain("load result type " +
+                     (inst.type ? inst.type->toString() : "?") +
+                     " disagrees with pointer operand " +
+                     inst.operands[0].type->toString());
+        }
+        break;
+      case Opcode::Store:
+        if (inst.operands.size() < 2 ||
+            inst.operands[1].type == nullptr ||
+            !inst.operands[1].type->isPointer()) {
+            complain("store to non-pointer operand");
+        } else if (inst.operands[1].type->pointee() != inst.type) {
+            complain("stored value type " +
+                     (inst.type ? inst.type->toString() : "?") +
+                     " disagrees with pointer operand " +
+                     inst.operands[1].type->toString());
+        }
+        break;
+      case Opcode::GetElementPtr:
+        if (inst.operands.empty() || inst.operands[0].type == nullptr ||
+            !inst.operands[0].type->isPointer()) {
+            complain("getelementptr base is not a pointer");
+        } else if (inst.sourceType != nullptr &&
+                   inst.operands[0].type->pointee() != inst.sourceType) {
+            complain("getelementptr source type disagrees with base "
+                     "pointer");
+        }
+        for (size_t i = 1; i < inst.operands.size(); ++i) {
+            if (!is_int(inst.operands[i].type))
+                complain("getelementptr index is not an integer");
+        }
+        break;
+      case Opcode::Phi:
+        for (const PhiIncoming &incoming : inst.incoming) {
+            if (incoming.value.type != nullptr &&
+                incoming.value.type != inst.type) {
+                complain("phi incoming type " +
+                         incoming.value.type->toString() +
+                         " disagrees with phi type");
+            }
+        }
+        break;
+      case Opcode::Select:
+        if (inst.operands.size() == 3) {
+            const Type *cond = inst.operands[0].type;
+            if (!is_int(cond) || cond->bitWidth() != 1)
+                complain("select condition is not i1");
+            if (inst.operands[1].type != inst.type ||
+                inst.operands[2].type != inst.type) {
+                complain("select arm types disagree with result type");
+            }
+        }
+        break;
+      case Opcode::CondBr:
+        if (inst.operands.empty() || !is_int(inst.operands[0].type) ||
+            inst.operands[0].type->bitWidth() != 1) {
+            complain("conditional branch condition is not i1");
+        }
+        break;
+      case Opcode::Switch:
+        if (inst.operands.empty() || !is_int(inst.operands[0].type)) {
+            complain("switch selector is not an integer");
+        } else {
+            unsigned width = inst.operands[0].type->bitWidth();
+            for (const auto &[value, target] : inst.switchCases) {
+                if (value.width() != width)
+                    complain("switch case width " +
+                             std::to_string(value.width()) +
+                             " disagrees with selector width " +
+                             std::to_string(width));
+            }
+        }
+        break;
+      case Opcode::Ret:
+        if (fn.returnType != nullptr && fn.returnType->isVoid()) {
+            if (!inst.operands.empty())
+                complain("ret with a value in a void function");
+        } else if (inst.operands.empty()) {
+            complain("ret void in a non-void function");
+        } else if (inst.operands[0].type != fn.returnType) {
+            complain("ret type disagrees with function return type");
+        }
+        break;
+      case Opcode::Alloca:
+        if (inst.type == nullptr || !inst.type->isPointer() ||
+            (inst.sourceType != nullptr &&
+             inst.type->pointee() != inst.sourceType)) {
+            complain("alloca result is not a pointer to the allocated "
+                     "type");
+        }
+        break;
+      case Opcode::Br: case Opcode::Call: case Opcode::Unreachable:
+        break;
+    }
+}
+
 void
 verifyFunction(const Module &module, const Function &fn,
                std::vector<std::string> &problems)
@@ -35,14 +266,22 @@ verifyFunction(const Module &module, const Function &fn,
         }
     }
 
-    // SSA definitions: params + instruction results, unique.
+    // SSA definitions: params + instruction results, unique. The
+    // definition-site types feed the use-site consistency checks.
     std::set<std::string> defs;
-    for (const Parameter &param : fn.params)
+    std::map<std::string, const Type *> def_types;
+    for (const Parameter &param : fn.params) {
         defs.insert(param.name);
+        def_types[param.name] = param.type;
+    }
     for (const BasicBlock &block : fn.blocks) {
         for (const Instruction &inst : block.insts) {
-            if (!inst.result.empty() && !defs.insert(inst.result).second)
+            if (inst.result.empty())
+                continue;
+            if (!defs.insert(inst.result).second)
                 complain("multiple definitions of " + inst.result);
+            else
+                def_types[inst.result] = inst.type;
         }
     }
 
@@ -101,6 +340,7 @@ verifyFunction(const Module &module, const Function &fn,
                 // treatment of unknown callees; nothing to check beyond
                 // syntax.
             }
+            typeCheckInstruction(module, fn, inst, def_types, problems);
         }
     }
 }

@@ -5,13 +5,24 @@
  * @file
  * Deterministic pseudo-random number generator (SplitMix64).
  *
- * The synthetic workload corpus (src/driver) and the property-based tests
- * must be reproducible across runs and platforms, so we avoid
- * std::mt19937's distribution nondeterminism and use our own generator and
- * range reduction.
+ * The synthetic workload corpus (src/driver), the fuzzing subsystem
+ * (src/fuzz) and the property-based tests must be reproducible across
+ * runs and platforms, so we avoid std::mt19937's distribution
+ * nondeterminism and use our own generator and range reduction.
+ *
+ * Streams are *splittable*: split() forks an independent child stream
+ * and stream() derives the i-th of a family of streams directly from a
+ * (seed, index) pair. Consumers that must not perturb each other — the
+ * fuzz generator, mutator, and oracle of one campaign iteration — each
+ * draw from their own split, so adding draws to one never shifts the
+ * values another sees. stream() is also what makes parallel campaigns
+ * byte-identical across worker counts: iteration i's randomness depends
+ * only on (seed, i), never on scheduling order.
  */
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace keq::support {
 
@@ -51,6 +62,49 @@ class Rng
     constexpr bool chancePercent(unsigned percent)
     {
         return below(100) < percent;
+    }
+
+    /**
+     * Forks an independent child stream, advancing this stream by one
+     * draw. The child's values do not overlap this stream's: its seed is
+     * a full SplitMix64 output remixed with a distinct constant, so
+     * parent and child walk unrelated orbits.
+     */
+    constexpr Rng
+    split()
+    {
+        return Rng(next() ^ 0x3c79ac492ba7b653ull);
+    }
+
+    /**
+     * The @p index-th member of the stream family rooted at @p seed.
+     * Pure in (seed, index): any party can reconstruct any member
+     * without drawing from — or even holding — any other stream.
+     */
+    static constexpr Rng
+    stream(uint64_t seed, uint64_t index)
+    {
+        Rng mixer(seed ^ (index * 0xd1342543de82ef95ull));
+        return mixer.split();
+    }
+
+    /** Uniform choice from a nonempty vector. */
+    template <typename T>
+    const T &
+    choice(const std::vector<T> &pool)
+    {
+        return pool[below(pool.size())];
+    }
+
+    /** In-place Fisher–Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &values)
+    {
+        for (size_t i = values.size(); i > 1; --i) {
+            size_t j = below(i);
+            std::swap(values[i - 1], values[j]);
+        }
     }
 
   private:

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Campaign-level tests: scheduling-independent determinism, the
+ * calibration kill guarantee, absence of oracle disagreements on a
+ * healthy checker, and the reproducer replay round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/fuzz/campaign.h"
+
+namespace keq::fuzz {
+namespace {
+
+CampaignOptions
+smallCampaign()
+{
+    CampaignOptions options;
+    options.seed = 20260806;
+    options.iterations = 8;
+    options.jobs = 1;
+    options.generator.targetOps = 10;
+    options.oracle.trials = 4;
+    return options;
+}
+
+TEST(FuzzCampaign, SummaryIsIdenticalAcrossJobCounts)
+{
+    CampaignOptions serial = smallCampaign();
+    CampaignOptions threaded = smallCampaign();
+    threaded.jobs = 3;
+    CampaignResult a = runCampaign(serial);
+    CampaignResult b = runCampaign(threaded);
+    EXPECT_EQ(a.canonicalSummary(), b.canonicalSummary());
+    ASSERT_EQ(a.reproducers.size(), b.reproducers.size());
+    for (size_t i = 0; i < a.reproducers.size(); ++i)
+        EXPECT_EQ(a.reproducers[i].artifact, b.reproducers[i].artifact);
+}
+
+TEST(FuzzCampaign, RepeatRunsAreByteIdentical)
+{
+    CampaignOptions options = smallCampaign();
+    CampaignResult a = runCampaign(options);
+    CampaignResult b = runCampaign(options);
+    EXPECT_EQ(a.canonicalSummary(), b.canonicalSummary());
+}
+
+TEST(FuzzCampaign, CalibrationKillsEveryMiscompileClass)
+{
+    CampaignOptions options = smallCampaign();
+    options.iterations = 0; // calibration only
+    CampaignResult result = runCampaign(options);
+    EXPECT_TRUE(result.allMiscompileClassesKilled());
+    for (const Mutation &mutation : mutationCatalog()) {
+        if (mutation.expectEquivalent)
+            continue;
+        auto it = result.stats.killsByMutation.find(mutation.id);
+        ASSERT_NE(it, result.stats.killsByMutation.end())
+            << mutation.id;
+        EXPECT_GE(it->second, 1u) << mutation.id;
+    }
+}
+
+TEST(FuzzCampaign, HealthyCheckerHasNoOracleDisagreements)
+{
+    CampaignOptions options = smallCampaign();
+    CampaignResult result = runCampaign(options);
+    EXPECT_EQ(result.stats.soundnessBugs, 0u);
+    EXPECT_EQ(result.stats.completenessGaps, 0u);
+    EXPECT_TRUE(result.reproducers.empty());
+    EXPECT_GT(result.stats.baselineValidated, 0u);
+    EXPECT_GT(result.stats.mutantsApplied, 0u);
+}
+
+TEST(FuzzCampaign, OnlyMutationRestrictsTheRandomPhase)
+{
+    CampaignOptions options = smallCampaign();
+    options.calibrate = false;
+    options.onlyMutation = "flag-clobber";
+    CampaignResult result = runCampaign(options);
+    for (const auto &[id, count] : result.stats.appliedByMutation) {
+        EXPECT_EQ(id, "flag-clobber");
+        EXPECT_GT(count, 0u);
+    }
+}
+
+TEST(FuzzCampaign, ReplayReproducesRecordedKill)
+{
+    // A hand-written artifact in the persisted format: the operand-swap
+    // mutant of the sub exemplar, recorded as a completeness-class
+    // failure ("reproduces" = checker still kills it).
+    std::string artifact = "; keq-fuzz-repro v1\n"
+                           "; mutation=operand-swap\n"
+                           "; class=completeness\n"
+                           "; seed=1\n"
+                           "; iteration=0\n"
+                           "; mutseed=1\n"
+                           "; oracleseed=5\n"
+                           "define i32 @swapped(i32 %a, i32 %b) {\n"
+                           "entry:\n"
+                           "  %x = sub i32 %a, %b\n"
+                           "  ret i32 %x\n"
+                           "}\n";
+    CampaignOptions options;
+    ReplayResult replay = replayReproducer(artifact, options);
+    EXPECT_EQ(replay.classification, "completeness");
+    EXPECT_TRUE(replay.reproduced);
+    EXPECT_EQ(replay.oracle.verdict, OracleVerdict::Killed);
+}
+
+TEST(FuzzCampaign, ReplayOfSoundnessClaimFailsOnHealthyChecker)
+{
+    std::string artifact = "; keq-fuzz-repro v1\n"
+                           "; mutation=operand-swap\n"
+                           "; class=soundness\n"
+                           "; seed=1\n"
+                           "; iteration=0\n"
+                           "; mutseed=1\n"
+                           "; oracleseed=5\n"
+                           "define i32 @swapped(i32 %a, i32 %b) {\n"
+                           "entry:\n"
+                           "  %x = sub i32 %a, %b\n"
+                           "  ret i32 %x\n"
+                           "}\n";
+    CampaignOptions options;
+    ReplayResult replay = replayReproducer(artifact, options);
+    // The checker kills the miscompile, so the recorded "checker
+    // validated a divergent pair" soundness claim must NOT reproduce.
+    EXPECT_FALSE(replay.reproduced);
+    EXPECT_EQ(replay.oracle.verdict, OracleVerdict::Killed);
+}
+
+TEST(FuzzCampaign, ReplayRejectsMetadataFreeArtifacts)
+{
+    CampaignOptions options;
+    ReplayResult replay =
+        replayReproducer("define void @f() {\nentry:\n  ret void\n}\n",
+                         options);
+    EXPECT_FALSE(replay.reproduced);
+    EXPECT_FALSE(replay.detail.empty());
+}
+
+} // namespace
+} // namespace keq::fuzz

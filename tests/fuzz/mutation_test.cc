@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Kill-guarantee tests for the mutation catalogue: every entry must
+ * apply to its own exemplar, every miscompile entry's mutant must be
+ * rejected by the checker, and every benign entry's mutant must still
+ * validate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/driver/pipeline.h"
+#include "src/fuzz/mutation_catalog.h"
+#include "src/llvmir/parser.h"
+#include "src/llvmir/verifier.h"
+#include "src/support/rng.h"
+
+namespace keq::fuzz {
+namespace {
+
+using support::Rng;
+
+const llvmir::Function &
+namedFunction(const llvmir::Module &module, std::string_view name)
+{
+    for (const llvmir::Function &fn : module.functions) {
+        if (fn.name == name)
+            return fn;
+    }
+    ADD_FAILURE() << "no function " << name;
+    return module.functions.front();
+}
+
+TEST(MutationCatalog, IdsAreUniqueAndResolvable)
+{
+    std::set<std::string> ids;
+    for (const Mutation &mutation : mutationCatalog()) {
+        EXPECT_TRUE(ids.insert(mutation.id).second)
+            << "duplicate id " << mutation.id;
+        EXPECT_EQ(findMutation(mutation.id), &mutation);
+    }
+    EXPECT_EQ(findMutation("no-such-mutation"), nullptr);
+    EXPECT_GE(ids.size(), 8u);
+}
+
+TEST(MutationCatalog, CoversBothKindsAndBothExpectations)
+{
+    size_t isel_bugs = 0;
+    size_t rewrites = 0;
+    size_t benign = 0;
+    for (const Mutation &mutation : mutationCatalog()) {
+        (mutation.kind == MutationKind::IselBug ? isel_bugs : rewrites)++;
+        benign += mutation.expectEquivalent ? 1 : 0;
+    }
+    EXPECT_GE(isel_bugs, 2u);
+    EXPECT_GE(rewrites, 6u);
+    EXPECT_GE(benign, 2u);
+}
+
+TEST(MutationCatalog, EveryEntryAppliesToItsExemplar)
+{
+    for (const Mutation &mutation : mutationCatalog()) {
+        SCOPED_TRACE(mutation.id);
+        llvmir::Module module = llvmir::parseModule(mutation.exemplar);
+        ASSERT_TRUE(llvmir::verifyModule(module).empty());
+        const llvmir::Function &fn =
+            namedFunction(module, mutation.exemplarFunction);
+        Rng rng(1);
+        MutantLowering mutant = lowerMutant(mutation, module, fn, rng);
+        EXPECT_TRUE(mutant.applied);
+    }
+}
+
+TEST(MutationCatalog, CheckerKillsEveryMiscompileExemplar)
+{
+    driver::PipelineOptions pipeline;
+    for (const Mutation &mutation : mutationCatalog()) {
+        if (mutation.expectEquivalent)
+            continue;
+        SCOPED_TRACE(mutation.id);
+        llvmir::Module module = llvmir::parseModule(mutation.exemplar);
+        const llvmir::Function &fn =
+            namedFunction(module, mutation.exemplarFunction);
+        Rng rng(1);
+        MutantLowering mutant = lowerMutant(mutation, module, fn, rng);
+        ASSERT_TRUE(mutant.applied);
+        driver::FunctionReport report = driver::validateFunctionPair(
+            module, fn, mutant.mfn, mutant.hints, pipeline);
+        EXPECT_EQ(report.outcome, driver::Outcome::Other)
+            << "checker validated an injected miscompile";
+    }
+}
+
+TEST(MutationCatalog, CheckerAcceptsBenignRewritesOnTheirExemplars)
+{
+    driver::PipelineOptions pipeline;
+    for (const Mutation &mutation : mutationCatalog()) {
+        if (!mutation.expectEquivalent)
+            continue;
+        SCOPED_TRACE(mutation.id);
+        llvmir::Module module = llvmir::parseModule(mutation.exemplar);
+        const llvmir::Function &fn =
+            namedFunction(module, mutation.exemplarFunction);
+        Rng rng(1);
+        MutantLowering mutant = lowerMutant(mutation, module, fn, rng);
+        ASSERT_TRUE(mutant.applied);
+        driver::FunctionReport report = driver::validateFunctionPair(
+            module, fn, mutant.mfn, mutant.hints, pipeline);
+        EXPECT_EQ(report.outcome, driver::Outcome::Succeeded)
+            << "checker rejected a semantics-preserving rewrite";
+    }
+}
+
+TEST(MutationCatalog, MutantLoweringIsDeterministic)
+{
+    for (const Mutation &mutation : mutationCatalog()) {
+        SCOPED_TRACE(mutation.id);
+        llvmir::Module module = llvmir::parseModule(mutation.exemplar);
+        const llvmir::Function &fn =
+            namedFunction(module, mutation.exemplarFunction);
+        Rng a(77);
+        Rng b(77);
+        MutantLowering first = lowerMutant(mutation, module, fn, a);
+        MutantLowering second = lowerMutant(mutation, module, fn, b);
+        EXPECT_EQ(first.mfn.toString(), second.mfn.toString());
+    }
+}
+
+} // namespace
+} // namespace keq::fuzz

@@ -169,5 +169,287 @@ TEST(VerifierTest, DeclarationsSkipBodyChecks)
     EXPECT_TRUE(problemsOf("declare i32 @ext(i32)\n").empty());
 }
 
+// --- Type-consistency hardening (fuzz generator bring-up) ----------------
+//
+// The random program generator proves its output well-typed by running
+// it through the verifier; each malformed construct it could emit must be
+// an explicit rejection here, not an assertion failure in the semantics.
+
+/** True when some problem message contains @p needle. */
+bool
+anyProblemContains(const std::vector<std::string> &problems,
+                   const std::string &needle)
+{
+    for (const std::string &problem : problems) {
+        if (problem.find(needle) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+TEST(VerifierTypeTest, RejectsUseAtWrongType)
+{
+    std::vector<std::string> problems = problemsOf(R"(
+define i32 @f(i32 %a) {
+entry:
+  %w = zext i32 %a to i64
+  %x = add i32 %w, 1
+  ret i32 %x
+}
+)");
+    EXPECT_TRUE(anyProblemContains(problems, "defined as"));
+}
+
+TEST(VerifierTypeTest, RejectsBinopOperandTypeMismatch)
+{
+    std::vector<std::string> problems = problemsOf(R"(
+define i64 @f(i64 %a, i32 %b) {
+entry:
+  %x = add i64 %a, %b
+  ret i64 %x
+}
+)");
+    ASSERT_FALSE(problems.empty());
+}
+
+TEST(VerifierTypeTest, RejectsNonWideningZext)
+{
+    std::vector<std::string> problems = problemsOf(R"(
+define i32 @f(i32 %a) {
+entry:
+  %x = zext i32 %a to i32
+  ret i32 %x
+}
+)");
+    EXPECT_TRUE(anyProblemContains(problems, "must widen"));
+}
+
+TEST(VerifierTypeTest, RejectsNonNarrowingTrunc)
+{
+    std::vector<std::string> problems = problemsOf(R"(
+define i64 @f(i32 %a) {
+entry:
+  %x = trunc i32 %a to i64
+  ret i64 %x
+}
+)");
+    EXPECT_TRUE(anyProblemContains(problems, "must narrow"));
+}
+
+TEST(VerifierTypeTest, RejectsLoadPointeeMismatch)
+{
+    std::vector<std::string> problems = problemsOf(R"(
+@g = external global i32
+define i64 @f() {
+entry:
+  %x = load i64, i32* @g
+  ret i64 %x
+}
+)");
+    EXPECT_TRUE(anyProblemContains(problems, "load result type"));
+}
+
+TEST(VerifierTypeTest, RejectsStorePointeeMismatch)
+{
+    std::vector<std::string> problems = problemsOf(R"(
+@g = external global i32
+define void @f(i64 %v) {
+entry:
+  store i64 %v, i32* @g
+  ret void
+}
+)");
+    EXPECT_TRUE(anyProblemContains(problems, "stored value type"));
+}
+
+TEST(VerifierTypeTest, RejectsStoreThroughNonPointer)
+{
+    std::vector<std::string> problems = problemsOf(R"(
+define void @f(i32 %v, i32 %p) {
+entry:
+  store i32 %v, i32 %p
+  ret void
+}
+)");
+    EXPECT_TRUE(anyProblemContains(problems, "non-pointer"));
+}
+
+TEST(VerifierTypeTest, RejectsGepSourceTypeMismatch)
+{
+    std::vector<std::string> problems = problemsOf(R"(
+@b = external global [8 x i8]
+define i8* @f() {
+entry:
+  %p = getelementptr [4 x i8], [8 x i8]* @b, i64 0, i64 1
+  ret i8* %p
+}
+)");
+    EXPECT_TRUE(anyProblemContains(problems, "getelementptr"));
+}
+
+TEST(VerifierTypeTest, RejectsNonI1BranchCondition)
+{
+    std::vector<std::string> problems = problemsOf(R"(
+define i32 @f(i32 %a) {
+entry:
+  br i32 %a, label %t, label %e
+t:
+  ret i32 1
+e:
+  ret i32 0
+}
+)");
+    EXPECT_TRUE(anyProblemContains(problems, "not i1"));
+}
+
+TEST(VerifierTypeTest, RejectsNonI1SelectCondition)
+{
+    std::vector<std::string> problems = problemsOf(R"(
+define i32 @f(i32 %a) {
+entry:
+  %x = select i32 %a, i32 1, i32 2
+  ret i32 %x
+}
+)");
+    EXPECT_TRUE(anyProblemContains(problems, "select condition"));
+}
+
+TEST(VerifierTypeTest, RejectsSelectArmMismatch)
+{
+    std::vector<std::string> problems = problemsOf(R"(
+define i32 @f(i1 %c, i64 %a) {
+entry:
+  %x = select i1 %c, i32 1, i64 %a
+  ret i32 %x
+}
+)");
+    EXPECT_TRUE(anyProblemContains(problems, "select arm"));
+}
+
+TEST(VerifierTypeTest, RejectsPhiIncomingTypeMismatch)
+{
+    // The parser forces incoming types to the phi type, so build the
+    // mismatch in memory — the fuzz shrinker mutates modules directly
+    // and relies on the verifier to reject bad rewrites.
+    Module m = parseModule(R"(
+define i32 @f(i32 %a) {
+entry:
+  br label %join
+join:
+  %x = phi i32 [ %a, %entry ]
+  ret i32 %x
+}
+)");
+    Function &fn = m.functions.front();
+    Instruction &phi = fn.blocks[1].insts.front();
+    phi.incoming[0].value.type = m.types->intType(64);
+    std::vector<std::string> problems = verifyModule(m);
+    EXPECT_TRUE(anyProblemContains(problems, "phi incoming type"));
+}
+
+TEST(VerifierTypeTest, RejectsSwitchCaseWidthMismatch)
+{
+    Module m = parseModule(R"(
+define i32 @f(i32 %x) {
+entry:
+  switch i32 %x, label %d [
+    i32 1, label %d
+  ]
+d:
+  ret i32 0
+}
+)");
+    Instruction &sw = m.functions.front().blocks[0].insts.front();
+    sw.switchCases[0].first = support::ApInt(64, 1);
+    std::vector<std::string> problems = verifyModule(m);
+    EXPECT_TRUE(anyProblemContains(problems, "switch case width"));
+}
+
+TEST(VerifierTypeTest, RejectsRetTypeMismatch)
+{
+    std::vector<std::string> problems = problemsOf(R"(
+define i32 @f(i64 %a) {
+entry:
+  ret i64 %a
+}
+)");
+    EXPECT_TRUE(anyProblemContains(problems, "ret type"));
+}
+
+TEST(VerifierTypeTest, RejectsRetVoidInValueFunction)
+{
+    std::vector<std::string> problems = problemsOf(R"(
+define i32 @f() {
+entry:
+  ret void
+}
+)");
+    EXPECT_TRUE(anyProblemContains(problems, "ret void"));
+}
+
+TEST(VerifierTypeTest, RejectsIcmpOperandMismatch)
+{
+    Module m = parseModule(R"(
+define i1 @f(i32 %a, i32 %b) {
+entry:
+  %c = icmp eq i32 %a, %b
+  ret i1 %c
+}
+)");
+    Instruction &icmp = m.functions.front().blocks[0].insts.front();
+    icmp.operands[1].type = m.types->intType(64);
+    std::vector<std::string> problems = verifyModule(m);
+    EXPECT_TRUE(anyProblemContains(problems, "icmp operand types"));
+}
+
+TEST(VerifierTypeTest, RejectsGlobalAtNonPointerType)
+{
+    Module m = parseModule(R"(
+@g = external global i32
+define i32 @f() {
+entry:
+  %x = load i32, i32* @g
+  ret i32 %x
+}
+)");
+    Instruction &load = m.functions.front().blocks[0].insts.front();
+    load.operands[0].type = m.types->intType(32);
+    std::vector<std::string> problems = verifyModule(m);
+    EXPECT_TRUE(anyProblemContains(problems, "non-pointer type"));
+}
+
+TEST(VerifierTypeTest, AcceptsWellTypedKitchenSink)
+{
+    // One function exercising every checked construct at correct types.
+    EXPECT_TRUE(problemsOf(R"(
+@buf = external global [16 x i8]
+@g = external global i32
+declare i32 @ext(i32)
+define i32 @f(i32 %a, i64 %b, i1 %c) {
+entry:
+  %w = zext i32 %a to i64
+  %n = trunc i64 %b to i32
+  %s = select i1 %c, i32 %n, i32 7
+  %p = getelementptr [16 x i8], [16 x i8]* @buf, i64 0, i64 3
+  %pw = bitcast i8* %p to i16*
+  store i16 9, i16* %pw
+  %v = load i32, i32* @g
+  %slot = alloca i32
+  store i32 %v, i32* %slot
+  %r = call i32 @ext(i32 %s)
+  %cmp = icmp slt i32 %r, %v
+  br i1 %cmp, label %t, label %e
+t:
+  br label %join
+e:
+  br label %join
+join:
+  %m = phi i32 [ %r, %t ], [ %v, %e ]
+  ret i32 %m
+}
+)")
+                    .empty());
+}
+
 } // namespace
 } // namespace keq::llvmir

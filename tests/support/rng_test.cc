@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/support/rng.h"
 
 namespace keq::support {
@@ -54,6 +56,94 @@ TEST(RngTest, ChancePercentExtremes)
         EXPECT_FALSE(rng.chancePercent(0));
         EXPECT_TRUE(rng.chancePercent(100));
     }
+}
+
+TEST(RngSplitTest, SplitIsDeterministic)
+{
+    Rng a(42), b(42);
+    Rng child_a = a.split(), child_b = b.split();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(child_a.next(), child_b.next());
+    // The parents advanced identically too.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngSplitTest, ChildIndependentOfParentDraws)
+{
+    // The child stream's values must not depend on how much the parent
+    // draws *after* the split.
+    Rng a(7), b(7);
+    Rng child_a = a.split();
+    Rng child_b = b.split();
+    for (int i = 0; i < 50; ++i)
+        a.next(); // perturb only one parent
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(child_a.next(), child_b.next());
+}
+
+TEST(RngSplitTest, SiblingsDiverge)
+{
+    Rng parent(13);
+    Rng first = parent.split();
+    Rng second = parent.split();
+    int differing = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (first.next() != second.next())
+            ++differing;
+    }
+    EXPECT_GT(differing, 60);
+}
+
+TEST(RngSplitTest, SplitDivergesFromParent)
+{
+    Rng parent(99);
+    Rng child = parent.split();
+    int differing = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (parent.next() != child.next())
+            ++differing;
+    }
+    EXPECT_GT(differing, 60);
+}
+
+TEST(RngStreamTest, PureInSeedAndIndex)
+{
+    Rng a = Rng::stream(0x5eed, 17);
+    Rng b = Rng::stream(0x5eed, 17);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngStreamTest, DistinctIndicesDiverge)
+{
+    // Consecutive indices must give unrelated streams (this is what
+    // makes fuzz campaign iterations independent of scheduling).
+    Rng a = Rng::stream(1, 0);
+    Rng b = Rng::stream(1, 1);
+    int differing = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() != b.next())
+            ++differing;
+    }
+    EXPECT_GT(differing, 60);
+}
+
+TEST(RngHelperTest, ChoiceAndShuffleDeterministic)
+{
+    std::vector<int> pool{10, 20, 30, 40, 50};
+    Rng a(3), b(3);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(a.choice(pool), b.choice(pool));
+
+    std::vector<int> va = pool, vb = pool;
+    a.shuffle(va);
+    b.shuffle(vb);
+    EXPECT_EQ(va, vb);
+    // A shuffle is a permutation.
+    std::vector<int> sorted = va;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, pool);
 }
 
 } // namespace

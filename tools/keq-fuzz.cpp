@@ -1,0 +1,263 @@
+/**
+ * @file
+ * keq-fuzz — generative fuzzing & differential-oracle campaign driver.
+ *
+ * Generates random well-typed LLVM IR, runs the real ISel, injects
+ * compiler-bug mutations from the shared catalogue, and cross-checks
+ * the KEQ checker's verdict against concrete executions of both sides.
+ * Failing seeds (checker soundness bugs or completeness gaps) are
+ * shrunk and persisted as replayable reproducers.
+ *
+ * Usage:
+ *   keq-fuzz [options]
+ *     --seed=N            campaign seed (default 1)
+ *     --jobs=N            worker threads (0 = #cores; default 1)
+ *     --iterations=N      random-phase iterations (default 50)
+ *     --trials=N          oracle input trials per pair (default 6)
+ *     --mutation=ID       restrict to one catalogue mutation
+ *     --corpus-dir=DIR    write reproducer files into DIR
+ *     --replay=FILE       replay one reproducer and exit
+ *     --list-mutations    print the mutation catalogue and exit
+ *     --max-seconds=S     safety cap on the random phase (0 = none)
+ *     --no-calibrate      skip the per-entry exemplar calibration
+ *     --no-shrink         report failing seeds unshrunk
+ *     --check-classes     fail unless every miscompile class was killed
+ *     --summary           print the canonical (timing-free) summary only
+ *     --json=FILE         write campaign stats as a flat JSON object
+ *
+ * Determinism: for fixed --seed and --iterations the canonical summary
+ * and every reproducer are byte-identical regardless of --jobs.
+ *
+ * Exit code: soundness bugs + completeness gaps (plus 1 if
+ * --check-classes found an unkilled miscompile class); 2 on usage or
+ * I/O errors.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/fuzz/campaign.h"
+#include "src/support/diagnostics.h"
+
+namespace {
+
+struct CliOptions
+{
+    keq::fuzz::CampaignOptions campaign;
+    std::string replayPath;
+    std::string jsonPath;
+    bool listMutations = false;
+    bool checkClasses = false;
+    bool summaryOnly = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0 << " [options]\n"
+              << "  --seed=N --jobs=N --iterations=N --trials=N\n"
+              << "  --mutation=ID --corpus-dir=DIR --replay=FILE\n"
+              << "  --list-mutations --max-seconds=S --no-calibrate\n"
+              << "  --no-shrink --check-classes --summary --json=FILE\n";
+    std::exit(2);
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions options;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value_of = [&](const std::string &prefix) {
+            return arg.substr(prefix.size());
+        };
+        auto number_of = [&](const std::string &prefix) -> double {
+            try {
+                size_t used = 0;
+                std::string text = value_of(prefix);
+                double value = std::stod(text, &used);
+                if (used != text.size() || value < 0)
+                    usage(argv[0]);
+                return value;
+            } catch (const std::exception &) {
+                usage(argv[0]);
+            }
+        };
+        if (arg.rfind("--seed=", 0) == 0) {
+            options.campaign.seed =
+                static_cast<uint64_t>(number_of("--seed="));
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            options.campaign.jobs =
+                static_cast<unsigned>(number_of("--jobs="));
+        } else if (arg.rfind("--iterations=", 0) == 0) {
+            options.campaign.iterations =
+                static_cast<size_t>(number_of("--iterations="));
+        } else if (arg.rfind("--trials=", 0) == 0) {
+            options.campaign.oracle.trials =
+                static_cast<size_t>(number_of("--trials="));
+        } else if (arg.rfind("--mutation=", 0) == 0) {
+            options.campaign.onlyMutation = value_of("--mutation=");
+        } else if (arg.rfind("--corpus-dir=", 0) == 0) {
+            options.campaign.corpusDir = value_of("--corpus-dir=");
+        } else if (arg.rfind("--replay=", 0) == 0) {
+            options.replayPath = value_of("--replay=");
+        } else if (arg == "--list-mutations") {
+            options.listMutations = true;
+        } else if (arg.rfind("--max-seconds=", 0) == 0) {
+            options.campaign.maxSeconds = number_of("--max-seconds=");
+        } else if (arg == "--no-calibrate") {
+            options.campaign.calibrate = false;
+        } else if (arg == "--no-shrink") {
+            options.campaign.shrinkFailures = false;
+        } else if (arg == "--check-classes") {
+            options.checkClasses = true;
+        } else if (arg == "--summary") {
+            options.summaryOnly = true;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            options.jsonPath = value_of("--json=");
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (!options.campaign.onlyMutation.empty() &&
+        keq::fuzz::findMutation(options.campaign.onlyMutation) ==
+            nullptr) {
+        std::cerr << argv[0] << ": unknown mutation '"
+                  << options.campaign.onlyMutation
+                  << "' (see --list-mutations)\n";
+        std::exit(2);
+    }
+    return options;
+}
+
+int
+listMutations()
+{
+    for (const keq::fuzz::Mutation &mutation :
+         keq::fuzz::mutationCatalog()) {
+        std::printf("%-22s %-12s %-9s %s\n", mutation.id,
+                    keq::fuzz::mutationKindName(mutation.kind),
+                    mutation.expectEquivalent ? "benign" : "miscompile",
+                    mutation.description);
+    }
+    return 0;
+}
+
+int
+replay(const CliOptions &options)
+{
+    std::ifstream file(options.replayPath);
+    if (!file) {
+        std::cerr << "keq-fuzz: cannot open " << options.replayPath
+                  << "\n";
+        return 2;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    keq::fuzz::ReplayResult result;
+    try {
+        result = keq::fuzz::replayReproducer(buffer.str(),
+                                             options.campaign);
+    } catch (const keq::support::Error &error) {
+        std::cerr << "keq-fuzz: replay failed: " << error.what() << "\n";
+        return 2;
+    }
+    std::cout << "class:     " << result.classification << "\n"
+              << "checker:   "
+              << keq::driver::outcomeName(result.oracle.report.outcome)
+              << "\n"
+              << "execution: "
+              << keq::fuzz::execAgreementName(result.oracle.execution)
+              << " (" << result.oracle.trialsObserved << "/"
+              << result.oracle.trialsRun << " trials observed)\n"
+              << "verdict:   "
+              << keq::fuzz::oracleVerdictName(result.oracle.verdict)
+              << "\n";
+    if (!result.detail.empty())
+        std::cout << "detail:    " << result.detail << "\n";
+    std::cout << (result.reproduced ? "REPRODUCED\n"
+                                    : "did not reproduce\n");
+    return result.reproduced ? 0 : 1;
+}
+
+void
+writeJson(const std::string &path,
+          const keq::fuzz::CampaignResult &result,
+          const keq::fuzz::CampaignOptions &campaign)
+{
+    keq::bench::JsonReporter json;
+    json.field("seed", static_cast<double>(campaign.seed));
+    json.field("jobs", static_cast<double>(campaign.jobs));
+    json.field("iterations", static_cast<double>(result.iterationsRun));
+    json.field("seconds", result.seconds);
+    json.field("programs_per_second",
+               result.seconds > 0.0
+                   ? static_cast<double>(result.stats.programsGenerated) /
+                         result.seconds
+                   : 0.0);
+    json.field("programs", static_cast<double>(
+                               result.stats.programsGenerated));
+    json.field("instructions",
+               static_cast<double>(result.stats.generatedInstructions));
+    json.field("baseline_validated",
+               static_cast<double>(result.stats.baselineValidated));
+    json.field("baseline_unvalidated",
+               static_cast<double>(result.stats.baselineUnvalidated));
+    json.field("unsupported",
+               static_cast<double>(result.stats.unsupported));
+    json.field("mutants_applied",
+               static_cast<double>(result.stats.mutantsApplied));
+    json.field("mutants_killed",
+               static_cast<double>(result.stats.mutantsKilled));
+    json.field("mutants_neutral",
+               static_cast<double>(result.stats.mutantsSurvivedNeutral));
+    json.field("benign_accepted",
+               static_cast<double>(result.stats.benignAccepted));
+    json.field("soundness_bugs",
+               static_cast<double>(result.stats.soundnessBugs));
+    json.field("completeness_gaps",
+               static_cast<double>(result.stats.completenessGaps));
+    json.field("inconclusive",
+               static_cast<double>(result.stats.inconclusive));
+    json.writeFile(path);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions options = parseArgs(argc, argv);
+    if (options.listMutations)
+        return listMutations();
+    if (!options.replayPath.empty())
+        return replay(options);
+
+    keq::fuzz::CampaignResult result;
+    try {
+        result = keq::fuzz::runCampaign(options.campaign);
+    } catch (const keq::support::Error &error) {
+        std::cerr << "keq-fuzz: " << error.what() << "\n";
+        return 2;
+    }
+
+    if (options.summaryOnly)
+        std::cout << result.canonicalSummary();
+    else
+        std::cout << result.renderTable();
+
+    if (!options.jsonPath.empty())
+        writeJson(options.jsonPath, result, options.campaign);
+
+    int failures = static_cast<int>(result.stats.soundnessBugs +
+                                    result.stats.completenessGaps);
+    if (options.checkClasses && !result.allMiscompileClassesKilled()) {
+        std::cerr << "keq-fuzz: some miscompile class was never "
+                     "killed\n";
+        failures += 1;
+    }
+    return failures;
+}
