@@ -1,0 +1,106 @@
+#ifndef KEQ_DRIVER_CHECKPOINT_H
+#define KEQ_DRIVER_CHECKPOINT_H
+
+/**
+ * @file
+ * Crash-safe campaign checkpointing for the validation pipeline.
+ *
+ * A long corpus run (hours of Z3 time) must survive a crash or SIGKILL
+ * without losing finished verdicts. The CheckpointJournal records one
+ * append-only journal record per decided function (support::Journal
+ * gives the torn-tail tolerance); a resumed run loads the journal,
+ * skips every decided function, and recomputes only the rest — the
+ * merged report is required to be canonically identical to an
+ * uninterrupted run's (asserted by the chaos suite's kill-and-resume
+ * test).
+ *
+ * Two rules keep resume sound:
+ *  - The journal header record carries a fingerprint of the module's
+ *    defined-function set. Resuming against a different module (or a
+ *    journal of a different kind) is rejected loudly instead of
+ *    silently splicing stale verdicts.
+ *  - Cancelled verdicts are never journaled: cancellation is an
+ *    artifact of the interrupted run, not a property of the function,
+ *    so a resumed run must recompute those entries.
+ */
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/driver/pipeline.h"
+#include "src/support/journal.h"
+
+namespace keq::driver {
+
+/**
+ * Serializes the deterministic fields of a FunctionReport (everything
+ * canonicalSummary renders; wall-clock timing is excluded) as one
+ * journal payload. deserializeFunctionReport is the exact inverse and
+ * returns false on any malformed payload.
+ */
+std::string serializeFunctionReport(const FunctionReport &report);
+bool deserializeFunctionReport(const std::string &payload,
+                               FunctionReport &report);
+
+/** Per-function verdict journal with module-identity checking. */
+class CheckpointJournal
+{
+  public:
+    /** Journal schema tag (support::Journal header). */
+    static constexpr const char *kKind = "pipeline-checkpoint";
+
+    /** Result of loading an existing checkpoint for resume. */
+    struct Load
+    {
+        bool ok = true;
+        std::string error;
+        /** Decided verdicts keyed by function name. */
+        std::unordered_map<std::string, FunctionReport> decided;
+        /** True when the meta (fingerprint) record was present. */
+        bool hasMeta = false;
+        /** Torn/corrupt records dropped by the journal layer. */
+        size_t truncatedRecords = 0;
+    };
+
+    /**
+     * Loads every intact verdict from @p path. A missing file is a
+     * fresh campaign (ok, empty). A journal of the wrong kind or with
+     * a fingerprint that does not match @p fingerprint fails with
+     * ok=false — resuming against the wrong module is a user error.
+     */
+    static Load load(const std::string &path,
+                     const std::string &fingerprint);
+
+    /**
+     * @param path        Journal file, appended to.
+     * @param fingerprint Module identity (moduleFingerprint).
+     * @param metaPresent True when resuming a journal that already
+     *                    carries its meta record.
+     */
+    CheckpointJournal(std::string path, std::string fingerprint,
+                      bool metaPresent);
+
+    /**
+     * Appends one decided verdict (meta record first, lazily). Thread
+     * safe. Cancelled verdicts are ignored by contract.
+     */
+    void record(const FunctionReport &report);
+
+  private:
+    support::JournalWriter writer_;
+    std::string fingerprint_;
+    std::mutex metaMutex_;
+    bool metaWritten_;
+};
+
+/**
+ * Identity of a module's defined-function set: order, names and
+ * instruction counts. Checkpoints are only portable across runs that
+ * agree on it.
+ */
+std::string moduleFingerprint(const llvmir::Module &module);
+
+} // namespace keq::driver
+
+#endif // KEQ_DRIVER_CHECKPOINT_H

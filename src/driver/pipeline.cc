@@ -1,17 +1,23 @@
 #include "src/driver/pipeline.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <optional>
 #include <sstream>
+#include <unordered_map>
 
+#include "src/driver/checkpoint.h"
 #include "src/llvmir/layout_builder.h"
 #include "src/llvmir/parser.h"
 #include "src/llvmir/symbolic_semantics.h"
 #include "src/llvmir/verifier.h"
 #include "src/memory/layout.h"
+#include "src/smt/guarded_solver.h"
 #include "src/smt/incremental_z3_solver.h"
 #include "src/smt/term_factory.h"
 #include "src/smt/z3_solver.h"
+#include "src/support/diagnostics.h"
+#include "src/support/journal.h"
 #include "src/support/stopwatch.h"
 #include "src/support/thread_pool.h"
 #include "src/regalloc/regalloc.h"
@@ -39,6 +45,7 @@ FunctionReport::canonicalSummary() const
     std::ostringstream os;
     os << function << " | " << outcomeName(outcome) << " | "
        << checker::verdictKindName(verdict.kind)
+       << " | fail=" << failureKindName(verdict.failure)
        << " | refine=" << (verdict.usedRefinementFallback ? 1 : 0)
        << " | queries=" << verdict.stats.solverQueries
        << " points=" << verdict.stats.pointsChecked
@@ -166,9 +173,61 @@ validatePairImpl(const llvmir::Module &module, const llvmir::Function &fn,
             caching.emplace(factory, *backend, cache, stack);
             solver = &*caching;
         }
+
+        // Chaos testing: the injector sits *above* the optimized stack
+        // (and below the guard), so injected misbehavior exercises the
+        // retry/escalation machinery without ever reaching the cache's
+        // stored verdicts. The per-function plan is derived from the
+        // function name, not the scheduling order, so serial and
+        // parallel chaos runs draw identical fault schedules.
+        smt::FaultPlan plan;
+        if (exec != nullptr)
+            plan = exec->faults.derive(support::fnv1a64(fn.name));
+        std::optional<smt::FaultInjectingSolver> injector;
+        if (plan.enabled()) {
+            injector.emplace(factory, *solver, plan);
+            solver = &*injector;
+        }
+
+        // Fault-tolerant front: watchdog deadline + escalation ladder.
+        // Rung 1 is a fresh cold solver on the raw (unpreprocessed)
+        // query — still fault-injected under chaos; rung 2 is pristine,
+        // which is what makes chaos verdicts converge to clean ones.
+        std::optional<smt::GuardedSolver> guarded;
+        if (exec != nullptr) {
+            smt::GuardedSolverOptions guard;
+            guard.deadlineMs = exec->deadlineMs;
+            guard.retries = exec->solverRetries;
+            guard.cancel = exec->cancel;
+            smt::FaultPlan rung1_plan = plan.derive(1);
+            std::vector<smt::GuardedSolver::RungFactory> rungs;
+            rungs.push_back(
+                [&factory, rung1_plan]() -> std::unique_ptr<smt::Solver> {
+                    std::unique_ptr<smt::Solver> fresh =
+                        std::make_unique<smt::Z3Solver>(factory);
+                    if (rung1_plan.enabled()) {
+                        return std::make_unique<
+                            smt::FaultInjectingSolver>(
+                            factory, std::move(fresh), rung1_plan);
+                    }
+                    return fresh;
+                });
+            rungs.push_back(
+                [&factory]() -> std::unique_ptr<smt::Solver> {
+                    return std::make_unique<smt::Z3Solver>(factory);
+                });
+            guarded.emplace(factory, *solver, std::move(rungs), guard);
+            solver = &*guarded;
+            if (exec->solverMemoryMb > 0)
+                solver->setMemoryBudgetMb(exec->solverMemoryMb);
+        }
+
+        checker::CheckerConfig checker_config = options.checker;
+        if (exec != nullptr && exec->cancel.valid())
+            checker_config.cancel = exec->cancel;
         sem::IselAcceptability acceptability;
         checker::Checker checker(sem_a, sem_b, acceptability, *solver,
-                                 options.checker);
+                                 checker_config);
         report.verdict = checker.check(fn.name, fn.name, vc.points);
         if (solver_stats != nullptr)
             *solver_stats = solver->stats();
@@ -328,13 +387,23 @@ validateRegAlloc(const llvmir::Module &module, const llvmir::Function &fn,
 
 // --- Pipeline ------------------------------------------------------------
 
-Pipeline::Pipeline(PipelineOptions options, ExecutionOptions exec)
-    : options_(std::move(options)), exec_(exec)
+namespace {
+
+/** The configured verdict store: entry cap + byte budget (LRU). */
+std::shared_ptr<smt::QueryCache>
+makeQueryCache(const ExecutionOptions &exec)
 {
-    if (exec_.solverCache && exec_.sharedCache) {
-        cache_ =
-            std::make_shared<smt::QueryCache>(exec_.cacheShardCapacity);
-    }
+    return std::make_shared<smt::QueryCache>(
+        exec.cacheShardCapacity, exec.cacheMemoryMb << 20);
+}
+
+} // namespace
+
+Pipeline::Pipeline(PipelineOptions options, ExecutionOptions exec)
+    : options_(std::move(options)), exec_(std::move(exec))
+{
+    if (exec_.solverCache && exec_.sharedCache)
+        cache_ = makeQueryCache(exec_);
 }
 
 FunctionReport
@@ -342,10 +411,8 @@ Pipeline::validateFunction(const llvmir::Module &module,
                            const llvmir::Function &fn)
 {
     std::shared_ptr<smt::QueryCache> cache = cache_;
-    if (exec_.solverCache && !exec_.sharedCache) {
-        cache =
-            std::make_shared<smt::QueryCache>(exec_.cacheShardCapacity);
-    }
+    if (exec_.solverCache && !exec_.sharedCache)
+        cache = makeQueryCache(exec_);
     smt::SolverStats stats;
     FunctionReport report = validateFunctionImpl(module, fn, options_,
                                                  cache, &exec_, &stats);
@@ -380,19 +447,64 @@ Pipeline::runWithJobs(const llvmir::Module &module, unsigned jobs)
     report.functions.resize(functions.size());
     std::vector<smt::SolverStats> per_function(functions.size());
 
+    // Crash-safe checkpointing: restore decided verdicts up front, then
+    // journal each fresh verdict as it lands. The decided map is frozen
+    // before the parallel phase, so workers read it without locking.
+    std::unordered_map<std::string, FunctionReport> decided;
+    std::unique_ptr<CheckpointJournal> journal;
+    if (!exec_.checkpointPath.empty()) {
+        std::string fingerprint = moduleFingerprint(module);
+        bool meta_present = false;
+        if (exec_.resume) {
+            CheckpointJournal::Load loaded = CheckpointJournal::load(
+                exec_.checkpointPath, fingerprint);
+            if (!loaded.ok)
+                throw support::Error(loaded.error);
+            decided = std::move(loaded.decided);
+            meta_present = loaded.hasMeta;
+            report.droppedCheckpointRecords = loaded.truncatedRecords;
+        } else {
+            // Fresh campaign: a stale checkpoint at this path would
+            // poison a later --resume, so drop it now.
+            std::remove(exec_.checkpointPath.c_str());
+        }
+        journal = std::make_unique<CheckpointJournal>(
+            exec_.checkpointPath, fingerprint, meta_present);
+    }
+
     smt::CacheStats cache_before;
     if (cache_ != nullptr)
         cache_before = cache_->stats();
 
     auto validate_one = [&](size_t index) {
-        std::shared_ptr<smt::QueryCache> cache = cache_;
-        if (exec_.solverCache && !exec_.sharedCache) {
-            cache = std::make_shared<smt::QueryCache>(
-                exec_.cacheShardCapacity);
+        const llvmir::Function &fn = *functions[index];
+        auto hit = decided.find(fn.name);
+        if (hit != decided.end()) {
+            report.functions[index] = hit->second;
+            return;
         }
+        if (exec_.cancel.cancelled()) {
+            // Don't even start ISel/VC generation: produce the same
+            // cancelled verdict the checker would, just sooner. Never
+            // journaled, so a resumed run recomputes it.
+            FunctionReport &out = report.functions[index];
+            out.function = fn.name;
+            out.llvmInstructions = fn.instructionCount();
+            out.outcome = Outcome::Timeout;
+            out.verdict.kind = checker::VerdictKind::Timeout;
+            out.verdict.failure = FailureKind::Cancelled;
+            out.verdict.reason = "cancelled";
+            out.detail = "cancelled";
+            return;
+        }
+        std::shared_ptr<smt::QueryCache> cache = cache_;
+        if (exec_.solverCache && !exec_.sharedCache)
+            cache = makeQueryCache(exec_);
         report.functions[index] =
-            validateFunctionImpl(module, *functions[index], options_,
-                                 cache, &exec_, &per_function[index]);
+            validateFunctionImpl(module, fn, options_, cache, &exec_,
+                                 &per_function[index]);
+        if (journal != nullptr)
+            journal->record(report.functions[index]);
     };
 
     // Validation is CPU-bound, so oversubscribing cores only adds
@@ -417,6 +529,11 @@ Pipeline::runWithJobs(const llvmir::Module &module, unsigned jobs)
     // Merge in deterministic input order (not completion order).
     for (const smt::SolverStats &stats : per_function)
         report.solverStats += stats;
+    report.resumedFunctions = 0;
+    for (const llvmir::Function *fn : functions) {
+        if (decided.count(fn->name) != 0)
+            ++report.resumedFunctions;
+    }
     if (cache_ != nullptr) {
         smt::CacheStats after = cache_->stats();
         report.cacheStats.hits = after.hits - cache_before.hits;

@@ -33,6 +33,8 @@
 #include "src/llvmir/ir.h"
 #include "src/sem/sync_point.h"
 #include "src/smt/caching_solver.h"
+#include "src/smt/fault_injection.h"
+#include "src/support/cancellation.h"
 #include "src/vcgen/vcgen.h"
 #include "src/vx86/mir.h"
 
@@ -97,6 +99,42 @@ struct ExecutionOptions
     bool sliceQueries = true;
     /** Use IncrementalZ3Solver as the per-worker backend. */
     bool incrementalSolver = true;
+
+    // --- Fault tolerance (smt::GuardedSolver front) ------------------
+
+    /**
+     * Hard per-query wall deadline in ms enforced by the watchdog
+     * thread (Z3's soft timeout is best-effort; this one interrupts).
+     * 0 disables the deadline; the watchdog still serves cancellation.
+     */
+    unsigned deadlineMs = 0;
+    /** Extra same-rung attempts before escalating a failed query. */
+    unsigned solverRetries = 1;
+    /** Per-query Z3 memory budget in MB; 0 = unlimited. */
+    unsigned solverMemoryMb = 0;
+    /** Query-cache byte budget in MB (LRU eviction); 0 = unlimited. */
+    size_t cacheMemoryMb = 512;
+    /**
+     * Fault-injection plan for chaos testing; disabled by default.
+     * Injection wraps the optimized rungs only — the terminal pristine
+     * rung never misbehaves, which is what lets a chaos run converge
+     * to the clean run's exact verdicts.
+     */
+    smt::FaultPlan faults;
+    /** Cooperative cancellation for the whole run (SIGINT). */
+    support::CancellationToken cancel;
+    /**
+     * Journal per-function verdicts to this path as they are decided
+     * (append-only, crash tolerant). Empty disables checkpointing.
+     */
+    std::string checkpointPath;
+    /**
+     * Load checkpointPath first and skip every decided function. The
+     * journal must match the module (fingerprint check) or the run
+     * fails loudly. Without this flag an existing checkpoint file is
+     * overwritten.
+     */
+    bool resume = false;
 };
 
 /** Per-function validation report. */
@@ -130,6 +168,10 @@ struct ModuleReport
     smt::SolverStats solverStats;
     /** Query-cache counters (all zero when caching is disabled). */
     smt::CacheStats cacheStats;
+    /** Functions restored from a checkpoint instead of recomputed. */
+    size_t resumedFunctions = 0;
+    /** Torn/corrupt checkpoint records dropped during resume. */
+    size_t droppedCheckpointRecords = 0;
 
     size_t countOutcome(Outcome outcome) const;
     /** Figure 6-style table. */

@@ -2,14 +2,20 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
+#include <unordered_map>
 
 #include "src/llvmir/parser.h"
 #include "src/llvmir/verifier.h"
 #include "src/support/diagnostics.h"
+#include "src/support/journal.h"
 #include "src/support/thread_pool.h"
 
 namespace keq::fuzz {
@@ -100,6 +106,174 @@ struct IterationOutcome
     CampaignStats stats;
     std::optional<Failure> failure;
 };
+
+// --- Campaign checkpointing ----------------------------------------------
+//
+// Iterations are pure in (options, index), so a checkpoint only has to
+// record *finished* outcomes; a resumed campaign replays the journal
+// into the same per-index slots and recomputes the rest. Modules inside
+// failures round-trip through the reproducer source rendering, which is
+// already required to re-parse exactly (it is the replay format).
+
+constexpr const char *kCampaignJournalKind = "fuzz-campaign";
+
+/** Splits a payload on raw tabs (fields are individually escaped). */
+std::vector<std::string>
+splitFields(const std::string &payload)
+{
+    std::vector<std::string> fields;
+    size_t start = 0;
+    for (;;) {
+        size_t tab = payload.find('\t', start);
+        if (tab == std::string::npos) {
+            fields.push_back(payload.substr(start));
+            return fields;
+        }
+        fields.push_back(payload.substr(start, tab - start));
+        start = tab + 1;
+    }
+}
+
+bool
+parseU64Field(const std::string &field, uint64_t &out)
+{
+    if (field.empty())
+        return false;
+    char *end = nullptr;
+    unsigned long long value = std::strtoull(field.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+        return false;
+    out = value;
+    return true;
+}
+
+/** Campaign identity a checkpoint is bound to. */
+std::string
+campaignFingerprint(const CampaignOptions &options)
+{
+    std::ostringstream os;
+    os << "seed=" << options.seed << ";iterations=" << options.iterations
+       << ";only=" << options.onlyMutation
+       << ";calibrate=" << (options.calibrate ? 1 : 0);
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%016llx",
+                  static_cast<unsigned long long>(
+                      support::fnv1a64(os.str())));
+    return std::string(buffer);
+}
+
+std::string
+serializeOutcome(size_t index, const IterationOutcome &outcome)
+{
+    const CampaignStats &s = outcome.stats;
+    std::ostringstream os;
+    os << "iter\t" << index << '\t' << s.programsGenerated << '\t'
+       << s.generatedInstructions << '\t' << s.baselineValidated << '\t'
+       << s.baselineUnvalidated << '\t' << s.unsupported << '\t'
+       << s.mutantsAttempted << '\t' << s.mutantsApplied << '\t'
+       << s.mutantsKilled << '\t' << s.mutantsSurvivedNeutral << '\t'
+       << s.benignAccepted << '\t' << s.soundnessBugs << '\t'
+       << s.completenessGaps << '\t' << s.inconclusive;
+    os << '\t' << s.appliedByMutation.size();
+    for (const auto &[id, count] : s.appliedByMutation)
+        os << '\t' << support::escapeLine(id) << '\t' << count;
+    os << '\t' << s.killsByMutation.size();
+    for (const auto &[id, count] : s.killsByMutation)
+        os << '\t' << support::escapeLine(id) << '\t' << count;
+    if (outcome.failure.has_value()) {
+        const Failure &failure = *outcome.failure;
+        os << "\t1\t" << support::escapeLine(failure.repro.mutationId)
+           << '\t' << support::escapeLine(failure.repro.classification)
+           << '\t' << failure.repro.iteration << '\t'
+           << failure.repro.mutationSeed << '\t' << failure.oracleSeed
+           << '\t' << (failure.fromCalibration ? 1 : 0) << '\t'
+           << support::escapeLine(moduleToSource(failure.module));
+    } else {
+        os << "\t0";
+    }
+    return os.str();
+}
+
+bool
+deserializeOutcome(const std::string &payload, size_t &index,
+                   IterationOutcome &outcome)
+{
+    std::vector<std::string> fields = splitFields(payload);
+    size_t at = 0;
+    auto next = [&](uint64_t &out) {
+        return at < fields.size() && parseU64Field(fields[at++], out);
+    };
+    if (fields.empty() || fields[0] != "iter")
+        return false;
+    ++at;
+
+    IterationOutcome result;
+    CampaignStats &s = result.stats;
+    uint64_t idx = 0;
+    if (!next(idx) || !next(s.programsGenerated) ||
+        !next(s.generatedInstructions) || !next(s.baselineValidated) ||
+        !next(s.baselineUnvalidated) || !next(s.unsupported) ||
+        !next(s.mutantsAttempted) || !next(s.mutantsApplied) ||
+        !next(s.mutantsKilled) || !next(s.mutantsSurvivedNeutral) ||
+        !next(s.benignAccepted) || !next(s.soundnessBugs) ||
+        !next(s.completenessGaps) || !next(s.inconclusive)) {
+        return false;
+    }
+
+    for (auto *map : {&s.appliedByMutation, &s.killsByMutation}) {
+        uint64_t entries = 0;
+        if (!next(entries))
+            return false;
+        for (uint64_t i = 0; i < entries; ++i) {
+            if (at + 1 >= fields.size())
+                return false;
+            std::string id;
+            uint64_t count = 0;
+            if (!support::unescapeLine(fields[at++], id) ||
+                !parseU64Field(fields[at++], count)) {
+                return false;
+            }
+            (*map)[id] = count;
+        }
+    }
+
+    uint64_t has_failure = 0;
+    if (!next(has_failure) || has_failure > 1)
+        return false;
+    if (has_failure == 1) {
+        if (at + 6 >= fields.size())
+            return false;
+        Failure failure;
+        uint64_t iteration = 0, from_cal = 0;
+        std::string source;
+        if (!support::unescapeLine(fields[at],
+                                   failure.repro.mutationId) ||
+            !support::unescapeLine(fields[at + 1],
+                                   failure.repro.classification) ||
+            !parseU64Field(fields[at + 2], iteration) ||
+            !parseU64Field(fields[at + 3], failure.repro.mutationSeed) ||
+            !parseU64Field(fields[at + 4], failure.oracleSeed) ||
+            !parseU64Field(fields[at + 5], from_cal) || from_cal > 1 ||
+            !support::unescapeLine(fields[at + 6], source)) {
+            return false;
+        }
+        at += 7;
+        failure.repro.iteration = iteration;
+        failure.fromCalibration = from_cal != 0;
+        try {
+            failure.module = llvmir::parseModule(source);
+            llvmir::verifyModuleOrThrow(failure.module);
+        } catch (const support::Error &) {
+            return false;
+        }
+        result.failure = std::move(failure);
+    }
+    if (at != fields.size())
+        return false;
+    index = static_cast<size_t>(idx);
+    outcome = std::move(result);
+    return true;
+}
 
 /**
  * Classifies one mutant oracle result into the campaign counters;
@@ -491,6 +665,54 @@ runCampaign(const CampaignOptions &options)
     CampaignResult result;
     std::vector<Failure> failures;
 
+    // Checkpoint plumbing. Calibration is deterministic and cheap, so
+    // only random-phase iterations are journaled; a resumed campaign
+    // re-runs calibration and restores the recorded iterations.
+    std::unordered_map<size_t, IterationOutcome> restored;
+    std::unique_ptr<support::JournalWriter> journal;
+    if (!options.checkpointPath.empty()) {
+        std::string fingerprint = campaignFingerprint(options);
+        bool meta_present = false;
+        if (options.resume) {
+            support::JournalLoad loaded = support::loadJournal(
+                options.checkpointPath, kCampaignJournalKind);
+            if (!loaded.ok)
+                throw support::Error(loaded.error);
+            for (size_t i = 0; i < loaded.records.size(); ++i) {
+                const std::string &payload = loaded.records[i];
+                if (i == 0 && payload.rfind("meta\t", 0) == 0) {
+                    if (payload.substr(5) != fingerprint) {
+                        throw support::Error(
+                            "checkpoint '" + options.checkpointPath +
+                            "' was written by a different campaign "
+                            "(fingerprint mismatch); refusing to "
+                            "resume");
+                    }
+                    meta_present = true;
+                    continue;
+                }
+                size_t index = 0;
+                IterationOutcome outcome;
+                if (!deserializeOutcome(payload, index, outcome))
+                    break; // schema drift: distrust the rest
+                if (index < options.iterations)
+                    restored[index] = std::move(outcome);
+            }
+            if (!restored.empty() && !meta_present) {
+                throw support::Error(
+                    "checkpoint '" + options.checkpointPath +
+                    "' carries iterations but no campaign "
+                    "fingerprint; refusing to resume");
+            }
+        } else {
+            std::remove(options.checkpointPath.c_str());
+        }
+        journal = std::make_unique<support::JournalWriter>(
+            options.checkpointPath, kCampaignJournalKind);
+        if (!meta_present)
+            journal->append("meta\t" + fingerprint);
+    }
+
     if (options.calibrate)
         runCalibration(options, result.stats, failures);
 
@@ -512,9 +734,16 @@ runCampaign(const CampaignOptions &options)
 
     support::ThreadPool pool(options.jobs);
     support::parallelFor(pool, options.iterations, [&](size_t index) {
+        auto hit = restored.find(index);
+        if (hit != restored.end()) {
+            outcomes[index] = hit->second; // read-only map: no locking
+            return;
+        }
         if (overBudget())
             return; // truncation: the slot stays empty
         outcomes[index] = runIteration(options, index);
+        if (journal != nullptr)
+            journal->append(serializeOutcome(index, *outcomes[index]));
     });
 
     // Merge in iteration order: the summary is independent of worker
@@ -523,6 +752,8 @@ runCampaign(const CampaignOptions &options)
         if (!outcomes[i].has_value())
             continue;
         result.iterationsRun++;
+        if (restored.count(i) != 0)
+            result.resumedIterations++;
         result.stats.merge(outcomes[i]->stats);
         if (outcomes[i]->failure.has_value())
             failures.push_back(std::move(*outcomes[i]->failure));
@@ -562,16 +793,28 @@ replayReproducer(const std::string &artifact,
                              view.substr(key.size())))
                        : std::nullopt;
         };
+        // A truncated or hand-edited artifact must fail with a
+        // diagnostic, not an uncaught std::invalid_argument from
+        // std::stoull (which aborts the tool).
+        auto parse_count = [](const std::string &text, const char *key) {
+            uint64_t value = 0;
+            if (!parseU64Field(text, value)) {
+                throw support::Error(
+                    std::string("reproducer artifact: malformed ") +
+                    key + " value '" + text + "'");
+            }
+            return value;
+        };
         if (auto v = take("mutation="))
             repro.mutationId = *v;
         else if (auto v = take("class="))
             repro.classification = *v;
         else if (auto v = take("iteration="))
-            repro.iteration = std::stoull(*v);
+            repro.iteration = parse_count(*v, "iteration");
         else if (auto v = take("mutseed="))
-            repro.mutationSeed = std::stoull(*v);
+            repro.mutationSeed = parse_count(*v, "mutseed");
         else if (auto v = take("oracleseed="))
-            oracle_seed = std::stoull(*v);
+            oracle_seed = parse_count(*v, "oracleseed");
     }
     replay.classification = repro.classification;
     if (repro.classification.empty() || repro.mutationId.empty()) {

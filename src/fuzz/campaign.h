@@ -65,6 +65,19 @@ struct CampaignOptions
     std::string corpusDir;
     /** Restrict the random phase to one catalogue id; empty = all. */
     std::string onlyMutation;
+    /**
+     * Journal finished iteration outcomes to this path (append-only,
+     * crash tolerant); empty disables checkpointing. With resume set,
+     * the journal is loaded first and recorded iterations are restored
+     * instead of re-run — the resumed campaign's canonical summary is
+     * identical to an uninterrupted run's. The journal header carries a
+     * fingerprint of (seed, iterations, onlyMutation, calibrate), so
+     * resuming under a different campaign identity fails loudly;
+     * changing generator/oracle tuning between runs is on the caller.
+     */
+    std::string checkpointPath;
+    /** Load checkpointPath and skip recorded iterations. */
+    bool resume = false;
     GeneratorOptions generator;
     OracleOptions oracle;
     ShrinkOptions shrink;
@@ -126,6 +139,10 @@ struct CampaignResult
     std::vector<Reproducer> reproducers;
     /** Iterations actually run (< options.iterations when capped). */
     size_t iterationsRun = 0;
+    /** Of iterationsRun, how many were restored from the checkpoint
+     *  (excluded from canonicalSummary: a resumed run must render
+     *  identically to an uninterrupted one). */
+    size_t resumedIterations = 0;
     bool truncated = false;
     double seconds = 0.0;
 

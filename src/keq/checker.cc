@@ -66,8 +66,17 @@ namespace {
 struct BudgetExceeded
 {
     VerdictKind kind;
+    FailureKind failure;
     std::string what;
 };
+
+/** Verdict category a failure classification degrades the run to. */
+VerdictKind
+verdictKindFor(FailureKind failure)
+{
+    return failure == FailureKind::MemoryBudget ? VerdictKind::OutOfMemory
+                                                : VerdictKind::Timeout;
+}
 
 enum class Side : uint8_t { A, B };
 
@@ -116,7 +125,16 @@ class Run
             }
         } catch (const BudgetExceeded &limit) {
             verdict.kind = limit.kind;
+            verdict.failure = limit.failure;
             verdict.reason = limit.what;
+        } catch (const smt::SolverCrashError &crash) {
+            // Only an unguarded backend can throw this (a GuardedSolver
+            // absorbs crashes into classified Unknowns); one crashed
+            // query costs this verdict, never the worker.
+            verdict.kind = VerdictKind::Timeout;
+            verdict.failure = FailureKind::SolverCrash;
+            verdict.reason = std::string("solver crashed: ") +
+                             crash.what();
         }
         verdict.usedRefinementFallback = refinementFallback_;
         verdict.proof = std::move(proof_);
@@ -135,16 +153,35 @@ class Run
     void
     checkBudgets()
     {
+        if (config_.cancel.cancelled()) {
+            throw BudgetExceeded{VerdictKind::Timeout,
+                                 FailureKind::Cancelled, "cancelled"};
+        }
         if (config_.wallBudgetSeconds > 0.0 &&
             watch_.seconds() > config_.wallBudgetSeconds) {
             throw BudgetExceeded{VerdictKind::Timeout,
+                                 FailureKind::Timeout,
                                  "wall-clock budget exhausted"};
         }
         if (config_.maxTermNodes > 0 &&
             tf_.nodeCount() > config_.maxTermNodes) {
             throw BudgetExceeded{VerdictKind::OutOfMemory,
+                                 FailureKind::MemoryBudget,
                                  "term-node budget exhausted"};
         }
+    }
+
+    /**
+     * Classification of the solver's most recent Unknown: trust the
+     * solver's own taxonomy when it has one (GuardedSolver always
+     * does), otherwise call honest incompleteness SolverUnknown.
+     */
+    FailureKind
+    unknownFailure() const
+    {
+        FailureKind kind = solver_.lastFailureKind();
+        return kind == FailureKind::None ? FailureKind::SolverUnknown
+                                         : kind;
     }
 
     // --- solver helpers ------------------------------------------------------
@@ -169,10 +206,13 @@ class Run
             return true;
           case SatResult::Unsat:
             return false;
-          case SatResult::Unknown:
+          case SatResult::Unknown: {
+            FailureKind failure = unknownFailure();
             throw BudgetExceeded{
-                VerdictKind::Timeout,
-                "solver returned unknown on a feasibility check"};
+                verdictKindFor(failure), failure,
+                "solver returned unknown on a feasibility check (" +
+                    std::string(failureKindName(failure)) + ")"};
+          }
         }
         return true;
     }
@@ -394,7 +434,7 @@ class Run
         while (!work.empty()) {
             if (++steps > config_.maxStepsPerSegment) {
                 throw BudgetExceeded{
-                    VerdictKind::Timeout,
+                    VerdictKind::Timeout, FailureKind::Timeout,
                     "symbolic step budget exhausted (missing loop "
                     "synchronization point?)"};
             }
@@ -551,10 +591,12 @@ class Run
         uint64_t unknowns_before = solver_.stats().unknown;
         auto fail = [&](std::string reason) {
             if (solver_.stats().unknown > unknowns_before) {
+                FailureKind failure = unknownFailure();
                 throw BudgetExceeded{
-                    VerdictKind::Timeout,
+                    verdictKindFor(failure), failure,
                     "solver returned unknown while discharging "
-                    "obligations"};
+                    "obligations (" +
+                        std::string(failureKindName(failure)) + ")"};
             }
             why = std::move(reason);
             return PairResult::Fail;

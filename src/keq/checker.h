@@ -37,6 +37,8 @@
 #include "src/sem/semantics.h"
 #include "src/sem/sync_point.h"
 #include "src/smt/solver.h"
+#include "src/support/cancellation.h"
+#include "src/support/failure.h"
 
 namespace keq::checker {
 
@@ -57,6 +59,12 @@ struct CheckerConfig
     size_t maxTermNodes = 0;
     /** Per-segment symbolic step budget (guards missing loop cuts). */
     size_t maxStepsPerSegment = 20000;
+    /**
+     * Cooperative cancellation (SIGINT, campaign shutdown): polled at
+     * every budget check; a cancelled run ends with a Timeout verdict
+     * classified FailureKind::Cancelled.
+     */
+    support::CancellationToken cancel;
 };
 
 /** Verdict categories (Figure 6's rows plus success flavours). */
@@ -118,6 +126,15 @@ const char *proofMethodName(ProofStep::Method method);
 struct Verdict
 {
     VerdictKind kind = VerdictKind::NotValidated;
+    /**
+     * Structured failure classification. None for definite verdicts
+     * (Equivalent/Refines/NotValidated); for Timeout/OutOfMemory it
+     * says *why* the run could not decide — solver deadline, memory
+     * budget, honest solver incompleteness, an absorbed solver crash,
+     * or cooperative cancellation — replacing string matching on
+     * `reason`.
+     */
+    FailureKind failure = FailureKind::None;
     std::string reason;
     /** True when input-side UB forced refinement-style matching. */
     bool usedRefinementFallback = false;

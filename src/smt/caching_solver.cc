@@ -160,8 +160,11 @@ scanQuery(const std::vector<Term> &assertions)
 
 // --- QueryCache ----------------------------------------------------------
 
-QueryCache::QueryCache(size_t max_entries_per_shard)
-    : maxPerShard_(max_entries_per_shard)
+QueryCache::QueryCache(size_t max_entries_per_shard, size_t max_bytes)
+    : maxPerShard_(max_entries_per_shard),
+      maxBytesPerShard_(max_bytes == 0
+                            ? 0
+                            : std::max<size_t>(1, max_bytes / kShards))
 {}
 
 QueryCache::Shard &
@@ -175,30 +178,51 @@ QueryCache::lookup(const std::string &key)
 {
     Shard &shard = shardFor(key);
     std::unique_lock<std::mutex> lock(shard.mutex);
-    auto it = shard.map.find(key);
+    auto it = shard.map.find(std::string_view(key));
     if (it == shard.map.end()) {
         ++shard.misses;
         return std::nullopt;
     }
     ++shard.hits;
-    return it->second;
+    // Touch: a hit entry moves to the LRU front. Splicing never
+    // invalidates list iterators, so the map stays consistent.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->second;
 }
 
-void
+size_t
 QueryCache::insert(const std::string &key, SatResult result)
 {
     KEQ_ASSERT(result != SatResult::Unknown,
                "QueryCache: Unknown verdicts must not be cached");
     Shard &shard = shardFor(key);
     std::unique_lock<std::mutex> lock(shard.mutex);
-    if (maxPerShard_ > 0 && shard.map.size() >= maxPerShard_ &&
-        shard.map.count(key) == 0) {
-        // Evict an arbitrary resident entry; the workload is dominated by
-        // re-queries of recent shapes, so any O(1) policy is adequate.
-        shard.map.erase(shard.map.begin());
-        ++shard.evictions;
+    auto it = shard.map.find(std::string_view(key));
+    if (it != shard.map.end()) {
+        // Deterministic queries cannot change their verdict; just touch.
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return 0;
     }
-    shard.map.emplace(key, result);
+    shard.lru.emplace_front(key, result);
+    shard.map.emplace(std::string_view(shard.lru.front().first),
+                      shard.lru.begin());
+    shard.bytes += entryBytes(key);
+
+    // Evict cold entries until both bounds hold again, always keeping
+    // the entry just inserted.
+    size_t evicted = 0;
+    while (shard.lru.size() > 1 &&
+           ((maxPerShard_ > 0 && shard.lru.size() > maxPerShard_) ||
+            (maxBytesPerShard_ > 0 &&
+             shard.bytes > maxBytesPerShard_))) {
+        const auto &victim = shard.lru.back();
+        shard.bytes -= entryBytes(victim.first);
+        shard.map.erase(std::string_view(victim.first));
+        shard.lru.pop_back();
+        ++shard.evictions;
+        ++evicted;
+    }
+    return evicted;
 }
 
 void
@@ -238,6 +262,7 @@ QueryCache::stats() const
         stats.misses += shard.misses;
         stats.evictions += shard.evictions;
         stats.entries += shard.map.size();
+        stats.bytes += shard.bytes;
     }
     std::unique_lock<std::mutex> lock(modelMutex_);
     stats.modelHits = modelHits_;
@@ -250,6 +275,8 @@ QueryCache::clear()
     for (Shard &shard : shards_) {
         std::unique_lock<std::mutex> lock(shard.mutex);
         shard.map.clear();
+        shard.lru.clear();
+        shard.bytes = 0;
         shard.hits = 0;
         shard.misses = 0;
         shard.evictions = 0;
@@ -493,7 +520,7 @@ CachingSolver::checkSat(const std::vector<Term> &assertions)
         ++stats_.cacheHits;
         ++stats_.sat;
         cache_->noteModelHit();
-        cache_->insert(key, *reused);
+        stats_.cacheEvictions += cache_->insert(key, *reused);
         return *reused;
     }
     ++stats_.cacheMisses;
@@ -527,7 +554,7 @@ CachingSolver::checkSat(const std::vector<Term> &assertions)
         }
     }
     if (result != SatResult::Unknown)
-        cache_->insert(key, result);
+        stats_.cacheEvictions += cache_->insert(key, result);
     countVerdict(result);
     return result;
 }
@@ -536,6 +563,30 @@ void
 CachingSolver::setTimeoutMs(unsigned timeout_ms)
 {
     backend_.setTimeoutMs(timeout_ms);
+}
+
+void
+CachingSolver::setMemoryBudgetMb(unsigned budget_mb)
+{
+    backend_.setMemoryBudgetMb(budget_mb);
+}
+
+void
+CachingSolver::interruptQuery()
+{
+    backend_.interruptQuery();
+}
+
+std::string
+CachingSolver::lastUnknownReason() const
+{
+    return backend_.lastUnknownReason();
+}
+
+FailureKind
+CachingSolver::lastFailureKind() const
+{
+    return backend_.lastFailureKind();
 }
 
 } // namespace keq::smt

@@ -26,10 +26,12 @@
 
 #include <array>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -49,6 +51,7 @@ struct CacheStats
     uint64_t modelHits = 0; ///< misses answered Sat by a reused model
     uint64_t evictions = 0;
     uint64_t entries = 0;
+    uint64_t bytes = 0;     ///< accounted size of resident entries
 
     /** Fraction of lookups that avoided the backend entirely. */
     double
@@ -75,17 +78,36 @@ struct CacheStats
  * Sharded by key hash: concurrent workers contend only when they touch
  * the same shard, and each shard holds its mutex just for one map
  * operation — the solver call itself never runs under a lock.
+ *
+ * Eviction is least-recently-used per shard, bounded both by an entry
+ * count and by an accounted byte budget (keys dominate the footprint;
+ * each entry is charged its key size plus a fixed node overhead), so a
+ * week-long campaign cannot grow the cache without bound. The
+ * most-recently-inserted entry is never evicted, so even a query whose
+ * key alone exceeds the budget still caches once.
  */
 class QueryCache
 {
   public:
-    /** @param max_entries_per_shard Eviction threshold (0 = unlimited). */
-    explicit QueryCache(size_t max_entries_per_shard = 1 << 16);
+    /** Default byte budget (~512 MB); --solver-cache-mb overrides. */
+    static constexpr size_t kDefaultMaxBytes = size_t(512) << 20;
+    /** Per-entry bookkeeping charge on top of the key bytes. */
+    static constexpr size_t kEntryOverheadBytes = 128;
+
+    /**
+     * @param max_entries_per_shard Entry-count threshold (0 = none).
+     * @param max_bytes Byte budget across all shards (0 = none).
+     */
+    explicit QueryCache(size_t max_entries_per_shard = 1 << 16,
+                        size_t max_bytes = kDefaultMaxBytes);
 
     std::optional<SatResult> lookup(const std::string &key);
 
-    /** Stores a definitive verdict; Unknown is ignored by contract. */
-    void insert(const std::string &key, SatResult result);
+    /**
+     * Stores a definitive verdict; Unknown is ignored by contract.
+     * @return Number of LRU entries evicted to make room.
+     */
+    size_t insert(const std::string &key, SatResult result);
 
     /**
      * Model pool for Sat-by-evaluation reuse: retains the most recent
@@ -109,15 +131,28 @@ class QueryCache
     struct Shard
     {
         mutable std::mutex mutex;
-        std::unordered_map<std::string, SatResult> map;
+        /** LRU order, front = most recently used; owns the keys. */
+        std::list<std::pair<std::string, SatResult>> lru;
+        /** Views into lru's keys; list nodes never move. */
+        std::unordered_map<std::string_view,
+                           std::list<std::pair<std::string,
+                                               SatResult>>::iterator>
+            map;
+        uint64_t bytes = 0;
         uint64_t hits = 0;
         uint64_t misses = 0;
         uint64_t evictions = 0;
     };
 
+    static size_t entryBytes(const std::string &key)
+    {
+        return key.size() + kEntryOverheadBytes;
+    }
+
     Shard &shardFor(const std::string &key);
 
     size_t maxPerShard_;
+    size_t maxBytesPerShard_;
     std::array<Shard, kShards> shards_;
 
     mutable std::mutex modelMutex_;
@@ -194,6 +229,10 @@ class CachingSolver : public Solver
 
     SatResult checkSat(const std::vector<Term> &assertions) override;
     void setTimeoutMs(unsigned timeout_ms) override;
+    void setMemoryBudgetMb(unsigned budget_mb) override;
+    void interruptQuery() override;
+    std::string lastUnknownReason() const override;
+    FailureKind lastFailureKind() const override;
     const SolverStats &stats() const override { return stats_; }
 
     const std::shared_ptr<QueryCache> &

@@ -1,0 +1,145 @@
+#ifndef KEQ_SMT_GUARDED_SOLVER_H
+#define KEQ_SMT_GUARDED_SOLVER_H
+
+/**
+ * @file
+ * Fault-tolerant solver front: watchdog + retry/escalation ladder.
+ *
+ * Real ISel corpora wedge solvers (paper Section 6): Z3's soft timeout
+ * is best-effort and a pathological query can ignore it for minutes,
+ * a z3::exception kills the whole function validation, and a transient
+ * Unknown from the incremental backend wastes a verdict the cold solver
+ * could have produced. The GuardedSolver makes every query terminate
+ * with a *classified* outcome:
+ *
+ *  - **Watchdog.** Each attempt runs under a hard wall-clock deadline
+ *    enforced by a dedicated thread that fires the backend's
+ *    interruptQuery() (Z3_interrupt) when the deadline or a cooperative
+ *    cancellation token trips — and keeps re-firing until the attempt
+ *    returns, because the incremental backend's internal Unknown
+ *    fallback re-enters Z3 after the first interrupt.
+ *
+ *  - **Escalation ladder.** On a failed attempt (Unknown or crash) the
+ *    query is retried a bounded number of times per rung with jittered
+ *    backoff, then escalated to the next rung: typically
+ *    incremental+cache -> fresh cold solver -> pristine unoptimized
+ *    solver. Rungs are built lazily from caller-supplied factories, so
+ *    a healthy run never pays for them. The last rung is conventionally
+ *    pristine (no fault injection, no optimization) which is what makes
+ *    chaos runs converge to the clean run's verdicts.
+ *
+ *  - **Classified failure.** When the ladder is exhausted the query
+ *    returns Unknown and lastFailureKind() says why (Timeout,
+ *    MemoryBudget, SolverUnknown, SolverCrash, Cancelled) — crashes are
+ *    absorbed, never propagated, so one wedged query costs one verdict,
+ *    not a worker.
+ *
+ * Stats contract: `queries` counts logical checkSat calls and
+ * sat/unsat/unknown count final outcomes — identical whether zero or
+ * fifty retries happened, so canonical summaries stay byte-identical
+ * under injected faults. All recovery work lands in the dedicated
+ * counters (watchdogInterrupts, guardedRetries, guardedEscalations,
+ * escalatedResolved, solverCrashes) and rung work (cache hits,
+ * incremental reuse, faultsInjected...) is folded in via
+ * foldNonVerdictStats.
+ */
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/smt/solver.h"
+#include "src/support/cancellation.h"
+
+namespace keq::smt {
+
+/** Tuning for GuardedSolver; defaults keep the guard nearly invisible. */
+struct GuardedSolverOptions
+{
+    /** Hard per-attempt wall deadline in ms; 0 = no watchdog deadline
+     *  (the watchdog still polls the cancellation token if set). */
+    unsigned deadlineMs = 0;
+    /** Extra attempts on the same rung after the first fails. */
+    unsigned retries = 1;
+    /** Base backoff before a retry/escalation attempt; 0 disables. */
+    unsigned backoffBaseMs = 5;
+    /** Seed for backoff jitter (timing only, never verdicts). */
+    uint64_t jitterSeed = 0x6a77;
+    /** Cooperative cancellation; polled by the watchdog mid-query. */
+    support::CancellationToken cancel;
+};
+
+/** Watchdogged escalation ladder over a primary solver + fallbacks. */
+class GuardedSolver : public Solver
+{
+  public:
+    /** Builds one fallback rung on first use. */
+    using RungFactory = std::function<std::unique_ptr<Solver>()>;
+
+    /**
+     * @param factory Factory owning the terms.
+     * @param primary Rung 0; must outlive this object.
+     * @param fallbacks Lazily-instantiated rungs 1..n, cheapest first;
+     *                  each inherits the current timeout/memory/model
+     *                  settings when built.
+     */
+    GuardedSolver(TermFactory &factory, Solver &primary,
+                  std::vector<RungFactory> fallbacks,
+                  GuardedSolverOptions options);
+    ~GuardedSolver() override;
+
+    SatResult checkSat(const std::vector<Term> &assertions) override;
+    void setTimeoutMs(unsigned timeout_ms) override;
+    void setMemoryBudgetMb(unsigned budget_mb) override;
+    void interruptQuery() override;
+    void enableModelCapture(bool enabled) override;
+    bool lastModel(Assignment *out) const override;
+    std::string lastUnknownReason() const override;
+    FailureKind lastFailureKind() const override;
+    const SolverStats &stats() const override { return stats_; }
+
+  protected:
+    TermFactory &factory() override { return factory_; }
+
+  private:
+    Solver *rungSolver(size_t rung);
+    void ensureWatchdog();
+    void armWatchdog(Solver *target);
+    /** @return true when the watchdog fired during this attempt. */
+    bool disarmWatchdog();
+    void watchdogLoop();
+
+    TermFactory &factory_;
+    Solver &primary_;
+    std::vector<RungFactory> rungFactories_;
+    std::vector<std::unique_ptr<Solver>> rungs_; // lazily built
+    GuardedSolverOptions options_;
+    SolverStats stats_;
+
+    unsigned timeoutMs_ = 0;
+    unsigned memoryBudgetMb_ = 0;
+    bool captureModels_ = false;
+    Solver *lastAnswering_ = nullptr;
+    std::string lastUnknownReason_;
+    FailureKind lastFailure_ = FailureKind::None;
+
+    // Watchdog state; every field below is guarded by watchMutex_.
+    std::thread watchdog_;
+    std::mutex watchMutex_;
+    std::condition_variable watchCv_;
+    Solver *watchTarget_ = nullptr;
+    std::chrono::steady_clock::time_point watchDeadline_;
+    bool watchHasDeadline_ = false;
+    bool watchArmed_ = false;
+    bool watchFired_ = false;
+    bool watchShutdown_ = false;
+    uint64_t watchGeneration_ = 0;
+};
+
+} // namespace keq::smt
+
+#endif // KEQ_SMT_GUARDED_SOLVER_H

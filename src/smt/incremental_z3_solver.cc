@@ -27,17 +27,22 @@ struct IncrementalZ3Solver::Impl
     z3::solver solver{ctx, "QF_AUFBV"};
     /** Assertions currently on the scope stack, one scope each. */
     std::vector<Term> scopes;
-    /** Timeout currently applied to `solver`; tracks setTimeoutMs. */
+    /** Limits currently applied to `solver`; track the setters. */
     unsigned appliedTimeoutMs = 0;
+    unsigned appliedMemoryMb = 0;
+    bool limitsApplied = false;
 
     void
-    applyTimeout(z3::solver &target, unsigned timeout_ms)
+    applyLimits(z3::solver &target, unsigned timeout_ms,
+                unsigned memory_mb)
     {
         z3::params params(ctx);
-        // Z3's own "no limit" sentinel; lets a nonzero timeout be
+        // Z3's own "no limit" sentinel; lets a nonzero limit be
         // cleared again without recreating the solver.
         params.set("timeout",
                    timeout_ms == 0 ? 4294967295u : timeout_ms);
+        params.set("max_memory",
+                   memory_mb == 0 ? 4294967295u : memory_mb);
         target.set(params);
     }
 
@@ -48,6 +53,8 @@ struct IncrementalZ3Solver::Impl
         solver = z3::solver(ctx);
         scopes.clear();
         appliedTimeoutMs = 0;
+        appliedMemoryMb = 0;
+        limitsApplied = false;
     }
 };
 
@@ -72,14 +79,31 @@ IncrementalZ3Solver::setTimeoutMs(unsigned timeout_ms)
     timeoutMs_ = timeout_ms;
 }
 
+void
+IncrementalZ3Solver::setMemoryBudgetMb(unsigned budget_mb)
+{
+    memoryBudgetMb_ = budget_mb;
+}
+
+void
+IncrementalZ3Solver::interruptQuery()
+{
+    impl_->ctx.interrupt();
+}
+
 SatResult
 IncrementalZ3Solver::checkSat(const std::vector<Term> &assertions)
 {
     support::Stopwatch watch;
+    lastUnknownReason_.clear();
+    lastFailure_ = FailureKind::None;
     Impl &impl = *impl_;
-    if (impl.appliedTimeoutMs != timeoutMs_) {
-        impl.applyTimeout(impl.solver, timeoutMs_);
+    if (!impl.limitsApplied || impl.appliedTimeoutMs != timeoutMs_ ||
+        impl.appliedMemoryMb != memoryBudgetMb_) {
+        impl.applyLimits(impl.solver, timeoutMs_, memoryBudgetMb_);
         impl.appliedTimeoutMs = timeoutMs_;
+        impl.appliedMemoryMb = memoryBudgetMb_;
+        impl.limitsApplied = true;
     }
 
     // Rewind to the longest prefix shared with the previous query, then
@@ -89,63 +113,81 @@ IncrementalZ3Solver::checkSat(const std::vector<Term> &assertions)
     // preprocessing stays enabled, which matters more than the lemmas an
     // assumption-based encoding would additionally retain.
     size_t prefix = 0;
-    while (prefix < impl.scopes.size() && prefix < assertions.size() &&
-           impl.scopes[prefix].id() == assertions[prefix].id()) {
-        ++prefix;
-    }
-    if (impl.scopes.size() > prefix) {
-        impl.solver.pop(
-            static_cast<unsigned>(impl.scopes.size() - prefix));
-        impl.scopes.resize(prefix);
-    }
-    for (size_t i = prefix; i < assertions.size(); ++i) {
-        KEQ_ASSERT(assertions[i].sort().isBool(),
-                   "checkSat: non-bool assertion");
-        impl.solver.push();
-        impl.solver.add(impl.lowering.lower(assertions[i]));
-        impl.scopes.push_back(assertions[i]);
-    }
-
-    support::Stopwatch check_watch;
-    z3::check_result z3_result = impl.solver.check();
-    if (std::getenv("KEQ_INC_DEBUG") != nullptr)
-        std::fprintf(stderr, "inc n=%zu prefix=%zu t=%.4f\n",
-                     assertions.size(), prefix,
-                     check_watch.seconds());
-
-    stats_.incrementalReused += prefix;
-    if (prefix > 0)
-        ++stats_.incrementalSolves;
-    else
-        ++stats_.coldSolves;
-
+    z3::check_result z3_result = z3::unknown;
     std::optional<z3::model> model;
-    if (z3_result == z3::sat && captureModels_) {
-        try {
-            model.emplace(impl.solver.get_model());
-        } catch (const z3::exception &) {
+    try {
+        while (prefix < impl.scopes.size() &&
+               prefix < assertions.size() &&
+               impl.scopes[prefix].id() == assertions[prefix].id()) {
+            ++prefix;
         }
-    }
+        if (impl.scopes.size() > prefix) {
+            impl.solver.pop(
+                static_cast<unsigned>(impl.scopes.size() - prefix));
+            impl.scopes.resize(prefix);
+        }
+        for (size_t i = prefix; i < assertions.size(); ++i) {
+            KEQ_ASSERT(assertions[i].sort().isBool(),
+                       "checkSat: non-bool assertion");
+            impl.solver.push();
+            impl.solver.add(impl.lowering.lower(assertions[i]));
+            impl.scopes.push_back(assertions[i]);
+        }
 
-    if (z3_result == z3::unknown) {
-        // Soundness guardrail: never report an Unknown that a cold
-        // solver would have answered. Retry fresh, then rebuild the
-        // persistent solver — its state may be poisoned.
-        ++stats_.incrementalFallbacks;
-        z3::solver fallback(impl.ctx);
-        if (timeoutMs_ > 0)
-            impl.applyTimeout(fallback, timeoutMs_);
-        for (const Term &assertion : assertions)
-            fallback.add(impl.lowering.lower(assertion));
-        z3_result = fallback.check();
+        support::Stopwatch check_watch;
+        z3_result = impl.solver.check();
+        if (std::getenv("KEQ_INC_DEBUG") != nullptr)
+            std::fprintf(stderr, "inc n=%zu prefix=%zu t=%.4f\n",
+                         assertions.size(), prefix,
+                         check_watch.seconds());
+
+        stats_.incrementalReused += prefix;
+        if (prefix > 0)
+            ++stats_.incrementalSolves;
+        else
+            ++stats_.coldSolves;
+
         if (z3_result == z3::sat && captureModels_) {
             try {
-                model.emplace(fallback.get_model());
+                model.emplace(impl.solver.get_model());
             } catch (const z3::exception &) {
             }
         }
+
+        if (z3_result == z3::unknown) {
+            // Soundness guardrail: never report an Unknown that a cold
+            // solver would have answered. Retry fresh, then rebuild the
+            // persistent solver — its state may be poisoned. (After a
+            // watchdog interrupt this fallback check re-enters Z3; the
+            // watchdog re-interrupts until we return.)
+            ++stats_.incrementalFallbacks;
+            z3::solver fallback(impl.ctx);
+            impl.applyLimits(fallback, timeoutMs_, memoryBudgetMb_);
+            for (const Term &assertion : assertions)
+                fallback.add(impl.lowering.lower(assertion));
+            z3_result = fallback.check();
+            if (z3_result == z3::unknown)
+                lastUnknownReason_ = fallback.reason_unknown();
+            if (z3_result == z3::sat && captureModels_) {
+                try {
+                    model.emplace(fallback.get_model());
+                } catch (const z3::exception &) {
+                }
+            }
+            impl.reset();
+        }
+    } catch (const z3::exception &error) {
+        // The scope stack may hold a half-pushed assertion; rebuild
+        // before anyone reuses this solver.
         impl.reset();
+        std::string what = error.msg();
+        lastFailure_ = what.find("memory") != std::string::npos
+                           ? FailureKind::MemoryBudget
+                           : FailureKind::SolverCrash;
+        throw SolverCrashError("z3(incremental): " + what);
     }
+    if (z3_result == z3::unknown)
+        lastFailure_ = classifyUnknownReason(lastUnknownReason_);
 
     ++stats_.queries;
     stats_.totalSeconds += watch.seconds();

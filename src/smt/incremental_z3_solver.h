@@ -43,6 +43,24 @@ class IncrementalZ3Solver : public Solver
 
     SatResult checkSat(const std::vector<Term> &assertions) override;
     void setTimeoutMs(unsigned timeout_ms) override;
+    void setMemoryBudgetMb(unsigned budget_mb) override;
+
+    /**
+     * Fires Z3_interrupt on the owning context; safe from another
+     * thread. Note the Unknown guardrail below *re-enters* Z3 on a
+     * fresh fallback solver after an interrupted check — a watchdog
+     * that wants the whole call abandoned must keep re-interrupting
+     * until checkSat returns (GuardedSolver's does).
+     */
+    void interruptQuery() override;
+
+    std::string lastUnknownReason() const override
+    {
+        return lastUnknownReason_;
+    }
+
+    FailureKind lastFailureKind() const override { return lastFailure_; }
+
     const SolverStats &stats() const override { return stats_; }
 
     void enableModelCapture(bool enabled) override
@@ -61,8 +79,11 @@ class IncrementalZ3Solver : public Solver
     std::unique_ptr<Impl> impl_;
     SolverStats stats_;
     unsigned timeoutMs_ = 0;
+    unsigned memoryBudgetMb_ = 0;
     bool captureModels_ = false;
     std::optional<Assignment> lastModel_;
+    std::string lastUnknownReason_;
+    FailureKind lastFailure_ = FailureKind::None;
 };
 
 } // namespace keq::smt

@@ -23,6 +23,12 @@ SolverStats::operator+=(const SolverStats &rhs)
     incrementalSolves += rhs.incrementalSolves;
     incrementalFallbacks += rhs.incrementalFallbacks;
     coldSolves += rhs.coldSolves;
+    watchdogInterrupts += rhs.watchdogInterrupts;
+    guardedRetries += rhs.guardedRetries;
+    guardedEscalations += rhs.guardedEscalations;
+    escalatedResolved += rhs.escalatedResolved;
+    solverCrashes += rhs.solverCrashes;
+    faultsInjected += rhs.faultsInjected;
     return *this;
 }
 
@@ -48,6 +54,13 @@ SolverStats::operator-(const SolverStats &rhs) const
     delta.incrementalFallbacks =
         incrementalFallbacks - rhs.incrementalFallbacks;
     delta.coldSolves = coldSolves - rhs.coldSolves;
+    delta.watchdogInterrupts = watchdogInterrupts - rhs.watchdogInterrupts;
+    delta.guardedRetries = guardedRetries - rhs.guardedRetries;
+    delta.guardedEscalations =
+        guardedEscalations - rhs.guardedEscalations;
+    delta.escalatedResolved = escalatedResolved - rhs.escalatedResolved;
+    delta.solverCrashes = solverCrashes - rhs.solverCrashes;
+    delta.faultsInjected = faultsInjected - rhs.faultsInjected;
     return delta;
 }
 
@@ -60,6 +73,45 @@ satResultName(SatResult result)
       case SatResult::Unknown: return "unknown";
     }
     return "?";
+}
+
+void
+foldNonVerdictStats(SolverStats &into, const SolverStats &delta)
+{
+    into.totalSeconds += delta.totalSeconds;
+    into.cacheHits += delta.cacheHits;
+    into.cacheMisses += delta.cacheMisses;
+    into.cacheEvictions += delta.cacheEvictions;
+    into.rewriteResolved += delta.rewriteResolved;
+    into.rewriteApplications += delta.rewriteApplications;
+    into.sliceResolved += delta.sliceResolved;
+    into.slicedAssertions += delta.slicedAssertions;
+    into.incrementalReused += delta.incrementalReused;
+    into.incrementalSolves += delta.incrementalSolves;
+    into.incrementalFallbacks += delta.incrementalFallbacks;
+    into.coldSolves += delta.coldSolves;
+    into.watchdogInterrupts += delta.watchdogInterrupts;
+    into.guardedRetries += delta.guardedRetries;
+    into.guardedEscalations += delta.guardedEscalations;
+    into.escalatedResolved += delta.escalatedResolved;
+    into.solverCrashes += delta.solverCrashes;
+    into.faultsInjected += delta.faultsInjected;
+}
+
+FailureKind
+classifyUnknownReason(const std::string &reason)
+{
+    // Z3 spells these "timeout", "canceled" (after Z3_interrupt), and
+    // "max. memory exceeded"; substring matching keeps us robust across
+    // versions and alternate backends.
+    if (reason.find("timeout") != std::string::npos)
+        return FailureKind::Timeout;
+    if (reason.find("cancel") != std::string::npos ||
+        reason.find("interrupt") != std::string::npos)
+        return FailureKind::Timeout;
+    if (reason.find("memory") != std::string::npos)
+        return FailureKind::MemoryBudget;
+    return FailureKind::SolverUnknown;
 }
 
 bool

@@ -12,9 +12,12 @@
  */
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "src/smt/term.h"
+#include "src/support/failure.h"
 
 namespace keq::smt {
 
@@ -53,12 +56,56 @@ struct SolverStats
     uint64_t incrementalFallbacks = 0; ///< Unknown -> fresh-solver retries
     uint64_t coldSolves = 0;      ///< backend checks with no reused prefix
 
+    // Fault-tolerance counters (GuardedSolver / FaultInjectingSolver).
+    // These count *recovery work*, never logical queries: the verdict
+    // counters above stay byte-identical whether or not faults occurred,
+    // which is what lets the chaos suite diff canonical summaries.
+    uint64_t watchdogInterrupts = 0; ///< deadline/cancel interrupts fired
+    uint64_t guardedRetries = 0;     ///< same-rung retry attempts
+    uint64_t guardedEscalations = 0; ///< moves to the next ladder rung
+    uint64_t escalatedResolved = 0;  ///< queries decided by a fallback rung
+    uint64_t solverCrashes = 0;      ///< backend exceptions absorbed
+    uint64_t faultsInjected = 0;     ///< faults the injection harness fired
+
     SolverStats &operator+=(const SolverStats &rhs);
     /** Field-wise difference; used to attribute counters to one check. */
     SolverStats operator-(const SolverStats &rhs) const;
 };
 
+/**
+ * Adds every field of @p delta to @p into EXCEPT the logical-query
+ * counters (queries, sat, unsat, unknown). Decorators that retry or
+ * escalate (GuardedSolver, FaultInjectingSolver) count one logical query
+ * per checkSat call themselves, but must still surface the work their
+ * rungs performed — cache traffic, incremental reuse, injected faults,
+ * backend seconds — without inflating the query/verdict counts that the
+ * canonical (byte-identical) summaries are built from.
+ */
+void foldNonVerdictStats(SolverStats &into, const SolverStats &delta);
+
 class Assignment; // evaluator.h
+
+/**
+ * Thrown when a backend solver fails abnormally (a z3::exception or an
+ * injected crash) rather than answering Unknown. The GuardedSolver
+ * absorbs these while ladder rungs remain; only an exhausted ladder
+ * lets one escape to the checker, which classifies it
+ * FailureKind::SolverCrash.
+ */
+class SolverCrashError : public std::runtime_error
+{
+  public:
+    explicit SolverCrashError(const std::string &message)
+        : std::runtime_error(message)
+    {}
+};
+
+/**
+ * Maps a backend's reason_unknown() string onto the taxonomy. Z3 reports
+ * "timeout"/"canceled"/"max. memory exceeded" style reasons; anything
+ * unrecognized is an honest SolverUnknown (incompleteness).
+ */
+FailureKind classifyUnknownReason(const std::string &reason);
 
 /** Abstract satisfiability oracle. */
 class Solver
@@ -100,6 +147,42 @@ class Solver
 
     /** Per-query timeout; 0 means no limit. */
     virtual void setTimeoutMs(unsigned timeout_ms) = 0;
+
+    /**
+     * Soft per-query memory budget in MB; 0 means no limit. Backends
+     * that cannot enforce one may ignore it.
+     */
+    virtual void setMemoryBudgetMb(unsigned budget_mb)
+    {
+        (void)budget_mb;
+    }
+
+    /**
+     * Asks the backend to abandon the in-flight checkSat as soon as
+     * possible (the interrupted query returns Unknown). Must be safe to
+     * call from another thread — this is the watchdog's lever. Decorators
+     * forward to their backend; the default is a no-op for backends with
+     * nothing to interrupt.
+     */
+    virtual void interruptQuery() {}
+
+    /**
+     * Backend's explanation of the most recent Unknown answer (e.g.
+     * Z3's reason_unknown()); empty when unavailable or the last answer
+     * was definite.
+     */
+    virtual std::string lastUnknownReason() const { return {}; }
+
+    /**
+     * Taxonomy classification of the most recent checkSat: None for a
+     * definite answer, otherwise why the query failed. Decorators that
+     * retry/escalate (GuardedSolver) report the classification of the
+     * final attempt.
+     */
+    virtual FailureKind lastFailureKind() const
+    {
+        return FailureKind::None;
+    }
 
     virtual const SolverStats &stats() const = 0;
 

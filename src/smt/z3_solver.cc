@@ -38,22 +38,55 @@ Z3Solver::setTimeoutMs(unsigned timeout_ms)
     timeoutMs_ = timeout_ms;
 }
 
+void
+Z3Solver::setMemoryBudgetMb(unsigned budget_mb)
+{
+    memoryBudgetMb_ = budget_mb;
+}
+
+void
+Z3Solver::interruptQuery()
+{
+    impl_->ctx.interrupt();
+}
+
 SatResult
 Z3Solver::checkSat(const std::vector<Term> &assertions)
 {
     support::Stopwatch watch;
+    lastUnknownReason_.clear();
+    lastFailure_ = FailureKind::None;
     z3::solver solver(impl_->ctx);
-    if (timeoutMs_ > 0) {
+    if (timeoutMs_ > 0 || memoryBudgetMb_ > 0) {
         z3::params params(impl_->ctx);
-        params.set("timeout", timeoutMs_);
+        if (timeoutMs_ > 0)
+            params.set("timeout", timeoutMs_);
+        if (memoryBudgetMb_ > 0)
+            params.set("max_memory", memoryBudgetMb_);
         solver.set(params);
     }
-    for (const Term &assertion : assertions) {
-        KEQ_ASSERT(assertion.sort().isBool(),
-                   "checkSat: non-bool assertion");
-        solver.add(impl_->lowering.lower(assertion));
+    z3::check_result z3_result = z3::unknown;
+    try {
+        for (const Term &assertion : assertions) {
+            KEQ_ASSERT(assertion.sort().isBool(),
+                       "checkSat: non-bool assertion");
+            solver.add(impl_->lowering.lower(assertion));
+        }
+        z3_result = solver.check();
+        if (z3_result == z3::unknown) {
+            lastUnknownReason_ = solver.reason_unknown();
+            lastFailure_ = classifyUnknownReason(lastUnknownReason_);
+        }
+    } catch (const z3::exception &error) {
+        // An abnormal backend failure is a crash, not a verdict; the
+        // GuardedSolver ladder absorbs it. Memory exhaustion surfaces
+        // as an allocation exception with some Z3 configurations.
+        std::string what = error.msg();
+        lastFailure_ = what.find("memory") != std::string::npos
+                           ? FailureKind::MemoryBudget
+                           : FailureKind::SolverCrash;
+        throw SolverCrashError("z3: " + what);
     }
-    z3::check_result z3_result = solver.check();
 
     ++stats_.queries;
     double seconds = watch.seconds();

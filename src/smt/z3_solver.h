@@ -29,6 +29,22 @@ class Z3Solver : public Solver
 
     SatResult checkSat(const std::vector<Term> &assertions) override;
     void setTimeoutMs(unsigned timeout_ms) override;
+    void setMemoryBudgetMb(unsigned budget_mb) override;
+
+    /**
+     * Fires Z3_interrupt on the owning context; safe from another
+     * thread (the watchdog). The in-flight check returns Unknown with
+     * reason "canceled".
+     */
+    void interruptQuery() override;
+
+    std::string lastUnknownReason() const override
+    {
+        return lastUnknownReason_;
+    }
+
+    FailureKind lastFailureKind() const override { return lastFailure_; }
+
     const SolverStats &stats() const override { return stats_; }
 
     void enableModelCapture(bool enabled) override
@@ -52,8 +68,11 @@ class Z3Solver : public Solver
     std::unique_ptr<Impl> impl_;
     SolverStats stats_;
     unsigned timeoutMs_ = 0;
+    unsigned memoryBudgetMb_ = 0;
     bool captureModels_ = false;
     std::optional<Assignment> lastModel_;
+    std::string lastUnknownReason_;
+    FailureKind lastFailure_ = FailureKind::None;
 };
 
 } // namespace keq::smt

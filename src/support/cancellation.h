@@ -1,0 +1,60 @@
+#ifndef KEQ_SUPPORT_CANCELLATION_H
+#define KEQ_SUPPORT_CANCELLATION_H
+
+/**
+ * @file
+ * Cooperative cancellation token for long-running validation work.
+ *
+ * A copyable handle onto one shared flag. The producer (keqc's SIGINT
+ * handler, a test harness, the fuzz driver's --max-seconds cap) calls
+ * cancel(); consumers (the checker's budget polls, the guarded solver's
+ * watchdog, pipeline loops) poll cancelled() at natural yield points and
+ * wind down with FailureKind::Cancelled. Copies alias the same flag, so
+ * one token can fan out across every worker of a pipeline run.
+ *
+ * A default-constructed token is *null*: cancelled() is always false and
+ * cancel() is a no-op, so call sites need no "is there a token?" guard.
+ */
+
+#include <atomic>
+#include <memory>
+
+namespace keq::support {
+
+/** Copyable, thread-safe, possibly-null cancellation handle. */
+class CancellationToken
+{
+  public:
+    /** Null token: never cancelled. */
+    CancellationToken() = default;
+
+    /** Live token backed by a fresh flag. */
+    static CancellationToken create()
+    {
+        CancellationToken token;
+        token.flag_ = std::make_shared<std::atomic<bool>>(false);
+        return token;
+    }
+
+    /** Sets the flag; safe from any thread and from signal-ish contexts. */
+    void cancel() const
+    {
+        if (flag_)
+            flag_->store(true, std::memory_order_relaxed);
+    }
+
+    bool cancelled() const
+    {
+        return flag_ && flag_->load(std::memory_order_relaxed);
+    }
+
+    /** True when this token can ever report cancellation. */
+    bool valid() const { return flag_ != nullptr; }
+
+  private:
+    std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+} // namespace keq::support
+
+#endif // KEQ_SUPPORT_CANCELLATION_H

@@ -1,0 +1,47 @@
+#include "src/support/failure.h"
+
+#include <cstring>
+
+#include "src/support/diagnostics.h"
+
+namespace keq {
+
+const char *
+failureKindName(FailureKind kind)
+{
+    switch (kind) {
+    case FailureKind::None:
+        return "none";
+    case FailureKind::Timeout:
+        return "timeout";
+    case FailureKind::MemoryBudget:
+        return "memory-budget";
+    case FailureKind::SolverUnknown:
+        return "solver-unknown";
+    case FailureKind::SolverCrash:
+        return "solver-crash";
+    case FailureKind::Cancelled:
+        return "cancelled";
+    }
+    KEQ_ASSERT(false, "bad FailureKind");
+    return "?";
+}
+
+bool
+failureKindFromName(const char *name, FailureKind &out)
+{
+    static constexpr FailureKind kAll[] = {
+        FailureKind::None,          FailureKind::Timeout,
+        FailureKind::MemoryBudget,  FailureKind::SolverUnknown,
+        FailureKind::SolverCrash,   FailureKind::Cancelled,
+    };
+    for (FailureKind kind : kAll) {
+        if (std::strcmp(name, failureKindName(kind)) == 0) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace keq

@@ -1,0 +1,167 @@
+#include "src/support/journal.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/support/diagnostics.h"
+
+namespace keq::support {
+
+uint64_t
+fnv1a64(const std::string &bytes)
+{
+    uint64_t hash = 1469598103934665603ull;
+    for (unsigned char c : bytes) {
+        hash ^= c;
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+std::string
+escapeLine(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+bool
+unescapeLine(const std::string &line, std::string &out)
+{
+    out.clear();
+    out.reserve(line.size());
+    for (size_t i = 0; i < line.size(); ++i) {
+        char c = line[i];
+        if (c != '\\') {
+            out += c;
+            continue;
+        }
+        if (++i == line.size())
+            return false; // trailing backslash: torn record
+        switch (line[i]) {
+        case '\\':
+            out += '\\';
+            break;
+        case 'n':
+            out += '\n';
+            break;
+        case 't':
+            out += '\t';
+            break;
+        case 'r':
+            out += '\r';
+            break;
+        default:
+            return false;
+        }
+    }
+    return true;
+}
+
+namespace {
+
+std::string
+headerLine(const std::string &kind)
+{
+    return "keq-journal v1 " + kind;
+}
+
+std::string
+checksumHex(uint64_t hash)
+{
+    char buffer[17];
+    std::snprintf(buffer, sizeof buffer, "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buffer;
+}
+
+} // namespace
+
+JournalWriter::JournalWriter(std::string path, std::string kind)
+    : path_(std::move(path)), kind_(std::move(kind))
+{}
+
+void
+JournalWriter::append(const std::string &payload)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    std::ofstream file(path_, std::ios::app);
+    if (!file)
+        fatal("cannot open checkpoint journal for append: " + path_);
+    if (!headerWritten_) {
+        // Only stamp the header when the file is empty — an existing
+        // journal being resumed already carries one.
+        std::ifstream probe(path_, std::ios::ate | std::ios::binary);
+        if (!probe || probe.tellg() == std::streampos(0))
+            file << headerLine(kind_) << "\n";
+        headerWritten_ = true;
+    }
+    file << checksumHex(fnv1a64(payload)) << ' ' << escapeLine(payload)
+         << "\n";
+    file.flush();
+    if (!file)
+        fatal("failed writing checkpoint journal: " + path_);
+}
+
+JournalLoad
+loadJournal(const std::string &path, const std::string &kind)
+{
+    JournalLoad result;
+    std::ifstream file(path);
+    if (!file)
+        return result; // no journal yet: a fresh run
+    std::string line;
+    if (!std::getline(file, line))
+        return result; // empty file (torn before the header)
+    if (line != headerLine(kind)) {
+        result.ok = false;
+        result.error = path + ": not a keq '" + kind +
+                       "' journal (header: '" + line + "')";
+        return result;
+    }
+    while (std::getline(file, line)) {
+        // "<16 hex> <escaped payload>"; the payload may be empty, so
+        // 17 chars (checksum + separator) is already a whole record.
+        bool intact = line.size() >= 17 && line[16] == ' ';
+        std::string payload;
+        uint64_t expected = 0;
+        if (intact) {
+            std::istringstream hex(line.substr(0, 16));
+            hex >> std::hex >> expected;
+            intact = !hex.fail() &&
+                     unescapeLine(line.substr(17), payload) &&
+                     fnv1a64(payload) == expected;
+        }
+        if (!intact) {
+            // Torn or corrupt: drop this record and the untrusted tail.
+            ++result.truncatedRecords;
+            while (std::getline(file, line))
+                ++result.truncatedRecords;
+            break;
+        }
+        result.records.push_back(std::move(payload));
+    }
+    return result;
+}
+
+} // namespace keq::support

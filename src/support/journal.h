@@ -1,0 +1,91 @@
+#ifndef KEQ_SUPPORT_JOURNAL_H
+#define KEQ_SUPPORT_JOURNAL_H
+
+/**
+ * @file
+ * Append-only, crash-tolerant record journal.
+ *
+ * The checkpointing layer (driver::CheckpointJournal, fuzz campaign
+ * resume) needs exactly one durability primitive: append a record so
+ * that a SIGKILL at any instant loses at most the record being written,
+ * never an earlier one. The format is line-oriented text so checkpoints
+ * are inspectable with standard tools:
+ *
+ *     keq-journal v1 <kind>\n          -- header, written once
+ *     <fnv64-hex> <payload>\n          -- one record per line
+ *
+ * Payloads are escaped (backslash, newline, tab, carriage return) so a
+ * record is always exactly one line; the FNV-1a checksum covers the
+ * *unescaped* payload. load() verifies the header and every checksum and
+ * silently drops the first corrupt or torn record and everything after
+ * it — after a crash the tail of the file is untrusted by construction.
+ *
+ * Writers append under a mutex and flush after every record. That is the
+ * strongest guarantee we need: fsync-level durability is overkill for
+ * checkpoint files whose loss merely costs recomputation.
+ */
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace keq::support {
+
+/** FNV-1a 64-bit hash; the journal's per-record checksum. */
+uint64_t fnv1a64(const std::string &bytes);
+
+/** One-line escaping: \\ \n \t \r -> two-character sequences. */
+std::string escapeLine(const std::string &text);
+
+/**
+ * Inverse of escapeLine. Returns false on a malformed escape (truncated
+ * record); @p out is left unspecified.
+ */
+bool unescapeLine(const std::string &line, std::string &out);
+
+/** Append-side handle. Opens lazily on the first append. */
+class JournalWriter
+{
+  public:
+    /**
+     * @param path  File to append to (created if missing).
+     * @param kind  Schema tag written in the header, e.g. "pipeline".
+     */
+    JournalWriter(std::string path, std::string kind);
+
+    /**
+     * Appends one record and flushes. Thread safe. Throws
+     * support::Error when the file cannot be opened or written.
+     */
+    void append(const std::string &payload);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::string kind_;
+    std::mutex mutex_;
+    bool headerWritten_ = false;
+};
+
+/**
+ * Reads every intact record of @p path. Missing file -> empty result
+ * with ok=true (a fresh campaign). Wrong header kind -> ok=false with a
+ * diagnostic in error (resuming against the wrong journal is a user
+ * error, not a torn write). Corrupt/torn records terminate the scan but
+ * keep everything before them; truncatedRecords counts what was dropped.
+ */
+struct JournalLoad
+{
+    bool ok = true;
+    std::string error;
+    std::vector<std::string> records;
+    size_t truncatedRecords = 0;
+};
+
+JournalLoad loadJournal(const std::string &path, const std::string &kind);
+
+} // namespace keq::support
+
+#endif // KEQ_SUPPORT_JOURNAL_H

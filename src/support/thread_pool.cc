@@ -52,6 +52,12 @@ ThreadPool::wait()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     idle_.wait(lock, [this] { return inFlight_ == 0; });
+    if (taskError_) {
+        std::exception_ptr error = taskError_;
+        taskError_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
 }
 
 void
@@ -68,7 +74,16 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        task();
+        try {
+            task();
+        } catch (...) {
+            // A throwing task must fail only its own unit of work — never
+            // std::terminate the process. The first exception (in
+            // completion order) is surfaced to the next wait() caller.
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (!taskError_)
+                taskError_ = std::current_exception();
+        }
         {
             std::unique_lock<std::mutex> lock(mutex_);
             --inFlight_;

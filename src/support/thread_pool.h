@@ -43,12 +43,19 @@ class ThreadPool
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     /**
-     * Enqueues @p task for execution on some worker. Tasks must not
-     * throw; use parallelFor for exception-propagating loops.
+     * Enqueues @p task for execution on some worker. A throwing task
+     * fails only its own unit of work: the worker survives, remaining
+     * tasks still run, and the first exception is rethrown from the
+     * next wait(). parallelFor layers its own first-exception capture
+     * on top for loop bodies.
      */
     void submit(std::function<void()> task);
 
-    /** Blocks until every submitted task has finished. */
+    /**
+     * Blocks until every submitted task has finished. Rethrows the
+     * first exception thrown by a directly-submitted task since the
+     * previous wait(), then clears it.
+     */
     void wait();
 
     unsigned
@@ -69,6 +76,7 @@ class ThreadPool
     std::condition_variable wake_; ///< Signals workers: work or shutdown.
     std::condition_variable idle_; ///< Signals waiters: everything done.
     size_t inFlight_ = 0;          ///< Queued + currently running tasks.
+    std::exception_ptr taskError_; ///< First uncaught task exception.
     bool stopping_ = false;
 };
 

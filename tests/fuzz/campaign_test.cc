@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "src/fuzz/campaign.h"
+#include "src/support/diagnostics.h"
 
 namespace keq::fuzz {
 namespace {
@@ -138,6 +139,34 @@ TEST(FuzzCampaign, ReplayRejectsMetadataFreeArtifacts)
                          options);
     EXPECT_FALSE(replay.reproduced);
     EXPECT_FALSE(replay.detail.empty());
+}
+
+TEST(FuzzCampaign, ReplayOfACorruptArtifactDiagnosesTheField)
+{
+    // A truncated/hand-edited artifact with a garbage counter used to
+    // abort inside std::stoull; it must throw a support::Error naming
+    // the bad field instead.
+    std::string artifact = "; keq-fuzz-repro v1\n"
+                           "; mutation=operand-swap\n"
+                           "; class=completeness\n"
+                           "; seed=1\n"
+                           "; iteration=0\n"
+                           "; mutseed=not-a-number\n"
+                           "; oracleseed=5\n"
+                           "define i32 @swapped(i32 %a, i32 %b) {\n"
+                           "entry:\n"
+                           "  %x = sub i32 %a, %b\n"
+                           "  ret i32 %x\n"
+                           "}\n";
+    CampaignOptions options;
+    try {
+        replayReproducer(artifact, options);
+        FAIL() << "corrupt artifact must throw";
+    } catch (const keq::support::Error &error) {
+        std::string what = error.what();
+        EXPECT_NE(what.find("mutseed"), std::string::npos) << what;
+        EXPECT_NE(what.find("not-a-number"), std::string::npos) << what;
+    }
 }
 
 } // namespace

@@ -341,5 +341,57 @@ TEST(QueryCacheTest, EvictionKeepsShardsBounded)
     EXPECT_EQ(stats.entries + stats.evictions, 256u);
 }
 
+TEST(QueryCacheTest, EvictionIsLeastRecentlyUsed)
+{
+    // A key that is touched before every insert is always the
+    // most-recently-used entry of its shard, so LRU eviction can never
+    // pick it no matter how hard the shard churns. (The old policy
+    // evicted an arbitrary bucket and would drop it eventually.)
+    QueryCache cache(/*max_entries_per_shard=*/4, /*max_bytes=*/0);
+    cache.insert("pinned", SatResult::Sat);
+    for (int i = 0; i < 512; ++i) {
+        ASSERT_TRUE(cache.lookup("pinned").has_value()) << "i=" << i;
+        cache.insert("filler-" + std::to_string(i), SatResult::Unsat);
+    }
+    EXPECT_EQ(cache.lookup("pinned"), SatResult::Sat);
+    EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(QueryCacheTest, ByteBudgetBoundsResidency)
+{
+    constexpr size_t kBudget = 64 << 10; // 64 KiB across 16 shards
+    QueryCache cache(/*max_entries_per_shard=*/0, kBudget);
+    const std::string padding(100, 'x');
+    for (int i = 0; i < 1000; ++i)
+        cache.insert(padding + std::to_string(i), SatResult::Unsat);
+    CacheStats stats = cache.stats();
+    EXPECT_GT(stats.evictions, 0u);
+    EXPECT_LT(stats.entries, 1000u);
+    // Accounted bytes respect the budget (the never-evict-the-newest
+    // rule can overshoot by at most one entry per shard).
+    EXPECT_LE(stats.bytes,
+              kBudget + 16 * (padding.size() + 8 +
+                              QueryCache::kEntryOverheadBytes));
+    EXPECT_EQ(stats.entries + stats.evictions, 1000u);
+}
+
+TEST(QueryCacheTest, BytesTrackInsertionsAndClear)
+{
+    QueryCache cache;
+    EXPECT_EQ(cache.stats().bytes, 0u);
+    cache.insert("abc", SatResult::Sat);
+    EXPECT_EQ(cache.stats().bytes,
+              3 + QueryCache::kEntryOverheadBytes);
+    cache.insert("defgh", SatResult::Unsat);
+    EXPECT_EQ(cache.stats().bytes,
+              3 + 5 + 2 * QueryCache::kEntryOverheadBytes);
+    // Re-inserting an existing key must not double-charge.
+    cache.insert("abc", SatResult::Sat);
+    EXPECT_EQ(cache.stats().bytes,
+              3 + 5 + 2 * QueryCache::kEntryOverheadBytes);
+    cache.clear();
+    EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
 } // namespace
 } // namespace keq::smt

@@ -1,0 +1,143 @@
+/** @file FaultInjectingSolver: fault schedules are pure functions of
+ *  (plan seed, call index), every injected fault carries the matching
+ *  taxonomy classification, and passthrough calls behave exactly like
+ *  the backend. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/smt/fault_injection.h"
+#include "src/smt/term_factory.h"
+#include "src/smt/z3_solver.h"
+
+namespace keq::smt {
+namespace {
+
+struct Harness
+{
+    TermFactory tf;
+    Z3Solver backend{tf};
+    Term satQuery;   ///< x == 5 (satisfiable)
+    Term unsatLeft;  ///< x == 5
+    Term unsatRight; ///< x == 6
+
+    Harness()
+    {
+        Term x = tf.var("x", Sort::bitVec(32));
+        satQuery = tf.mkEq(x, tf.bvConst(32, 5));
+        unsatLeft = satQuery;
+        unsatRight = tf.mkEq(x, tf.bvConst(32, 6));
+    }
+};
+
+TEST(FaultInjectionTest, DisabledPlanIsTransparent)
+{
+    Harness h;
+    FaultPlan plan; // seed 0: no injection regardless of rates
+    plan.unknownPercent = 100;
+    FaultInjectingSolver solver(h.tf, h.backend, plan);
+
+    EXPECT_EQ(solver.checkSat({h.satQuery}), SatResult::Sat);
+    EXPECT_EQ(solver.checkSat({h.unsatLeft, h.unsatRight}),
+              SatResult::Unsat);
+    EXPECT_EQ(solver.stats().faultsInjected, 0u);
+    EXPECT_EQ(solver.stats().queries, 2u);
+    EXPECT_EQ(solver.stats().sat, 1u);
+    EXPECT_EQ(solver.stats().unsat, 1u);
+}
+
+TEST(FaultInjectionTest, CertainFaultsCarryTheirClassification)
+{
+    Harness h;
+
+    FaultPlan unknown;
+    unknown.seed = 7;
+    unknown.unknownPercent = 100;
+    FaultInjectingSolver u(h.tf, h.backend, unknown);
+    EXPECT_EQ(u.checkSat({h.satQuery}), SatResult::Unknown);
+    EXPECT_EQ(u.lastFailureKind(), FailureKind::SolverUnknown);
+    EXPECT_EQ(u.stats().faultsInjected, 1u);
+
+    FaultPlan timeout;
+    timeout.seed = 7;
+    timeout.timeoutPercent = 100;
+    FaultInjectingSolver t(h.tf, h.backend, timeout);
+    EXPECT_EQ(t.checkSat({h.satQuery}), SatResult::Unknown);
+    EXPECT_EQ(t.lastFailureKind(), FailureKind::Timeout);
+
+    FaultPlan memory;
+    memory.seed = 7;
+    memory.memoryPercent = 100;
+    FaultInjectingSolver m(h.tf, h.backend, memory);
+    EXPECT_EQ(m.checkSat({h.satQuery}), SatResult::Unknown);
+    EXPECT_EQ(m.lastFailureKind(), FailureKind::MemoryBudget);
+
+    FaultPlan crash;
+    crash.seed = 7;
+    crash.crashPercent = 100;
+    FaultInjectingSolver c(h.tf, h.backend, crash);
+    EXPECT_THROW(c.checkSat({h.satQuery}), SolverCrashError);
+    EXPECT_EQ(c.stats().faultsInjected, 1u);
+}
+
+TEST(FaultInjectionTest, ScheduleIsDeterministicInSeedAndCallIndex)
+{
+    Harness h;
+    FaultPlan plan;
+    plan.seed = 0xfeed;
+    plan.unknownPercent = 40;
+
+    auto run = [&](FaultPlan p) {
+        FaultInjectingSolver solver(h.tf, h.backend, p);
+        std::vector<SatResult> results;
+        for (int i = 0; i < 32; ++i)
+            results.push_back(solver.checkSat({h.satQuery}));
+        return results;
+    };
+
+    std::vector<SatResult> first = run(plan);
+    std::vector<SatResult> second = run(plan);
+    EXPECT_EQ(first, second) << "same plan -> same schedule";
+
+    bool injected = false, passed = false;
+    for (SatResult result : first) {
+        injected |= result == SatResult::Unknown;
+        passed |= result == SatResult::Sat;
+    }
+    EXPECT_TRUE(injected) << "40% over 32 calls must fire at least once";
+    EXPECT_TRUE(passed) << "and must pass through at least once";
+
+    std::vector<SatResult> derived = run(plan.derive(3));
+    EXPECT_NE(first, derived)
+        << "derived sibling plans draw distinct schedules";
+}
+
+TEST(FaultInjectionTest, SlowdownStillAnswersCorrectly)
+{
+    Harness h;
+    FaultPlan plan;
+    plan.seed = 5;
+    plan.slowdownPercent = 100;
+    plan.slowdownMs = 1;
+    FaultInjectingSolver solver(h.tf, h.backend, plan);
+    EXPECT_EQ(solver.checkSat({h.satQuery}), SatResult::Sat);
+    EXPECT_EQ(solver.checkSat({h.unsatLeft, h.unsatRight}),
+              SatResult::Unsat);
+    EXPECT_EQ(solver.stats().faultsInjected, 2u);
+}
+
+TEST(FaultInjectionTest, HangIsBoundedAndInterruptible)
+{
+    Harness h;
+    FaultPlan plan;
+    plan.seed = 11;
+    plan.hangPercent = 100;
+    plan.hangCapMs = 50; // watchdog-less runs must still terminate
+    FaultInjectingSolver solver(h.tf, h.backend, plan);
+    EXPECT_EQ(solver.checkSat({h.satQuery}), SatResult::Unknown);
+    EXPECT_NE(solver.lastFailureKind(), FailureKind::None);
+}
+
+} // namespace
+} // namespace keq::smt

@@ -1,0 +1,165 @@
+/** @file Append-only journal: escaping round-trips, records survive a
+ *  clean writer/loader cycle, torn tails and checksum corruption drop
+ *  only the damaged suffix, and kind mismatches fail loudly. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+
+#include "src/support/journal.h"
+
+namespace keq::support {
+namespace {
+
+/** Unique temp path per test, removed on destruction. */
+struct TempFile
+{
+    std::string path;
+
+    explicit TempFile(const std::string &stem)
+        : path((std::filesystem::temp_directory_path() /
+                ("keq-journal-test-" + stem + "-" +
+                 std::to_string(::getpid()) + ".log"))
+                   .string())
+    {
+        std::remove(path.c_str());
+    }
+
+    ~TempFile() { std::remove(path.c_str()); }
+
+    std::string
+    read() const
+    {
+        std::ifstream in(path, std::ios::binary);
+        return std::string(std::istreambuf_iterator<char>(in), {});
+    }
+
+    void
+    write(const std::string &bytes) const
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << bytes;
+    }
+};
+
+TEST(JournalTest, EscapingRoundTripsControlCharacters)
+{
+    const std::string nasty = "a\\b\nc\td\re\\n";
+    std::string escaped = escapeLine(nasty);
+    EXPECT_EQ(escaped.find('\n'), std::string::npos);
+    EXPECT_EQ(escaped.find('\t'), std::string::npos);
+    EXPECT_EQ(escaped.find('\r'), std::string::npos);
+    std::string back;
+    ASSERT_TRUE(unescapeLine(escaped, back));
+    EXPECT_EQ(back, nasty);
+
+    std::string out;
+    EXPECT_FALSE(unescapeLine("dangling\\", out)) << "truncated escape";
+    EXPECT_FALSE(unescapeLine("bad\\q", out)) << "unknown escape";
+}
+
+TEST(JournalTest, WriteThenLoadReturnsEveryRecord)
+{
+    TempFile file("roundtrip");
+    {
+        JournalWriter writer(file.path, "test-kind");
+        writer.append("first");
+        writer.append("second with\nnewline");
+        writer.append("");
+    }
+    JournalLoad load = loadJournal(file.path, "test-kind");
+    ASSERT_TRUE(load.ok) << load.error;
+    ASSERT_EQ(load.records.size(), 3u);
+    EXPECT_EQ(load.records[0], "first");
+    EXPECT_EQ(load.records[1], "second with\nnewline");
+    EXPECT_EQ(load.records[2], "");
+    EXPECT_EQ(load.truncatedRecords, 0u);
+}
+
+TEST(JournalTest, MissingFileIsAFreshJournal)
+{
+    JournalLoad load = loadJournal("/nonexistent/keq-journal", "kind");
+    EXPECT_TRUE(load.ok);
+    EXPECT_TRUE(load.records.empty());
+}
+
+TEST(JournalTest, WrongKindIsRejected)
+{
+    TempFile file("kind");
+    {
+        JournalWriter writer(file.path, "alpha");
+        writer.append("record");
+    }
+    JournalLoad load = loadJournal(file.path, "beta");
+    EXPECT_FALSE(load.ok);
+    EXPECT_NE(load.error.find("alpha"), std::string::npos);
+}
+
+TEST(JournalTest, TornTailDropsOnlyTheDamagedSuffix)
+{
+    TempFile file("torn");
+    {
+        JournalWriter writer(file.path, "test-kind");
+        writer.append("intact-1");
+        writer.append("intact-2");
+        writer.append("doomed");
+    }
+    // Simulate SIGKILL mid-append: cut the file inside the last record.
+    std::string bytes = file.read();
+    file.write(bytes.substr(0, bytes.size() - 4));
+
+    JournalLoad load = loadJournal(file.path, "test-kind");
+    ASSERT_TRUE(load.ok) << load.error;
+    ASSERT_EQ(load.records.size(), 2u);
+    EXPECT_EQ(load.records[0], "intact-1");
+    EXPECT_EQ(load.records[1], "intact-2");
+    EXPECT_EQ(load.truncatedRecords, 1u);
+}
+
+TEST(JournalTest, ChecksumCorruptionTerminatesTheScan)
+{
+    TempFile file("corrupt");
+    {
+        JournalWriter writer(file.path, "test-kind");
+        writer.append("good");
+        writer.append("flipped");
+        writer.append("after");
+    }
+    std::string bytes = file.read();
+    // Flip one payload byte of the middle record; its checksum no
+    // longer matches, so it and everything after it are dropped.
+    size_t at = bytes.find("flipped");
+    ASSERT_NE(at, std::string::npos);
+    bytes[at] = 'F';
+    file.write(bytes);
+
+    JournalLoad load = loadJournal(file.path, "test-kind");
+    ASSERT_TRUE(load.ok) << load.error;
+    ASSERT_EQ(load.records.size(), 1u);
+    EXPECT_EQ(load.records[0], "good");
+    EXPECT_EQ(load.truncatedRecords, 2u);
+}
+
+TEST(JournalTest, AppendingToALoadedJournalContinuesIt)
+{
+    TempFile file("resume");
+    {
+        JournalWriter writer(file.path, "test-kind");
+        writer.append("one");
+    }
+    {
+        JournalWriter writer(file.path, "test-kind");
+        writer.append("two");
+    }
+    JournalLoad load = loadJournal(file.path, "test-kind");
+    ASSERT_TRUE(load.ok) << load.error;
+    ASSERT_EQ(load.records.size(), 2u);
+    EXPECT_EQ(load.records[1], "two");
+}
+
+} // namespace
+} // namespace keq::support

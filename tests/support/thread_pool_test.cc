@@ -1,0 +1,83 @@
+/** @file ThreadPool exception propagation: a throwing task must not
+ *  take its worker down (regression — workers used to die in the
+ *  uncaught exception, wedging wait() forever); the first exception
+ *  resurfaces from wait(), and the pool stays usable afterwards. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+#include "src/support/thread_pool.h"
+
+namespace keq::support {
+namespace {
+
+TEST(ThreadPoolTest, ThrowingTaskDoesNotKillTheWorker)
+{
+    ThreadPool pool(1); // one worker: it must survive the throw to run
+                        // the follow-up task
+    std::atomic<int> ran{0};
+    pool.submit([] { throw std::runtime_error("task failed"); });
+    pool.submit([&] { ran.fetch_add(1); });
+
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(ran.load(), 1) << "the worker must outlive the throw";
+}
+
+TEST(ThreadPoolTest, WaitRethrowsTheFirstExceptionThenClears)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    try {
+        pool.wait();
+        FAIL() << "wait() must rethrow";
+    } catch (const std::runtime_error &error) {
+        EXPECT_STREQ(error.what(), "boom");
+    }
+
+    // The error is consumed: a later clean batch waits cleanly.
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&] { ran.fetch_add(1); });
+    EXPECT_NO_THROW(pool.wait());
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPoolTest, RemainingTasksRunDespiteAnEarlyThrow)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([] { throw std::runtime_error("first"); });
+    for (int i = 0; i < 16; ++i)
+        pool.submit([&] { ran.fetch_add(1); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(ran.load(), 16)
+        << "a failing unit of work fails alone; the batch completes";
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesBodyExceptions)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(parallelFor(pool, 32,
+                             [&](size_t index) {
+                                 if (index == 7)
+                                     throw std::runtime_error("body");
+                                 ran.fetch_add(1);
+                             }),
+                 std::runtime_error);
+    EXPECT_EQ(ran.load(), 31) << "all other indices still run";
+}
+
+TEST(ThreadPoolTest, DestructionWithAPendingErrorIsClean)
+{
+    // Nobody calls wait(): the stored exception_ptr must not block or
+    // crash teardown.
+    ThreadPool pool(1);
+    pool.submit([] { throw std::runtime_error("unobserved"); });
+}
+
+} // namespace
+} // namespace keq::support

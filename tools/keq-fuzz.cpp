@@ -19,6 +19,8 @@
  *     --replay=FILE       replay one reproducer and exit
  *     --list-mutations    print the mutation catalogue and exit
  *     --max-seconds=S     safety cap on the random phase (0 = none)
+ *     --checkpoint=FILE   journal iteration outcomes to FILE
+ *     --resume            restore journaled iterations from FILE
  *     --no-calibrate      skip the per-entry exemplar calibration
  *     --no-shrink         report failing seeds unshrunk
  *     --check-classes     fail unless every miscompile class was killed
@@ -61,6 +63,7 @@ usage(const char *argv0)
               << "  --seed=N --jobs=N --iterations=N --trials=N\n"
               << "  --mutation=ID --corpus-dir=DIR --replay=FILE\n"
               << "  --list-mutations --max-seconds=S --no-calibrate\n"
+              << "  --checkpoint=FILE --resume\n"
               << "  --no-shrink --check-classes --summary --json=FILE\n";
     std::exit(2);
 }
@@ -108,6 +111,10 @@ parseArgs(int argc, char **argv)
             options.listMutations = true;
         } else if (arg.rfind("--max-seconds=", 0) == 0) {
             options.campaign.maxSeconds = number_of("--max-seconds=");
+        } else if (arg.rfind("--checkpoint=", 0) == 0) {
+            options.campaign.checkpointPath = value_of("--checkpoint=");
+        } else if (arg == "--resume") {
+            options.campaign.resume = true;
         } else if (arg == "--no-calibrate") {
             options.campaign.calibrate = false;
         } else if (arg == "--no-shrink") {
@@ -121,6 +128,12 @@ parseArgs(int argc, char **argv)
         } else {
             usage(argv[0]);
         }
+    }
+    if (options.campaign.resume &&
+        options.campaign.checkpointPath.empty()) {
+        std::cerr << argv[0]
+                  << ": --resume requires --checkpoint=FILE\n";
+        std::exit(2);
     }
     if (!options.campaign.onlyMutation.empty() &&
         keq::fuzz::findMutation(options.campaign.onlyMutation) ==
@@ -162,7 +175,8 @@ replay(const CliOptions &options)
         result = keq::fuzz::replayReproducer(buffer.str(),
                                              options.campaign);
     } catch (const keq::support::Error &error) {
-        std::cerr << "keq-fuzz: replay failed: " << error.what() << "\n";
+        std::cerr << "keq-fuzz: replay of " << options.replayPath
+                  << " failed: " << error.what() << "\n";
         return 2;
     }
     std::cout << "class:     " << result.classification << "\n"
@@ -244,10 +258,14 @@ main(int argc, char **argv)
         return 2;
     }
 
-    if (options.summaryOnly)
+    if (options.summaryOnly) {
         std::cout << result.canonicalSummary();
-    else
+    } else {
         std::cout << result.renderTable();
+        if (result.resumedIterations > 0)
+            std::cout << result.resumedIterations
+                      << " iterations restored from checkpoint\n";
+    }
 
     if (!options.jsonPath.empty())
         writeJson(options.jsonPath, result, options.campaign);

@@ -23,26 +23,54 @@
  *     --function=NAME     validate only @NAME
  *     --jobs=N            validate N functions in parallel (0 = #cores)
  *     --no-solver-cache   disable solver-query memoization
+ *     --solver-cache-mb=N cap the query cache at N MB (LRU; 0 = none)
  *     --no-smt-opt        disable the query optimization stack
  *                         (rewrite, slicing, incremental backend)
+ *     --deadline-ms=N     hard per-query watchdog deadline (0 = none)
+ *     --retries=N         same-rung solver retries before escalating
+ *     --solver-memory-mb=N per-query Z3 memory budget (0 = none)
+ *     --checkpoint=PATH   journal verdicts to PATH as they are decided
+ *     --resume            load the checkpoint and skip decided functions
+ *     --chaos=PCT         inject PCT% solver faults (chaos testing)
+ *     --chaos-seed=N      fault schedule seed (default 1)
  *     --stats             print per-stage solver counters after the run
+ *     --gen-corpus=N      print an N-function Figure 6 corpus and exit
+ *     --corpus-seed=N     corpus generator seed (default 0x6cc2006)
+ *
+ * SIGINT cancels the run cooperatively: in-flight functions finish with
+ * a `cancelled` classification (never journaled), and a later --resume
+ * picks up where the run left off.
  *
  * Exit code: number of functions that failed validation (0 = all good).
  */
 
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "src/driver/corpus.h"
 #include "src/driver/pipeline.h"
 #include "src/isel/isel.h"
 #include "src/llvmir/parser.h"
 #include "src/llvmir/verifier.h"
+#include "src/support/cancellation.h"
 #include "src/vcgen/vcgen.h"
 
 namespace {
+
+/** SIGINT target; installed only for the validation phase. */
+keq::support::CancellationToken g_cancel;
+
+extern "C" void
+handleSigint(int)
+{
+    // CancellationToken::cancel is one lock-free atomic store, which is
+    // async-signal-safe.
+    g_cancel.cancel();
+}
 
 struct CliOptions
 {
@@ -51,6 +79,8 @@ struct CliOptions
     bool print_mir = false;
     bool print_sync = false;
     bool print_stats = false;
+    size_t gen_corpus = 0;
+    uint64_t corpus_seed = 0x6cc2006;
     keq::driver::PipelineOptions pipeline;
     keq::driver::ExecutionOptions exec;
 };
@@ -66,7 +96,11 @@ usage(const char *argv0)
               << "  --wall-budget=SEC --spec-budget=N "
                  "--function=NAME\n"
               << "  --smt-timeout-ms=N --jobs=N --no-solver-cache\n"
-              << "  --no-smt-opt --stats\n";
+              << "  --solver-cache-mb=N --no-smt-opt --stats\n"
+              << "  --deadline-ms=N --retries=N --solver-memory-mb=N\n"
+              << "  --checkpoint=PATH --resume --chaos=PCT "
+                 "--chaos-seed=N\n"
+              << "  --gen-corpus=N --corpus-seed=N\n";
     std::exit(2);
 }
 
@@ -139,12 +173,53 @@ parseArgs(int argc, char **argv)
                 static_cast<unsigned>(number_of("--jobs="));
         } else if (arg == "--no-solver-cache") {
             options.exec.solverCache = false;
+        } else if (arg.rfind("--solver-cache-mb=", 0) == 0) {
+            options.exec.cacheMemoryMb =
+                static_cast<size_t>(number_of("--solver-cache-mb="));
+        } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+            options.exec.deadlineMs =
+                static_cast<unsigned>(number_of("--deadline-ms="));
+        } else if (arg.rfind("--retries=", 0) == 0) {
+            options.exec.solverRetries =
+                static_cast<unsigned>(number_of("--retries="));
+        } else if (arg.rfind("--solver-memory-mb=", 0) == 0) {
+            options.exec.solverMemoryMb =
+                static_cast<unsigned>(number_of("--solver-memory-mb="));
+        } else if (arg.rfind("--checkpoint=", 0) == 0) {
+            options.exec.checkpointPath = value_of("--checkpoint=");
+        } else if (arg == "--resume") {
+            options.exec.resume = true;
+        } else if (arg.rfind("--chaos=", 0) == 0) {
+            unsigned pct =
+                static_cast<unsigned>(number_of("--chaos="));
+            if (pct > 100)
+                usage(argv[0]);
+            // Spread the budget over the fault classes; whatever the
+            // integer division drops lands on spurious Unknowns.
+            keq::smt::FaultPlan &plan = options.exec.faults;
+            plan.crashPercent = pct / 4;
+            plan.timeoutPercent = pct / 4;
+            plan.memoryPercent = pct / 4;
+            plan.unknownPercent = pct - 3 * (pct / 4);
+            if (plan.seed == 0)
+                plan.seed = 1;
+        } else if (arg.rfind("--chaos-seed=", 0) == 0) {
+            options.exec.faults.seed = static_cast<uint64_t>(
+                number_of("--chaos-seed="));
         } else if (arg == "--no-smt-opt") {
             options.exec.simplifyQueries = false;
             options.exec.sliceQueries = false;
             options.exec.incrementalSolver = false;
         } else if (arg == "--stats") {
             options.print_stats = true;
+        } else if (arg.rfind("--gen-corpus=", 0) == 0) {
+            options.gen_corpus =
+                static_cast<size_t>(number_of("--gen-corpus="));
+            if (options.gen_corpus == 0)
+                usage(argv[0]);
+        } else if (arg.rfind("--corpus-seed=", 0) == 0) {
+            options.corpus_seed = static_cast<uint64_t>(
+                number_of("--corpus-seed="));
         } else if (!arg.empty() && arg[0] == '-') {
             usage(argv[0]);
         } else if (options.path.empty()) {
@@ -153,7 +228,7 @@ parseArgs(int argc, char **argv)
             usage(argv[0]);
         }
     }
-    if (options.path.empty())
+    if (options.path.empty() && options.gen_corpus == 0)
         usage(argv[0]);
     return options;
 }
@@ -165,6 +240,14 @@ main(int argc, char **argv)
 {
     using namespace keq;
     CliOptions options = parseArgs(argc, argv);
+
+    if (options.gen_corpus > 0) {
+        driver::CorpusOptions copts;
+        copts.seed = options.corpus_seed;
+        copts.functionCount = options.gen_corpus;
+        std::cout << driver::generateCorpusSource(copts);
+        return 0;
+    }
 
     std::ifstream file(options.path);
     if (!file) {
@@ -214,17 +297,28 @@ main(int argc, char **argv)
     // One Pipeline for the whole module: the solver cache warms up
     // across functions. With --jobs=N functions validate concurrently;
     // reports always come back in module order.
+    g_cancel = support::CancellationToken::create();
+    options.exec.cancel = g_cancel;
+    std::signal(SIGINT, handleSigint);
     driver::Pipeline pipeline(options.pipeline, options.exec);
     driver::ModuleReport report;
-    if (options.only_function.empty()) {
-        report = pipeline.runParallel(module);
-    } else {
-        for (const llvmir::Function &fn : module.functions) {
-            if (!fn.isDeclaration() && fn.name == options.only_function)
-                report.functions.push_back(
-                    pipeline.validateFunction(module, fn));
+    try {
+        if (options.only_function.empty()) {
+            report = pipeline.runParallel(module);
+        } else {
+            for (const llvmir::Function &fn : module.functions) {
+                if (!fn.isDeclaration() &&
+                    fn.name == options.only_function)
+                    report.functions.push_back(
+                        pipeline.validateFunction(module, fn));
+            }
         }
+    } catch (const support::Error &error) {
+        // Checkpoint mismatch or journal I/O failure.
+        std::cerr << "keqc: " << error.what() << "\n";
+        return 2;
     }
+    std::signal(SIGINT, SIG_DFL);
 
     int failures = 0;
     size_t validated = 0;
@@ -238,8 +332,12 @@ main(int argc, char **argv)
                       << ", " << fn_report.verdict.stats.solverQueries
                       << " queries, " << fn_report.seconds << " s)";
             ++validated;
-        } else if (!fn_report.detail.empty()) {
-            std::cout << "\n  " << fn_report.detail;
+        } else {
+            if (fn_report.verdict.failure != FailureKind::None)
+                std::cout << " [" <<
+                    failureKindName(fn_report.verdict.failure) << "]";
+            if (!fn_report.detail.empty())
+                std::cout << "\n  " << fn_report.detail;
         }
         std::cout << "\n";
         if (options.pipeline.checker.collectProof)
@@ -251,6 +349,18 @@ main(int argc, char **argv)
     }
     std::cout << validated << "/" << report.functions.size()
               << " functions validated\n";
+    if (report.resumedFunctions > 0) {
+        std::cout << report.resumedFunctions
+                  << " verdicts restored from checkpoint";
+        if (report.droppedCheckpointRecords > 0)
+            std::cout << " (" << report.droppedCheckpointRecords
+                      << " torn records dropped)";
+        std::cout << "\n";
+    }
+    if (g_cancel.cancelled()) {
+        std::cout << "interrupted: undecided functions were not "
+                     "journaled; rerun with --resume to finish\n";
+    }
     if (options.exec.solverCache && options.only_function.empty()) {
         const smt::CacheStats &cache = report.cacheStats;
         std::printf("solver cache: %llu key hits + %llu model hits / "
@@ -289,6 +399,15 @@ main(int argc, char **argv)
                     u(stats.incrementalReused),
                     u(stats.incrementalSolves), u(stats.coldSolves),
                     u(stats.incrementalFallbacks));
+        std::printf("  guard:       %llu watchdog interrupts, %llu "
+                    "retries, %llu escalations (%llu resolved by a "
+                    "fallback rung)\n",
+                    u(stats.watchdogInterrupts), u(stats.guardedRetries),
+                    u(stats.guardedEscalations),
+                    u(stats.escalatedResolved));
+        std::printf("  faults:      %llu solver crashes absorbed, %llu "
+                    "injected\n",
+                    u(stats.solverCrashes), u(stats.faultsInjected));
     }
     return failures;
 }

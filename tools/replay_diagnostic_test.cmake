@@ -1,0 +1,52 @@
+# Exercised by ctest (see tools/CMakeLists.txt): `keq-fuzz --replay`
+# against a broken artifact must exit 2 with a diagnostic that names
+# the artifact path — never crash, and never pretend to reproduce.
+#
+#   cmake -DKEQ_FUZZ=<binary> -DMODE=missing|truncated
+#         -DWORK_DIR=<dir> -P replay_diagnostic_test.cmake
+if(NOT DEFINED KEQ_FUZZ OR NOT DEFINED MODE OR NOT DEFINED WORK_DIR)
+    message(FATAL_ERROR
+        "usage: cmake -DKEQ_FUZZ=... -DMODE=missing|truncated "
+        "-DWORK_DIR=... -P replay_diagnostic_test.cmake")
+endif()
+
+if(MODE STREQUAL "missing")
+    set(artifact "${WORK_DIR}/keq-replay-missing-artifact.ll")
+    file(REMOVE "${artifact}")
+elseif(MODE STREQUAL "truncated")
+    # A reproducer cut off mid-metadata: the counter is garbage and the
+    # module text is gone entirely.
+    set(artifact "${WORK_DIR}/keq-replay-truncated-artifact.ll")
+    file(WRITE "${artifact}"
+        "; keq-fuzz-repro v1\n"
+        "; mutation=operand-swap\n"
+        "; class=completeness\n"
+        "; iteration=0\n"
+        "; mutseed=not-a-num")
+else()
+    message(FATAL_ERROR "unknown MODE '${MODE}'")
+endif()
+
+execute_process(
+    COMMAND "${KEQ_FUZZ}" "--replay=${artifact}"
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+
+if(NOT code EQUAL 2)
+    message(FATAL_ERROR
+        "expected exit code 2, got '${code}'\nstderr: ${err}")
+endif()
+string(FIND "${err}" "${artifact}" name_at)
+if(name_at EQUAL -1)
+    message(FATAL_ERROR
+        "diagnostic must name the artifact path '${artifact}'\n"
+        "stderr: ${err}")
+endif()
+if(MODE STREQUAL "truncated")
+    string(FIND "${err}" "mutseed" field_at)
+    if(field_at EQUAL -1)
+        message(FATAL_ERROR
+            "diagnostic must name the corrupt field\nstderr: ${err}")
+    endif()
+endif()

@@ -2,12 +2,14 @@
 # Configure, build, and run the tier-1 test suite in one shot.
 #
 # Usage:
-#   tools/run_tier1.sh [sanitizer] [build-dir]
+#   tools/run_tier1.sh [sanitizer] [chaos] [build-dir]
 #
 #   tools/run_tier1.sh                # plain build in build/
 #   tools/run_tier1.sh tsan           # ThreadSanitizer build in build-tsan/
 #   tools/run_tier1.sh asan           # AddressSanitizer build in build-asan/
 #   tools/run_tier1.sh asan mydir     # AddressSanitizer build in mydir/
+#   tools/run_tier1.sh chaos          # fault-injection suite only (-L chaos)
+#   tools/run_tier1.sh tsan chaos     # chaos suite under ThreadSanitizer
 #
 # The legacy spelling `KEQ_TSAN=1 tools/run_tier1.sh tsan-dir` still
 # works: when the first argument is not a sanitizer name it is taken as
@@ -21,6 +23,14 @@ sanitizer=none
 case ${1:-} in
     tsan|asan)
         sanitizer=$1
+        shift
+        ;;
+esac
+
+suite=all
+case ${1:-} in
+    chaos)
+        suite=chaos
         shift
         ;;
 esac
@@ -63,4 +73,12 @@ fi
 cmake -S "$repo_root" -B "$build_dir" -DKEQ_TSAN=$tsan_flag \
     -DKEQ_ASAN=$asan_flag
 cmake --build "$build_dir" -j "$jobs"
-ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+if [ "$suite" = chaos ]; then
+    # The fault-injection contract: injected solver faults never change
+    # a verdict and truncated checkpoints resume exactly (tests labelled
+    # `chaos`). Worth running under tsan too — the fault schedule and
+    # the watchdog both cross worker threads.
+    ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" -L chaos
+else
+    ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+fi
