@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Experiment E12 — out-of-process solver sandbox overhead (no paper
+ * counterpart; the crash-containment work from DESIGN.md §11).
+ *
+ * Two runs over the same Figure 6 corpus (seed 0x6cc2006):
+ *
+ *   1. in-process — the regular pipeline: solver stack in the
+ *      validator's own address space;
+ *   2. sandboxed  — `--sandbox`: every query serialized over the wire
+ *      protocol to a supervised keq-solver-worker pool under rlimits.
+ *
+ * The harness asserts that both runs produce identical ordered
+ * verdicts (the sandbox's transparency contract: the checker must not
+ * be able to tell where the solver lives), then reports the wall-clock
+ * cost of isolation and the IPC volume per query. This is the price
+ * paid for surviving solver crashes and kernel-enforced memory caps.
+ *
+ * Scale knobs: KEQ_SANDBOX_FUNCTIONS (corpus size), KEQ_SANDBOX_JOBS
+ * (pipeline threads; the worker pool is sized to match).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/driver/corpus.h"
+#include "src/driver/pipeline.h"
+#include "src/llvmir/parser.h"
+#include "src/llvmir/verifier.h"
+#include "src/support/stopwatch.h"
+
+int
+main()
+{
+    using namespace keq;
+
+    size_t function_count =
+        bench::envSize("KEQ_SANDBOX_FUNCTIONS", 120);
+    unsigned jobs =
+        static_cast<unsigned>(bench::envSize("KEQ_SANDBOX_JOBS", 4));
+
+    driver::CorpusOptions copts;
+    copts.functionCount = function_count;
+    copts.seed = 0x6cc2006; // the Figure 6 corpus
+    llvmir::Module module =
+        llvmir::parseModule(driver::generateCorpusSource(copts));
+    llvmir::verifyModuleOrThrow(module);
+
+    driver::PipelineOptions options; // no wall budgets: verdicts must
+                                     // be timing-independent for the
+                                     // identity assertion below
+
+    std::cout << "=== E12: solver sandbox overhead ===\n";
+    std::cout << "corpus: " << function_count
+              << " Figure 6 functions (seed " << copts.seed
+              << "), jobs " << jobs << "\n\n";
+
+    driver::ExecutionOptions in_process_exec;
+    in_process_exec.jobs = jobs;
+    driver::Pipeline in_process_pipeline(options, in_process_exec);
+    support::Stopwatch watch;
+    driver::ModuleReport in_process =
+        in_process_pipeline.runParallel(module);
+    double in_process_seconds = watch.seconds();
+
+    driver::ExecutionOptions sandbox_exec;
+    sandbox_exec.jobs = jobs;
+    sandbox_exec.sandbox = true;
+    sandbox_exec.workerPath = KEQ_WORKER_BIN;
+    driver::Pipeline sandbox_pipeline(options, sandbox_exec);
+    watch.reset();
+    driver::ModuleReport sandboxed =
+        sandbox_pipeline.runParallel(module);
+    double sandboxed_seconds = watch.seconds();
+
+    // The transparency contract: isolation must not change a verdict.
+    bool identical =
+        in_process.canonicalSummary() == sandboxed.canonicalSummary();
+    if (!identical) {
+        std::cerr << "FAIL: sandboxed verdicts diverge from "
+                     "in-process ones\n";
+        return 1;
+    }
+    if (sandboxed.solverStats.wireBytesSent == 0) {
+        std::cerr << "FAIL: sandbox run never touched the wire "
+                     "(degraded to in-process?)\n";
+        return 1;
+    }
+
+    const smt::SolverStats &stats = sandboxed.solverStats;
+    uint64_t solved = stats.cacheMisses > 0 ? stats.cacheMisses
+                                            : stats.queries;
+    double overhead =
+        in_process_seconds > 0.0
+            ? sandboxed_seconds / in_process_seconds
+            : 0.0;
+
+    std::cout << in_process.renderTable() << "\n";
+    std::printf("in-process x%-2u: %7.2f s\n", jobs,
+                in_process_seconds);
+    std::printf("sandboxed  x%-2u: %7.2f s  (%.2fx overhead)\n", jobs,
+                sandboxed_seconds, overhead);
+    std::printf("wire: %llu bytes out, %llu bytes in over %llu "
+                "solver-bound queries (%.0f bytes/query round trip)\n",
+                static_cast<unsigned long long>(stats.wireBytesSent),
+                static_cast<unsigned long long>(
+                    stats.wireBytesReceived),
+                static_cast<unsigned long long>(solved),
+                solved > 0
+                    ? static_cast<double>(stats.wireBytesSent +
+                                          stats.wireBytesReceived) /
+                          static_cast<double>(solved)
+                    : 0.0);
+    std::printf("worker pool: %llu crash(es), %llu restart(s), %llu "
+                "heartbeat timeout(s)\n",
+                static_cast<unsigned long long>(stats.workerCrashes),
+                static_cast<unsigned long long>(stats.workerRestarts),
+                static_cast<unsigned long long>(
+                    stats.heartbeatTimeouts));
+    std::printf("verdicts: identical across both runs\n");
+
+    bench::JsonReporter json;
+    json.field("bench", std::string("sandbox"));
+    json.field("functions", uint64_t{function_count});
+    json.field("jobs", uint64_t{jobs});
+    json.field("in_process_seconds", in_process_seconds);
+    json.field("sandboxed_seconds", sandboxed_seconds);
+    json.field("sandbox_overhead", overhead);
+    json.field("wire_bytes_sent", stats.wireBytesSent);
+    json.field("wire_bytes_received", stats.wireBytesReceived);
+    json.field("solver_queries", stats.queries);
+    json.field("worker_crashes", stats.workerCrashes);
+    json.field("worker_restarts", stats.workerRestarts);
+    json.field("verdicts_identical", identical);
+    json.writeFile("BENCH_sandbox.json");
+    return 0;
+}

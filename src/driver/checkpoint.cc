@@ -173,8 +173,9 @@ CheckpointJournal::load(const std::string &path,
 
 CheckpointJournal::CheckpointJournal(std::string path,
                                      std::string fingerprint,
-                                     bool metaPresent)
-    : writer_(std::move(path), kKind),
+                                     bool metaPresent,
+                                     support::FsyncPolicy fsync)
+    : writer_(std::move(path), kKind, fsync),
       fingerprint_(std::move(fingerprint)), metaWritten_(metaPresent)
 {}
 

@@ -77,9 +77,12 @@ class CheckpointJournal
      * @param fingerprint Module identity (moduleFingerprint).
      * @param metaPresent True when resuming a journal that already
      *                    carries its meta record.
+     * @param fsync       Durability policy for appended records.
      */
     CheckpointJournal(std::string path, std::string fingerprint,
-                      bool metaPresent);
+                      bool metaPresent,
+                      support::FsyncPolicy fsync =
+                          support::FsyncPolicy::Off);
 
     /**
      * Appends one decided verdict (meta record first, lazily). Thread

@@ -118,6 +118,12 @@ namespace {
  *             cold-start Z3 backend with no preprocessing (the free
  *             validateFunction entry points, used as the unoptimized
  *             reference stack by tests and benches).
+ * @param sandbox Non-null routes every query to the out-of-process
+ *             worker pool: the backend becomes a SandboxSolver, the
+ *             cache front stays in the parent, and the in-process
+ *             injector/guard layers are skipped (the worker runs its
+ *             own guard; the supervisor enforces heartbeat deadlines
+ *             and classifies worker death).
  */
 FunctionReport
 validatePairImpl(const llvmir::Module &module, const llvmir::Function &fn,
@@ -125,6 +131,7 @@ validatePairImpl(const llvmir::Module &module, const llvmir::Function &fn,
                  const PipelineOptions &options,
                  const std::shared_ptr<smt::QueryCache> &cache,
                  const ExecutionOptions *exec,
+                 smt::WorkerSupervisor *sandbox,
                  smt::SolverStats *solver_stats)
 {
     FunctionReport report;
@@ -160,10 +167,16 @@ validatePairImpl(const llvmir::Module &module, const llvmir::Function &fn,
         mmodule.functions.push_back(std::move(mfn));
         vx86::SymbolicSemantics sem_b(mmodule, factory, layout);
         std::unique_ptr<smt::Solver> backend;
-        if (exec != nullptr && exec->incrementalSolver)
+        if (sandbox != nullptr) {
+            backend = std::make_unique<smt::SandboxSolver>(factory,
+                                                           *sandbox);
+            if (exec != nullptr && exec->deadlineMs > 0)
+                backend->setTimeoutMs(exec->deadlineMs);
+        } else if (exec != nullptr && exec->incrementalSolver) {
             backend = std::make_unique<smt::IncrementalZ3Solver>(factory);
-        else
+        } else {
             backend = std::make_unique<smt::Z3Solver>(factory);
+        }
         std::optional<smt::CachingSolver> caching;
         smt::Solver *solver = backend.get();
         if (cache != nullptr) {
@@ -181,7 +194,7 @@ validatePairImpl(const llvmir::Module &module, const llvmir::Function &fn,
         // function name, not the scheduling order, so serial and
         // parallel chaos runs draw identical fault schedules.
         smt::FaultPlan plan;
-        if (exec != nullptr)
+        if (exec != nullptr && sandbox == nullptr)
             plan = exec->faults.derive(support::fnv1a64(fn.name));
         std::optional<smt::FaultInjectingSolver> injector;
         if (plan.enabled()) {
@@ -193,8 +206,13 @@ validatePairImpl(const llvmir::Module &module, const llvmir::Function &fn,
         // Rung 1 is a fresh cold solver on the raw (unpreprocessed)
         // query — still fault-injected under chaos; rung 2 is pristine,
         // which is what makes chaos verdicts converge to clean ones.
+        // In sandbox mode the guard lives inside the worker process
+        // (watchdog + escalation next to the solver it protects), so the
+        // parent adds no second guard — the supervisor's heartbeat
+        // deadline and death classification are the parent-side
+        // containment.
         std::optional<smt::GuardedSolver> guarded;
-        if (exec != nullptr) {
+        if (exec != nullptr && sandbox == nullptr) {
             smt::GuardedSolverOptions guard;
             guard.deadlineMs = exec->deadlineMs;
             guard.retries = exec->solverRetries;
@@ -272,6 +290,7 @@ validateFunctionImpl(const llvmir::Module &module,
                      const PipelineOptions &options,
                      const std::shared_ptr<smt::QueryCache> &cache,
                      const ExecutionOptions *exec,
+                     smt::WorkerSupervisor *sandbox,
                      smt::SolverStats *solver_stats)
 {
     // 1. Instruction Selection with hint generation. Unsupported
@@ -289,7 +308,7 @@ validateFunctionImpl(const llvmir::Module &module,
         return report;
     }
     return validatePairImpl(module, fn, std::move(mfn), hints, options,
-                            cache, exec, solver_stats);
+                            cache, exec, sandbox, solver_stats);
 }
 
 std::vector<const llvmir::Function *>
@@ -310,7 +329,7 @@ validateFunction(const llvmir::Module &module, const llvmir::Function &fn,
                  const PipelineOptions &options)
 {
     return validateFunctionImpl(module, fn, options, nullptr, nullptr,
-                                nullptr);
+                                nullptr, nullptr);
 }
 
 FunctionReport
@@ -320,7 +339,7 @@ validateFunctionPair(const llvmir::Module &module,
                      const PipelineOptions &options)
 {
     return validatePairImpl(module, fn, std::move(mfn), hints, options,
-                            nullptr, nullptr, nullptr);
+                            nullptr, nullptr, nullptr, nullptr);
 }
 
 FunctionReport
@@ -414,9 +433,44 @@ Pipeline::validateFunction(const llvmir::Module &module,
     if (exec_.solverCache && !exec_.sharedCache)
         cache = makeQueryCache(exec_);
     smt::SolverStats stats;
-    FunctionReport report = validateFunctionImpl(module, fn, options_,
-                                                 cache, &exec_, &stats);
+    FunctionReport report =
+        validateFunctionImpl(module, fn, options_, cache, &exec_,
+                             sandboxSupervisor(1), &stats);
     return report;
+}
+
+smt::WorkerSupervisor *
+Pipeline::sandboxSupervisor(unsigned workers)
+{
+    if (!exec_.sandbox || sandboxDegraded_)
+        return nullptr;
+    if (supervisor_ != nullptr && supervisor_->started())
+        return supervisor_.get();
+
+    smt::SandboxOptions sandbox;
+    sandbox.workerPath = exec_.workerPath;
+    sandbox.workers =
+        exec_.sandboxWorkers > 0 ? exec_.sandboxWorkers
+                                 : std::max<unsigned>(workers, 1);
+    sandbox.workerMemoryMb = exec_.workerMemoryMb;
+    sandbox.memoryBudgetMb = exec_.solverMemoryMb;
+    sandbox.chaosKillRate = exec_.sandboxChaosKillRate;
+    sandbox.chaosSeed = exec_.sandboxChaosSeed;
+    sandbox.cancel = exec_.cancel;
+    supervisor_ = std::make_unique<smt::WorkerSupervisor>(sandbox);
+    std::string error;
+    if (!supervisor_->start(error)) {
+        // Graceful degradation: a missing or broken worker binary must
+        // not fail the run — warn once and keep the in-process stack.
+        std::fprintf(stderr,
+                     "keq: solver sandbox disabled: %s "
+                     "(falling back to in-process solving)\n",
+                     error.c_str());
+        supervisor_.reset();
+        sandboxDegraded_ = true;
+        return nullptr;
+    }
+    return supervisor_.get();
 }
 
 ModuleReport
@@ -469,12 +523,28 @@ Pipeline::runWithJobs(const llvmir::Module &module, unsigned jobs)
             std::remove(exec_.checkpointPath.c_str());
         }
         journal = std::make_unique<CheckpointJournal>(
-            exec_.checkpointPath, fingerprint, meta_present);
+            exec_.checkpointPath, fingerprint, meta_present,
+            exec_.checkpointFsync);
     }
 
     smt::CacheStats cache_before;
     if (cache_ != nullptr)
         cache_before = cache_->stats();
+
+    // Validation is CPU-bound, so oversubscribing cores only adds
+    // contention (Z3's allocator locks, context switches): clamp the
+    // worker count to the host parallelism and the amount of work.
+    // jobs == 0 means "one worker per core".
+    unsigned workers = jobs == 0 ? support::ThreadPool::hardwareThreads()
+                                 : jobs;
+    workers = std::min<unsigned>(
+        {workers, support::ThreadPool::hardwareThreads(),
+         static_cast<unsigned>(
+             std::max<size_t>(functions.size(), 1))});
+
+    // Resolve the sandbox before fanning out so the degradation warning
+    // prints once, not once per task.
+    smt::WorkerSupervisor *sandbox = sandboxSupervisor(workers);
 
     auto validate_one = [&](size_t index) {
         const llvmir::Function &fn = *functions[index];
@@ -502,21 +572,10 @@ Pipeline::runWithJobs(const llvmir::Module &module, unsigned jobs)
             cache = makeQueryCache(exec_);
         report.functions[index] =
             validateFunctionImpl(module, fn, options_, cache, &exec_,
-                                 &per_function[index]);
+                                 sandbox, &per_function[index]);
         if (journal != nullptr)
             journal->record(report.functions[index]);
     };
-
-    // Validation is CPU-bound, so oversubscribing cores only adds
-    // contention (Z3's allocator locks, context switches): clamp the
-    // worker count to the host parallelism and the amount of work.
-    // jobs == 0 means "one worker per core".
-    unsigned workers = jobs == 0 ? support::ThreadPool::hardwareThreads()
-                                 : jobs;
-    workers = std::min<unsigned>(
-        {workers, support::ThreadPool::hardwareThreads(),
-         static_cast<unsigned>(
-             std::max<size_t>(functions.size(), 1))});
 
     if (workers <= 1) {
         for (size_t i = 0; i < functions.size(); ++i)

@@ -34,7 +34,9 @@
 #include "src/sem/sync_point.h"
 #include "src/smt/caching_solver.h"
 #include "src/smt/fault_injection.h"
+#include "src/smt/sandbox.h"
 #include "src/support/cancellation.h"
+#include "src/support/journal.h"
 #include "src/vcgen/vcgen.h"
 #include "src/vx86/mir.h"
 
@@ -135,6 +137,35 @@ struct ExecutionOptions
      * overwritten.
      */
     bool resume = false;
+    /**
+     * Durability policy of the checkpoint journal: Off (default)
+     * flushes into the kernel per record (crash-of-this-process safe),
+     * Batch fsyncs every JournalWriter::kDefaultBatchInterval records,
+     * Record fsyncs every record (power-loss safe, slowest).
+     */
+    support::FsyncPolicy checkpointFsync = support::FsyncPolicy::Off;
+
+    // --- Process isolation (smt::SandboxSolver) ----------------------
+
+    /**
+     * Run every solver query in a sandboxed keq-solver-worker child
+     * process under hard rlimits. When the worker binary cannot be
+     * found the pipeline warns once and degrades to the in-process
+     * stack rather than failing the run.
+     */
+    bool sandbox = false;
+    /** Worker pool size; 0 sizes the pool to the job count. */
+    unsigned sandboxWorkers = 0;
+    /** Hard RLIMIT_AS per worker in MB; 0 = uncapped. */
+    unsigned workerMemoryMb = 0;
+    /** Explicit worker binary; empty = discoverWorkerBinary(). */
+    std::string workerPath;
+    /**
+     * Chaos monkey: per-tick probability that each busy worker gets a
+     * real SIGKILL/SIGSEGV (sandbox integration tests). 0 disables.
+     */
+    double sandboxChaosKillRate = 0.0;
+    uint64_t sandboxChaosSeed = 0x5eed;
 };
 
 /** Per-function validation report. */
@@ -218,12 +249,21 @@ class Pipeline
         return cache_;
     }
 
+    /**
+     * The worker-pool supervisor backing --sandbox; created lazily on
+     * the first run and reused afterwards (workers stay warm across
+     * run calls). Null when the sandbox is off or degraded.
+     */
+    smt::WorkerSupervisor *sandboxSupervisor(unsigned workers);
+
   private:
     ModuleReport runWithJobs(const llvmir::Module &module, unsigned jobs);
 
     PipelineOptions options_;
     ExecutionOptions exec_;
     std::shared_ptr<smt::QueryCache> cache_;
+    std::unique_ptr<smt::WorkerSupervisor> supervisor_;
+    bool sandboxDegraded_ = false;
 };
 
 /** Validates every defined function of an LLVM module. */

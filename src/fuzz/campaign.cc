@@ -708,7 +708,8 @@ runCampaign(const CampaignOptions &options)
             std::remove(options.checkpointPath.c_str());
         }
         journal = std::make_unique<support::JournalWriter>(
-            options.checkpointPath, kCampaignJournalKind);
+            options.checkpointPath, kCampaignJournalKind,
+            options.checkpointFsync);
         if (!meta_present)
             journal->append("meta\t" + fingerprint);
     }

@@ -41,6 +41,7 @@
 #include "src/fuzz/mutation_catalog.h"
 #include "src/fuzz/oracle.h"
 #include "src/fuzz/shrinker.h"
+#include "src/support/journal.h"
 
 namespace keq::fuzz {
 
@@ -78,6 +79,8 @@ struct CampaignOptions
     std::string checkpointPath;
     /** Load checkpointPath and skip recorded iterations. */
     bool resume = false;
+    /** Durability policy of the checkpoint journal (see journal.h). */
+    support::FsyncPolicy checkpointFsync = support::FsyncPolicy::Off;
     GeneratorOptions generator;
     OracleOptions oracle;
     ShrinkOptions shrink;

@@ -74,8 +74,12 @@ struct BudgetExceeded
 VerdictKind
 verdictKindFor(FailureKind failure)
 {
-    return failure == FailureKind::MemoryBudget ? VerdictKind::OutOfMemory
-                                                : VerdictKind::Timeout;
+    // A worker that died breaching its hard memory cap is the same
+    // Figure 6 category as an in-process budget exhaustion.
+    return failure == FailureKind::MemoryBudget ||
+                   failure == FailureKind::WorkerOom
+               ? VerdictKind::OutOfMemory
+               : VerdictKind::Timeout;
 }
 
 enum class Side : uint8_t { A, B };

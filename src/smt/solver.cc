@@ -29,6 +29,11 @@ SolverStats::operator+=(const SolverStats &rhs)
     escalatedResolved += rhs.escalatedResolved;
     solverCrashes += rhs.solverCrashes;
     faultsInjected += rhs.faultsInjected;
+    workerCrashes += rhs.workerCrashes;
+    workerRestarts += rhs.workerRestarts;
+    heartbeatTimeouts += rhs.heartbeatTimeouts;
+    wireBytesSent += rhs.wireBytesSent;
+    wireBytesReceived += rhs.wireBytesReceived;
     return *this;
 }
 
@@ -61,6 +66,11 @@ SolverStats::operator-(const SolverStats &rhs) const
     delta.escalatedResolved = escalatedResolved - rhs.escalatedResolved;
     delta.solverCrashes = solverCrashes - rhs.solverCrashes;
     delta.faultsInjected = faultsInjected - rhs.faultsInjected;
+    delta.workerCrashes = workerCrashes - rhs.workerCrashes;
+    delta.workerRestarts = workerRestarts - rhs.workerRestarts;
+    delta.heartbeatTimeouts = heartbeatTimeouts - rhs.heartbeatTimeouts;
+    delta.wireBytesSent = wireBytesSent - rhs.wireBytesSent;
+    delta.wireBytesReceived = wireBytesReceived - rhs.wireBytesReceived;
     return delta;
 }
 
@@ -96,6 +106,11 @@ foldNonVerdictStats(SolverStats &into, const SolverStats &delta)
     into.escalatedResolved += delta.escalatedResolved;
     into.solverCrashes += delta.solverCrashes;
     into.faultsInjected += delta.faultsInjected;
+    into.workerCrashes += delta.workerCrashes;
+    into.workerRestarts += delta.workerRestarts;
+    into.heartbeatTimeouts += delta.heartbeatTimeouts;
+    into.wireBytesSent += delta.wireBytesSent;
+    into.wireBytesReceived += delta.wireBytesReceived;
 }
 
 FailureKind

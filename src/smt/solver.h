@@ -67,6 +67,15 @@ struct SolverStats
     uint64_t solverCrashes = 0;      ///< backend exceptions absorbed
     uint64_t faultsInjected = 0;     ///< faults the injection harness fired
 
+    // Process-isolation counters (SandboxSolver / WorkerSupervisor).
+    // Like the fault-tolerance block these count recovery work and IPC
+    // overhead, never logical queries.
+    uint64_t workerCrashes = 0;     ///< worker process deaths observed
+    uint64_t workerRestarts = 0;    ///< workers respawned after a death
+    uint64_t heartbeatTimeouts = 0; ///< queries killed for a silent worker
+    uint64_t wireBytesSent = 0;     ///< protocol bytes shipped to workers
+    uint64_t wireBytesReceived = 0; ///< protocol bytes read from workers
+
     SolverStats &operator+=(const SolverStats &rhs);
     /** Field-wise difference; used to attribute counters to one check. */
     SolverStats operator-(const SolverStats &rhs) const;

@@ -1,0 +1,222 @@
+#ifndef KEQ_SMT_WIRE_H
+#define KEQ_SMT_WIRE_H
+
+/**
+ * @file
+ * Binary wire protocol between the pipeline and sandboxed solver
+ * workers.
+ *
+ * A sandboxed query crosses a process boundary, so the hash-consed term
+ * DAG must be flattened to bytes and rebuilt inside the worker's own
+ * TermFactory. The codec here is designed around two properties the
+ * sandbox depends on:
+ *
+ *  1. **Round-trip identity.** Nodes are emitted in ascending creation
+ *     order (a valid topological order: operands always have smaller
+ *     ids than their parents). A fresh factory replaying the nodes
+ *     therefore reproduces the source factory's *relative* id order,
+ *     and because every serialized term is already a fixed point of the
+ *     factory's constructor folding, replay creates a structurally
+ *     identical DAG — encode(parse(encode(t))) == encode(t) and the
+ *     CachingSolver's structural fingerprints agree across the
+ *     boundary. The property tests in tests/smt/wire_test.cc pin this.
+ *
+ *  2. **Hostile-input safety.** The parent treats worker bytes (and the
+ *     worker treats parent bytes) as untrusted: a crashed worker can
+ *     leave a torn frame, and a corrupted frame must surface as a
+ *     decode error, never as a KEQ_ASSERT abort inside TermFactory.
+ *     Every kind, arity, sort, width and operand reference is validated
+ *     before any factory constructor runs.
+ *
+ * Framing is a u32 little-endian payload length followed by the
+ * payload; the payload's first byte is the FrameType. Integers are
+ * little-endian fixed width or unsigned LEB128 ("varuint"); strings are
+ * varuint length + raw bytes.
+ */
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/smt/solver.h"
+#include "src/smt/term.h"
+
+namespace keq::smt {
+
+class TermFactory;
+
+namespace wire {
+
+/** Bumped whenever any frame layout changes; Ready carries it. */
+constexpr uint32_t kProtocolVersion = 1;
+
+/** Upper bound on a single frame payload; larger lengths are corrupt. */
+constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+/** Frame discriminator (first payload byte). */
+enum class FrameType : uint8_t {
+    // worker -> parent
+    Ready = 1,     ///< handshake: protocol version + worker pid
+    Heartbeat = 2, ///< liveness: in-flight query seq + worker RSS
+    Result = 3,    ///< verdict for one Query
+    Error = 4,     ///< worker-side protocol failure (diagnostic string)
+
+    // parent -> worker
+    Reset = 5,    ///< begin a session: fresh factory + solver stack
+    Query = 6,    ///< one checkSat request
+    Shutdown = 7, ///< polite exit request
+};
+
+const char *frameTypeName(FrameType type);
+
+// --- Low-level byte codec -----------------------------------------------
+
+/** Append-only byte sink for payload construction. */
+class Encoder
+{
+  public:
+    void u8(uint8_t value) { bytes_.push_back(static_cast<char>(value)); }
+    void u32(uint32_t value);
+    void u64(uint64_t value);
+    void f64(double value); ///< IEEE bits as u64
+    void varuint(uint64_t value);
+    void str(const std::string &value);
+
+    const std::string &bytes() const { return bytes_; }
+    std::string take() { return std::move(bytes_); }
+
+  private:
+    std::string bytes_;
+};
+
+/**
+ * Bounds-checked cursor over untrusted payload bytes. All getters
+ * return false (and poison the decoder) on truncation; fail() carries
+ * a diagnostic.
+ */
+class Decoder
+{
+  public:
+    explicit Decoder(const std::string &bytes) : bytes_(&bytes) {}
+
+    bool u8(uint8_t &out);
+    bool u32(uint32_t &out);
+    bool u64(uint64_t &out);
+    bool f64(double &out);
+    bool varuint(uint64_t &out);
+    bool str(std::string &out);
+
+    /** Marks the decode failed with @p why (keeps the first reason). */
+    bool fail(const std::string &why);
+
+    bool ok() const { return error_.empty(); }
+    bool atEnd() const { return pos_ == bytes_->size(); }
+    const std::string &error() const { return error_; }
+
+  private:
+    const std::string *bytes_;
+    size_t pos_ = 0;
+    std::string error_;
+};
+
+// --- Term codec ---------------------------------------------------------
+
+/**
+ * Cross-query variable-sort context. The factory KEQ_ASSERTs when one
+ * name is requested with two different sorts, so a worker session keeps
+ * one VarSortContext alive across parses to reject such (corrupt)
+ * frames before they reach the factory.
+ */
+using VarSortContext = std::unordered_map<std::string, Sort>;
+
+/** Serializes @p terms (their full reachable DAG) into @p enc. */
+void encodeTerms(Encoder &enc, const std::vector<Term> &terms);
+
+/**
+ * Rebuilds terms previously written by encodeTerms inside @p factory.
+ * Fully validates the bytes; on any inconsistency returns false via
+ * dec.fail() without having violated a factory precondition. @p vars
+ * may be null when the factory is fresh and used for a single parse.
+ */
+bool decodeTerms(Decoder &dec, TermFactory &factory,
+                 VarSortContext *vars, std::vector<Term> &out);
+
+// --- Stats codec --------------------------------------------------------
+
+void encodeStats(Encoder &enc, const SolverStats &stats);
+bool decodeStats(Decoder &dec, SolverStats &out);
+
+// --- Typed frames -------------------------------------------------------
+
+struct ReadyFrame
+{
+    uint32_t protocolVersion = 0;
+    uint64_t pid = 0;
+};
+
+struct HeartbeatFrame
+{
+    uint64_t querySeq = 0; ///< 0 when idle
+    uint64_t rssKb = 0;    ///< worker resident set, for OOM forensics
+};
+
+struct ResetFrame
+{
+    uint32_t timeoutMs = 0;      ///< per-query solver deadline
+    uint32_t memoryBudgetMb = 0; ///< soft solver budget (0 = none)
+    uint8_t useCache = 1;        ///< front the backend with a cache
+    uint8_t useGuard = 1;        ///< wrap the stack in a GuardedSolver
+};
+
+struct QueryFrame
+{
+    uint64_t seq = 0;
+    uint32_t timeoutMs = 0; ///< overrides the session deadline when != 0
+    std::vector<Term> assertions;
+};
+
+struct ResultFrame
+{
+    uint64_t seq = 0;
+    SatResult result = SatResult::Unknown;
+    FailureKind failureKind = FailureKind::None;
+    std::string unknownReason;
+    SolverStats stats; ///< worker-side delta for this query
+};
+
+/** Wraps a payload in the length-prefixed frame envelope. */
+std::string frameBytes(FrameType type, const std::string &payload);
+
+std::string encodeReady(const ReadyFrame &frame);
+std::string encodeHeartbeat(const HeartbeatFrame &frame);
+std::string encodeReset(const ResetFrame &frame);
+std::string encodeQuery(const QueryFrame &frame);
+std::string encodeResult(const ResultFrame &frame);
+std::string encodeError(const std::string &message);
+std::string encodeShutdown();
+
+/**
+ * Splits a received payload into its FrameType and body decoder input.
+ * Returns false on an empty or unknown-typed payload.
+ */
+bool splitFrame(const std::string &payload, FrameType &type,
+                std::string &body);
+
+bool decodeReady(const std::string &body, ReadyFrame &out,
+                 std::string &error);
+bool decodeHeartbeat(const std::string &body, HeartbeatFrame &out,
+                     std::string &error);
+bool decodeReset(const std::string &body, ResetFrame &out,
+                 std::string &error);
+bool decodeQuery(const std::string &body, TermFactory &factory,
+                 VarSortContext *vars, QueryFrame &out,
+                 std::string &error);
+bool decodeResult(const std::string &body, ResultFrame &out,
+                  std::string &error);
+bool decodeError(const std::string &body, std::string &message);
+
+} // namespace wire
+} // namespace keq::smt
+
+#endif // KEQ_SMT_WIRE_H

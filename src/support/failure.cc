@@ -22,6 +22,10 @@ failureKindName(FailureKind kind)
         return "solver-crash";
     case FailureKind::Cancelled:
         return "cancelled";
+    case FailureKind::WorkerKilled:
+        return "worker-killed";
+    case FailureKind::WorkerOom:
+        return "worker-oom";
     }
     KEQ_ASSERT(false, "bad FailureKind");
     return "?";
@@ -34,6 +38,7 @@ failureKindFromName(const char *name, FailureKind &out)
         FailureKind::None,          FailureKind::Timeout,
         FailureKind::MemoryBudget,  FailureKind::SolverUnknown,
         FailureKind::SolverCrash,   FailureKind::Cancelled,
+        FailureKind::WorkerKilled,  FailureKind::WorkerOom,
     };
     for (FailureKind kind : kAll) {
         if (std::strcmp(name, failureKindName(kind)) == 0) {

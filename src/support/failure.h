@@ -30,6 +30,14 @@ enum class FailureKind
     SolverUnknown, ///< Solver answered Unknown for a non-resource reason.
     SolverCrash,   ///< Solver threw/crashed even on the last ladder rung.
     Cancelled,     ///< Cooperative cancellation (SIGINT, shutdown).
+
+    // Process-isolation failures (smt::SandboxSolver). A sandboxed
+    // worker that dies takes exactly one in-flight query with it; the
+    // supervisor classifies the death from the waitpid status (and the
+    // worker's last heartbeat) so operators can tell a segfaulting
+    // query from one the kernel OOM-killed.
+    WorkerKilled,  ///< Worker process died (signal or abnormal exit).
+    WorkerOom,     ///< Worker died breaching its hard memory cap.
 };
 
 /** Stable lower-case name, e.g. for --stats and checkpoint records. */

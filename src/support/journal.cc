@@ -1,12 +1,49 @@
 #include "src/support/journal.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "src/support/diagnostics.h"
 
 namespace keq::support {
+
+const char *
+fsyncPolicyName(FsyncPolicy policy)
+{
+    switch (policy) {
+    case FsyncPolicy::Record:
+        return "record";
+    case FsyncPolicy::Batch:
+        return "batch";
+    case FsyncPolicy::Off:
+        return "off";
+    }
+    KEQ_ASSERT(false, "bad FsyncPolicy");
+    return "?";
+}
+
+bool
+fsyncPolicyFromName(const char *name, FsyncPolicy &out)
+{
+    static constexpr FsyncPolicy kAll[] = {
+        FsyncPolicy::Record,
+        FsyncPolicy::Batch,
+        FsyncPolicy::Off,
+    };
+    for (FsyncPolicy policy : kAll) {
+        if (std::strcmp(name, fsyncPolicyName(policy)) == 0) {
+            out = policy;
+            return true;
+        }
+    }
+    return false;
+}
 
 uint64_t
 fnv1a64(const std::string &bytes)
@@ -97,30 +134,97 @@ checksumHex(uint64_t hash)
 
 } // namespace
 
-JournalWriter::JournalWriter(std::string path, std::string kind)
-    : path_(std::move(path)), kind_(std::move(kind))
+namespace {
+
+void
+writeFully(int fd, const std::string &bytes, const std::string &path)
+{
+    size_t offset = 0;
+    while (offset < bytes.size()) {
+        ssize_t wrote =
+            ::write(fd, bytes.data() + offset, bytes.size() - offset);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("failed writing checkpoint journal: " + path + ": " +
+                  std::strerror(errno));
+        }
+        offset += static_cast<size_t>(wrote);
+    }
+}
+
+} // namespace
+
+JournalWriter::JournalWriter(std::string path, std::string kind,
+                             FsyncPolicy policy, unsigned batchInterval)
+    : path_(std::move(path)), kind_(std::move(kind)), policy_(policy),
+      batchInterval_(batchInterval == 0 ? 1 : batchInterval)
 {}
+
+JournalWriter::~JournalWriter()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
 
 void
 JournalWriter::append(const std::string &payload)
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    std::ofstream file(path_, std::ios::app);
-    if (!file)
-        fatal("cannot open checkpoint journal for append: " + path_);
-    if (!headerWritten_) {
-        // Only stamp the header when the file is empty — an existing
-        // journal being resumed already carries one.
-        std::ifstream probe(path_, std::ios::ate | std::ios::binary);
-        if (!probe || probe.tellg() == std::streampos(0))
-            file << headerLine(kind_) << "\n";
-        headerWritten_ = true;
+    if (fd_ < 0) {
+        // O_APPEND keeps every record atomic against concurrent
+        // writers of the same file; the header is stamped only when
+        // the file is empty — a journal being resumed carries one.
+        fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND,
+                     0644);
+        if (fd_ < 0)
+            fatal("cannot open checkpoint journal for append: " +
+                  path_ + ": " + std::strerror(errno));
+        off_t end = ::lseek(fd_, 0, SEEK_END);
+        if (end == 0)
+            writeFully(fd_, headerLine(kind_) + "\n", path_);
     }
-    file << checksumHex(fnv1a64(payload)) << ' ' << escapeLine(payload)
-         << "\n";
-    file.flush();
-    if (!file)
-        fatal("failed writing checkpoint journal: " + path_);
+    writeFully(fd_,
+               checksumHex(fnv1a64(payload)) + ' ' +
+                   escapeLine(payload) + "\n",
+               path_);
+    ++unsynced_;
+    switch (policy_) {
+    case FsyncPolicy::Record:
+        syncLocked();
+        break;
+    case FsyncPolicy::Batch:
+        if (unsynced_ >= batchInterval_)
+            syncLocked();
+        break;
+    case FsyncPolicy::Off:
+        break;
+    }
+}
+
+void
+JournalWriter::sync()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    syncLocked();
+}
+
+void
+JournalWriter::syncLocked()
+{
+    if (fd_ < 0)
+        return;
+    if (::fsync(fd_) != 0)
+        fatal("fsync failed on checkpoint journal: " + path_ + ": " +
+              std::strerror(errno));
+    unsynced_ = 0;
+}
+
+size_t
+JournalWriter::unsyncedRecords() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return unsynced_;
 }
 
 JournalLoad

@@ -20,9 +20,21 @@
  * silently drops the first corrupt or torn record and everything after
  * it — after a crash the tail of the file is untrusted by construction.
  *
- * Writers append under a mutex and flush after every record. That is the
- * strongest guarantee we need: fsync-level durability is overkill for
- * checkpoint files whose loss merely costs recomputation.
+ * Writers append under a mutex and flush after every record; how hard
+ * the flush pushes is the journal's *durability policy*:
+ *
+ *  - FsyncPolicy::Off     — write() into the kernel page cache only.
+ *    Survives any process death (SIGKILL included); an OS crash or
+ *    power loss may drop an unbounded tail.
+ *  - FsyncPolicy::Batch   — additionally fsync every batchInterval
+ *    records. An OS crash drops at most batchInterval-1 synced-past
+ *    records plus the in-flight one.
+ *  - FsyncPolicy::Record  — fsync after every record. An OS crash
+ *    drops at most the record being written.
+ *
+ * The torn-tail drop bound is therefore 0 / batchInterval-1 / unbounded
+ * *beyond* the in-flight record, which unsyncedRecords() exposes so
+ * tests can pin the policy's accounting.
  */
 
 #include <cstdint>
@@ -34,6 +46,22 @@ namespace keq::support {
 
 /** FNV-1a 64-bit hash; the journal's per-record checksum. */
 uint64_t fnv1a64(const std::string &bytes);
+
+/** When the journal pushes appended records to stable storage. */
+enum class FsyncPolicy {
+    Record, ///< fsync after every append
+    Batch,  ///< fsync every batchInterval appends
+    Off,    ///< flush to the kernel only (process-crash safe)
+};
+
+/** Stable lower-case name ("record"/"batch"/"off"). */
+const char *fsyncPolicyName(FsyncPolicy policy);
+
+/**
+ * Inverse of fsyncPolicyName; false (out untouched) on unknown names —
+ * CLI layers turn that into a usage error.
+ */
+bool fsyncPolicyFromName(const char *name, FsyncPolicy &out);
 
 /** One-line escaping: \\ \n \t \r -> two-character sequences. */
 std::string escapeLine(const std::string &text);
@@ -49,24 +77,53 @@ class JournalWriter
 {
   public:
     /**
-     * @param path  File to append to (created if missing).
-     * @param kind  Schema tag written in the header, e.g. "pipeline".
+     * @param path          File to append to (created if missing).
+     * @param kind          Schema tag in the header, e.g. "pipeline".
+     * @param policy        Durability policy for appends.
+     * @param batchInterval Records per fsync under FsyncPolicy::Batch
+     *                      (ignored otherwise; must be >= 1).
      */
-    JournalWriter(std::string path, std::string kind);
+    JournalWriter(std::string path, std::string kind,
+                  FsyncPolicy policy = FsyncPolicy::Off,
+                  unsigned batchInterval = kDefaultBatchInterval);
+
+    ~JournalWriter();
+
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
 
     /**
-     * Appends one record and flushes. Thread safe. Throws
-     * support::Error when the file cannot be opened or written.
+     * Appends one record, flushes, and fsyncs per policy. Thread safe.
+     * Throws support::Error when the file cannot be opened or written.
      */
     void append(const std::string &payload);
 
+    /** Forces an fsync of everything appended so far. Thread safe. */
+    void sync();
+
+    /**
+     * Records appended since the last fsync — the journal's own
+     * accounting of the torn-tail exposure. Always 0 under
+     * FsyncPolicy::Record; bounded by batchInterval-1 after any append
+     * returns under FsyncPolicy::Batch; monotone under Off.
+     */
+    size_t unsyncedRecords() const;
+
     const std::string &path() const { return path_; }
+    FsyncPolicy policy() const { return policy_; }
+
+    static constexpr unsigned kDefaultBatchInterval = 32;
 
   private:
+    void syncLocked();
+
     std::string path_;
     std::string kind_;
-    std::mutex mutex_;
-    bool headerWritten_ = false;
+    FsyncPolicy policy_;
+    unsigned batchInterval_;
+    mutable std::mutex mutex_;
+    int fd_ = -1;
+    size_t unsynced_ = 0;
 };
 
 /**

@@ -1,0 +1,317 @@
+#include "src/support/subprocess.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace keq::support {
+
+using Clock = std::chrono::steady_clock;
+
+std::string
+ExitStatus::describe() const
+{
+    if (exited)
+        return "exit code " + std::to_string(exitCode);
+    if (signaled) {
+        std::string name;
+#ifdef _GNU_SOURCE
+        const char *abbrev = sigabbrev_np(signal);
+        if (abbrev != nullptr)
+            name = std::string(" (SIG") + abbrev + ")";
+#endif
+        return "signal " + std::to_string(signal) + name;
+    }
+    return "still running";
+}
+
+Subprocess::~Subprocess()
+{
+    if (running()) {
+        ::kill(pid_, SIGKILL);
+        int raw = 0;
+        ::waitpid(pid_, &raw, 0);
+    }
+    closePipes();
+}
+
+Subprocess::Subprocess(Subprocess &&rhs) noexcept
+{
+    *this = std::move(rhs);
+}
+
+Subprocess &
+Subprocess::operator=(Subprocess &&rhs) noexcept
+{
+    if (this != &rhs) {
+        this->~Subprocess();
+        pid_ = rhs.pid_;
+        inFd_ = rhs.inFd_;
+        outFd_ = rhs.outFd_;
+        reaped_ = rhs.reaped_;
+        status_ = rhs.status_;
+        rhs.reset();
+    }
+    return *this;
+}
+
+void
+Subprocess::reset()
+{
+    pid_ = -1;
+    inFd_ = -1;
+    outFd_ = -1;
+    reaped_ = false;
+    status_ = ExitStatus{};
+}
+
+void
+Subprocess::closePipes()
+{
+    if (inFd_ >= 0)
+        ::close(inFd_);
+    if (outFd_ >= 0)
+        ::close(outFd_);
+    inFd_ = -1;
+    outFd_ = -1;
+}
+
+bool
+Subprocess::spawn(const std::vector<std::string> &argv,
+                  std::string &error)
+{
+    if (argv.empty()) {
+        error = "empty argv";
+        return false;
+    }
+    int toChild[2];   // parent writes -> child stdin
+    int fromChild[2]; // child stdout -> parent reads
+    int execStatus[2]; // close-on-exec: reports exec failure
+    if (::pipe(toChild) != 0) {
+        error = std::string("pipe: ") + std::strerror(errno);
+        return false;
+    }
+    if (::pipe(fromChild) != 0) {
+        error = std::string("pipe: ") + std::strerror(errno);
+        ::close(toChild[0]);
+        ::close(toChild[1]);
+        return false;
+    }
+    if (::pipe(execStatus) != 0 ||
+        ::fcntl(execStatus[1], F_SETFD, FD_CLOEXEC) != 0) {
+        error = std::string("pipe: ") + std::strerror(errno);
+        ::close(toChild[0]);
+        ::close(toChild[1]);
+        ::close(fromChild[0]);
+        ::close(fromChild[1]);
+        return false;
+    }
+
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        error = std::string("fork: ") + std::strerror(errno);
+        for (int fd : {toChild[0], toChild[1], fromChild[0],
+                       fromChild[1], execStatus[0], execStatus[1]})
+            ::close(fd);
+        return false;
+    }
+
+    if (pid == 0) {
+        // Child. Only async-signal-safe calls until exec.
+        ::dup2(toChild[0], STDIN_FILENO);
+        ::dup2(fromChild[1], STDOUT_FILENO);
+        for (int fd : {toChild[0], toChild[1], fromChild[0],
+                       fromChild[1], execStatus[0]})
+            ::close(fd);
+        std::vector<char *> args;
+        args.reserve(argv.size() + 1);
+        for (const std::string &arg : argv)
+            args.push_back(const_cast<char *>(arg.c_str()));
+        args.push_back(nullptr);
+        ::execv(args[0], args.data());
+        // exec failed: report errno through the status pipe, then die.
+        int err = errno;
+        ssize_t ignored = ::write(execStatus[1], &err, sizeof err);
+        (void)ignored;
+        ::_exit(127);
+    }
+
+    // Parent.
+    ::close(toChild[0]);
+    ::close(fromChild[1]);
+    ::close(execStatus[1]);
+    int execErrno = 0;
+    ssize_t got = ::read(execStatus[0], &execErrno, sizeof execErrno);
+    ::close(execStatus[0]);
+    if (got > 0) {
+        // exec failed inside the child; reap it now.
+        int raw = 0;
+        ::waitpid(pid, &raw, 0);
+        ::close(toChild[1]);
+        ::close(fromChild[0]);
+        error = argv[0] + ": exec failed: " + std::strerror(execErrno);
+        return false;
+    }
+
+    pid_ = pid;
+    inFd_ = toChild[1];
+    outFd_ = fromChild[0];
+    reaped_ = false;
+    status_ = ExitStatus{};
+    return true;
+}
+
+IoStatus
+Subprocess::readExact(std::string &out, size_t bytes,
+                      unsigned deadline_ms)
+{
+    if (outFd_ < 0)
+        return IoStatus::Error;
+    Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(deadline_ms);
+    size_t remaining = bytes;
+    char buffer[4096];
+    while (remaining > 0) {
+        int wait_ms = -1;
+        if (deadline_ms > 0) {
+            auto left = std::chrono::duration_cast<
+                std::chrono::milliseconds>(deadline - Clock::now());
+            if (left.count() <= 0)
+                return IoStatus::Timeout;
+            wait_ms = static_cast<int>(left.count());
+        }
+        struct pollfd pfd = {outFd_, POLLIN, 0};
+        int ready = ::poll(&pfd, 1, wait_ms);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return IoStatus::Error;
+        }
+        if (ready == 0)
+            return IoStatus::Timeout;
+        size_t chunk = remaining < sizeof buffer ? remaining
+                                                 : sizeof buffer;
+        ssize_t got = ::read(outFd_, buffer, chunk);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            return IoStatus::Error;
+        }
+        if (got == 0)
+            return IoStatus::Eof;
+        out.append(buffer, static_cast<size_t>(got));
+        remaining -= static_cast<size_t>(got);
+    }
+    return IoStatus::Ok;
+}
+
+bool
+Subprocess::writeAll(const std::string &bytes)
+{
+    if (inFd_ < 0)
+        return false;
+    size_t offset = 0;
+    while (offset < bytes.size()) {
+        ssize_t wrote =
+            ::write(inFd_, bytes.data() + offset, bytes.size() - offset);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            return false; // EPIPE: dead worker (SIGPIPE is ignored)
+        }
+        offset += static_cast<size_t>(wrote);
+    }
+    return true;
+}
+
+bool
+Subprocess::kill(int signo)
+{
+    if (pid_ <= 0 || reaped_)
+        return false;
+    return ::kill(pid_, signo) == 0;
+}
+
+bool
+Subprocess::tryWait(ExitStatus &status)
+{
+    if (pid_ <= 0)
+        return false;
+    if (reaped_) {
+        status = status_;
+        return true;
+    }
+    int raw = 0;
+    pid_t got = ::waitpid(pid_, &raw, WNOHANG);
+    if (got != pid_)
+        return false;
+    reaped_ = true;
+    if (WIFEXITED(raw)) {
+        status_.exited = true;
+        status_.exitCode = WEXITSTATUS(raw);
+    } else if (WIFSIGNALED(raw)) {
+        status_.signaled = true;
+        status_.signal = WTERMSIG(raw);
+    }
+    status = status_;
+    return true;
+}
+
+ExitStatus
+Subprocess::waitOrKill(unsigned grace_ms)
+{
+    ExitStatus status;
+    Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(grace_ms);
+    while (!tryWait(status)) {
+        if (Clock::now() >= deadline) {
+            kill(SIGKILL);
+            int raw = 0;
+            if (::waitpid(pid_, &raw, 0) == pid_) {
+                reaped_ = true;
+                if (WIFEXITED(raw)) {
+                    status_.exited = true;
+                    status_.exitCode = WEXITSTATUS(raw);
+                } else if (WIFSIGNALED(raw)) {
+                    status_.signaled = true;
+                    status_.signal = WTERMSIG(raw);
+                }
+            }
+            return status_;
+        }
+        ::usleep(2000);
+    }
+    return status;
+}
+
+std::string
+currentExecutableDir()
+{
+    char buffer[4096];
+    ssize_t got =
+        ::readlink("/proc/self/exe", buffer, sizeof buffer - 1);
+    if (got <= 0)
+        return {};
+    buffer[got] = '\0';
+    std::string path(buffer);
+    size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? std::string()
+                                      : path.substr(0, slash);
+}
+
+bool
+isExecutableFile(const std::string &path)
+{
+    struct stat st;
+    return !path.empty() && ::stat(path.c_str(), &st) == 0 &&
+           S_ISREG(st.st_mode) && ::access(path.c_str(), X_OK) == 0;
+}
+
+} // namespace keq::support

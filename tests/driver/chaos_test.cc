@@ -7,10 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <unistd.h>
 
 #include "src/driver/corpus.h"
@@ -149,6 +151,48 @@ TEST(ChaosTest, SaturatedFaultsTerminateWithClassifiedFailures)
         }
     }
     EXPECT_GT(report.solverStats.faultsInjected, 0u);
+}
+
+TEST(ChaosTest, MidRunCancellationUnderParallelismIsNeverJournaled)
+{
+    llvmir::Module module = corpusModule(10);
+    PipelineOptions options;
+    ModuleReport reference = Pipeline(options, {}).run(module);
+
+    TempFile checkpoint("midcancel");
+    ExecutionOptions exec;
+    exec.jobs = 4;
+    exec.checkpointPath = checkpoint.path;
+    exec.cancel = support::CancellationToken::create();
+    std::thread canceller([&exec] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(60));
+        exec.cancel.cancel(); // SIGINT lands while 4 workers are busy
+    });
+    ModuleReport stormed = Pipeline(options, exec).runParallel(module);
+    canceller.join();
+
+    // Every function is reported, split cleanly into completed-before-
+    // the-cancel and cancelled; nothing hangs, nothing is lost.
+    ASSERT_EQ(stormed.functions.size(), reference.functions.size());
+    size_t completed = 0;
+    for (const FunctionReport &fn : stormed.functions) {
+        if (fn.verdict.failure == FailureKind::Cancelled) {
+            EXPECT_EQ(fn.outcome, Outcome::Timeout);
+        } else {
+            EXPECT_EQ(fn.verdict.failure, FailureKind::None);
+            ++completed;
+        }
+    }
+
+    // Cancelled verdicts must never reach the journal: a resume may
+    // only restore genuinely completed functions, and recomputing the
+    // remainder converges on the clean summary.
+    ExecutionOptions resume;
+    resume.checkpointPath = checkpoint.path;
+    resume.resume = true;
+    ModuleReport resumed = Pipeline(options, resume).run(module);
+    EXPECT_LE(resumed.resumedFunctions, completed);
+    EXPECT_EQ(resumed.canonicalSummary(), reference.canonicalSummary());
 }
 
 TEST(ChaosTest, CancelledRunReportsEveryFunctionWithoutJournaling)

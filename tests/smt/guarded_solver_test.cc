@@ -277,5 +277,81 @@ TEST(GuardedSolverTest, MidQueryCancellationInterruptsTheBackend)
     EXPECT_EQ(primary.calls(), 1u) << "cancelled work is not retried";
 }
 
+/**
+ * Models the nastiest interleaving: SIGINT lands in the same instant
+ * the watchdog deadline fires. The hang only breaks when interrupted,
+ * and the interruption itself cancels the run token — so by the time
+ * the guard classifies the Unknown, both "deadline fired" and
+ * "cancelled" are true simultaneously.
+ */
+class CancelOnInterruptSolver : public Solver
+{
+  public:
+    CancelOnInterruptSolver(TermFactory &tf,
+                            support::CancellationToken cancel)
+        : tf_(tf), cancel_(std::move(cancel))
+    {}
+
+    SatResult
+    checkSat(const std::vector<Term> &) override
+    {
+        ++stats_.queries;
+        ++calls_;
+        auto start = std::chrono::steady_clock::now();
+        while (!interrupted_.load() &&
+               std::chrono::steady_clock::now() - start <
+                   std::chrono::seconds(5)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        interrupted_.store(false);
+        ++stats_.unknown;
+        return SatResult::Unknown;
+    }
+
+    void setTimeoutMs(unsigned) override {}
+
+    void
+    interruptQuery() override
+    {
+        cancel_.cancel();
+        interrupted_.store(true);
+    }
+
+    std::string lastUnknownReason() const override { return "canceled"; }
+    const SolverStats &stats() const override { return stats_; }
+    size_t calls() const { return calls_; }
+
+  protected:
+    TermFactory &factory() override { return tf_; }
+
+  private:
+    TermFactory &tf_;
+    support::CancellationToken cancel_;
+    std::atomic<bool> interrupted_{false};
+    size_t calls_ = 0;
+    SolverStats stats_;
+};
+
+TEST(GuardedSolverTest, CancellationRacingTheDeadlineClassifiesCancelled)
+{
+    TermFactory tf;
+    GuardedSolverOptions options = fastOptions();
+    options.deadlineMs = 40;
+    options.retries = 3;
+    options.cancel = support::CancellationToken::create();
+    CancelOnInterruptSolver primary(tf, options.cancel);
+    // A fallback rung that would happily answer — escalating cancelled
+    // work would be as wrong as retrying it.
+    GuardedSolver guard(tf, primary, {rungOf(tf, {Step::Sat})},
+                        options);
+
+    EXPECT_EQ(guard.checkSat({}), SatResult::Unknown);
+    EXPECT_EQ(guard.lastFailureKind(), FailureKind::Cancelled)
+        << "cancellation must beat the simultaneous deadline";
+    EXPECT_EQ(primary.calls(), 1u) << "no retry of cancelled work";
+    EXPECT_EQ(guard.stats().guardedEscalations, 0u)
+        << "no escalation of cancelled work";
+}
+
 } // namespace
 } // namespace keq::smt

@@ -144,6 +144,67 @@ TEST(JournalTest, ChecksumCorruptionTerminatesTheScan)
     EXPECT_EQ(load.truncatedRecords, 2u);
 }
 
+TEST(JournalTest, FsyncPolicyNamesRoundTrip)
+{
+    const FsyncPolicy kAll[] = {FsyncPolicy::Record, FsyncPolicy::Batch,
+                                FsyncPolicy::Off};
+    for (FsyncPolicy policy : kAll) {
+        FsyncPolicy back = FsyncPolicy::Record;
+        ASSERT_TRUE(fsyncPolicyFromName(fsyncPolicyName(policy), back))
+            << fsyncPolicyName(policy);
+        EXPECT_EQ(back, policy);
+    }
+    FsyncPolicy out = FsyncPolicy::Batch;
+    EXPECT_FALSE(fsyncPolicyFromName("always", out));
+    EXPECT_FALSE(fsyncPolicyFromName("", out));
+    EXPECT_EQ(out, FsyncPolicy::Batch) << "failed parse must not write";
+}
+
+/**
+ * The durability contract of each policy, observed through the
+ * unsynced-record accounting: Record never leaves a record unsynced,
+ * Batch holds at most batchInterval - 1, Off never syncs on its own but
+ * sync() always drains. (A true power-loss test needs fault injection
+ * below the filesystem; the counter is the testable proxy for the
+ * torn-tail bound each policy guarantees.)
+ */
+TEST(JournalTest, FsyncPolicyBoundsUnsyncedRecords)
+{
+    TempFile record_file("fsync-record");
+    JournalWriter record(record_file.path, "test-kind",
+                         FsyncPolicy::Record);
+    for (int i = 0; i < 5; ++i) {
+        record.append("r" + std::to_string(i));
+        EXPECT_EQ(record.unsyncedRecords(), 0u);
+    }
+
+    TempFile batch_file("fsync-batch");
+    constexpr unsigned kInterval = 4;
+    JournalWriter batch(batch_file.path, "test-kind", FsyncPolicy::Batch,
+                        kInterval);
+    for (unsigned i = 1; i <= 3 * kInterval; ++i) {
+        batch.append("b" + std::to_string(i));
+        EXPECT_LT(batch.unsyncedRecords(), kInterval)
+            << "after record " << i;
+        EXPECT_EQ(batch.unsyncedRecords(), i % kInterval);
+    }
+
+    TempFile off_file("fsync-off");
+    JournalWriter off(off_file.path, "test-kind", FsyncPolicy::Off);
+    for (int i = 0; i < 7; ++i)
+        off.append("o" + std::to_string(i));
+    EXPECT_EQ(off.unsyncedRecords(), 7u);
+    off.sync();
+    EXPECT_EQ(off.unsyncedRecords(), 0u);
+
+    // Whatever the policy, every record is durable in the file itself
+    // (the fd is O_APPEND and written synchronously; fsync only moves
+    // the kernel-crash boundary).
+    JournalLoad load = loadJournal(off_file.path, "test-kind");
+    ASSERT_TRUE(load.ok) << load.error;
+    EXPECT_EQ(load.records.size(), 7u);
+}
+
 TEST(JournalTest, AppendingToALoadedJournalContinuesIt)
 {
     TempFile file("resume");

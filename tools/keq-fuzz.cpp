@@ -20,6 +20,8 @@
  *     --list-mutations    print the mutation catalogue and exit
  *     --max-seconds=S     safety cap on the random phase (0 = none)
  *     --checkpoint=FILE   journal iteration outcomes to FILE
+ *     --checkpoint-fsync=record|batch|off
+ *                         checkpoint durability (default off)
  *     --resume            restore journaled iterations from FILE
  *     --no-calibrate      skip the per-entry exemplar calibration
  *     --no-shrink         report failing seeds unshrunk
@@ -63,7 +65,8 @@ usage(const char *argv0)
               << "  --seed=N --jobs=N --iterations=N --trials=N\n"
               << "  --mutation=ID --corpus-dir=DIR --replay=FILE\n"
               << "  --list-mutations --max-seconds=S --no-calibrate\n"
-              << "  --checkpoint=FILE --resume\n"
+              << "  --checkpoint=FILE --checkpoint-fsync=record|batch|off "
+                 "--resume\n"
               << "  --no-shrink --check-classes --summary --json=FILE\n";
     std::exit(2);
 }
@@ -113,6 +116,12 @@ parseArgs(int argc, char **argv)
             options.campaign.maxSeconds = number_of("--max-seconds=");
         } else if (arg.rfind("--checkpoint=", 0) == 0) {
             options.campaign.checkpointPath = value_of("--checkpoint=");
+        } else if (arg.rfind("--checkpoint-fsync=", 0) == 0) {
+            if (!keq::support::fsyncPolicyFromName(
+                    value_of("--checkpoint-fsync=").c_str(),
+                    options.campaign.checkpointFsync)) {
+                usage(argv[0]);
+            }
         } else if (arg == "--resume") {
             options.campaign.resume = true;
         } else if (arg == "--no-calibrate") {

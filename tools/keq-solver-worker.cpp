@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Sandboxed solver worker: one solver stack in a disposable process.
+ *
+ * Spawned by smt::WorkerSupervisor with its stdin/stdout as the wire
+ * protocol transport (src/smt/wire.h). The process is the containment
+ * boundary: hard setrlimit caps (RLIMIT_AS, RLIMIT_CPU, RLIMIT_CORE=0)
+ * bound what any single query can cost the machine, and any crash —
+ * solver segfault, allocation storm, wedged native code — kills this
+ * process only, to be classified and absorbed by the supervisor.
+ *
+ * Protocol role: emit Ready, then serve Reset/Query/Shutdown frames.
+ * A Reset begins a *session*: a fresh TermFactory plus the same solver
+ * stack the in-process pipeline runs (incremental Z3 -> memoizing
+ * cache -> guarded escalation ladder), so sandboxed verdicts are
+ * bit-identical to in-process ones. The query cache outlives sessions
+ * (its structural fingerprints are factory-independent). While a query
+ * is in flight a heartbeat thread reports liveness and resident-set
+ * size; the RSS rides into the supervisor's OOM forensics.
+ *
+ * Exit codes: 0 on Shutdown/EOF, 2 on usage errors, 77 when a query
+ * hits std::bad_alloc (self-reported OOM under the rlimit), 3 on a
+ * transport failure (parent vanished).
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include "src/smt/caching_solver.h"
+#include "src/smt/guarded_solver.h"
+#include "src/smt/incremental_z3_solver.h"
+#include "src/smt/sandbox.h"
+#include "src/smt/term_factory.h"
+#include "src/smt/wire.h"
+#include "src/smt/z3_solver.h"
+
+namespace {
+
+using namespace keq;
+
+/** Transport fds: stdin stays the inbound pipe; the outbound pipe is
+ *  dup'ed away from fd 1 so stray printf()s (Z3 diagnostics, debug
+ *  output) land on stderr instead of corrupting the protocol. */
+int gWireIn = 0;
+int gWireOut = -1;
+
+std::mutex gWriteMutex;           // serializes whole frames
+std::atomic<uint64_t> gInFlight{0}; // seq of the running query, 0 = idle
+
+bool
+writeFrame(const std::string &bytes)
+{
+    size_t offset = 0;
+    while (offset < bytes.size()) {
+        ssize_t wrote = ::write(gWireOut, bytes.data() + offset,
+                                bytes.size() - offset);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        offset += static_cast<size_t>(wrote);
+    }
+    return true;
+}
+
+bool
+readExact(std::string &out, size_t bytes)
+{
+    char buffer[4096];
+    while (bytes > 0) {
+        size_t chunk = bytes < sizeof buffer ? bytes : sizeof buffer;
+        ssize_t got = ::read(gWireIn, buffer, chunk);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (got == 0)
+            return false; // parent closed the pipe
+        out.append(buffer, static_cast<size_t>(got));
+        bytes -= static_cast<size_t>(got);
+    }
+    return true;
+}
+
+/** Resident set in KB from /proc/self/statm (0 when unreadable). */
+uint64_t
+residentKb()
+{
+    std::FILE *statm = std::fopen("/proc/self/statm", "r");
+    if (statm == nullptr)
+        return 0;
+    unsigned long totalPages = 0, residentPages = 0;
+    int fields = std::fscanf(statm, "%lu %lu", &totalPages,
+                             &residentPages);
+    std::fclose(statm);
+    if (fields != 2)
+        return 0;
+    long pageSize = ::sysconf(_SC_PAGESIZE);
+    return uint64_t(residentPages) *
+           static_cast<uint64_t>(pageSize > 0 ? pageSize : 4096) / 1024;
+}
+
+void
+applyRlimits(unsigned memoryMb, unsigned cpuSeconds)
+{
+    // Never write core files: a chaos run SIGSEGVs workers on purpose
+    // and must not litter (or slow down on) multi-GB dumps.
+    struct rlimit none = {0, 0};
+    ::setrlimit(RLIMIT_CORE, &none);
+    if (memoryMb > 0) {
+        rlim_t bytes = rlim_t(memoryMb) << 20;
+        struct rlimit cap = {bytes, bytes};
+        ::setrlimit(RLIMIT_AS, &cap);
+    }
+    if (cpuSeconds > 0) {
+        struct rlimit cap = {cpuSeconds, cpuSeconds};
+        ::setrlimit(RLIMIT_CPU, &cap);
+    }
+}
+
+/** One Reset's worth of state: fresh factory + solver stack. */
+struct Session
+{
+    std::unique_ptr<smt::TermFactory> factory;
+    std::unique_ptr<smt::IncrementalZ3Solver> backend;
+    std::unique_ptr<smt::CachingSolver> caching;
+    std::unique_ptr<smt::GuardedSolver> guard;
+    smt::wire::VarSortContext varSorts;
+    unsigned timeoutMs = 0;
+
+    static Session
+    make(const smt::wire::ResetFrame &config,
+         const std::shared_ptr<smt::QueryCache> &cache)
+    {
+        Session s;
+        s.factory = std::make_unique<smt::TermFactory>();
+        s.backend =
+            std::make_unique<smt::IncrementalZ3Solver>(*s.factory);
+        s.caching = std::make_unique<smt::CachingSolver>(
+            *s.factory, *s.backend, cache);
+        // The guard's terminal rung is a pristine cold solver — the
+        // same ladder the in-process pipeline runs, so escalation
+        // behaviour (and therefore verdicts) match exactly.
+        smt::TermFactory *factory = s.factory.get();
+        std::vector<smt::GuardedSolver::RungFactory> fallbacks;
+        fallbacks.push_back([factory] {
+            return std::make_unique<smt::Z3Solver>(*factory);
+        });
+        smt::GuardedSolverOptions guardOptions;
+        guardOptions.deadlineMs =
+            config.timeoutMs > 0 ? config.timeoutMs + 1000 : 0;
+        s.guard = std::make_unique<smt::GuardedSolver>(
+            *s.factory, *s.caching, std::move(fallbacks),
+            guardOptions);
+        s.timeoutMs = config.timeoutMs;
+        s.guard->setTimeoutMs(config.timeoutMs);
+        if (config.memoryBudgetMb > 0)
+            s.guard->setMemoryBudgetMb(config.memoryBudgetMb);
+        return s;
+    }
+};
+
+/** Liveness thread: beats only while a query is in flight, and only
+ *  outside the moment the main thread is emitting that query's Result
+ *  (the shared write mutex + in-flight re-check guarantee no frame is
+ *  ever sequenced after its own Result). */
+void
+heartbeatLoop(unsigned intervalMs, const std::atomic<bool> *stop)
+{
+    while (!stop->load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(intervalMs));
+        std::unique_lock<std::mutex> lock(gWriteMutex);
+        uint64_t seq = gInFlight.load(std::memory_order_relaxed);
+        if (seq == 0)
+            continue;
+        smt::wire::HeartbeatFrame beat;
+        beat.querySeq = seq;
+        beat.rssKb = residentKb();
+        writeFrame(smt::wire::encodeHeartbeat(beat));
+    }
+}
+
+int
+workerMain(unsigned memoryMb, unsigned cpuSeconds, unsigned heartbeatMs)
+{
+    applyRlimits(memoryMb, cpuSeconds);
+    // The supervisor owns this process's lifetime; a SIGINT aimed at
+    // the operator's keqc run must not race the supervisor's own
+    // teardown. SIGPIPE becomes an EPIPE write error.
+    std::signal(SIGINT, SIG_IGN);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    // Re-point the protocol away from fd 1 (see gWireOut above).
+    gWireOut = ::dup(STDOUT_FILENO);
+    if (gWireOut < 0)
+        return 3;
+    ::dup2(STDERR_FILENO, STDOUT_FILENO);
+
+    {
+        smt::wire::ReadyFrame ready;
+        ready.protocolVersion = smt::wire::kProtocolVersion;
+        ready.pid = static_cast<uint64_t>(::getpid());
+        std::unique_lock<std::mutex> lock(gWriteMutex);
+        if (!writeFrame(smt::wire::encodeReady(ready)))
+            return 3;
+    }
+
+    std::atomic<bool> stopHeartbeat{false};
+    std::thread heartbeat(heartbeatLoop,
+                          heartbeatMs == 0 ? 250 : heartbeatMs,
+                          &stopHeartbeat);
+
+    // The verdict cache outlives sessions: fingerprints are
+    // factory-independent, so verdicts proven for one function answer
+    // identical queries from later ones.
+    auto cache = std::make_shared<smt::QueryCache>();
+    std::unique_ptr<Session> session;
+
+    int exitCode = 0;
+    for (;;) {
+        std::string header;
+        if (!readExact(header, 4)) {
+            exitCode = 0; // parent closed: normal teardown
+            break;
+        }
+        smt::wire::Decoder headerDec(header);
+        uint32_t length = 0;
+        headerDec.u32(length);
+        if (length == 0 || length > smt::wire::kMaxFramePayload) {
+            exitCode = 3;
+            break;
+        }
+        std::string payload;
+        if (!readExact(payload, length)) {
+            exitCode = 3;
+            break;
+        }
+        smt::wire::FrameType type;
+        std::string body;
+        if (!smt::wire::splitFrame(payload, type, body)) {
+            std::unique_lock<std::mutex> lock(gWriteMutex);
+            writeFrame(smt::wire::encodeError("unknown frame type"));
+            continue;
+        }
+
+        if (type == smt::wire::FrameType::Shutdown) {
+            exitCode = 0;
+            break;
+        }
+        if (type == smt::wire::FrameType::Reset) {
+            smt::wire::ResetFrame config;
+            std::string error;
+            if (!smt::wire::decodeReset(body, config, error)) {
+                std::unique_lock<std::mutex> lock(gWriteMutex);
+                writeFrame(smt::wire::encodeError(
+                    "corrupt reset frame: " + error));
+                continue;
+            }
+            session = std::make_unique<Session>(
+                Session::make(config, cache));
+            continue;
+        }
+        if (type != smt::wire::FrameType::Query) {
+            std::unique_lock<std::mutex> lock(gWriteMutex);
+            writeFrame(
+                smt::wire::encodeError("unexpected frame from parent"));
+            continue;
+        }
+        if (session == nullptr) {
+            std::unique_lock<std::mutex> lock(gWriteMutex);
+            writeFrame(
+                smt::wire::encodeError("query before first reset"));
+            continue;
+        }
+
+        smt::wire::QueryFrame query;
+        std::string error;
+        if (!smt::wire::decodeQuery(body, *session->factory,
+                                    &session->varSorts, query, error)) {
+            std::unique_lock<std::mutex> lock(gWriteMutex);
+            writeFrame(
+                smt::wire::encodeError("corrupt query: " + error));
+            continue;
+        }
+
+        if (query.timeoutMs != session->timeoutMs) {
+            session->guard->setTimeoutMs(query.timeoutMs);
+            session->timeoutMs = query.timeoutMs;
+        }
+
+        smt::wire::ResultFrame result;
+        result.seq = query.seq;
+        smt::SolverStats before = session->guard->stats();
+        gInFlight.store(query.seq, std::memory_order_relaxed);
+        try {
+            result.result =
+                session->guard->checkSat(query.assertions);
+            result.failureKind = session->guard->lastFailureKind();
+            result.unknownReason =
+                session->guard->lastUnknownReason();
+        } catch (const std::bad_alloc &) {
+            // The rlimit tripped inside the solver. The heap may be
+            // unusable; report via the exit code, not the wire.
+            std::_Exit(smt::kWorkerOomExitCode);
+        } catch (const std::exception &crash) {
+            // The guard absorbs backend crashes while rungs remain;
+            // one escaping means the whole ladder failed.
+            result.result = smt::SatResult::Unknown;
+            result.failureKind = FailureKind::SolverCrash;
+            result.unknownReason = crash.what();
+        }
+        result.stats = session->guard->stats() - before;
+
+        std::unique_lock<std::mutex> lock(gWriteMutex);
+        gInFlight.store(0, std::memory_order_relaxed);
+        if (!writeFrame(smt::wire::encodeResult(result))) {
+            exitCode = 3;
+            break;
+        }
+    }
+
+    stopHeartbeat = true;
+    gInFlight = 0;
+    heartbeat.join();
+    return exitCode;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned memoryMb = 0, cpuSeconds = 0, heartbeatMs = 250;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto number = [&](const char *prefix, unsigned &out) {
+            size_t n = std::strlen(prefix);
+            if (std::strncmp(arg, prefix, n) != 0)
+                return false;
+            out = static_cast<unsigned>(std::strtoul(arg + n, nullptr,
+                                                     10));
+            return true;
+        };
+        if (number("--memory-mb=", memoryMb) ||
+            number("--cpu-seconds=", cpuSeconds) ||
+            number("--heartbeat-ms=", heartbeatMs))
+            continue;
+        std::fprintf(stderr,
+                     "keq-solver-worker: unknown option '%s'\n", arg);
+        return 2;
+    }
+    return workerMain(memoryMb, cpuSeconds, heartbeatMs);
+}

@@ -30,10 +30,19 @@
  *     --retries=N         same-rung solver retries before escalating
  *     --solver-memory-mb=N per-query Z3 memory budget (0 = none)
  *     --checkpoint=PATH   journal verdicts to PATH as they are decided
+ *     --checkpoint-fsync=record|batch|off
+ *                         checkpoint durability (default off: flushed,
+ *                         not fsynced)
  *     --resume            load the checkpoint and skip decided functions
  *     --chaos=PCT         inject PCT% solver faults (chaos testing)
  *     --chaos-seed=N      fault schedule seed (default 1)
+ *     --sandbox           run solver queries in sandboxed worker
+ *                         processes (crash containment + hard rlimits)
+ *     --sandbox-workers=N worker pool size (0 = match --jobs)
+ *     --worker-memory-mb=N hard RLIMIT_AS per worker (0 = uncapped)
+ *     --worker-path=PATH  explicit keq-solver-worker binary
  *     --stats             print per-stage solver counters after the run
+ *     --stats-json=PATH   dump the full stats/failure taxonomy as JSON
  *     --gen-corpus=N      print an N-function Figure 6 corpus and exit
  *     --corpus-seed=N     corpus generator seed (default 0x6cc2006)
  *
@@ -57,6 +66,7 @@
 #include "src/llvmir/parser.h"
 #include "src/llvmir/verifier.h"
 #include "src/support/cancellation.h"
+#include "src/support/journal.h"
 #include "src/vcgen/vcgen.h"
 
 namespace {
@@ -76,6 +86,7 @@ struct CliOptions
 {
     std::string path;
     std::string only_function;
+    std::string stats_json;
     bool print_mir = false;
     bool print_sync = false;
     bool print_stats = false;
@@ -98,9 +109,12 @@ usage(const char *argv0)
               << "  --smt-timeout-ms=N --jobs=N --no-solver-cache\n"
               << "  --solver-cache-mb=N --no-smt-opt --stats\n"
               << "  --deadline-ms=N --retries=N --solver-memory-mb=N\n"
-              << "  --checkpoint=PATH --resume --chaos=PCT "
-                 "--chaos-seed=N\n"
-              << "  --gen-corpus=N --corpus-seed=N\n";
+              << "  --checkpoint=PATH --checkpoint-fsync=record|batch|off "
+                 "--resume\n"
+              << "  --chaos=PCT --chaos-seed=N\n"
+              << "  --sandbox --sandbox-workers=N --worker-memory-mb=N "
+                 "--worker-path=PATH\n"
+              << "  --stats-json=PATH --gen-corpus=N --corpus-seed=N\n";
     std::exit(2);
 }
 
@@ -187,6 +201,24 @@ parseArgs(int argc, char **argv)
                 static_cast<unsigned>(number_of("--solver-memory-mb="));
         } else if (arg.rfind("--checkpoint=", 0) == 0) {
             options.exec.checkpointPath = value_of("--checkpoint=");
+        } else if (arg.rfind("--checkpoint-fsync=", 0) == 0) {
+            if (!keq::support::fsyncPolicyFromName(
+                    value_of("--checkpoint-fsync=").c_str(),
+                    options.exec.checkpointFsync)) {
+                usage(argv[0]);
+            }
+        } else if (arg == "--sandbox") {
+            options.exec.sandbox = true;
+        } else if (arg.rfind("--sandbox-workers=", 0) == 0) {
+            options.exec.sandboxWorkers =
+                static_cast<unsigned>(number_of("--sandbox-workers="));
+        } else if (arg.rfind("--worker-memory-mb=", 0) == 0) {
+            options.exec.workerMemoryMb =
+                static_cast<unsigned>(number_of("--worker-memory-mb="));
+        } else if (arg.rfind("--worker-path=", 0) == 0) {
+            options.exec.workerPath = value_of("--worker-path=");
+        } else if (arg.rfind("--stats-json=", 0) == 0) {
+            options.stats_json = value_of("--stats-json=");
         } else if (arg == "--resume") {
             options.exec.resume = true;
         } else if (arg.rfind("--chaos=", 0) == 0) {
@@ -231,6 +263,118 @@ parseArgs(int argc, char **argv)
     if (options.path.empty() && options.gen_corpus == 0)
         usage(argv[0]);
     return options;
+}
+
+/**
+ * --stats-json: machine-readable dump of the run — outcome counts, the
+ * FailureKind histogram over verdicts, the full SolverStats block
+ * (aggregated over functions exactly like --stats), and the cache
+ * counters. Keys are snake_case and only ever added, so dashboards can
+ * diff runs across versions.
+ */
+bool
+writeStatsJson(const std::string &path,
+               const keq::driver::ModuleReport &report)
+{
+    using namespace keq;
+    smt::SolverStats stats;
+    for (const driver::FunctionReport &fn : report.functions)
+        stats += fn.verdict.stats.solverStats;
+
+    constexpr FailureKind kKinds[] = {
+        FailureKind::None,         FailureKind::Timeout,
+        FailureKind::MemoryBudget, FailureKind::SolverUnknown,
+        FailureKind::SolverCrash,  FailureKind::Cancelled,
+        FailureKind::WorkerKilled, FailureKind::WorkerOom,
+    };
+    uint64_t failure_counts[std::size(kKinds)] = {};
+    for (const driver::FunctionReport &fn : report.functions) {
+        for (size_t i = 0; i < std::size(kKinds); ++i) {
+            if (fn.verdict.failure == kKinds[i])
+                ++failure_counts[i];
+        }
+    }
+
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    auto count = [&report](driver::Outcome outcome) {
+        return static_cast<unsigned long long>(
+            report.countOutcome(outcome));
+    };
+    out << "{\n";
+    out << "  \"functions\": " << report.functions.size() << ",\n";
+    out << "  \"outcomes\": {\n"
+        << "    \"succeeded\": " << count(driver::Outcome::Succeeded)
+        << ",\n"
+        << "    \"timeout\": " << count(driver::Outcome::Timeout)
+        << ",\n"
+        << "    \"out_of_memory\": "
+        << count(driver::Outcome::OutOfMemory) << ",\n"
+        << "    \"other\": " << count(driver::Outcome::Other) << ",\n"
+        << "    \"unsupported\": "
+        << count(driver::Outcome::Unsupported) << "\n  },\n";
+    out << "  \"failures\": {\n";
+    for (size_t i = 0; i < std::size(kKinds); ++i) {
+        out << "    \"" << failureKindName(kKinds[i])
+            << "\": " << failure_counts[i]
+            << (i + 1 < std::size(kKinds) ? ",\n" : "\n");
+    }
+    out << "  },\n";
+    out << "  \"solver\": {\n";
+    struct SolverField
+    {
+        const char *name;
+        uint64_t value;
+    };
+    const SolverField fields[] = {
+        {"queries", stats.queries},
+        {"sat", stats.sat},
+        {"unsat", stats.unsat},
+        {"unknown", stats.unknown},
+        {"cache_hits", stats.cacheHits},
+        {"cache_misses", stats.cacheMisses},
+        {"cache_evictions", stats.cacheEvictions},
+        {"rewrite_resolved", stats.rewriteResolved},
+        {"rewrite_applications", stats.rewriteApplications},
+        {"slice_resolved", stats.sliceResolved},
+        {"sliced_assertions", stats.slicedAssertions},
+        {"incremental_reused", stats.incrementalReused},
+        {"incremental_solves", stats.incrementalSolves},
+        {"incremental_fallbacks", stats.incrementalFallbacks},
+        {"cold_solves", stats.coldSolves},
+        {"watchdog_interrupts", stats.watchdogInterrupts},
+        {"guarded_retries", stats.guardedRetries},
+        {"guarded_escalations", stats.guardedEscalations},
+        {"escalated_resolved", stats.escalatedResolved},
+        {"solver_crashes", stats.solverCrashes},
+        {"faults_injected", stats.faultsInjected},
+        {"worker_crashes", stats.workerCrashes},
+        {"worker_restarts", stats.workerRestarts},
+        {"heartbeat_timeouts", stats.heartbeatTimeouts},
+        {"wire_bytes_sent", stats.wireBytesSent},
+        {"wire_bytes_received", stats.wireBytesReceived},
+    };
+    for (const SolverField &field : fields) {
+        out << "    \"" << field.name << "\": "
+            << static_cast<unsigned long long>(field.value) << ",\n";
+    }
+    out << "    \"total_seconds\": " << stats.totalSeconds << "\n  },\n";
+    out << "  \"cache\": {\n"
+        << "    \"hits\": " << report.cacheStats.hits << ",\n"
+        << "    \"misses\": " << report.cacheStats.misses << ",\n"
+        << "    \"model_hits\": " << report.cacheStats.modelHits
+        << ",\n"
+        << "    \"evictions\": " << report.cacheStats.evictions << ",\n"
+        << "    \"entries\": " << report.cacheStats.entries
+        << "\n  },\n";
+    out << "  \"resumed_functions\": " << report.resumedFunctions
+        << ",\n";
+    out << "  \"dropped_checkpoint_records\": "
+        << report.droppedCheckpointRecords << "\n";
+    out << "}\n";
+    out.flush();
+    return static_cast<bool>(out);
 }
 
 } // namespace
@@ -408,6 +552,17 @@ main(int argc, char **argv)
         std::printf("  faults:      %llu solver crashes absorbed, %llu "
                     "injected\n",
                     u(stats.solverCrashes), u(stats.faultsInjected));
+        std::printf("  sandbox:     %llu worker crashes, %llu restarts, "
+                    "%llu heartbeat timeouts, %llu/%llu wire bytes "
+                    "out/in\n",
+                    u(stats.workerCrashes), u(stats.workerRestarts),
+                    u(stats.heartbeatTimeouts), u(stats.wireBytesSent),
+                    u(stats.wireBytesReceived));
+    }
+    if (!options.stats_json.empty() &&
+        !writeStatsJson(options.stats_json, report)) {
+        std::cerr << "keqc: cannot write " << options.stats_json << "\n";
+        return 2;
     }
     return failures;
 }
