@@ -1,0 +1,139 @@
+#include "src/conformance/corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/support/diagnostics.h"
+
+namespace keq::conformance {
+
+using support::Error;
+
+const char *
+expectName(Expect expect)
+{
+    switch (expect) {
+    case Expect::Validated: return "validated";
+    case Expect::Rejected: return "rejected";
+    case Expect::Gap: return "gap";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Splits a directive payload on whitespace. */
+std::vector<std::string>
+words(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string word;
+    while (in >> word)
+        out.push_back(word);
+    return out;
+}
+
+/** Returns the payload of "; KEY: payload" or nullopt. */
+bool
+directive(const std::string &line, const std::string &key,
+          std::string &payload)
+{
+    std::string prefix = "; " + key + ":";
+    if (line.rfind(prefix, 0) != 0)
+        return false;
+    payload = line.substr(prefix.size());
+    return true;
+}
+
+} // namespace
+
+CorpusCase
+parseCorpusCase(const std::string &path, const std::string &source)
+{
+    CorpusCase result;
+    result.path = path;
+    result.name = std::filesystem::path(path).stem().string();
+    result.source = source;
+
+    bool saw_expect = false;
+    std::istringstream lines(source);
+    std::string line;
+    while (std::getline(lines, line)) {
+        std::string payload;
+        if (directive(line, "EXPECT", payload)) {
+            std::vector<std::string> parts = words(payload);
+            if (parts.size() != 1)
+                throw Error(path + ": malformed EXPECT directive '" +
+                            payload + "'");
+            if (saw_expect)
+                throw Error(path + ": duplicate EXPECT directive");
+            saw_expect = true;
+            if (parts[0] == "validated")
+                result.expect = Expect::Validated;
+            else if (parts[0] == "rejected")
+                result.expect = Expect::Rejected;
+            else if (parts[0] == "gap")
+                result.expect = Expect::Gap;
+            else
+                throw Error(path + ": unknown EXPECT verdict '" +
+                            parts[0] + "'");
+        } else if (directive(line, "ISEL", payload)) {
+            for (const std::string &word : words(payload)) {
+                if (word == "merge-stores") {
+                    result.isel.mergeStores = true;
+                } else if (word == "fold-ext-load") {
+                    result.isel.foldExtLoad = true;
+                } else if (word == "bug=waw") {
+                    result.isel.bug = isel::Bug::StoreMergeWAW;
+                    result.isel.mergeStores = true;
+                } else if (word == "bug=loadwiden") {
+                    result.isel.bug = isel::Bug::LoadWidening;
+                    result.isel.foldExtLoad = true;
+                } else {
+                    throw Error(path + ": unknown ISEL directive '" +
+                                word + "'");
+                }
+            }
+        }
+    }
+    if (!saw_expect)
+        throw Error(path + ": missing '; EXPECT:' directive");
+    return result;
+}
+
+std::vector<CorpusCase>
+loadCorpusDir(const std::string &dir)
+{
+    std::error_code ec;
+    std::vector<std::filesystem::path> paths;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (entry.path().extension() == ".ll")
+            paths.push_back(entry.path());
+    }
+    if (ec)
+        throw Error("conformance corpus: cannot read directory '" +
+                    dir + "': " + ec.message());
+    if (paths.empty())
+        throw Error("conformance corpus: no .ll files under '" + dir +
+                    "'");
+    std::sort(paths.begin(), paths.end());
+
+    std::vector<CorpusCase> cases;
+    cases.reserve(paths.size());
+    for (const std::filesystem::path &path : paths) {
+        std::ifstream file(path);
+        if (!file)
+            throw Error("conformance corpus: cannot open '" +
+                        path.string() + "'");
+        std::stringstream buffer;
+        buffer << file.rdbuf();
+        cases.push_back(parseCorpusCase(path.string(), buffer.str()));
+    }
+    return cases;
+}
+
+} // namespace keq::conformance

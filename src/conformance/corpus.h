@@ -1,0 +1,70 @@
+#ifndef KEQ_CONFORMANCE_CORPUS_H
+#define KEQ_CONFORMANCE_CORPUS_H
+
+/**
+ * @file
+ * The checked-in differential conformance corpus: the .ll files under
+ * tests/corpus.
+ *
+ * Every corpus file is a self-contained LLVM module annotated with
+ * comment directives the runner consumes:
+ *
+ *   ; EXPECT: validated | rejected | gap
+ *   ; ISEL: merge-stores fold-ext-load bug=waw bug=loadwiden
+ *
+ * `EXPECT` states the verdict the full pipeline must reach on every
+ * configuration cell:
+ *
+ *   validated — the lowering proves Equivalent/Refines
+ *               (driver::Outcome::Succeeded);
+ *   rejected  — the checker must refuse the lowering (a `; ISEL: bug=`
+ *               directive reintroduces a Section 5.2 miscompile, so
+ *               NotValidated is the *correct* answer);
+ *   gap       — the module parses and verifies but the pipeline cannot
+ *               decide it (unsupported fragment or a known
+ *               completeness gap; driver::Outcome::Unsupported/Other).
+ *
+ * `ISEL` toggles lowering options per file, which is how the corpus
+ * pins the two reintroducible miscompiles without a separate harness.
+ */
+
+#include <string>
+#include <vector>
+
+#include "src/isel/isel.h"
+
+namespace keq::conformance {
+
+/** What a corpus file promises the pipeline will conclude. */
+enum class Expect : uint8_t { Validated, Rejected, Gap };
+
+const char *expectName(Expect expect);
+
+/** One parsed corpus file (annotations + module text). */
+struct CorpusCase
+{
+    std::string path; ///< Full path (diagnostics).
+    std::string name; ///< Basename without extension, e.g. "gep_nested".
+    std::string source;
+    Expect expect = Expect::Validated;
+    isel::IselOptions isel;
+};
+
+/**
+ * Parses the directive header of one corpus file. Throws
+ * support::Error when the EXPECT directive is missing or malformed —
+ * an unannotated corpus file is a corpus bug, not a skip.
+ */
+CorpusCase parseCorpusCase(const std::string &path,
+                           const std::string &source);
+
+/**
+ * Loads every *.ll file under @p dir (sorted by name, so reports and
+ * coverage ledgers are stable across filesystems). Throws
+ * support::Error when the directory cannot be read or is empty.
+ */
+std::vector<CorpusCase> loadCorpusDir(const std::string &dir);
+
+} // namespace keq::conformance
+
+#endif // KEQ_CONFORMANCE_CORPUS_H

@@ -191,6 +191,9 @@ serializeOutcome(size_t index, const IterationOutcome &outcome)
     } else {
         os << "\t0";
     }
+    // Coverage rides last so journals written before the ledger existed
+    // still deserialize (the field is optional on the read side).
+    os << '\t' << support::escapeLine(s.coverage.serialize());
     return os.str();
 }
 
@@ -268,6 +271,16 @@ deserializeOutcome(const std::string &payload, size_t &index,
         }
         result.failure = std::move(failure);
     }
+    // Optional trailing coverage ledger (absent in pre-ledger journals,
+    // which resume with empty coverage for restored iterations).
+    if (at < fields.size()) {
+        std::string ledger;
+        if (!support::unescapeLine(fields[at], ledger) ||
+            !CoverageMap::deserialize(ledger, s.coverage)) {
+            return false;
+        }
+        ++at;
+    }
     if (at != fields.size())
         return false;
     index = static_cast<size_t>(idx);
@@ -326,6 +339,7 @@ runIteration(const CampaignOptions &options, size_t index)
     const llvmir::Function *fn = firstDefinedFunction(module);
     stats.programsGenerated++;
     stats.generatedInstructions += fn->instructionCount();
+    stats.coverage.recordModule(module);
 
     // Baseline: the clean lowering must validate and must agree with
     // the LLVM-side execution; otherwise the iteration carries no
@@ -418,6 +432,7 @@ runCalibration(const CampaignOptions &options, CampaignStats &stats,
             continue;
         llvmir::Module module = llvmir::parseModule(mutation.exemplar);
         llvmir::verifyModuleOrThrow(module);
+        stats.coverage.recordModule(module);
         const llvmir::Function *fn =
             module.findFunction(mutation.exemplarFunction);
         if (fn == nullptr)
@@ -596,6 +611,7 @@ CampaignStats::merge(const CampaignStats &other)
         appliedByMutation[id] += count;
     for (const auto &[id, count] : other.killsByMutation)
         killsByMutation[id] += count;
+    coverage.merge(other.coverage);
 }
 
 bool

@@ -39,6 +39,7 @@
 
 #include "src/fuzz/generator.h"
 #include "src/fuzz/mutation_catalog.h"
+#include "src/llvmir/coverage.h"
 #include "src/fuzz/oracle.h"
 #include "src/fuzz/shrinker.h"
 #include "src/support/journal.h"
@@ -116,6 +117,15 @@ struct CampaignStats
     uint64_t inconclusive = 0;
     std::map<std::string, uint64_t> appliedByMutation;
     std::map<std::string, uint64_t> killsByMutation;
+    /**
+     * IR-construct coverage of every module that flowed through the
+     * campaign (generated programs and calibration exemplars). Carried
+     * in checkpoint journals and merged commutatively, so a resumed
+     * campaign reports the same ledger as an uninterrupted one; kept
+     * out of canonicalSummary so golden summaries stay stable as the
+     * ledger grows dimensions.
+     */
+    CoverageMap coverage;
 
     void merge(const CampaignStats &other);
 };

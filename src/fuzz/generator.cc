@@ -281,6 +281,87 @@ class Gen
     }
 
     void
+    selectChainOp()
+    {
+        // One condition drives the whole chain; each link's true arm is
+        // the previous link, so the lowered code must thread a value
+        // through consecutive cmov-shaped regions.
+        std::string cond = icmpOp();
+        unsigned width = pickWidth();
+        std::string link = value(width);
+        size_t links = rng_.range(2, 3);
+        for (size_t i = 0; i < links; ++i) {
+            std::string result = fresh();
+            line(result + " = select i1 " + cond + ", " + ty(width) +
+                 " " + link + ", " + ty(width) + " " + value(width));
+            link = result;
+        }
+        addToPool(width, link);
+    }
+
+    /**
+     * GEP into the aggregate globals (struct field, array element, or a
+     * nested two-level descent), followed by a load or store through
+     * the computed pointer. Struct indices are constant (the subset's
+     * rule); array indices are masked in-bounds.
+     */
+    void
+    aggregateGepOp()
+    {
+        std::string ptr = fresh();
+        switch (rng_.below(3)) {
+        case 0: { // Struct field 0 of @fz_pair: the i32 word.
+            line(ptr + " = getelementptr { i32, [4 x i16] }, "
+                       "{ i32, [4 x i16] }* @fz_pair, i64 0, i32 0");
+            if (rng_.chancePercent(50)) {
+                std::string result = fresh();
+                line(result + " = load i32, i32* " + ptr);
+                addToPool(32, result);
+            } else {
+                line("store i32 " + regValue(32) + ", i32* " + ptr);
+            }
+            break;
+        }
+        case 1: { // Nested descent: field 1, then a masked i16 slot.
+            std::string idx = fresh();
+            line(idx + " = and i64 " + regValue(64) + ", 3");
+            line(ptr + " = getelementptr { i32, [4 x i16] }, "
+                       "{ i32, [4 x i16] }* @fz_pair, i64 0, i32 1, "
+                       "i64 " +
+                 idx);
+            if (rng_.chancePercent(50)) {
+                std::string result = fresh();
+                line(result + " = load i16, i16* " + ptr);
+                addToPool(16, result);
+            } else {
+                line("store i16 " + regValue(16) + ", i16* " + ptr);
+            }
+            break;
+        }
+        default: { // Array-of-struct: element idx of @fz_grid, field 0
+                   // (i8) or 1 (i32).
+            std::string idx = fresh();
+            line(idx + " = and i64 " + regValue(64) + ", 3");
+            bool byte_field = rng_.chancePercent(50);
+            line(ptr + " = getelementptr [4 x { i8, i32 }], "
+                       "[4 x { i8, i32 }]* @fz_grid, i64 0, i64 " +
+                 idx + ", i32 " + (byte_field ? "0" : "1"));
+            unsigned width = byte_field ? 8 : 32;
+            if (rng_.chancePercent(50)) {
+                std::string result = fresh();
+                line(result + " = load " + ty(width) + ", " + ty(width) +
+                     "* " + ptr);
+                addToPool(width, result);
+            } else {
+                line("store " + ty(width) + " " + regValue(width) +
+                     ", " + ty(width) + "* " + ptr);
+            }
+            break;
+        }
+        }
+    }
+
+    void
     boolOp()
     {
         // An i1 materialised into an integer register (zext only: sext
@@ -374,6 +455,17 @@ class Gen
     emitOp()
     {
         unsigned roll = static_cast<unsigned>(rng_.below(100));
+        // The opt-in families claim rolls out of the arithmetic tail
+        // (roll >= 54), so with both flags off every roll takes exactly
+        // the path it always did and old seeds replay byte-identically.
+        if (options_.aggregateGeps && roll >= 92) {
+            aggregateGepOp();
+            return;
+        }
+        if (options_.selectChains && roll >= 84 && roll < 92) {
+            selectChainOp();
+            return;
+        }
         if (options_.division && roll < 6)
             divisionOp();
         else if (options_.memory && roll < 22)
@@ -598,6 +690,16 @@ generatorPrelude()
 }
 
 std::string
+generatorPrelude(const GeneratorOptions &options)
+{
+    std::string prelude = generatorPrelude();
+    if (options.aggregateGeps)
+        prelude += "@fz_pair = external global { i32, [4 x i16] }\n"
+                   "@fz_grid = external global [4 x { i8, i32 }]\n";
+    return prelude;
+}
+
+std::string
 generateFunctionSource(Rng &rng, const GeneratorOptions &options)
 {
     return Gen(rng, options).run();
@@ -608,7 +710,7 @@ generateModuleSource(Rng &rng, const GeneratorOptions &options)
 {
     std::ostringstream out;
     out << "; keq-fuzz generated program\n"
-        << generatorPrelude() << "\n"
+        << generatorPrelude(options) << "\n"
         << generateFunctionSource(rng, options);
     return out.str();
 }

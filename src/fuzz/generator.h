@@ -58,6 +58,20 @@ struct GeneratorOptions
      * default for the same reason as nswPercent.
      */
     bool registerDivisors = false;
+    /**
+     * Emit getelementptr into struct/nested-array globals (with narrow
+     * loads and stores through the resulting pointers). Off by default
+     * so programs replayed from old campaign seeds stay byte-identical;
+     * turning it on also extends the prelude with the aggregate
+     * globals the GEPs address.
+     */
+    bool aggregateGeps = false;
+    /**
+     * Emit chained selects (each link feeding the next operand slot).
+     * Off by default for the same seed-replay reason; single selects
+     * are always in the op mix.
+     */
+    bool selectChains = false;
     /** Maximum control-region nesting (loop in diamond in loop...). */
     size_t maxDepth = 2;
     /** Rough arithmetic-op budget steering the program size. */
@@ -71,6 +85,13 @@ struct GeneratorOptions
  * (word and buffer allocations) and external function declarations.
  */
 std::string generatorPrelude();
+
+/**
+ * Options-aware prelude: identical to generatorPrelude() for default
+ * options, extended with the aggregate globals when
+ * options.aggregateGeps is set.
+ */
+std::string generatorPrelude(const GeneratorOptions &options);
 
 /** Generates one function definition as LLVM assembly text. */
 std::string generateFunctionSource(support::Rng &rng,

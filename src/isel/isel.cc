@@ -261,8 +261,11 @@ class FunctionLowering
     {
         if (is_entry) {
             // Receive arguments per the calling convention.
-            KEQ_ASSERT(fn_.params.size() <= 6,
-                       "more than 6 parameters unsupported");
+            if (fn_.params.size() > 6) {
+                throw Error(fn_.name + ": more than 6 parameters is "
+                                       "outside the supported "
+                                       "fragment");
+            }
             for (size_t i = 0; i < fn_.params.size(); ++i) {
                 MOperand dst = valueReg_[fn_.params[i].name];
                 MInst copy = make(MOpcode::COPY, dst.width);
@@ -834,8 +837,10 @@ class FunctionLowering
     void
     lowerCall(const Instruction &inst)
     {
-        KEQ_ASSERT(inst.operands.size() <= 6,
-                   "more than 6 call arguments unsupported");
+        if (inst.operands.size() > 6) {
+            throw Error(fn_.name + ": more than 6 call arguments is "
+                                   "outside the supported fragment");
+        }
         MInst call = make(MOpcode::CALL, 0);
         for (size_t i = 0; i < inst.operands.size(); ++i) {
             const Value &arg = inst.operands[i];

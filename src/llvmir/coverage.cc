@@ -1,0 +1,377 @@
+#include "src/llvmir/coverage.h"
+
+#include <sstream>
+
+namespace keq {
+
+using llvmir::ICmpPred;
+using llvmir::Opcode;
+
+const char *
+coverageShapeName(CoverageShape shape)
+{
+    switch (shape) {
+    case CoverageShape::GepStructField: return "gep-struct-field";
+    case CoverageShape::GepArrayIndex: return "gep-array-index";
+    case CoverageShape::GepNested: return "gep-nested";
+    case CoverageShape::SelectChain: return "select-chain";
+    case CoverageShape::PhiWeb: return "phi-web";
+    case CoverageShape::NarrowLoad: return "narrow-load";
+    case CoverageShape::NarrowStore: return "narrow-store";
+    case CoverageShape::DivRegisterDivisor:
+        return "div-register-divisor";
+    case CoverageShape::SignedDivOverflowEdge:
+        return "signed-div-overflow-edge";
+    case CoverageShape::SwitchManyCases: return "switch-many-cases";
+    case CoverageShape::WrapFlag: return "wrap-flag";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * Ledger key for an opcode. llvmir::opcodeName prints both Br and
+ * CondBr as "br" (assembly spelling); the ledger needs the two
+ * distinguished or serialize/deserialize would alias their counters.
+ */
+const char *
+coverageOpcodeName(Opcode op)
+{
+    return op == Opcode::CondBr ? "condbr" : llvmir::opcodeName(op);
+}
+
+bool
+isDivision(Opcode op)
+{
+    return op == Opcode::UDiv || op == Opcode::SDiv ||
+           op == Opcode::URem || op == Opcode::SRem;
+}
+
+/** Narrow means below register word granularity: i1, i8, i16. */
+bool
+isNarrowAccess(const llvmir::Type *type)
+{
+    return type != nullptr && type->isInteger() && type->bitWidth() <= 16;
+}
+
+} // namespace
+
+void
+CoverageMap::recordModule(const llvmir::Module &module)
+{
+    for (const llvmir::Function &fn : module.functions)
+        if (!fn.isDeclaration())
+            recordFunction(fn);
+}
+
+void
+CoverageMap::recordFunction(const llvmir::Function &fn)
+{
+    auto shape = [this](CoverageShape s) {
+        ++shapes_[static_cast<size_t>(s)];
+    };
+    size_t selects = 0;
+    for (const llvmir::BasicBlock &block : fn.blocks) {
+        size_t phis_in_block = 0;
+        for (const llvmir::Instruction &inst : block.insts) {
+            ++opcodes_[static_cast<size_t>(inst.op)];
+            switch (inst.op) {
+            case Opcode::ICmp:
+                ++preds_[static_cast<size_t>(inst.pred)];
+                break;
+            case Opcode::GetElementPtr: {
+                // Walk the index list the way address computation does:
+                // the first index steps over the base pointer, every
+                // further one descends one aggregate level.
+                const llvmir::Type *current = inst.sourceType;
+                size_t aggregate_steps = 0;
+                bool struct_step = false, array_step = false;
+                for (size_t i = 2;
+                     i < inst.operands.size() && current != nullptr;
+                     ++i) {
+                    if (current->isArray()) {
+                        array_step = true;
+                        ++aggregate_steps;
+                        current = current->elementType();
+                    } else if (current->isStruct()) {
+                        struct_step = true;
+                        ++aggregate_steps;
+                        const llvmir::Value &index = inst.operands[i];
+                        uint64_t field =
+                            index.isConst() ? index.constant.zext() : 0;
+                        current = field < current->fields().size()
+                                      ? current->fields()[field]
+                                      : nullptr;
+                    } else {
+                        current = nullptr;
+                    }
+                }
+                if (struct_step)
+                    shape(CoverageShape::GepStructField);
+                if (array_step)
+                    shape(CoverageShape::GepArrayIndex);
+                if (aggregate_steps >= 2)
+                    shape(CoverageShape::GepNested);
+                break;
+            }
+            case Opcode::Load:
+                if (isNarrowAccess(inst.type))
+                    shape(CoverageShape::NarrowLoad);
+                break;
+            case Opcode::Store:
+                if (isNarrowAccess(inst.type))
+                    shape(CoverageShape::NarrowStore);
+                break;
+            case Opcode::Phi:
+                ++phis_in_block;
+                if (inst.incoming.size() >= 3 || phis_in_block >= 2)
+                    shape(CoverageShape::PhiWeb);
+                break;
+            case Opcode::Select:
+                ++selects;
+                break;
+            case Opcode::Switch:
+                if (inst.switchCases.size() >= 3)
+                    shape(CoverageShape::SwitchManyCases);
+                break;
+            default:
+                break;
+            }
+            if (isDivision(inst.op) && inst.operands.size() >= 2) {
+                const llvmir::Value &divisor = inst.operands[1];
+                if (!divisor.isConst())
+                    shape(CoverageShape::DivRegisterDivisor);
+                else if ((inst.op == Opcode::SDiv ||
+                          inst.op == Opcode::SRem) &&
+                         divisor.constant.isAllOnes())
+                    shape(CoverageShape::SignedDivOverflowEdge);
+            }
+            if (inst.nsw || inst.nuw)
+                shape(CoverageShape::WrapFlag);
+        }
+    }
+    if (selects >= 2)
+        shape(CoverageShape::SelectChain);
+}
+
+void
+CoverageMap::merge(const CoverageMap &other)
+{
+    for (size_t i = 0; i < opcodes_.size(); ++i)
+        opcodes_[i] += other.opcodes_[i];
+    for (size_t i = 0; i < preds_.size(); ++i)
+        preds_[i] += other.preds_[i];
+    for (size_t i = 0; i < shapes_.size(); ++i)
+        shapes_[i] += other.shapes_[i];
+}
+
+uint64_t
+CoverageMap::opcodeCount(Opcode op) const
+{
+    return opcodes_[static_cast<size_t>(op)];
+}
+
+uint64_t
+CoverageMap::predCount(ICmpPred pred) const
+{
+    return preds_[static_cast<size_t>(pred)];
+}
+
+uint64_t
+CoverageMap::shapeCount(CoverageShape shape) const
+{
+    return shapes_[static_cast<size_t>(shape)];
+}
+
+uint64_t
+CoverageMap::totalInstructions() const
+{
+    uint64_t total = 0;
+    for (uint64_t count : opcodes_)
+        total += count;
+    return total;
+}
+
+std::vector<Opcode>
+CoverageMap::uncoveredOpcodes() const
+{
+    std::vector<Opcode> missing;
+    for (size_t i = 0; i < opcodes_.size(); ++i)
+        if (opcodes_[i] == 0)
+            missing.push_back(static_cast<Opcode>(i));
+    return missing;
+}
+
+std::vector<ICmpPred>
+CoverageMap::uncoveredPreds() const
+{
+    std::vector<ICmpPred> missing;
+    for (size_t i = 0; i < preds_.size(); ++i)
+        if (preds_[i] == 0)
+            missing.push_back(static_cast<ICmpPred>(i));
+    return missing;
+}
+
+std::vector<CoverageShape>
+CoverageMap::uncoveredShapes() const
+{
+    std::vector<CoverageShape> missing;
+    for (size_t i = 0; i < shapes_.size(); ++i)
+        if (shapes_[i] == 0)
+            missing.push_back(static_cast<CoverageShape>(i));
+    return missing;
+}
+
+bool
+CoverageMap::complete() const
+{
+    return uncoveredOpcodes().empty() && uncoveredPreds().empty() &&
+           uncoveredShapes().empty();
+}
+
+std::string
+CoverageMap::report() const
+{
+    std::ostringstream out;
+    out << "coverage ledger: " << totalInstructions()
+        << " instructions recorded\n";
+    auto section = [&out](const char *title, auto count, auto name,
+                          size_t entries) {
+        out << "  " << title << ":";
+        std::vector<std::string> missing;
+        for (size_t i = 0; i < entries; ++i) {
+            uint64_t n = count(i);
+            if (n == 0)
+                missing.push_back(name(i));
+            else
+                out << " " << name(i) << "=" << n;
+        }
+        out << "\n";
+        if (!missing.empty()) {
+            out << "  " << title << " UNCOVERED:";
+            for (const std::string &m : missing)
+                out << " " << m;
+            out << "\n";
+        }
+    };
+    section(
+        "opcodes",
+        [this](size_t i) { return opcodes_[i]; },
+        [](size_t i) {
+            return coverageOpcodeName(static_cast<Opcode>(i));
+        },
+        kOpcodeCount);
+    section(
+        "icmp preds",
+        [this](size_t i) { return preds_[i]; },
+        [](size_t i) {
+            return llvmir::icmpPredName(static_cast<ICmpPred>(i));
+        },
+        kICmpPredCount);
+    section(
+        "shapes",
+        [this](size_t i) { return shapes_[i]; },
+        [](size_t i) {
+            return coverageShapeName(static_cast<CoverageShape>(i));
+        },
+        kCoverageShapeCount);
+    return out.str();
+}
+
+std::string
+CoverageMap::serialize() const
+{
+    std::ostringstream out;
+    bool first = true;
+    auto emit = [&](const char *prefix, const char *name, uint64_t n) {
+        if (n == 0)
+            return;
+        if (!first)
+            out << ' ';
+        first = false;
+        out << prefix << ':' << name << '=' << n;
+    };
+    for (size_t i = 0; i < kOpcodeCount; ++i)
+        emit("op", coverageOpcodeName(static_cast<Opcode>(i)),
+             opcodes_[i]);
+    for (size_t i = 0; i < kICmpPredCount; ++i)
+        emit("pred", llvmir::icmpPredName(static_cast<ICmpPred>(i)),
+             preds_[i]);
+    for (size_t i = 0; i < kCoverageShapeCount; ++i)
+        emit("shape", coverageShapeName(static_cast<CoverageShape>(i)),
+             shapes_[i]);
+    return out.str();
+}
+
+bool
+CoverageMap::deserialize(std::string_view text, CoverageMap &out)
+{
+    CoverageMap map;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t end = text.find(' ', pos);
+        std::string_view entry =
+            text.substr(pos, end == std::string_view::npos ? end
+                                                           : end - pos);
+        pos = end == std::string_view::npos ? text.size() : end + 1;
+        if (entry.empty())
+            continue;
+        size_t colon = entry.find(':');
+        size_t eq = entry.rfind('=');
+        if (colon == std::string_view::npos ||
+            eq == std::string_view::npos || eq <= colon)
+            return false;
+        std::string_view kind = entry.substr(0, colon);
+        std::string_view name = entry.substr(colon + 1, eq - colon - 1);
+        uint64_t count = 0;
+        std::string_view digits = entry.substr(eq + 1);
+        if (digits.empty())
+            return false;
+        for (char c : digits) {
+            if (c < '0' || c > '9')
+                return false;
+            count = count * 10 + static_cast<uint64_t>(c - '0');
+        }
+        // Unknown names are skipped, not rejected: an old journal must
+        // stay loadable after the ledger grows a dimension.
+        if (kind == "op") {
+            for (size_t i = 0; i < kOpcodeCount; ++i) {
+                if (name ==
+                    coverageOpcodeName(static_cast<Opcode>(i))) {
+                    map.opcodes_[i] += count;
+                    break;
+                }
+            }
+        } else if (kind == "pred") {
+            for (size_t i = 0; i < kICmpPredCount; ++i) {
+                if (name ==
+                    llvmir::icmpPredName(static_cast<ICmpPred>(i))) {
+                    map.preds_[i] += count;
+                    break;
+                }
+            }
+        } else if (kind == "shape") {
+            for (size_t i = 0; i < kCoverageShapeCount; ++i) {
+                if (name == coverageShapeName(
+                                static_cast<CoverageShape>(i))) {
+                    map.shapes_[i] += count;
+                    break;
+                }
+            }
+        } else {
+            return false;
+        }
+    }
+    out = map;
+    return true;
+}
+
+bool
+CoverageMap::operator==(const CoverageMap &other) const
+{
+    return opcodes_ == other.opcodes_ && preds_ == other.preds_ &&
+           shapes_ == other.shapes_;
+}
+
+} // namespace keq

@@ -1,0 +1,117 @@
+#ifndef KEQ_LLVMIR_COVERAGE_H
+#define KEQ_LLVMIR_COVERAGE_H
+
+/**
+ * @file
+ * The IR-construct coverage ledger (DESIGN.md §12).
+ *
+ * A validation campaign is only as trustworthy as the IR it actually
+ * exercised: "60/60 validated" says nothing if the 60 programs never
+ * contained a struct GEP or an i8 store. CoverageMap records, per
+ * llvmir::Opcode, per ICmpPred, and per structural *shape* (nested
+ * GEPs, select chains, phi webs, narrow memory traffic, division trap
+ * edges), how often a construct appeared in the modules that flowed
+ * through a harness. Both the fuzz campaign (`keq-fuzz --stats`) and
+ * the conformance runner (`keq-conformance`) carry one, and the
+ * conformance ctest fails when any supported opcode is uncovered —
+ * coverage claims are asserted, not assumed.
+ *
+ * The ledger is a plain counter array: merging is commutative and
+ * associative, so parallel campaigns can merge per-iteration maps in
+ * any grouping and still report deterministic totals.
+ */
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/llvmir/ir.h"
+
+namespace keq {
+
+/** Number of llvmir::Opcode enumerators (Add .. Unreachable). */
+inline constexpr size_t kOpcodeCount =
+    static_cast<size_t>(llvmir::Opcode::Unreachable) + 1;
+
+/** Number of llvmir::ICmpPred enumerators (Eq .. Sge). */
+inline constexpr size_t kICmpPredCount =
+    static_cast<size_t>(llvmir::ICmpPred::Sge) + 1;
+
+/**
+ * Structural shapes the plain opcode histogram cannot distinguish:
+ * a GEP is only interesting *because* it steps through a struct field
+ * or a nested aggregate, a load only because it is byte-granular.
+ */
+enum class CoverageShape : uint8_t {
+    GepStructField,  ///< GEP with at least one struct-field step.
+    GepArrayIndex,   ///< GEP with at least one array-element step.
+    GepNested,       ///< GEP descending >= 2 aggregate levels.
+    SelectChain,     ///< >= 2 selects in one function.
+    PhiWeb,          ///< Phi with >= 3 incomings, or >= 2 phis/block.
+    NarrowLoad,      ///< Load of i1/i8/i16.
+    NarrowStore,     ///< Store of i1/i8/i16.
+    DivRegisterDivisor,    ///< udiv/sdiv/urem/srem by a non-constant.
+    SignedDivOverflowEdge, ///< sdiv/srem by constant -1 (INT_MIN edge).
+    SwitchManyCases, ///< Switch with >= 3 non-default cases.
+    WrapFlag,        ///< Any nsw/nuw-flagged arithmetic.
+};
+
+inline constexpr size_t kCoverageShapeCount =
+    static_cast<size_t>(CoverageShape::WrapFlag) + 1;
+
+const char *coverageShapeName(CoverageShape shape);
+
+/** Opcode/predicate/shape occurrence counters over a set of modules. */
+class CoverageMap
+{
+  public:
+    /** Records every instruction of every defined function. */
+    void recordModule(const llvmir::Module &module);
+    /** Records one function's instructions. */
+    void recordFunction(const llvmir::Function &fn);
+    /** Adds @p other's counters into this map. */
+    void merge(const CoverageMap &other);
+
+    uint64_t opcodeCount(llvmir::Opcode op) const;
+    uint64_t predCount(llvmir::ICmpPred pred) const;
+    uint64_t shapeCount(CoverageShape shape) const;
+    /** Total instructions recorded (sum of opcode counters). */
+    uint64_t totalInstructions() const;
+
+    /** Supported opcodes never recorded (empty = full coverage). */
+    std::vector<llvmir::Opcode> uncoveredOpcodes() const;
+    std::vector<llvmir::ICmpPred> uncoveredPreds() const;
+    std::vector<CoverageShape> uncoveredShapes() const;
+
+    /** Every opcode, predicate and shape seen at least once? */
+    bool complete() const;
+
+    /**
+     * Human-facing ledger: one line per dimension, uncovered entries
+     * called out by name so a failing coverage gate tells you exactly
+     * which construct to add to the corpus.
+     */
+    std::string report() const;
+
+    /**
+     * Single-line "op:NAME=N ... pred:NAME=N ... shape:NAME=N" form for
+     * checkpoint journals; entries with zero count are omitted.
+     * deserialize accepts any subset/order and ignores unknown names
+     * (forward compatibility across ledger extensions).
+     */
+    std::string serialize() const;
+    static bool deserialize(std::string_view text, CoverageMap &out);
+
+    bool operator==(const CoverageMap &other) const;
+
+  private:
+    std::array<uint64_t, kOpcodeCount> opcodes_{};
+    std::array<uint64_t, kICmpPredCount> preds_{};
+    std::array<uint64_t, kCoverageShapeCount> shapes_{};
+};
+
+} // namespace keq
+
+#endif // KEQ_LLVMIR_COVERAGE_H

@@ -30,6 +30,7 @@ struct Token
     Tok kind = Tok::End;
     std::string text;
     int line = 0;
+    int col = 0;
 };
 
 class Lexer
@@ -50,9 +51,24 @@ class Lexer
     [[noreturn]] void
     error(const std::string &message) const
     {
-        throw Error("llvm parse error (line " +
-                    std::to_string(current_.line) + "): " + message +
-                    " near '" + current_.text + "'");
+        errorAt(current_.line, current_.col, message, current_.text);
+    }
+
+    /**
+     * Positioned diagnostic: every parse error carries line *and*
+     * column, so editors and the malformed-input tests can anchor the
+     * failure precisely even on long lines.
+     */
+    [[noreturn]] static void
+    errorAt(int line, int col, const std::string &message,
+            const std::string &near)
+    {
+        std::string where = "llvm parse error (line " +
+                            std::to_string(line) + ", col " +
+                            std::to_string(col) + "): " + message;
+        if (!near.empty())
+            where += " near '" + near + "'";
+        throw Error(where);
     }
 
   private:
@@ -67,9 +83,11 @@ class Lexer
     advance()
     {
         skipSpace();
+        int col = column();
         current_.line = line_;
+        current_.col = col;
         if (pos_ >= source_.size()) {
-            current_ = {Tok::End, "", line_};
+            current_ = {Tok::End, "", line_, col};
             return;
         }
         char c = source_[pos_];
@@ -79,7 +97,7 @@ class Lexer
                 ++pos_;
             current_ = {c == '%' ? Tok::LocalVar : Tok::GlobalVar,
                         std::string(source_.substr(start, pos_ - start)),
-                        line_};
+                        line_, col};
             return;
         }
         if (std::isdigit(static_cast<unsigned char>(c)) ||
@@ -92,7 +110,7 @@ class Lexer
             }
             current_ = {Tok::Number,
                         std::string(source_.substr(start, pos_ - start)),
-                        line_};
+                        line_, col};
             return;
         }
         if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
@@ -103,20 +121,19 @@ class Lexer
             std::string text(source_.substr(start, pos_ - start));
             if (pos_ < source_.size() && source_[pos_] == ':') {
                 ++pos_;
-                current_ = {Tok::LabelDef, std::move(text), line_};
+                current_ = {Tok::LabelDef, std::move(text), line_, col};
             } else {
-                current_ = {Tok::Word, std::move(text), line_};
+                current_ = {Tok::Word, std::move(text), line_, col};
             }
             return;
         }
         static const std::string punct = "(){}[],=*";
         if (punct.find(c) != std::string::npos) {
             ++pos_;
-            current_ = {Tok::Punct, std::string(1, c), line_};
+            current_ = {Tok::Punct, std::string(1, c), line_, col};
             return;
         }
-        throw Error("llvm parse error (line " + std::to_string(line_) +
-                    "): unexpected character '" + std::string(1, c) + "'");
+        errorAt(line_, col, "unexpected character", std::string(1, c));
     }
 
     void
@@ -130,6 +147,7 @@ class Lexer
             } else if (c == '\n') {
                 ++line_;
                 ++pos_;
+                lineStart_ = pos_;
             } else if (std::isspace(static_cast<unsigned char>(c))) {
                 ++pos_;
             } else {
@@ -138,8 +156,16 @@ class Lexer
         }
     }
 
+    /** 1-based column of pos_ on the current line. */
+    int
+    column() const
+    {
+        return static_cast<int>(pos_ - lineStart_) + 1;
+    }
+
     std::string_view source_;
     size_t pos_ = 0;
+    size_t lineStart_ = 0;
     int line_ = 1;
     Token current_;
 };
@@ -223,7 +249,12 @@ class Parser
     parseNumber()
     {
         Token token = expect(Tok::Number, "number");
-        return static_cast<uint64_t>(std::stoll(token.text));
+        try {
+            return static_cast<uint64_t>(std::stoll(token.text));
+        } catch (const std::out_of_range &) {
+            lexer_.errorAt(token.line, token.col,
+                           "integer literal out of range", token.text);
+        }
     }
 
     // --- types --------------------------------------------------------------
@@ -254,14 +285,21 @@ class Parser
                         numeric = false;
                 }
                 if (numeric) {
-                    lexer_.next();
-                    unsigned bits =
-                        static_cast<unsigned>(std::stoul(digits));
+                    Token typeTok = lexer_.next();
+                    unsigned long bits = 0;
+                    try {
+                        bits = std::stoul(digits);
+                    } catch (const std::out_of_range &) {
+                        bits = 0; // reported as unsupported below
+                    }
                     if (bits != 1 && bits != 8 && bits != 16 &&
                         bits != 32 && bits != 64) {
-                        throw Error("unsupported type i" + digits);
+                        lexer_.errorAt(typeTok.line, typeTok.col,
+                                       "unsupported type",
+                                       typeTok.text);
                     }
-                    return types_->intType(bits);
+                    return types_->intType(
+                        static_cast<unsigned>(bits));
                 }
             }
         }
@@ -294,8 +332,15 @@ class Parser
     {
         const Token &token = lexer_.peek();
         if (token.kind == Tok::Number) {
-            uint64_t bits = static_cast<uint64_t>(
-                std::stoll(lexer_.next().text));
+            Token num = lexer_.next();
+            uint64_t bits = 0;
+            try {
+                bits = static_cast<uint64_t>(std::stoll(num.text));
+            } catch (const std::out_of_range &) {
+                lexer_.errorAt(num.line, num.col,
+                               "integer literal out of range",
+                               num.text);
+            }
             if (!type->isFirstClass())
                 lexer_.error("literal of non-integer type");
             return Value::makeConst(type, ApInt(type->valueBits(), bits));
@@ -597,7 +642,8 @@ class Parser
         }
         if (word == "call")
             return parseCallRest();
-        lexer_.error("unsupported opcode '" + word + "'");
+        lexer_.errorAt(opTok.line, opTok.col, "unsupported opcode",
+                       opTok.text);
     }
 
     ICmpPred
@@ -615,7 +661,8 @@ class Parser
         if (p == "sle") return ICmpPred::Sle;
         if (p == "sgt") return ICmpPred::Sgt;
         if (p == "sge") return ICmpPred::Sge;
-        lexer_.error("unknown icmp predicate '" + p + "'");
+        lexer_.errorAt(token.line, token.col, "unknown icmp predicate",
+                       token.text);
     }
 
     /** GEP result element type: descend per index list. */

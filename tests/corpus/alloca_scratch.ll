@@ -1,0 +1,14 @@
+; Stack scratch slots of several widths.
+; EXPECT: validated
+define i32 @scratch(i32 %a, i16 %b) {
+entry:
+  %s32 = alloca i32
+  %s16 = alloca i16
+  store i32 %a, i32* %s32
+  store i16 %b, i16* %s16
+  %v = load i32, i32* %s32
+  %h = load i16, i16* %s16
+  %hz = zext i16 %h to i32
+  %r = add i32 %v, %hz
+  ret i32 %r
+}

@@ -1,0 +1,9 @@
+; Basic add/sub data flow, including nsw/nuw wrap flags.
+; EXPECT: validated
+define i32 @add_sub(i32 %a, i32 %b) {
+entry:
+  %s = add nsw i32 %a, %b
+  %t = sub i32 %s, 7
+  %u = add nuw i32 %t, %a
+  ret i32 %u
+}

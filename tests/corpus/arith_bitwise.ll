@@ -1,0 +1,9 @@
+; and/or/xor over mixed constants and registers.
+; EXPECT: validated
+define i32 @bits(i32 %a, i32 %b) {
+entry:
+  %m = and i32 %a, 255
+  %o = or i32 %m, %b
+  %x = xor i32 %o, -1
+  ret i32 %x
+}

@@ -1,0 +1,10 @@
+; Full-width i64 arithmetic (no division: that is the gap file).
+; EXPECT: validated
+define i64 @wide(i64 %a, i64 %b) {
+entry:
+  %s = add i64 %a, %b
+  %m = mul i64 %s, %a
+  %x = xor i64 %m, -1
+  %r = lshr i64 %x, 7
+  ret i64 %r
+}

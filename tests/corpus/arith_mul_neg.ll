@@ -1,0 +1,9 @@
+; Multiplication with positive and negative immediates.
+; EXPECT: validated
+define i32 @mul_neg(i32 %a) {
+entry:
+  %x = mul i32 %a, -3
+  %y = mul nsw i32 %x, %a
+  %z = sub i32 0, %y
+  ret i32 %z
+}

@@ -1,0 +1,9 @@
+; All three shift forms with immediate shift amounts.
+; EXPECT: validated
+define i32 @shifts(i32 %a) {
+entry:
+  %l = shl nuw i32 %a, 3
+  %r = lshr i32 %l, 2
+  %s = ashr i32 %r, 1
+  ret i32 %s
+}

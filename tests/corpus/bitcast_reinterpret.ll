@@ -1,0 +1,11 @@
+; Pointer bitcast reinterpreting a byte buffer at i32.
+; EXPECT: validated
+@bytes = external global [8 x i8]
+define i32 @reinterpret() {
+entry:
+  %p = getelementptr inbounds [8 x i8], [8 x i8]* @bytes, i64 0, i64 4
+  %pw = bitcast i8* %p to i32*
+  store i32 -559038737, i32* %pw
+  %v = load i32, i32* %pw
+  ret i32 %v
+}

@@ -1,0 +1,15 @@
+; Section 5.2 load-widening bug (PR4737 shape): the folded load reads
+; past the object, so KEQ must refuse the lowering.
+; EXPECT: rejected
+; ISEL: bug=loadwiden
+@a = external global [12 x i8]
+@b = external global i64
+define void @widen() {
+entry:
+  %p = getelementptr inbounds [12 x i8], [12 x i8]* @a, i64 0, i64 8
+  %pw = bitcast i8* %p to i32*
+  %v = load i32, i32* %pw
+  %w = zext i32 %v to i64
+  store i64 %w, i64* @b
+  ret void
+}

@@ -1,0 +1,18 @@
+; Section 5.2 write-after-write hazard: the buggy store merger
+; reorders overlapping i16 stores, so KEQ must refuse the lowering.
+; EXPECT: rejected
+; ISEL: bug=waw
+@b = external global [8 x i8]
+define void @waw() {
+entry:
+  %p2 = getelementptr inbounds [8 x i8], [8 x i8]* @b, i64 0, i64 2
+  %p2w = bitcast i8* %p2 to i16*
+  store i16 0, i16* %p2w
+  %p3 = getelementptr inbounds [8 x i8], [8 x i8]* @b, i64 0, i64 3
+  %p3w = bitcast i8* %p3 to i16*
+  store i16 2, i16* %p3w
+  %p0 = getelementptr inbounds [8 x i8], [8 x i8]* @b, i64 0, i64 0
+  %p0w = bitcast i8* %p0 to i16*
+  store i16 1, i16* %p0w
+  ret void
+}

@@ -1,0 +1,10 @@
+; Calls to an external function (unknown callee, paper Section 4.3).
+; EXPECT: validated
+declare i32 @ext(i32)
+define i32 @caller(i32 %a) {
+entry:
+  %x = call i32 @ext(i32 %a)
+  %y = call i32 @ext(i32 %x)
+  %s = add i32 %x, %y
+  ret i32 %s
+}

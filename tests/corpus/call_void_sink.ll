@@ -1,0 +1,9 @@
+; Void call for effect only, multiple arguments.
+; EXPECT: validated
+declare void @sink(i32, i32)
+define void @emit(i32 %a) {
+entry:
+  %b = mul i32 %a, 2
+  call void @sink(i32 %a, i32 %b)
+  ret void
+}

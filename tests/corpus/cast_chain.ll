@@ -1,0 +1,13 @@
+; zext/sext/trunc chains across all supported integer widths.
+; EXPECT: validated
+define i64 @casts(i8 %a, i16 %b) {
+entry:
+  %z = zext i8 %a to i32
+  %s = sext i16 %b to i32
+  %m = add i32 %z, %s
+  %w = sext i32 %m to i64
+  %t = trunc i64 %w to i16
+  %u = zext i16 %t to i64
+  %r = add i64 %w, %u
+  ret i64 %r
+}

@@ -1,0 +1,11 @@
+; ptrtoint/inttoptr round trip through an integer register.
+; EXPECT: validated
+@cell = external global i32
+define i32 @roundtrip() {
+entry:
+  %n = ptrtoint i32* @cell to i64
+  %p = inttoptr i64 %n to i32*
+  store i32 42, i32* %p
+  %v = load i32, i32* @cell
+  ret i32 %v
+}

@@ -1,0 +1,9 @@
+; Division with a register divisor: both sides trap identically on
+; zero, so the lowering must still validate (trap-equivalence).
+; EXPECT: validated
+define i32 @div_reg(i32 %a, i32 %b) {
+entry:
+  %q = udiv i32 %a, %b
+  %r = urem i32 %q, %b
+  ret i32 %r
+}

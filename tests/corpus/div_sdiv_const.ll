@@ -1,0 +1,9 @@
+; Signed division and remainder by positive immediates.
+; EXPECT: validated
+define i32 @sdiv_const(i32 %a) {
+entry:
+  %q = sdiv i32 %a, 5
+  %r = srem i32 %a, 9
+  %s = sub i32 %q, %r
+  ret i32 %s
+}

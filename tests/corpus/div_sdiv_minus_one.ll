@@ -1,0 +1,9 @@
+; Signed division by constant -1: the INT_MIN / -1 overflow edge.
+; EXPECT: validated
+define i32 @sdiv_m1(i32 %a) {
+entry:
+  %q = sdiv i32 %a, -1
+  %r = srem i32 %a, -1
+  %s = add i32 %q, %r
+  ret i32 %s
+}

@@ -1,0 +1,9 @@
+; Signed division with a register divisor (zero and overflow traps).
+; EXPECT: validated
+define i32 @sdiv_reg(i32 %a, i32 %b) {
+entry:
+  %q = sdiv i32 %a, %b
+  %r = srem i32 %a, %b
+  %s = xor i32 %q, %r
+  ret i32 %s
+}

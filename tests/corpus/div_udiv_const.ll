@@ -1,0 +1,9 @@
+; Unsigned division and remainder by nonzero immediates.
+; EXPECT: validated
+define i32 @udiv_const(i32 %a) {
+entry:
+  %q = udiv i32 %a, 7
+  %r = urem i32 %a, 12
+  %s = add i32 %q, %r
+  ret i32 %s
+}

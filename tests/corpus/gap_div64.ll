@@ -1,0 +1,8 @@
+; 64-bit division is outside the supported ISel fragment; the pipeline
+; must classify the function as unsupported, never guess.
+; EXPECT: gap
+define i64 @div64(i64 %a, i64 %b) {
+entry:
+  %q = udiv i64 %a, %b
+  ret i64 %q
+}

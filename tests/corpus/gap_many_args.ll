@@ -1,0 +1,9 @@
+; A call site with seven arguments exceeds the register-only
+; argument-passing fragment.
+; EXPECT: gap
+declare i32 @wide_api(i32, i32, i32, i32, i32, i32, i32)
+define i32 @forward(i32 %a) {
+entry:
+  %r = call i32 @wide_api(i32 %a, i32 1, i32 2, i32 3, i32 4, i32 5, i32 6)
+  ret i32 %r
+}

@@ -1,0 +1,8 @@
+; Seven parameters exceed the 6-register calling convention fragment.
+; EXPECT: gap
+define i32 @seven(i32 %a, i32 %b, i32 %c, i32 %d, i32 %e, i32 %f, i32 %g) {
+entry:
+  %s1 = add i32 %a, %b
+  %s2 = add i32 %s1, %g
+  ret i32 %s2
+}

@@ -1,0 +1,8 @@
+; sext from i1 is outside the supported ISel fragment.
+; EXPECT: gap
+define i32 @mask(i32 %a) {
+entry:
+  %c = icmp slt i32 %a, 0
+  %m = sext i1 %c to i32
+  ret i32 %m
+}

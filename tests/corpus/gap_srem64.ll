@@ -1,0 +1,7 @@
+; Signed 64-bit remainder: same unsupported-fragment gap as udiv i64.
+; EXPECT: gap
+define i64 @rem64(i64 %a) {
+entry:
+  %r = srem i64 %a, 10
+  ret i64 %r
+}

@@ -1,0 +1,12 @@
+; Array GEP with a dynamic index plus byte-granular loads and stores.
+; EXPECT: validated
+@buf = external global [16 x i8]
+define i8 @gep_array(i64 %i) {
+entry:
+  %j = and i64 %i, 7
+  %p = getelementptr inbounds [16 x i8], [16 x i8]* @buf, i64 0, i64 %j
+  store i8 77, i8* %p
+  %q = getelementptr inbounds [16 x i8], [16 x i8]* @buf, i64 0, i64 3
+  %v = load i8, i8* %q
+  ret i8 %v
+}

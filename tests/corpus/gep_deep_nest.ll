@@ -1,0 +1,11 @@
+; Two aggregate levels below the top: array of structs of array.
+; EXPECT: validated
+@grid = external global [2 x { i8, [2 x i8] }]
+define i8 @deep(i64 %i) {
+entry:
+  %j = and i64 %i, 1
+  %p = getelementptr inbounds [2 x { i8, [2 x i8] }], [2 x { i8, [2 x i8] }]* @grid, i64 0, i64 %j, i32 1, i64 1
+  store i8 5, i8* %p
+  %v = load i8, i8* %p
+  ret i8 %v
+}

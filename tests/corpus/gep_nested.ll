@@ -1,0 +1,12 @@
+; Nested aggregate GEP: struct containing an array of i16.
+; EXPECT: validated
+@pair = external global { i32, [4 x i16] }
+define i16 @gep_nested(i64 %i) {
+entry:
+  %j = and i64 %i, 3
+  %p = getelementptr inbounds { i32, [4 x i16] }, { i32, [4 x i16] }* @pair, i64 0, i32 1, i64 %j
+  store i16 9, i16* %p
+  %q = getelementptr inbounds { i32, [4 x i16] }, { i32, [4 x i16] }* @pair, i64 0, i32 1, i64 2
+  %v = load i16, i16* %q
+  ret i16 %v
+}

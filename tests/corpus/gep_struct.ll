@@ -1,0 +1,14 @@
+; Struct-field GEP with mixed field widths (narrow i16 traffic).
+; EXPECT: validated
+@rec = external global { i32, i16, i8 }
+define i32 @gep_struct() {
+entry:
+  %f0 = getelementptr inbounds { i32, i16, i8 }, { i32, i16, i8 }* @rec, i64 0, i32 0
+  %f1 = getelementptr inbounds { i32, i16, i8 }, { i32, i16, i8 }* @rec, i64 0, i32 1
+  store i16 -2, i16* %f1
+  %v16 = load i16, i16* %f1
+  %w = zext i16 %v16 to i32
+  %v32 = load i32, i32* %f0
+  %s = add i32 %v32, %w
+  ret i32 %s
+}

@@ -1,0 +1,13 @@
+; Direct loads/stores through word-sized globals.
+; EXPECT: validated
+@w32 = external global i32
+@w64 = external global i64
+define i64 @traffic(i32 %a) {
+entry:
+  store i32 %a, i32* @w32
+  %v = load i32, i32* @w32
+  %z = zext i32 %v to i64
+  store i64 %z, i64* @w64
+  %r = load i64, i64* @w64
+  ret i64 %r
+}

@@ -1,0 +1,13 @@
+; Equality predicates feeding a conditional branch.
+; EXPECT: validated
+define i32 @eqne(i32 %a, i32 %b) {
+entry:
+  %e = icmp eq i32 %a, %b
+  br i1 %e, label %same, label %diff
+same:
+  ret i32 1
+diff:
+  %n = icmp ne i32 %a, 0
+  %z = zext i1 %n to i32
+  ret i32 %z
+}

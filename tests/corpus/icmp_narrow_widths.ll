@@ -1,0 +1,14 @@
+; Comparisons at i8/i16/i64 width (flag materialization per width).
+; EXPECT: validated
+define i32 @wcmp(i8 %a, i16 %b, i64 %c) {
+entry:
+  %c1 = icmp slt i8 %a, 10
+  %c2 = icmp ugt i16 %b, 300
+  %c3 = icmp eq i64 %c, -1
+  %z1 = zext i1 %c1 to i32
+  %z2 = zext i1 %c2 to i32
+  %z3 = zext i1 %c3 to i32
+  %s1 = add i32 %z1, %z2
+  %s = add i32 %s1, %z3
+  ret i32 %s
+}

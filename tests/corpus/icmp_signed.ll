@@ -1,0 +1,17 @@
+; The four strict/loose signed comparison predicates.
+; EXPECT: validated
+define i32 @scmp(i32 %a, i32 %b) {
+entry:
+  %c1 = icmp slt i32 %a, %b
+  %c2 = icmp sle i32 %a, -4
+  %c3 = icmp sgt i32 %b, 0
+  %c4 = icmp sge i32 %a, %b
+  %z1 = zext i1 %c1 to i32
+  %z2 = zext i1 %c2 to i32
+  %z3 = zext i1 %c3 to i32
+  %z4 = zext i1 %c4 to i32
+  %s1 = add i32 %z1, %z2
+  %s2 = add i32 %z3, %z4
+  %s = add i32 %s1, %s2
+  ret i32 %s
+}

@@ -1,0 +1,17 @@
+; The four strict/loose unsigned comparison predicates.
+; EXPECT: validated
+define i32 @ucmp(i32 %a, i32 %b) {
+entry:
+  %c1 = icmp ult i32 %a, %b
+  %c2 = icmp ule i32 %a, 100
+  %c3 = icmp ugt i32 %b, 5
+  %c4 = icmp uge i32 %a, %b
+  %z1 = zext i1 %c1 to i32
+  %z2 = zext i1 %c2 to i32
+  %z3 = zext i1 %c3 to i32
+  %z4 = zext i1 %c4 to i32
+  %s1 = add i32 %z1, %z2
+  %s2 = add i32 %z3, %z4
+  %s = add i32 %s1, %s2
+  ret i32 %s
+}

@@ -1,0 +1,17 @@
+; Counted loop with an accumulator phi (cut-point synchronization).
+; EXPECT: validated
+define i32 @sum(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %inext, %body ]
+  %acc = phi i32 [ 0, %entry ], [ %anext, %body ]
+  %done = icmp sge i32 %i, %n
+  br i1 %done, label %exit, label %body
+body:
+  %anext = add i32 %acc, %i
+  %inext = add i32 %i, 1
+  br label %head
+exit:
+  ret i32 %acc
+}

@@ -1,0 +1,11 @@
+; i1 memory traffic through an alloca slot.
+; EXPECT: validated
+define i32 @bit_slot(i32 %a) {
+entry:
+  %slot = alloca i1
+  %c = icmp sgt i32 %a, 0
+  store i1 %c, i1* %slot
+  %v = load i1, i1* %slot
+  %z = zext i1 %v to i32
+  ret i32 %z
+}

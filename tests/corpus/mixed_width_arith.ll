@@ -1,0 +1,11 @@
+; Arithmetic at i8 and i16 (sub-register lowering).
+; EXPECT: validated
+define i16 @narrow_math(i8 %a, i16 %b) {
+entry:
+  %x = add i8 %a, 100
+  %y = mul i8 %x, 3
+  %z = zext i8 %y to i16
+  %w = sub i16 %b, %z
+  %v = and i16 %w, 4095
+  ret i16 %v
+}

@@ -1,0 +1,14 @@
+; zext(load) folding on an in-bounds load: sound, must validate.
+; EXPECT: validated
+; ISEL: fold-ext-load
+@a = external global [12 x i8]
+@b = external global i64
+define void @fold_ok() {
+entry:
+  %p = getelementptr inbounds [12 x i8], [12 x i8]* @a, i64 0, i64 0
+  %pw = bitcast i8* %p to i32*
+  %v = load i32, i32* %pw
+  %w = zext i32 %v to i64
+  store i64 %w, i64* @b
+  ret void
+}

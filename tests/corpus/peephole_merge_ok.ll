@@ -1,0 +1,15 @@
+; Store-merging peephole on genuinely adjacent, non-overlapping
+; stores: the optimization is sound here and must validate.
+; EXPECT: validated
+; ISEL: merge-stores
+@buf = external global [8 x i8]
+define void @merge_ok() {
+entry:
+  %p0 = getelementptr inbounds [8 x i8], [8 x i8]* @buf, i64 0, i64 0
+  %p0w = bitcast i8* %p0 to i16*
+  store i16 1, i16* %p0w
+  %p2 = getelementptr inbounds [8 x i8], [8 x i8]* @buf, i64 0, i64 2
+  %p2w = bitcast i8* %p2 to i16*
+  store i16 2, i16* %p2w
+  ret void
+}

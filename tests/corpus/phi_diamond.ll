@@ -1,0 +1,16 @@
+; Classic if-diamond merged by a phi.
+; EXPECT: validated
+define i32 @diamond(i32 %a) {
+entry:
+  %c = icmp slt i32 %a, 0
+  br i1 %c, label %neg, label %pos
+neg:
+  %n = sub i32 0, %a
+  br label %join
+pos:
+  %p = add i32 %a, 1
+  br label %join
+join:
+  %m = phi i32 [ %n, %neg ], [ %p, %pos ]
+  ret i32 %m
+}

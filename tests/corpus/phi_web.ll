@@ -1,0 +1,20 @@
+; Phi web: three-way control merge with two phis in one block.
+; EXPECT: validated
+define i32 @web(i32 %a) {
+entry:
+  switch i32 %a, label %other [
+    i32 0, label %zero
+    i32 1, label %one
+  ]
+zero:
+  br label %join
+one:
+  br label %join
+other:
+  br label %join
+join:
+  %x = phi i32 [ 10, %zero ], [ 20, %one ], [ 30, %other ]
+  %y = phi i32 [ -1, %zero ], [ -2, %one ], [ %a, %other ]
+  %s = add i32 %x, %y
+  ret i32 %s
+}

@@ -1,0 +1,9 @@
+; Void function whose only observable effect is a global store.
+; EXPECT: validated
+@out = external global i32
+define void @publish(i32 %a) {
+entry:
+  %x = add i32 %a, 17
+  store i32 %x, i32* @out
+  ret void
+}

@@ -1,0 +1,12 @@
+; Chained selects (cmov ladder).
+; EXPECT: validated
+define i32 @clamp(i32 %a) {
+entry:
+  %lo = icmp slt i32 %a, 0
+  %c1 = select i1 %lo, i32 0, i32 %a
+  %hi = icmp sgt i32 %c1, 100
+  %c2 = select i1 %hi, i32 100, i32 %c1
+  %isend = icmp eq i32 %c2, 100
+  %c3 = select i1 %isend, i32 -1, i32 %c2
+  ret i32 %c3
+}

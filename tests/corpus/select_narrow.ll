@@ -1,0 +1,10 @@
+; Selects over narrow (i8/i16) values.
+; EXPECT: validated
+define i16 @pick(i8 %a, i16 %b) {
+entry:
+  %c = icmp ne i8 %a, 0
+  %w = select i1 %c, i16 %b, i16 -7
+  %d = icmp ult i16 %w, 10
+  %r = select i1 %d, i16 1, i16 %w
+  ret i16 %r
+}

@@ -1,0 +1,22 @@
+; Switch with four non-default cases.
+; EXPECT: validated
+define i32 @dispatch(i32 %a) {
+entry:
+  switch i32 %a, label %fallback [
+    i32 0, label %c0
+    i32 1, label %c1
+    i32 2, label %c2
+    i32 9, label %c9
+  ]
+c0:
+  ret i32 100
+c1:
+  ret i32 101
+c2:
+  ret i32 102
+c9:
+  ret i32 109
+fallback:
+  %r = add i32 %a, 1000
+  ret i32 %r
+}

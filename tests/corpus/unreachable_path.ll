@@ -1,0 +1,12 @@
+; A branch arm that ends in unreachable.
+; EXPECT: validated
+define i32 @guarded(i32 %a) {
+entry:
+  %ok = icmp ne i32 %a, 0
+  br i1 %ok, label %use, label %dead
+use:
+  %r = udiv i32 100, %a
+  ret i32 %r
+dead:
+  unreachable
+}

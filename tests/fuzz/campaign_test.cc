@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+
 #include "src/fuzz/campaign.h"
 #include "src/support/diagnostics.h"
 
@@ -71,6 +74,42 @@ TEST(FuzzCampaign, HealthyCheckerHasNoOracleDisagreements)
     EXPECT_TRUE(result.reproducers.empty());
     EXPECT_GT(result.stats.baselineValidated, 0u);
     EXPECT_GT(result.stats.mutantsApplied, 0u);
+}
+
+TEST(FuzzCampaign, CoverageLedgerIsSchedulingIndependent)
+{
+    CampaignOptions serial = smallCampaign();
+    CampaignOptions threaded = smallCampaign();
+    threaded.jobs = 3;
+    CampaignResult a = runCampaign(serial);
+    CampaignResult b = runCampaign(threaded);
+    EXPECT_GT(a.stats.coverage.totalInstructions(), 0u);
+    // Merging is commutative, so the ledger must not depend on which
+    // worker recorded which iteration.
+    EXPECT_TRUE(a.stats.coverage == b.stats.coverage);
+    EXPECT_EQ(a.stats.coverage.serialize(), b.stats.coverage.serialize());
+}
+
+TEST(FuzzCampaign, CoverageLedgerSurvivesCheckpointResume)
+{
+    std::string path =
+        (std::filesystem::temp_directory_path() /
+         "keq-campaign-coverage-ckpt.journal")
+            .string();
+    std::remove(path.c_str());
+
+    CampaignOptions options = smallCampaign();
+    options.checkpointPath = path;
+    CampaignResult first = runCampaign(options);
+    ASSERT_GT(first.stats.coverage.totalInstructions(), 0u);
+
+    options.resume = true;
+    CampaignResult resumed = runCampaign(options);
+    EXPECT_EQ(resumed.resumedIterations, resumed.iterationsRun);
+    // Restored iterations carry their journaled ledger slices, so the
+    // resumed campaign reports the same coverage as the original.
+    EXPECT_TRUE(first.stats.coverage == resumed.stats.coverage);
+    std::remove(path.c_str());
 }
 
 TEST(FuzzCampaign, OnlyMutationRestrictsTheRandomPhase)

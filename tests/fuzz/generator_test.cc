@@ -10,6 +10,7 @@
 #include <set>
 
 #include "src/fuzz/generator.h"
+#include "src/llvmir/coverage.h"
 #include "src/llvmir/parser.h"
 #include "src/llvmir/verifier.h"
 #include "src/support/rng.h"
@@ -97,6 +98,68 @@ TEST(FuzzGenerator, PreludeVerifiesOnItsOwn)
 {
     llvmir::Module module = llvmir::parseModule(generatorPrelude());
     EXPECT_TRUE(llvmir::verifyModule(module).empty());
+}
+
+TEST(FuzzGenerator, DefaultOptionsNeverTouchOptInFamilies)
+{
+    // Old campaign seeds must stay replayable: the opt-in families are
+    // dark with default options — same prelude, no aggregate globals,
+    // and the flags-off stream is identical to the default stream.
+    GeneratorOptions options;
+    EXPECT_EQ(generatorPrelude(options), generatorPrelude());
+    for (uint64_t seed = 0; seed < 50; ++seed) {
+        Rng rng = Rng::stream(21, seed);
+        std::string source = generateModuleSource(rng, options);
+        EXPECT_EQ(source.find("@fz_pair"), std::string::npos);
+        EXPECT_EQ(source.find("@fz_grid"), std::string::npos);
+    }
+}
+
+TEST(FuzzGenerator, AggregateGepsEmitAndVerify)
+{
+    GeneratorOptions options;
+    options.aggregateGeps = true;
+    options.targetOps = 30;
+    EXPECT_NE(generatorPrelude(options).find("@fz_pair"),
+              std::string::npos);
+    CoverageMap coverage;
+    for (uint64_t seed = 0; seed < 80; ++seed) {
+        Rng rng = Rng::stream(22, seed);
+        // generateModule throws on any verifier diagnostic, so every
+        // emitted aggregate GEP is also proven well-typed here.
+        coverage.recordModule(generateModule(rng, options));
+    }
+    EXPECT_GT(coverage.shapeCount(CoverageShape::GepStructField), 0u);
+    EXPECT_GT(coverage.shapeCount(CoverageShape::GepArrayIndex), 0u);
+    EXPECT_GT(coverage.shapeCount(CoverageShape::GepNested), 0u);
+    EXPECT_GT(coverage.shapeCount(CoverageShape::NarrowLoad), 0u);
+    EXPECT_GT(coverage.shapeCount(CoverageShape::NarrowStore), 0u);
+}
+
+TEST(FuzzGenerator, SelectChainsEmitAndVerify)
+{
+    GeneratorOptions options;
+    options.selectChains = true;
+    options.targetOps = 30;
+    // No new globals: select chains must not disturb the prelude.
+    EXPECT_EQ(generatorPrelude(options), generatorPrelude());
+    CoverageMap coverage;
+    for (uint64_t seed = 0; seed < 80; ++seed) {
+        Rng rng = Rng::stream(23, seed);
+        coverage.recordModule(generateModule(rng, options));
+    }
+    EXPECT_GT(coverage.shapeCount(CoverageShape::SelectChain), 0u);
+}
+
+TEST(FuzzGenerator, OptInFamiliesDeterministicForEqualStreams)
+{
+    GeneratorOptions options;
+    options.aggregateGeps = true;
+    options.selectChains = true;
+    Rng a = Rng::stream(24, 5);
+    Rng b = Rng::stream(24, 5);
+    EXPECT_EQ(generateModuleSource(a, options),
+              generateModuleSource(b, options));
 }
 
 } // namespace

@@ -228,6 +228,68 @@ TEST(ParserTest, ErrorsCarryLineNumbers)
     }
 }
 
+// Every malformed input must produce a positioned diagnostic: line AND
+// column, plus a message fragment naming what went wrong. This is the
+// contract `keqc` exit code 65 builds on.
+TEST(ParserTest, MalformedInputsCarryLineAndColumn)
+{
+    struct Case
+    {
+        const char *label;
+        const char *source;
+        const char *wherePrefix; ///< "line L, col C" expected anchor
+        const char *message;     ///< substring of the diagnostic
+    };
+    const Case table[] = {
+        {"unknown opcode",
+         "define i32 @f() {\nentry:\n  %1 = bogus i32 0\n}\n",
+         "line 3, col 8", "unsupported opcode"},
+        {"unsupported integer width",
+         "define i128 @f() {\nentry:\n  ret i128 0\n}\n",
+         "line 1, col 8", "unsupported type"},
+        {"huge integer width",
+         "define i32 @f() {\nentry:\n"
+         "  %1 = add i99999999999 0, 0\n  ret i32 %1\n}\n",
+         "line 3, col 12", "unsupported type"},
+        {"out-of-range literal",
+         "define i64 @f() {\nentry:\n"
+         "  ret i64 99999999999999999999999\n}\n",
+         "line 3, col 11", "out of range"},
+        {"unexpected character",
+         "define i32 @f() {\nentry:\n  %1 = add i32 0, #\n}\n",
+         "line 3, col 19", "unexpected character"},
+        {"missing operand comma",
+         "define i32 @f() {\nentry:\n  %1 = add i32 0 0\n}\n",
+         "line 3, col 18", "expected"},
+        {"bad icmp predicate",
+         "define i1 @f(i32 %a) {\nentry:\n"
+         "  %1 = icmp zz i32 %a, 0\n  ret i1 %1\n}\n",
+         "line 3, col 13", "icmp predicate"},
+        {"struct GEP with dynamic index",
+         "@s = external global {i32, i16}\n"
+         "define i16 @f(i64 %i) {\nentry:\n"
+         "  %p = getelementptr {i32, i16}, {i32, i16}* @s, i64 0, "
+         "i64 %i\n  %v = load i16, i16* %p\n  ret i16 %v\n}\n",
+         "line 5, col 3", "struct GEP index must be constant"},
+        {"top-level garbage", "definitely not llvm\n", "line 1, col 1",
+         "expected global, declare or define"},
+    };
+    for (const Case &c : table) {
+        try {
+            parseModule(c.source);
+            FAIL() << c.label << ": expected parse error";
+        } catch (const support::Error &error) {
+            std::string what = error.what();
+            EXPECT_NE(what.find(c.wherePrefix), std::string::npos)
+                << c.label << ": missing '" << c.wherePrefix
+                << "' in: " << what;
+            EXPECT_NE(what.find(c.message), std::string::npos)
+                << c.label << ": missing '" << c.message
+                << "' in: " << what;
+        }
+    }
+}
+
 TEST(ParserTest, RoundTripThroughPrinter)
 {
     const char *source = R"(

@@ -26,6 +26,7 @@
  *     --no-calibrate      skip the per-entry exemplar calibration
  *     --no-shrink         report failing seeds unshrunk
  *     --check-classes     fail unless every miscompile class was killed
+ *     --stats             print the IR-construct coverage ledger
  *     --summary           print the canonical (timing-free) summary only
  *     --json=FILE         write campaign stats as a flat JSON object
  *
@@ -56,6 +57,7 @@ struct CliOptions
     bool listMutations = false;
     bool checkClasses = false;
     bool summaryOnly = false;
+    bool coverageStats = false;
 };
 
 [[noreturn]] void
@@ -67,7 +69,8 @@ usage(const char *argv0)
               << "  --list-mutations --max-seconds=S --no-calibrate\n"
               << "  --checkpoint=FILE --checkpoint-fsync=record|batch|off "
                  "--resume\n"
-              << "  --no-shrink --check-classes --summary --json=FILE\n";
+              << "  --no-shrink --check-classes --stats --summary "
+                 "--json=FILE\n";
     std::exit(2);
 }
 
@@ -130,6 +133,8 @@ parseArgs(int argc, char **argv)
             options.campaign.shrinkFailures = false;
         } else if (arg == "--check-classes") {
             options.checkClasses = true;
+        } else if (arg == "--stats") {
+            options.coverageStats = true;
         } else if (arg == "--summary") {
             options.summaryOnly = true;
         } else if (arg.rfind("--json=", 0) == 0) {
@@ -275,6 +280,8 @@ main(int argc, char **argv)
             std::cout << result.resumedIterations
                       << " iterations restored from checkpoint\n";
     }
+    if (options.coverageStats)
+        std::cout << result.stats.coverage.report();
 
     if (!options.jsonPath.empty())
         writeJson(options.jsonPath, result, options.campaign);

@@ -50,7 +50,9 @@
  * a `cancelled` classification (never journaled), and a later --resume
  * picks up where the run left off.
  *
- * Exit code: number of functions that failed validation (0 = all good).
+ * Exit code: number of functions that failed validation (0 = all
+ * good); 65 when the input module does not parse or verify; 2 for
+ * usage and I/O errors.
  */
 
 #include <csignal>
@@ -401,13 +403,18 @@ main(int argc, char **argv)
     std::stringstream buffer;
     buffer << file.rdbuf();
 
+    // Unparsable or ill-formed input exits with the dedicated code 65
+    // (EX_DATAERR), so drivers and the fuzz harness can distinguish
+    // "your .ll is bad" from usage errors (2) and failed validations
+    // (the failure count).
     llvmir::Module module;
     try {
         module = llvmir::parseModule(buffer.str());
         llvmir::verifyModuleOrThrow(module);
     } catch (const support::Error &error) {
-        std::cerr << "keqc: " << error.what() << "\n";
-        return 2;
+        std::cerr << "keqc: " << options.path << ": " << error.what()
+                  << "\n";
+        return 65;
     }
 
     if (options.print_mir || options.print_sync) {

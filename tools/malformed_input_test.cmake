@@ -1,0 +1,63 @@
+# Exercised by ctest (see tools/CMakeLists.txt): keqc on an unparsable
+# module must exit 65 (EX_DATAERR) with a line:column diagnostic that
+# names the file — never the generic failure-count exit, never a crash.
+#
+#   cmake -DKEQC=<binary> -DWORK_DIR=<dir> -P malformed_input_test.cmake
+if(NOT DEFINED KEQC OR NOT DEFINED WORK_DIR)
+    message(FATAL_ERROR
+        "usage: cmake -DKEQC=... -DWORK_DIR=... "
+        "-P malformed_input_test.cmake")
+endif()
+
+set(bad "${WORK_DIR}/keqc-malformed-input.ll")
+file(WRITE "${bad}"
+    "define i32 @f(i32 %a) {\n"
+    "entry:\n"
+    "  %r = frobnicate i32 %a, 1\n"
+    "  ret i32 %r\n"
+    "}\n")
+
+execute_process(
+    COMMAND "${KEQC}" "${bad}"
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+
+if(NOT code EQUAL 65)
+    message(FATAL_ERROR
+        "expected exit code 65, got '${code}'\nstderr: ${err}")
+endif()
+string(FIND "${err}" "${bad}" name_at)
+if(name_at EQUAL -1)
+    message(FATAL_ERROR
+        "diagnostic must name the input file '${bad}'\nstderr: ${err}")
+endif()
+string(FIND "${err}" "line 3" line_at)
+if(line_at EQUAL -1)
+    message(FATAL_ERROR
+        "diagnostic must carry the failing line\nstderr: ${err}")
+endif()
+string(FIND "${err}" "col" col_at)
+if(col_at EQUAL -1)
+    message(FATAL_ERROR
+        "diagnostic must carry the failing column\nstderr: ${err}")
+endif()
+
+# A well-formed module must NOT take the data-error exit.
+set(good "${WORK_DIR}/keqc-wellformed-input.ll")
+file(WRITE "${good}"
+    "define i32 @ok(i32 %a) {\n"
+    "entry:\n"
+    "  %r = add i32 %a, 1\n"
+    "  ret i32 %r\n"
+    "}\n")
+execute_process(
+    COMMAND "${KEQC}" "${good}"
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+    message(FATAL_ERROR
+        "well-formed module must exit 0, got '${code}'\n"
+        "stderr: ${err}")
+endif()

@@ -2,7 +2,7 @@
 # Configure, build, and run the tier-1 test suite in one shot.
 #
 # Usage:
-#   tools/run_tier1.sh [sanitizer] [chaos] [build-dir]
+#   tools/run_tier1.sh [sanitizer] [chaos|conformance] [build-dir]
 #
 #   tools/run_tier1.sh                # plain build in build/
 #   tools/run_tier1.sh tsan           # ThreadSanitizer build in build-tsan/
@@ -10,6 +10,7 @@
 #   tools/run_tier1.sh asan mydir     # AddressSanitizer build in mydir/
 #   tools/run_tier1.sh chaos          # fault-injection suite only (-L chaos)
 #   tools/run_tier1.sh tsan chaos     # chaos suite under ThreadSanitizer
+#   tools/run_tier1.sh conformance    # conformance suite (-L conformance)
 #
 # The legacy spelling `KEQ_TSAN=1 tools/run_tier1.sh tsan-dir` still
 # works: when the first argument is not a sanitizer name it is taken as
@@ -29,8 +30,8 @@ esac
 
 suite=all
 case ${1:-} in
-    chaos)
-        suite=chaos
+    chaos|conformance)
+        suite=$1
         shift
         ;;
 esac
@@ -79,6 +80,12 @@ if [ "$suite" = chaos ]; then
     # `chaos`). Worth running under tsan too — the fault schedule and
     # the watchdog both cross worker threads.
     ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" -L chaos
+elif [ "$suite" = conformance ]; then
+    # The differential conformance gate: every corpus file through the
+    # full configuration matrix with verdict identity, EXPECT agreement,
+    # and full opcode coverage (tests labelled `conformance`).
+    ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" \
+        -L conformance
 else
     ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 fi
