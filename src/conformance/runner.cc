@@ -14,7 +14,8 @@ MatrixCell::label() const
 {
     std::ostringstream os;
     os << "sandbox=" << (sandbox ? 1 : 0) << " cache=" << (cache ? 1 : 0)
-       << " smtopt=" << (smtOpt ? 1 : 0) << " jobs=" << jobs;
+       << " smtopt=" << (smtOpt ? 1 : 0) << " jobs=" << jobs
+       << " lanes=" << portfolioLanes;
     return os.str();
 }
 
@@ -59,6 +60,7 @@ runCase(const CorpusCase &corpus_case, const MatrixCell &cell,
     exec.incrementalSolver = cell.smtOpt;
     exec.sandbox = cell.sandbox;
     exec.workerPath = options.workerPath;
+    exec.portfolioLanes = cell.portfolioLanes;
     if (cell.sandbox)
         exec.sandboxWorkers = cell.jobs;
 

@@ -14,11 +14,13 @@
 #include "src/memory/layout.h"
 #include "src/smt/guarded_solver.h"
 #include "src/smt/incremental_z3_solver.h"
+#include "src/smt/portfolio_solver.h"
 #include "src/smt/term_factory.h"
 #include "src/smt/z3_solver.h"
 #include "src/support/diagnostics.h"
 #include "src/support/journal.h"
 #include "src/support/stopwatch.h"
+#include "src/support/strings.h"
 #include "src/support/thread_pool.h"
 #include "src/regalloc/regalloc.h"
 #include "src/vcgen/regalloc_vcgen.h"
@@ -166,12 +168,45 @@ validatePairImpl(const llvmir::Module &module, const llvmir::Function &fn,
         vx86::MModule mmodule;
         mmodule.functions.push_back(std::move(mfn));
         vx86::SymbolicSemantics sem_b(mmodule, factory, layout);
+        // Portfolio lane roster: an explicit spec wins, then the lane
+        // count; a single default lane keeps the pre-portfolio stack
+        // byte-identical. A malformed spec throws support::Error and
+        // lands in the Unsupported catch below.
+        std::vector<smt::LaneConfig> lanes;
+        if (exec != nullptr) {
+            if (!exec->portfolioLaneSpec.empty()) {
+                std::string laneError;
+                if (!smt::parsePortfolioLanes(exec->portfolioLaneSpec,
+                                              lanes, laneError)) {
+                    throw support::Error("invalid portfolio lane spec: " +
+                                         laneError);
+                }
+            } else if (exec->portfolioLanes > 1) {
+                lanes = smt::defaultPortfolioLanes(exec->portfolioLanes);
+            }
+        }
+
         std::unique_ptr<smt::Solver> backend;
         if (sandbox != nullptr) {
-            backend = std::make_unique<smt::SandboxSolver>(factory,
-                                                           *sandbox);
+            // Sandboxed portfolio: one worker per lane, raced by the
+            // supervisor; lane entries travel as ResetFrame strategies.
+            std::vector<std::string> laneSpecs;
+            if (exec != nullptr && !exec->portfolioLaneSpec.empty())
+                laneSpecs =
+                    support::split(exec->portfolioLaneSpec, ',');
+            else
+                for (const smt::LaneConfig &lane : lanes)
+                    laneSpecs.push_back(lane.name);
+            backend = std::make_unique<smt::SandboxSolver>(
+                factory, *sandbox, std::move(laneSpecs));
             if (exec != nullptr && exec->deadlineMs > 0)
                 backend->setTimeoutMs(exec->deadlineMs);
+        } else if (lanes.size() > 1) {
+            backend = std::make_unique<smt::PortfolioSolver>(
+                factory, std::move(lanes));
+        } else if (lanes.size() == 1) {
+            // One explicit lane: no race, but honor its tuning.
+            backend = smt::makeLaneBackend(factory, lanes.front());
         } else if (exec != nullptr && exec->incrementalSolver) {
             backend = std::make_unique<smt::IncrementalZ3Solver>(factory);
         } else {
@@ -247,8 +282,14 @@ validatePairImpl(const llvmir::Module &module, const llvmir::Function &fn,
         checker::Checker checker(sem_a, sem_b, acceptability, *solver,
                                  checker_config);
         report.verdict = checker.check(fn.name, fn.name, vc.points);
-        if (solver_stats != nullptr)
+        if (solver_stats != nullptr) {
             *solver_stats = solver->stats();
+            // Batching is attributed by the checker (no solver layer
+            // can see which queries shared a session), so the module
+            // aggregate picks it up from the verdict delta.
+            solver_stats->batchedQueries =
+                report.verdict.stats.solverStats.batchedQueries;
+        }
 
         switch (report.verdict.kind) {
           case checker::VerdictKind::Equivalent:
@@ -447,11 +488,28 @@ Pipeline::sandboxSupervisor(unsigned workers)
     if (supervisor_ != nullptr && supervisor_->started())
         return supervisor_.get();
 
+    // Each concurrent function validation leases one worker per
+    // portfolio lane (solveGroup's atomic multi-slot lease), so the
+    // default pool is jobs x lanes; an undersized explicit pool still
+    // works — the race just degrades to fewer lanes.
+    unsigned lanes = 1;
+    if (!exec_.portfolioLaneSpec.empty()) {
+        std::vector<smt::LaneConfig> configs;
+        std::string laneError;
+        if (smt::parsePortfolioLanes(exec_.portfolioLaneSpec, configs,
+                                     laneError))
+            lanes = static_cast<unsigned>(configs.size());
+    } else if (exec_.portfolioLanes > 1) {
+        lanes = std::min<unsigned>(
+            exec_.portfolioLanes,
+            static_cast<unsigned>(smt::SolverStats::kPortfolioMaxLanes));
+    }
     smt::SandboxOptions sandbox;
     sandbox.workerPath = exec_.workerPath;
     sandbox.workers =
-        exec_.sandboxWorkers > 0 ? exec_.sandboxWorkers
-                                 : std::max<unsigned>(workers, 1);
+        exec_.sandboxWorkers > 0
+            ? exec_.sandboxWorkers
+            : std::max<unsigned>(workers, 1) * std::max(lanes, 1u);
     sandbox.workerMemoryMb = exec_.workerMemoryMb;
     sandbox.memoryBudgetMb = exec_.solverMemoryMb;
     sandbox.chaosKillRate = exec_.sandboxChaosKillRate;

@@ -166,6 +166,25 @@ struct ExecutionOptions
      */
     double sandboxChaosKillRate = 0.0;
     uint64_t sandboxChaosSeed = 0x5eed;
+
+    // --- Portfolio racing (smt::PortfolioSolver / solveGroup) --------
+
+    /**
+     * Strategy lanes raced per solver query. 1 (default) disables the
+     * portfolio entirely — the stack is byte-identical to the
+     * pre-portfolio pipeline. Clamped to
+     * smt::SolverStats::kPortfolioMaxLanes. In-process runs race lane
+     * threads (PortfolioSolver); sandboxed runs race one worker per
+     * lane (WorkerSupervisor::solveGroup).
+     */
+    unsigned portfolioLanes = 1;
+    /**
+     * Explicit lane roster ("default,int2bv,cold:random_seed=3");
+     * overrides portfolioLanes when nonempty. Entries follow
+     * smt::parsePortfolioLanes syntax; an invalid spec fails every
+     * function with an Unsupported report rather than being ignored.
+     */
+    std::string portfolioLaneSpec;
 };
 
 /** Per-function validation report. */

@@ -551,6 +551,13 @@ CachingSolver::checkSat(const std::vector<Term> &assertions)
     stats_.heartbeatTimeouts += backend_delta.heartbeatTimeouts;
     stats_.wireBytesSent += backend_delta.wireBytesSent;
     stats_.wireBytesReceived += backend_delta.wireBytesReceived;
+    stats_.batchedQueries += backend_delta.batchedQueries;
+    for (size_t i = 0; i < SolverStats::kPortfolioMaxLanes; ++i)
+        stats_.portfolioWins[i] += backend_delta.portfolioWins[i];
+    stats_.portfolioCancellations +=
+        backend_delta.portfolioCancellations;
+    stats_.crossLaneDisagreements +=
+        backend_delta.crossLaneDisagreements;
     stats_.totalSeconds += watch.seconds();
     if (std::getenv("KEQ_CACHE_DEBUG") != nullptr) {
         std::fprintf(stderr, "MISS %8.2f ms  %s  h=%zx  n=%zu  a=%zu\n",

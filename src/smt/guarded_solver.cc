@@ -92,6 +92,17 @@ GuardedSolver::interruptQuery()
     }
 }
 
+void
+GuardedSolver::cancelCurrentQuery()
+{
+    queryCancelled_.store(true, std::memory_order_relaxed);
+    // Immediate first interrupt so the reap does not wait for the next
+    // watchdog poll tick; the watchdog re-fires until the attempt
+    // returns (the incremental backend's Unknown fallback re-enters Z3).
+    interruptQuery();
+    watchCv_.notify_all();
+}
+
 Solver *
 GuardedSolver::rungSolver(size_t rung)
 {
@@ -121,7 +132,8 @@ GuardedSolver::ensureWatchdog()
 void
 GuardedSolver::armWatchdog(Solver *target)
 {
-    if (options_.deadlineMs == 0 && !options_.cancel.valid())
+    if (options_.deadlineMs == 0 && !options_.cancel.valid() &&
+        !options_.cancellable)
         return; // nothing to enforce
     ensureWatchdog();
     {
@@ -173,7 +185,9 @@ GuardedSolver::watchdogLoop()
                !watchShutdown_) {
             Clock::time_point now = Clock::now();
             bool expired = watchHasDeadline_ && now >= watchDeadline_;
-            bool cancelled = options_.cancel.cancelled();
+            bool cancelled =
+                options_.cancel.cancelled() ||
+                queryCancelled_.load(std::memory_order_relaxed);
             if (expired || cancelled) {
                 watchFired_ = true;
                 Solver *target = watchTarget_;
@@ -214,6 +228,10 @@ GuardedSolver::checkSat(const std::vector<Term> &assertions)
     lastUnknownReason_.clear();
     lastFailure_ = FailureKind::None;
     lastAnswering_ = nullptr;
+    // A stale per-query cancel must not leak into this query; the host
+    // protocol guarantees cancelCurrentQuery only targets an in-flight
+    // checkSat.
+    queryCancelled_.store(false, std::memory_order_relaxed);
 
     support::Rng jitter(options_.jitterSeed ^ stats_.queries);
     size_t rungCount = 1 + rungFactories_.size();
@@ -223,7 +241,8 @@ GuardedSolver::checkSat(const std::vector<Term> &assertions)
         Solver *solver = rungSolver(rung);
         for (unsigned attempt = 0; attempt <= options_.retries;
              ++attempt, ++attemptNumber) {
-            if (options_.cancel.cancelled()) {
+            if (options_.cancel.cancelled() ||
+                queryCancelled_.load(std::memory_order_relaxed)) {
                 lastFailure_ = FailureKind::Cancelled;
                 lastUnknownReason_ = "cancelled";
                 ++stats_.unknown;
@@ -278,7 +297,9 @@ GuardedSolver::checkSat(const std::vector<Term> &assertions)
                     crashWhat.find("memory") != std::string::npos
                         ? FailureKind::MemoryBudget
                         : FailureKind::SolverCrash;
-            } else if (options_.cancel.cancelled()) {
+            } else if (options_.cancel.cancelled() ||
+                       queryCancelled_.load(
+                           std::memory_order_relaxed)) {
                 lastUnknownReason_ = "cancelled";
                 lastFailure_ = FailureKind::Cancelled;
             } else if (deadlineFired) {

@@ -58,8 +58,10 @@ struct IncrementalZ3Solver::Impl
     }
 };
 
-IncrementalZ3Solver::IncrementalZ3Solver(TermFactory &factory)
-    : factory_(factory), impl_(std::make_unique<Impl>())
+IncrementalZ3Solver::IncrementalZ3Solver(TermFactory &factory,
+                                         BackendTuning tuning)
+    : factory_(factory), impl_(std::make_unique<Impl>()),
+      tuning_(std::move(tuning))
 {}
 
 IncrementalZ3Solver::~IncrementalZ3Solver() = default;
@@ -101,6 +103,8 @@ IncrementalZ3Solver::checkSat(const std::vector<Term> &assertions)
     if (!impl.limitsApplied || impl.appliedTimeoutMs != timeoutMs_ ||
         impl.appliedMemoryMb != memoryBudgetMb_) {
         impl.applyLimits(impl.solver, timeoutMs_, memoryBudgetMb_);
+        if (!tuning_.empty())
+            applyTuningParams(impl.ctx, impl.solver, tuning_);
         impl.appliedTimeoutMs = timeoutMs_;
         impl.appliedMemoryMb = memoryBudgetMb_;
         impl.limitsApplied = true;
@@ -163,6 +167,8 @@ IncrementalZ3Solver::checkSat(const std::vector<Term> &assertions)
             ++stats_.incrementalFallbacks;
             z3::solver fallback(impl.ctx);
             impl.applyLimits(fallback, timeoutMs_, memoryBudgetMb_);
+            if (!tuning_.empty())
+                applyTuningParams(impl.ctx, fallback, tuning_);
             for (const Term &assertion : assertions)
                 fallback.add(impl.lowering.lower(assertion));
             z3_result = fallback.check();

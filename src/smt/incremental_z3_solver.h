@@ -38,7 +38,13 @@ namespace keq::smt {
 class IncrementalZ3Solver : public Solver
 {
   public:
-    explicit IncrementalZ3Solver(TermFactory &factory);
+    /**
+     * @p tuning: optional best-effort Z3 parameters applied to the
+     * persistent solver and every fallback — how a portfolio lane
+     * differentiates itself.
+     */
+    explicit IncrementalZ3Solver(TermFactory &factory,
+                                 BackendTuning tuning = {});
     ~IncrementalZ3Solver() override;
 
     SatResult checkSat(const std::vector<Term> &assertions) override;
@@ -77,6 +83,7 @@ class IncrementalZ3Solver : public Solver
     struct Impl; // hides <z3++.h> from clients
     TermFactory &factory_;
     std::unique_ptr<Impl> impl_;
+    BackendTuning tuning_;
     SolverStats stats_;
     unsigned timeoutMs_ = 0;
     unsigned memoryBudgetMb_ = 0;

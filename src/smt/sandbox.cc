@@ -1,5 +1,6 @@
 #include "src/smt/sandbox.h"
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
@@ -15,6 +16,7 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 constexpr unsigned kReadSliceMs = 100;     ///< poll granularity
+constexpr unsigned kGroupSliceMs = 10;     ///< per-lane poll in a race
 constexpr unsigned kHandshakeMs = 10000;   ///< Ready deadline
 constexpr unsigned kReapGraceMs = 500;     ///< voluntary-exit window
 constexpr unsigned kMinBackoffMs = 25;
@@ -168,6 +170,30 @@ WorkerSupervisor::leaseSlot()
     }
 }
 
+std::vector<WorkerSupervisor::Slot *>
+WorkerSupervisor::leaseSlots(size_t n)
+{
+    // All-or-nothing under one lock: a group either grabs every slot it
+    // needs in a single critical section or grabs none and waits. Two
+    // concurrent groups can therefore never deadlock on partial leases
+    // (one of them always completes first).
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        std::vector<Slot *> free;
+        for (auto &slot : slots_) {
+            if (!slot->busy)
+                free.push_back(slot.get());
+        }
+        if (free.size() >= n) {
+            free.resize(n);
+            for (Slot *slot : free)
+                slot->busy = true;
+            return free;
+        }
+        slotFree_.wait(lock);
+    }
+}
+
 void
 WorkerSupervisor::releaseSlot(Slot *slot)
 {
@@ -175,7 +201,10 @@ WorkerSupervisor::releaseSlot(Slot *slot)
         std::unique_lock<std::mutex> lock(mutex_);
         slot->busy = false;
     }
-    slotFree_.notify_one();
+    // notify_all, not notify_one: a group waiter needing several slots
+    // must re-check on every release, and waking only one waiter could
+    // starve it behind single-slot waiters.
+    slotFree_.notify_all();
 }
 
 support::ExitStatus
@@ -185,6 +214,7 @@ WorkerSupervisor::reapWorker(Slot &slot)
     support::ExitStatus status = slot.proc.waitOrKill(kReapGraceMs);
     slot.alive = false;
     slot.sessionId = 0;
+    slot.strategy.clear();
     slot.backoffMs = slot.backoffMs == 0
                          ? kMinBackoffMs
                          : std::min(slot.backoffMs * 2,
@@ -283,16 +313,72 @@ WorkerSupervisor::spawnWorker(Slot &slot, std::string &error,
     slot.everSpawned = true;
     slot.alive = true;
     slot.sessionId = 0;
+    slot.strategy.clear();
     slot.lastRssKb = 0;
     slot.chaosPid = slot.proc.pid();
     return true;
+}
+
+bool
+WorkerSupervisor::dispatchQuery(Slot &slot, uint64_t sessionId,
+                                const std::string &strategy,
+                                uint64_t seq,
+                                const std::vector<Term> &assertions,
+                                unsigned timeoutMs,
+                                const std::atomic<bool> *interrupted,
+                                SolverStats &transport,
+                                std::string &spawnError)
+{
+    // Bounded respawn + redispatch: a worker that dies *here* has not
+    // consumed the query, so it is respawned and the query redispatched;
+    // a death after dispatch costs exactly this query (classified by
+    // the caller's await loop).
+    auto cancelled = [&] {
+        return (interrupted != nullptr &&
+                interrupted->load(std::memory_order_relaxed)) ||
+               options_.cancel.cancelled();
+    };
+    for (unsigned attempt = 0;
+         attempt < options_.spawnAttempts && !cancelled(); ++attempt) {
+        if (!slot.alive && !spawnWorker(slot, spawnError, transport))
+            continue;
+        if (slot.sessionId != sessionId || slot.strategy != strategy) {
+            wire::ResetFrame reset;
+            reset.timeoutMs = timeoutMs;
+            reset.memoryBudgetMb = options_.memoryBudgetMb;
+            reset.strategy = strategy;
+            std::string bytes = wire::encodeReset(reset);
+            if (!slot.proc.writeAll(bytes)) {
+                reapWorker(slot);
+                ++transport.workerCrashes;
+                continue;
+            }
+            transport.wireBytesSent += bytes.size();
+            slot.sessionId = sessionId;
+            slot.strategy = strategy;
+        }
+        wire::QueryFrame query;
+        query.seq = seq;
+        query.timeoutMs = timeoutMs;
+        query.assertions = assertions;
+        std::string bytes = wire::encodeQuery(query);
+        if (!slot.proc.writeAll(bytes)) {
+            reapWorker(slot);
+            ++transport.workerCrashes;
+            continue;
+        }
+        transport.wireBytesSent += bytes.size();
+        return true;
+    }
+    return false;
 }
 
 WorkerSupervisor::QueryOutcome
 WorkerSupervisor::solve(uint64_t sessionId,
                         const std::vector<Term> &assertions,
                         unsigned timeoutMs,
-                        const std::atomic<bool> *interrupted)
+                        const std::atomic<bool> *interrupted,
+                        const std::string &strategy)
 {
     QueryOutcome out;
     SolverStats transport;
@@ -311,45 +397,10 @@ WorkerSupervisor::solve(uint64_t sessionId,
                options_.cancel.cancelled();
     };
 
-    // --- Dispatch (with bounded respawn + redispatch) -----------------
-    // A worker that dies *here* has not consumed the query, so it is
-    // respawned and the query redispatched; a death after dispatch
-    // costs exactly this query (classified below).
-    bool dispatched = false;
     std::string spawnError;
-    for (unsigned attempt = 0;
-         attempt < options_.spawnAttempts && !dispatched && !cancelled();
-         ++attempt) {
-        if (!slot->alive &&
-            !spawnWorker(*slot, spawnError, transport)) {
-            continue;
-        }
-        if (slot->sessionId != sessionId) {
-            wire::ResetFrame reset;
-            reset.timeoutMs = timeoutMs;
-            reset.memoryBudgetMb = options_.memoryBudgetMb;
-            std::string bytes = wire::encodeReset(reset);
-            if (!slot->proc.writeAll(bytes)) {
-                reapWorker(*slot);
-                ++transport.workerCrashes;
-                continue;
-            }
-            transport.wireBytesSent += bytes.size();
-            slot->sessionId = sessionId;
-        }
-        wire::QueryFrame query;
-        query.seq = seq;
-        query.timeoutMs = timeoutMs;
-        query.assertions = assertions;
-        std::string bytes = wire::encodeQuery(query);
-        if (!slot->proc.writeAll(bytes)) {
-            reapWorker(*slot);
-            ++transport.workerCrashes;
-            continue;
-        }
-        transport.wireBytesSent += bytes.size();
-        dispatched = true;
-    }
+    bool dispatched =
+        dispatchQuery(*slot, sessionId, strategy, seq, assertions,
+                      timeoutMs, interrupted, transport, spawnError);
     if (!dispatched) {
         if (cancelled()) {
             out.failureKind = FailureKind::Cancelled;
@@ -506,6 +557,334 @@ WorkerSupervisor::solve(uint64_t sessionId,
     return out;
 }
 
+namespace {
+
+/** Per-lane bookkeeping for one portfolio race. */
+struct LaneRun
+{
+    std::string strategy;
+    bool finished = false;
+    bool haveResult = false; ///< a Result frame (any kind) arrived
+    bool cancelSent = false;
+    Clock::time_point cancelAt{};
+    Clock::time_point lastFrame{};
+    std::string buf; ///< partial frame bytes (readExact accumulates)
+    uint32_t frameLen = 0;
+    bool haveHeader = false;
+    SatResult result = SatResult::Unknown;
+    FailureKind kind = FailureKind::None;
+    std::string reason;
+    SolverStats stats;
+};
+
+bool
+isDefinite(const LaneRun &lane)
+{
+    return lane.haveResult && lane.kind == FailureKind::None &&
+           lane.result != SatResult::Unknown;
+}
+
+} // namespace
+
+WorkerSupervisor::QueryOutcome
+WorkerSupervisor::solveGroup(uint64_t sessionId,
+                             const std::vector<Term> &assertions,
+                             unsigned timeoutMs,
+                             const std::atomic<bool> *interrupted,
+                             const std::vector<std::string> &lanes)
+{
+    if (lanes.size() <= 1) {
+        return solve(sessionId, assertions, timeoutMs, interrupted,
+                     lanes.empty() ? std::string() : lanes.front());
+    }
+    QueryOutcome out;
+    SolverStats transport;
+    if (!started_) {
+        out.failureKind = FailureKind::WorkerKilled;
+        out.unknownReason = "sandbox supervisor not started";
+        return out;
+    }
+
+    // Racing more lanes than the pool has workers would block the
+    // atomic lease forever; degrade to the widest race that fits.
+    size_t laneCount = std::min(lanes.size(), slots_.size());
+    std::vector<Slot *> leased = leaseSlots(laneCount);
+    uint64_t seq = nextQuerySeq_.fetch_add(1);
+
+    auto cancelled = [&] {
+        return (interrupted != nullptr &&
+                interrupted->load(std::memory_order_relaxed)) ||
+               options_.cancel.cancelled();
+    };
+
+    std::vector<LaneRun> runs(laneCount);
+    size_t unfinished = 0;
+    auto finishLane = [&](LaneRun &lane, FailureKind kind,
+                          std::string reason) {
+        lane.finished = true;
+        lane.kind = kind;
+        lane.reason = std::move(reason);
+        --unfinished;
+    };
+
+    // Every lane gets the same query seq: a worker only ever has one
+    // query in flight, so the seq disambiguates per-stream, and a
+    // single seq lets one CancelFrame value serve the whole group.
+    std::string spawnError;
+    for (size_t i = 0; i < laneCount; ++i) {
+        runs[i].strategy = lanes[i];
+        runs[i].lastFrame = Clock::now();
+        if (!cancelled() &&
+            dispatchQuery(*leased[i], sessionId, lanes[i], seq,
+                          assertions, timeoutMs, interrupted, transport,
+                          spawnError)) {
+            ++unfinished;
+        } else {
+            // Dead on arrival; the race tolerates it as long as some
+            // other lane dispatched.
+            runs[i].finished = true;
+            runs[i].kind = cancelled() ? FailureKind::Cancelled
+                                       : FailureKind::WorkerKilled;
+            runs[i].reason =
+                "cannot dispatch portfolio lane '" + lanes[i] + "'" +
+                (spawnError.empty() ? std::string()
+                                    : ": " + spawnError);
+        }
+    }
+
+    auto sendCancel = [&](LaneRun &lane, Slot &slot) {
+        if (lane.finished || lane.cancelSent)
+            return;
+        wire::CancelFrame cancel;
+        cancel.seq = seq;
+        std::string bytes = wire::encodeCancel(cancel);
+        if (slot.proc.writeAll(bytes))
+            transport.wireBytesSent += bytes.size();
+        // A failed write means the worker already died; the read side
+        // of the pump will reap and classify it.
+        lane.cancelSent = true;
+        lane.cancelAt = Clock::now();
+    };
+
+    // --- Round-robin pump: first definite verdict wins ----------------
+    int winner = -1;
+    bool userCancelled = false;
+    while (unfinished > 0) {
+        if (cancelled()) {
+            userCancelled = true;
+            for (size_t i = 0; i < runs.size(); ++i) {
+                if (runs[i].finished)
+                    continue;
+                leased[i]->proc.kill(SIGKILL);
+                reapWorker(*leased[i]);
+                finishLane(runs[i], FailureKind::Cancelled, "cancelled");
+            }
+            break;
+        }
+        for (size_t i = 0; i < runs.size() && unfinished > 0; ++i) {
+            LaneRun &lane = runs[i];
+            Slot &slot = *leased[i];
+            if (lane.finished)
+                continue;
+            size_t want = lane.haveHeader ? lane.frameLen : 4;
+            support::IoStatus st = slot.proc.readExact(
+                lane.buf, want - lane.buf.size(), kGroupSliceMs);
+            if (st == support::IoStatus::Timeout) {
+                if (lane.cancelSent &&
+                    elapsedMs(lane.cancelAt) > kReapGraceMs) {
+                    // The loser ignored its Cancel frame (wedged in
+                    // native code); reap it the hard way. Still a
+                    // cancellation, not a timeout: the race was over.
+                    slot.proc.kill(SIGKILL);
+                    reapWorker(slot);
+                    finishLane(lane, FailureKind::Cancelled,
+                               "cancelled (killed after grace)");
+                } else if (elapsedMs(lane.lastFrame) >
+                           options_.heartbeatGraceMs) {
+                    slot.proc.kill(SIGKILL);
+                    reapWorker(slot);
+                    ++transport.heartbeatTimeouts;
+                    finishLane(lane, FailureKind::Timeout,
+                               "worker heartbeat deadline");
+                }
+                continue;
+            }
+            if (st != support::IoStatus::Ok) {
+                support::ExitStatus dead = reapWorker(slot);
+                ++transport.workerCrashes;
+                // A loser dying after its Cancel is still just a
+                // cancellation; an uncancelled lane's death is a real
+                // (contained) failure of that lane only.
+                finishLane(lane,
+                           lane.cancelSent
+                               ? FailureKind::Cancelled
+                               : classifyWorkerDeath(
+                                     dead, slot.lastRssKb,
+                                     options_.workerMemoryMb),
+                           "worker died (" + dead.describe() + ")");
+                continue;
+            }
+            if (!lane.haveHeader) {
+                wire::Decoder dec(lane.buf);
+                dec.u32(lane.frameLen);
+                if (lane.frameLen == 0 ||
+                    lane.frameLen > wire::kMaxFramePayload) {
+                    slot.proc.kill(SIGKILL);
+                    reapWorker(slot);
+                    ++transport.workerCrashes;
+                    finishLane(lane, FailureKind::WorkerKilled,
+                               "worker sent a corrupt frame");
+                    continue;
+                }
+                lane.haveHeader = true;
+                lane.buf.clear();
+                continue;
+            }
+
+            transport.wireBytesReceived += 4 + lane.buf.size();
+            lane.lastFrame = Clock::now();
+            std::string payload = std::move(lane.buf);
+            lane.buf.clear();
+            lane.haveHeader = false;
+
+            wire::FrameType type;
+            std::string body;
+            if (!wire::splitFrame(payload, type, body)) {
+                slot.proc.kill(SIGKILL);
+                reapWorker(slot);
+                ++transport.workerCrashes;
+                finishLane(lane, FailureKind::WorkerKilled,
+                           "worker sent an unknown frame type");
+                continue;
+            }
+            switch (type) {
+            case wire::FrameType::Heartbeat: {
+                wire::HeartbeatFrame beat;
+                std::string error;
+                if (wire::decodeHeartbeat(body, beat, error))
+                    slot.lastRssKb = beat.rssKb;
+                break;
+            }
+            case wire::FrameType::Result: {
+                wire::ResultFrame result;
+                std::string error;
+                if (!wire::decodeResult(body, result, error) ||
+                    result.seq != seq) {
+                    slot.proc.kill(SIGKILL);
+                    reapWorker(slot);
+                    ++transport.workerCrashes;
+                    finishLane(lane, FailureKind::WorkerKilled,
+                               error.empty()
+                                   ? "worker answered the wrong query"
+                                   : "corrupt result frame: " + error);
+                    break;
+                }
+                lane.haveResult = true;
+                lane.result = result.result;
+                lane.stats = result.stats;
+                slot.backoffMs = 0;
+                finishLane(lane, result.failureKind,
+                           result.unknownReason);
+                if (isDefinite(lane) && winner < 0) {
+                    winner = static_cast<int>(i);
+                    for (size_t j = 0; j < runs.size(); ++j) {
+                        if (j != i)
+                            sendCancel(runs[j], *leased[j]);
+                    }
+                }
+                break;
+            }
+            case wire::FrameType::Error: {
+                std::string message;
+                wire::decodeError(body, message);
+                slot.proc.kill(SIGKILL);
+                reapWorker(slot);
+                ++transport.workerCrashes;
+                finishLane(lane, FailureKind::SolverCrash,
+                           "worker rejected query: " + message);
+                break;
+            }
+            default:
+                slot.proc.kill(SIGKILL);
+                reapWorker(slot);
+                ++transport.workerCrashes;
+                finishLane(lane, FailureKind::WorkerKilled,
+                           "unexpected frame from worker");
+                break;
+            }
+        }
+    }
+
+    // --- Classify the race ---------------------------------------------
+    for (const LaneRun &lane : runs)
+        out.stats += lane.stats;
+
+    bool sawSat = false;
+    bool sawUnsat = false;
+    for (const LaneRun &lane : runs) {
+        if (!isDefinite(lane))
+            continue;
+        sawSat = sawSat || lane.result == SatResult::Sat;
+        sawUnsat = sawUnsat || lane.result == SatResult::Unsat;
+    }
+
+    if (userCancelled) {
+        out.result = SatResult::Unknown;
+        out.failureKind = FailureKind::Cancelled;
+        out.unknownReason = "cancelled";
+    } else if (sawSat && sawUnsat) {
+        // Two lanes produced conflicting definite verdicts on the same
+        // assertion set: a solver soundness bug. Refuse to pick a side.
+        ++out.stats.crossLaneDisagreements;
+        std::string detail;
+        for (const LaneRun &lane : runs) {
+            if (!isDefinite(lane))
+                continue;
+            if (!detail.empty())
+                detail += ", ";
+            detail += lane.strategy + "=" +
+                      (lane.result == SatResult::Sat ? "sat" : "unsat");
+        }
+        out.result = SatResult::Unknown;
+        out.failureKind = FailureKind::PortfolioDisagreement;
+        out.unknownReason = "portfolio disagreement: " + detail;
+    } else if (winner >= 0) {
+        const LaneRun &won = runs[static_cast<size_t>(winner)];
+        out.result = won.result;
+        out.failureKind = FailureKind::None;
+        out.unknownReason.clear();
+        size_t winSlot =
+            std::min(static_cast<size_t>(winner),
+                     SolverStats::kPortfolioMaxLanes - 1);
+        ++out.stats.portfolioWins[winSlot];
+        for (const LaneRun &lane : runs) {
+            if (&lane != &won && lane.cancelSent && !isDefinite(lane))
+                ++out.stats.portfolioCancellations;
+        }
+    } else {
+        // Every lane failed. Surface the most informative lane: any
+        // classified failure beats Cancelled (which here only marks
+        // dead-on-arrival lanes of an already-failed race).
+        const LaneRun *pick = &runs.front();
+        for (const LaneRun &lane : runs) {
+            if (pick->kind == FailureKind::Cancelled &&
+                lane.kind != FailureKind::Cancelled)
+                pick = &lane;
+        }
+        out.result = SatResult::Unknown;
+        out.failureKind = pick->kind != FailureKind::None
+                              ? pick->kind
+                              : FailureKind::SolverUnknown;
+        out.unknownReason = pick->reason;
+    }
+
+    for (Slot *slot : leased)
+        releaseSlot(slot);
+    out.stats += transport;
+    bumpTotals(transport);
+    return out;
+}
+
 void
 WorkerSupervisor::chaosLoop()
 {
@@ -536,9 +915,11 @@ WorkerSupervisor::chaosLoop()
 // --- SandboxSolver ------------------------------------------------------
 
 SandboxSolver::SandboxSolver(TermFactory &factory,
-                             WorkerSupervisor &supervisor)
+                             WorkerSupervisor &supervisor,
+                             std::vector<std::string> laneStrategies)
     : factory_(factory), supervisor_(supervisor),
-      sessionId_(supervisor.newSessionId())
+      sessionId_(supervisor.newSessionId()),
+      laneStrategies_(std::move(laneStrategies))
 {}
 
 SatResult
@@ -546,8 +927,15 @@ SandboxSolver::checkSat(const std::vector<Term> &assertions)
 {
     interrupted_.store(false, std::memory_order_relaxed);
     ++stats_.queries;
-    WorkerSupervisor::QueryOutcome outcome = supervisor_.solve(
-        sessionId_, assertions, timeoutMs_, &interrupted_);
+    WorkerSupervisor::QueryOutcome outcome =
+        laneStrategies_.size() > 1
+            ? supervisor_.solveGroup(sessionId_, assertions, timeoutMs_,
+                                     &interrupted_, laneStrategies_)
+            : supervisor_.solve(sessionId_, assertions, timeoutMs_,
+                                &interrupted_,
+                                laneStrategies_.empty()
+                                    ? std::string()
+                                    : laneStrategies_.front());
     switch (outcome.result) {
     case SatResult::Sat:
         ++stats_.sat;

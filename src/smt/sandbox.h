@@ -155,14 +155,41 @@ class WorkerSupervisor
      * Ships one checkSat to a leased worker and blocks for the
      * outcome. @p sessionId groups queries that share a TermFactory
      * (variable namespace); the supervisor resets a worker whenever it
-     * switches sessions. @p interrupted, when non-null, is polled while
-     * awaiting the result — setting it cancels the query by killing
-     * the worker (classified Cancelled, not a crash).
+     * switches sessions or lane strategies. @p interrupted, when
+     * non-null, is polled while awaiting the result — setting it
+     * cancels the query by killing the worker (classified Cancelled,
+     * not a crash). @p strategy names the portfolio lane the worker
+     * session's backend is built from ("" = default stack).
      */
     QueryOutcome solve(uint64_t sessionId,
                        const std::vector<Term> &assertions,
                        unsigned timeoutMs,
-                       const std::atomic<bool> *interrupted);
+                       const std::atomic<bool> *interrupted,
+                       const std::string &strategy = std::string());
+
+    /**
+     * Portfolio race: ships the same checkSat to one worker per lane
+     * strategy and blocks until the race resolves. The first definite
+     * Sat/Unsat wins; every other in-flight lane is sent a wire Cancel
+     * frame and its (Cancelled) result is reaped but never surfaced —
+     * a losing lane contributes portfolioCancellations, not a
+     * user-visible FailureKind::Cancelled. A lane that dies mid-race
+     * (chaos kill, OOM) is ignored as long as some other lane answers;
+     * the race only fails when *every* lane fails. Two lanes returning
+     * conflicting definite verdicts is a soundness signal: the outcome
+     * is Unknown with FailureKind::PortfolioDisagreement and
+     * crossLaneDisagreements bumped.
+     *
+     * Slots are leased atomically (all lanes or none, under one lock)
+     * so two concurrent group solves cannot deadlock on a partial
+     * grab; the lane count is clamped to the pool size. Wins land in
+     * stats.portfolioWins[lane] of the returned outcome.
+     */
+    QueryOutcome solveGroup(uint64_t sessionId,
+                            const std::vector<Term> &assertions,
+                            unsigned timeoutMs,
+                            const std::atomic<bool> *interrupted,
+                            const std::vector<std::string> &lanes);
 
     /** Fresh session identifier (never 0). */
     uint64_t newSessionId();
@@ -186,6 +213,7 @@ class WorkerSupervisor
     {
         support::Subprocess proc;
         uint64_t sessionId = 0; ///< session the worker is reset to
+        std::string strategy;   ///< lane the session stack was built for
         uint64_t lastRssKb = 0;
         unsigned backoffMs = 0;
         std::atomic<int> chaosPid{0}; ///< signal target; 0 = not alive
@@ -195,7 +223,21 @@ class WorkerSupervisor
     };
 
     Slot *leaseSlot();
+    /** Atomically leases @p n slots (all-or-nothing, deadlock-free). */
+    std::vector<Slot *> leaseSlots(size_t n);
     void releaseSlot(Slot *slot);
+    /**
+     * Dispatch helper shared by solve/solveGroup: respawn if needed,
+     * Reset on session/strategy switch, ship the Query. Returns false
+     * when the slot's worker died mid-dispatch (already reaped).
+     */
+    bool dispatchQuery(Slot &slot, uint64_t sessionId,
+                       const std::string &strategy, uint64_t seq,
+                       const std::vector<Term> &assertions,
+                       unsigned timeoutMs,
+                       const std::atomic<bool> *interrupted,
+                       SolverStats &transport,
+                       std::string &spawnError);
     /** Spawns + handshakes a worker in @p slot (backoff applied). */
     bool spawnWorker(Slot &slot, std::string &error,
                      SolverStats &transport);
@@ -227,11 +269,22 @@ class WorkerSupervisor
  * Solver facade over one WorkerSupervisor session. Construct one per
  * function validation (like any other per-worker solver stack); the
  * heavyweight pool is shared through the supervisor reference.
+ *
+ * With more than one lane strategy the facade races each checkSat
+ * across a worker group (WorkerSupervisor::solveGroup); with exactly
+ * one it pins the session to that lane's backend; with none it is
+ * byte-identical to the pre-portfolio sandbox.
  */
 class SandboxSolver : public Solver
 {
   public:
-    SandboxSolver(TermFactory &factory, WorkerSupervisor &supervisor);
+    SandboxSolver(TermFactory &factory, WorkerSupervisor &supervisor,
+                  std::vector<std::string> laneStrategies = {});
+
+    size_t laneCount() const
+    {
+        return laneStrategies_.empty() ? 1 : laneStrategies_.size();
+    }
 
     SatResult checkSat(const std::vector<Term> &assertions) override;
     void setTimeoutMs(unsigned timeout_ms) override;
@@ -248,6 +301,7 @@ class SandboxSolver : public Solver
     TermFactory &factory_;
     WorkerSupervisor &supervisor_;
     uint64_t sessionId_;
+    std::vector<std::string> laneStrategies_;
     unsigned timeoutMs_ = 0;
     std::atomic<bool> interrupted_{false};
     std::string lastUnknownReason_;

@@ -34,6 +34,11 @@ SolverStats::operator+=(const SolverStats &rhs)
     heartbeatTimeouts += rhs.heartbeatTimeouts;
     wireBytesSent += rhs.wireBytesSent;
     wireBytesReceived += rhs.wireBytesReceived;
+    batchedQueries += rhs.batchedQueries;
+    for (size_t i = 0; i < kPortfolioMaxLanes; ++i)
+        portfolioWins[i] += rhs.portfolioWins[i];
+    portfolioCancellations += rhs.portfolioCancellations;
+    crossLaneDisagreements += rhs.crossLaneDisagreements;
     return *this;
 }
 
@@ -71,6 +76,13 @@ SolverStats::operator-(const SolverStats &rhs) const
     delta.heartbeatTimeouts = heartbeatTimeouts - rhs.heartbeatTimeouts;
     delta.wireBytesSent = wireBytesSent - rhs.wireBytesSent;
     delta.wireBytesReceived = wireBytesReceived - rhs.wireBytesReceived;
+    delta.batchedQueries = batchedQueries - rhs.batchedQueries;
+    for (size_t i = 0; i < kPortfolioMaxLanes; ++i)
+        delta.portfolioWins[i] = portfolioWins[i] - rhs.portfolioWins[i];
+    delta.portfolioCancellations =
+        portfolioCancellations - rhs.portfolioCancellations;
+    delta.crossLaneDisagreements =
+        crossLaneDisagreements - rhs.crossLaneDisagreements;
     return delta;
 }
 
@@ -111,6 +123,11 @@ foldNonVerdictStats(SolverStats &into, const SolverStats &delta)
     into.heartbeatTimeouts += delta.heartbeatTimeouts;
     into.wireBytesSent += delta.wireBytesSent;
     into.wireBytesReceived += delta.wireBytesReceived;
+    into.batchedQueries += delta.batchedQueries;
+    for (size_t i = 0; i < SolverStats::kPortfolioMaxLanes; ++i)
+        into.portfolioWins[i] += delta.portfolioWins[i];
+    into.portfolioCancellations += delta.portfolioCancellations;
+    into.crossLaneDisagreements += delta.crossLaneDisagreements;
 }
 
 FailureKind
@@ -140,6 +157,35 @@ Solver::proveImplication(Term hypothesis, Term conclusion)
     if (hypothesis.isTrue() && conclusion.isFalse())
         return false;
     return checkSat({negated}) == SatResult::Unsat;
+}
+
+bool
+Solver::proveImplication(const std::vector<Term> &hypothesis,
+                         Term conclusion)
+{
+    TermFactory &tf = factory();
+    // The folded conjunction decides the fast paths exactly like the
+    // single-term overload — the two forms must never disagree.
+    Term folded = tf.trueTerm();
+    for (const Term &part : hypothesis)
+        folded = tf.mkAnd(folded, part);
+    Term negated = tf.mkAnd(folded, tf.mkNot(conclusion));
+    if (negated.isFalse())
+        return true;
+    if (folded.isTrue() && conclusion.isFalse())
+        return false;
+    // Ship the hypothesis parts unmerged so consecutive obligations
+    // sharing them present an identical prefix to an incremental
+    // backend (trivially-true parts carry no information; drop them to
+    // keep the prefix canonical).
+    std::vector<Term> assertions;
+    assertions.reserve(hypothesis.size() + 1);
+    for (const Term &part : hypothesis) {
+        if (!part.isTrue())
+            assertions.push_back(part);
+    }
+    assertions.push_back(tf.mkNot(conclusion));
+    return checkSat(assertions) == SatResult::Unsat;
 }
 
 } // namespace keq::smt

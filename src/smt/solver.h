@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/smt/term.h"
@@ -23,6 +24,15 @@ namespace keq::smt {
 
 /** Outcome of a satisfiability query. */
 enum class SatResult { Sat, Unsat, Unknown };
+
+/**
+ * Ordered (name, value) backend tuning parameters — the knobs a
+ * portfolio lane turns ("bv.enable_int2bv" = "true", "random_seed" =
+ * "7"). Applied best-effort: a parameter the backend build does not
+ * recognize is skipped, never fatal, so lane specs stay portable
+ * across Z3 versions.
+ */
+using BackendTuning = std::vector<std::pair<std::string, std::string>>;
 
 const char *satResultName(SatResult result);
 
@@ -75,6 +85,15 @@ struct SolverStats
     uint64_t heartbeatTimeouts = 0; ///< queries killed for a silent worker
     uint64_t wireBytesSent = 0;     ///< protocol bytes shipped to workers
     uint64_t wireBytesReceived = 0; ///< protocol bytes read from workers
+
+    // Portfolio counters (PortfolioSolver / batched discharge). Wins and
+    // cancellations count race outcomes, never logical queries; a lane
+    // losing a race is invisible to the verdict counters above.
+    static constexpr size_t kPortfolioMaxLanes = 4;
+    uint64_t batchedQueries = 0; ///< obligations reusing a warm batch prefix
+    uint64_t portfolioWins[kPortfolioMaxLanes] = {}; ///< first-answer wins
+    uint64_t portfolioCancellations = 0; ///< losing lanes interrupted
+    uint64_t crossLaneDisagreements = 0; ///< definite-verdict mismatches
 
     SolverStats &operator+=(const SolverStats &rhs);
     /** Field-wise difference; used to attribute counters to one check. */
@@ -153,6 +172,20 @@ class Solver
      *         results (e.g. timeouts) report false.
      */
     bool proveImplication(Term hypothesis, Term conclusion);
+
+    /**
+     * Batched-discharge form: proves `(/\ hypothesis) => conclusion` by
+     * shipping the hypothesis as *separate leading assertions* followed
+     * by `!conclusion`, instead of collapsing everything into one
+     * conjunction. Logically identical to the single-term overload, but
+     * consecutive obligations sharing a hypothesis then present an
+     * identical assertion prefix to an incremental backend, which keeps
+     * the prefix asserted in a warm scope and push/pops only the final
+     * negated conclusion (SolverStats::incrementalReused measures the
+     * effect). Verdicts never differ between the two forms.
+     */
+    bool proveImplication(const std::vector<Term> &hypothesis,
+                          Term conclusion);
 
     /** Per-query timeout; 0 means no limit. */
     virtual void setTimeoutMs(unsigned timeout_ms) = 0;

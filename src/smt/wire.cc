@@ -13,7 +13,7 @@ namespace {
 
 constexpr uint8_t kMaxKind = static_cast<uint8_t>(Kind::Store);
 constexpr uint8_t kMaxFrameType =
-    static_cast<uint8_t>(FrameType::Shutdown);
+    static_cast<uint8_t>(FrameType::Cancel);
 
 /** Fixed arity of each term kind (leaves are 0). */
 unsigned
@@ -122,6 +122,8 @@ frameTypeName(FrameType type)
         return "query";
     case FrameType::Shutdown:
         return "shutdown";
+    case FrameType::Cancel:
+        return "cancel";
     }
     return "?";
 }
@@ -559,9 +561,15 @@ forEachStatsField(Stats &stats, Fn &&fn)
     fn(stats.heartbeatTimeouts);
     fn(stats.wireBytesSent);
     fn(stats.wireBytesReceived);
+    fn(stats.batchedQueries);
+    for (size_t i = 0; i < SolverStats::kPortfolioMaxLanes; ++i)
+        fn(stats.portfolioWins[i]);
+    fn(stats.portfolioCancellations);
+    fn(stats.crossLaneDisagreements);
 }
 
-constexpr uint64_t kStatsFieldCount = 26;
+constexpr uint64_t kStatsFieldCount =
+    33; // 27 scalars + kPortfolioMaxLanes win slots + 2
 
 } // namespace
 
@@ -642,6 +650,7 @@ encodeReset(const ResetFrame &frame)
     enc.u32(frame.memoryBudgetMb);
     enc.u8(frame.useCache);
     enc.u8(frame.useGuard);
+    enc.str(frame.strategy);
     return frameBytes(FrameType::Reset, enc.take());
 }
 
@@ -679,6 +688,14 @@ std::string
 encodeShutdown()
 {
     return frameBytes(FrameType::Shutdown, std::string());
+}
+
+std::string
+encodeCancel(const CancelFrame &frame)
+{
+    Encoder enc;
+    enc.u64(frame.seq);
+    return frameBytes(FrameType::Cancel, enc.take());
 }
 
 namespace {
@@ -722,7 +739,8 @@ decodeReset(const std::string &body, ResetFrame &out, std::string &error)
 {
     Decoder dec(body);
     dec.u32(out.timeoutMs) && dec.u32(out.memoryBudgetMb) &&
-        dec.u8(out.useCache) && dec.u8(out.useGuard);
+        dec.u8(out.useCache) && dec.u8(out.useGuard) &&
+        dec.str(out.strategy);
     return finish(dec, error);
 }
 
@@ -746,7 +764,8 @@ decodeResult(const std::string &body, ResultFrame &out,
         dec.str(out.unknownReason) && decodeStats(dec, out.stats)) {
         if (sat > static_cast<uint8_t>(SatResult::Unknown))
             dec.fail("bad SatResult discriminant");
-        else if (kind > static_cast<uint8_t>(FailureKind::WorkerOom))
+        else if (kind >
+                 static_cast<uint8_t>(FailureKind::PortfolioDisagreement))
             dec.fail("bad FailureKind discriminant");
         else {
             out.result = static_cast<SatResult>(sat);
@@ -762,6 +781,15 @@ decodeError(const std::string &body, std::string &message)
     Decoder dec(body);
     std::string error;
     return dec.str(message) && finish(dec, error);
+}
+
+bool
+decodeCancel(const std::string &body, CancelFrame &out,
+             std::string &error)
+{
+    Decoder dec(body);
+    dec.u64(out.seq);
+    return finish(dec, error);
 }
 
 } // namespace keq::smt::wire

@@ -48,8 +48,12 @@ class TermFactory;
 
 namespace wire {
 
-/** Bumped whenever any frame layout changes; Ready carries it. */
-constexpr uint32_t kProtocolVersion = 1;
+/**
+ * Bumped whenever any frame layout changes; Ready carries it.
+ * v2: Cancel frame, ResetFrame strategy string, portfolio stats
+ * fields.
+ */
+constexpr uint32_t kProtocolVersion = 2;
 
 /** Upper bound on a single frame payload; larger lengths are corrupt. */
 constexpr uint32_t kMaxFramePayload = 64u << 20;
@@ -66,6 +70,7 @@ enum class FrameType : uint8_t {
     Reset = 5,    ///< begin a session: fresh factory + solver stack
     Query = 6,    ///< one checkSat request
     Shutdown = 7, ///< polite exit request
+    Cancel = 8,   ///< abandon the in-flight Query (portfolio reap)
 };
 
 const char *frameTypeName(FrameType type);
@@ -167,6 +172,13 @@ struct ResetFrame
     uint32_t memoryBudgetMb = 0; ///< soft solver budget (0 = none)
     uint8_t useCache = 1;        ///< front the backend with a cache
     uint8_t useGuard = 1;        ///< wrap the stack in a GuardedSolver
+    /**
+     * Portfolio lane name the session's backend is built from
+     * ("default", "int2bv", "cold", "seed<K>", optionally with
+     * ":key=value" tuning); empty selects the default incremental
+     * stack, byte-identical to protocol v1 behavior.
+     */
+    std::string strategy;
 };
 
 struct QueryFrame
@@ -174,6 +186,17 @@ struct QueryFrame
     uint64_t seq = 0;
     uint32_t timeoutMs = 0; ///< overrides the session deadline when != 0
     std::vector<Term> assertions;
+};
+
+/**
+ * Parent -> worker: abandon the in-flight Query with sequence number
+ * @p seq. The worker still replies with a Result for that seq (kind
+ * Cancelled) so the frame stream stays in lockstep; a Cancel naming
+ * any other seq is ignored (the race was already over).
+ */
+struct CancelFrame
+{
+    uint64_t seq = 0;
 };
 
 struct ResultFrame
@@ -195,6 +218,7 @@ std::string encodeQuery(const QueryFrame &frame);
 std::string encodeResult(const ResultFrame &frame);
 std::string encodeError(const std::string &message);
 std::string encodeShutdown();
+std::string encodeCancel(const CancelFrame &frame);
 
 /**
  * Splits a received payload into its FrameType and body decoder input.
@@ -215,6 +239,8 @@ bool decodeQuery(const std::string &body, TermFactory &factory,
 bool decodeResult(const std::string &body, ResultFrame &out,
                   std::string &error);
 bool decodeError(const std::string &body, std::string &message);
+bool decodeCancel(const std::string &body, CancelFrame &out,
+                  std::string &error);
 
 } // namespace wire
 } // namespace keq::smt

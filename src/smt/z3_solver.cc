@@ -17,8 +17,9 @@ struct Z3Solver::Impl
     Z3Lowering lowering{ctx};
 };
 
-Z3Solver::Z3Solver(TermFactory &factory)
-    : factory_(factory), impl_(std::make_unique<Impl>())
+Z3Solver::Z3Solver(TermFactory &factory, BackendTuning tuning)
+    : factory_(factory), impl_(std::make_unique<Impl>()),
+      tuning_(std::move(tuning))
 {}
 
 Z3Solver::~Z3Solver() = default;
@@ -65,6 +66,8 @@ Z3Solver::checkSat(const std::vector<Term> &assertions)
             params.set("max_memory", memoryBudgetMb_);
         solver.set(params);
     }
+    if (!tuning_.empty())
+        applyTuningParams(impl_->ctx, solver, tuning_);
     z3::check_result z3_result = z3::unknown;
     try {
         for (const Term &assertion : assertions) {

@@ -24,7 +24,11 @@ namespace keq::smt {
 class Z3Solver : public Solver
 {
   public:
-    explicit Z3Solver(TermFactory &factory);
+    /**
+     * @p tuning: optional best-effort Z3 parameters applied to every
+     * query's solver — how a portfolio lane differentiates itself.
+     */
+    explicit Z3Solver(TermFactory &factory, BackendTuning tuning = {});
     ~Z3Solver() override;
 
     SatResult checkSat(const std::vector<Term> &assertions) override;
@@ -66,6 +70,7 @@ class Z3Solver : public Solver
     struct Impl; // hides <z3++.h> from clients
     TermFactory &factory_;
     std::unique_ptr<Impl> impl_;
+    BackendTuning tuning_;
     SolverStats stats_;
     unsigned timeoutMs_ = 0;
     unsigned memoryBudgetMb_ = 0;

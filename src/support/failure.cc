@@ -26,6 +26,8 @@ failureKindName(FailureKind kind)
         return "worker-killed";
     case FailureKind::WorkerOom:
         return "worker-oom";
+    case FailureKind::PortfolioDisagreement:
+        return "portfolio-disagreement";
     }
     KEQ_ASSERT(false, "bad FailureKind");
     return "?";
@@ -39,6 +41,7 @@ failureKindFromName(const char *name, FailureKind &out)
         FailureKind::MemoryBudget,  FailureKind::SolverUnknown,
         FailureKind::SolverCrash,   FailureKind::Cancelled,
         FailureKind::WorkerKilled,  FailureKind::WorkerOom,
+        FailureKind::PortfolioDisagreement,
     };
     for (FailureKind kind : kAll) {
         if (std::strcmp(name, failureKindName(kind)) == 0) {

@@ -38,6 +38,13 @@ enum class FailureKind
     // query from one the kernel OOM-killed.
     WorkerKilled,  ///< Worker process died (signal or abnormal exit).
     WorkerOom,     ///< Worker died breaching its hard memory cap.
+
+    // Portfolio-racing failure (smt::PortfolioSolver). Two lanes
+    // returned contradictory *definite* verdicts for the same query —
+    // a free differential-soundness oracle over solver strategies. The
+    // portfolio refuses to pick a side and reports Unknown with this
+    // classification; fuzz campaigns surface it as a soundness bug.
+    PortfolioDisagreement, ///< lanes disagreed on a definite verdict
 };
 
 /** Stable lower-case name, e.g. for --stats and checkpoint records. */

@@ -7,10 +7,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdlib>
+#include <dirent.h>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "src/smt/sandbox.h"
@@ -263,6 +269,189 @@ TEST(SandboxSolver, InterruptClassifiesCancelledNotCrash)
     EXPECT_EQ(result, SatResult::Unknown);
     EXPECT_EQ(solver.lastFailureKind(), FailureKind::Cancelled)
         << "cancellation must win over every death classification";
+    supervisor.stop();
+}
+
+/**
+ * Finds one live keq-solver-worker child of this process and SIGKILLs
+ * it — the deterministic "shoot exactly one lane" lever the portfolio
+ * chaos test needs (the chaos monkey shoots *every* busy worker).
+ * Returns the pid killed, or 0 when no worker child exists yet.
+ */
+pid_t
+killOneWorkerChild()
+{
+    DIR *proc = opendir("/proc");
+    if (proc == nullptr)
+        return 0;
+    pid_t self = getpid();
+    pid_t victim = 0;
+    while (victim == 0) {
+        errno = 0;
+        struct dirent *entry = readdir(proc);
+        if (entry == nullptr)
+            break;
+        char *end = nullptr;
+        long pid = std::strtol(entry->d_name, &end, 10);
+        if (end == entry->d_name || *end != '\0' || pid <= 0)
+            continue;
+        std::ifstream stat("/proc/" + std::string(entry->d_name) +
+                           "/stat");
+        std::string line;
+        if (!std::getline(stat, line))
+            continue;
+        // stat field 2 is "(comm)" (may contain spaces); field 4 is the
+        // ppid, two tokens after the closing parenthesis.
+        size_t open = line.find('(');
+        size_t close = line.rfind(')');
+        if (open == std::string::npos || close == std::string::npos)
+            continue;
+        std::string comm = line.substr(open + 1, close - open - 1);
+        std::istringstream rest(line.substr(close + 1));
+        std::string state;
+        pid_t ppid = 0;
+        rest >> state >> ppid;
+        if (ppid == self && comm.rfind("keq-solver", 0) == 0) {
+            victim = static_cast<pid_t>(pid);
+            kill(victim, SIGKILL);
+        }
+    }
+    closedir(proc);
+    return victim;
+}
+
+TEST(SolveGroup, RaceMatchesSingleLaneVerdicts)
+{
+    SandboxOptions options = baseOptions();
+    options.workers = 2;
+    WorkerSupervisor supervisor(options);
+    std::string error;
+    ASSERT_TRUE(supervisor.start(error)) << error;
+
+    for (int variant = 0; variant < 2; ++variant) {
+        TermFactory local;
+        TermFactory remote;
+        auto build = [variant](TermFactory &f) -> std::vector<Term> {
+            Sort bv32 = Sort::bitVec(32);
+            Term x = f.var("x", bv32);
+            if (variant == 0) // sat
+                return {f.bvUlt(x, f.bvConst(32, 10)),
+                        f.bvUgt(x, f.bvConst(32, 5))};
+            return {f.bvUlt(x, f.bvConst(32, 5)), // unsat
+                    f.bvUgt(x, f.bvConst(32, 10))};
+        };
+
+        Z3Solver reference(local);
+        SatResult expected = reference.checkSat(build(local));
+
+        SandboxSolver raced(remote, supervisor, {"default", "cold"});
+        ASSERT_EQ(raced.laneCount(), 2u);
+        SatResult actual = raced.checkSat(build(remote));
+
+        EXPECT_EQ(actual, expected) << "variant " << variant;
+        EXPECT_EQ(raced.lastFailureKind(), FailureKind::None);
+
+        const SolverStats &stats = raced.stats();
+        EXPECT_EQ(stats.queries, 1u);
+        EXPECT_EQ(stats.sat + stats.unsat, 1u);
+        EXPECT_EQ(stats.unknown, 0u)
+            << "a cancelled loser must never surface in the verdict "
+               "counters";
+        uint64_t wins = 0;
+        for (uint64_t lane_wins : stats.portfolioWins)
+            wins += lane_wins;
+        EXPECT_EQ(wins, 1u);
+    }
+    supervisor.stop();
+}
+
+TEST(SolveGroup, LaneCountClampsToThePoolSize)
+{
+    // One worker, two requested lanes: the race degrades to a
+    // single-lane solve instead of deadlocking on the second slot.
+    WorkerSupervisor supervisor(baseOptions());
+    std::string error;
+    ASSERT_TRUE(supervisor.start(error)) << error;
+
+    TermFactory f;
+    SandboxSolver raced(f, supervisor, {"default", "cold"});
+    Term x = f.var("x", Sort::bitVec(8));
+    EXPECT_EQ(raced.checkSat({f.mkEq(x, f.bvConst(8, 9))}),
+              SatResult::Sat);
+    EXPECT_EQ(raced.lastFailureKind(), FailureKind::None);
+    supervisor.stop();
+}
+
+TEST(SolveGroup, UserInterruptIsStillClassifiedCancelled)
+{
+    SandboxOptions options = baseOptions();
+    options.workers = 2;
+    WorkerSupervisor supervisor(options);
+    std::string error;
+    ASSERT_TRUE(supervisor.start(error)) << error;
+
+    TermFactory f;
+    SandboxSolver raced(f, supervisor, {"default", "cold"});
+    std::thread interrupter([&raced] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+        raced.interruptQuery();
+    });
+    SatResult result = raced.checkSat(hardAssertions(f));
+    interrupter.join();
+
+    EXPECT_EQ(result, SatResult::Unknown);
+    EXPECT_EQ(raced.lastFailureKind(), FailureKind::Cancelled)
+        << "user cancellation (unlike loser reaping) must surface";
+    supervisor.stop();
+}
+
+TEST(SolveGroup, KilledLaneMidRaceConvergesAndPoolRecovers)
+{
+    SandboxOptions options = baseOptions();
+    options.workers = 2;
+    WorkerSupervisor supervisor(options);
+    std::string error;
+    ASSERT_TRUE(supervisor.start(error)) << error;
+
+    // Both lanes grind on the factoring query (bounded by the solver
+    // timeout); one lane's worker takes a real SIGKILL mid-race. The
+    // race must still converge: the survivor's honest answer (here a
+    // timeout-bounded Unknown) comes back classified, never Cancelled,
+    // never a hang.
+    TermFactory f;
+    SandboxSolver raced(f, supervisor, {"default", "cold"});
+    raced.setTimeoutMs(2000);
+    std::vector<Term> hard = hardAssertions(f);
+
+    SatResult result = SatResult::Sat;
+    std::thread solver_thread(
+        [&] { result = raced.checkSat(hard); });
+    // Let both lanes get busy, then shoot exactly one of them.
+    pid_t victim = 0;
+    for (int attempt = 0; attempt < 100 && victim == 0; ++attempt) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        victim = killOneWorkerChild();
+    }
+    solver_thread.join();
+    ASSERT_NE(victim, 0) << "never saw a live worker child to kill";
+
+    EXPECT_EQ(result, SatResult::Unknown);
+    EXPECT_NE(raced.lastFailureKind(), FailureKind::None);
+    EXPECT_NE(raced.lastFailureKind(), FailureKind::Cancelled)
+        << "a killed lane must never masquerade as a cancellation";
+
+    // Convergence after the kill: the pool respawns and a fresh race
+    // over the same lanes answers definitely again.
+    bool recovered = false;
+    for (int attempt = 0; attempt < 50 && !recovered; ++attempt) {
+        TermFactory fresh;
+        SandboxSolver retry(fresh, supervisor, {"default", "cold"});
+        Term x = fresh.var("x", Sort::bitVec(8));
+        recovered = retry.checkSat({fresh.mkEq(
+                         x, fresh.bvConst(8, 7))}) == SatResult::Sat &&
+                    retry.lastFailureKind() == FailureKind::None;
+    }
+    EXPECT_TRUE(recovered) << "no race succeeded after the lane kill";
     supervisor.stop();
 }
 

@@ -237,7 +237,11 @@ TEST(WireStatsCodec, AllFieldsRoundTrip)
           &stats.solverCrashes, &stats.faultsInjected,
           &stats.workerCrashes, &stats.workerRestarts,
           &stats.heartbeatTimeouts, &stats.wireBytesSent,
-          &stats.wireBytesReceived}) {
+          &stats.wireBytesReceived, &stats.batchedQueries,
+          &stats.portfolioWins[0], &stats.portfolioWins[1],
+          &stats.portfolioWins[2], &stats.portfolioWins[3],
+          &stats.portfolioCancellations,
+          &stats.crossLaneDisagreements}) {
         *field = seed++;
     }
     stats.totalSeconds = 1.25;
@@ -262,7 +266,11 @@ TEST(WireStatsCodec, AllFieldsRoundTrip)
           back.guardedEscalations, back.escalatedResolved,
           back.solverCrashes, back.faultsInjected, back.workerCrashes,
           back.workerRestarts, back.heartbeatTimeouts,
-          back.wireBytesSent, back.wireBytesReceived}) {
+          back.wireBytesSent, back.wireBytesReceived,
+          back.batchedQueries, back.portfolioWins[0],
+          back.portfolioWins[1], back.portfolioWins[2],
+          back.portfolioWins[3], back.portfolioCancellations,
+          back.crossLaneDisagreements}) {
         EXPECT_EQ(value, seed++);
     }
     EXPECT_DOUBLE_EQ(back.totalSeconds, 1.25);
@@ -294,7 +302,7 @@ TEST(WireFrames, TypedFramesRoundTrip)
     EXPECT_EQ(beat_back.querySeq, 7u);
     EXPECT_EQ(beat_back.rssKb, 123456u);
 
-    ResetFrame reset{2500, 256, 1, 0};
+    ResetFrame reset{2500, 256, 1, 0, "int2bv:random_seed=7"};
     ASSERT_TRUE(splitFrame(encodeReset(reset).substr(4), type, body));
     EXPECT_EQ(type, FrameType::Reset);
     ResetFrame reset_back;
@@ -303,6 +311,14 @@ TEST(WireFrames, TypedFramesRoundTrip)
     EXPECT_EQ(reset_back.memoryBudgetMb, 256u);
     EXPECT_EQ(reset_back.useCache, 1);
     EXPECT_EQ(reset_back.useGuard, 0);
+    EXPECT_EQ(reset_back.strategy, "int2bv:random_seed=7");
+
+    CancelFrame cancel{77};
+    ASSERT_TRUE(splitFrame(encodeCancel(cancel).substr(4), type, body));
+    EXPECT_EQ(type, FrameType::Cancel);
+    CancelFrame cancel_back;
+    ASSERT_TRUE(decodeCancel(body, cancel_back, error)) << error;
+    EXPECT_EQ(cancel_back.seq, 77u);
 
     TermFactory f;
     QueryFrame query;
@@ -344,6 +360,56 @@ TEST(WireFrames, TypedFramesRoundTrip)
 
     ASSERT_TRUE(splitFrame(encodeShutdown().substr(4), type, body));
     EXPECT_EQ(type, FrameType::Shutdown);
+}
+
+TEST(WireFrames, ResetStrategyDefaultsToTheV1Stack)
+{
+    // An empty strategy string is the v1-equivalent session: the
+    // worker builds the same default incremental stack it always did.
+    ResetFrame reset{1000, 0, 1, 1};
+    EXPECT_TRUE(reset.strategy.empty());
+
+    FrameType type;
+    std::string body, error;
+    ASSERT_TRUE(splitFrame(encodeReset(reset).substr(4), type, body));
+    ResetFrame back;
+    ASSERT_TRUE(decodeReset(body, back, error)) << error;
+    EXPECT_TRUE(back.strategy.empty());
+}
+
+TEST(WireFrames, PortfolioFailureKindSurvivesTheResultFrame)
+{
+    // A cross-lane disagreement travels the wire as a first-class
+    // failure kind; the discriminant bound admits it and nothing past.
+    ResultFrame result;
+    result.seq = 5;
+    result.result = SatResult::Unknown;
+    result.failureKind = FailureKind::PortfolioDisagreement;
+    result.unknownReason = "portfolio disagreement: default=sat, cold=unsat";
+    result.stats.crossLaneDisagreements = 1;
+
+    FrameType type;
+    std::string body, error;
+    ASSERT_TRUE(splitFrame(encodeResult(result).substr(4), type, body));
+    ResultFrame back;
+    ASSERT_TRUE(decodeResult(body, back, error)) << error;
+    EXPECT_EQ(back.failureKind, FailureKind::PortfolioDisagreement);
+    EXPECT_EQ(back.stats.crossLaneDisagreements, 1u);
+    EXPECT_EQ(back.unknownReason, result.unknownReason);
+}
+
+TEST(WireFrames, TruncatedCancelFailsCleanly)
+{
+    std::string payload = encodeCancel({42}).substr(4);
+    FrameType type;
+    std::string body;
+    ASSERT_TRUE(splitFrame(payload, type, body));
+    std::string error;
+    CancelFrame out;
+    for (size_t cut = 0; cut < body.size(); ++cut) {
+        EXPECT_FALSE(decodeCancel(body.substr(0, cut), out, error))
+            << "prefix of " << cut << " bytes decoded";
+    }
 }
 
 TEST(WireFrames, HostileResultDiscriminantsAreRejected)

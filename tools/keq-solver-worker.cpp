@@ -42,6 +42,7 @@
 #include "src/smt/caching_solver.h"
 #include "src/smt/guarded_solver.h"
 #include "src/smt/incremental_z3_solver.h"
+#include "src/smt/portfolio_solver.h"
 #include "src/smt/sandbox.h"
 #include "src/smt/term_factory.h"
 #include "src/smt/wire.h"
@@ -137,7 +138,7 @@ applyRlimits(unsigned memoryMb, unsigned cpuSeconds)
 struct Session
 {
     std::unique_ptr<smt::TermFactory> factory;
-    std::unique_ptr<smt::IncrementalZ3Solver> backend;
+    std::unique_ptr<smt::Solver> backend;
     std::unique_ptr<smt::CachingSolver> caching;
     std::unique_ptr<smt::GuardedSolver> guard;
     smt::wire::VarSortContext varSorts;
@@ -145,17 +146,22 @@ struct Session
 
     static Session
     make(const smt::wire::ResetFrame &config,
+         const smt::LaneConfig &lane,
          const std::shared_ptr<smt::QueryCache> &cache)
     {
         Session s;
         s.factory = std::make_unique<smt::TermFactory>();
-        s.backend =
-            std::make_unique<smt::IncrementalZ3Solver>(*s.factory);
+        // The lane strategy decides the backend: the default lane is
+        // the incremental stack protocol v1 always built; tuned and
+        // cold lanes exist only when the parent races a portfolio.
+        s.backend = smt::makeLaneBackend(*s.factory, lane);
         s.caching = std::make_unique<smt::CachingSolver>(
             *s.factory, *s.backend, cache);
         // The guard's terminal rung is a pristine cold solver — the
         // same ladder the in-process pipeline runs, so escalation
-        // behaviour (and therefore verdicts) match exactly.
+        // behaviour (and therefore verdicts) match exactly. It stays
+        // untuned even for tuned lanes: a lane that needs its terminal
+        // rung should converge to the reference configuration.
         smt::TermFactory *factory = s.factory.get();
         std::vector<smt::GuardedSolver::RungFactory> fallbacks;
         fallbacks.push_back([factory] {
@@ -164,6 +170,10 @@ struct Session
         smt::GuardedSolverOptions guardOptions;
         guardOptions.deadlineMs =
             config.timeoutMs > 0 ? config.timeoutMs + 1000 : 0;
+        // Arm the watchdog even without a deadline: the parent's
+        // Cancel frame rides guard->cancelCurrentQuery(), which needs
+        // the re-firing interrupt loop to reap a losing lane.
+        guardOptions.cancellable = true;
         s.guard = std::make_unique<smt::GuardedSolver>(
             *s.factory, *s.caching, std::move(fallbacks),
             guardOptions);
@@ -232,11 +242,25 @@ workerMain(unsigned memoryMb, unsigned cpuSeconds, unsigned heartbeatMs)
     auto cache = std::make_shared<smt::QueryCache>();
     std::unique_ptr<Session> session;
 
+    // Queries solve on their own thread so this loop keeps draining
+    // frames — a Cancel must be able to land *during* a solve (that is
+    // its whole point: reaping a losing portfolio lane mid-race). The
+    // parent never pipelines a second Query/Reset before this one's
+    // Result, so joinSolve() only ever blocks when the parent vanished
+    // mid-query (we cancel first so the join terminates).
+    std::thread solve;
+    auto joinSolve = [&] {
+        if (solve.joinable())
+            solve.join();
+    };
+
     int exitCode = 0;
     for (;;) {
         std::string header;
         if (!readExact(header, 4)) {
             exitCode = 0; // parent closed: normal teardown
+            if (session != nullptr && solve.joinable())
+                session->guard->cancelCurrentQuery();
             break;
         }
         smt::wire::Decoder headerDec(header);
@@ -260,8 +284,29 @@ workerMain(unsigned memoryMb, unsigned cpuSeconds, unsigned heartbeatMs)
         }
 
         if (type == smt::wire::FrameType::Shutdown) {
+            joinSolve();
             exitCode = 0;
             break;
+        }
+        if (type == smt::wire::FrameType::Cancel) {
+            smt::wire::CancelFrame cancel;
+            std::string error;
+            if (!smt::wire::decodeCancel(body, cancel, error)) {
+                std::unique_lock<std::mutex> lock(gWriteMutex);
+                writeFrame(smt::wire::encodeError(
+                    "corrupt cancel frame: " + error));
+                continue;
+            }
+            // Only the in-flight seq is cancellable; a stale Cancel
+            // (the race already ended) is silently ignored. The solve
+            // thread still emits a Result (kind Cancelled) for the
+            // cancelled seq, keeping the stream in lockstep.
+            if (session != nullptr && cancel.seq != 0 &&
+                cancel.seq ==
+                    gInFlight.load(std::memory_order_relaxed)) {
+                session->guard->cancelCurrentQuery();
+            }
+            continue;
         }
         if (type == smt::wire::FrameType::Reset) {
             smt::wire::ResetFrame config;
@@ -272,8 +317,25 @@ workerMain(unsigned memoryMb, unsigned cpuSeconds, unsigned heartbeatMs)
                     "corrupt reset frame: " + error));
                 continue;
             }
+            smt::LaneConfig lane;
+            if (!config.strategy.empty()) {
+                std::vector<smt::LaneConfig> lanes;
+                if (!smt::parsePortfolioLanes(config.strategy, lanes,
+                                              error) ||
+                    lanes.size() != 1) {
+                    std::unique_lock<std::mutex> lock(gWriteMutex);
+                    writeFrame(smt::wire::encodeError(
+                        "bad reset strategy: " +
+                        (error.empty() ? "expected one lane" : error)));
+                    continue;
+                }
+                lane = std::move(lanes[0]);
+            } else {
+                lane.name = "default";
+            }
+            joinSolve(); // the old session must be idle before dying
             session = std::make_unique<Session>(
-                Session::make(config, cache));
+                Session::make(config, lane, cache));
             continue;
         }
         if (type != smt::wire::FrameType::Query) {
@@ -288,6 +350,8 @@ workerMain(unsigned memoryMb, unsigned cpuSeconds, unsigned heartbeatMs)
                 smt::wire::encodeError("query before first reset"));
             continue;
         }
+
+        joinSolve(); // the previous query's Result is already out
 
         smt::wire::QueryFrame query;
         std::string error;
@@ -304,37 +368,45 @@ workerMain(unsigned memoryMb, unsigned cpuSeconds, unsigned heartbeatMs)
             session->timeoutMs = query.timeoutMs;
         }
 
-        smt::wire::ResultFrame result;
-        result.seq = query.seq;
-        smt::SolverStats before = session->guard->stats();
+        // All frame decoding (factory mutation) happened above on this
+        // thread; the solve thread only runs the solver stack, so the
+        // frame pump and the solve never touch the factory
+        // concurrently.
+        Session *live = session.get();
         gInFlight.store(query.seq, std::memory_order_relaxed);
-        try {
-            result.result =
-                session->guard->checkSat(query.assertions);
-            result.failureKind = session->guard->lastFailureKind();
-            result.unknownReason =
-                session->guard->lastUnknownReason();
-        } catch (const std::bad_alloc &) {
-            // The rlimit tripped inside the solver. The heap may be
-            // unusable; report via the exit code, not the wire.
-            std::_Exit(smt::kWorkerOomExitCode);
-        } catch (const std::exception &crash) {
-            // The guard absorbs backend crashes while rungs remain;
-            // one escaping means the whole ladder failed.
-            result.result = smt::SatResult::Unknown;
-            result.failureKind = FailureKind::SolverCrash;
-            result.unknownReason = crash.what();
-        }
-        result.stats = session->guard->stats() - before;
+        solve = std::thread([live, query = std::move(query)] {
+            smt::wire::ResultFrame result;
+            result.seq = query.seq;
+            smt::SolverStats before = live->guard->stats();
+            try {
+                result.result =
+                    live->guard->checkSat(query.assertions);
+                result.failureKind = live->guard->lastFailureKind();
+                result.unknownReason =
+                    live->guard->lastUnknownReason();
+            } catch (const std::bad_alloc &) {
+                // The rlimit tripped inside the solver. The heap may
+                // be unusable; report via the exit code, not the wire.
+                std::_Exit(smt::kWorkerOomExitCode);
+            } catch (const std::exception &crash) {
+                // The guard absorbs backend crashes while rungs
+                // remain; one escaping means the whole ladder failed.
+                result.result = smt::SatResult::Unknown;
+                result.failureKind = FailureKind::SolverCrash;
+                result.unknownReason = crash.what();
+            }
+            result.stats = live->guard->stats() - before;
 
-        std::unique_lock<std::mutex> lock(gWriteMutex);
-        gInFlight.store(0, std::memory_order_relaxed);
-        if (!writeFrame(smt::wire::encodeResult(result))) {
-            exitCode = 3;
-            break;
-        }
+            std::unique_lock<std::mutex> lock(gWriteMutex);
+            gInFlight.store(0, std::memory_order_relaxed);
+            if (!writeFrame(smt::wire::encodeResult(result))) {
+                // Parent vanished mid-reply; nothing left to serve.
+                std::_Exit(3);
+            }
+        });
     }
 
+    joinSolve();
     stopHeartbeat = true;
     gInFlight = 0;
     heartbeat.join();

@@ -41,6 +41,14 @@
  *     --sandbox-workers=N worker pool size (0 = match --jobs)
  *     --worker-memory-mb=N hard RLIMIT_AS per worker (0 = uncapped)
  *     --worker-path=PATH  explicit keq-solver-worker binary
+ *     --portfolio=N       race each query across N solver strategy
+ *                         lanes; first definite answer wins (1 = off)
+ *     --portfolio-lanes=SPEC
+ *                         explicit lane roster, e.g.
+ *                         "default,int2bv,cold:random_seed=3"
+ *     --batch-discharge   ship obligation hypotheses as separate
+ *                         assertions so the incremental backend keeps
+ *                         them in a warm scope across obligations
  *     --stats             print per-stage solver counters after the run
  *     --stats-json=PATH   dump the full stats/failure taxonomy as JSON
  *     --gen-corpus=N      print an N-function Figure 6 corpus and exit
@@ -67,6 +75,7 @@
 #include "src/isel/isel.h"
 #include "src/llvmir/parser.h"
 #include "src/llvmir/verifier.h"
+#include "src/smt/portfolio_solver.h"
 #include "src/support/cancellation.h"
 #include "src/support/journal.h"
 #include "src/vcgen/vcgen.h"
@@ -116,6 +125,8 @@ usage(const char *argv0)
               << "  --chaos=PCT --chaos-seed=N\n"
               << "  --sandbox --sandbox-workers=N --worker-memory-mb=N "
                  "--worker-path=PATH\n"
+              << "  --portfolio=N --portfolio-lanes=SPEC "
+                 "--batch-discharge\n"
               << "  --stats-json=PATH --gen-corpus=N --corpus-seed=N\n";
     std::exit(2);
 }
@@ -219,6 +230,26 @@ parseArgs(int argc, char **argv)
                 static_cast<unsigned>(number_of("--worker-memory-mb="));
         } else if (arg.rfind("--worker-path=", 0) == 0) {
             options.exec.workerPath = value_of("--worker-path=");
+        } else if (arg.rfind("--portfolio=", 0) == 0) {
+            options.exec.portfolioLanes =
+                static_cast<unsigned>(number_of("--portfolio="));
+            if (options.exec.portfolioLanes == 0)
+                usage(argv[0]);
+        } else if (arg.rfind("--portfolio-lanes=", 0) == 0) {
+            options.exec.portfolioLaneSpec =
+                value_of("--portfolio-lanes=");
+            // Reject malformed rosters at the CLI instead of failing
+            // every function Unsupported deep inside the pipeline.
+            std::vector<keq::smt::LaneConfig> lanes;
+            std::string error;
+            if (!keq::smt::parsePortfolioLanes(
+                    options.exec.portfolioLaneSpec, lanes, error)) {
+                std::cerr << argv[0] << ": --portfolio-lanes: " << error
+                          << "\n";
+                usage(argv[0]);
+            }
+        } else if (arg == "--batch-discharge") {
+            options.pipeline.checker.batchDischarge = true;
         } else if (arg.rfind("--stats-json=", 0) == 0) {
             options.stats_json = value_of("--stats-json=");
         } else if (arg == "--resume") {
@@ -284,10 +315,15 @@ writeStatsJson(const std::string &path,
         stats += fn.verdict.stats.solverStats;
 
     constexpr FailureKind kKinds[] = {
-        FailureKind::None,         FailureKind::Timeout,
-        FailureKind::MemoryBudget, FailureKind::SolverUnknown,
-        FailureKind::SolverCrash,  FailureKind::Cancelled,
-        FailureKind::WorkerKilled, FailureKind::WorkerOom,
+        FailureKind::None,
+        FailureKind::Timeout,
+        FailureKind::MemoryBudget,
+        FailureKind::SolverUnknown,
+        FailureKind::SolverCrash,
+        FailureKind::Cancelled,
+        FailureKind::WorkerKilled,
+        FailureKind::WorkerOom,
+        FailureKind::PortfolioDisagreement,
     };
     uint64_t failure_counts[std::size(kKinds)] = {};
     for (const driver::FunctionReport &fn : report.functions) {
@@ -356,6 +392,13 @@ writeStatsJson(const std::string &path,
         {"heartbeat_timeouts", stats.heartbeatTimeouts},
         {"wire_bytes_sent", stats.wireBytesSent},
         {"wire_bytes_received", stats.wireBytesReceived},
+        {"batched_queries", stats.batchedQueries},
+        {"portfolio_wins_0", stats.portfolioWins[0]},
+        {"portfolio_wins_1", stats.portfolioWins[1]},
+        {"portfolio_wins_2", stats.portfolioWins[2]},
+        {"portfolio_wins_3", stats.portfolioWins[3]},
+        {"portfolio_cancellations", stats.portfolioCancellations},
+        {"cross_lane_disagreements", stats.crossLaneDisagreements},
     };
     for (const SolverField &field : fields) {
         out << "    \"" << field.name << "\": "
@@ -565,6 +608,14 @@ main(int argc, char **argv)
                     u(stats.workerCrashes), u(stats.workerRestarts),
                     u(stats.heartbeatTimeouts), u(stats.wireBytesSent),
                     u(stats.wireBytesReceived));
+        std::printf("  portfolio:   wins by lane [%llu %llu %llu %llu], "
+                    "%llu losers cancelled, %llu disagreements, %llu "
+                    "batched queries\n",
+                    u(stats.portfolioWins[0]), u(stats.portfolioWins[1]),
+                    u(stats.portfolioWins[2]), u(stats.portfolioWins[3]),
+                    u(stats.portfolioCancellations),
+                    u(stats.crossLaneDisagreements),
+                    u(stats.batchedQueries));
     }
     if (!options.stats_json.empty() &&
         !writeStatsJson(options.stats_json, report)) {

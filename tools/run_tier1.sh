@@ -2,7 +2,7 @@
 # Configure, build, and run the tier-1 test suite in one shot.
 #
 # Usage:
-#   tools/run_tier1.sh [sanitizer] [chaos|conformance] [build-dir]
+#   tools/run_tier1.sh [sanitizer] [chaos|conformance|portfolio] [build-dir]
 #
 #   tools/run_tier1.sh                # plain build in build/
 #   tools/run_tier1.sh tsan           # ThreadSanitizer build in build-tsan/
@@ -11,6 +11,7 @@
 #   tools/run_tier1.sh chaos          # fault-injection suite only (-L chaos)
 #   tools/run_tier1.sh tsan chaos     # chaos suite under ThreadSanitizer
 #   tools/run_tier1.sh conformance    # conformance suite (-L conformance)
+#   tools/run_tier1.sh portfolio      # portfolio racing suite (-L portfolio)
 #
 # The legacy spelling `KEQ_TSAN=1 tools/run_tier1.sh tsan-dir` still
 # works: when the first argument is not a sanitizer name it is taken as
@@ -30,7 +31,7 @@ esac
 
 suite=all
 case ${1:-} in
-    chaos|conformance)
+    chaos|conformance|portfolio)
         suite=$1
         shift
         ;;
@@ -86,6 +87,14 @@ elif [ "$suite" = conformance ]; then
     # and full opcode coverage (tests labelled `conformance`).
     ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" \
         -L conformance
+elif [ "$suite" = portfolio ]; then
+    # The portfolio racing gate: lane roster/spec parsing, race
+    # accounting, disagreement oracle, portfolio-off byte-identity,
+    # portfolio-vs-single-lane parity over random DAGs and the corpus,
+    # and the kill-a-lane-mid-race chaos test (tests labelled
+    # `portfolio`).
+    ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" \
+        -L portfolio
 else
     ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 fi
