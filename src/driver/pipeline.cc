@@ -462,7 +462,9 @@ makeQueryCache(const ExecutionOptions &exec)
 Pipeline::Pipeline(PipelineOptions options, ExecutionOptions exec)
     : options_(std::move(options)), exec_(std::move(exec))
 {
-    if (exec_.solverCache && exec_.sharedCache)
+    if (exec_.externalCache != nullptr)
+        cache_ = exec_.externalCache;
+    else if (exec_.solverCache && exec_.sharedCache)
         cache_ = makeQueryCache(exec_);
 }
 
@@ -471,7 +473,8 @@ Pipeline::validateFunction(const llvmir::Module &module,
                            const llvmir::Function &fn)
 {
     std::shared_ptr<smt::QueryCache> cache = cache_;
-    if (exec_.solverCache && !exec_.sharedCache)
+    if (exec_.externalCache == nullptr && exec_.solverCache &&
+        !exec_.sharedCache)
         cache = makeQueryCache(exec_);
     smt::SolverStats stats;
     FunctionReport report =
@@ -626,7 +629,8 @@ Pipeline::runWithJobs(const llvmir::Module &module, unsigned jobs)
             return;
         }
         std::shared_ptr<smt::QueryCache> cache = cache_;
-        if (exec_.solverCache && !exec_.sharedCache)
+        if (exec_.externalCache == nullptr && exec_.solverCache &&
+            !exec_.sharedCache)
             cache = makeQueryCache(exec_);
         report.functions[index] =
             validateFunctionImpl(module, fn, options_, cache, &exec_,

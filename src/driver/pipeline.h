@@ -126,6 +126,13 @@ struct ExecutionOptions
     /** Cooperative cancellation for the whole run (SIGINT). */
     support::CancellationToken cancel;
     /**
+     * Externally-owned verdict cache to validate through. When set it
+     * overrides solverCache/sharedCache/cacheShardCapacity — the
+     * validation daemon hands every Pipeline the one store-backed
+     * cache so verdicts are shared across clients and runs.
+     */
+    std::shared_ptr<smt::QueryCache> externalCache;
+    /**
      * Journal per-function verdicts to this path as they are decided
      * (append-only, crash tolerant). Empty disables checkpointing.
      */

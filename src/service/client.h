@@ -1,0 +1,113 @@
+#ifndef KEQ_SERVICE_CLIENT_H
+#define KEQ_SERVICE_CLIENT_H
+
+/**
+ * @file
+ * Thin client of the validation daemon (the keqc --daemon path).
+ *
+ * The client ships the module text plus one SubmitJob per function and
+ * collects JobVerdict frames, windowed so several jobs are in flight
+ * at once (the daemon's fair queue interleaves clients; the window
+ * just hides the round-trip). Busy replies — the daemon's typed
+ * admission backpressure — put the job back on the resubmit list; the
+ * client drains a verdict first, so the protocol can never livelock.
+ *
+ * Degradation contract (mirrors the sandbox pattern): any connect or
+ * mid-run transport failure is classified into a FailureKind and
+ * reported via failure(); the caller (keqc) warns once and validates
+ * the remaining functions locally. A daemon dying mid-job must never
+ * hang the client — every receive carries a deadline.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/driver/pipeline.h"
+#include "src/service/socket.h"
+#include "src/smt/wire.h"
+#include "src/support/failure.h"
+
+namespace keq::service {
+
+struct DaemonClientOptions
+{
+    std::string socketPath;
+    std::string clientName = "keqc";
+    unsigned connectTimeoutMs = 2000;
+    unsigned handshakeTimeoutMs = 5000;
+    /**
+     * Ceiling on one verdict wait. Generous by design — it only has
+     * to beat a *dead* daemon, not a slow solve (the daemon enforces
+     * real solver budgets job-side).
+     */
+    unsigned verdictTimeoutMs = 600000;
+    /** Max unacknowledged SubmitJobs (<= daemon's in-flight cap). */
+    unsigned submitWindow = 8;
+};
+
+class DaemonClient
+{
+  public:
+    explicit DaemonClient(DaemonClientOptions options);
+
+    /**
+     * Connects and negotiates (ClientHello/ServerHello). False with
+     * @p error on an absent socket, a HelloReject (version skew; the
+     * daemon's supported version lands in the message), or a
+     * handshake timeout.
+     */
+    bool connect(std::string &error);
+
+    bool connected() const { return channel_.valid(); }
+
+    /**
+     * Submits one job per entry of @p functions (names as in
+     * llvmir::Function::name, e.g. "@max") and collects verdicts.
+     * @p reports / @p decided are resized to functions.size();
+     * decided[i] is true when reports[i] holds the daemon's verdict
+     * (stats folded in, seconds = round-trip wall time).
+     *
+     * @return true when every function was decided. False on a
+     * transport failure: decided verdicts are kept, failure() is set,
+     * and the caller finishes the rest locally.
+     */
+    bool validateFunctions(const std::string &moduleText,
+                           const std::vector<std::string> &functions,
+                           const driver::PipelineOptions &options,
+                           std::vector<driver::FunctionReport> &reports,
+                           std::vector<bool> &decided,
+                           std::string &error);
+
+    /** Classification of the last transport failure (None if fine). */
+    FailureKind failure() const { return failure_; }
+
+    /** Busy replies absorbed (resubmitted) across validateFunctions. */
+    uint64_t busyRetries() const { return busyRetries_; }
+
+    /** Sends a Shutdown frame (keqd --stop). */
+    bool requestShutdown(std::string &error);
+
+    /** Round-trips a JobStatus probe (keqd --status). */
+    bool queryStatus(smt::wire::JobStatusFrame &out, std::string &error);
+
+    const smt::wire::ServerHelloFrame &serverHello() const
+    {
+        return serverHello_;
+    }
+
+    void close() { channel_.close(); }
+
+  private:
+    FailureKind classify(support::IoStatus status) const;
+
+    DaemonClientOptions options_;
+    WireChannel channel_;
+    smt::wire::ServerHelloFrame serverHello_;
+    FailureKind failure_ = FailureKind::None;
+    uint64_t busyRetries_ = 0;
+};
+
+} // namespace keq::service
+
+#endif // KEQ_SERVICE_CLIENT_H

@@ -1,0 +1,73 @@
+#include "src/service/fair_queue.h"
+
+#include <algorithm>
+
+namespace keq::service {
+
+void
+FairQueue::push(JobWork job)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t client = job.clientId;
+    auto [it, inserted] = queues_.try_emplace(client);
+    if (it->second.empty()) {
+        // (Re-)entering the rotation: a client that drained earlier
+        // rejoins at the back, keeping first-arrival fairness.
+        order_.push_back(client);
+    }
+    it->second.push_back(std::move(job));
+}
+
+bool
+FairQueue::pop(JobWork &out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (order_.empty())
+        return false;
+    uint64_t client = order_.front();
+    order_.pop_front();
+    auto it = queues_.find(client);
+    // order_ only lists clients with nonempty queues; dropClient
+    // removes the order_ entry together with the jobs.
+    std::deque<JobWork> &queue = it->second;
+    out = std::move(queue.front());
+    queue.pop_front();
+    if (!queue.empty())
+        order_.push_back(client); // rotate to the back
+    else
+        queues_.erase(it);
+    return true;
+}
+
+size_t
+FairQueue::dropClient(uint64_t clientId)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = queues_.find(clientId);
+    if (it == queues_.end())
+        return 0;
+    size_t dropped = it->second.size();
+    queues_.erase(it);
+    order_.remove(clientId);
+    return dropped;
+}
+
+size_t
+FairQueue::queued() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t total = 0;
+    for (const auto &[client, queue] : queues_)
+        total += queue.size();
+    return total;
+}
+
+size_t
+FairQueue::queuedFor(uint64_t clientId) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = queues_.find(clientId);
+    return it == queues_.end() ? 0 : it->second.size();
+}
+
+} // namespace keq::service

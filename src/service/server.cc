@@ -1,0 +1,342 @@
+#include "src/service/server.h"
+
+#include <algorithm>
+
+#include "src/driver/checkpoint.h"
+#include "src/llvmir/parser.h"
+#include "src/llvmir/verifier.h"
+#include "src/service/job_options.h"
+#include "src/support/diagnostics.h"
+
+namespace keq::service {
+
+namespace wire = smt::wire;
+
+namespace {
+
+/** Accept-loop tick: bounds shutdown latency of the accept thread. */
+constexpr unsigned kAcceptTickMs = 200;
+
+/** Parsed-module cache cap; one clear beats LRU bookkeeping here. */
+constexpr size_t kMaxCachedModules = 32;
+
+} // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      store_(options_.verdictJournalPath, options_.journalFsync),
+      cancel_(support::CancellationToken::create())
+{}
+
+Server::~Server() { stop(); }
+
+bool
+Server::start(std::string &error)
+{
+    KEQ_ASSERT(!started_, "Server::start called twice");
+    if (!store_.open(error))
+        return false;
+    cache_ = std::make_shared<smt::QueryCache>(
+        options_.cacheShardCapacity, options_.cacheMemoryMb << 20);
+    store_.attach(*cache_);
+    if (!listener_.listenOn(options_.socketPath, error))
+        return false;
+    pool_ = std::make_unique<support::ThreadPool>(options_.jobs);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    started_ = true;
+    return true;
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stopping_.load()) {
+        int fd = listener_.acceptClient(kAcceptTickMs);
+        if (fd < 0)
+            continue;
+        ++accepted_;
+        auto session = std::make_shared<Session>(*this, nextClientId_++,
+                                                 WireChannel(fd));
+        {
+            std::lock_guard<std::mutex> lock(sessionsMutex_);
+            // Reap finished sessions so a long-lived daemon's session
+            // list tracks live clients, not connection history.
+            std::erase_if(sessions_,
+                          [](const std::shared_ptr<Session> &s) {
+                              return s->done();
+                          });
+            sessions_.push_back(session);
+        }
+        session->start();
+    }
+}
+
+void
+Server::admitJob(JobWork work)
+{
+    ++submitted_;
+    queue_.push(std::move(work));
+    pool_->submit([this] { runOneJob(); });
+}
+
+size_t
+Server::dropClientJobs(uint64_t clientId)
+{
+    size_t dropped = queue_.dropClient(clientId);
+    droppedJobs_ += dropped;
+    return dropped;
+}
+
+void
+Server::runOneJob()
+{
+    JobWork work;
+    // One pool task is submitted per push, but the pop is *fair* — the
+    // job executed here may belong to any client. An empty pop means
+    // the pushed job was dropped by a disconnect in between.
+    if (!queue_.pop(work))
+        return;
+    ++running_;
+    try {
+        executeJob(work);
+    } catch (...) {
+        // A job must never take down a pool worker; the failure is
+        // already classified inside the report where possible.
+    }
+    --running_;
+}
+
+void
+Server::executeJob(const JobWork &work)
+{
+    std::shared_ptr<Session> session = sessionFor(work.clientId);
+    if (stopping_.load()) {
+        ++droppedJobs_;
+        if (session != nullptr)
+            session->noteJobDropped();
+        return;
+    }
+    driver::FunctionReport report = validateJob(work);
+    ++completed_;
+    if (session == nullptr)
+        return; // client vanished while we solved
+    wire::JobVerdictFrame frame;
+    frame.jobId = work.jobId;
+    frame.report = driver::serializeFunctionReport(report);
+    frame.stats = report.verdict.stats.solverStats;
+    session->sendVerdict(frame);
+}
+
+driver::FunctionReport
+Server::validateJob(const JobWork &work)
+{
+    driver::FunctionReport report;
+    report.function = work.function;
+    report.outcome = driver::Outcome::Unsupported;
+    report.verdict.kind = checker::VerdictKind::NotValidated;
+
+    std::string error;
+    std::shared_ptr<const llvmir::Module> module =
+        moduleFor(work.moduleText, error);
+    if (module == nullptr) {
+        // Clients parse before submitting, so this is version skew or
+        // a foreign client — classified, not fatal.
+        report.detail = "daemon: module rejected: " + error;
+        return report;
+    }
+    const llvmir::Function *fn = nullptr;
+    for (const llvmir::Function &candidate : module->functions) {
+        if (!candidate.isDeclaration() &&
+            candidate.name == work.function) {
+            fn = &candidate;
+            break;
+        }
+    }
+    if (fn == nullptr) {
+        report.detail =
+            "daemon: no defined function " + work.function;
+        return report;
+    }
+    try {
+        return pipelineFor(work.options).validateFunction(*module, *fn);
+    } catch (const support::Error &err) {
+        report.outcome = driver::Outcome::Other;
+        report.detail = std::string("daemon: ") + err.what();
+        return report;
+    }
+}
+
+driver::Pipeline &
+Server::pipelineFor(const wire::JobOptionsFrame &frameOptions)
+{
+    std::string key = jobOptionsKey(frameOptions);
+    std::lock_guard<std::mutex> lock(pipelinesMutex_);
+    auto it = pipelines_.find(key);
+    if (it != pipelines_.end())
+        return *it->second;
+
+    driver::PipelineOptions options = decodeJobOptions(frameOptions);
+    options.checker.cancel = cancel_;
+    driver::ExecutionOptions exec;
+    exec.jobs = 1; // concurrency comes from the daemon pool
+    exec.externalCache = cache_;
+    exec.cancel = cancel_;
+    exec.sandbox = options_.sandbox;
+    exec.sandboxWorkers = options_.sandboxWorkers;
+    exec.workerMemoryMb = options_.workerMemoryMb;
+    exec.workerPath = options_.workerPath;
+    auto pipeline =
+        std::make_unique<driver::Pipeline>(options, std::move(exec));
+    if (options_.sandbox) {
+        // Resolve the supervisor eagerly: lazy creation is not safe
+        // under the pool's concurrent validateFunction calls, and the
+        // whole point of the daemon is a warm worker pool anyway.
+        unsigned workers = options_.sandboxWorkers != 0
+                               ? options_.sandboxWorkers
+                               : std::max(1u, pool_->threadCount());
+        pipeline->sandboxSupervisor(workers);
+    }
+    auto [slot, inserted] =
+        pipelines_.emplace(key, std::move(pipeline));
+    return *slot->second;
+}
+
+std::shared_ptr<const llvmir::Module>
+Server::moduleFor(const std::string &text, std::string &error)
+{
+    {
+        std::lock_guard<std::mutex> lock(modulesMutex_);
+        auto it = modules_.find(text);
+        if (it != modules_.end())
+            return it->second;
+    }
+    // Parse outside the lock (a big module takes a while); a racing
+    // duplicate parse is wasted work, not a correctness problem.
+    std::shared_ptr<llvmir::Module> module;
+    try {
+        module = std::make_shared<llvmir::Module>(
+            llvmir::parseModule(text));
+        llvmir::verifyModuleOrThrow(*module);
+    } catch (const support::Error &err) {
+        error = err.what();
+        return nullptr;
+    }
+    std::lock_guard<std::mutex> lock(modulesMutex_);
+    if (modules_.size() >= kMaxCachedModules)
+        modules_.clear();
+    auto [it, inserted] = modules_.emplace(text, std::move(module));
+    return it->second;
+}
+
+std::shared_ptr<Session>
+Server::sessionFor(uint64_t clientId)
+{
+    std::lock_guard<std::mutex> lock(sessionsMutex_);
+    for (const std::shared_ptr<Session> &session : sessions_) {
+        if (session->clientId() == clientId && !session->done())
+            return session;
+    }
+    return nullptr;
+}
+
+void
+Server::requestShutdown()
+{
+    std::lock_guard<std::mutex> lock(shutdownMutex_);
+    shutdownRequested_ = true;
+    shutdownCv_.notify_all();
+}
+
+void
+Server::wait()
+{
+    std::unique_lock<std::mutex> lock(shutdownMutex_);
+    shutdownCv_.wait(lock, [this] { return shutdownRequested_; });
+}
+
+bool
+Server::shutdownRequested() const
+{
+    std::lock_guard<std::mutex> lock(shutdownMutex_);
+    return shutdownRequested_;
+}
+
+void
+Server::stop()
+{
+    if (!started_ || stopped_)
+        return;
+    stopped_ = true;
+    stopping_.store(true);
+    // Interrupt in-flight checks: solver watchdogs and checker budget
+    // polls observe the token, so even a mid-solve job winds down in
+    // bounded time (its verdict is dropped, never journaled —
+    // Cancelled verdicts are not definitive).
+    cancel_.cancel();
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    listener_.close();
+
+    std::vector<std::shared_ptr<Session>> sessions;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        sessions = sessions_;
+    }
+    for (const std::shared_ptr<Session> &session : sessions)
+        session->shutdownChannel();
+    for (const std::shared_ptr<Session> &session : sessions)
+        session->join();
+
+    // Drain the pool: remaining tasks see stopping_ and drop their
+    // jobs. The pool destructor joins the workers.
+    if (pool_ != nullptr) {
+        try {
+            pool_->wait();
+        } catch (...) {
+            // Task exceptions were already absorbed per job.
+        }
+        pool_.reset();
+    }
+    requestShutdown(); // wake any wait()er even on external stop paths
+
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        sessions_.clear();
+    }
+    pipelines_.clear();
+    modules_.clear();
+}
+
+smt::wire::JobStatusFrame
+Server::statusFrame() const
+{
+    wire::JobStatusFrame frame;
+    frame.queuedJobs = queue_.queued();
+    frame.runningJobs = running_.load();
+    frame.completedJobs = completed_.load();
+    frame.storeEntries = store_.size();
+    frame.busyRejects = busyRejects_.load();
+    uint64_t active = 0;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        for (const std::shared_ptr<Session> &session : sessions_)
+            active += session->done() ? 0 : 1;
+    }
+    frame.activeClients = active;
+    return frame;
+}
+
+ServerStats
+Server::stats() const
+{
+    ServerStats stats;
+    stats.accepted = accepted_.load();
+    stats.helloRejects = helloRejects_.load();
+    stats.submitted = submitted_.load();
+    stats.completed = completed_.load();
+    stats.busyRejects = busyRejects_.load();
+    stats.droppedJobs = droppedJobs_.load();
+    return stats;
+}
+
+} // namespace keq::service

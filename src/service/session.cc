@@ -1,0 +1,190 @@
+#include "src/service/session.h"
+
+#include <unistd.h>
+
+#include "src/service/server.h"
+
+namespace keq::service {
+
+namespace wire = smt::wire;
+using support::IoStatus;
+
+namespace {
+
+/** Reader-loop tick: bounds how stale a stop check can get. */
+constexpr unsigned kReadTickMs = 200;
+
+} // namespace
+
+Session::Session(Server &server, uint64_t clientId, WireChannel channel)
+    : server_(server), clientId_(clientId), channel_(std::move(channel))
+{}
+
+Session::~Session() { join(); }
+
+void
+Session::start()
+{
+    thread_ = std::thread([this] { run(); });
+}
+
+void
+Session::join()
+{
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+Session::shutdownChannel()
+{
+    channel_.shutdownBoth();
+}
+
+bool
+Session::sendLocked(const std::string &frame)
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    return channel_.sendFrame(frame);
+}
+
+bool
+Session::sendVerdict(const wire::JobVerdictFrame &frame)
+{
+    bool sent = sendLocked(wire::encodeJobVerdict(frame));
+    // The job left the in-flight window whether or not the client is
+    // still there to hear about it.
+    --inFlight_;
+    return sent;
+}
+
+void
+Session::noteJobDropped()
+{
+    --inFlight_;
+}
+
+bool
+Session::handshake()
+{
+    std::string payload;
+    IoStatus status = channel_.recvFrame(
+        payload, server_.options().handshakeTimeoutMs);
+    wire::FrameType type{};
+    std::string body;
+    wire::ClientHelloFrame hello;
+    std::string error;
+    wire::HelloRejectFrame reject;
+    if (status != IoStatus::Ok) {
+        // Silent or dead connector: nothing to negotiate with.
+        return false;
+    }
+    if (!wire::splitFrame(payload, type, body) ||
+        type != wire::FrameType::ClientHello ||
+        !wire::decodeClientHello(body, hello, error)) {
+        reject.message = "malformed hello frame" +
+                         (error.empty() ? "" : ": " + error);
+        sendLocked(wire::encodeHelloReject(reject));
+        return false;
+    }
+    if (hello.magic != wire::kServiceMagic) {
+        reject.message = "bad service magic";
+        sendLocked(wire::encodeHelloReject(reject));
+        return false;
+    }
+    if (hello.protocolVersion != wire::kProtocolVersion) {
+        reject.message =
+            "unsupported protocol version " +
+            std::to_string(hello.protocolVersion) + " (daemon speaks " +
+            std::to_string(wire::kProtocolVersion) + ")";
+        sendLocked(wire::encodeHelloReject(reject));
+        return false;
+    }
+    wire::ServerHelloFrame ack;
+    ack.pid = static_cast<uint64_t>(::getpid());
+    return sendLocked(wire::encodeServerHello(ack));
+}
+
+void
+Session::handleSubmit(const std::string &body)
+{
+    wire::SubmitJobFrame job;
+    std::string error;
+    if (!wire::decodeSubmitJob(body, job, error)) {
+        sendLocked(wire::encodeError("bad SubmitJob: " + error));
+        return;
+    }
+    unsigned limit = server_.options().maxInFlightPerClient;
+    // Admission control. The increment is done optimistically by the
+    // only thread that ever increments (this reader), so the cap
+    // cannot be raced past.
+    if (limit > 0 && inFlight_.load() >= limit) {
+        wire::BusyFrame busy;
+        busy.jobId = job.jobId;
+        busy.inFlightLimit = limit;
+        ++server_.busyRejects_;
+        sendLocked(wire::encodeBusy(busy));
+        return;
+    }
+    ++inFlight_;
+    JobWork work;
+    work.clientId = clientId_;
+    work.jobId = job.jobId;
+    work.function = std::move(job.function);
+    work.moduleText = std::move(job.moduleText);
+    work.options = job.options;
+    server_.admitJob(std::move(work));
+}
+
+void
+Session::handleStatus()
+{
+    sendLocked(wire::encodeJobStatus(server_.statusFrame()));
+}
+
+void
+Session::run()
+{
+    if (!handshake()) {
+        ++server_.helloRejects_;
+        channel_.close();
+        done_.store(true);
+        return;
+    }
+
+    std::string payload;
+    while (!server_.stopping()) {
+        IoStatus status = channel_.recvFrame(payload, kReadTickMs);
+        if (status == IoStatus::Timeout)
+            continue;
+        if (status != IoStatus::Ok)
+            break; // client gone (Eof) or socket error
+        wire::FrameType type{};
+        std::string body;
+        if (!wire::splitFrame(payload, type, body)) {
+            sendLocked(wire::encodeError("unknown frame"));
+            break;
+        }
+        if (type == wire::FrameType::SubmitJob) {
+            handleSubmit(body);
+        } else if (type == wire::FrameType::JobStatus) {
+            handleStatus();
+        } else if (type == wire::FrameType::Shutdown) {
+            server_.requestShutdown();
+            break;
+        } else {
+            sendLocked(wire::encodeError(
+                std::string("unexpected frame: ") +
+                wire::frameTypeName(type)));
+            break;
+        }
+    }
+
+    // Queued-but-unstarted jobs of a vanished client are wasted work;
+    // drop them. Running ones finish and their verdicts no-op on send.
+    server_.dropClientJobs(clientId_);
+    channel_.shutdownBoth();
+    done_.store(true);
+}
+
+} // namespace keq::service

@@ -1,0 +1,190 @@
+#include "src/service/verdict_store.h"
+
+#include <cstdint>
+#include <cstdio>
+
+#include "src/support/diagnostics.h"
+
+namespace keq::service {
+
+using smt::SatResult;
+
+namespace {
+
+/**
+ * Journal record layout: one verdict byte ('s' = Sat, 'u' = Unsat)
+ * followed by the raw canonical key. Escaping and checksumming are the
+ * journal layer's job; the key is opaque bytes here.
+ */
+std::string
+recordPayload(const std::string &key, SatResult verdict)
+{
+    std::string payload;
+    payload.reserve(key.size() + 1);
+    payload.push_back(verdict == SatResult::Sat ? 's' : 'u');
+    payload.append(key);
+    return payload;
+}
+
+bool
+parseRecord(const std::string &payload, std::string &key,
+            SatResult &verdict)
+{
+    if (payload.empty())
+        return false;
+    if (payload[0] == 's')
+        verdict = SatResult::Sat;
+    else if (payload[0] == 'u')
+        verdict = SatResult::Unsat;
+    else
+        return false;
+    key.assign(payload, 1, payload.size() - 1);
+    return true;
+}
+
+} // namespace
+
+VerdictStore::VerdictStore(std::string path, support::FsyncPolicy fsync,
+                           Hasher hasher)
+    : path_(std::move(path)), fsync_(fsync),
+      hash_(hasher ? std::move(hasher) : [](const std::string &key) {
+          return support::fnv1a64(key);
+      })
+{}
+
+bool
+VerdictStore::open(std::string &error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    index_.clear();
+    stats_ = Stats();
+    if (path_.empty())
+        return true; // memory-only store
+
+    support::JournalLoad load = support::loadJournal(path_, kKind);
+    if (!load.ok) {
+        error = load.error;
+        return false;
+    }
+    stats_.droppedRecords = load.truncatedRecords;
+    for (const std::string &payload : load.records) {
+        std::string key;
+        SatResult verdict = SatResult::Unknown;
+        if (!parseRecord(payload, key, verdict)) {
+            // An intact-checksum record with a bad shape means schema
+            // skew, not corruption; count and skip rather than abort.
+            ++stats_.droppedRecords;
+            continue;
+        }
+        uint64_t hash = hash_(key);
+        if (findLocked(hash, key) != SIZE_MAX) {
+            ++stats_.duplicates;
+            continue;
+        }
+        index_[hash].push_back(static_cast<uint32_t>(entries_.size()));
+        entries_.push_back({std::move(key), verdict});
+        ++stats_.loaded;
+    }
+    stats_.entries = entries_.size();
+    if (stats_.droppedRecords > 0) {
+        // A torn or corrupt tail stops the journal scan dead, and the
+        // writer appends *after* those bytes — so anything recorded
+        // post-recovery would be unreachable on the next open. Compact:
+        // rewrite the file from the surviving entries so the journal is
+        // appendable again.
+        std::remove(path_.c_str());
+        support::JournalWriter compactor(path_, kKind, fsync_);
+        for (const Entry &entry : entries_)
+            compactor.append(recordPayload(entry.key, entry.verdict));
+        compactor.sync();
+    }
+    writer_ = std::make_unique<support::JournalWriter>(path_, kKind,
+                                                       fsync_);
+    return true;
+}
+
+size_t
+VerdictStore::findLocked(uint64_t hash, const std::string &key) const
+{
+    auto it = index_.find(hash);
+    if (it == index_.end())
+        return SIZE_MAX;
+    for (uint32_t slot : it->second) {
+        if (entries_[slot].key == key)
+            return slot;
+        // Same hash, different key: a real collision the byte compare
+        // just defused.
+        ++const_cast<Stats &>(stats_).collisions;
+    }
+    return SIZE_MAX;
+}
+
+std::optional<SatResult>
+VerdictStore::lookup(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.lookups;
+    size_t slot = findLocked(hash_(key), key);
+    if (slot == SIZE_MAX)
+        return std::nullopt;
+    ++stats_.hits;
+    return entries_[slot].verdict;
+}
+
+bool
+VerdictStore::record(const std::string &key, SatResult verdict)
+{
+    KEQ_ASSERT(verdict != SatResult::Unknown,
+               "VerdictStore: Unknown verdicts must not be stored");
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t hash = hash_(key);
+    if (findLocked(hash, key) != SIZE_MAX) {
+        ++stats_.duplicates;
+        return false;
+    }
+    index_[hash].push_back(static_cast<uint32_t>(entries_.size()));
+    entries_.push_back({key, verdict});
+    stats_.entries = entries_.size();
+    if (writer_ != nullptr) {
+        writer_->append(recordPayload(key, verdict));
+        ++stats_.appended;
+    }
+    return true;
+}
+
+void
+VerdictStore::attach(smt::QueryCache &cache)
+{
+    // Preload: every verdict the journal remembers becomes a warm
+    // cache entry before the first client connects. Re-inserting is
+    // idempotent store-side (record() dedups), so the listener below
+    // never double-appends preloaded keys.
+    std::vector<Entry> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        snapshot = entries_;
+    }
+    for (const Entry &entry : snapshot)
+        cache.insert(entry.key, entry.verdict);
+    cache.setInsertListener(
+        [this](const std::string &key, SatResult verdict) {
+            record(key, verdict);
+        });
+}
+
+size_t
+VerdictStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+VerdictStore::Stats
+VerdictStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace keq::service

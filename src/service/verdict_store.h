@@ -1,0 +1,132 @@
+#ifndef KEQ_SERVICE_VERDICT_STORE_H
+#define KEQ_SERVICE_VERDICT_STORE_H
+
+/**
+ * @file
+ * Cross-run verdict store: the daemon's persistent solver memory.
+ *
+ * The in-memory smt::QueryCache already memoizes Sat/Unsat verdicts
+ * under canonical alpha-renamed query fingerprints, but it dies with
+ * the process. The VerdictStore gives those verdicts a disk life
+ * through the PR 4 journal layer (support::Journal: checksummed,
+ * escaped, torn-tail tolerant), so two clients validating the same
+ * function pair — today or next week — pay for one solve.
+ *
+ * Data flow inside the daemon:
+ *
+ *   startup:  open() loads every intact journal record into memory;
+ *   attach(): preloads them into the daemon's shared QueryCache and
+ *             subscribes to its insert listener;
+ *   runtime:  every *fresh* cache insert (a verdict the backend just
+ *             earned) is appended to the journal, once.
+ *
+ * Soundness guards:
+ *  - Unknown is never stored (same contract as QueryCache);
+ *  - lookups compare the *full key*, not just its hash — the index is
+ *    hash -> candidate list, and a hit requires byte equality, so a
+ *    fingerprint collision costs a probe, never a wrong verdict
+ *    (pinned by the collision test with a degenerate hasher);
+ *  - a corrupt or torn journal tail is dropped by the journal layer;
+ *    everything before it is served (kill/resume pattern).
+ */
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/smt/caching_solver.h"
+#include "src/smt/solver.h"
+#include "src/support/journal.h"
+
+namespace keq::service {
+
+class VerdictStore
+{
+  public:
+    /** Journal schema tag (support::Journal header). */
+    static constexpr const char *kKind = "verdict-store";
+
+    struct Stats
+    {
+        uint64_t entries = 0;   ///< resident verdicts
+        uint64_t loaded = 0;    ///< entries restored from the journal
+        uint64_t appended = 0;  ///< fresh verdicts journaled this run
+        uint64_t duplicates = 0;///< records already resident (ignored)
+        uint64_t collisions = 0;///< hash collisions resolved by compare
+        uint64_t droppedRecords = 0; ///< torn/corrupt tail records
+        uint64_t lookups = 0;
+        uint64_t hits = 0;
+    };
+
+    /** Hash used for the in-memory index; injectable for the
+     *  collision-safety test (a degenerate hash must still be sound,
+     *  just slower). */
+    using Hasher = std::function<uint64_t(const std::string &)>;
+
+    /**
+     * @param path  Journal file; empty = memory-only store (tests).
+     * @param fsync Durability policy for appended verdicts.
+     */
+    explicit VerdictStore(std::string path,
+                          support::FsyncPolicy fsync =
+                              support::FsyncPolicy::Off,
+                          Hasher hasher = nullptr);
+
+    /**
+     * Loads the journal (missing file = fresh store). False with
+     * @p error when the file exists but carries the wrong journal kind
+     * — pointing the daemon at a checkpoint file is a user error.
+     */
+    bool open(std::string &error);
+
+    /** Full-key lookup (hash index + byte compare). Thread safe. */
+    std::optional<smt::SatResult> lookup(const std::string &key);
+
+    /**
+     * Stores a definitive verdict; appends to the journal only when
+     * the key is new. Unknown is rejected by contract. Thread safe.
+     * @return true when the verdict was fresh (journal grew).
+     */
+    bool record(const std::string &key, smt::SatResult verdict);
+
+    /**
+     * Wires this store to the daemon's shared cache: preloads every
+     * resident verdict (so clients hit from the first query) and
+     * subscribes to fresh inserts (so every new verdict persists).
+     * Call once, before the cache is shared across sessions.
+     */
+    void attach(smt::QueryCache &cache);
+
+    size_t size() const;
+    Stats stats() const;
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        smt::SatResult verdict;
+    };
+
+    /** Resident-entry scan; returns the entry index or SIZE_MAX. */
+    size_t findLocked(uint64_t hash, const std::string &key) const;
+
+    std::string path_;
+    support::FsyncPolicy fsync_;
+    Hasher hash_;
+    std::unique_ptr<support::JournalWriter> writer_;
+
+    mutable std::mutex mutex_;
+    std::vector<Entry> entries_;
+    /** hash -> indices into entries_ (collision chain). */
+    std::unordered_map<uint64_t, std::vector<uint32_t>> index_;
+    Stats stats_;
+};
+
+} // namespace keq::service
+
+#endif // KEQ_SERVICE_VERDICT_STORE_H

@@ -196,33 +196,49 @@ QueryCache::insert(const std::string &key, SatResult result)
     KEQ_ASSERT(result != SatResult::Unknown,
                "QueryCache: Unknown verdicts must not be cached");
     Shard &shard = shardFor(key);
-    std::unique_lock<std::mutex> lock(shard.mutex);
-    auto it = shard.map.find(std::string_view(key));
-    if (it != shard.map.end()) {
-        // Deterministic queries cannot change their verdict; just touch.
-        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-        return 0;
-    }
-    shard.lru.emplace_front(key, result);
-    shard.map.emplace(std::string_view(shard.lru.front().first),
-                      shard.lru.begin());
-    shard.bytes += entryBytes(key);
-
-    // Evict cold entries until both bounds hold again, always keeping
-    // the entry just inserted.
     size_t evicted = 0;
-    while (shard.lru.size() > 1 &&
-           ((maxPerShard_ > 0 && shard.lru.size() > maxPerShard_) ||
-            (maxBytesPerShard_ > 0 &&
-             shard.bytes > maxBytesPerShard_))) {
-        const auto &victim = shard.lru.back();
-        shard.bytes -= entryBytes(victim.first);
-        shard.map.erase(std::string_view(victim.first));
-        shard.lru.pop_back();
-        ++shard.evictions;
-        ++evicted;
+    bool fresh = false;
+    {
+        std::unique_lock<std::mutex> lock(shard.mutex);
+        auto it = shard.map.find(std::string_view(key));
+        if (it != shard.map.end()) {
+            // Deterministic queries cannot change their verdict; just
+            // touch.
+            shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+            return 0;
+        }
+        fresh = true;
+        shard.lru.emplace_front(key, result);
+        shard.map.emplace(std::string_view(shard.lru.front().first),
+                          shard.lru.begin());
+        shard.bytes += entryBytes(key);
+
+        // Evict cold entries until both bounds hold again, always
+        // keeping the entry just inserted.
+        while (shard.lru.size() > 1 &&
+               ((maxPerShard_ > 0 && shard.lru.size() > maxPerShard_) ||
+                (maxBytesPerShard_ > 0 &&
+                 shard.bytes > maxBytesPerShard_))) {
+            const auto &victim = shard.lru.back();
+            shard.bytes -= entryBytes(victim.first);
+            shard.map.erase(std::string_view(victim.first));
+            shard.lru.pop_back();
+            ++shard.evictions;
+            ++evicted;
+        }
     }
+    // Fire outside the shard lock: the listener may do I/O (the verdict
+    // store journals), and must never deadlock against a concurrent
+    // lookup on this shard.
+    if (fresh && insertListener_)
+        insertListener_(key, result);
     return evicted;
+}
+
+void
+QueryCache::setInsertListener(InsertListener listener)
+{
+    insertListener_ = std::move(listener);
 }
 
 void

@@ -26,6 +26,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -124,6 +125,18 @@ class QueryCache
     CacheStats stats() const;
     void clear();
 
+    /**
+     * Observer invoked (outside any shard lock) for every *fresh*
+     * insert — touches of an existing key do not fire. The validation
+     * daemon subscribes its cross-run verdict store here so every new
+     * verdict is journaled the moment it is memoized. Set before the
+     * cache is shared across threads; the listener itself must be
+     * thread-safe.
+     */
+    using InsertListener =
+        std::function<void(const std::string &, SatResult)>;
+    void setInsertListener(InsertListener listener);
+
   private:
     static constexpr size_t kShards = 16;
     static constexpr size_t kMaxModels = 64;
@@ -154,6 +167,7 @@ class QueryCache
     size_t maxPerShard_;
     size_t maxBytesPerShard_;
     std::array<Shard, kShards> shards_;
+    InsertListener insertListener_;
 
     mutable std::mutex modelMutex_;
     std::vector<std::shared_ptr<const Assignment>> models_;

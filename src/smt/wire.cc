@@ -13,7 +13,7 @@ namespace {
 
 constexpr uint8_t kMaxKind = static_cast<uint8_t>(Kind::Store);
 constexpr uint8_t kMaxFrameType =
-    static_cast<uint8_t>(FrameType::Cancel);
+    static_cast<uint8_t>(FrameType::Busy);
 
 /** Fixed arity of each term kind (leaves are 0). */
 unsigned
@@ -124,6 +124,20 @@ frameTypeName(FrameType type)
         return "shutdown";
     case FrameType::Cancel:
         return "cancel";
+    case FrameType::ClientHello:
+        return "client-hello";
+    case FrameType::SubmitJob:
+        return "submit-job";
+    case FrameType::JobStatus:
+        return "job-status";
+    case FrameType::ServerHello:
+        return "server-hello";
+    case FrameType::HelloReject:
+        return "hello-reject";
+    case FrameType::JobVerdict:
+        return "job-verdict";
+    case FrameType::Busy:
+        return "busy";
     }
     return "?";
 }
@@ -698,6 +712,117 @@ encodeCancel(const CancelFrame &frame)
     return frameBytes(FrameType::Cancel, enc.take());
 }
 
+// --- Validation-service frames ------------------------------------------
+
+namespace {
+
+void
+encodeJobOptionsBody(Encoder &enc, const JobOptionsFrame &options)
+{
+    enc.u8(options.mergeStores);
+    enc.u8(options.foldExtLoad);
+    enc.u8(options.bug);
+    enc.u8(options.refinementOnly);
+    enc.u8(options.positiveForm);
+    enc.u8(options.crudeLiveness);
+    enc.u8(options.batchDischarge);
+    enc.u32(options.smtTimeoutMs);
+    enc.f64(options.wallBudgetSeconds);
+    enc.u64(options.specSizeBudget);
+}
+
+bool
+decodeJobOptionsBody(Decoder &dec, JobOptionsFrame &out)
+{
+    if (!(dec.u8(out.mergeStores) && dec.u8(out.foldExtLoad) &&
+          dec.u8(out.bug) && dec.u8(out.refinementOnly) &&
+          dec.u8(out.positiveForm) && dec.u8(out.crudeLiveness) &&
+          dec.u8(out.batchDischarge) && dec.u32(out.smtTimeoutMs) &&
+          dec.f64(out.wallBudgetSeconds) &&
+          dec.u64(out.specSizeBudget)))
+        return false;
+    if (out.mergeStores > 1 || out.foldExtLoad > 1 ||
+        out.refinementOnly > 1 || out.positiveForm > 1 ||
+        out.crudeLiveness > 1 || out.batchDischarge > 1)
+        return dec.fail("job-option flag not a boolean");
+    if (out.bug > 2)
+        return dec.fail("unknown isel bug discriminant");
+    return true;
+}
+
+} // namespace
+
+std::string
+encodeClientHello(const ClientHelloFrame &frame)
+{
+    Encoder enc;
+    enc.u32(frame.magic);
+    enc.u32(frame.protocolVersion);
+    enc.str(frame.clientName);
+    return frameBytes(FrameType::ClientHello, enc.take());
+}
+
+std::string
+encodeServerHello(const ServerHelloFrame &frame)
+{
+    Encoder enc;
+    enc.u32(frame.protocolVersion);
+    enc.u64(frame.pid);
+    return frameBytes(FrameType::ServerHello, enc.take());
+}
+
+std::string
+encodeHelloReject(const HelloRejectFrame &frame)
+{
+    Encoder enc;
+    enc.u32(frame.supportedVersion);
+    enc.str(frame.message);
+    return frameBytes(FrameType::HelloReject, enc.take());
+}
+
+std::string
+encodeSubmitJob(const SubmitJobFrame &frame)
+{
+    Encoder enc;
+    enc.u64(frame.jobId);
+    enc.str(frame.function);
+    enc.str(frame.moduleText);
+    encodeJobOptionsBody(enc, frame.options);
+    return frameBytes(FrameType::SubmitJob, enc.take());
+}
+
+std::string
+encodeJobStatus(const JobStatusFrame &frame)
+{
+    Encoder enc;
+    enc.u64(frame.queuedJobs);
+    enc.u64(frame.runningJobs);
+    enc.u64(frame.completedJobs);
+    enc.u64(frame.storeEntries);
+    enc.u64(frame.activeClients);
+    enc.u64(frame.busyRejects);
+    return frameBytes(FrameType::JobStatus, enc.take());
+}
+
+std::string
+encodeJobVerdict(const JobVerdictFrame &frame)
+{
+    Encoder enc;
+    enc.u64(frame.jobId);
+    enc.str(frame.report);
+    encodeStats(enc, frame.stats);
+    return frameBytes(FrameType::JobVerdict, enc.take());
+}
+
+std::string
+encodeBusy(const BusyFrame &frame)
+{
+    Encoder enc;
+    enc.u64(frame.jobId);
+    enc.u32(frame.inFlightLimit);
+    return frameBytes(FrameType::Busy, enc.take());
+}
+
 namespace {
 
 bool
@@ -789,6 +914,76 @@ decodeCancel(const std::string &body, CancelFrame &out,
 {
     Decoder dec(body);
     dec.u64(out.seq);
+    return finish(dec, error);
+}
+
+bool
+decodeClientHello(const std::string &body, ClientHelloFrame &out,
+                  std::string &error)
+{
+    Decoder dec(body);
+    dec.u32(out.magic) && dec.u32(out.protocolVersion) &&
+        dec.str(out.clientName);
+    return finish(dec, error);
+}
+
+bool
+decodeServerHello(const std::string &body, ServerHelloFrame &out,
+                  std::string &error)
+{
+    Decoder dec(body);
+    dec.u32(out.protocolVersion) && dec.u64(out.pid);
+    return finish(dec, error);
+}
+
+bool
+decodeHelloReject(const std::string &body, HelloRejectFrame &out,
+                  std::string &error)
+{
+    Decoder dec(body);
+    dec.u32(out.supportedVersion) && dec.str(out.message);
+    return finish(dec, error);
+}
+
+bool
+decodeSubmitJob(const std::string &body, SubmitJobFrame &out,
+                std::string &error)
+{
+    Decoder dec(body);
+    if (dec.u64(out.jobId) && dec.str(out.function) &&
+        dec.str(out.moduleText))
+        decodeJobOptionsBody(dec, out.options);
+    if (dec.ok() && out.function.empty())
+        dec.fail("job with empty function name");
+    return finish(dec, error);
+}
+
+bool
+decodeJobStatus(const std::string &body, JobStatusFrame &out,
+                std::string &error)
+{
+    Decoder dec(body);
+    dec.u64(out.queuedJobs) && dec.u64(out.runningJobs) &&
+        dec.u64(out.completedJobs) && dec.u64(out.storeEntries) &&
+        dec.u64(out.activeClients) && dec.u64(out.busyRejects);
+    return finish(dec, error);
+}
+
+bool
+decodeJobVerdict(const std::string &body, JobVerdictFrame &out,
+                 std::string &error)
+{
+    Decoder dec(body);
+    if (dec.u64(out.jobId) && dec.str(out.report))
+        decodeStats(dec, out.stats);
+    return finish(dec, error);
+}
+
+bool
+decodeBusy(const std::string &body, BusyFrame &out, std::string &error)
+{
+    Decoder dec(body);
+    dec.u64(out.jobId) && dec.u32(out.inFlightLimit);
     return finish(dec, error);
 }
 

@@ -52,8 +52,18 @@ namespace wire {
  * Bumped whenever any frame layout changes; Ready carries it.
  * v2: Cancel frame, ResetFrame strategy string, portfolio stats
  * fields.
+ * v3: validation-service frames (ClientHello .. Busy) spoken between
+ * keqc and the keqd daemon, with explicit version negotiation at
+ * connect.
  */
-constexpr uint32_t kProtocolVersion = 2;
+constexpr uint32_t kProtocolVersion = 3;
+
+/**
+ * First four bytes of every ClientHello ("KEQD" little-endian). A
+ * random process writing to the daemon socket fails the magic check
+ * deterministically instead of being misread as a version mismatch.
+ */
+constexpr uint32_t kServiceMagic = 0x4451454bu;
 
 /** Upper bound on a single frame payload; larger lengths are corrupt. */
 constexpr uint32_t kMaxFramePayload = 64u << 20;
@@ -69,8 +79,19 @@ enum class FrameType : uint8_t {
     // parent -> worker
     Reset = 5,    ///< begin a session: fresh factory + solver stack
     Query = 6,    ///< one checkSat request
-    Shutdown = 7, ///< polite exit request
+    Shutdown = 7, ///< polite exit request (also client -> daemon)
     Cancel = 8,   ///< abandon the in-flight Query (portfolio reap)
+
+    // validation service: client -> daemon
+    ClientHello = 9, ///< connect handshake: magic + version + name
+    SubmitJob = 10,  ///< one function-validation job
+    JobStatus = 11,  ///< status probe (daemon echoes it back, filled)
+
+    // validation service: daemon -> client
+    ServerHello = 12, ///< handshake accept: version + daemon pid
+    HelloReject = 13, ///< typed handshake rejection (version skew)
+    JobVerdict = 14,  ///< one finished job's report + solver stats
+    Busy = 15,        ///< admission control: in-flight cap reached
 };
 
 const char *frameTypeName(FrameType type);
@@ -208,6 +229,103 @@ struct ResultFrame
     SolverStats stats; ///< worker-side delta for this query
 };
 
+// --- Validation-service frames (keqc <-> keqd, protocol v3) -------------
+
+/**
+ * Client -> daemon connect handshake. The daemon answers with
+ * ServerHello on success or HelloReject (then closes) when the magic
+ * or protocol version does not match — a client from a different
+ * build learns *why* instead of hitting undefined decode behavior.
+ */
+struct ClientHelloFrame
+{
+    uint32_t magic = kServiceMagic;
+    uint32_t protocolVersion = kProtocolVersion;
+    std::string clientName; ///< advisory, for daemon-side diagnostics
+};
+
+struct ServerHelloFrame
+{
+    uint32_t protocolVersion = kProtocolVersion;
+    uint64_t pid = 0; ///< daemon pid, for operator diagnostics
+};
+
+struct HelloRejectFrame
+{
+    uint32_t supportedVersion = kProtocolVersion;
+    std::string message;
+};
+
+/**
+ * The deterministic validation knobs a job carries. This is the
+ * subset of driver::{PipelineOptions, ExecutionOptions} that changes
+ * *verdicts* (canonical summaries), not how the daemon schedules or
+ * isolates the work — solver pools, caching and sandboxing stay
+ * daemon-side policy so every client shares the warm resources.
+ */
+struct JobOptionsFrame
+{
+    uint8_t mergeStores = 0;    ///< isel::IselOptions::mergeStores
+    uint8_t foldExtLoad = 0;    ///< isel::IselOptions::foldExtLoad
+    uint8_t bug = 0;            ///< 0 none, 1 waw, 2 loadwiden
+    uint8_t refinementOnly = 0; ///< CheckerConfig::refinementOnly
+    uint8_t positiveForm = 1;   ///< CheckerConfig::positiveFormOpt
+    uint8_t crudeLiveness = 0;  ///< VcOptions::crudeLiveness
+    uint8_t batchDischarge = 0; ///< CheckerConfig::batchDischarge
+    uint32_t smtTimeoutMs = 30000; ///< CheckerConfig::solverTimeoutMs
+    double wallBudgetSeconds = 0;  ///< CheckerConfig::wallBudgetSeconds
+    uint64_t specSizeBudget = 0;   ///< PipelineOptions::specSizeBudget
+};
+
+/**
+ * One validation job: a function pair identified by the module text
+ * plus the function name. Shipping the whole module (not one
+ * function) keeps parsing entirely daemon-side and lets the daemon
+ * memoize the parsed module across the N jobs of one client run.
+ */
+struct SubmitJobFrame
+{
+    uint64_t jobId = 0; ///< client-chosen; echoed on JobVerdict/Busy
+    std::string function; ///< e.g. "@max" — must be defined in module
+    std::string moduleText;
+    JobOptionsFrame options;
+};
+
+/** Daemon-wide counters echoed back on a JobStatus probe. */
+struct JobStatusFrame
+{
+    uint64_t queuedJobs = 0;
+    uint64_t runningJobs = 0;
+    uint64_t completedJobs = 0;
+    uint64_t storeEntries = 0; ///< cross-run verdict store size
+    uint64_t activeClients = 0;
+    uint64_t busyRejects = 0;
+};
+
+/**
+ * Daemon -> client: one finished job. The report travels as a
+ * checkpoint-journal verdict record (driver::serializeFunctionReport)
+ * — the same crash-proofed codec --resume trusts — plus the full
+ * SolverStats delta the client folds into its --stats output.
+ */
+struct JobVerdictFrame
+{
+    uint64_t jobId = 0;
+    std::string report; ///< serializeFunctionReport payload
+    SolverStats stats;  ///< per-job solver-stack delta
+};
+
+/**
+ * Daemon -> client: the per-client in-flight cap is reached; the job
+ * was *not* admitted. The client resubmits after draining a verdict —
+ * typed backpressure instead of unbounded daemon-side queue growth.
+ */
+struct BusyFrame
+{
+    uint64_t jobId = 0;
+    uint32_t inFlightLimit = 0;
+};
+
 /** Wraps a payload in the length-prefixed frame envelope. */
 std::string frameBytes(FrameType type, const std::string &payload);
 
@@ -219,6 +337,13 @@ std::string encodeResult(const ResultFrame &frame);
 std::string encodeError(const std::string &message);
 std::string encodeShutdown();
 std::string encodeCancel(const CancelFrame &frame);
+std::string encodeClientHello(const ClientHelloFrame &frame);
+std::string encodeServerHello(const ServerHelloFrame &frame);
+std::string encodeHelloReject(const HelloRejectFrame &frame);
+std::string encodeSubmitJob(const SubmitJobFrame &frame);
+std::string encodeJobStatus(const JobStatusFrame &frame);
+std::string encodeJobVerdict(const JobVerdictFrame &frame);
+std::string encodeBusy(const BusyFrame &frame);
 
 /**
  * Splits a received payload into its FrameType and body decoder input.
@@ -241,6 +366,20 @@ bool decodeResult(const std::string &body, ResultFrame &out,
 bool decodeError(const std::string &body, std::string &message);
 bool decodeCancel(const std::string &body, CancelFrame &out,
                   std::string &error);
+bool decodeClientHello(const std::string &body, ClientHelloFrame &out,
+                       std::string &error);
+bool decodeServerHello(const std::string &body, ServerHelloFrame &out,
+                       std::string &error);
+bool decodeHelloReject(const std::string &body, HelloRejectFrame &out,
+                       std::string &error);
+bool decodeSubmitJob(const std::string &body, SubmitJobFrame &out,
+                     std::string &error);
+bool decodeJobStatus(const std::string &body, JobStatusFrame &out,
+                     std::string &error);
+bool decodeJobVerdict(const std::string &body, JobVerdictFrame &out,
+                      std::string &error);
+bool decodeBusy(const std::string &body, BusyFrame &out,
+                std::string &error);
 
 } // namespace wire
 } // namespace keq::smt

@@ -1,0 +1,384 @@
+/** @file In-process daemon integration: handshake negotiation (and its
+ *  typed rejections), daemon-vs-local verdict parity — including the
+ *  full conformance corpus — warm-cache behaviour across clients,
+ *  Busy backpressure, and concurrent clients. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/conformance/corpus.h"
+#include "src/driver/corpus.h"
+#include "src/driver/pipeline.h"
+#include "src/llvmir/parser.h"
+#include "src/service/client.h"
+#include "src/service/server.h"
+#include "src/smt/wire.h"
+
+namespace keq::service {
+namespace {
+
+namespace wire = smt::wire;
+
+/** Unique socket path per test (sun_path is short; stay terse). */
+std::string
+socketPath(const std::string &stem)
+{
+    return (std::filesystem::temp_directory_path() /
+            ("keqd-" + stem + "-" + std::to_string(::getpid()) +
+             ".sock"))
+        .string();
+}
+
+/** A small deterministic Figure 6-style module. */
+std::string
+testModule(size_t functions = 4)
+{
+    driver::CorpusOptions options;
+    options.seed = 0x5e41ce;
+    options.functionCount = functions;
+    return driver::generateCorpusSource(options);
+}
+
+std::vector<std::string>
+definedFunctions(const std::string &source)
+{
+    llvmir::Module module = llvmir::parseModule(source);
+    std::vector<std::string> names;
+    for (const llvmir::Function &fn : module.functions)
+        if (!fn.isDeclaration())
+            names.push_back(fn.name);
+    return names;
+}
+
+std::string
+canonicalSummary(const std::vector<driver::FunctionReport> &reports)
+{
+    driver::ModuleReport module;
+    module.functions = reports;
+    return module.canonicalSummary();
+}
+
+/** Local (daemonless) reference run. */
+std::string
+localSummary(const std::string &source,
+             const driver::PipelineOptions &options)
+{
+    driver::Pipeline pipeline(options);
+    llvmir::Module module = llvmir::parseModule(source);
+    return pipeline.run(module).canonicalSummary();
+}
+
+/** Runs every defined function of @p source through the daemon. */
+std::vector<driver::FunctionReport>
+daemonRun(DaemonClient &client, const std::string &source,
+          const driver::PipelineOptions &options)
+{
+    std::vector<driver::FunctionReport> reports;
+    std::vector<bool> decided;
+    std::string error;
+    EXPECT_TRUE(client.validateFunctions(source,
+                                         definedFunctions(source),
+                                         options, reports, decided,
+                                         error))
+        << error;
+    for (size_t i = 0; i < decided.size(); ++i)
+        EXPECT_TRUE(decided[i]) << "function " << i << " undecided";
+    return reports;
+}
+
+TEST(DaemonTest, StartStatusStop)
+{
+    ServerOptions options;
+    options.socketPath = socketPath("lifecycle");
+    options.jobs = 2;
+    Server server(options);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    DaemonClientOptions copts;
+    copts.socketPath = options.socketPath;
+    DaemonClient client(copts);
+    ASSERT_TRUE(client.connect(error)) << error;
+    EXPECT_EQ(client.serverHello().protocolVersion,
+              wire::kProtocolVersion);
+
+    wire::JobStatusFrame status;
+    ASSERT_TRUE(client.queryStatus(status, error)) << error;
+    EXPECT_EQ(status.completedJobs, 0u);
+    EXPECT_EQ(status.activeClients, 1u);
+
+    server.stop();
+    EXPECT_FALSE(std::filesystem::exists(options.socketPath))
+        << "socket not unlinked on clean stop";
+}
+
+TEST(DaemonTest, SecondDaemonOnSamePathRefusesToStart)
+{
+    ServerOptions options;
+    options.socketPath = socketPath("exclusive");
+    Server first(options);
+    std::string error;
+    ASSERT_TRUE(first.start(error)) << error;
+
+    Server second(options);
+    EXPECT_FALSE(second.start(error));
+    EXPECT_NE(error.find("already listening"), std::string::npos)
+        << error;
+    first.stop();
+}
+
+TEST(DaemonTest, VersionMismatchGetsTypedReject)
+{
+    ServerOptions options;
+    options.socketPath = socketPath("version");
+    Server server(options);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    int fd = -1;
+    ASSERT_TRUE(connectUnix(options.socketPath, 2000, fd, error))
+        << error;
+    WireChannel channel(fd);
+    wire::ClientHelloFrame hello;
+    hello.protocolVersion = 99;
+    ASSERT_TRUE(channel.sendFrame(wire::encodeClientHello(hello)));
+
+    std::string payload;
+    ASSERT_EQ(channel.recvFrame(payload, 5000), support::IoStatus::Ok);
+    wire::FrameType type{};
+    std::string body;
+    ASSERT_TRUE(wire::splitFrame(payload, type, body));
+    ASSERT_EQ(type, wire::FrameType::HelloReject);
+    wire::HelloRejectFrame reject;
+    ASSERT_TRUE(wire::decodeHelloReject(body, reject, error)) << error;
+    // The reject names both versions, so a skewed client can say
+    // exactly what to upgrade.
+    EXPECT_EQ(reject.supportedVersion, wire::kProtocolVersion);
+    EXPECT_NE(reject.message.find("99"), std::string::npos);
+    server.stop();
+}
+
+TEST(DaemonTest, GarbageHelloIsRejectedNotCrashed)
+{
+    ServerOptions options;
+    options.socketPath = socketPath("garbage");
+    Server server(options);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    int fd = -1;
+    ASSERT_TRUE(connectUnix(options.socketPath, 2000, fd, error))
+        << error;
+    WireChannel channel(fd);
+    // A SubmitJob before any hello is a protocol violation.
+    wire::SubmitJobFrame job;
+    job.jobId = 1;
+    job.function = "@x";
+    job.moduleText = "define i32 @x() {\nret i32 0\n}\n";
+    ASSERT_TRUE(channel.sendFrame(wire::encodeSubmitJob(job)));
+
+    std::string payload;
+    ASSERT_EQ(channel.recvFrame(payload, 5000), support::IoStatus::Ok);
+    wire::FrameType type{};
+    std::string body;
+    ASSERT_TRUE(wire::splitFrame(payload, type, body));
+    EXPECT_EQ(type, wire::FrameType::HelloReject);
+
+    // The daemon remains healthy for well-behaved clients.
+    DaemonClientOptions copts;
+    copts.socketPath = options.socketPath;
+    DaemonClient client(copts);
+    EXPECT_TRUE(client.connect(error)) << error;
+    server.stop();
+    EXPECT_GT(server.stats().helloRejects, 0u);
+}
+
+TEST(DaemonTest, VerdictsMatchLocalPipeline)
+{
+    std::string source = testModule(5);
+    driver::PipelineOptions poptions;
+
+    ServerOptions options;
+    options.socketPath = socketPath("parity");
+    options.jobs = 4;
+    Server server(options);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    DaemonClientOptions copts;
+    copts.socketPath = options.socketPath;
+    DaemonClient client(copts);
+    ASSERT_TRUE(client.connect(error)) << error;
+    std::vector<driver::FunctionReport> reports =
+        daemonRun(client, source, poptions);
+    server.stop();
+
+    EXPECT_EQ(canonicalSummary(reports),
+              localSummary(source, poptions));
+}
+
+TEST(DaemonTest, SecondClientRunsFullyWarm)
+{
+    std::string source = testModule(5);
+    driver::PipelineOptions poptions;
+
+    ServerOptions options;
+    options.socketPath = socketPath("warm");
+    options.jobs = 2;
+    Server server(options);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    DaemonClientOptions copts;
+    copts.socketPath = options.socketPath;
+    std::string coldSummary;
+    {
+        DaemonClient cold(copts);
+        ASSERT_TRUE(cold.connect(error)) << error;
+        coldSummary =
+            canonicalSummary(daemonRun(cold, source, poptions));
+    }
+    {
+        DaemonClient warm(copts);
+        ASSERT_TRUE(warm.connect(error)) << error;
+        std::vector<driver::FunctionReport> reports =
+            daemonRun(warm, source, poptions);
+        EXPECT_EQ(canonicalSummary(reports), coldSummary);
+        // Every query the warm run consulted the cache for must hit:
+        // that is the whole point of the shared daemon-side cache.
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        for (const driver::FunctionReport &report : reports) {
+            hits += report.verdict.stats.solverStats.cacheHits;
+            misses += report.verdict.stats.solverStats.cacheMisses;
+        }
+        EXPECT_GT(hits, 0u);
+        EXPECT_EQ(misses, 0u);
+    }
+    server.stop();
+}
+
+TEST(DaemonTest, BusyBackpressureStillDecidesEverything)
+{
+    std::string source = testModule(6);
+    driver::PipelineOptions poptions;
+
+    ServerOptions options;
+    options.socketPath = socketPath("busy");
+    options.jobs = 1;
+    options.maxInFlightPerClient = 1;
+    Server server(options);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    DaemonClientOptions copts;
+    copts.socketPath = options.socketPath;
+    copts.submitWindow = 8; // deliberately larger than the cap
+    DaemonClient client(copts);
+    ASSERT_TRUE(client.connect(error)) << error;
+    std::vector<driver::FunctionReport> reports =
+        daemonRun(client, source, poptions);
+    EXPECT_GT(client.busyRetries(), 0u)
+        << "cap 1 with window 8 never pushed back";
+    server.stop();
+    EXPECT_GT(server.stats().busyRejects, 0u);
+
+    EXPECT_EQ(canonicalSummary(reports),
+              localSummary(source, poptions));
+}
+
+TEST(DaemonTest, ConcurrentClientsGetIdenticalVerdicts)
+{
+    std::string source = testModule(4);
+    driver::PipelineOptions poptions;
+
+    ServerOptions options;
+    options.socketPath = socketPath("concurrent");
+    options.jobs = 4;
+    Server server(options);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    constexpr int kClients = 3;
+    std::vector<std::string> summaries(kClients);
+    std::vector<std::string> errors(kClients);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kClients; ++i) {
+        threads.emplace_back([&, i] {
+            DaemonClientOptions copts;
+            copts.socketPath = options.socketPath;
+            copts.clientName = "client-" + std::to_string(i);
+            DaemonClient client(copts);
+            std::string connectError;
+            if (!client.connect(connectError)) {
+                errors[i] = connectError;
+                return;
+            }
+            std::vector<driver::FunctionReport> reports;
+            std::vector<bool> decided;
+            std::string runError;
+            if (!client.validateFunctions(source,
+                                          definedFunctions(source),
+                                          poptions, reports, decided,
+                                          runError)) {
+                errors[i] = runError;
+                return;
+            }
+            summaries[i] = canonicalSummary(reports);
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    server.stop();
+
+    std::string reference = localSummary(source, poptions);
+    for (int i = 0; i < kClients; ++i) {
+        EXPECT_TRUE(errors[i].empty()) << errors[i];
+        EXPECT_EQ(summaries[i], reference) << "client " << i;
+    }
+}
+
+/**
+ * The acceptance gate: every file of the checked-in conformance corpus
+ * through the daemon produces canonical summaries byte-identical to
+ * the local pipeline, with the daemon (and its shared cache + verdict
+ * store) held warm across all 44 modules and ISel configurations.
+ */
+TEST(DaemonTest, FullConformanceCorpusMatchesLocal)
+{
+    std::vector<conformance::CorpusCase> cases =
+        conformance::loadCorpusDir(KEQ_CORPUS_DIR);
+    ASSERT_FALSE(cases.empty());
+
+    ServerOptions options;
+    options.socketPath = socketPath("corpus");
+    options.jobs = 4;
+    Server server(options);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    DaemonClientOptions copts;
+    copts.socketPath = options.socketPath;
+    DaemonClient client(copts);
+    ASSERT_TRUE(client.connect(error)) << error;
+
+    for (const conformance::CorpusCase &corpusCase : cases) {
+        driver::PipelineOptions poptions;
+        poptions.isel = corpusCase.isel;
+        std::vector<driver::FunctionReport> reports =
+            daemonRun(client, corpusCase.source, poptions);
+        EXPECT_EQ(canonicalSummary(reports),
+                  localSummary(corpusCase.source, poptions))
+            << "corpus file " << corpusCase.name
+            << " diverged through the daemon";
+    }
+    server.stop();
+}
+
+} // namespace
+} // namespace keq::service

@@ -1,0 +1,113 @@
+/** @file Per-client round-robin fair queue: FIFO order within one
+ *  client, rotation across clients (no backlog starves a newcomer),
+ *  and disconnect cleanup. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/service/fair_queue.h"
+
+namespace keq::service {
+namespace {
+
+JobWork
+job(uint64_t client, uint64_t id)
+{
+    JobWork work;
+    work.clientId = client;
+    work.jobId = id;
+    return work;
+}
+
+TEST(FairQueueTest, FifoWithinOneClient)
+{
+    FairQueue queue;
+    for (uint64_t id = 1; id <= 5; ++id)
+        queue.push(job(1, id));
+    JobWork work;
+    for (uint64_t id = 1; id <= 5; ++id) {
+        ASSERT_TRUE(queue.pop(work));
+        EXPECT_EQ(work.jobId, id);
+    }
+    EXPECT_FALSE(queue.pop(work));
+}
+
+TEST(FairQueueTest, RoundRobinAcrossClients)
+{
+    FairQueue queue;
+    // Client 1 floods; clients 2 and 3 each submit one job afterwards.
+    for (uint64_t id = 1; id <= 4; ++id)
+        queue.push(job(1, 100 + id));
+    queue.push(job(2, 200));
+    queue.push(job(3, 300));
+
+    std::vector<uint64_t> clients;
+    JobWork work;
+    while (queue.pop(work))
+        clients.push_back(work.clientId);
+    // One rotation serves every client before client 1's second job.
+    std::vector<uint64_t> expected = {1, 2, 3, 1, 1, 1};
+    EXPECT_EQ(clients, expected);
+}
+
+TEST(FairQueueTest, InterleavedPushesKeepRotating)
+{
+    FairQueue queue;
+    queue.push(job(1, 1));
+    queue.push(job(2, 2));
+    JobWork work;
+    ASSERT_TRUE(queue.pop(work));
+    EXPECT_EQ(work.clientId, 1u);
+    // Client 1 refills while client 2 still waits: client 2 is next.
+    queue.push(job(1, 3));
+    ASSERT_TRUE(queue.pop(work));
+    EXPECT_EQ(work.clientId, 2u);
+    ASSERT_TRUE(queue.pop(work));
+    EXPECT_EQ(work.clientId, 1u);
+}
+
+/** Starvation freedom: with one flooding client, a light client's job
+ *  is always served within (number of clients) pops of its push. */
+TEST(FairQueueTest, LightClientNeverStarves)
+{
+    FairQueue queue;
+    for (uint64_t id = 0; id < 100; ++id)
+        queue.push(job(1, id));
+    queue.push(job(2, 9999));
+
+    JobWork work;
+    size_t popsUntilServed = 0;
+    bool served = false;
+    while (queue.pop(work)) {
+        ++popsUntilServed;
+        if (work.clientId == 2) {
+            served = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(served);
+    EXPECT_LE(popsUntilServed, 2u);
+}
+
+TEST(FairQueueTest, DropClientRemovesOnlyThatBacklog)
+{
+    FairQueue queue;
+    for (uint64_t id = 1; id <= 3; ++id)
+        queue.push(job(1, id));
+    queue.push(job(2, 10));
+    EXPECT_EQ(queue.queuedFor(1), 3u);
+    EXPECT_EQ(queue.dropClient(1), 3u);
+    EXPECT_EQ(queue.queuedFor(1), 0u);
+    EXPECT_EQ(queue.queued(), 1u);
+
+    JobWork work;
+    ASSERT_TRUE(queue.pop(work));
+    EXPECT_EQ(work.clientId, 2u);
+    EXPECT_FALSE(queue.pop(work));
+    // Dropping an unknown client is a no-op, not an error.
+    EXPECT_EQ(queue.dropClient(42), 0u);
+}
+
+} // namespace
+} // namespace keq::service

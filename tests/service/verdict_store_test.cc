@@ -1,0 +1,246 @@
+/** @file Cross-run verdict store: journal round-trips across restart,
+ *  cache attachment (preload + fresh-insert persistence), duplicate
+ *  suppression, fingerprint-collision safety under a degenerate
+ *  hasher, and torn-tail recovery. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+
+#include "src/service/verdict_store.h"
+#include "src/smt/caching_solver.h"
+#include "src/support/diagnostics.h"
+
+namespace keq::service {
+namespace {
+
+struct TempFile
+{
+    std::string path;
+
+    explicit TempFile(const std::string &stem)
+        : path((std::filesystem::temp_directory_path() /
+                ("keq-verdict-store-" + stem + "-" +
+                 std::to_string(::getpid()) + ".log"))
+                   .string())
+    {
+        std::remove(path.c_str());
+    }
+
+    ~TempFile() { std::remove(path.c_str()); }
+
+    std::string
+    read() const
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream out;
+        out << in.rdbuf();
+        return out.str();
+    }
+
+    void
+    write(const std::string &bytes) const
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << bytes;
+    }
+};
+
+TEST(VerdictStoreTest, RecordAndLookupInMemory)
+{
+    VerdictStore store(""); // memory-only
+    std::string error;
+    ASSERT_TRUE(store.open(error)) << error;
+
+    EXPECT_TRUE(store.record("query-a", smt::SatResult::Unsat));
+    EXPECT_TRUE(store.record("query-b", smt::SatResult::Sat));
+    EXPECT_EQ(store.size(), 2u);
+
+    auto a = store.lookup("query-a");
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(*a, smt::SatResult::Unsat);
+    auto b = store.lookup("query-b");
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*b, smt::SatResult::Sat);
+    EXPECT_FALSE(store.lookup("query-c").has_value());
+
+    VerdictStore::Stats stats = store.stats();
+    EXPECT_EQ(stats.lookups, 3u);
+    EXPECT_EQ(stats.hits, 2u);
+}
+
+TEST(VerdictStoreTest, DuplicateRecordIsNotReappended)
+{
+    VerdictStore store("");
+    std::string error;
+    ASSERT_TRUE(store.open(error)) << error;
+    EXPECT_TRUE(store.record("key", smt::SatResult::Unsat));
+    EXPECT_FALSE(store.record("key", smt::SatResult::Unsat));
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.stats().duplicates, 1u);
+}
+
+TEST(VerdictStoreTest, UnknownVerdictIsRejectedByContract)
+{
+    VerdictStore store("");
+    std::string error;
+    ASSERT_TRUE(store.open(error)) << error;
+    EXPECT_THROW(store.record("key", smt::SatResult::Unknown),
+                 support::InternalError);
+}
+
+TEST(VerdictStoreTest, JournalRoundTripAcrossRestart)
+{
+    TempFile file("restart");
+    {
+        VerdictStore store(file.path);
+        std::string error;
+        ASSERT_TRUE(store.open(error)) << error;
+        EXPECT_TRUE(store.record("alpha", smt::SatResult::Unsat));
+        EXPECT_TRUE(store.record("beta", smt::SatResult::Sat));
+        EXPECT_EQ(store.stats().appended, 2u);
+    } // daemon "dies"
+
+    VerdictStore reopened(file.path);
+    std::string error;
+    ASSERT_TRUE(reopened.open(error)) << error;
+    EXPECT_EQ(reopened.size(), 2u);
+    EXPECT_EQ(reopened.stats().loaded, 2u);
+    auto alpha = reopened.lookup("alpha");
+    ASSERT_TRUE(alpha.has_value());
+    EXPECT_EQ(*alpha, smt::SatResult::Unsat);
+    auto beta = reopened.lookup("beta");
+    ASSERT_TRUE(beta.has_value());
+    EXPECT_EQ(*beta, smt::SatResult::Sat);
+
+    // Records learned before the restart are resident, not re-journaled.
+    EXPECT_FALSE(reopened.record("alpha", smt::SatResult::Unsat));
+    EXPECT_EQ(reopened.stats().appended, 0u);
+}
+
+TEST(VerdictStoreTest, WrongJournalKindFailsLoudly)
+{
+    TempFile file("kind");
+    {
+        support::JournalWriter writer(file.path, "pipeline-checkpoint");
+        writer.append("not-a-verdict");
+    }
+    VerdictStore store(file.path);
+    std::string error;
+    EXPECT_FALSE(store.open(error));
+    EXPECT_NE(error.find("pipeline-checkpoint"), std::string::npos);
+}
+
+TEST(VerdictStoreTest, TornTailDropsOnlyTheDamagedSuffix)
+{
+    TempFile file("torn");
+    {
+        VerdictStore store(file.path);
+        std::string error;
+        ASSERT_TRUE(store.open(error)) << error;
+        EXPECT_TRUE(store.record("intact-1", smt::SatResult::Unsat));
+        EXPECT_TRUE(store.record("intact-2", smt::SatResult::Sat));
+        EXPECT_TRUE(store.record("doomed", smt::SatResult::Unsat));
+    }
+    // Simulate SIGKILL mid-append: cut the file inside the last record.
+    std::string bytes = file.read();
+    file.write(bytes.substr(0, bytes.size() - 3));
+
+    VerdictStore reopened(file.path);
+    std::string error;
+    ASSERT_TRUE(reopened.open(error)) << error;
+    EXPECT_EQ(reopened.size(), 2u);
+    EXPECT_EQ(reopened.stats().droppedRecords, 1u);
+    EXPECT_TRUE(reopened.lookup("intact-1").has_value());
+    EXPECT_TRUE(reopened.lookup("intact-2").has_value());
+    EXPECT_FALSE(reopened.lookup("doomed").has_value());
+
+    // The store stays appendable after recovery.
+    EXPECT_TRUE(reopened.record("fresh", smt::SatResult::Sat));
+    VerdictStore again(file.path);
+    ASSERT_TRUE(again.open(error)) << error;
+    EXPECT_EQ(again.size(), 3u);
+}
+
+/**
+ * Collision safety: with a degenerate hasher (every key hashes to 7)
+ * the index devolves into one probe chain, but lookups still compare
+ * full keys — a collision can never alias one query's verdict to
+ * another. This is the soundness half of the content-addressed store.
+ */
+TEST(VerdictStoreTest, DegenerateHasherStaysSound)
+{
+    VerdictStore store("", support::FsyncPolicy::Off,
+                       [](const std::string &) -> uint64_t {
+                           return 7;
+                       });
+    std::string error;
+    ASSERT_TRUE(store.open(error)) << error;
+
+    EXPECT_TRUE(store.record("colliding-a", smt::SatResult::Unsat));
+    EXPECT_TRUE(store.record("colliding-b", smt::SatResult::Sat));
+    EXPECT_TRUE(store.record("colliding-c", smt::SatResult::Unsat));
+
+    auto a = store.lookup("colliding-a");
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(*a, smt::SatResult::Unsat);
+    auto b = store.lookup("colliding-b");
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*b, smt::SatResult::Sat);
+    EXPECT_FALSE(store.lookup("colliding-d").has_value());
+    EXPECT_GT(store.stats().collisions, 0u);
+}
+
+TEST(VerdictStoreTest, AttachPreloadsCacheAndPersistsFreshInserts)
+{
+    TempFile file("attach");
+    {
+        VerdictStore store(file.path);
+        std::string error;
+        ASSERT_TRUE(store.open(error)) << error;
+        EXPECT_TRUE(store.record("warm", smt::SatResult::Unsat));
+
+        smt::QueryCache cache;
+        store.attach(cache);
+        // Preload: the resident verdict is already a cache hit...
+        auto hit = cache.lookup("warm");
+        ASSERT_TRUE(hit.has_value());
+        EXPECT_EQ(*hit, smt::SatResult::Unsat);
+        // ...and preloading did not double-journal it.
+        EXPECT_EQ(store.stats().appended, 1u);
+
+        // A fresh solver verdict inserted into the cache is captured.
+        cache.insert("earned", smt::SatResult::Sat);
+        EXPECT_EQ(store.size(), 2u);
+        // Touching an existing key is not a fresh insert: no re-append.
+        cache.insert("earned", smt::SatResult::Sat);
+        EXPECT_EQ(store.stats().appended, 2u);
+    }
+
+    // Both the preloaded and the captured verdict survive restart.
+    VerdictStore reopened(file.path);
+    std::string error;
+    ASSERT_TRUE(reopened.open(error)) << error;
+    EXPECT_EQ(reopened.size(), 2u);
+    auto earned = reopened.lookup("earned");
+    ASSERT_TRUE(earned.has_value());
+    EXPECT_EQ(*earned, smt::SatResult::Sat);
+}
+
+TEST(VerdictStoreTest, MissingFileIsAFreshStore)
+{
+    TempFile file("missing");
+    VerdictStore store(file.path);
+    std::string error;
+    ASSERT_TRUE(store.open(error)) << error;
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_TRUE(store.record("first", smt::SatResult::Unsat));
+}
+
+} // namespace
+} // namespace keq::service

@@ -1,0 +1,58 @@
+# Exercised by ctest (see tools/CMakeLists.txt): keqc --daemon pointed
+# at a socket nobody listens on must warn once, fall back to local
+# solving, and exit with the same code a daemonless run would — an
+# absent daemon degrades service, never correctness.
+#
+#   cmake -DKEQC=<binary> -DWORK_DIR=<dir> -P daemon_degradation_test.cmake
+if(NOT DEFINED KEQC OR NOT DEFINED WORK_DIR)
+    message(FATAL_ERROR
+        "usage: cmake -DKEQC=... -DWORK_DIR=... "
+        "-P daemon_degradation_test.cmake")
+endif()
+
+set(module "${WORK_DIR}/keqc-daemon-degradation.ll")
+file(WRITE "${module}"
+    "define i32 @inc(i32 %a) {\n"
+    "entry:\n"
+    "  %r = add i32 %a, 1\n"
+    "  ret i32 %r\n"
+    "}\n")
+
+set(dead_socket "${WORK_DIR}/keqc-no-daemon-here.sock")
+file(REMOVE "${dead_socket}")
+
+execute_process(
+    COMMAND "${KEQC}" "--daemon=${dead_socket}" "${module}"
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+
+if(NOT code EQUAL 0)
+    message(FATAL_ERROR
+        "fallback run must validate and exit 0, got '${code}'\n"
+        "stderr: ${err}")
+endif()
+string(FIND "${err}" "falling back to local validation" warn_at)
+if(warn_at EQUAL -1)
+    message(FATAL_ERROR
+        "missing the degradation warning\nstderr: ${err}")
+endif()
+string(FIND "${out}" "1/1 functions validated" validated_at)
+if(validated_at EQUAL -1)
+    message(FATAL_ERROR
+        "fallback run did not validate locally\nstdout: ${out}")
+endif()
+
+# Reference: the daemonless invocation agrees on every verdict line.
+execute_process(
+    COMMAND "${KEQC}" "${module}"
+    RESULT_VARIABLE ref_code
+    OUTPUT_VARIABLE ref_out
+    ERROR_VARIABLE ref_err)
+if(NOT ref_code EQUAL 0)
+    message(FATAL_ERROR "reference run failed: ${ref_err}")
+endif()
+string(FIND "${ref_out}" "1/1 functions validated" ref_at)
+if(ref_at EQUAL -1)
+    message(FATAL_ERROR "reference run did not validate\n${ref_out}")
+endif()

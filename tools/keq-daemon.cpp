@@ -1,0 +1,229 @@
+/**
+ * @file
+ * keqd — the persistent validation daemon.
+ *
+ * Runs a service::Server on a Unix-domain socket: warm solver stacks,
+ * a shared query cache backed by the persistent verdict store, and
+ * per-client fair queueing. Clients are keqc --daemon=SOCKET (and the
+ * service tests/bench).
+ *
+ * Usage:
+ *   keq-daemon --socket=PATH [options]
+ *     --jobs=N               pool worker threads (0 = #cores)
+ *     --max-inflight=N       per-client in-flight job cap before
+ *                            Busy replies (0 = uncapped)
+ *     --verdict-journal=PATH persist the verdict store here; loaded
+ *                            on startup, appended per fresh verdict
+ *     --journal-fsync=record|batch|off
+ *                            verdict-journal durability (default off)
+ *     --solver-cache-mb=N    shared query-cache budget (default 512)
+ *     --sandbox              solve in sandboxed worker processes
+ *     --sandbox-workers=N    sandbox pool size (0 = match --jobs)
+ *     --worker-memory-mb=N   RLIMIT_AS per sandbox worker
+ *     --worker-path=PATH     explicit keq-solver-worker binary
+ *     --status               query a running daemon and exit
+ *     --stop                 ask a running daemon to shut down
+ *
+ * SIGINT/SIGTERM (and a client Shutdown frame) stop the daemon
+ * cleanly: in-flight checks are cancelled, the socket is unlinked, and
+ * the journal is left consistent (it is consistent at every record
+ * boundary anyway).
+ *
+ * Exit code: 0 on clean shutdown / successful --status / --stop,
+ * 1 when the daemon cannot start or the probe target is unreachable,
+ * 2 for usage errors.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <time.h>
+
+#include "src/service/client.h"
+#include "src/service/server.h"
+#include "src/support/journal.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_signalled = 0;
+
+extern "C" void
+handleStopSignal(int)
+{
+    g_signalled = 1;
+}
+
+struct CliOptions
+{
+    keq::service::ServerOptions server;
+    bool status = false;
+    bool stop = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0 << " --socket=PATH [options]\n"
+              << "  --jobs=N --max-inflight=N\n"
+              << "  --verdict-journal=PATH "
+                 "--journal-fsync=record|batch|off\n"
+              << "  --solver-cache-mb=N\n"
+              << "  --sandbox --sandbox-workers=N --worker-memory-mb=N "
+                 "--worker-path=PATH\n"
+              << "  --status --stop\n";
+    std::exit(2);
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions options;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value_of = [&](const std::string &prefix) {
+            return arg.substr(prefix.size());
+        };
+        auto number_of = [&](const std::string &prefix) -> double {
+            try {
+                size_t used = 0;
+                std::string text = value_of(prefix);
+                double value = std::stod(text, &used);
+                if (used != text.size() || value < 0)
+                    usage(argv[0]);
+                return value;
+            } catch (const std::exception &) {
+                usage(argv[0]);
+            }
+        };
+        if (arg.rfind("--socket=", 0) == 0) {
+            options.server.socketPath = value_of("--socket=");
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            options.server.jobs =
+                static_cast<unsigned>(number_of("--jobs="));
+        } else if (arg.rfind("--max-inflight=", 0) == 0) {
+            options.server.maxInFlightPerClient =
+                static_cast<unsigned>(number_of("--max-inflight="));
+        } else if (arg.rfind("--verdict-journal=", 0) == 0) {
+            options.server.verdictJournalPath =
+                value_of("--verdict-journal=");
+        } else if (arg.rfind("--journal-fsync=", 0) == 0) {
+            if (!keq::support::fsyncPolicyFromName(
+                    value_of("--journal-fsync=").c_str(),
+                    options.server.journalFsync)) {
+                usage(argv[0]);
+            }
+        } else if (arg.rfind("--solver-cache-mb=", 0) == 0) {
+            options.server.cacheMemoryMb =
+                static_cast<size_t>(number_of("--solver-cache-mb="));
+        } else if (arg == "--sandbox") {
+            options.server.sandbox = true;
+        } else if (arg.rfind("--sandbox-workers=", 0) == 0) {
+            options.server.sandboxWorkers =
+                static_cast<unsigned>(number_of("--sandbox-workers="));
+        } else if (arg.rfind("--worker-memory-mb=", 0) == 0) {
+            options.server.workerMemoryMb =
+                static_cast<unsigned>(number_of("--worker-memory-mb="));
+        } else if (arg.rfind("--worker-path=", 0) == 0) {
+            options.server.workerPath = value_of("--worker-path=");
+        } else if (arg == "--status") {
+            options.status = true;
+        } else if (arg == "--stop") {
+            options.stop = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (options.server.socketPath.empty())
+        usage(argv[0]);
+    if (options.status && options.stop)
+        usage(argv[0]);
+    return options;
+}
+
+int
+runProbe(const CliOptions &options)
+{
+    using namespace keq;
+    service::DaemonClientOptions copts;
+    copts.socketPath = options.server.socketPath;
+    copts.clientName = "keqd-cli";
+    service::DaemonClient client(copts);
+    std::string error;
+    if (!client.connect(error)) {
+        std::cerr << "keqd: " << error << "\n";
+        return 1;
+    }
+    if (options.stop) {
+        if (!client.requestShutdown(error)) {
+            std::cerr << "keqd: " << error << "\n";
+            return 1;
+        }
+        std::cout << "shutdown requested (daemon pid "
+                  << client.serverHello().pid << ")\n";
+        return 0;
+    }
+    smt::wire::JobStatusFrame status;
+    if (!client.queryStatus(status, error)) {
+        std::cerr << "keqd: " << error << "\n";
+        return 1;
+    }
+    std::printf("daemon pid %llu on %s\n",
+                static_cast<unsigned long long>(
+                    client.serverHello().pid),
+                options.server.socketPath.c_str());
+    std::printf("  clients:   %llu active\n",
+                static_cast<unsigned long long>(status.activeClients));
+    std::printf("  jobs:      %llu queued, %llu running, %llu "
+                "completed, %llu busy-rejected\n",
+                static_cast<unsigned long long>(status.queuedJobs),
+                static_cast<unsigned long long>(status.runningJobs),
+                static_cast<unsigned long long>(status.completedJobs),
+                static_cast<unsigned long long>(status.busyRejects));
+    std::printf("  store:     %llu verdicts\n",
+                static_cast<unsigned long long>(status.storeEntries));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace keq;
+    CliOptions options = parseArgs(argc, argv);
+    if (options.status || options.stop)
+        return runProbe(options);
+
+    service::Server server(options.server);
+    std::string error;
+    if (!server.start(error)) {
+        std::cerr << "keqd: " << error << "\n";
+        return 1;
+    }
+    std::signal(SIGINT, handleStopSignal);
+    std::signal(SIGTERM, handleStopSignal);
+    std::cerr << "keqd: listening on " << options.server.socketPath
+              << " (" << server.store().size()
+              << " verdicts preloaded)\n";
+
+    // Signal handlers cannot take the shutdown mutex, so the main
+    // thread polls both stop sources.
+    while (!g_signalled && !server.shutdownRequested()) {
+        struct timespec ts = {0, 100 * 1000000L};
+        ::nanosleep(&ts, nullptr);
+    }
+    server.stop();
+
+    service::ServerStats stats = server.stats();
+    service::VerdictStore::Stats store = server.store().stats();
+    std::cerr << "keqd: stopped — " << stats.completed
+              << " jobs completed for " << stats.accepted
+              << " connections, " << store.appended
+              << " verdicts journaled (" << store.entries
+              << " in store), " << stats.busyRejects
+              << " busy rejects, " << stats.droppedJobs
+              << " jobs dropped\n";
+    return 0;
+}

@@ -49,6 +49,10 @@
  *     --batch-discharge   ship obligation hypotheses as separate
  *                         assertions so the incremental backend keeps
  *                         them in a warm scope across obligations
+ *     --daemon=SOCKET     submit jobs to a running keq-daemon instead
+ *                         of solving locally; falls back to local
+ *                         solving (with a warning) when the daemon is
+ *                         unreachable or dies mid-run
  *     --stats             print per-stage solver counters after the run
  *     --stats-json=PATH   dump the full stats/failure taxonomy as JSON
  *     --gen-corpus=N      print an N-function Figure 6 corpus and exit
@@ -72,6 +76,7 @@
 
 #include "src/driver/corpus.h"
 #include "src/driver/pipeline.h"
+#include "src/service/client.h"
 #include "src/isel/isel.h"
 #include "src/llvmir/parser.h"
 #include "src/llvmir/verifier.h"
@@ -98,6 +103,7 @@ struct CliOptions
     std::string path;
     std::string only_function;
     std::string stats_json;
+    std::string daemon_socket;
     bool print_mir = false;
     bool print_sync = false;
     bool print_stats = false;
@@ -127,6 +133,7 @@ usage(const char *argv0)
                  "--worker-path=PATH\n"
               << "  --portfolio=N --portfolio-lanes=SPEC "
                  "--batch-discharge\n"
+              << "  --daemon=SOCKET\n"
               << "  --stats-json=PATH --gen-corpus=N --corpus-seed=N\n";
     std::exit(2);
 }
@@ -250,6 +257,10 @@ parseArgs(int argc, char **argv)
             }
         } else if (arg == "--batch-discharge") {
             options.pipeline.checker.batchDischarge = true;
+        } else if (arg.rfind("--daemon=", 0) == 0) {
+            options.daemon_socket = value_of("--daemon=");
+            if (options.daemon_socket.empty())
+                usage(argv[0]);
         } else if (arg.rfind("--stats-json=", 0) == 0) {
             options.stats_json = value_of("--stats-json=");
         } else if (arg == "--resume") {
@@ -494,23 +505,112 @@ main(int argc, char **argv)
     g_cancel = support::CancellationToken::create();
     options.exec.cancel = g_cancel;
     std::signal(SIGINT, handleSigint);
-    driver::Pipeline pipeline(options.pipeline, options.exec);
     driver::ModuleReport report;
-    try {
-        if (options.only_function.empty()) {
-            report = pipeline.runParallel(module);
-        } else {
-            for (const llvmir::Function &fn : module.functions) {
-                if (!fn.isDeclaration() &&
-                    fn.name == options.only_function)
-                    report.functions.push_back(
-                        pipeline.validateFunction(module, fn));
-            }
+
+    // --daemon: ship the jobs to a warm keq-daemon instead of solving
+    // here. Verdicts are required to be canonically identical either
+    // way, so degradation (unreachable daemon, daemon death mid-run) is
+    // always safe: warn once, keep whatever the daemon decided, and
+    // finish the rest with the local pipeline.
+    if (!options.daemon_socket.empty() &&
+        options.pipeline.checker.collectProof) {
+        std::cerr << "keqc: --proof requires local solving; "
+                     "ignoring --daemon\n";
+        options.daemon_socket.clear();
+    }
+    if (!options.daemon_socket.empty() &&
+        (!options.exec.checkpointPath.empty() || options.exec.resume)) {
+        std::cerr << "keqc: --checkpoint/--resume journal locally; "
+                     "ignoring --daemon\n";
+        options.daemon_socket.clear();
+    }
+    bool daemonHandled = false;
+    std::vector<driver::FunctionReport> daemonReports;
+    std::vector<bool> daemonDecided;
+    if (!options.daemon_socket.empty()) {
+        std::vector<std::string> names;
+        for (const llvmir::Function &fn : module.functions) {
+            if (fn.isDeclaration())
+                continue;
+            if (!options.only_function.empty() &&
+                fn.name != options.only_function)
+                continue;
+            names.push_back(fn.name);
         }
-    } catch (const support::Error &error) {
-        // Checkpoint mismatch or journal I/O failure.
-        std::cerr << "keqc: " << error.what() << "\n";
-        return 2;
+        service::DaemonClientOptions copts;
+        copts.socketPath = options.daemon_socket;
+        service::DaemonClient client(copts);
+        std::string error;
+        if (!client.connect(error)) {
+            std::cerr << "keqc: daemon unreachable (" << error
+                      << "); falling back to local validation\n";
+            daemonDecided.clear();
+        } else if (client.validateFunctions(
+                       buffer.str(), names, options.pipeline,
+                       daemonReports, daemonDecided, error)) {
+            report.functions = std::move(daemonReports);
+            daemonHandled = true;
+        } else {
+            std::cerr << "keqc: daemon connection lost ["
+                      << failureKindName(client.failure()) << "]: "
+                      << error
+                      << "; validating remaining functions locally\n";
+        }
+    }
+
+    bool anyDaemonVerdicts = daemonHandled;
+    for (size_t i = 0; !anyDaemonVerdicts && i < daemonDecided.size();
+         ++i)
+        anyDaemonVerdicts = daemonDecided[i];
+
+    if (!daemonHandled) {
+        driver::Pipeline pipeline(options.pipeline, options.exec);
+        try {
+            if (anyDaemonVerdicts) {
+                // Partial daemon run: splice its verdicts, recompute
+                // only what is missing (module order is preserved —
+                // the submit order matched this very walk).
+                size_t index = 0;
+                for (const llvmir::Function &fn : module.functions) {
+                    if (fn.isDeclaration())
+                        continue;
+                    if (!options.only_function.empty() &&
+                        fn.name != options.only_function)
+                        continue;
+                    if (daemonDecided[index])
+                        report.functions.push_back(
+                            std::move(daemonReports[index]));
+                    else
+                        report.functions.push_back(
+                            pipeline.validateFunction(module, fn));
+                    ++index;
+                }
+            } else if (options.only_function.empty()) {
+                report = pipeline.runParallel(module);
+            } else {
+                for (const llvmir::Function &fn : module.functions) {
+                    if (!fn.isDeclaration() &&
+                        fn.name == options.only_function)
+                        report.functions.push_back(
+                            pipeline.validateFunction(module, fn));
+                }
+            }
+        } catch (const support::Error &error) {
+            // Checkpoint mismatch or journal I/O failure.
+            std::cerr << "keqc: " << error.what() << "\n";
+            return 2;
+        }
+    }
+    if (anyDaemonVerdicts) {
+        // The daemon owns the real cache; fold the per-function solver
+        // counters so the cache summary (and --stats-json) still mean
+        // something — exactly like the cacheless aggregation path.
+        for (const driver::FunctionReport &fn : report.functions) {
+            report.cacheStats.hits +=
+                fn.verdict.stats.solverStats.cacheHits;
+            report.cacheStats.misses +=
+                fn.verdict.stats.solverStats.cacheMisses;
+        }
     }
     std::signal(SIGINT, SIG_DFL);
 

@@ -2,7 +2,7 @@
 # Configure, build, and run the tier-1 test suite in one shot.
 #
 # Usage:
-#   tools/run_tier1.sh [sanitizer] [chaos|conformance|portfolio] [build-dir]
+#   tools/run_tier1.sh [sanitizer] [chaos|conformance|portfolio|service] [build-dir]
 #
 #   tools/run_tier1.sh                # plain build in build/
 #   tools/run_tier1.sh tsan           # ThreadSanitizer build in build-tsan/
@@ -12,6 +12,7 @@
 #   tools/run_tier1.sh tsan chaos     # chaos suite under ThreadSanitizer
 #   tools/run_tier1.sh conformance    # conformance suite (-L conformance)
 #   tools/run_tier1.sh portfolio      # portfolio racing suite (-L portfolio)
+#   tools/run_tier1.sh service        # validation daemon suite (-L service)
 #
 # The legacy spelling `KEQ_TSAN=1 tools/run_tier1.sh tsan-dir` still
 # works: when the first argument is not a sanitizer name it is taken as
@@ -31,7 +32,7 @@ esac
 
 suite=all
 case ${1:-} in
-    chaos|conformance|portfolio)
+    chaos|conformance|portfolio|service)
         suite=$1
         shift
         ;;
@@ -87,6 +88,14 @@ elif [ "$suite" = conformance ]; then
     # and full opcode coverage (tests labelled `conformance`).
     ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" \
         -L conformance
+elif [ "$suite" = service ]; then
+    # The validation-daemon gate: wire v3 negotiation properties, the
+    # fair queue, the cross-run verdict store, in-process daemon
+    # integration (full-corpus parity, warm-cache, backpressure), the
+    # SIGKILL chaos suite against real keq-daemon processes, and the
+    # keqc --daemon degradation script (tests labelled `service`).
+    ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" \
+        -L service
 elif [ "$suite" = portfolio ]; then
     # The portfolio racing gate: lane roster/spec parsing, race
     # accounting, disagreement oracle, portfolio-off byte-identity,
