@@ -218,6 +218,20 @@ validatePairImpl(const llvmir::Module &module, const llvmir::Function &fn,
             smt::CachingSolver::Options stack;
             stack.simplify = exec != nullptr && exec->simplifyQueries;
             stack.slice = exec != nullptr && exec->sliceQueries;
+            if (exec != nullptr && exec->auditRate > 0.0) {
+                // Trust-but-verify: sample journal-preloaded hits and
+                // recheck them against a pristine solver before
+                // serving. The pristine rung mirrors GuardedSolver's
+                // terminal rung — a fresh cold Z3 with no preprocessing
+                // shared with the stack under audit.
+                stack.auditRate = exec->auditRate;
+                stack.auditSeed = exec->auditSeed;
+                stack.auditSolverFactory =
+                    [](smt::TermFactory &f) -> std::unique_ptr<smt::Solver> {
+                    return std::make_unique<smt::Z3Solver>(f);
+                };
+                stack.onAuditMismatch = exec->onAuditMismatch;
+            }
             caching.emplace(factory, *backend, cache, stack);
             solver = &*caching;
         }
@@ -481,6 +495,33 @@ Pipeline::validateFunction(const llvmir::Module &module,
         validateFunctionImpl(module, fn, options_, cache, &exec_,
                              sandboxSupervisor(1), &stats);
     return report;
+}
+
+FunctionReport
+Pipeline::validateFunction(const llvmir::Module &module,
+                           const llvmir::Function &fn,
+                           unsigned deadlineMsCap)
+{
+    // Effective deadline = the tighter of the configured one and the
+    // caller's cap (the daemon passes each job's *remaining* wall
+    // budget here). Equal-or-looser caps take the plain path so the
+    // common case stays zero-copy.
+    unsigned effective = exec_.deadlineMs;
+    if (deadlineMsCap > 0 &&
+        (effective == 0 || deadlineMsCap < effective))
+        effective = deadlineMsCap;
+    if (effective == exec_.deadlineMs)
+        return validateFunction(module, fn);
+
+    std::shared_ptr<smt::QueryCache> cache = cache_;
+    if (exec_.externalCache == nullptr && exec_.solverCache &&
+        !exec_.sharedCache)
+        cache = makeQueryCache(exec_);
+    ExecutionOptions exec = exec_;
+    exec.deadlineMs = effective;
+    smt::SolverStats stats;
+    return validateFunctionImpl(module, fn, options_, cache, &exec,
+                                sandboxSupervisor(1), &stats);
 }
 
 smt::WorkerSupervisor *

@@ -125,6 +125,28 @@ struct ExecutionOptions
     smt::FaultPlan faults;
     /** Cooperative cancellation for the whole run (SIGINT). */
     support::CancellationToken cancel;
+
+    // --- Trust-but-verify auditing (smt::CachingSolver) --------------
+
+    /**
+     * Fraction of *unaudited* cache hits (verdicts preloaded from a
+     * persisted journal) to independently re-check before serving:
+     * stored Sat by Evaluator model replay, stored Unsat by a pristine
+     * solver. 0 (default) disables; the daemon's --audit-rate sets it.
+     * A mismatch quarantines the entry and the query re-solves fresh,
+     * so enabling audits never changes a verdict.
+     */
+    double auditRate = 0.0;
+    /** Salt for the deterministic per-key audit sample. */
+    uint64_t auditSeed = 0;
+    /**
+     * Invoked when an audit contradicts a stored verdict (after the
+     * quarantine, before the fresh solve). The daemon hooks journal
+     * tombstoning and typed AuditMismatch logging here.
+     */
+    std::function<void(const std::string &key, smt::SatResult stored,
+                       smt::SatResult recheck)>
+        onAuditMismatch;
     /**
      * Externally-owned verdict cache to validate through. When set it
      * overrides solverCache/sharedCache/cacheShardCapacity — the
@@ -265,6 +287,18 @@ class Pipeline
     /** Validates one function through this Pipeline's cache. */
     FunctionReport validateFunction(const llvmir::Module &module,
                                     const llvmir::Function &fn);
+
+    /**
+     * Same, but with a per-call wall-deadline cap in milliseconds: the
+     * effective watchdog deadline is the tighter of @p deadlineMsCap
+     * and the configured ExecutionOptions::deadlineMs (0 = no cap).
+     * The daemon uses this to propagate each job's *remaining* wall
+     * budget into GuardedSolver, so a slow client cannot pin a worker
+     * past its deadline.
+     */
+    FunctionReport validateFunction(const llvmir::Module &module,
+                                    const llvmir::Function &fn,
+                                    unsigned deadlineMsCap);
 
     const PipelineOptions &options() const { return options_; }
     const ExecutionOptions &execution() const { return exec_; }

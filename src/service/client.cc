@@ -4,6 +4,7 @@
 #include <chrono>
 #include <deque>
 #include <time.h>
+#include <unistd.h>
 
 #include "src/driver/checkpoint.h"
 #include "src/service/job_options.h"
@@ -32,11 +33,29 @@ sleepMs(unsigned ms)
     ::nanosleep(&ts, nullptr);
 }
 
+uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
 } // namespace
 
 DaemonClient::DaemonClient(DaemonClientOptions options)
     : options_(std::move(options))
-{}
+{
+    // Jitter seed: distinct per process and per client object, so
+    // concurrent keqc invocations desynchronize their backoff sleeps.
+    jitterState_ = static_cast<uint64_t>(::getpid()) ^
+                   (reinterpret_cast<uintptr_t>(this) << 16) ^
+                   static_cast<uint64_t>(
+                       std::chrono::steady_clock::now()
+                           .time_since_epoch()
+                           .count());
+}
 
 FailureKind
 DaemonClient::classify(IoStatus status) const
@@ -134,6 +153,10 @@ DaemonClient::validateFunctions(
 
     wire::JobOptionsFrame jobOptions = encodeJobOptions(options);
     unsigned window = std::max(1u, options_.submitWindow);
+    unsigned backoffMs = std::max(1u, options_.busyBackoffInitialMs);
+    unsigned busyRounds = 0;   // consecutive all-Busy, nothing-in-flight
+    bool deferSubmits = false; // Busy seen; hold resubmits until progress
+    breakerTripped_ = false;
 
     std::vector<std::chrono::steady_clock::time_point> submitted(n);
     std::deque<size_t> toSubmit;
@@ -160,11 +183,40 @@ DaemonClient::validateFunctions(
     };
 
     while (done < n) {
-        while (outstanding < window && !toSubmit.empty()) {
-            size_t idx = toSubmit.front();
-            toSubmit.pop_front();
-            if (!submitOne(idx))
+        if (deferSubmits && outstanding == 0) {
+            // The whole window bounced with Busy and nothing is in
+            // flight, so no frame will arrive until we resubmit: one
+            // all-Busy round (a draining, wedged, or quota-starving
+            // daemon). Breaker-check, back off jittered, probe again.
+            ++busyRounds;
+            if (options_.busyBreakerRounds > 0 &&
+                busyRounds >= options_.busyBreakerRounds) {
+                error = "daemon persistently busy (" +
+                        std::to_string(busyRounds) +
+                        " all-Busy rounds, " +
+                        std::to_string(busyRetries_) +
+                        " rejects); giving up on daemon";
+                failure_ = FailureKind::Timeout;
+                breakerTripped_ = true;
                 return false;
+            }
+            unsigned jittered =
+                backoffMs / 2 +
+                static_cast<unsigned>(splitmix64(jitterState_) %
+                                      (backoffMs / 2 + 1));
+            sleepMs(jittered);
+            backoffMs = std::max(
+                1u,
+                std::min(options_.busyBackoffMaxMs, backoffMs * 2));
+            deferSubmits = false;
+        }
+        if (!deferSubmits) {
+            while (outstanding < window && !toSubmit.empty()) {
+                size_t idx = toSubmit.front();
+                toSubmit.pop_front();
+                if (!submitOne(idx))
+                    return false;
+            }
         }
         if (outstanding == 0) {
             // Nothing in flight and nothing submittable: only possible
@@ -223,6 +275,10 @@ DaemonClient::validateFunctions(
             decided[idx] = true;
             ++done;
             --outstanding;
+            // Progress: the daemon is serving us again.
+            deferSubmits = false;
+            busyRounds = 0;
+            backoffMs = std::max(1u, options_.busyBackoffInitialMs);
         } else if (type == wire::FrameType::Busy) {
             wire::BusyFrame busy;
             if (!wire::decodeBusy(body, busy, decodeError) ||
@@ -235,11 +291,11 @@ DaemonClient::validateFunctions(
             ++busyRetries_;
             --outstanding;
             toSubmit.push_back(static_cast<size_t>(busy.jobId) - 1);
-            if (outstanding == 0) {
-                // Fully over-cap: back off briefly instead of spinning
-                // submit/Busy against a saturated daemon.
-                sleepMs(10);
-            }
+            // Resubmitting immediately would just bounce again (the
+            // daemon's caps have not moved); hold further submits
+            // until a verdict shows progress, or — once nothing is in
+            // flight — the backed-off probe at the top of the loop.
+            deferSubmits = true;
         } else if (type == wire::FrameType::Error) {
             std::string message;
             error = wire::decodeError(body, message)

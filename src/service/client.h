@@ -44,6 +44,25 @@ struct DaemonClientOptions
     unsigned verdictTimeoutMs = 600000;
     /** Max unacknowledged SubmitJobs (<= daemon's in-flight cap). */
     unsigned submitWindow = 8;
+    /**
+     * Busy backoff: after a Busy the client stops resubmitting until a
+     * verdict shows progress; once *nothing* is in flight (the whole
+     * window bounced), it sleeps a jittered interval before probing
+     * again and doubles it (capped) on each further all-Busy round, so
+     * a herd of keqc processes does not hammer a saturated daemon in
+     * lockstep. Any verdict resets the backoff to the initial value.
+     */
+    unsigned busyBackoffInitialMs = 10;
+    unsigned busyBackoffMaxMs = 2000;
+    /**
+     * Circuit breaker: after this many *consecutive* all-Busy rounds
+     * (every submit bounced, nothing in flight, no verdict in between
+     * — a draining, wedged, or quota-starving daemon), the client
+     * stops retrying, reports a Timeout-classified transport failure,
+     * and the caller degrades to local solving (keeping verdicts
+     * already decided). 0 disables.
+     */
+    unsigned busyBreakerRounds = 10;
 };
 
 class DaemonClient
@@ -85,6 +104,9 @@ class DaemonClient
     /** Busy replies absorbed (resubmitted) across validateFunctions. */
     uint64_t busyRetries() const { return busyRetries_; }
 
+    /** True when the last failure was the Busy circuit breaker. */
+    bool busyBreakerTripped() const { return breakerTripped_; }
+
     /** Sends a Shutdown frame (keqd --stop). */
     bool requestShutdown(std::string &error);
 
@@ -106,6 +128,8 @@ class DaemonClient
     smt::wire::ServerHelloFrame serverHello_;
     FailureKind failure_ = FailureKind::None;
     uint64_t busyRetries_ = 0;
+    bool breakerTripped_ = false;
+    uint64_t jitterState_ = 0; ///< cheap PRNG for backoff jitter
 };
 
 } // namespace keq::service

@@ -24,6 +24,7 @@
  * been admitted.
  */
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <list>
@@ -43,6 +44,9 @@ struct JobWork
     std::string function;
     std::string moduleText;
     smt::wire::JobOptionsFrame options;
+    /** Admission time; the per-job wall deadline counts from here, so
+     *  queueing delay eats the same budget solving does. */
+    std::chrono::steady_clock::time_point admittedAt{};
 };
 
 class FairQueue

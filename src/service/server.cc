@@ -1,12 +1,17 @@
 #include "src/service/server.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include <unistd.h>
 
 #include "src/driver/checkpoint.h"
 #include "src/llvmir/parser.h"
 #include "src/llvmir/verifier.h"
 #include "src/service/job_options.h"
 #include "src/support/diagnostics.h"
+#include "src/support/failure.h"
 
 namespace keq::service {
 
@@ -22,9 +27,24 @@ constexpr size_t kMaxCachedModules = 32;
 
 } // namespace
 
+namespace {
+
+VerdictStore::Options
+storeOptions(const ServerOptions &options)
+{
+    VerdictStore::Options store;
+    store.path = options.verdictJournalPath;
+    store.fsync = options.journalFsync;
+    store.maxBytes = options.verdictStoreMaxBytes;
+    store.compactGarbageRatio = options.storeCompactGarbageRatio;
+    store.compactMinRecords = options.storeCompactMinRecords;
+    return store;
+}
+
+} // namespace
+
 Server::Server(ServerOptions options)
-    : options_(std::move(options)),
-      store_(options_.verdictJournalPath, options_.journalFsync),
+    : options_(std::move(options)), store_(storeOptions(options_)),
       cancel_(support::CancellationToken::create())
 {}
 
@@ -54,6 +74,13 @@ Server::acceptLoop()
         int fd = listener_.acceptClient(kAcceptTickMs);
         if (fd < 0)
             continue;
+        if (draining_.load()) {
+            // A draining daemon takes no new clients: close without a
+            // handshake, so the connector fails fast and degrades to
+            // local solving.
+            ::close(fd);
+            continue;
+        }
         ++accepted_;
         auto session = std::make_shared<Session>(*this, nextClientId_++,
                                                  WireChannel(fd));
@@ -116,19 +143,62 @@ Server::executeJob(const JobWork &work)
             session->noteJobDropped();
         return;
     }
-    driver::FunctionReport report = validateJob(work);
+    if (session == nullptr) {
+        // The client disconnected while this job sat in the queue; the
+        // session teardown raced our pop. Nobody is listening — don't
+        // burn solver time computing an unsendable verdict.
+        ++droppedJobs_;
+        return;
+    }
+
+    // Per-job wall deadline, counted from admission: time spent queued
+    // eats the budget, and the remainder caps the solver watchdog. A
+    // job whose budget expired entirely in the queue reports Timeout
+    // without touching a solver.
+    unsigned deadlineCap = 0;
+    if (options_.jobDeadlineMs > 0) {
+        auto waited =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - work.admittedAt)
+                .count();
+        if (waited >= static_cast<long long>(options_.jobDeadlineMs)) {
+            ++expiredJobs_;
+            ++completed_;
+            driver::FunctionReport expired;
+            expired.function = work.function;
+            expired.outcome = driver::Outcome::Timeout;
+            expired.verdict.kind = checker::VerdictKind::Timeout;
+            expired.detail = "daemon: job deadline (" +
+                             std::to_string(options_.jobDeadlineMs) +
+                             " ms) expired in queue";
+            wire::JobVerdictFrame frame;
+            frame.jobId = work.jobId;
+            frame.report = driver::serializeFunctionReport(expired);
+            frame.stats = expired.verdict.stats.solverStats;
+            if (!session->sendVerdict(frame))
+                dropClientJobs(work.clientId);
+            return;
+        }
+        deadlineCap = options_.jobDeadlineMs -
+                      static_cast<unsigned>(waited);
+    }
+
+    driver::FunctionReport report = validateJob(work, deadlineCap);
     ++completed_;
-    if (session == nullptr)
-        return; // client vanished while we solved
     wire::JobVerdictFrame frame;
     frame.jobId = work.jobId;
     frame.report = driver::serializeFunctionReport(report);
     frame.stats = report.verdict.stats.solverStats;
-    session->sendVerdict(frame);
+    if (!session->sendVerdict(frame)) {
+        // The socket died under us: the client's remaining backlog is
+        // unsendable too. Drop it now instead of solving toward a dead
+        // endpoint (the reader thread notices EOF and tears down).
+        dropClientJobs(work.clientId);
+    }
 }
 
 driver::FunctionReport
-Server::validateJob(const JobWork &work)
+Server::validateJob(const JobWork &work, unsigned deadlineMsCap)
 {
     driver::FunctionReport report;
     report.function = work.function;
@@ -158,7 +228,8 @@ Server::validateJob(const JobWork &work)
         return report;
     }
     try {
-        return pipelineFor(work.options).validateFunction(*module, *fn);
+        return pipelineFor(work.options)
+            .validateFunction(*module, *fn, deadlineMsCap);
     } catch (const support::Error &err) {
         report.outcome = driver::Outcome::Other;
         report.detail = std::string("daemon: ") + err.what();
@@ -185,6 +256,26 @@ Server::pipelineFor(const wire::JobOptionsFrame &frameOptions)
     exec.sandboxWorkers = options_.sandboxWorkers;
     exec.workerMemoryMb = options_.workerMemoryMb;
     exec.workerPath = options_.workerPath;
+    if (options_.auditRate > 0.0) {
+        exec.auditRate = options_.auditRate;
+        exec.auditSeed = options_.auditSeed;
+        exec.onAuditMismatch = [this](const std::string &key,
+                                      smt::SatResult stored,
+                                      smt::SatResult recheck) {
+            // A journal-preloaded verdict contradicted its re-check:
+            // tombstone it (so restarts never resurrect it) and count
+            // it; the caching layer already fell back to fresh solving
+            // for this query, so the served verdict stays identical to
+            // a daemonless run.
+            store_.quarantine(key);
+            ++auditMismatches_;
+            std::fprintf(stderr,
+                         "keqd: %s: stored=%s recheck=%s key=%.16s...\n",
+                         failureKindName(FailureKind::AuditMismatch),
+                         smt::satResultName(stored),
+                         smt::satResultName(recheck), key.c_str());
+        };
+    }
     auto pipeline =
         std::make_unique<driver::Pipeline>(options, std::move(exec));
     if (options_.sandbox) {
@@ -237,6 +328,42 @@ Server::sessionFor(uint64_t clientId)
             return session;
     }
     return nullptr;
+}
+
+void
+Server::beginDrain()
+{
+    bool expected = false;
+    if (!draining_.compare_exchange_strong(expected, true))
+        return;
+    // From here: acceptLoop closes new connections pre-handshake and
+    // Session::handleSubmit answers Busy, so the admitted-job set is
+    // frozen. Already-queued and in-flight jobs run to completion and
+    // their verdicts flow back normally; drained() turns true once the
+    // last one has replied.
+}
+
+bool
+Server::drained() const
+{
+    if (!draining_.load())
+        return false;
+    return queue_.queued() == 0 && running_.load() == 0;
+}
+
+void
+Server::scrubAndCompactStore()
+{
+    size_t rejected = store_.scrub();
+    store_.compact();
+    VerdictStore::Stats stats = store_.stats();
+    std::fprintf(stderr,
+                 "keqd: scrub rejected %llu; store: %llu entries, "
+                 "%llu bytes, generation %llu\n",
+                 static_cast<unsigned long long>(rejected),
+                 static_cast<unsigned long long>(stats.entries),
+                 static_cast<unsigned long long>(stats.bytes),
+                 static_cast<unsigned long long>(stats.generation));
 }
 
 void
@@ -305,6 +432,9 @@ Server::stop()
     }
     pipelines_.clear();
     modules_.clear();
+    // Every verdict journaled during this run is on disk before the
+    // daemon exits, whatever the configured fsync cadence was.
+    store_.sync();
 }
 
 smt::wire::JobStatusFrame
@@ -316,6 +446,13 @@ Server::statusFrame() const
     frame.completedJobs = completed_.load();
     frame.storeEntries = store_.size();
     frame.busyRejects = busyRejects_.load();
+    VerdictStore::Stats storeStats = store_.stats();
+    frame.storeBytes = storeStats.bytes;
+    frame.storeEvictions = storeStats.evictions;
+    frame.storeQuarantined = storeStats.quarantined;
+    frame.auditMismatches = auditMismatches_.load();
+    frame.quotaRejects = quotaRejects_.load();
+    frame.draining = draining_.load() ? 1 : 0;
     uint64_t active = 0;
     {
         std::lock_guard<std::mutex> lock(sessionsMutex_);
@@ -336,6 +473,9 @@ Server::stats() const
     stats.completed = completed_.load();
     stats.busyRejects = busyRejects_.load();
     stats.droppedJobs = droppedJobs_.load();
+    stats.quotaRejects = quotaRejects_.load();
+    stats.expiredJobs = expiredJobs_.load();
+    stats.auditMismatches = auditMismatches_.load();
     return stats;
 }
 

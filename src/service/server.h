@@ -58,6 +58,37 @@ struct ServerOptions
     /** Verdict-store journal; empty = no cross-restart persistence. */
     std::string verdictJournalPath;
     support::FsyncPolicy journalFsync = support::FsyncPolicy::Off;
+    /** Verdict-store byte cap (LRU eviction); 0 = unbounded. */
+    uint64_t verdictStoreMaxBytes = 0;
+    /** Store auto-compaction garbage-ratio threshold (<=0 disables). */
+    double storeCompactGarbageRatio = 0.5;
+    /** Minimum journal records before auto-compaction bothers. */
+    uint64_t storeCompactMinRecords = 1024;
+    /**
+     * Trust-but-verify sample of warm (journal-preloaded) verdict
+     * hits: each sampled hit is independently re-checked before being
+     * served, and a contradiction quarantines the entry (tombstoned in
+     * the journal) and re-solves fresh. 0 = off, 1 = audit every
+     * unaudited hit once.
+     */
+    double auditRate = 0.0;
+    uint64_t auditSeed = 0;
+    /**
+     * Per-job wall deadline in ms, counted from admission. Time spent
+     * queued eats the budget; the remainder caps GuardedSolver's
+     * watchdog, so a slow client cannot pin a worker indefinitely.
+     * 0 = none.
+     */
+    unsigned jobDeadlineMs = 0;
+    /** Max *queued* jobs per client before Busy (0 = no extra cap). */
+    unsigned maxQueuedPerClient = 0;
+    /**
+     * Token-bucket admission rate: sustained submits/sec per client
+     * (0 = unlimited). Bursts up to clientBurst are admitted at full
+     * speed; beyond that, submits get typed Busy replies.
+     */
+    double clientRatePerSec = 0.0;
+    unsigned clientBurst = 64;
     /** Shared query-cache budget (same semantics as keqc). */
     size_t cacheMemoryMb = 512;
     size_t cacheShardCapacity = 1 << 16;
@@ -78,6 +109,9 @@ struct ServerStats
     uint64_t completed = 0;
     uint64_t busyRejects = 0;
     uint64_t droppedJobs = 0;
+    uint64_t quotaRejects = 0;  ///< Busy replies from quota/queue caps
+    uint64_t expiredJobs = 0;   ///< deadlines that expired in queue
+    uint64_t auditMismatches = 0; ///< quarantined + re-solved verdicts
 };
 
 class Server
@@ -99,6 +133,25 @@ class Server
     /** Asks the daemon to stop (Shutdown frame, SIGTERM). Unblocks
      *  wait(); actual teardown happens in stop(). */
     void requestShutdown();
+
+    /**
+     * Graceful drain (SIGTERM): stop accepting connections and new
+     * submissions (clients get Busy and degrade to local solving),
+     * finish every admitted job, then flush the journal. Poll
+     * drained() to learn when teardown via stop() is lossless.
+     * Idempotent.
+     */
+    void beginDrain();
+    bool draining() const { return draining_.load(); }
+    /** True once every admitted job has executed and replied. */
+    bool drained() const;
+
+    /**
+     * SIGHUP maintenance: integrity-scrub the verdict store and
+     * compact its journal. Safe while serving (store operations
+     * serialize internally).
+     */
+    void scrubAndCompactStore();
 
     /** Blocks until requestShutdown is called. */
     void wait();
@@ -129,7 +182,8 @@ class Server
     /** Pool task: pop one job fairly and execute it. */
     void runOneJob();
     void executeJob(const JobWork &work);
-    driver::FunctionReport validateJob(const JobWork &work);
+    driver::FunctionReport validateJob(const JobWork &work,
+                                       unsigned deadlineMsCap);
     driver::Pipeline &pipelineFor(const smt::wire::JobOptionsFrame &o);
     std::shared_ptr<const llvmir::Module>
     moduleFor(const std::string &text, std::string &error);
@@ -148,6 +202,7 @@ class Server
     FairQueue queue_;
     std::thread acceptThread_;
     std::atomic<bool> stopping_{false};
+    std::atomic<bool> draining_{false};
     bool started_ = false;
     bool stopped_ = false;
 
@@ -175,6 +230,9 @@ class Server
     std::atomic<uint64_t> busyRejects_{0};
     std::atomic<uint64_t> droppedJobs_{0};
     std::atomic<uint64_t> running_{0};
+    std::atomic<uint64_t> quotaRejects_{0};
+    std::atomic<uint64_t> expiredJobs_{0};
+    std::atomic<uint64_t> auditMismatches_{0};
 };
 
 } // namespace keq::service

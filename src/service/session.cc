@@ -1,5 +1,7 @@
 #include "src/service/session.h"
 
+#include <algorithm>
+
 #include <unistd.h>
 
 #include "src/service/server.h"
@@ -17,7 +19,9 @@ constexpr unsigned kReadTickMs = 200;
 } // namespace
 
 Session::Session(Server &server, uint64_t clientId, WireChannel channel)
-    : server_(server), clientId_(clientId), channel_(std::move(channel))
+    : server_(server), clientId_(clientId), channel_(std::move(channel)),
+      rateTokens_(server.options().clientBurst),
+      rateRefillAt_(std::chrono::steady_clock::now())
 {}
 
 Session::~Session() { join(); }
@@ -106,6 +110,34 @@ Session::handshake()
 }
 
 void
+Session::sendBusy(uint64_t jobId)
+{
+    wire::BusyFrame busy;
+    busy.jobId = jobId;
+    busy.inFlightLimit = server_.options().maxInFlightPerClient;
+    sendLocked(wire::encodeBusy(busy));
+}
+
+bool
+Session::takeRateToken()
+{
+    double rate = server_.options().clientRatePerSec;
+    if (rate <= 0.0)
+        return true;
+    double burst = std::max(1.0,
+                            double(server_.options().clientBurst));
+    auto now = std::chrono::steady_clock::now();
+    double elapsed =
+        std::chrono::duration<double>(now - rateRefillAt_).count();
+    rateRefillAt_ = now;
+    rateTokens_ = std::min(burst, rateTokens_ + elapsed * rate);
+    if (rateTokens_ < 1.0)
+        return false;
+    rateTokens_ -= 1.0;
+    return true;
+}
+
+void
 Session::handleSubmit(const std::string &body)
 {
     wire::SubmitJobFrame job;
@@ -114,16 +146,33 @@ Session::handleSubmit(const std::string &body)
         sendLocked(wire::encodeError("bad SubmitJob: " + error));
         return;
     }
-    unsigned limit = server_.options().maxInFlightPerClient;
-    // Admission control. The increment is done optimistically by the
-    // only thread that ever increments (this reader), so the cap
-    // cannot be raced past.
-    if (limit > 0 && inFlight_.load() >= limit) {
-        wire::BusyFrame busy;
-        busy.jobId = job.jobId;
-        busy.inFlightLimit = limit;
+    // Admission control, layered: every reject is a typed Busy, which
+    // the client answers by backing off or degrading to local solving
+    // — never a dropped frame or an unbounded queue.
+    if (server_.draining()) {
+        // The admitted-job set is frozen during drain.
         ++server_.busyRejects_;
-        sendLocked(wire::encodeBusy(busy));
+        sendBusy(job.jobId);
+        return;
+    }
+    unsigned limit = server_.options().maxInFlightPerClient;
+    // The increment is done optimistically by the only thread that
+    // ever increments (this reader), so the cap cannot be raced past.
+    if (limit > 0 && inFlight_.load() >= limit) {
+        ++server_.busyRejects_;
+        sendBusy(job.jobId);
+        return;
+    }
+    unsigned queuedCap = server_.options().maxQueuedPerClient;
+    if (queuedCap > 0 &&
+        server_.queue_.queuedFor(clientId_) >= queuedCap) {
+        ++server_.quotaRejects_;
+        sendBusy(job.jobId);
+        return;
+    }
+    if (!takeRateToken()) {
+        ++server_.quotaRejects_;
+        sendBusy(job.jobId);
         return;
     }
     ++inFlight_;
@@ -133,6 +182,7 @@ Session::handleSubmit(const std::string &body)
     work.function = std::move(job.function);
     work.moduleText = std::move(job.moduleText);
     work.options = job.options;
+    work.admittedAt = std::chrono::steady_clock::now();
     server_.admitJob(std::move(work));
 }
 

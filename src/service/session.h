@@ -27,6 +27,7 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -77,6 +78,10 @@ class Session
     void handleSubmit(const std::string &body);
     void handleStatus();
     bool sendLocked(const std::string &frame);
+    void sendBusy(uint64_t jobId);
+    /** Token-bucket check (clientRatePerSec/clientBurst); reader-thread
+     *  only, so the bucket needs no lock. */
+    bool takeRateToken();
 
     Server &server_;
     uint64_t clientId_;
@@ -85,6 +90,8 @@ class Session
     std::thread thread_;
     std::atomic<unsigned> inFlight_{0};
     std::atomic<bool> done_{false};
+    double rateTokens_ = 0.0;
+    std::chrono::steady_clock::time_point rateRefillAt_{};
 };
 
 } // namespace keq::service

@@ -174,7 +174,7 @@ QueryCache::shardFor(const std::string &key)
 }
 
 std::optional<SatResult>
-QueryCache::lookup(const std::string &key)
+QueryCache::lookup(const std::string &key, bool *unaudited)
 {
     Shard &shard = shardFor(key);
     std::unique_lock<std::mutex> lock(shard.mutex);
@@ -187,11 +187,26 @@ QueryCache::lookup(const std::string &key)
     // Touch: a hit entry moves to the LRU front. Splicing never
     // invalidates list iterators, so the map stays consistent.
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return it->second->second;
+    if (unaudited != nullptr)
+        *unaudited = it->second->unaudited;
+    return it->second->result;
 }
 
 size_t
 QueryCache::insert(const std::string &key, SatResult result)
+{
+    return insertImpl(key, result, /*preloaded=*/false);
+}
+
+size_t
+QueryCache::insertPreloaded(const std::string &key, SatResult result)
+{
+    return insertImpl(key, result, /*preloaded=*/true);
+}
+
+size_t
+QueryCache::insertImpl(const std::string &key, SatResult result,
+                       bool preloaded)
 {
     KEQ_ASSERT(result != SatResult::Unknown,
                "QueryCache: Unknown verdicts must not be cached");
@@ -203,15 +218,20 @@ QueryCache::insert(const std::string &key, SatResult result)
         auto it = shard.map.find(std::string_view(key));
         if (it != shard.map.end()) {
             // Deterministic queries cannot change their verdict; just
-            // touch.
+            // touch. A locally-computed verdict also supersedes the
+            // unaudited flag: we just proved the entry ourselves.
+            if (!preloaded)
+                it->second->unaudited = false;
             shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
             return 0;
         }
         fresh = true;
-        shard.lru.emplace_front(key, result);
-        shard.map.emplace(std::string_view(shard.lru.front().first),
+        shard.lru.push_front(Entry{key, result, preloaded});
+        shard.map.emplace(std::string_view(shard.lru.front().key),
                           shard.lru.begin());
         shard.bytes += entryBytes(key);
+        if (preloaded)
+            ++shard.preloaded;
 
         // Evict cold entries until both bounds hold again, always
         // keeping the entry just inserted.
@@ -220,8 +240,8 @@ QueryCache::insert(const std::string &key, SatResult result)
                 (maxBytesPerShard_ > 0 &&
                  shard.bytes > maxBytesPerShard_))) {
             const auto &victim = shard.lru.back();
-            shard.bytes -= entryBytes(victim.first);
-            shard.map.erase(std::string_view(victim.first));
+            shard.bytes -= entryBytes(victim.key);
+            shard.map.erase(std::string_view(victim.key));
             shard.lru.pop_back();
             ++shard.evictions;
             ++evicted;
@@ -229,10 +249,39 @@ QueryCache::insert(const std::string &key, SatResult result)
     }
     // Fire outside the shard lock: the listener may do I/O (the verdict
     // store journals), and must never deadlock against a concurrent
-    // lookup on this shard.
-    if (fresh && insertListener_)
+    // lookup on this shard. Preloaded entries never fire — the journal
+    // is where they came from.
+    if (fresh && !preloaded && insertListener_)
         insertListener_(key, result);
     return evicted;
+}
+
+void
+QueryCache::markAudited(const std::string &key)
+{
+    Shard &shard = shardFor(key);
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(std::string_view(key));
+    if (it == shard.map.end())
+        return; // evicted between lookup and audit; nothing to mark
+    it->second->unaudited = false;
+    ++shard.auditPasses;
+}
+
+bool
+QueryCache::quarantine(const std::string &key)
+{
+    Shard &shard = shardFor(key);
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    ++shard.auditMismatches;
+    auto it = shard.map.find(std::string_view(key));
+    if (it == shard.map.end())
+        return false;
+    shard.bytes -= entryBytes(it->second->key);
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+    ++shard.quarantined;
+    return true;
 }
 
 void
@@ -279,6 +328,10 @@ QueryCache::stats() const
         stats.evictions += shard.evictions;
         stats.entries += shard.map.size();
         stats.bytes += shard.bytes;
+        stats.preloaded += shard.preloaded;
+        stats.auditPasses += shard.auditPasses;
+        stats.auditMismatches += shard.auditMismatches;
+        stats.quarantined += shard.quarantined;
     }
     std::unique_lock<std::mutex> lock(modelMutex_);
     stats.modelHits = modelHits_;
@@ -296,6 +349,10 @@ QueryCache::clear()
         shard.hits = 0;
         shard.misses = 0;
         shard.evictions = 0;
+        shard.preloaded = 0;
+        shard.auditPasses = 0;
+        shard.auditMismatches = 0;
+        shard.quarantined = 0;
     }
     std::unique_lock<std::mutex> lock(modelMutex_);
     models_.clear();
@@ -426,6 +483,61 @@ CachingSolver::tryModelReuse(const std::vector<Term> &assertions,
     return std::nullopt;
 }
 
+bool
+CachingSolver::shouldAudit(const std::string &key) const
+{
+    if (options_.auditRate <= 0.0)
+        return false;
+    if (options_.auditRate >= 1.0)
+        return true;
+    // Deterministic by key (salted): the same entry is either in the
+    // sample or not for the whole daemon lifetime, so audit coverage is
+    // reproducible and independent of request interleaving. splitmix64
+    // decorrelates the hash from the cache's own shard selector.
+    uint64_t x = static_cast<uint64_t>(std::hash<std::string>{}(key)) ^
+                 options_.auditSeed;
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    double unit = static_cast<double>(x >> 11) * 0x1.0p-53;
+    return unit < options_.auditRate;
+}
+
+CachingSolver::AuditOutcome
+CachingSolver::auditCachedVerdict(const std::vector<Term> &assertions,
+                                  const std::string &key,
+                                  SatResult stored)
+{
+    // Cheap first: a stored Sat confirmed by model replay is a concrete
+    // evaluation *proof* — no solver involved. Replay failing proves
+    // nothing (the probes just missed), so fall through to a pristine
+    // recheck rather than calling it a mismatch.
+    if (stored == SatResult::Sat &&
+        tryModelReuse(assertions, key).has_value())
+        return AuditOutcome::Pass;
+
+    if (!options_.auditSolverFactory)
+        return AuditOutcome::Inconclusive;
+    std::unique_ptr<Solver> pristine =
+        options_.auditSolverFactory(factory_);
+    if (pristine == nullptr)
+        return AuditOutcome::Inconclusive;
+    SatResult recheck = pristine->checkSat(assertions);
+    if (recheck == SatResult::Unknown)
+        return AuditOutcome::Inconclusive;
+    if (recheck == stored)
+        return AuditOutcome::Pass;
+
+    // Independent contradiction: the journal entry is rotten (or one
+    // of the solvers is wrong — either way it cannot be served).
+    // Quarantine under the cache lock, then notify outside it.
+    cache_->quarantine(key);
+    if (options_.onAuditMismatch)
+        options_.onAuditMismatch(key, stored, recheck);
+    return AuditOutcome::Mismatch;
+}
+
 std::string
 CachingSolver::normalizedKey(const std::vector<Term> &assertions)
 {
@@ -524,7 +636,27 @@ CachingSolver::checkSat(const std::vector<Term> &assertions)
 
     // Stages 3-4 — verdict store and model reuse on the reduced query.
     std::string key = normalizedKey(working);
-    if (std::optional<SatResult> hit = cache_->lookup(key)) {
+    bool unaudited = false;
+    std::optional<SatResult> hit = cache_->lookup(key, &unaudited);
+    if (hit.has_value() && unaudited && shouldAudit(key)) {
+        switch (auditCachedVerdict(working, key, *hit)) {
+        case AuditOutcome::Pass:
+            cache_->markAudited(key);
+            break;
+        case AuditOutcome::Inconclusive:
+            // Recheck budget ran out; serve the stored verdict and
+            // leave the flag set for a later, luckier sample.
+            break;
+        case AuditOutcome::Mismatch:
+            // auditCachedVerdict already quarantined the entry; forget
+            // the hit so the query takes the normal miss path below and
+            // the served verdict is exactly what a daemonless run
+            // computes.
+            hit.reset();
+            break;
+        }
+    }
+    if (hit.has_value()) {
         ++stats_.cacheHits;
         countVerdict(*hit);
         return *hit;

@@ -54,6 +54,15 @@ struct CacheStats
     uint64_t entries = 0;
     uint64_t bytes = 0;     ///< accounted size of resident entries
 
+    // Trust-but-verify accounting. Preloaded entries arrive from a
+    // persisted journal and are "unaudited" until an independent
+    // recheck confirms them; a mismatch quarantines the entry (it is
+    // removed and the query re-solved fresh).
+    uint64_t preloaded = 0;       ///< entries inserted as unaudited
+    uint64_t auditPasses = 0;     ///< audits that confirmed the verdict
+    uint64_t auditMismatches = 0; ///< audits that contradicted it
+    uint64_t quarantined = 0;     ///< entries removed by quarantine()
+
     /** Fraction of lookups that avoided the backend entirely. */
     double
     hitRate() const
@@ -102,13 +111,37 @@ class QueryCache
     explicit QueryCache(size_t max_entries_per_shard = 1 << 16,
                         size_t max_bytes = kDefaultMaxBytes);
 
-    std::optional<SatResult> lookup(const std::string &key);
+    /**
+     * @param unaudited When non-null, set to whether the entry was
+     *                  preloaded from a persisted journal and has not
+     *                  yet survived a trust-but-verify audit.
+     */
+    std::optional<SatResult> lookup(const std::string &key,
+                                    bool *unaudited = nullptr);
 
     /**
      * Stores a definitive verdict; Unknown is ignored by contract.
      * @return Number of LRU entries evicted to make room.
      */
     size_t insert(const std::string &key, SatResult result);
+
+    /**
+     * Like insert(), but marks the entry unaudited and never fires the
+     * insert listener: the caller (the daemon's verdict store) already
+     * has the record, and the verdict is a month-old *claim* until an
+     * audit replays it. A key that is already resident is left as-is.
+     */
+    size_t insertPreloaded(const std::string &key, SatResult result);
+
+    /** Clears the unaudited flag after a recheck confirmed the entry. */
+    void markAudited(const std::string &key);
+
+    /**
+     * Removes an entry whose audit recheck contradicted it. The next
+     * lookup misses and the query is solved fresh.
+     * @return true when the key was resident.
+     */
+    bool quarantine(const std::string &key);
 
     /**
      * Model pool for Sat-by-evaluation reuse: retains the most recent
@@ -141,20 +174,30 @@ class QueryCache
     static constexpr size_t kShards = 16;
     static constexpr size_t kMaxModels = 64;
 
+    struct Entry
+    {
+        std::string key;
+        SatResult result;
+        /** Preloaded from a journal and not yet audit-confirmed. */
+        bool unaudited = false;
+    };
+
     struct Shard
     {
         mutable std::mutex mutex;
         /** LRU order, front = most recently used; owns the keys. */
-        std::list<std::pair<std::string, SatResult>> lru;
+        std::list<Entry> lru;
         /** Views into lru's keys; list nodes never move. */
-        std::unordered_map<std::string_view,
-                           std::list<std::pair<std::string,
-                                               SatResult>>::iterator>
+        std::unordered_map<std::string_view, std::list<Entry>::iterator>
             map;
         uint64_t bytes = 0;
         uint64_t hits = 0;
         uint64_t misses = 0;
         uint64_t evictions = 0;
+        uint64_t preloaded = 0;
+        uint64_t auditPasses = 0;
+        uint64_t auditMismatches = 0;
+        uint64_t quarantined = 0;
     };
 
     static size_t entryBytes(const std::string &key)
@@ -163,6 +206,8 @@ class QueryCache
     }
 
     Shard &shardFor(const std::string &key);
+    size_t insertImpl(const std::string &key, SatResult result,
+                      bool preloaded);
 
     size_t maxPerShard_;
     size_t maxBytesPerShard_;
@@ -222,6 +267,42 @@ struct CachingSolverOptions
     bool simplify = true;
     /** Run the cone-of-influence Slicer on the simplified set. */
     bool slice = true;
+
+    // --- Trust-but-verify auditing of warm (preloaded) hits. --------
+    //
+    // A verdict replayed from a month-old journal is a cached *claim*.
+    // With auditRate > 0, a deterministic sample of unaudited hits is
+    // independently re-checked before being served: a stored Sat by
+    // Evaluator model replay (cheap, a concrete-evaluation *proof*),
+    // falling back to a pristine solver; a stored Unsat by a pristine
+    // solver recheck. A confirming recheck marks the entry audited; a
+    // contradicting one quarantines it and the query falls through to
+    // the normal miss path (model reuse, then backend) — so the served
+    // verdict is byte-identical to what a daemonless run computes. An
+    // Unknown recheck is inconclusive: the stored verdict is served
+    // and the entry stays unaudited for a later, luckier sample.
+
+    /** Fraction of unaudited hits to re-check (0 = off, 1 = all). */
+    double auditRate = 0.0;
+    /** Salt for the deterministic per-key sampling decision. */
+    uint64_t auditSeed = 0;
+    /**
+     * Builds the pristine re-check solver (typically a fresh
+     * Z3Solver). Required for auditing stored-Unsat entries and for
+     * Sat entries model replay fails to confirm; when null those
+     * audits are inconclusive.
+     */
+    std::function<std::unique_ptr<Solver>(TermFactory &)>
+        auditSolverFactory;
+    /**
+     * Invoked (outside any cache lock) when an audit contradicts a
+     * stored verdict, after the entry is quarantined and before the
+     * fresh solve. The daemon hooks this to tombstone the journal
+     * record and log a typed FailureKind::AuditMismatch.
+     */
+    std::function<void(const std::string &key, SatResult stored,
+                       SatResult recheck)>
+        onAuditMismatch;
 };
 
 class CachingSolver : public Solver
@@ -277,6 +358,20 @@ class CachingSolver : public Solver
     std::optional<SatResult>
     tryModelReuse(const std::vector<Term> &assertions,
                   const std::string &key);
+
+    /** Deterministic per-key audit sampling decision. */
+    bool shouldAudit(const std::string &key) const;
+
+    /** What an audit recheck concluded about a stored verdict. */
+    enum class AuditOutcome { Pass, Mismatch, Inconclusive };
+
+    /**
+     * Independently re-checks @p stored for @p assertions: Sat via
+     * model replay then pristine solver, Unsat via pristine solver.
+     */
+    AuditOutcome auditCachedVerdict(const std::vector<Term> &assertions,
+                                    const std::string &key,
+                                    SatResult stored);
 
     /** Tallies a returned verdict into sat/unsat/unknown. */
     void countVerdict(SatResult result);

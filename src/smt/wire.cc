@@ -801,6 +801,12 @@ encodeJobStatus(const JobStatusFrame &frame)
     enc.u64(frame.storeEntries);
     enc.u64(frame.activeClients);
     enc.u64(frame.busyRejects);
+    enc.u64(frame.storeBytes);
+    enc.u64(frame.storeEvictions);
+    enc.u64(frame.storeQuarantined);
+    enc.u64(frame.auditMismatches);
+    enc.u64(frame.quotaRejects);
+    enc.u8(frame.draining);
     return frameBytes(FrameType::JobStatus, enc.take());
 }
 
@@ -965,7 +971,10 @@ decodeJobStatus(const std::string &body, JobStatusFrame &out,
     Decoder dec(body);
     dec.u64(out.queuedJobs) && dec.u64(out.runningJobs) &&
         dec.u64(out.completedJobs) && dec.u64(out.storeEntries) &&
-        dec.u64(out.activeClients) && dec.u64(out.busyRejects);
+        dec.u64(out.activeClients) && dec.u64(out.busyRejects) &&
+        dec.u64(out.storeBytes) && dec.u64(out.storeEvictions) &&
+        dec.u64(out.storeQuarantined) && dec.u64(out.auditMismatches) &&
+        dec.u64(out.quotaRejects) && dec.u8(out.draining);
     return finish(dec, error);
 }
 

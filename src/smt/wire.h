@@ -55,8 +55,11 @@ namespace wire {
  * v3: validation-service frames (ClientHello .. Busy) spoken between
  * keqc and the keqd daemon, with explicit version negotiation at
  * connect.
+ * v4: JobStatus carries the month-scale operability counters (store
+ * bytes/evictions/quarantines, audit mismatches, quota rejects) and
+ * the draining flag.
  */
-constexpr uint32_t kProtocolVersion = 3;
+constexpr uint32_t kProtocolVersion = 4;
 
 /**
  * First four bytes of every ClientHello ("KEQD" little-endian). A
@@ -300,6 +303,13 @@ struct JobStatusFrame
     uint64_t storeEntries = 0; ///< cross-run verdict store size
     uint64_t activeClients = 0;
     uint64_t busyRejects = 0;
+    // v4: month-scale operability counters.
+    uint64_t storeBytes = 0;      ///< accounted verdict-store bytes
+    uint64_t storeEvictions = 0;  ///< entries evicted by the byte cap
+    uint64_t storeQuarantined = 0;///< entries tombstoned by audits
+    uint64_t auditMismatches = 0; ///< trust-but-verify contradictions
+    uint64_t quotaRejects = 0;    ///< Busy replies from quota/queue caps
+    uint8_t draining = 0;         ///< 1 once SIGTERM drain began
 };
 
 /**

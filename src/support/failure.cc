@@ -28,6 +28,8 @@ failureKindName(FailureKind kind)
         return "worker-oom";
     case FailureKind::PortfolioDisagreement:
         return "portfolio-disagreement";
+    case FailureKind::AuditMismatch:
+        return "audit-mismatch";
     }
     KEQ_ASSERT(false, "bad FailureKind");
     return "?";
@@ -42,6 +44,7 @@ failureKindFromName(const char *name, FailureKind &out)
         FailureKind::SolverCrash,   FailureKind::Cancelled,
         FailureKind::WorkerKilled,  FailureKind::WorkerOom,
         FailureKind::PortfolioDisagreement,
+        FailureKind::AuditMismatch,
     };
     for (FailureKind kind : kAll) {
         if (std::strcmp(name, failureKindName(kind)) == 0) {

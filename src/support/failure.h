@@ -45,6 +45,15 @@ enum class FailureKind
     // portfolio refuses to pick a side and reports Unknown with this
     // classification; fuzz campaigns surface it as a soundness bug.
     PortfolioDisagreement, ///< lanes disagreed on a definite verdict
+
+    // Trust-but-verify failure (smt::CachingSolver audits). A warm
+    // cached verdict — typically preloaded from a month-old verdict
+    // journal — was independently re-checked (Sat via model replay,
+    // Unsat via a pristine solver) and the recheck *contradicted* it.
+    // The entry is quarantined and the query re-solved fresh; this
+    // kind exists so operators can tell a rotten cache entry from a
+    // solver bug in the daemon's logs.
+    AuditMismatch, ///< cached verdict contradicted by an audit recheck
 };
 
 /** Stable lower-case name, e.g. for --stats and checkpoint records. */

@@ -228,7 +228,8 @@ JournalWriter::unsyncedRecords() const
 }
 
 JournalLoad
-loadJournal(const std::string &path, const std::string &kind)
+loadJournal(const std::string &path, const std::string &kind,
+            JournalScan scan)
 {
     JournalLoad result;
     std::ifstream file(path);
@@ -257,8 +258,10 @@ loadJournal(const std::string &path, const std::string &kind)
                      fnv1a64(payload) == expected;
         }
         if (!intact) {
-            // Torn or corrupt: drop this record and the untrusted tail.
             ++result.truncatedRecords;
+            if (scan == JournalScan::SkipCorruptRecords)
+                continue; // this record failed alone; the rest stand
+            // Torn or corrupt: drop this record and the untrusted tail.
             while (std::getline(file, line))
                 ++result.truncatedRecords;
             break;

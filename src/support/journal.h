@@ -127,11 +127,29 @@ class JournalWriter
 };
 
 /**
+ * What a corrupt record in the middle of a journal means for the rest
+ * of the scan.
+ *
+ *  - TruncateAtCorruption: the only corruption a checkpoint journal can
+ *    legitimately contain is a torn tail, so the first bad record marks
+ *    the start of the untrusted region — drop it and everything after.
+ *  - SkipCorruptRecords: the file may have rotted in place (bit flips
+ *    on month-old storage), so each record stands on its own checksum —
+ *    skip bad lines, keep scanning, and let the caller quarantine or
+ *    compact. A torn tail still loses only the torn record itself.
+ */
+enum class JournalScan {
+    TruncateAtCorruption,
+    SkipCorruptRecords,
+};
+
+/**
  * Reads every intact record of @p path. Missing file -> empty result
  * with ok=true (a fresh campaign). Wrong header kind -> ok=false with a
  * diagnostic in error (resuming against the wrong journal is a user
- * error, not a torn write). Corrupt/torn records terminate the scan but
- * keep everything before them; truncatedRecords counts what was dropped.
+ * error, not a torn write). Corrupt/torn records either terminate the
+ * scan or are skipped per @p scan; truncatedRecords counts what was
+ * dropped either way.
  */
 struct JournalLoad
 {
@@ -141,7 +159,9 @@ struct JournalLoad
     size_t truncatedRecords = 0;
 };
 
-JournalLoad loadJournal(const std::string &path, const std::string &kind);
+JournalLoad
+loadJournal(const std::string &path, const std::string &kind,
+            JournalScan scan = JournalScan::TruncateAtCorruption);
 
 } // namespace keq::support
 

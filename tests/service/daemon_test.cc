@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -16,8 +17,10 @@
 #include "src/driver/pipeline.h"
 #include "src/llvmir/parser.h"
 #include "src/service/client.h"
+#include "src/service/job_options.h"
 #include "src/service/server.h"
 #include "src/smt/wire.h"
+#include "src/support/journal.h"
 
 namespace keq::service {
 namespace {
@@ -71,6 +74,21 @@ localSummary(const std::string &source,
     driver::Pipeline pipeline(options);
     llvmir::Module module = llvmir::parseModule(source);
     return pipeline.run(module).canonicalSummary();
+}
+
+/** Polls @p predicate every few ms until true or @p budgetMs expires. */
+template <typename Predicate>
+bool
+eventually(Predicate predicate, unsigned budgetMs = 10000)
+{
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(budgetMs);
+    while (!predicate()) {
+        if (std::chrono::steady_clock::now() >= deadline)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return true;
 }
 
 /** Runs every defined function of @p source through the daemon. */
@@ -377,6 +395,338 @@ TEST(DaemonTest, FullConformanceCorpusMatchesLocal)
             << "corpus file " << corpusCase.name
             << " diverged through the daemon";
     }
+    server.stop();
+}
+
+/**
+ * Graceful drain is lossless for *admitted* jobs: every job the daemon
+ * accepted before beginDrain() gets a real verdict (parity with local),
+ * nothing is dropped, and the daemon reports drained once the queue and
+ * workers are idle. New connections are refused while draining.
+ */
+TEST(DaemonTest, DrainLosesZeroAcceptedJobs)
+{
+    std::string source = testModule(6);
+    std::vector<std::string> functions = definedFunctions(source);
+    driver::PipelineOptions poptions;
+
+    ServerOptions options;
+    options.socketPath = socketPath("drain");
+    options.jobs = 1; // serialize, so most jobs still queue at drain time
+    Server server(options);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    DaemonClientOptions copts;
+    copts.socketPath = options.socketPath;
+    copts.submitWindow = static_cast<unsigned>(functions.size());
+    DaemonClient client(copts);
+    ASSERT_TRUE(client.connect(error)) << error;
+
+    std::vector<driver::FunctionReport> reports;
+    std::vector<bool> decided;
+    std::string runError;
+    bool ok = false;
+    std::thread run([&] {
+        ok = client.validateFunctions(source, functions, poptions,
+                                      reports, decided, runError);
+    });
+    // Wait for every submission to be admitted, then drain mid-flight.
+    ASSERT_TRUE(eventually([&] {
+        return server.stats().submitted >= functions.size();
+    }));
+    server.beginDrain();
+    run.join();
+
+    EXPECT_TRUE(ok) << runError;
+    for (size_t i = 0; i < decided.size(); ++i)
+        EXPECT_TRUE(decided[i]) << "function " << i << " lost in drain";
+    EXPECT_TRUE(eventually([&] { return server.drained(); }))
+        << "daemon never reported drained";
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.completed, functions.size());
+    EXPECT_EQ(stats.droppedJobs, 0u);
+    EXPECT_EQ(canonicalSummary(reports), localSummary(source, poptions));
+
+    // A draining daemon refuses new connections outright.
+    DaemonClient late(copts);
+    EXPECT_FALSE(late.connect(error));
+    server.stop();
+}
+
+/**
+ * A client already connected when the drain begins gets typed Busy on
+ * every submit; its circuit breaker trips after the configured all-Busy
+ * rounds and it degrades (Timeout-classified) with nothing decided —
+ * exactly what keqc needs to fall back to local solving.
+ */
+TEST(DaemonTest, DrainingDaemonBouncesSubmitsUntilBreakerTrips)
+{
+    ServerOptions options;
+    options.socketPath = socketPath("drainbusy");
+    Server server(options);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    DaemonClientOptions copts;
+    copts.socketPath = options.socketPath;
+    copts.busyBackoffInitialMs = 1;
+    copts.busyBackoffMaxMs = 4;
+    copts.busyBreakerRounds = 3;
+    DaemonClient client(copts);
+    ASSERT_TRUE(client.connect(error)) << error;
+    server.beginDrain();
+
+    std::string source = testModule(2);
+    std::vector<driver::FunctionReport> reports;
+    std::vector<bool> decided;
+    EXPECT_FALSE(client.validateFunctions(source,
+                                          definedFunctions(source),
+                                          driver::PipelineOptions{},
+                                          reports, decided, error));
+    EXPECT_TRUE(client.busyBreakerTripped()) << error;
+    EXPECT_EQ(client.failure(), FailureKind::Timeout);
+    for (size_t i = 0; i < decided.size(); ++i)
+        EXPECT_FALSE(decided[i]) << "function " << i;
+    EXPECT_GT(client.busyRetries(), 0u);
+    ServerStats stats = server.stats();
+    EXPECT_GT(stats.busyRejects, 0u);
+    EXPECT_EQ(stats.completed, 0u);
+    server.stop();
+}
+
+/**
+ * Per-client quotas (token-bucket rate + queued-jobs cap) throttle a
+ * bursty client with typed Busy replies, yet the client's backoff still
+ * decides every function with verdicts identical to a local run —
+ * quotas shape load, they never change answers.
+ */
+TEST(DaemonTest, AdmissionQuotasThrottleButStillDecideEverything)
+{
+    std::string source = testModule(6);
+    driver::PipelineOptions poptions;
+
+    ServerOptions options;
+    options.socketPath = socketPath("quota");
+    options.jobs = 2;
+    options.maxQueuedPerClient = 1;
+    options.clientRatePerSec = 50.0;
+    options.clientBurst = 1;
+    Server server(options);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    DaemonClientOptions copts;
+    copts.socketPath = options.socketPath;
+    copts.submitWindow = 8;
+    copts.busyBackoffInitialMs = 1;
+    copts.busyBreakerRounds = 0; // quota refill is progress; no breaker
+    DaemonClient client(copts);
+    ASSERT_TRUE(client.connect(error)) << error;
+
+    std::vector<driver::FunctionReport> reports =
+        daemonRun(client, source, poptions);
+    EXPECT_EQ(canonicalSummary(reports), localSummary(source, poptions));
+    ServerStats stats = server.stats();
+    EXPECT_GT(stats.quotaRejects, 0u)
+        << "burst never hit the token bucket or queue cap";
+    EXPECT_EQ(stats.completed, definedFunctions(source).size());
+    server.stop();
+}
+
+/**
+ * Job deadlines are counted from admission: with a 1 ms budget and one
+ * worker, jobs stuck behind the head of the queue expire *in the queue*
+ * and come back as typed Timeout verdicts without burning solver time.
+ * The client still gets a decision for every function.
+ */
+TEST(DaemonTest, JobDeadlinesExpireQueuedJobsToTimeout)
+{
+    std::string source = testModule(8);
+    std::vector<std::string> functions = definedFunctions(source);
+    driver::PipelineOptions poptions;
+
+    ServerOptions options;
+    options.socketPath = socketPath("deadline");
+    options.jobs = 1;
+    options.jobDeadlineMs = 1;
+    Server server(options);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    DaemonClientOptions copts;
+    copts.socketPath = options.socketPath;
+    copts.submitWindow = static_cast<unsigned>(functions.size());
+    DaemonClient client(copts);
+    ASSERT_TRUE(client.connect(error)) << error;
+
+    std::vector<driver::FunctionReport> reports;
+    std::vector<bool> decided;
+    ASSERT_TRUE(client.validateFunctions(source, functions, poptions,
+                                         reports, decided, error))
+        << error;
+    size_t timeouts = 0;
+    for (size_t i = 0; i < decided.size(); ++i) {
+        EXPECT_TRUE(decided[i]) << "function " << i << " undecided";
+        if (reports[i].outcome == driver::Outcome::Timeout)
+            ++timeouts;
+    }
+    ServerStats stats = server.stats();
+    EXPECT_GT(stats.expiredJobs, 0u);
+    EXPECT_GT(timeouts, 0u);
+    EXPECT_EQ(stats.completed, functions.size());
+    server.stop();
+}
+
+/**
+ * Trust-but-verify end to end: a journal record rewritten with a *lie*
+ * (verdict flipped, checksum recomputed — so the integrity scrub cannot
+ * catch it) is detected on its first warm hit under --audit-rate=1.0,
+ * quarantined in the store, and re-solved fresh. The warm run's
+ * verdicts are byte-identical to the honest cold run's.
+ */
+TEST(DaemonTest, PoisonedJournalVerdictIsAuditedQuarantinedAndResolved)
+{
+    std::string source = testModule(4);
+    driver::PipelineOptions poptions;
+    std::string journal =
+        (std::filesystem::temp_directory_path() /
+         ("keqd-poison-" + std::to_string(::getpid()) + ".journal"))
+            .string();
+    std::filesystem::remove(journal);
+
+    std::string coldSummary;
+    {
+        ServerOptions options;
+        options.socketPath = socketPath("audit-cold");
+        options.jobs = 2;
+        options.verdictJournalPath = journal;
+        Server server(options);
+        std::string error;
+        ASSERT_TRUE(server.start(error)) << error;
+        DaemonClientOptions copts;
+        copts.socketPath = options.socketPath;
+        DaemonClient client(copts);
+        ASSERT_TRUE(client.connect(error)) << error;
+        coldSummary = canonicalSummary(daemonRun(client, source, poptions));
+        server.stop();
+    }
+
+    // Flip the first stored verdict ('s' <-> 'u') and rewrite the
+    // journal; JournalWriter recomputes a valid line checksum, so the
+    // lie is indistinguishable from an honest record at scrub time.
+    support::JournalLoad load =
+        support::loadJournal(journal, VerdictStore::kKind);
+    ASSERT_TRUE(load.ok) << load.error;
+    ASSERT_FALSE(load.records.empty());
+    size_t flipped = 0;
+    for (std::string &record : load.records) {
+        if (flipped > 0 || record.empty() || record[0] != 'g')
+            continue;
+        size_t colon = record.find(':');
+        ASSERT_NE(colon, std::string::npos) << record;
+        ASSERT_LT(colon + 1, record.size());
+        char &verdict = record[colon + 1];
+        ASSERT_TRUE(verdict == 's' || verdict == 'u') << record;
+        verdict = verdict == 's' ? 'u' : 's';
+        ++flipped;
+    }
+    ASSERT_EQ(flipped, 1u);
+    std::filesystem::remove(journal);
+    {
+        support::JournalWriter writer(journal, VerdictStore::kKind);
+        for (const std::string &record : load.records)
+            writer.append(record);
+    }
+
+    {
+        ServerOptions options;
+        options.socketPath = socketPath("audit-warm");
+        options.jobs = 2;
+        options.verdictJournalPath = journal;
+        options.auditRate = 1.0;
+        Server server(options);
+        std::string error;
+        ASSERT_TRUE(server.start(error)) << error;
+        DaemonClientOptions copts;
+        copts.socketPath = options.socketPath;
+        DaemonClient client(copts);
+        ASSERT_TRUE(client.connect(error)) << error;
+        std::string warmSummary =
+            canonicalSummary(daemonRun(client, source, poptions));
+        EXPECT_EQ(warmSummary, coldSummary)
+            << "audited warm run diverged from the honest cold run";
+        EXPECT_GE(server.stats().auditMismatches, 1u)
+            << "the poisoned record was served without an audit";
+        EXPECT_GE(server.store().stats().quarantined, 1u);
+        server.stop();
+    }
+    std::filesystem::remove(journal);
+}
+
+/**
+ * A client that vanishes mid-run must not pin the daemon: its queued
+ * jobs are dropped unsolved (droppedJobs accounts for every admitted
+ * job that never completed) and the daemon keeps serving other clients.
+ */
+TEST(DaemonTest, DisconnectedClientsQueuedJobsAreDropped)
+{
+    std::string source = testModule(8);
+    std::vector<std::string> functions = definedFunctions(source);
+
+    ServerOptions options;
+    options.socketPath = socketPath("vanish");
+    options.jobs = 1;
+    Server server(options);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    // Raw wire client so we can hang up without a clean close.
+    int fd = -1;
+    ASSERT_TRUE(connectUnix(options.socketPath, 2000, fd, error))
+        << error;
+    {
+        WireChannel channel(fd);
+        ASSERT_TRUE(channel.sendFrame(
+            wire::encodeClientHello(wire::ClientHelloFrame{})));
+        std::string payload;
+        ASSERT_EQ(channel.recvFrame(payload, 5000),
+                  support::IoStatus::Ok);
+        wire::JobOptionsFrame jobOptions =
+            encodeJobOptions(driver::PipelineOptions{});
+        for (size_t i = 0; i < functions.size(); ++i) {
+            wire::SubmitJobFrame job;
+            job.jobId = static_cast<uint64_t>(i) + 1;
+            job.function = functions[i];
+            job.moduleText = source;
+            job.options = jobOptions;
+            ASSERT_TRUE(channel.sendFrame(wire::encodeSubmitJob(job)));
+        }
+        ASSERT_TRUE(eventually([&] {
+            return server.stats().submitted >= functions.size();
+        }));
+    } // hang up with jobs queued
+
+    // Every admitted job either completed (head of queue, mid-solve)
+    // or was dropped on disconnect; none may linger.
+    ASSERT_TRUE(eventually([&] {
+        ServerStats stats = server.stats();
+        return stats.completed + stats.droppedJobs >= functions.size();
+    }));
+    ServerStats stats = server.stats();
+    EXPECT_GT(stats.droppedJobs, 0u)
+        << "dead client's queued jobs were solved anyway";
+    EXPECT_EQ(stats.completed + stats.droppedJobs, functions.size());
+
+    // The daemon is still healthy for the next client.
+    DaemonClientOptions copts;
+    copts.socketPath = options.socketPath;
+    DaemonClient client(copts);
+    ASSERT_TRUE(client.connect(error)) << error;
+    driver::PipelineOptions poptions;
+    std::vector<driver::FunctionReport> reports =
+        daemonRun(client, source, poptions);
+    EXPECT_EQ(canonicalSummary(reports), localSummary(source, poptions));
     server.stop();
 }
 

@@ -114,6 +114,12 @@ TEST(ServiceProtocolTest, JobStatusRoundTrip)
     status.storeEntries = 4;
     status.activeClients = 5;
     status.busyRejects = 6;
+    status.storeBytes = 7;
+    status.storeEvictions = 8;
+    status.storeQuarantined = 9;
+    status.auditMismatches = 10;
+    status.quotaRejects = 11;
+    status.draining = 1;
     FrameType type{};
     std::string body;
     ASSERT_TRUE(splitFrame(encodeJobStatus(status).substr(4), type,
@@ -128,6 +134,12 @@ TEST(ServiceProtocolTest, JobStatusRoundTrip)
     EXPECT_EQ(out.storeEntries, 4u);
     EXPECT_EQ(out.activeClients, 5u);
     EXPECT_EQ(out.busyRejects, 6u);
+    EXPECT_EQ(out.storeBytes, 7u);
+    EXPECT_EQ(out.storeEvictions, 8u);
+    EXPECT_EQ(out.storeQuarantined, 9u);
+    EXPECT_EQ(out.auditMismatches, 10u);
+    EXPECT_EQ(out.quotaRejects, 11u);
+    EXPECT_EQ(out.draining, 1);
 }
 
 TEST(ServiceProtocolTest, JobVerdictRoundTrip)

@@ -73,8 +73,9 @@ var32(TermFactory &tf, const char *name)
  * The optimization-stack stages have their own tests (simplifier_test,
  * slicer_test) plus stack-level ones at the bottom of this file.
  */
-constexpr CachingSolver::Options kCacheOnly{/*simplify=*/false,
-                                            /*slice=*/false};
+// Not constexpr: the audit hooks added to Options are std::functions.
+const CachingSolver::Options kCacheOnly{/*simplify=*/false,
+                                        /*slice=*/false};
 
 /**
  * x == a && x == b with a != b: unsatisfiable, so neither pooled models
@@ -373,6 +374,225 @@ TEST(QueryCacheTest, ByteBudgetBoundsResidency)
               kBudget + 16 * (padding.size() + 8 +
                               QueryCache::kEntryOverheadBytes));
     EXPECT_EQ(stats.entries + stats.evictions, 1000u);
+}
+
+// ---- Trust-but-verify auditing of preloaded (journal-warm) hits ----
+
+/**
+ * Builds cache-only options that audit every unaudited hit, with a
+ * scripted pristine solver whose answers and call count the test
+ * controls via shared state.
+ */
+CachingSolver::Options
+auditEverything(std::shared_ptr<std::deque<SatResult>> script,
+                std::shared_ptr<size_t> calls,
+                SatResult fallback = SatResult::Unsat)
+{
+    CachingSolver::Options options{/*simplify=*/false, /*slice=*/false};
+    options.auditRate = 1.0;
+    options.auditSolverFactory =
+        [script, calls, fallback](TermFactory &tf)
+        -> std::unique_ptr<Solver> {
+        auto pristine = std::make_unique<ScriptedSolver>(tf);
+        ++*calls;
+        pristine->fallback = fallback;
+        if (!script->empty()) {
+            pristine->script.push_back(script->front());
+            script->pop_front();
+        }
+        return pristine;
+    };
+    return options;
+}
+
+TEST(CachingSolverAuditTest, PassingAuditMarksEntryAndAuditsOnce)
+{
+    TermFactory tf;
+    ScriptedSolver backend(tf);
+    auto cache = std::make_shared<QueryCache>();
+    auto script = std::make_shared<std::deque<SatResult>>();
+    auto pristineCalls = std::make_shared<size_t>(0);
+    CachingSolver solver(tf, backend, cache,
+                         auditEverything(script, pristineCalls));
+
+    std::vector<Term> query = contradiction(tf, "x", 1, 2);
+    cache->insertPreloaded(CachingSolver::normalizedKey(query),
+                           SatResult::Unsat);
+    EXPECT_EQ(cache->stats().preloaded, 1u);
+
+    // First warm hit: the pristine recheck confirms Unsat, the entry is
+    // marked audited, the stored verdict is served, the backend is
+    // never consulted.
+    EXPECT_EQ(solver.checkSat(query), SatResult::Unsat);
+    EXPECT_EQ(*pristineCalls, 1u);
+    EXPECT_EQ(backend.calls, 0u);
+    EXPECT_EQ(cache->stats().auditPasses, 1u);
+
+    // Later hits skip the audit: it is trust-but-verify, not
+    // verify-every-time.
+    EXPECT_EQ(solver.checkSat(query), SatResult::Unsat);
+    EXPECT_EQ(*pristineCalls, 1u);
+    EXPECT_EQ(solver.stats().cacheHits, 2u);
+}
+
+TEST(CachingSolverAuditTest, MismatchQuarantinesAndResolvesFresh)
+{
+    TermFactory tf;
+    ScriptedSolver backend(tf);
+    backend.fallback = SatResult::Unsat;
+    auto cache = std::make_shared<QueryCache>();
+    auto script = std::make_shared<std::deque<SatResult>>();
+    auto pristineCalls = std::make_shared<size_t>(0);
+    CachingSolver::Options options =
+        auditEverything(script, pristineCalls);
+    std::vector<std::string> mismatchKeys;
+    SatResult mismatchStored{};
+    SatResult mismatchRecheck{};
+    options.onAuditMismatch = [&](const std::string &key,
+                                  SatResult stored, SatResult recheck) {
+        mismatchKeys.push_back(key);
+        mismatchStored = stored;
+        mismatchRecheck = recheck;
+    };
+    CachingSolver solver(tf, backend, cache, options);
+
+    // Seed a rotten journal claim: the contradiction is Unsat, but the
+    // preloaded record says Sat. Model replay cannot confirm it (no
+    // model satisfies a contradiction), the pristine recheck says
+    // Unsat, and the entry must be quarantined — never served.
+    std::vector<Term> query = contradiction(tf, "x", 5, 6);
+    std::string key = CachingSolver::normalizedKey(query);
+    cache->insertPreloaded(key, SatResult::Sat);
+
+    EXPECT_EQ(solver.checkSat(query), SatResult::Unsat)
+        << "the served verdict must come from the fresh solve, "
+           "byte-identical to a daemonless run";
+    ASSERT_EQ(mismatchKeys.size(), 1u);
+    EXPECT_EQ(mismatchKeys[0], key);
+    EXPECT_EQ(mismatchStored, SatResult::Sat);
+    EXPECT_EQ(mismatchRecheck, SatResult::Unsat);
+    EXPECT_EQ(backend.calls, 1u)
+        << "after quarantine the query falls through to the normal "
+           "miss path";
+    CacheStats stats = cache->stats();
+    EXPECT_EQ(stats.auditMismatches, 1u);
+    EXPECT_EQ(stats.quarantined, 1u);
+
+    // The fresh verdict replaced the rotten one and is fully trusted:
+    // a repeat is a plain hit, no audit, no backend.
+    EXPECT_EQ(solver.checkSat(query), SatResult::Unsat);
+    EXPECT_EQ(backend.calls, 1u);
+    EXPECT_EQ(cache->stats().auditMismatches, 1u);
+}
+
+TEST(CachingSolverAuditTest, UnknownRecheckIsInconclusive)
+{
+    TermFactory tf;
+    ScriptedSolver backend(tf);
+    auto cache = std::make_shared<QueryCache>();
+    auto script = std::make_shared<std::deque<SatResult>>(
+        std::deque<SatResult>{SatResult::Unknown, SatResult::Unsat});
+    auto pristineCalls = std::make_shared<size_t>(0);
+    CachingSolver solver(tf, backend, cache,
+                         auditEverything(script, pristineCalls));
+
+    std::vector<Term> query = contradiction(tf, "x", 7, 8);
+    cache->insertPreloaded(CachingSolver::normalizedKey(query),
+                           SatResult::Unsat);
+
+    // Recheck #1 times out (Unknown): the stored verdict is served but
+    // the entry stays unaudited, so the next hit gets a fresh audit.
+    EXPECT_EQ(solver.checkSat(query), SatResult::Unsat);
+    EXPECT_EQ(*pristineCalls, 1u);
+    EXPECT_EQ(cache->stats().auditPasses, 0u);
+
+    // Recheck #2 confirms; now the entry is audited for good.
+    EXPECT_EQ(solver.checkSat(query), SatResult::Unsat);
+    EXPECT_EQ(*pristineCalls, 2u);
+    EXPECT_EQ(cache->stats().auditPasses, 1u);
+    EXPECT_EQ(solver.checkSat(query), SatResult::Unsat);
+    EXPECT_EQ(*pristineCalls, 2u);
+    EXPECT_EQ(backend.calls, 0u);
+}
+
+TEST(CachingSolverAuditTest, StoredSatConfirmedByModelReplayProof)
+{
+    TermFactory tf;
+    ScriptedSolver backend(tf);
+    auto cache = std::make_shared<QueryCache>();
+    auto script = std::make_shared<std::deque<SatResult>>();
+    auto pristineCalls = std::make_shared<size_t>(0);
+    CachingSolver solver(tf, backend, cache,
+                         auditEverything(script, pristineCalls));
+
+    // x == 1 is probe-provable: the audit confirms the stored Sat by
+    // concrete evaluation alone — no pristine solver, no backend.
+    std::vector<Term> query{
+        tf.mkEq(var32(tf, "x"), tf.bvConst(32, 1))};
+    cache->insertPreloaded(CachingSolver::normalizedKey(query),
+                           SatResult::Sat);
+
+    EXPECT_EQ(solver.checkSat(query), SatResult::Sat);
+    EXPECT_EQ(*pristineCalls, 0u);
+    EXPECT_EQ(backend.calls, 0u);
+    EXPECT_EQ(cache->stats().auditPasses, 1u);
+}
+
+TEST(CachingSolverAuditTest, FreshInsertsAreNeverAudited)
+{
+    TermFactory tf;
+    ScriptedSolver backend(tf);
+    backend.fallback = SatResult::Unsat;
+    auto cache = std::make_shared<QueryCache>();
+    auto script = std::make_shared<std::deque<SatResult>>();
+    auto pristineCalls = std::make_shared<size_t>(0);
+    CachingSolver solver(tf, backend, cache,
+                         auditEverything(script, pristineCalls));
+
+    // A verdict this run earned from the backend is not a month-old
+    // claim; hitting it later must not spend audit rechecks.
+    std::vector<Term> query = contradiction(tf, "y", 1, 2);
+    EXPECT_EQ(solver.checkSat(query), SatResult::Unsat);
+    EXPECT_EQ(solver.checkSat(query), SatResult::Unsat);
+    EXPECT_EQ(backend.calls, 1u);
+    EXPECT_EQ(*pristineCalls, 0u);
+}
+
+TEST(QueryCacheTest, PreloadedInsertNeverFiresListenerOrClobbers)
+{
+    QueryCache cache;
+    size_t listenerCalls = 0;
+    cache.setInsertListener(
+        [&](const std::string &, SatResult) { ++listenerCalls; });
+
+    cache.insertPreloaded("warm", SatResult::Unsat);
+    EXPECT_EQ(listenerCalls, 0u)
+        << "preloads come FROM the journal; re-journaling them would "
+           "double every record per restart";
+    bool unaudited = false;
+    EXPECT_EQ(cache.lookup("warm", &unaudited), SatResult::Unsat);
+    EXPECT_TRUE(unaudited);
+
+    // A fresh insert fires the listener and is born trusted.
+    cache.insert("earned", SatResult::Sat);
+    EXPECT_EQ(listenerCalls, 1u);
+    EXPECT_EQ(cache.lookup("earned", &unaudited), SatResult::Sat);
+    EXPECT_FALSE(unaudited);
+
+    // Preloading over a resident trusted entry must not resurrect the
+    // unaudited flag.
+    cache.insertPreloaded("earned", SatResult::Sat);
+    EXPECT_EQ(cache.lookup("earned", &unaudited), SatResult::Sat);
+    EXPECT_FALSE(unaudited);
+
+    // markAudited clears the flag; quarantine removes the entry.
+    cache.markAudited("warm");
+    EXPECT_EQ(cache.lookup("warm", &unaudited), SatResult::Unsat);
+    EXPECT_FALSE(unaudited);
+    EXPECT_TRUE(cache.quarantine("warm"));
+    EXPECT_FALSE(cache.lookup("warm").has_value());
+    EXPECT_FALSE(cache.quarantine("warm"));
+    EXPECT_EQ(cache.stats().quarantined, 1u);
 }
 
 TEST(QueryCacheTest, BytesTrackInsertionsAndClear)

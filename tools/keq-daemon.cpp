@@ -12,10 +12,24 @@
  *     --jobs=N               pool worker threads (0 = #cores)
  *     --max-inflight=N       per-client in-flight job cap before
  *                            Busy replies (0 = uncapped)
+ *     --max-queued=N         per-client *queued* job cap (0 = off)
+ *     --client-rate=X        per-client sustained submits/sec
+ *                            (token bucket; 0 = unlimited)
+ *     --client-burst=N       token-bucket burst size (default 64)
+ *     --job-deadline-ms=N    wall deadline per job, queueing included
+ *                            (0 = none)
  *     --verdict-journal=PATH persist the verdict store here; loaded
  *                            on startup, appended per fresh verdict
+ *     --verdict-store-mb=N   byte cap on the resident verdict set;
+ *                            LRU eviction past it (0 = unbounded)
  *     --journal-fsync=record|batch|off
  *                            verdict-journal durability (default off)
+ *     --audit-rate=X         trust-but-verify sample of journal-
+ *                            preloaded verdict hits re-checked before
+ *                            being served (0 = off, 1 = every hit)
+ *     --audit-seed=N         deterministic audit sampling seed
+ *     --drain-timeout-ms=N   max graceful-drain wait on SIGTERM
+ *                            before hard stop (default 30000)
  *     --solver-cache-mb=N    shared query-cache budget (default 512)
  *     --sandbox              solve in sandboxed worker processes
  *     --sandbox-workers=N    sandbox pool size (0 = match --jobs)
@@ -24,10 +38,16 @@
  *     --status               query a running daemon and exit
  *     --stop                 ask a running daemon to shut down
  *
- * SIGINT/SIGTERM (and a client Shutdown frame) stop the daemon
- * cleanly: in-flight checks are cancelled, the socket is unlinked, and
- * the journal is left consistent (it is consistent at every record
- * boundary anyway).
+ * Signals:
+ *   SIGTERM  graceful drain — stop accepting clients and submissions,
+ *            finish every admitted job (bounded by --drain-timeout-ms),
+ *            flush the journal, exit. Loses zero accepted jobs.
+ *   SIGINT   immediate stop — in-flight checks are cancelled, queued
+ *            jobs are dropped, the journal stays record-consistent.
+ *   SIGHUP   maintenance — integrity-scrub the verdict store and
+ *            compact its journal, while serving.
+ *
+ * A client Shutdown frame behaves like SIGINT.
  *
  * Exit code: 0 on clean shutdown / successful --status / --stop,
  * 1 when the daemon cannot start or the probe target is unreachable,
@@ -47,17 +67,32 @@
 
 namespace {
 
-volatile std::sig_atomic_t g_signalled = 0;
+volatile std::sig_atomic_t g_stop = 0;  // SIGINT: immediate
+volatile std::sig_atomic_t g_drain = 0; // SIGTERM: graceful
+volatile std::sig_atomic_t g_hup = 0;   // SIGHUP: scrub + compact
 
 extern "C" void
 handleStopSignal(int)
 {
-    g_signalled = 1;
+    g_stop = 1;
+}
+
+extern "C" void
+handleDrainSignal(int)
+{
+    g_drain = 1;
+}
+
+extern "C" void
+handleHupSignal(int)
+{
+    g_hup = 1;
 }
 
 struct CliOptions
 {
     keq::service::ServerOptions server;
+    unsigned drainTimeoutMs = 30000;
     bool status = false;
     bool stop = false;
 };
@@ -66,10 +101,13 @@ struct CliOptions
 usage(const char *argv0)
 {
     std::cerr << "usage: " << argv0 << " --socket=PATH [options]\n"
-              << "  --jobs=N --max-inflight=N\n"
-              << "  --verdict-journal=PATH "
+              << "  --jobs=N --max-inflight=N --max-queued=N\n"
+              << "  --client-rate=X --client-burst=N "
+                 "--job-deadline-ms=N\n"
+              << "  --verdict-journal=PATH --verdict-store-mb=N "
                  "--journal-fsync=record|batch|off\n"
-              << "  --solver-cache-mb=N\n"
+              << "  --audit-rate=X --audit-seed=N\n"
+              << "  --drain-timeout-ms=N --solver-cache-mb=N\n"
               << "  --sandbox --sandbox-workers=N --worker-memory-mb=N "
                  "--worker-path=PATH\n"
               << "  --status --stop\n";
@@ -105,15 +143,42 @@ parseArgs(int argc, char **argv)
         } else if (arg.rfind("--max-inflight=", 0) == 0) {
             options.server.maxInFlightPerClient =
                 static_cast<unsigned>(number_of("--max-inflight="));
+        } else if (arg.rfind("--max-queued=", 0) == 0) {
+            options.server.maxQueuedPerClient =
+                static_cast<unsigned>(number_of("--max-queued="));
+        } else if (arg.rfind("--client-rate=", 0) == 0) {
+            options.server.clientRatePerSec =
+                number_of("--client-rate=");
+        } else if (arg.rfind("--client-burst=", 0) == 0) {
+            options.server.clientBurst =
+                static_cast<unsigned>(number_of("--client-burst="));
+        } else if (arg.rfind("--job-deadline-ms=", 0) == 0) {
+            options.server.jobDeadlineMs =
+                static_cast<unsigned>(number_of("--job-deadline-ms="));
         } else if (arg.rfind("--verdict-journal=", 0) == 0) {
             options.server.verdictJournalPath =
                 value_of("--verdict-journal=");
+        } else if (arg.rfind("--verdict-store-mb=", 0) == 0) {
+            options.server.verdictStoreMaxBytes =
+                static_cast<uint64_t>(
+                    number_of("--verdict-store-mb="))
+                << 20;
         } else if (arg.rfind("--journal-fsync=", 0) == 0) {
             if (!keq::support::fsyncPolicyFromName(
                     value_of("--journal-fsync=").c_str(),
                     options.server.journalFsync)) {
                 usage(argv[0]);
             }
+        } else if (arg.rfind("--audit-rate=", 0) == 0) {
+            options.server.auditRate = number_of("--audit-rate=");
+            if (options.server.auditRate > 1.0)
+                usage(argv[0]);
+        } else if (arg.rfind("--audit-seed=", 0) == 0) {
+            options.server.auditSeed =
+                static_cast<uint64_t>(number_of("--audit-seed="));
+        } else if (arg.rfind("--drain-timeout-ms=", 0) == 0) {
+            options.drainTimeoutMs =
+                static_cast<unsigned>(number_of("--drain-timeout-ms="));
         } else if (arg.rfind("--solver-cache-mb=", 0) == 0) {
             options.server.cacheMemoryMb =
                 static_cast<size_t>(number_of("--solver-cache-mb="));
@@ -169,21 +234,40 @@ runProbe(const CliOptions &options)
         std::cerr << "keqd: " << error << "\n";
         return 1;
     }
-    std::printf("daemon pid %llu on %s\n",
+    std::printf("daemon pid %llu on %s%s\n",
                 static_cast<unsigned long long>(
                     client.serverHello().pid),
-                options.server.socketPath.c_str());
+                options.server.socketPath.c_str(),
+                status.draining != 0 ? " (draining)" : "");
     std::printf("  clients:   %llu active\n",
                 static_cast<unsigned long long>(status.activeClients));
     std::printf("  jobs:      %llu queued, %llu running, %llu "
-                "completed, %llu busy-rejected\n",
+                "completed, %llu busy-rejected, %llu quota-rejected\n",
                 static_cast<unsigned long long>(status.queuedJobs),
                 static_cast<unsigned long long>(status.runningJobs),
                 static_cast<unsigned long long>(status.completedJobs),
-                static_cast<unsigned long long>(status.busyRejects));
-    std::printf("  store:     %llu verdicts\n",
-                static_cast<unsigned long long>(status.storeEntries));
+                static_cast<unsigned long long>(status.busyRejects),
+                static_cast<unsigned long long>(status.quotaRejects));
+    std::printf("  store:     %llu verdicts, %llu bytes, %llu "
+                "evicted, %llu quarantined\n",
+                static_cast<unsigned long long>(status.storeEntries),
+                static_cast<unsigned long long>(status.storeBytes),
+                static_cast<unsigned long long>(status.storeEvictions),
+                static_cast<unsigned long long>(
+                    status.storeQuarantined));
+    std::printf("  audits:    %llu mismatches\n",
+                static_cast<unsigned long long>(
+                    status.auditMismatches));
     return 0;
+}
+
+void
+sleepTickMs(unsigned ms)
+{
+    struct timespec ts;
+    ts.tv_sec = ms / 1000;
+    ts.tv_nsec = static_cast<long>(ms % 1000) * 1000000L;
+    ::nanosleep(&ts, nullptr);
 }
 
 } // namespace
@@ -203,16 +287,41 @@ main(int argc, char **argv)
         return 1;
     }
     std::signal(SIGINT, handleStopSignal);
-    std::signal(SIGTERM, handleStopSignal);
+    std::signal(SIGTERM, handleDrainSignal);
+    std::signal(SIGHUP, handleHupSignal);
     std::cerr << "keqd: listening on " << options.server.socketPath
               << " (" << server.store().size()
               << " verdicts preloaded)\n";
 
     // Signal handlers cannot take the shutdown mutex, so the main
-    // thread polls both stop sources.
-    while (!g_signalled && !server.shutdownRequested()) {
-        struct timespec ts = {0, 100 * 1000000L};
-        ::nanosleep(&ts, nullptr);
+    // thread polls every stop source.
+    bool drainLogged = false;
+    long long drainBudgetMs = 0;
+    while (!g_stop && !server.shutdownRequested()) {
+        if (g_hup) {
+            g_hup = 0;
+            server.scrubAndCompactStore();
+        }
+        if (g_drain) {
+            if (!drainLogged) {
+                drainLogged = true;
+                drainBudgetMs = options.drainTimeoutMs;
+                server.beginDrain();
+                std::cerr << "keqd: draining (" << options.drainTimeoutMs
+                          << " ms budget)\n";
+            }
+            if (server.drained()) {
+                std::cerr << "keqd: drained cleanly\n";
+                break;
+            }
+            if (drainBudgetMs <= 0) {
+                std::cerr << "keqd: drain timeout; stopping with jobs "
+                             "in flight\n";
+                break;
+            }
+            drainBudgetMs -= 100;
+        }
+        sleepTickMs(100);
     }
     server.stop();
 
@@ -222,8 +331,11 @@ main(int argc, char **argv)
               << " jobs completed for " << stats.accepted
               << " connections, " << store.appended
               << " verdicts journaled (" << store.entries
-              << " in store), " << stats.busyRejects
-              << " busy rejects, " << stats.droppedJobs
-              << " jobs dropped\n";
+              << " in store, " << store.evictions << " evicted), "
+              << stats.busyRejects << " busy rejects, "
+              << stats.quotaRejects << " quota rejects, "
+              << stats.expiredJobs << " deadline-expired, "
+              << stats.auditMismatches << " audit mismatches, "
+              << stats.droppedJobs << " jobs dropped\n";
     return 0;
 }

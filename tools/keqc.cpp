@@ -550,6 +550,11 @@ main(int argc, char **argv)
                        daemonReports, daemonDecided, error)) {
             report.functions = std::move(daemonReports);
             daemonHandled = true;
+        } else if (client.busyBreakerTripped()) {
+            std::cerr << "keqc: daemon busy circuit breaker tripped ("
+                      << client.busyRetries() << " Busy replies): "
+                      << error
+                      << "; validating remaining functions locally\n";
         } else {
             std::cerr << "keqc: daemon connection lost ["
                       << failureKindName(client.failure()) << "]: "

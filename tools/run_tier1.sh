@@ -2,7 +2,7 @@
 # Configure, build, and run the tier-1 test suite in one shot.
 #
 # Usage:
-#   tools/run_tier1.sh [sanitizer] [chaos|conformance|portfolio|service] [build-dir]
+#   tools/run_tier1.sh [sanitizer] [chaos|conformance|portfolio|service|soak] [build-dir]
 #
 #   tools/run_tier1.sh                # plain build in build/
 #   tools/run_tier1.sh tsan           # ThreadSanitizer build in build-tsan/
@@ -13,6 +13,8 @@
 #   tools/run_tier1.sh conformance    # conformance suite (-L conformance)
 #   tools/run_tier1.sh portfolio      # portfolio racing suite (-L portfolio)
 #   tools/run_tier1.sh service        # validation daemon suite (-L service)
+#   tools/run_tier1.sh soak           # daemon soak (-L soak; stretch with
+#                                     #   KEQ_SOAK_SECONDS=60)
 #
 # The legacy spelling `KEQ_TSAN=1 tools/run_tier1.sh tsan-dir` still
 # works: when the first argument is not a sanitizer name it is taken as
@@ -32,7 +34,7 @@ esac
 
 suite=all
 case ${1:-} in
-    chaos|conformance|portfolio|service)
+    chaos|conformance|portfolio|service|soak)
         suite=$1
         shift
         ;;
@@ -96,6 +98,14 @@ elif [ "$suite" = service ]; then
     # keqc --daemon degradation script (tests labelled `service`).
     ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" \
         -L service
+elif [ "$suite" = soak ]; then
+    # The month-scale daemon gate: multi-client soak with every warm
+    # verdict-store hit audited (trust-but-verify) and concurrent
+    # scrub+compact maintenance, asserting zero audit mismatches and
+    # daemonless verdict parity throughout. KEQ_SOAK_SECONDS stretches
+    # the wall-clock budget (CI uses 60 under ASan).
+    ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" \
+        -L soak
 elif [ "$suite" = portfolio ]; then
     # The portfolio racing gate: lane roster/spec parsing, race
     # accounting, disagreement oracle, portfolio-off byte-identity,
