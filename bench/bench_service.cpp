@@ -10,7 +10,10 @@
  *   2. cold daemon pass — one client against an empty cache/store:
  *      pays the same solves plus the wire round trips;
  *   3. warm saturation curve — {1, 2, 4, 8} concurrent clients, each
- *      validating the full module against the now-warm daemon.
+ *      validating the full module against the now-warm daemon;
+ *   4. TCP loopback lane — the same warm single-client run over
+ *      tcp:127.0.0.1 (ephemeral port), isolating what the network
+ *      transport adds over AF_UNIX for multi-host deployments.
  *
  * Hard assertions (exit 1 on violation, so CI can gate on this):
  *   - every client run's canonical summary is byte-identical to the
@@ -54,13 +57,14 @@ struct ClientRun
 
 /** One full-module validation through the daemon. */
 ClientRun
-runClient(const std::string &socket, const std::string &source,
+runClient(const keq::service::Endpoint &endpoint,
+          const std::string &source,
           const std::vector<std::string> &functions)
 {
     using namespace keq;
     ClientRun run;
     service::DaemonClientOptions options;
-    options.socketPath = socket;
+    options.endpoints = {endpoint};
     service::DaemonClient client(options);
     if (!client.connect(run.error))
         return run;
@@ -132,11 +136,23 @@ main()
 
     service::ServerOptions soptions;
     soptions.socketPath = socket;
+    // The TCP loopback lane shares the same queue/store/cache: the
+    // transport is an accept-side detail, never a scheduling domain.
+    soptions.listen = {service::tcpEndpoint("127.0.0.1", 0)};
     soptions.verdictJournalPath = journal;
     service::Server server(soptions);
     std::string error;
     if (!server.start(error)) {
         std::fprintf(stderr, "FAIL: daemon start: %s\n", error.c_str());
+        return 1;
+    }
+    service::Endpoint unixEp = service::unixEndpoint(socket);
+    service::Endpoint tcpEp;
+    for (const service::Endpoint &ep : server.boundEndpoints())
+        if (ep.kind == service::TransportKind::Tcp)
+            tcpEp = ep;
+    if (tcpEp.port == 0) {
+        std::fprintf(stderr, "FAIL: no bound TCP endpoint\n");
         return 1;
     }
 
@@ -157,7 +173,7 @@ main()
 
     // Cold pass: first client ever — empty cache, empty store.
     watch.reset();
-    ClientRun cold = runClient(socket, source, functions);
+    ClientRun cold = runClient(unixEp, source, functions);
     double cold_seconds = watch.seconds();
     check(cold, "cold client");
     std::printf("daemon, cold (1 client): %7.2f s (%llu cache "
@@ -181,7 +197,7 @@ main()
         std::vector<std::thread> threads;
         for (size_t i = 0; i < clients; ++i)
             threads.emplace_back([&, i] {
-                runs[i] = runClient(socket, source, functions);
+                runs[i] = runClient(unixEp, source, functions);
             });
         for (std::thread &thread : threads)
             thread.join();
@@ -211,6 +227,24 @@ main()
         json.field(prefix + "hit_rate", rate);
         json.field(prefix + "busy_retries", busy);
     }
+
+    // TCP loopback lane: the warm single-client run again, over the
+    // network transport. Same verdicts, same warm store — the delta
+    // against warm_1_clients_seconds is pure transport overhead.
+    watch.reset();
+    ClientRun tcp = runClient(tcpEp, source, functions);
+    double tcp_seconds = watch.seconds();
+    check(tcp, "tcp loopback client");
+    uint64_t tcpLookups = tcp.cacheHits + tcp.cacheMisses;
+    double tcp_hit_rate =
+        tcpLookups > 0
+            ? static_cast<double>(tcp.cacheHits) / tcpLookups
+            : 1.0;
+    std::printf("daemon, warm, tcp loopback: %5.2f s, hit rate "
+                "%5.1f%%\n",
+                tcp_seconds, 100.0 * tcp_hit_rate);
+    json.field("tcp_warm_seconds", tcp_seconds);
+    json.field("tcp_warm_hit_rate", tcp_hit_rate);
 
     server.stop();
     std::remove(journal.c_str());

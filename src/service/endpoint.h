@@ -1,0 +1,77 @@
+#ifndef KEQ_SERVICE_ENDPOINT_H
+#define KEQ_SERVICE_ENDPOINT_H
+
+/**
+ * @file
+ * Service endpoint addressing: `unix:PATH` and `tcp:HOST:PORT`.
+ *
+ * Every place the daemon or a client names a transport — keqd
+ * `--listen=`, keqc `--daemon=`, ServerOptions, DaemonClientOptions —
+ * speaks this one grammar:
+ *
+ *   unix:/run/keqd.sock        AF_UNIX stream socket
+ *   tcp:127.0.0.1:7461         AF_INET
+ *   tcp:[::1]:7461             AF_INET6 (bracketed, RFC 3986 style)
+ *   /run/keqd.sock             legacy bare path == unix:
+ *
+ * A TCP listen endpoint may carry port 0 (bind an ephemeral port; the
+ * bound port is reported back through Listener::endpoint()); a connect
+ * endpoint with port 0 simply fails to connect.
+ *
+ * Parsing is strict and the errors are pointed: the CLIs turn a false
+ * return into exit 64 (EX_USAGE) quoting @p error verbatim, so a typo
+ * in an endpoint list names the offending element, not "usage:".
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace keq::service {
+
+enum class TransportKind : uint8_t { Unix, Tcp };
+
+const char *transportName(TransportKind kind);
+
+struct Endpoint
+{
+    TransportKind kind = TransportKind::Unix;
+    std::string path;   ///< unix: filesystem path
+    std::string host;   ///< tcp: numeric or resolvable host
+    uint16_t port = 0;  ///< tcp: 0 = ephemeral (listen only)
+
+    bool operator==(const Endpoint &rhs) const
+    {
+        return kind == rhs.kind && path == rhs.path &&
+               host == rhs.host && port == rhs.port;
+    }
+};
+
+/** Convenience constructors. */
+Endpoint unixEndpoint(std::string path);
+Endpoint tcpEndpoint(std::string host, uint16_t port);
+
+/** Canonical spelling (round-trips through parseEndpoint). */
+std::string endpointToString(const Endpoint &endpoint);
+
+/**
+ * Parses one endpoint spec. False with a pointed @p error (always
+ * quoting the offending spec) on anything malformed: empty spec,
+ * `unix:` with no path, `tcp:` without a `HOST:PORT`, an empty host,
+ * a non-numeric or out-of-range port, an unterminated `[` bracket.
+ */
+bool parseEndpoint(const std::string &spec, Endpoint &out,
+                   std::string &error);
+
+/**
+ * Parses a comma-separated endpoint list (the keqc --daemon failover
+ * form). Order is preserved — it is the client's preference order.
+ * False on an empty list, an empty element, or any element failing
+ * parseEndpoint.
+ */
+bool parseEndpointList(const std::string &spec,
+                       std::vector<Endpoint> &out, std::string &error);
+
+} // namespace keq::service
+
+#endif // KEQ_SERVICE_ENDPOINT_H

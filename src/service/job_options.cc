@@ -72,4 +72,32 @@ jobOptionsKey(const JobOptionsFrame &frame)
     return buf;
 }
 
+namespace {
+
+void
+fnv1aUpdate(uint64_t &hash, const std::string &bytes)
+{
+    for (unsigned char c : bytes) {
+        hash ^= c;
+        hash *= 1099511628211ULL;
+    }
+    // Field separator: keeps ("ab","c") distinct from ("a","bc").
+    hash ^= 0xff;
+    hash *= 1099511628211ULL;
+}
+
+} // namespace
+
+uint64_t
+jobFingerprint(const std::string &moduleText,
+               const std::string &function,
+               const smt::wire::JobOptionsFrame &options)
+{
+    uint64_t hash = 14695981039346656037ULL; // FNV-1a offset basis
+    fnv1aUpdate(hash, jobOptionsKey(options));
+    fnv1aUpdate(hash, function);
+    fnv1aUpdate(hash, moduleText);
+    return hash == 0 ? 1 : hash;
+}
+
 } // namespace keq::service

@@ -38,6 +38,19 @@ decodeJobOptions(const smt::wire::JobOptionsFrame &frame);
 /** Stable identity of a frame; the daemon's Pipeline-pool key. */
 std::string jobOptionsKey(const smt::wire::JobOptionsFrame &frame);
 
+/**
+ * Deterministic identity of one validation job: a stable 64-bit hash
+ * over (jobOptionsKey, function, moduleText). This is the wire v5
+ * SubmitJob fingerprint — a client resubmitting a job to a failover
+ * daemon after a mid-flight disconnect computes the identical value,
+ * which is what makes resubmission idempotent (the daemon's completed
+ * ledger dedups on it). Never 0: 0 is the wire sentinel for "no
+ * fingerprint".
+ */
+uint64_t jobFingerprint(const std::string &moduleText,
+                        const std::string &function,
+                        const smt::wire::JobOptionsFrame &options);
+
 } // namespace keq::service
 
 #endif // KEQ_SERVICE_JOB_OPTIONS_H

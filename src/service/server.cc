@@ -59,19 +59,49 @@ Server::start(std::string &error)
     cache_ = std::make_shared<smt::QueryCache>(
         options_.cacheShardCapacity, options_.cacheMemoryMb << 20);
     store_.attach(*cache_);
-    if (!listener_.listenOn(options_.socketPath, error))
+    // The legacy socketPath is just a one-element unix listen list;
+    // both forms may be combined (keqd --socket plus --listen=tcp:..).
+    std::vector<Endpoint> endpoints;
+    if (!options_.socketPath.empty())
+        endpoints.push_back(unixEndpoint(options_.socketPath));
+    endpoints.insert(endpoints.end(), options_.listen.begin(),
+                     options_.listen.end());
+    if (endpoints.empty()) {
+        error = "no listen endpoints configured";
         return false;
+    }
+    for (const Endpoint &endpoint : endpoints) {
+        auto listener = makeListener(endpoint);
+        if (!listener->listenOn(endpoint, error)) {
+            for (auto &open : listeners_)
+                open->close();
+            listeners_.clear();
+            return false;
+        }
+        listeners_.push_back(std::move(listener));
+    }
     pool_ = std::make_unique<support::ThreadPool>(options_.jobs);
-    acceptThread_ = std::thread([this] { acceptLoop(); });
+    for (auto &listener : listeners_)
+        acceptThreads_.emplace_back(
+            [this, l = listener.get()] { acceptLoop(*l); });
     started_ = true;
     return true;
 }
 
+std::vector<Endpoint>
+Server::boundEndpoints() const
+{
+    std::vector<Endpoint> endpoints;
+    for (const auto &listener : listeners_)
+        endpoints.push_back(listener->endpoint());
+    return endpoints;
+}
+
 void
-Server::acceptLoop()
+Server::acceptLoop(Listener &listener)
 {
     while (!stopping_.load()) {
-        int fd = listener_.acceptClient(kAcceptTickMs);
+        int fd = listener.acceptClient(kAcceptTickMs);
         if (fd < 0)
             continue;
         if (draining_.load()) {
@@ -82,6 +112,10 @@ Server::acceptLoop()
             continue;
         }
         ++accepted_;
+        if (listener.transport() == TransportKind::Tcp)
+            ++acceptedTcp_;
+        else
+            ++acceptedUnix_;
         auto session = std::make_shared<Session>(*this, nextClientId_++,
                                                  WireChannel(fd));
         {
@@ -184,11 +218,26 @@ Server::executeJob(const JobWork &work)
     }
 
     driver::FunctionReport report = validateJob(work, deadlineCap);
+    if (stopping_.load() ||
+        report.verdict.failure == FailureKind::Cancelled) {
+        // Shutdown interrupted this solve. A Cancelled verdict is not
+        // definitive — sending it would make a failover client keep it
+        // as decided instead of resubmitting to a live endpoint. Drop
+        // it; the disconnect the client is about to observe routes the
+        // job to the next endpoint (or the local fallback).
+        ++droppedJobs_;
+        session->noteJobDropped();
+        return;
+    }
     ++completed_;
     wire::JobVerdictFrame frame;
     frame.jobId = work.jobId;
     frame.report = driver::serializeFunctionReport(report);
     frame.stats = report.verdict.stats.solverStats;
+    // Record before sending: if the client died mid-flight, its
+    // failover resubmit of this very job must hit the ledger instead
+    // of re-solving (and re-charging) it.
+    ledgerRecord(work, report, frame);
     if (!session->sendVerdict(frame)) {
         // The socket died under us: the client's remaining backlog is
         // unsendable too. Drop it now instead of solving toward a dead
@@ -319,6 +368,84 @@ Server::moduleFor(const std::string &text, std::string &error)
     return it->second;
 }
 
+bool
+Server::ledgerLookup(const wire::SubmitJobFrame &job,
+                     wire::JobVerdictFrame &out)
+{
+    if (job.fingerprint == 0 || options_.jobLedgerEntries == 0)
+        return false;
+    std::lock_guard<std::mutex> lock(ledgerMutex_);
+    auto it = ledger_.find(job.fingerprint);
+    if (it == ledger_.end())
+        return false;
+    LedgerEntry &entry = it->second;
+    // Full-identity confirmation: the fingerprint is necessary, never
+    // sufficient. The module travels as an independent hash + length
+    // because retaining whole module texts per entry would multiply
+    // the ledger's footprint by the module size.
+    if (entry.function != job.function ||
+        entry.optionsKey != jobOptionsKey(job.options) ||
+        entry.moduleLen != job.moduleText.size() ||
+        entry.moduleHash != support::fnv1a64(job.moduleText))
+        return false;
+    ledgerLru_.splice(ledgerLru_.begin(), ledgerLru_, entry.lru);
+    out.report = entry.report;
+    out.stats = entry.stats;
+    ++dedupHits_;
+    return true;
+}
+
+void
+Server::ledgerRecord(const JobWork &work,
+                     const driver::FunctionReport &report,
+                     const wire::JobVerdictFrame &frame)
+{
+    if (options_.jobLedgerEntries == 0)
+        return;
+    // Only deterministic verdicts are replayable identities. A Timeout
+    // or an internal error might resolve differently on a retry, and a
+    // dedup hit must be byte-identical to what a fresh solve of the
+    // same job would produce.
+    if (report.outcome == driver::Outcome::Timeout ||
+        report.outcome == driver::Outcome::OutOfMemory ||
+        report.outcome == driver::Outcome::Other)
+        return;
+    // First-time submits carry no wire fingerprint (only an actual
+    // resubmission claims one), so the recording side computes the
+    // same deterministic key itself — a later failover resubmit of
+    // this job must find it here.
+    uint64_t fingerprint =
+        work.fingerprint != 0
+            ? work.fingerprint
+            : jobFingerprint(work.moduleText, work.function,
+                             work.options);
+    std::lock_guard<std::mutex> lock(ledgerMutex_);
+    auto it = ledger_.find(fingerprint);
+    if (it != ledger_.end()) {
+        // Either the same job completed twice (both verdicts are
+        // canonical, keep the first) or a fingerprint collision (the
+        // incumbent wins; the collider simply never dedups).
+        ledgerLru_.splice(ledgerLru_.begin(), ledgerLru_,
+                          it->second.lru);
+        return;
+    }
+    while (ledger_.size() >= options_.jobLedgerEntries &&
+           !ledgerLru_.empty()) {
+        ledger_.erase(ledgerLru_.back());
+        ledgerLru_.pop_back();
+    }
+    LedgerEntry entry;
+    entry.function = work.function;
+    entry.optionsKey = jobOptionsKey(work.options);
+    entry.moduleHash = support::fnv1a64(work.moduleText);
+    entry.moduleLen = work.moduleText.size();
+    entry.report = frame.report;
+    entry.stats = frame.stats;
+    ledgerLru_.push_front(fingerprint);
+    entry.lru = ledgerLru_.begin();
+    ledger_.emplace(fingerprint, std::move(entry));
+}
+
 std::shared_ptr<Session>
 Server::sessionFor(uint64_t clientId)
 {
@@ -400,9 +527,12 @@ Server::stop()
     // bounded time (its verdict is dropped, never journaled —
     // Cancelled verdicts are not definitive).
     cancel_.cancel();
-    if (acceptThread_.joinable())
-        acceptThread_.join();
-    listener_.close();
+    for (std::thread &thread : acceptThreads_)
+        if (thread.joinable())
+            thread.join();
+    acceptThreads_.clear();
+    for (auto &listener : listeners_)
+        listener->close();
 
     std::vector<std::shared_ptr<Session>> sessions;
     {
@@ -432,6 +562,11 @@ Server::stop()
     }
     pipelines_.clear();
     modules_.clear();
+    {
+        std::lock_guard<std::mutex> lock(ledgerMutex_);
+        ledger_.clear();
+        ledgerLru_.clear();
+    }
     // Every verdict journaled during this run is on disk before the
     // daemon exits, whatever the configured fsync cadence was.
     store_.sync();
@@ -453,6 +588,9 @@ Server::statusFrame() const
     frame.auditMismatches = auditMismatches_.load();
     frame.quotaRejects = quotaRejects_.load();
     frame.draining = draining_.load() ? 1 : 0;
+    frame.dedupHits = dedupHits_.load();
+    frame.acceptedUnix = acceptedUnix_.load();
+    frame.acceptedTcp = acceptedTcp_.load();
     uint64_t active = 0;
     {
         std::lock_guard<std::mutex> lock(sessionsMutex_);
@@ -476,6 +614,9 @@ Server::stats() const
     stats.quotaRejects = quotaRejects_.load();
     stats.expiredJobs = expiredJobs_.load();
     stats.auditMismatches = auditMismatches_.load();
+    stats.dedupHits = dedupHits_.load();
+    stats.acceptedUnix = acceptedUnix_.load();
+    stats.acceptedTcp = acceptedTcp_.load();
     return stats;
 }
 

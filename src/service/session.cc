@@ -96,15 +96,21 @@ Session::handshake()
         sendLocked(wire::encodeHelloReject(reject));
         return false;
     }
-    if (hello.protocolVersion != wire::kProtocolVersion) {
+    if (hello.protocolVersion < wire::kMinServiceProtocolVersion ||
+        hello.protocolVersion > wire::kProtocolVersion) {
         reject.message =
             "unsupported protocol version " +
             std::to_string(hello.protocolVersion) + " (daemon speaks " +
+            std::to_string(wire::kMinServiceProtocolVersion) + ".." +
             std::to_string(wire::kProtocolVersion) + ")";
         sendLocked(wire::encodeHelloReject(reject));
         return false;
     }
+    // Negotiate down to the client's version: every frame this session
+    // sends from here on uses the client's layout.
+    protocolVersion_ = hello.protocolVersion;
     wire::ServerHelloFrame ack;
+    ack.protocolVersion = protocolVersion_;
     ack.pid = static_cast<uint64_t>(::getpid());
     return sendLocked(wire::encodeServerHello(ack));
 }
@@ -146,6 +152,23 @@ Session::handleSubmit(const std::string &body)
         sendLocked(wire::encodeError("bad SubmitJob: " + error));
         return;
     }
+    // Idempotent resubmission (wire v5): a fingerprinted job the
+    // daemon already completed — typically resubmitted by a failover
+    // client whose previous connection died before the verdict arrived
+    // — is answered straight from the completed ledger. This runs
+    // BEFORE every admission layer on purpose: a resubmit consumes no
+    // in-flight slot, no queue slot and no rate token (never
+    // double-charged), runs no solver, and appends nothing to the
+    // journal. It is also served during drain — replaying a decided
+    // verdict does not grow the admitted-job set.
+    if (job.fingerprint != 0) {
+        wire::JobVerdictFrame hit;
+        if (server_.ledgerLookup(job, hit)) {
+            hit.jobId = job.jobId;
+            sendLocked(wire::encodeJobVerdict(hit));
+            return;
+        }
+    }
     // Admission control, layered: every reject is a typed Busy, which
     // the client answers by backing off or degrading to local solving
     // — never a dropped frame or an unbounded queue.
@@ -182,6 +205,7 @@ Session::handleSubmit(const std::string &body)
     work.function = std::move(job.function);
     work.moduleText = std::move(job.moduleText);
     work.options = job.options;
+    work.fingerprint = job.fingerprint;
     work.admittedAt = std::chrono::steady_clock::now();
     server_.admitJob(std::move(work));
 }
@@ -189,7 +213,8 @@ Session::handleSubmit(const std::string &body)
 void
 Session::handleStatus()
 {
-    sendLocked(wire::encodeJobStatus(server_.statusFrame()));
+    sendLocked(wire::encodeJobStatus(server_.statusFrame(),
+                                     protocolVersion_));
 }
 
 void
@@ -219,6 +244,19 @@ Session::run()
             handleSubmit(body);
         } else if (type == wire::FrameType::JobStatus) {
             handleStatus();
+        } else if (type == wire::FrameType::Ping) {
+            // Heartbeat: answered inline by the reader thread so a
+            // client behind a long solve can still tell a live daemon
+            // from a dead TCP peer.
+            wire::PingFrame ping;
+            std::string pingError;
+            if (!wire::decodePing(body, ping, pingError)) {
+                sendLocked(wire::encodeError("bad ping: " + pingError));
+                break;
+            }
+            wire::PongFrame pong;
+            pong.nonce = ping.nonce;
+            sendLocked(wire::encodePong(pong));
         } else if (type == wire::FrameType::Shutdown) {
             server_.requestShutdown();
             break;

@@ -9,15 +9,22 @@
  * lifecycle:
  *
  *  1. handshake — the first frame must be a well-formed ClientHello
- *     with the service magic and this build's protocol version;
- *     anything else gets a typed HelloReject (carrying the supported
- *     version) and the connection is closed. Negotiation failures are
- *     *answers*, never undefined decode behavior.
- *  2. frame loop — SubmitJob frames pass admission control (the
- *     per-client in-flight cap; over-cap jobs get a typed Busy reply,
- *     the daemon never queues unboundedly per client) and land in the
- *     server's fair queue; JobStatus is answered inline; Shutdown asks
- *     the server to stop.
+ *     with the service magic and a protocol version in the daemon's
+ *     supported window (kMinServiceProtocolVersion..kProtocolVersion;
+ *     v4 clients are still served, v5-only frame forms are simply
+ *     never sent to them); anything else gets a typed HelloReject
+ *     (carrying the supported version) and the connection is closed.
+ *     Negotiation failures are *answers*, never undefined decode
+ *     behavior.
+ *  2. frame loop — SubmitJob frames first consult the server's
+ *     completed-job ledger (a v5 fingerprint resubmitted after a
+ *     client failover is answered immediately: no admission, no quota
+ *     charge, no solve), then pass admission control (the per-client
+ *     in-flight cap; over-cap jobs get a typed Busy reply, the daemon
+ *     never queues unboundedly per client) and land in the server's
+ *     fair queue; JobStatus is answered inline; Ping gets a Pong from
+ *     the reader thread (the client's liveness probe must not queue
+ *     behind solves); Shutdown asks the server to stop.
  *  3. teardown — on EOF/error the session drops its queued jobs
  *     (running ones finish; their verdicts are discarded here).
  *
@@ -60,6 +67,9 @@ class Session
 
     uint64_t clientId() const { return clientId_; }
 
+    /** Negotiated wire version (valid after the handshake). */
+    uint32_t protocolVersion() const { return protocolVersion_; }
+
     /**
      * Sends one finished job's verdict (worker threads). Decrements
      * the in-flight count even when the client is already gone.
@@ -85,6 +95,7 @@ class Session
 
     Server &server_;
     uint64_t clientId_;
+    uint32_t protocolVersion_ = smt::wire::kProtocolVersion;
     WireChannel channel_;
     std::mutex writeMutex_;
     std::thread thread_;

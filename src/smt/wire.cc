@@ -13,7 +13,7 @@ namespace {
 
 constexpr uint8_t kMaxKind = static_cast<uint8_t>(Kind::Store);
 constexpr uint8_t kMaxFrameType =
-    static_cast<uint8_t>(FrameType::Busy);
+    static_cast<uint8_t>(FrameType::Pong);
 
 /** Fixed arity of each term kind (leaves are 0). */
 unsigned
@@ -138,6 +138,10 @@ frameTypeName(FrameType type)
         return "job-verdict";
     case FrameType::Busy:
         return "busy";
+    case FrameType::Ping:
+        return "ping";
+    case FrameType::Pong:
+        return "pong";
     }
     return "?";
 }
@@ -781,18 +785,23 @@ encodeHelloReject(const HelloRejectFrame &frame)
 }
 
 std::string
-encodeSubmitJob(const SubmitJobFrame &frame)
+encodeSubmitJob(const SubmitJobFrame &frame, uint32_t version)
 {
     Encoder enc;
     enc.u64(frame.jobId);
     enc.str(frame.function);
     enc.str(frame.moduleText);
     encodeJobOptionsBody(enc, frame.options);
+    // v5 appends the job fingerprint; the v4 form is a strict prefix,
+    // so the decoder distinguishes them by atEnd, not by negotiation
+    // side channels.
+    if (version >= 5)
+        enc.u64(frame.fingerprint);
     return frameBytes(FrameType::SubmitJob, enc.take());
 }
 
 std::string
-encodeJobStatus(const JobStatusFrame &frame)
+encodeJobStatus(const JobStatusFrame &frame, uint32_t version)
 {
     Encoder enc;
     enc.u64(frame.queuedJobs);
@@ -807,6 +816,11 @@ encodeJobStatus(const JobStatusFrame &frame)
     enc.u64(frame.auditMismatches);
     enc.u64(frame.quotaRejects);
     enc.u8(frame.draining);
+    if (version >= 5) {
+        enc.u64(frame.dedupHits);
+        enc.u64(frame.acceptedUnix);
+        enc.u64(frame.acceptedTcp);
+    }
     return frameBytes(FrameType::JobStatus, enc.take());
 }
 
@@ -827,6 +841,22 @@ encodeBusy(const BusyFrame &frame)
     enc.u64(frame.jobId);
     enc.u32(frame.inFlightLimit);
     return frameBytes(FrameType::Busy, enc.take());
+}
+
+std::string
+encodePing(const PingFrame &frame)
+{
+    Encoder enc;
+    enc.u64(frame.nonce);
+    return frameBytes(FrameType::Ping, enc.take());
+}
+
+std::string
+encodePong(const PongFrame &frame)
+{
+    Encoder enc;
+    enc.u64(frame.nonce);
+    return frameBytes(FrameType::Pong, enc.take());
 }
 
 namespace {
@@ -959,6 +989,11 @@ decodeSubmitJob(const std::string &body, SubmitJobFrame &out,
     if (dec.u64(out.jobId) && dec.str(out.function) &&
         dec.str(out.moduleText))
         decodeJobOptionsBody(dec, out.options);
+    // v4 bodies end here; a v5 body carries exactly one trailing u64
+    // fingerprint. Anything else (a torn fingerprint, extra bytes) is
+    // corrupt and fails in finish().
+    if (dec.ok() && !dec.atEnd())
+        dec.u64(out.fingerprint);
     if (dec.ok() && out.function.empty())
         dec.fail("job with empty function name");
     return finish(dec, error);
@@ -975,6 +1010,10 @@ decodeJobStatus(const std::string &body, JobStatusFrame &out,
         dec.u64(out.storeBytes) && dec.u64(out.storeEvictions) &&
         dec.u64(out.storeQuarantined) && dec.u64(out.auditMismatches) &&
         dec.u64(out.quotaRejects) && dec.u8(out.draining);
+    // v5 appends three counters as one all-or-nothing group.
+    if (dec.ok() && !dec.atEnd())
+        dec.u64(out.dedupHits) && dec.u64(out.acceptedUnix) &&
+            dec.u64(out.acceptedTcp);
     return finish(dec, error);
 }
 
@@ -993,6 +1032,22 @@ decodeBusy(const std::string &body, BusyFrame &out, std::string &error)
 {
     Decoder dec(body);
     dec.u64(out.jobId) && dec.u32(out.inFlightLimit);
+    return finish(dec, error);
+}
+
+bool
+decodePing(const std::string &body, PingFrame &out, std::string &error)
+{
+    Decoder dec(body);
+    dec.u64(out.nonce);
+    return finish(dec, error);
+}
+
+bool
+decodePong(const std::string &body, PongFrame &out, std::string &error)
+{
+    Decoder dec(body);
+    dec.u64(out.nonce);
     return finish(dec, error);
 }
 

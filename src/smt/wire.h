@@ -58,8 +58,21 @@ namespace wire {
  * v4: JobStatus carries the month-scale operability counters (store
  * bytes/evictions/quarantines, audit mismatches, quota rejects) and
  * the draining flag.
+ * v5: multi-host transport. SubmitJob carries a deterministic job
+ * fingerprint (idempotent resubmission after failover), JobStatus
+ * grows dedup + per-transport accept counters, and Ping/Pong frames
+ * give clients a connection-level heartbeat. A v5 daemon still
+ * negotiates with v4 clients (see kMinServiceProtocolVersion): the v4
+ * frame forms remain valid prefixes of their v5 forms.
  */
-constexpr uint32_t kProtocolVersion = 4;
+constexpr uint32_t kProtocolVersion = 5;
+
+/**
+ * Oldest client protocol a daemon still serves. A v4 client simply
+ * never sends fingerprints or Pings and receives v4-shaped JobStatus
+ * replies; verdicts are version-independent.
+ */
+constexpr uint32_t kMinServiceProtocolVersion = 4;
 
 /**
  * First four bytes of every ClientHello ("KEQD" little-endian). A
@@ -95,6 +108,10 @@ enum class FrameType : uint8_t {
     HelloReject = 13, ///< typed handshake rejection (version skew)
     JobVerdict = 14,  ///< one finished job's report + solver stats
     Busy = 15,        ///< admission control: in-flight cap reached
+
+    // validation service, v5: connection-level heartbeat
+    Ping = 16, ///< client -> daemon liveness probe (nonce)
+    Pong = 17, ///< daemon -> client echo of the Ping nonce
 };
 
 const char *frameTypeName(FrameType type);
@@ -292,6 +309,20 @@ struct SubmitJobFrame
     std::string function; ///< e.g. "@max" — must be defined in module
     std::string moduleText;
     JobOptionsFrame options;
+    /**
+     * v5: deterministic job identity — a stable hash over (module
+     * text, function, jobOptionsKey), computed with
+     * service::jobFingerprint. A nonzero value is a *resubmission
+     * claim*: the client already sent this job once and its connection
+     * died before the verdict arrived, so the daemon's completed-job
+     * ledger may serve it idempotently — no second solve, no second
+     * quota charge, no second journal append. First-time submissions
+     * (and every v4 submit) carry 0: they always take the real
+     * solving path, so distinct clients submitting identical work
+     * still exercise the shared warm query cache, never replay each
+     * other's ledger entries.
+     */
+    uint64_t fingerprint = 0;
 };
 
 /** Daemon-wide counters echoed back on a JobStatus probe. */
@@ -310,6 +341,26 @@ struct JobStatusFrame
     uint64_t auditMismatches = 0; ///< trust-but-verify contradictions
     uint64_t quotaRejects = 0;    ///< Busy replies from quota/queue caps
     uint8_t draining = 0;         ///< 1 once SIGTERM drain began
+    // v5: multi-host transport counters.
+    uint64_t dedupHits = 0;     ///< jobs served from the completed ledger
+    uint64_t acceptedUnix = 0;  ///< connections accepted on AF_UNIX
+    uint64_t acceptedTcp = 0;   ///< connections accepted on TCP
+};
+
+/**
+ * v5 heartbeat. A client waiting on a slow verdict over TCP cannot
+ * tell a long solve from a silently-dead peer (no RST ever arrives
+ * when a remote host vanishes); a Ping answered inline by the daemon's
+ * reader thread bounds that uncertainty. The nonce is echoed verbatim.
+ */
+struct PingFrame
+{
+    uint64_t nonce = 0;
+};
+
+struct PongFrame
+{
+    uint64_t nonce = 0;
 };
 
 /**
@@ -350,10 +401,19 @@ std::string encodeCancel(const CancelFrame &frame);
 std::string encodeClientHello(const ClientHelloFrame &frame);
 std::string encodeServerHello(const ServerHelloFrame &frame);
 std::string encodeHelloReject(const HelloRejectFrame &frame);
-std::string encodeSubmitJob(const SubmitJobFrame &frame);
-std::string encodeJobStatus(const JobStatusFrame &frame);
+/**
+ * SubmitJob/JobStatus layouts grew in v5; @p version selects the form
+ * so a v5 daemon can answer a v4 client with bytes it can decode (and
+ * tests can fabricate v4 clients). Decoders accept both forms.
+ */
+std::string encodeSubmitJob(const SubmitJobFrame &frame,
+                            uint32_t version = kProtocolVersion);
+std::string encodeJobStatus(const JobStatusFrame &frame,
+                            uint32_t version = kProtocolVersion);
 std::string encodeJobVerdict(const JobVerdictFrame &frame);
 std::string encodeBusy(const BusyFrame &frame);
+std::string encodePing(const PingFrame &frame);
+std::string encodePong(const PongFrame &frame);
 
 /**
  * Splits a received payload into its FrameType and body decoder input.
@@ -389,6 +449,10 @@ bool decodeJobStatus(const std::string &body, JobStatusFrame &out,
 bool decodeJobVerdict(const std::string &body, JobVerdictFrame &out,
                       std::string &error);
 bool decodeBusy(const std::string &body, BusyFrame &out,
+                std::string &error);
+bool decodePing(const std::string &body, PingFrame &out,
+                std::string &error);
+bool decodePong(const std::string &body, PongFrame &out,
                 std::string &error);
 
 } // namespace wire

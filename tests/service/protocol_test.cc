@@ -1,8 +1,10 @@
-/** @file Validation-service wire protocol (v3): every new frame
- *  survives encode/decode, the JobOptions <-> PipelineOptions mapping
- *  is an exact inverse on the carried subset, and hostile hello bytes
+/** @file Validation-service wire protocol: every new frame survives
+ *  encode/decode, the JobOptions <-> PipelineOptions mapping is an
+ *  exact inverse on the carried subset, hostile hello bytes
  *  (truncations, bit flips) decode-fail or reject instead of
- *  negotiating a bogus session. */
+ *  negotiating a bogus session, and the v5 additions (job
+ *  fingerprints, per-transport status counters, Ping/Pong heartbeats)
+ *  keep every v4 frame form a valid strict prefix. */
 
 #include <gtest/gtest.h>
 
@@ -295,6 +297,166 @@ TEST(ServiceProtocolTest, BitFlippedHelloIsRejectedOrHarmless)
             << "flipped byte " << byte
             << " produced an accepted, unchanged hello";
     }
+}
+
+// ---- wire v5: fingerprints, status counters, heartbeat frames ----
+
+TEST(ServiceProtocolTest, SubmitJobV5CarriesFingerprint)
+{
+    SubmitJobFrame job;
+    job.jobId = 3;
+    job.function = "@f0";
+    job.moduleText = "define i32 @f0() {\nret i32 0\n}\n";
+    job.fingerprint = 0xDEADBEEFCAFEF00DULL;
+
+    FrameType type{};
+    std::string body;
+    ASSERT_TRUE(splitFrame(encodeSubmitJob(job).substr(4), type, body));
+    SubmitJobFrame out;
+    std::string error;
+    ASSERT_TRUE(decodeSubmitJob(body, out, error)) << error;
+    EXPECT_EQ(out.fingerprint, job.fingerprint);
+}
+
+/** The v4 SubmitJob layout is a strict prefix of v5: a v4 encode is
+ *  byte-for-byte the v5 encode minus the trailing fingerprint, and it
+ *  decodes with fingerprint 0 ("no idempotency claim"). */
+TEST(ServiceProtocolTest, SubmitJobV4FormIsPrefixOfV5)
+{
+    SubmitJobFrame job;
+    job.jobId = 4;
+    job.function = "@g";
+    job.moduleText = "define i32 @g() {\nret i32 1\n}\n";
+    job.fingerprint = 0x1234567890ABCDEFULL;
+
+    FrameType type{};
+    std::string v4body;
+    std::string v5body;
+    ASSERT_TRUE(
+        splitFrame(encodeSubmitJob(job, 4).substr(4), type, v4body));
+    ASSERT_TRUE(
+        splitFrame(encodeSubmitJob(job, 5).substr(4), type, v5body));
+    ASSERT_LT(v4body.size(), v5body.size());
+    EXPECT_EQ(v5body.substr(0, v4body.size()), v4body);
+
+    SubmitJobFrame out;
+    std::string error;
+    ASSERT_TRUE(decodeSubmitJob(v4body, out, error)) << error;
+    EXPECT_EQ(out.fingerprint, 0u) << "v4 form must not claim dedup";
+    EXPECT_EQ(out.function, job.function);
+    EXPECT_EQ(out.moduleText, job.moduleText);
+}
+
+/** A torn trailing fingerprint (any strict prefix of the 8 bytes) must
+ *  fail decode — the optional field is all-or-nothing, never a partial
+ *  read that silently fabricates a bogus idempotency key. */
+TEST(ServiceProtocolTest, SubmitJobTornFingerprintRejected)
+{
+    SubmitJobFrame job;
+    job.jobId = 5;
+    job.function = "@h";
+    job.moduleText = "x";
+    job.fingerprint = 0xFFFFFFFFFFFFFFFFULL;
+    FrameType type{};
+    std::string body;
+    ASSERT_TRUE(splitFrame(encodeSubmitJob(job).substr(4), type, body));
+    for (size_t cut = 1; cut < 8; ++cut) {
+        SubmitJobFrame out;
+        std::string error;
+        EXPECT_FALSE(decodeSubmitJob(body.substr(0, body.size() - cut),
+                                     out, error))
+            << "torn fingerprint (" << cut << " bytes missing) decoded";
+    }
+}
+
+TEST(ServiceProtocolTest, JobStatusV5CountersRoundTrip)
+{
+    JobStatusFrame status;
+    status.completedJobs = 40;
+    status.dedupHits = 12;
+    status.acceptedUnix = 7;
+    status.acceptedTcp = 9;
+    FrameType type{};
+    std::string body;
+    ASSERT_TRUE(
+        splitFrame(encodeJobStatus(status).substr(4), type, body));
+    JobStatusFrame out;
+    std::string error;
+    ASSERT_TRUE(decodeJobStatus(body, out, error)) << error;
+    EXPECT_EQ(out.completedJobs, 40u);
+    EXPECT_EQ(out.dedupHits, 12u);
+    EXPECT_EQ(out.acceptedUnix, 7u);
+    EXPECT_EQ(out.acceptedTcp, 9u);
+}
+
+/** A v4-shaped JobStatus (no trailing counter group) still decodes,
+ *  with the v5 counters defaulting to zero. */
+TEST(ServiceProtocolTest, JobStatusV4FormStillDecodes)
+{
+    JobStatusFrame status;
+    status.completedJobs = 17;
+    status.dedupHits = 99; // must NOT survive a v4 encode
+    FrameType type{};
+    std::string v4body;
+    std::string v5body;
+    ASSERT_TRUE(
+        splitFrame(encodeJobStatus(status, 4).substr(4), type, v4body));
+    ASSERT_TRUE(
+        splitFrame(encodeJobStatus(status, 5).substr(4), type, v5body));
+    ASSERT_LT(v4body.size(), v5body.size());
+    EXPECT_EQ(v5body.substr(0, v4body.size()), v4body);
+
+    JobStatusFrame out;
+    std::string error;
+    ASSERT_TRUE(decodeJobStatus(v4body, out, error)) << error;
+    EXPECT_EQ(out.completedJobs, 17u);
+    EXPECT_EQ(out.dedupHits, 0u);
+    EXPECT_EQ(out.acceptedUnix, 0u);
+    EXPECT_EQ(out.acceptedTcp, 0u);
+}
+
+TEST(ServiceProtocolTest, PingPongRoundTrip)
+{
+    PingFrame ping;
+    ping.nonce = 0xA5A5A5A5DEADULL;
+    FrameType type{};
+    std::string body;
+    ASSERT_TRUE(splitFrame(encodePing(ping).substr(4), type, body));
+    EXPECT_EQ(type, FrameType::Ping);
+    PingFrame pingOut;
+    std::string error;
+    ASSERT_TRUE(decodePing(body, pingOut, error)) << error;
+    EXPECT_EQ(pingOut.nonce, ping.nonce);
+
+    PongFrame pong;
+    pong.nonce = pingOut.nonce;
+    ASSERT_TRUE(splitFrame(encodePong(pong).substr(4), type, body));
+    EXPECT_EQ(type, FrameType::Pong);
+    PongFrame pongOut;
+    ASSERT_TRUE(decodePong(body, pongOut, error)) << error;
+    EXPECT_EQ(pongOut.nonce, ping.nonce);
+}
+
+/** The idempotency key: deterministic, never 0, and sensitive to every
+ *  component of the job identity (module, function, options). */
+TEST(ServiceProtocolTest, JobFingerprintSeparatesJobIdentities)
+{
+    namespace service = keq::service;
+    std::string moduleA = "define i32 @f() {\nret i32 0\n}\n";
+    std::string moduleB = moduleA + "\n";
+    JobOptionsFrame options =
+        service::encodeJobOptions(driver::PipelineOptions{});
+    JobOptionsFrame optionsTimeout = options;
+    optionsTimeout.smtTimeoutMs = 123;
+
+    uint64_t base = service::jobFingerprint(moduleA, "@f", options);
+    EXPECT_NE(base, 0u);
+    EXPECT_EQ(base, service::jobFingerprint(moduleA, "@f", options))
+        << "fingerprint must be deterministic";
+    EXPECT_NE(base, service::jobFingerprint(moduleB, "@f", options));
+    EXPECT_NE(base, service::jobFingerprint(moduleA, "@g", options));
+    EXPECT_NE(base,
+              service::jobFingerprint(moduleA, "@f", optionsTimeout));
 }
 
 /** Version skew must be expressible: a v2 hello decodes fine (the

@@ -49,10 +49,16 @@
  *     --batch-discharge   ship obligation hypotheses as separate
  *                         assertions so the incremental backend keeps
  *                         them in a warm scope across obligations
- *     --daemon=SOCKET     submit jobs to a running keq-daemon instead
- *                         of solving locally; falls back to local
- *                         solving (with a warning) when the daemon is
- *                         unreachable or dies mid-run
+ *     --daemon=ENDPOINTS  submit jobs to a running keq-daemon instead
+ *                         of solving locally. ENDPOINTS is a comma-
+ *                         separated failover list (unix:PATH,
+ *                         tcp:HOST:PORT, tcp:[V6ADDR]:PORT; a bare
+ *                         path means unix:). A daemon dying mid-run
+ *                         fails over to the next endpoint with
+ *                         idempotent job resubmission; when every
+ *                         endpoint is down, keqc falls back to local
+ *                         solving (with a warning), keeping verdicts
+ *                         already decided
  *     --stats             print per-stage solver counters after the run
  *     --stats-json=PATH   dump the full stats/failure taxonomy as JSON
  *     --gen-corpus=N      print an N-function Figure 6 corpus and exit
@@ -64,7 +70,8 @@
  *
  * Exit code: number of functions that failed validation (0 = all
  * good); 65 when the input module does not parse or verify; 2 for
- * usage and I/O errors.
+ * usage and I/O errors; 64 (EX_USAGE) for a malformed --daemon
+ * endpoint list (the diagnostic names the offending spec).
  */
 
 #include <csignal>
@@ -77,6 +84,7 @@
 #include "src/driver/corpus.h"
 #include "src/driver/pipeline.h"
 #include "src/service/client.h"
+#include "src/service/endpoint.h"
 #include "src/isel/isel.h"
 #include "src/llvmir/parser.h"
 #include "src/llvmir/verifier.h"
@@ -103,7 +111,8 @@ struct CliOptions
     std::string path;
     std::string only_function;
     std::string stats_json;
-    std::string daemon_socket;
+    std::string daemon_socket; ///< raw --daemon value (for messages)
+    std::vector<keq::service::Endpoint> daemon_endpoints;
     bool print_mir = false;
     bool print_sync = false;
     bool print_stats = false;
@@ -133,7 +142,8 @@ usage(const char *argv0)
                  "--worker-path=PATH\n"
               << "  --portfolio=N --portfolio-lanes=SPEC "
                  "--batch-discharge\n"
-              << "  --daemon=SOCKET\n"
+              << "  --daemon=ENDPOINTS (comma-separated failover "
+                 "list: unix:PATH,tcp:HOST:PORT)\n"
               << "  --stats-json=PATH --gen-corpus=N --corpus-seed=N\n";
     std::exit(2);
 }
@@ -259,8 +269,14 @@ parseArgs(int argc, char **argv)
             options.pipeline.checker.batchDischarge = true;
         } else if (arg.rfind("--daemon=", 0) == 0) {
             options.daemon_socket = value_of("--daemon=");
-            if (options.daemon_socket.empty())
-                usage(argv[0]);
+            std::string endpointError;
+            if (!keq::service::parseEndpointList(
+                    options.daemon_socket, options.daemon_endpoints,
+                    endpointError)) {
+                std::cerr << "keqc: --daemon: " << endpointError
+                          << "\n";
+                std::exit(64); // BSD sysexits EX_USAGE
+            }
         } else if (arg.rfind("--stats-json=", 0) == 0) {
             options.stats_json = value_of("--stats-json=");
         } else if (arg == "--resume") {
@@ -538,9 +554,20 @@ main(int argc, char **argv)
             names.push_back(fn.name);
         }
         service::DaemonClientOptions copts;
-        copts.socketPath = options.daemon_socket;
+        copts.endpoints = options.daemon_endpoints;
         service::DaemonClient client(copts);
         std::string error;
+        // Failover is meant to be invisible in the *output* (verdicts
+        // splice identically) but never silent in operation: say on
+        // stderr when the run survived a daemon death.
+        auto warnFailovers = [&client] {
+            if (client.failovers() > 0)
+                std::cerr << "keqc: daemon failed over "
+                          << client.failovers() << " time(s) ("
+                          << client.resubmittedJobs()
+                          << " in-flight jobs resubmitted; decided "
+                             "verdicts kept)\n";
+        };
         if (!client.connect(error)) {
             std::cerr << "keqc: daemon unreachable (" << error
                       << "); falling back to local validation\n";
@@ -548,14 +575,17 @@ main(int argc, char **argv)
         } else if (client.validateFunctions(
                        buffer.str(), names, options.pipeline,
                        daemonReports, daemonDecided, error)) {
+            warnFailovers();
             report.functions = std::move(daemonReports);
             daemonHandled = true;
         } else if (client.busyBreakerTripped()) {
+            warnFailovers();
             std::cerr << "keqc: daemon busy circuit breaker tripped ("
                       << client.busyRetries() << " Busy replies): "
                       << error
                       << "; validating remaining functions locally\n";
         } else {
+            warnFailovers();
             std::cerr << "keqc: daemon connection lost ["
                       << failureKindName(client.failure()) << "]: "
                       << error
